@@ -1,0 +1,42 @@
+"""Shared fixtures for the evaluation benchmarks (§9).
+
+The whole Phoenix suite is evaluated once per pytest session and shared by
+every figure benchmark.  Each ``test_figNN`` module prints the reproduced
+rows next to the paper's numbers; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phoenix import SIZE_TINY, evaluate_suite, geomean
+
+# Paper numbers (for side-by-side printing).
+PAPER = {
+    "fig12": {"lifted": 2.89, "opt": 1.67, "popt": 1.62, "ppopt": 1.51},
+    "fig13_casts": 51.1,
+    "fig14": {"popt": 6.3, "ppopt": 45.5},
+    "fig15": {"popt": 2.65, "ppopt": 5.63},
+    "fig16": {"lifted": 337.8, "opt": 85.7, "popt": 84.4, "ppopt": 68.2},
+}
+
+
+@pytest.fixture(scope="session")
+def evaluation():
+    """All five kernels × five configurations, differentially checked."""
+    return evaluate_suite(size=SIZE_TINY, verify=False)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    widths = [
+        max(len(str(r[i])) for r in [headers] + rows) for i in range(len(headers))
+    ]
+    print(f"\n== {title}")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+__all__ = ["PAPER", "evaluation", "print_table", "geomean"]

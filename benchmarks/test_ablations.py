@@ -1,0 +1,191 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* fence-cost sensitivity: how Figure 12's gaps react when DMB barriers get
+  cheaper/more expensive (the knob behind the paper's runtime numbers);
+* sroa-extended pipeline: what full stack scalarization (beyond the
+  paper-era LLVM behaviour) would buy PPOpt;
+* refinement vs merging in isolation: each §5/§7 mechanism's contribution
+  to the fence count.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.arm import ArmEmulator
+from repro.arm.costs import COSTS
+from repro.core import Lasagne
+from repro.fences import count_fences, merge_fences, place_fences
+from repro.lifter import lift_program
+from repro.minicc import compile_to_x86
+from repro.opt import optimize_module
+from repro.phoenix import SIZE_TINY, scale
+from repro.refine import run_refinement
+
+PROGRAM = scale("histogram", SIZE_TINY["histogram"])
+
+
+def _cycles(built) -> int:
+    emu = ArmEmulator(built.program)
+    emu.run()
+    return sum(t.cycles for t in emu.threads)
+
+
+def test_fence_cost_sensitivity():
+    """The Opt↔PPOpt runtime gap must grow with barrier cost."""
+    lasagne = Lasagne(verify=False)
+    opt = lasagne.build(PROGRAM.source, "opt")
+    ppopt = lasagne.build(PROGRAM.source, "ppopt")
+    saved = dict(COSTS)
+    gaps = {}
+    try:
+        for scale_factor in (0, 1, 4):
+            for key in ("dmb ish", "dmb ishld", "dmb ishst"):
+                COSTS[key] = max(1, saved[key] * scale_factor)
+            gaps[scale_factor] = _cycles(opt) / _cycles(ppopt)
+    finally:
+        COSTS.update(saved)
+    rows = [[f"×{k}", f"{v:.2f}"] for k, v in sorted(gaps.items())]
+    print_table("Ablation — Opt/PPOpt gap vs fence cost",
+                ["fence cost scale", "Opt ÷ PPOpt"], rows)
+    assert gaps[4] > gaps[1] > gaps[0]
+
+
+def test_sroa_extension():
+    """Adding sroa to the PPOpt pipeline (beyond the default) shrinks the
+    translated binary further — the 'future work' headroom."""
+    obj = compile_to_x86(PROGRAM.source)
+    module = lift_program(obj)
+    run_refinement(module)
+    place_fences(module)
+    optimize_module(module)
+    merge_fences(module)
+    base = module.instruction_count()
+
+    module2 = lift_program(obj)
+    run_refinement(module2)
+    place_fences(module2)
+    optimize_module(module2, ["sroa", "mem2reg"] +
+                    __import__("repro.opt", fromlist=["STANDARD_PIPELINE"])
+                    .STANDARD_PIPELINE)
+    merge_fences(module2)
+    extended = module2.instruction_count()
+    print(f"\nPPOpt instructions: default={base}, +sroa={extended}")
+    assert extended <= base
+
+
+def test_refinement_vs_merging_isolation():
+    obj = compile_to_x86(PROGRAM.source)
+
+    naive = lift_program(obj)
+    place_fences(naive)
+    n_naive = count_fences(naive)
+
+    merged = lift_program(obj)
+    place_fences(merged)
+    optimize_module(merged)
+    merge_fences(merged)
+    n_merge = count_fences(merged)
+
+    refined = lift_program(obj)
+    run_refinement(refined)
+    place_fences(refined)
+    optimize_module(refined)
+    n_refine = count_fences(refined)
+
+    both = lift_program(obj)
+    run_refinement(both)
+    place_fences(both)
+    optimize_module(both)
+    merge_fences(both)
+    n_both = count_fences(both)
+
+    rows = [
+        ["naive placement", n_naive],
+        ["+ merging only (POpt)", n_merge],
+        ["+ refinement only", n_refine],
+        ["+ both (PPOpt)", n_both],
+    ]
+    print_table("Ablation — fence count by mechanism", ["build", "fences"], rows)
+    assert n_both <= n_refine <= n_naive
+    assert n_merge <= n_naive
+    # Refinement removes more fences than merging does (Fig. 14's story).
+    assert (n_naive - n_refine) > (n_naive - n_merge)
+
+
+def test_stack_size_parameter():
+    """The reconstructed stack size (§4.2.3) does not change results."""
+    obj = compile_to_x86(PROGRAM.source)
+    from repro.lir import Interpreter
+
+    results = set()
+    for stack_size in (2048, 4096, 8192):
+        module = lift_program(obj, stack_size=stack_size)
+        results.add(Interpreter(module).run("main"))
+    assert len(results) == 1
+
+
+def test_inlining_extension():
+    """Inlining (not part of the paper's measured pipeline) as an ablation:
+    applied on top of PPOpt it must preserve results and not grow the
+    translated binary's runtime."""
+    from repro.lir import Interpreter
+    from repro.opt import run_inline
+
+    obj = compile_to_x86(PROGRAM.source)
+    expected = None
+
+    module = lift_program(obj)
+    run_refinement(module)
+    place_fences(module)
+    optimize_module(module)
+    merge_fences(module)
+    base_insts = module.instruction_count()
+    expected = Interpreter(module).run("main")
+
+    module2 = lift_program(obj)
+    run_refinement(module2)
+    place_fences(module2)
+    run_inline(module2)
+    optimize_module(module2)
+    merge_fences(module2)
+    inlined_insts = module2.instruction_count()
+    got = Interpreter(module2).run("main")
+    assert got == expected
+
+    from repro.codegen import compile_lir_to_arm
+
+    base_cycles = _run_cycles(compile_lir_to_arm(module))
+    inl_cycles = _run_cycles(compile_lir_to_arm(module2))
+    print(f"\nPPOpt: {base_insts} IR insts / {base_cycles} cycles; "
+          f"+inline: {inlined_insts} IR insts / {inl_cycles} cycles")
+    assert inl_cycles <= base_cycles * 1.1  # never meaningfully worse
+
+
+def _run_cycles(program) -> int:
+    emu = ArmEmulator(program)
+    emu.run()
+    return sum(t.cycles for t in emu.threads)
+
+
+def test_lazy_flag_lifting():
+    """How much of the Lifted configuration's bulk is dead flag code: lift
+    with per-instruction flag liveness instead of eager materialization."""
+    from repro.lir import Interpreter
+
+    obj = compile_to_x86(PROGRAM.source)
+    eager = lift_program(obj)
+    lazy = lift_program(obj, lazy_flags=True)
+    assert Interpreter(eager).run("main") == Interpreter(lazy).run("main")
+
+    e_count, l_count = eager.instruction_count(), lazy.instruction_count()
+    reduction = 100.0 * (e_count - l_count) / e_count
+    print(f"\nlifted size: eager={e_count}, lazy={l_count} "
+          f"({reduction:.1f}% of Lifted is dead flag code)")
+    assert l_count < e_count
+
+    # After O2 both converge: the flag junk was dead anyway.
+    optimize_module(eager)
+    optimize_module(lazy)
+    assert abs(eager.instruction_count() - lazy.instruction_count()) <= max(
+        4, eager.instruction_count() // 20
+    )

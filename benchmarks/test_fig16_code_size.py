@@ -1,0 +1,51 @@
+"""Figure 16: code-size increase (IR instructions) relative to Native.
+
+Paper: Lifted +337.8%, Opt +85.7%, POpt +84.4%, PPOpt +68.2% GMean.  The
+ordering (Lifted ≫ Opt ≳ POpt > PPOpt, all above Native) is the
+reproduction target.
+"""
+
+from conftest import PAPER, print_table
+
+from repro.phoenix import geomean
+
+CONFIGS = ["lifted", "opt", "popt", "ppopt"]
+
+
+def test_fig16_code_size(evaluation):
+    rows = []
+    increases = {c: [] for c in CONFIGS}
+    for row in evaluation:
+        vals = [row.code_increase(c) for c in CONFIGS]
+        for c, v in zip(CONFIGS, vals):
+            increases[c].append(v)
+        rows.append(
+            [row.program, row.metrics["native"].lir_instructions]
+            + [f"+{v:.1f}%" for v in vals]
+        )
+    gmeans = {c: geomean(increases[c]) for c in CONFIGS}
+    rows.append(["GMean", ""] + [f"+{gmeans[c]:.1f}%" for c in CONFIGS])
+    rows.append(
+        ["(paper)", ""] + [f"+{PAPER['fig16'][c]:.1f}%" for c in CONFIGS]
+    )
+    print_table(
+        "Figure 16 — code size increase over native (LIR instructions)",
+        ["benchmark", "native"] + CONFIGS,
+        rows,
+    )
+    # Shape assertions.
+    assert gmeans["lifted"] > 2 * gmeans["opt"]   # lifting bloat dominates
+    assert gmeans["ppopt"] < gmeans["opt"]        # refinement shrinks code
+    assert gmeans["ppopt"] <= gmeans["popt"]
+    for c in CONFIGS:
+        assert gmeans[c] > 0                      # all above native
+
+
+def test_arm_instruction_counts_follow(evaluation):
+    """The final Arm binaries follow the same size ordering."""
+    for row in evaluation:
+        assert (
+            row.metrics["ppopt"].arm_instructions
+            <= row.metrics["opt"].arm_instructions
+            <= row.metrics["lifted"].arm_instructions
+        )

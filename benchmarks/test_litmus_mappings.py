@@ -1,0 +1,48 @@
+"""Litmus-level benchmark: the Fig. 8 mappings hold across the battery,
+plus enumeration throughput (the stand-in for the Agda checking effort)."""
+
+from conftest import print_table
+
+from repro.memmodel import (
+    CoRR,
+    CoWW,
+    LB,
+    MP,
+    SB,
+    SB_FENCED_X86,
+    check_x86_to_arm,
+    check_x86_to_ir,
+    consistent_executions,
+    map_x86_to_arm,
+    map_x86_to_ir,
+    outcomes,
+)
+
+BATTERY = [SB, MP, LB, CoRR, CoWW, SB_FENCED_X86]
+
+
+def test_mapping_battery():
+    rows = []
+    for program in BATTERY:
+        ok_ir = check_x86_to_ir(program, compare="outcome")
+        ok_arm = check_x86_to_arm(program, compare="outcome")
+        n_src = len(outcomes(program, "x86"))
+        n_tgt = len(outcomes(map_x86_to_arm(program), "arm"))
+        rows.append([program.name, n_src, n_tgt, ok_ir, ok_arm])
+        assert ok_ir and ok_arm, program.name
+    print_table(
+        "Theorem 7.1 — mapping correctness on the litmus battery",
+        ["litmus", "x86 outcomes", "mapped-Arm outcomes", "x86→IR", "x86→Arm"],
+        rows,
+    )
+
+
+def test_enumeration_throughput(benchmark):
+    """pytest-benchmark: consistent-execution enumeration for mapped MP."""
+    program = map_x86_to_arm(MP)
+
+    def enumerate_arm():
+        return consistent_executions(program, "arm")
+
+    executions = benchmark(enumerate_arm)
+    assert executions

@@ -1,0 +1,48 @@
+"""Table 1: the Phoenix benchmark suite (abbreviation, #functions, LoC).
+
+Paper values: HT 4/171, KM 7/235, LR 2/120, MM 3/179, SM 5/205.  Our
+mini-C re-implementations are smaller but keep the same per-kernel shape
+(kmeans has the most functions, linear_regression the fewest).
+"""
+
+from conftest import print_table
+
+from repro.minicc import compile_to_x86
+from repro.phoenix import SIZE_TINY, all_programs, scale
+
+PAPER_TABLE1 = {
+    "histogram": (4, 171),
+    "kmeans": (7, 235),
+    "linear_regression": (2, 120),
+    "matrix_multiply": (3, 179),
+    "string_match": (5, 205),
+}
+
+
+def test_table1(evaluation):
+    rows = []
+    for program in all_programs(SIZE_TINY):
+        nfunc = program.function_count()
+        loc = program.loc()
+        paper_f, paper_loc = PAPER_TABLE1[program.name]
+        rows.append(
+            [program.abbrev, program.name, nfunc, paper_f, loc, paper_loc]
+        )
+        assert nfunc >= 2
+        assert loc >= 30
+    print_table(
+        "Table 1 — Phoenix suite",
+        ["Abbrv", "Benchmark", "#Func", "(paper)", "LoC", "(paper)"],
+        rows,
+    )
+    # Relative shape: kmeans is the largest kernel, LR among the smallest.
+    by_name = {r[1]: r for r in rows}
+    assert by_name["kmeans"][2] == max(r[2] for r in rows)
+    assert by_name["linear_regression"][2] == min(r[2] for r in rows)
+
+
+def test_compile_throughput(benchmark):
+    """pytest-benchmark: mini-C → linked x86 image compile time."""
+    program = scale("kmeans", SIZE_TINY["kmeans"])
+    obj = benchmark(compile_to_x86, program.source)
+    assert obj.functions

@@ -1,0 +1,12 @@
+"""Reproduction of "Lasagne: A Static Binary Translator for Weak Memory
+Model Architectures" (PLDI 2022).
+
+Top-level convenience re-exports; see README.md for the architecture map.
+"""
+
+__version__ = "0.1.0"
+
+from .core import CONFIGS, Lasagne, RunResult, TranslationResult
+
+__all__ = ["CONFIGS", "Lasagne", "RunResult", "TranslationResult",
+           "__version__"]

@@ -1,0 +1,8 @@
+import sys
+
+from .cli import main
+
+try:
+    raise SystemExit(main())
+except BrokenPipeError:  # e.g. piping into `head`
+    sys.exit(0)

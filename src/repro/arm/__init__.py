@@ -1,0 +1,33 @@
+"""AArch64 substrate: structured ISA subset, program container, and an
+emulator with a cycle cost model."""
+
+from .costs import COSTS, cost_of
+from .emulator import ArmEmuError, ArmEmulator, ArmThread
+from .isa import (
+    AImm,
+    AInstr,
+    ALabel,
+    AMem,
+    AOperand,
+    ARM_CALLEE_SAVED,
+    ARM_CONDS,
+    ARM_FP_PARAM_REGS,
+    ARM_FP_RETURN_REG,
+    ARM_INT_PARAM_REGS,
+    ARM_INT_RETURN_REG,
+    DReg,
+    XReg,
+    fence_kind,
+    is_fence,
+)
+from .program import DATA_BASE, ArmFunction, ArmGlobal, ArmProgram
+
+__all__ = [
+    "COSTS", "cost_of",
+    "ArmEmuError", "ArmEmulator", "ArmThread",
+    "AImm", "AInstr", "ALabel", "AMem", "AOperand",
+    "ARM_CALLEE_SAVED", "ARM_CONDS", "ARM_FP_PARAM_REGS",
+    "ARM_FP_RETURN_REG", "ARM_INT_PARAM_REGS", "ARM_INT_RETURN_REG",
+    "DReg", "XReg", "fence_kind", "is_fence",
+    "DATA_BASE", "ArmFunction", "ArmGlobal", "ArmProgram",
+]

@@ -1,0 +1,36 @@
+"""Cycle cost model for the Arm emulator.
+
+The paper measures wall-clock time on a Cortex-A72; we measure *modelled
+cycles*.  The absolute values are synthetic, but the ordering is taken from
+published Cortex-A72 characteristics: memory barriers are expensive relative
+to ALU operations, full barriers (DMB ISH) cost more than one-direction
+barriers (DMB ISHLD / ISHST), loads/stores cost more than register ALU ops,
+and integer division is slow.  Figure 12/15-style experiments only rely on
+these orderings.
+"""
+
+from __future__ import annotations
+
+DEFAULT_COST = 1
+
+COSTS = {
+    # memory
+    "ldr": 3, "str": 2, "ldrb": 3, "strb": 2, "ldr32": 3, "str32": 2,
+    "fldr": 3, "fstr": 2,
+    "ldar": 6, "stlr": 6, "ldxr": 8, "stxr": 8,
+    # barriers — the interesting knob
+    "dmb ish": 16, "dmb ishld": 10, "dmb ishst": 10,
+    # ALU
+    "mul": 3, "sdiv": 20, "udiv": 20, "msub": 4,
+    # FP
+    "fadd": 4, "fsub": 4, "fmul": 4, "fdiv": 18, "fsqrt": 20,
+    "scvtf": 4, "fcvtzs": 4, "fmov": 2, "fcmp": 3,
+    # control
+    "bl": 2, "blr": 3, "ret": 2,
+    # pseudo
+    "adr": 2,
+}
+
+
+def cost_of(mnemonic: str) -> int:
+    return COSTS.get(mnemonic, DEFAULT_COST)

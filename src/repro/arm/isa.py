@@ -1,0 +1,129 @@
+"""AArch64-subset instruction model.
+
+Unlike the x86 side (which is encoded to real machine bytes because the
+*lifter* must face real machine code), the Arm side is the translation
+*target*: we keep it as structured instructions plus a label resolver.  This
+matches what Lasagne's evaluation needs — counting instructions and fences
+and running the result under a cost model — while sparing a full A64 binary
+encoder.  DESIGN.md records this simplification.
+
+Supported subset:
+
+* ``mov``/``movz`` (imm or reg), ``ldr``/``str`` (64/32/8-bit, register or
+  immediate offset), ``adr`` (absolute symbol address pseudo)
+* ALU: ``add``/``sub``/``mul``/``sdiv``/``msub``/``and``/``orr``/``eor``/
+  ``lsl``/``lsr``/``asr``/``mvn``/``neg``, ``cmp``, ``cset``
+* FP: ``fmov``, ``fldr``/``fstr`` (pseudo for ldr/str of D regs), ``fadd``/
+  ``fsub``/``fmul``/``fdiv``/``fsqrt``, ``fcmp``, ``scvtf``/``fcvtzs``
+* control: ``b``, ``b.<cond>``, ``bl``, ``blr``, ``ret``, ``cbz``/``cbnz``
+* concurrency: ``dmb`` (``ish``/``ishld``/``ishst``), ``ldxr``/``stxr``
+  (load-linked / store-conditional), ``ldar``/``stlr``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+XREGS = [f"x{i}" for i in range(31)] + ["sp", "xzr"]
+DREGS = [f"d{i}" for i in range(32)]
+
+ARM_CONDS = ["eq", "ne", "lt", "le", "gt", "ge", "lo", "ls", "hi", "hs",
+             "mi", "pl", "vs", "vc"]
+
+# AAPCS64 calling convention subset.
+ARM_INT_PARAM_REGS = [f"x{i}" for i in range(8)]
+ARM_FP_PARAM_REGS = [f"d{i}" for i in range(8)]
+ARM_INT_RETURN_REG = "x0"
+ARM_FP_RETURN_REG = "d0"
+ARM_CALLEE_SAVED = [f"x{i}" for i in range(19, 29)]
+
+
+@dataclass(frozen=True)
+class XReg:
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in XREGS:
+            raise ValueError(f"unknown X register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class DReg:
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in DREGS:
+            raise ValueError(f"unknown D register {self.name!r}")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AImm:
+    value: int
+
+    def __str__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class AMem:
+    """``[base, #imm]`` or ``[base, offset_reg]`` with access width in bits."""
+
+    base: str
+    offset_imm: int = 0
+    offset_reg: Optional[str] = None
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.base not in XREGS:
+            raise ValueError(f"unknown base register {self.base!r}")
+        if self.offset_reg is not None and self.offset_reg not in XREGS:
+            raise ValueError(f"unknown offset register {self.offset_reg!r}")
+
+    def __str__(self) -> str:
+        if self.offset_reg is not None:
+            return f"[{self.base}, {self.offset_reg}]"
+        if self.offset_imm:
+            return f"[{self.base}, #{self.offset_imm}]"
+        return f"[{self.base}]"
+
+
+@dataclass(frozen=True)
+class ALabel:
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+AOperand = Union[XReg, DReg, AImm, AMem, ALabel]
+
+
+@dataclass
+class AInstr:
+    mnemonic: str
+    operands: list[AOperand] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(o) for o in self.operands)
+        return f"{self.mnemonic} {ops}".strip()
+
+
+FENCE_MNEMONICS = {"dmb ish", "dmb ishld", "dmb ishst"}
+
+
+def is_fence(instr: AInstr) -> bool:
+    return instr.mnemonic in FENCE_MNEMONICS
+
+
+def fence_kind(instr: AInstr) -> Optional[str]:
+    """'ff', 'ld' or 'st' for the three DMB flavours, else None."""
+    return {
+        "dmb ish": "ff", "dmb ishld": "ld", "dmb ishst": "st"
+    }.get(instr.mnemonic)

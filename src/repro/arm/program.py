@@ -1,0 +1,78 @@
+"""Container for Arm programs: functions of labelled instruction streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .isa import AInstr, is_fence
+
+DATA_BASE = 0x600000
+
+Item = Union[str, AInstr]  # label definition or instruction
+
+
+@dataclass
+class ArmFunction:
+    name: str
+    items: list[Item] = field(default_factory=list)
+
+    def label(self, name: str) -> None:
+        self.items.append(name)
+
+    def emit(self, instr: AInstr) -> AInstr:
+        self.items.append(instr)
+        return instr
+
+    def instructions(self) -> list[AInstr]:
+        return [i for i in self.items if isinstance(i, AInstr)]
+
+
+@dataclass
+class ArmGlobal:
+    name: str
+    size: int
+    init: bytes = b""
+
+
+@dataclass
+class ArmProgram:
+    functions: dict[str, ArmFunction] = field(default_factory=dict)
+    globals: dict[str, ArmGlobal] = field(default_factory=dict)
+    externals: list[str] = field(default_factory=list)
+    entry: str = "main"
+
+    def add_function(self, func: ArmFunction) -> ArmFunction:
+        self.functions[func.name] = func
+        return func
+
+    def add_global(self, name: str, size: int, init: bytes = b"") -> None:
+        self.globals[name] = ArmGlobal(name, size, init)
+
+    def declare_external(self, name: str) -> None:
+        if name not in self.externals:
+            self.externals.append(name)
+
+    def instruction_count(self) -> int:
+        return sum(
+            len(f.instructions()) for f in self.functions.values()
+        )
+
+    def fence_count(self) -> int:
+        return sum(
+            1
+            for f in self.functions.values()
+            for i in f.instructions()
+            if is_fence(i)
+        )
+
+    def dump(self) -> str:
+        lines = []
+        for func in self.functions.values():
+            lines.append(f"{func.name}:")
+            for item in func.items:
+                if isinstance(item, str):
+                    lines.append(f"  {item}:")
+                else:
+                    lines.append(f"    {item}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+translate   compile mini-C to x86, translate to Arm, optionally run both
+lift        show the lifted (optionally refined) LIR of a mini-C program
+evaluate    run the Phoenix evaluation and print the §9 tables
+litmus      enumerate outcomes of a named litmus test under a model
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from .arm import is_fence
+    from .core import Lasagne
+    from .minicc import compile_to_x86
+    from .x86 import X86Emulator
+
+    source = open(args.source).read()
+    obj = compile_to_x86(source)
+    lasagne = Lasagne(verify=not args.no_verify)
+    built = lasagne.build(source, args.config)
+    print(f"config={args.config}: {built.arm_instructions} Arm instructions, "
+          f"{built.fences} fences, {built.lir_instructions} IR instructions",
+          file=sys.stderr)
+    if args.dump_arm:
+        print(built.program.dump())
+    if args.dump_ir:
+        from .lir import format_module
+
+        print(format_module(built.module))
+    if args.run:
+        expected = None
+        if args.config != "native":
+            emu = X86Emulator(obj)
+            expected = emu.run()
+            print(f"x86 result: {expected}  output: {emu.output}")
+        run = Lasagne.run(built)
+        print(f"arm result: {run.result}  output: {run.output}  "
+              f"cycles: {run.cycles}")
+        if expected is not None and run.result != expected:
+            print("MISMATCH between x86 and translated Arm!", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_lift(args: argparse.Namespace) -> int:
+    from .fences import place_fences
+    from .lifter import lift_program
+    from .lir import format_module
+    from .minicc import compile_to_x86
+    from .refine import run_refinement
+
+    source = open(args.source).read()
+    obj = compile_to_x86(source)
+    module = lift_program(obj)
+    if args.refine:
+        run_refinement(module)
+    if args.fences:
+        place_fences(module)
+    if args.optimize:
+        from .opt import optimize_module
+
+        optimize_module(module)
+    print(format_module(module))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    from .phoenix import SIZE_SMALL, SIZE_TINY, evaluate_suite, geomean
+
+    size = SIZE_TINY if args.size == "tiny" else SIZE_SMALL
+    rows = evaluate_suite(size=size, verify=False)
+    configs = ["native", "lifted", "opt", "popt", "ppopt"]
+    print(f"{'benchmark':<18}" + "".join(f"{c:>9}" for c in configs))
+    norm = {c: [] for c in configs}
+    for row in rows:
+        cells = ""
+        for c in configs:
+            v = row.normalized_runtime(c)
+            norm[c].append(v)
+            cells += f"{v:>9.2f}"
+        print(f"{row.program:<18}{cells}")
+    print(f"{'GMean':<18}"
+          + "".join(f"{geomean(norm[c]):>9.2f}" for c in configs))
+    return 0
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from . import memmodel as mm
+
+    if args.file:
+        test = mm.parse_litmus(open(args.file).read())
+        program = test.program
+        if test.exists is not None:
+            allowed = test.exists_allowed(args.model)
+            print(f"{program.name}: exists clause is "
+                  f"{'ALLOWED' if allowed else 'forbidden'} under {args.model}")
+        for outcome in sorted(mm.outcomes(program, args.model), key=sorted):
+            print("  " + ", ".join(f"{k}={v}" for k, v in sorted(outcome)))
+        return 0
+
+    program = getattr(mm, args.test, None)
+    if program is None or not isinstance(program, mm.Program):
+        names = sorted(
+            n for n in dir(mm)
+            if isinstance(getattr(mm, n), mm.Program)
+        )
+        print(f"unknown litmus test {args.test!r}; available: {names}",
+              file=sys.stderr)
+        return 1
+    if args.map:
+        mapper = {
+            "x86-to-ir": mm.map_x86_to_ir,
+            "ir-to-arm": mm.map_ir_to_arm,
+            "x86-to-arm": mm.map_x86_to_arm,
+            "arm-to-ir": mm.map_arm_to_ir,
+            "ir-to-x86": mm.map_ir_to_x86,
+            "arm-to-x86": mm.map_arm_to_x86,
+        }[args.map]
+        program = mapper(program)
+    print(f"{program.name} under {args.model}:")
+    for outcome in sorted(mm.outcomes(program, args.model), key=sorted):
+        print("  " + ", ".join(f"{k}={v}" for k, v in sorted(outcome)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("translate", help="translate mini-C to Arm")
+    p.add_argument("source")
+    p.add_argument("--config", default="ppopt",
+                   choices=["native", "lifted", "opt", "popt", "ppopt"])
+    p.add_argument("--run", action="store_true")
+    p.add_argument("--dump-arm", action="store_true")
+    p.add_argument("--dump-ir", action="store_true")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_translate)
+
+    p = sub.add_parser("lift", help="show lifted LIR")
+    p.add_argument("source")
+    p.add_argument("--refine", action="store_true")
+    p.add_argument("--fences", action="store_true")
+    p.add_argument("--optimize", action="store_true")
+    p.set_defaults(func=_cmd_lift)
+
+    p = sub.add_parser("evaluate", help="run the Phoenix evaluation")
+    p.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("litmus", help="enumerate litmus outcomes")
+    p.add_argument("test", nargs="?", default="",
+                   help="e.g. SB, MP, LB, IRIW, WRC")
+    p.add_argument("--file", default=None,
+                   help="herd-style litmus file instead of a named test")
+    p.add_argument("--model", default="x86", choices=["x86", "arm", "limm"])
+    p.add_argument("--map", default=None,
+                   choices=["x86-to-ir", "ir-to-arm", "x86-to-arm",
+                            "arm-to-ir", "ir-to-x86", "arm-to-x86"])
+    p.set_defaults(func=_cmd_litmus)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""LIR → AArch64 backend (Fig. 8b mapping + linear-scan regalloc)."""
+
+from .arm_codegen import BackendError, LIRToArm, compile_lir_to_arm
+
+__all__ = ["BackendError", "LIRToArm", "compile_lir_to_arm"]

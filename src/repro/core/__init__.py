@@ -1,0 +1,5 @@
+"""Lasagne end-to-end pipeline (core of the paper's contribution)."""
+
+from .pipeline import CONFIGS, Lasagne, RunResult, TranslationResult
+
+__all__ = ["CONFIGS", "Lasagne", "RunResult", "TranslationResult"]

@@ -1,0 +1,14 @@
+"""Fence placement and merging (paper §7-8)."""
+
+from .placement import (
+    PlacementStats,
+    count_fences,
+    is_stack_address,
+    merge_fences,
+    place_fences,
+)
+
+__all__ = [
+    "PlacementStats", "count_fences", "is_stack_address", "merge_fences",
+    "place_fences",
+]

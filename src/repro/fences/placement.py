@@ -1,0 +1,149 @@
+"""Fence placement (§8): enforce the x86→IR mapping of Figure 8a.
+
+For every non-atomic memory access the x86→LIMM mapping demands
+
+* ``ld  → ldna ; Frm``  (trailing read-to-memory fence)
+* ``st  → Fww ; stna``  (leading write-write fence)
+
+RMW and MFENCE were already lifted to ``RMWsc``/``Fsc`` by the translator.
+
+Step 1 (stack elision): before fencing an access, the pointer operand's
+use-def chain is walked through ``bitcast`` and ``getelementptr`` only; if
+it reaches a stack allocation the access is thread-local and needs no
+fence.  Before IR refinement the lifted stack is hidden behind
+``inttoptr`` chains, so this test fails and the access is conservatively
+fenced — the mechanism behind Figure 14.
+
+Step 2 (merging, §7 "fence merging"): within a basic block, fences
+separated only by instructions that cannot access memory merge into one
+fence of the required strength (``Frm·Fww → Fsc``; like-kinded fences
+collapse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lir import (
+    Alloca,
+    Cast,
+    Fence,
+    Function,
+    GEP,
+    Instruction,
+    Load,
+    Module,
+    Store,
+    Value,
+)
+
+
+def is_stack_address(pointer: Value, _depth: int = 0) -> bool:
+    """Use-def walk through bitcast/gep looking for an alloca (§8 step 1)."""
+    if _depth > 64:
+        return False
+    if isinstance(pointer, Alloca):
+        return True
+    if isinstance(pointer, Cast) and pointer.op == "bitcast":
+        return is_stack_address(pointer.value, _depth + 1)
+    if isinstance(pointer, GEP):
+        return is_stack_address(pointer.pointer, _depth + 1)
+    return False
+
+
+@dataclass
+class PlacementStats:
+    loads_fenced: int = 0
+    stores_fenced: int = 0
+    skipped_stack: int = 0
+    merged_away: int = 0
+
+    @property
+    def total_inserted(self) -> int:
+        return self.loads_fenced + self.stores_fenced
+
+
+def place_fences(module: Module) -> PlacementStats:
+    """Insert Frm/Fww fences per the Fig. 8a mapping.  Idempotent per call
+    (expects a module that has not been fence-placed yet)."""
+    stats = PlacementStats()
+    for func in module.functions.values():
+        if func.is_declaration:
+            continue
+        for bb in func.blocks:
+            for inst in list(bb.instructions):
+                if isinstance(inst, Load) and inst.ordering == "na":
+                    if is_stack_address(inst.pointer):
+                        stats.skipped_stack += 1
+                        continue
+                    fence = Fence("rm")
+                    bb.insert_after(inst, fence)
+                    stats.loads_fenced += 1
+                elif isinstance(inst, Store) and inst.ordering == "na":
+                    if is_stack_address(inst.pointer):
+                        stats.skipped_stack += 1
+                        continue
+                    fence = Fence("ww")
+                    bb.insert_before(inst, fence)
+                    stats.stores_fenced += 1
+    return stats
+
+
+def merge_fences(module: Module) -> int:
+    """Merge runs of fences with no intervening memory access.  Returns the
+    number of fences removed."""
+    removed = 0
+    for func in module.functions.values():
+        if func.is_declaration:
+            continue
+        for bb in func.blocks:
+            removed += _merge_block(bb)
+    return removed
+
+
+def _merge_block(bb) -> int:
+    removed = 0
+    run: list[Fence] = []
+
+    def flush() -> int:
+        nonlocal run
+        if len(run) < 2:
+            run = []
+            return 0
+        kinds = {f.kind for f in run}
+        if "sc" in kinds or ("rm" in kinds and "ww" in kinds):
+            merged_kind = "sc"
+        elif kinds == {"rm"}:
+            merged_kind = "rm"
+        else:
+            merged_kind = "ww"
+        keeper = run[0]
+        count = 0
+        for extra in run[1:]:
+            extra.erase_from_parent()
+            count += 1
+        if keeper.kind != merged_kind:
+            new = Fence(merged_kind)
+            keeper.parent.insert_before(keeper, new)
+            keeper.erase_from_parent()
+        run = []
+        return count
+
+    for inst in list(bb.instructions):
+        if isinstance(inst, Fence):
+            run.append(inst)
+        elif inst.accesses_memory():
+            removed += flush()
+        # pure instructions in between are transparent
+    removed += flush()
+    return removed
+
+
+def count_fences(module: Module) -> int:
+    total = 0
+    for func in module.functions.values():
+        for bb in func.blocks:
+            for inst in bb.instructions:
+                if isinstance(inst, Fence):
+                    total += 1
+    return total

@@ -1,0 +1,13 @@
+"""Binary lifter: x86 machine code → LIR (paper §4)."""
+
+from .cfg import CFGError, MachineBlock, MachineCFG, build_cfg
+from .disassembler import DisassemblyError, disassemble_all, disassemble_function
+from .translate import LiftError, ProgramLifter, lift_program
+from .typedisc import EXTERNAL_SIGS, Signature, TypeDiscovery, instr_reg_uses
+
+__all__ = [
+    "CFGError", "MachineBlock", "MachineCFG", "build_cfg",
+    "DisassemblyError", "disassemble_all", "disassemble_function",
+    "LiftError", "ProgramLifter", "lift_program",
+    "EXTERNAL_SIGS", "Signature", "TypeDiscovery", "instr_reg_uses",
+]

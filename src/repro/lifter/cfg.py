@@ -1,0 +1,114 @@
+"""CFG reconstruction: MCInst array → machine basic blocks.
+
+Second stage of the paper's Figure 4 (the ``MachineInstr`` level): find
+leaders (function entry, branch targets, fall-through successors of
+branches), split the instruction array into blocks and wire successor
+edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..x86.isa import Imm, Instr, is_branch, is_terminator
+
+
+class CFGError(Exception):
+    pass
+
+
+@dataclass
+class MachineBlock:
+    start: int
+    instructions: list[Instr] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)  # start addresses
+
+    @property
+    def end(self) -> int:
+        last = self.instructions[-1]
+        return last.address + last.size
+
+    @property
+    def terminator(self) -> Instr:
+        return self.instructions[-1]
+
+
+@dataclass
+class MachineCFG:
+    name: str
+    entry: int
+    blocks: dict[int, MachineBlock] = field(default_factory=dict)
+
+    def block_order(self) -> list[MachineBlock]:
+        return [self.blocks[a] for a in sorted(self.blocks)]
+
+    def instructions(self):
+        for block in self.block_order():
+            yield from block.instructions
+
+
+def _branch_target(instr: Instr) -> int:
+    op = instr.operands[0]
+    if not isinstance(op, Imm):
+        raise CFGError(f"indirect branch not supported: {instr}")
+    return op.value
+
+
+def build_cfg(name: str, instrs: list[Instr]) -> MachineCFG:
+    if not instrs:
+        raise CFGError(f"{name}: empty function")
+    entry = instrs[0].address
+    by_addr = {i.address: i for i in instrs}
+    addresses = [i.address for i in instrs]
+    end_addr = instrs[-1].address + instrs[-1].size
+
+    # Leaders: entry, branch targets, instruction after any terminator.
+    leaders = {entry}
+    for instr in instrs:
+        if is_branch(instr.mnemonic):
+            target = _branch_target(instr)
+            if not entry <= target < end_addr:
+                raise CFGError(
+                    f"{name}: branch target {target:#x} outside function"
+                )
+            leaders.add(target)
+            fall = instr.address + instr.size
+            if fall < end_addr:
+                leaders.add(fall)
+        elif instr.mnemonic == "ret":
+            fall = instr.address + instr.size
+            if fall < end_addr:
+                leaders.add(fall)
+
+    cfg = MachineCFG(name, entry)
+    current: MachineBlock | None = None
+    for addr in addresses:
+        if addr in leaders:
+            current = MachineBlock(addr)
+            cfg.blocks[addr] = current
+        assert current is not None
+        current.instructions.append(by_addr[addr])
+
+    # Successor edges.
+    ordered = cfg.block_order()
+    for i, block in enumerate(ordered):
+        term = block.terminator
+        mn = term.mnemonic
+        if mn == "jmp":
+            block.successors = [_branch_target(term)]
+        elif is_branch(mn):  # conditional
+            fall = term.address + term.size
+            block.successors = [_branch_target(term), fall]
+        elif mn == "ret":
+            block.successors = []
+        else:
+            # Fall-through into the next block.
+            if i + 1 < len(ordered):
+                block.successors = [ordered[i + 1].start]
+            else:
+                raise CFGError(f"{name}: function falls off the end")
+    for block in cfg.blocks.values():
+        for succ in block.successors:
+            if succ not in cfg.blocks:
+                raise CFGError(f"{name}: dangling successor {succ:#x}")
+    return cfg

@@ -1,0 +1,35 @@
+"""Disassembly phase: raw machine code → MCInst arrays (per function).
+
+Mirrors the first stage of Figure 4 in the paper: the source binary is
+disassembled to an array of ``MCInst`` (our :class:`repro.x86.isa.Instr`)
+using the symbol table to find function boundaries.
+"""
+
+from __future__ import annotations
+
+from ..x86.decoder import decode_one
+from ..x86.isa import Instr
+from ..x86.objfile import X86Object
+
+
+class DisassemblyError(Exception):
+    pass
+
+
+def disassemble_function(obj: X86Object, name: str) -> list[Instr]:
+    """Linearly decode the body of a named function symbol."""
+    sym = obj.functions.get(name)
+    if sym is None:
+        raise DisassemblyError(f"no function symbol {name!r}")
+    body = obj.function_body(name)
+    instrs: list[Instr] = []
+    offset = 0
+    while offset < len(body):
+        instr = decode_one(body, offset, sym.address + offset)
+        instrs.append(instr)
+        offset += instr.size
+    return instrs
+
+
+def disassemble_all(obj: X86Object) -> dict[str, list[Instr]]:
+    return {name: disassemble_function(obj, name) for name in obj.functions}

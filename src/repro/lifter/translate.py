@@ -1,0 +1,951 @@
+"""Instruction translation: machine CFG → LIR (§4.2 of the paper).
+
+Like mctoll/McSema-style lifters, the translator materializes the machine
+state in memory:
+
+* every referenced general-purpose register becomes an ``i64`` stack slot
+  (``alloca``), every XMM register an ``f64`` slot, every status flag an
+  ``i1`` slot;
+* the stack is reconstructed as a byte array (§4.2.3): ``rsp`` is
+  initialized to ``ptrtoint`` of the array top, and pushes/pops/frame
+  accesses become integer arithmetic plus ``inttoptr`` — exactly the
+  integer-based address chains that IR refinement (§5) later raises to
+  typed pointers;
+* flag-setting instructions compute their flags eagerly (zf/sf/cf/of/pf);
+  unused computations become dead code for the optimizer, which is why the
+  unoptimized Lifted configuration is so much slower than Opt (Fig. 12);
+* ``movabs`` immediates that match data/function symbol addresses are
+  rebound to ``ptrtoint`` of the corresponding LIR global — this is how
+  global values are discovered;
+* ``MFENCE`` lifts to ``fence sc``, ``lock cmpxchg``/``lock xadd``/``xchg``
+  lift to seq_cst ``cmpxchg``/``atomicrmw`` (Fig. 8a, RMW and fence rows).
+
+The load/store rows of the Fig. 8a mapping (``ld → ldna;Frm``,
+``st → Fww;stna``) are applied by :mod:`repro.fences.placement`, not here,
+so that the Lifted/Opt/POpt/PPOpt configurations can share one lifted
+module.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lir import (
+    F64,
+    I1,
+    I8,
+    I64,
+    ArrayType,
+    BasicBlock,
+    Cast,
+    ConstantFloat,
+    ConstantInt,
+    ConstantVector,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IRBuilder,
+    IntType,
+    Module,
+    PointerType,
+    Value,
+    VectorType,
+    VOID,
+    ptr,
+)
+from ..x86.isa import CC_NUM, Imm, Instr, Mem, Reg
+from ..x86.objfile import X86Object
+from ..x86.registers import INT_PARAM_REGS, SSE_PARAM_REGS, reg_info
+from .cfg import MachineCFG, build_cfg
+from .disassembler import disassemble_all
+from .typedisc import EXTERNAL_SIGS, Signature, TypeDiscovery, instr_reg_uses
+
+FLAG_NAMES = ["cf", "pf", "zf", "sf", "of"]
+ALL_FLAGS = frozenset(FLAG_NAMES)
+STACK_SIZE = 4096  # reconstructed stack array size per function
+
+# Flags each condition code consumes (for jcc/setcc).
+CC_FLAG_READS = {
+    "e": {"zf"}, "ne": {"zf"},
+    "b": {"cf"}, "ae": {"cf"}, "be": {"cf", "zf"}, "a": {"cf", "zf"},
+    "s": {"sf"}, "ns": {"sf"}, "p": {"pf"}, "np": {"pf"},
+    "l": {"sf", "of"}, "ge": {"sf", "of"},
+    "le": {"zf", "sf", "of"}, "g": {"zf", "sf", "of"},
+    "o": {"of"}, "no": {"of"},
+}
+
+# Flag effects per mnemonic: (reads, writes, conditional_write).
+_FULL_WRITERS = {
+    "add", "sub", "and", "or", "xor", "cmp", "test", "neg", "xadd",
+    "cmpxchg", "ucomisd",
+}
+
+
+def machine_flag_effects(instr) -> tuple[set[str], set[str], bool]:
+    """(reads, writes, conditional) of RFLAGS for one machine instruction."""
+    mn = instr.mnemonic
+    if mn in _FULL_WRITERS:
+        return set(), set(FLAG_NAMES), False
+    if mn == "imul":
+        return set(), {"cf", "of"}, False
+    if mn in ("shl", "shr", "sar"):
+        # Count 0 preserves flags: a conditional write (reads + writes).
+        return set(FLAG_NAMES), set(FLAG_NAMES), True
+    if mn.startswith("set") and mn[3:] in CC_FLAG_READS:
+        return set(CC_FLAG_READS[mn[3:]]), set(), False
+    if mn.startswith("j") and mn[1:] in CC_FLAG_READS:
+        return set(CC_FLAG_READS[mn[1:]]), set(), False
+    return set(), set(), False
+
+
+class LiftError(Exception):
+    pass
+
+
+def _c64(v: int) -> ConstantInt:
+    return ConstantInt(I64, v)
+
+
+def _c1(v: int) -> ConstantInt:
+    return ConstantInt(I1, v)
+
+
+def _ret_type(kind: str):
+    return {"i64": I64, "f64": F64, "void": VOID}[kind]
+
+
+class ProgramLifter:
+    """Lifts a whole x86 image to an LIR module.
+
+    ``lazy_flags=True`` computes per-instruction flag liveness and only
+    materializes the flags some later instruction actually consumes
+    (mctoll lifts eagerly and lets DCE clean up — our default — but the
+    lazy mode quantifies how much of the Lifted configuration's bulk is
+    dead flag code; see benchmarks/test_ablations.py).
+    """
+
+    def __init__(
+        self, obj: X86Object, stack_size: int = STACK_SIZE,
+        lazy_flags: bool = False,
+    ) -> None:
+        self.obj = obj
+        self.stack_size = stack_size
+        self.lazy_flags = lazy_flags
+        self.module = Module(f"lifted_{obj.entry}")
+        self.cfgs: dict[str, MachineCFG] = {}
+        self.signatures: dict[str, Signature] = {}
+
+    def lift(self) -> Module:
+        instrs = disassemble_all(self.obj)
+        self.cfgs = {
+            name: build_cfg(name, body) for name, body in instrs.items()
+        }
+        self.signatures = TypeDiscovery(self.obj, self.cfgs).discover()
+
+        # Globals: raw byte arrays at this stage; typing is refinement's job.
+        for sym in self.obj.data_symbols.values():
+            init = sym.init if sym.init else None
+            self.module.add_global(
+                GlobalVariable(sym.name, ArrayType(I8, max(1, sym.size)), init)
+            )
+        # Function declarations first, so calls can reference them.
+        for name, sig in self.signatures.items():
+            params = tuple([I64] * sig.int_params + [F64] * sig.sse_params)
+            ftype = FunctionType(_ret_type(sig.ret), params)
+            self.module.add_function(Function(name, ftype))
+        # Externals used anywhere.
+        for name, (ints, sses, ret) in EXTERNAL_SIGS.items():
+            if name in self.obj.externals:
+                params = tuple([I64] * ints + [F64] * sses)
+                self.module.declare_external(
+                    name, FunctionType(_ret_type(ret), params)
+                )
+        for name in self.cfgs:
+            FunctionLifter(self, name).lift()
+        return self.module
+
+
+class FunctionLifter:
+    def __init__(self, program: ProgramLifter, name: str) -> None:
+        self.p = program
+        self.obj = program.obj
+        self.module = program.module
+        self.name = name
+        self.cfg = program.cfgs[name]
+        self.sig = program.signatures[name]
+        self.func = program.module.get_function(name)
+        self.builder = IRBuilder()
+        self.slots: dict[str, Value] = {}
+        self._needed: frozenset = ALL_FLAGS
+        self.flag_needs: Optional[dict[int, frozenset]] = None
+        self.entry_block: Optional[BasicBlock] = None
+        self.block_map: dict[int, BasicBlock] = {}
+
+    # ---- slot management -------------------------------------------------
+    _PACKED_MNEMONICS = {"movaps", "addpd", "subpd", "mulpd", "paddq",
+                         "paddd"}
+
+    def _prescan_registers(self) -> tuple[set[str], bool]:
+        regs: set[str] = {"rsp", "rbp", "rax"}
+        # The function's own parameter registers always need slots, even
+        # when an inner register of the ABI sequence is never referenced.
+        regs.update(INT_PARAM_REGS[: self.sig.int_params])
+        regs.update(SSE_PARAM_REGS[: self.sig.sse_params])
+        flags_needed = False
+        self.packed_xmm: set[str] = set()
+        scalar_xmm: set[str] = set()
+        for instr in self.cfg.instructions():
+            mn = instr.mnemonic
+            if mn == "call":
+                callee = self._callee_of(instr)
+                ints, sses = self._callee_params(callee)
+                regs.update(INT_PARAM_REGS[:ints])
+                regs.update(SSE_PARAM_REGS[:sses])
+                regs.add("xmm0")
+                continue
+            reads, writes = instr_reg_uses(instr)
+            regs |= reads | writes
+            xmm_here = {r for r in reads | writes if r.startswith("xmm")}
+            if mn in self._PACKED_MNEMONICS:
+                self.packed_xmm |= xmm_here
+            elif xmm_here:
+                scalar_xmm |= xmm_here
+            if mn in ("add", "sub", "and", "or", "xor", "cmp", "test", "neg",
+                      "imul", "shl", "shr", "sar", "ucomisd", "cmpxchg",
+                      "xadd") or mn.startswith(("set", "j")):
+                flags_needed = True
+        mixed = self.packed_xmm & scalar_xmm
+        if mixed:
+            raise LiftError(
+                f"{self.name}: registers {sorted(mixed)} used by both "
+                f"packed and scalar SSE instructions"
+            )
+        return regs, flags_needed
+
+    def slot(self, reg: str) -> Value:
+        if reg not in self.slots:
+            raise LiftError(f"{self.name}: no slot for register {reg}")
+        return self.slots[reg]
+
+    # ---- main driver ----------------------------------------------------------
+    def _flag_liveness(self) -> dict[int, frozenset]:
+        """Which flags each flag-writing instruction must materialize:
+        backward liveness over RFLAGS bits across the machine CFG."""
+        blocks = self.cfg.block_order()
+        live_in: dict[int, set[str]] = {b.start: set() for b in blocks}
+        needs: dict[int, frozenset] = {}
+        changed = True
+        while changed:
+            changed = False
+            for mb in blocks:
+                live: set[str] = set()
+                for succ in mb.successors:
+                    live |= live_in[succ]
+                for instr in reversed(mb.instructions):
+                    reads, writes, conditional = machine_flag_effects(instr)
+                    if writes:
+                        needs[id(instr)] = frozenset(live & writes)
+                        if not conditional:
+                            live -= writes
+                    live |= reads
+                if live != live_in[mb.start]:
+                    live_in[mb.start] = set(live)
+                    changed = True
+        return needs
+
+    def lift(self) -> Function:
+        regs, flags_needed = self._prescan_registers()
+        if self.p.lazy_flags:
+            self.flag_needs = self._flag_liveness()
+        b = self.builder
+        entry = self.func.new_block("setup")
+        self.entry_block = entry
+        b.position_at_end(entry)
+
+        # Register / flag slots.  XMM registers used by packed instructions
+        # hold <2 x double>; scalar-FP registers hold double (§4.2.2).
+        for reg in sorted(regs):
+            kind = reg_info(reg).kind
+            if kind == "xmm":
+                slot_ty = (
+                    VectorType(F64, 2) if reg in self.packed_xmm else F64
+                )
+            else:
+                slot_ty = I64
+            self.slots[reg] = b.alloca(slot_ty, f"{reg}_slot")
+        if flags_needed:
+            for flag in FLAG_NAMES:
+                self.slots[flag] = b.alloca(I1, f"{flag}_flag")
+
+        # Reconstructed stack (§4.2.3): rsp starts near the array top.
+        stack = b.alloca(ArrayType(I8, self.p.stack_size), "stacktop")
+        stack8 = b.bitcast(stack, ptr(I8), "stack8")
+        tos = b.ptrtoint(stack8, I64, "tos")
+        sp0 = b.add(tos, _c64(self.p.stack_size - 64), "sp0")
+        b.store(sp0, self.slot("rsp"))
+
+        # Incoming parameters land in their ABI registers.
+        for i in range(self.sig.int_params):
+            b.store(self.func.arguments[i], self.slot(INT_PARAM_REGS[i]))
+        for j in range(self.sig.sse_params):
+            arg = self.func.arguments[self.sig.int_params + j]
+            b.store(arg, self.slot(SSE_PARAM_REGS[j]))
+
+        # One LIR block per machine block.
+        for mb in self.cfg.block_order():
+            self.block_map[mb.start] = self.func.new_block(f"bb_{mb.start:x}")
+        b.br(self.block_map[self.cfg.entry])
+
+        ordered = self.cfg.block_order()
+        for i, mb in enumerate(ordered):
+            b.position_at_end(self.block_map[mb.start])
+            for instr in mb.instructions:
+                self._lift_instr(instr)
+            lir_bb = self.block_map[mb.start]
+            if lir_bb.terminator is None:
+                # Fall-through block boundary.
+                if not mb.successors:
+                    raise LiftError(f"{self.name}: block without successor")
+                b.br(self.block_map[mb.successors[0]])
+        return self.func
+
+    # ---- register access ---------------------------------------------------------
+    def read_gpr(self, name: str) -> Value:
+        info = reg_info(name)
+        v = self.builder.load(self.slot(info.full_name), name=f"{name}_")
+        if info.width < 64:
+            v = self.builder.binop(
+                "and", v, _c64((1 << info.width) - 1), f"{name}_sub"
+            )
+        return v
+
+    def write_gpr(self, name: str, value: Value) -> None:
+        info = reg_info(name)
+        b = self.builder
+        if info.width == 64:
+            b.store(value, self.slot(info.full_name))
+        elif info.width == 32:
+            masked = b.binop("and", value, _c64(0xFFFFFFFF))
+            b.store(masked, self.slot(info.full_name))
+        else:
+            mask = (1 << info.width) - 1
+            old = b.load(self.slot(info.full_name))
+            kept = b.binop("and", old, _c64(~mask & (2**64 - 1)))
+            new = b.binop("and", value, _c64(mask))
+            b.store(b.binop("or", kept, new), self.slot(info.full_name))
+
+    def read_xmm(self, name: str) -> Value:
+        return self.builder.load(self.slot(name), name=f"{name}_")
+
+    def write_xmm(self, name: str, value: Value) -> None:
+        self.builder.store(value, self.slot(name))
+
+    def read_flag(self, flag: str) -> Value:
+        return self.builder.load(self.slot(flag), name=f"{flag}_")
+
+    def write_flag(self, flag: str, value: Value) -> None:
+        self.builder.store(value, self.slot(flag))
+
+    # ---- operands ------------------------------------------------------------------
+    def read_int_operand(self, op) -> Value:
+        if isinstance(op, Reg):
+            return self.read_gpr(op.name)
+        if isinstance(op, Imm):
+            return self._imm_value(op)
+        if isinstance(op, Mem):
+            return self.load_mem(op)
+        raise LiftError(f"{self.name}: bad integer operand {op!r}")
+
+    def _imm_value(self, imm: Imm) -> Value:
+        """Immediate, rebound to a global/function if it names one."""
+        sym = self.obj.symbol_for_data_address(imm.value)
+        if sym is not None and imm.width == 64:
+            g = self.module.globals[sym.name]
+            gi8 = self.builder.bitcast(g, ptr(I8))
+            base = self.builder.ptrtoint(gi8, I64, f"{sym.name}_addr")
+            if imm.value != sym.address:
+                base = self.builder.add(base, _c64(imm.value - sym.address))
+            return base
+        fsym = self.obj.function_at(imm.value) if imm.width == 64 else None
+        if fsym is not None and fsym.address == imm.value:
+            f = self.module.get_function(fsym.name)
+            return self.builder.ptrtoint(f, I64, f"{fsym.name}_addr")
+        return _c64(imm.value)
+
+    def mem_address(self, mem: Mem) -> Value:
+        b = self.builder
+        addr: Optional[Value] = None
+        if mem.base is not None:
+            addr = self.read_gpr(reg_info(mem.base).full_name)
+        if mem.index is not None:
+            idx = self.read_gpr(reg_info(mem.index).full_name)
+            if mem.scale != 1:
+                shift = {2: 1, 4: 2, 8: 3}[mem.scale]
+                idx = b.binop("shl", idx, _c64(shift))
+            addr = idx if addr is None else b.add(addr, idx)
+        if mem.disp or addr is None:
+            disp = _c64(mem.disp & (2**64 - 1))
+            addr = disp if addr is None else b.add(addr, disp)
+        return addr
+
+    def load_mem(self, mem: Mem, as_float: bool = False) -> Value:
+        b = self.builder
+        addr = self.mem_address(mem)
+        if as_float:
+            p = b.inttoptr(addr, ptr(F64))
+            return b.load(p)
+        ity = IntType(mem.width)
+        p = b.inttoptr(addr, ptr(ity))
+        v = b.load(p)
+        if mem.width < 64:
+            v = b.zext(v, I64)
+        return v
+
+    def store_mem(self, mem: Mem, value: Value, as_float: bool = False) -> None:
+        b = self.builder
+        addr = self.mem_address(mem)
+        if as_float:
+            p = b.inttoptr(addr, ptr(F64))
+            b.store(value, p)
+            return
+        ity = IntType(mem.width)
+        if mem.width < 64:
+            value = b.trunc(value, ity)
+        p = b.inttoptr(addr, ptr(ity))
+        b.store(value, p)
+
+    # ---- flags ---------------------------------------------------------------------
+    def _sign(self, v: Value, width: int = 64) -> Value:
+        if width == 64:
+            return self.builder.icmp("slt", v, _c64(0))
+        bit = self.builder.binop("and", v, _c64(1 << (width - 1)))
+        return self.builder.icmp("ne", bit, _c64(0))
+
+    def _parity(self, v: Value) -> Value:
+        b = self.builder
+        byte = b.trunc(v, I8)
+        x = b.binop("xor", byte, b.binop("lshr", byte, ConstantInt(I8, 4)))
+        x = b.binop("xor", x, b.binop("lshr", x, ConstantInt(I8, 2)))
+        x = b.binop("xor", x, b.binop("lshr", x, ConstantInt(I8, 1)))
+        low = b.binop("and", x, ConstantInt(I8, 1))
+        return b.icmp("eq", low, ConstantInt(I8, 0))
+
+    def set_flags_logic(self, result: Value, width: int = 64) -> None:
+        b = self.builder
+        n = self._needed
+        if "zf" in n:
+            self.write_flag("zf", b.icmp("eq", result, _c64(0)))
+        if "sf" in n:
+            self.write_flag("sf", self._sign(result, width))
+        if "cf" in n:
+            self.write_flag("cf", _c1(0))
+        if "of" in n:
+            self.write_flag("of", _c1(0))
+        if "pf" in n:
+            self.write_flag("pf", self._parity(result))
+
+    def set_flags_sub(
+        self, a: Value, bv: Value, result: Value, width: int = 64
+    ) -> None:
+        """a/bv/result must already be masked to ``width`` bits."""
+        b = self.builder
+        n = self._needed
+        if "zf" in n:
+            self.write_flag("zf", b.icmp("eq", result, _c64(0)))
+        if "sf" in n:
+            self.write_flag("sf", self._sign(result, width))
+        if "cf" in n:
+            self.write_flag("cf", b.icmp("ult", a, bv))
+        if "of" in n:
+            sa = self._sign(a, width)
+            sb_ = self._sign(bv, width)
+            sr = self._sign(result, width)
+            diff_ab = b.binop("xor", sa, sb_)
+            diff_ar = b.binop("xor", sa, sr)
+            self.write_flag("of", b.binop("and", diff_ab, diff_ar))
+        if "pf" in n:
+            self.write_flag("pf", self._parity(result))
+
+    def set_flags_add(
+        self, a: Value, bv: Value, result: Value, width: int = 64
+    ) -> None:
+        """a/bv/result must already be masked to ``width`` bits."""
+        b = self.builder
+        n = self._needed
+        if "zf" in n:
+            self.write_flag("zf", b.icmp("eq", result, _c64(0)))
+        if "sf" in n:
+            self.write_flag("sf", self._sign(result, width))
+        if "cf" in n:
+            self.write_flag("cf", b.icmp("ult", result, a))
+        if "of" in n:
+            sa = self._sign(a, width)
+            sb_ = self._sign(bv, width)
+            sr = self._sign(result, width)
+            same_ab = b.binop("xor", b.binop("xor", sa, sb_), _c1(1))
+            diff_ar = b.binop("xor", sa, sr)
+            self.write_flag("of", b.binop("and", same_ab, diff_ar))
+        if "pf" in n:
+            self.write_flag("pf", self._parity(result))
+
+    def condition(self, cc: str) -> Value:
+        b = self.builder
+
+        def flag(name: str) -> Value:
+            return self.read_flag(name)
+
+        def inv(v: Value) -> Value:
+            return b.binop("xor", v, _c1(1))
+
+        if cc == "e":
+            return flag("zf")
+        if cc == "ne":
+            return inv(flag("zf"))
+        if cc == "s":
+            return flag("sf")
+        if cc == "ns":
+            return inv(flag("sf"))
+        if cc == "p":
+            return flag("pf")
+        if cc == "np":
+            return inv(flag("pf"))
+        if cc == "b":
+            return flag("cf")
+        if cc == "ae":
+            return inv(flag("cf"))
+        if cc == "be":
+            return b.binop("or", flag("cf"), flag("zf"))
+        if cc == "a":
+            return b.binop("and", inv(flag("cf")), inv(flag("zf")))
+        if cc == "l":
+            return b.binop("xor", flag("sf"), flag("of"))
+        if cc == "ge":
+            return inv(b.binop("xor", flag("sf"), flag("of")))
+        if cc == "le":
+            return b.binop(
+                "or", flag("zf"), b.binop("xor", flag("sf"), flag("of"))
+            )
+        if cc == "g":
+            return b.binop(
+                "and",
+                inv(flag("zf")),
+                inv(b.binop("xor", flag("sf"), flag("of"))),
+            )
+        if cc == "o":
+            return flag("of")
+        if cc == "no":
+            return inv(flag("of"))
+        raise LiftError(f"unknown condition code {cc}")
+
+    # ---- calls ---------------------------------------------------------------------
+    def _callee_of(self, instr: Instr) -> Optional[str]:
+        if instr.operands and isinstance(instr.operands[0], Imm):
+            target = instr.operands[0].value
+            ext = self.obj.external_at(target)
+            if ext is not None:
+                return ext
+            sym = self.obj.function_at(target)
+            if sym is not None:
+                return sym.name
+        return None
+
+    def _callee_params(self, callee: Optional[str]) -> tuple[int, int]:
+        if callee in EXTERNAL_SIGS:
+            ints, sses, _ = EXTERNAL_SIGS[callee]
+            return ints, sses
+        if callee in self.p.signatures:
+            sig = self.p.signatures[callee]
+            return sig.int_params, sig.sse_params
+        return 0, 0
+
+    def _lift_call(self, instr: Instr) -> None:
+        callee = self._callee_of(instr)
+        if callee is None:
+            raise LiftError(f"{self.name}: indirect call not supported: {instr}")
+        b = self.builder
+        ints, sses = self._callee_params(callee)
+        args: list[Value] = []
+        for i in range(ints):
+            args.append(b.load(self.slot(INT_PARAM_REGS[i])))
+        for j in range(sses):
+            args.append(b.load(self.slot(SSE_PARAM_REGS[j])))
+        if callee in EXTERNAL_SIGS:
+            _, _, ret = EXTERNAL_SIGS[callee]
+            target: Value = self.module.externals[callee]
+        else:
+            ret = self.p.signatures[callee].ret
+            target = self.module.get_function(callee)
+        result = b.call(target, args)
+        if ret == "i64":
+            b.store(result, self.slot("rax"))
+        elif ret == "f64":
+            b.store(result, self.slot("xmm0"))
+
+    # ---- per-instruction translation -----------------------------------------------
+    def _lift_instr(self, instr: Instr) -> None:
+        b = self.builder
+        mn = instr.mnemonic
+        ops = instr.operands
+        if self.flag_needs is not None:
+            self._needed = self.flag_needs.get(id(instr), frozenset())
+        else:
+            self._needed = ALL_FLAGS
+
+        if mn in ("mov", "movabs"):
+            dst, src = ops
+            if isinstance(dst, Reg) and dst.info.kind == "xmm":
+                raise LiftError(f"{self.name}: unexpected GPR mov to xmm")
+            if isinstance(src, Mem):
+                v = self.load_mem(src)
+                self.write_gpr(dst.name, v)
+            elif isinstance(dst, Mem):
+                v = self.read_int_operand(src)
+                self.store_mem(dst, v)
+            else:
+                self.write_gpr(dst.name, self.read_int_operand(src))
+        elif mn == "movzx":
+            dst, src = ops
+            self.write_gpr(dst.name, self.read_int_operand(src))
+        elif mn in ("movsx", "movsxd"):
+            dst, src = ops
+            width = src.width if isinstance(src, Mem) else src.info.width
+            v = self.read_int_operand(src)
+            t = b.trunc(v, IntType(width))
+            self.write_gpr(dst.name, b.sext(t, I64))
+        elif mn == "lea":
+            dst, src = ops
+            self.write_gpr(dst.name, self.mem_address(src))
+        elif mn == "push":
+            v = self.read_gpr(ops[0].name)
+            sp = b.load(self.slot("rsp"))
+            sp2 = b.sub(sp, _c64(8), "spdec")
+            b.store(sp2, self.slot("rsp"))
+            p = b.inttoptr(sp2, ptr(I64))
+            b.store(v, p)
+        elif mn == "pop":
+            sp = b.load(self.slot("rsp"))
+            p = b.inttoptr(sp, ptr(I64))
+            v = b.load(p)
+            b.store(b.add(sp, _c64(8), "spinc"), self.slot("rsp"))
+            self.write_gpr(ops[0].name, v)
+        elif mn in ("add", "sub", "and", "or", "xor"):
+            dst, src = ops
+            width = self._op_width(dst)
+            if width not in (32, 64):
+                raise LiftError(f"{self.name}: unsupported ALU width {instr}")
+            a, bv = self._masked_pair(dst, src, width)
+            r = b.binop(mn, a, bv)
+            if width < 64:
+                r = b.binop("and", r, _c64((1 << width) - 1))
+            if mn in ("add", "sub"):
+                getattr(self, f"set_flags_{mn}")(a, bv, r, width)
+            else:
+                self.set_flags_logic(r, width)
+            self._write_int_operand(dst, r)
+        elif mn == "cmp":
+            width = self._op_width(ops[0])
+            a, bv = self._masked_pair(ops[0], ops[1], width)
+            r = b.sub(a, bv)
+            if width < 64:
+                r = b.binop("and", r, _c64((1 << width) - 1))
+            self.set_flags_sub(a, bv, r, width)
+        elif mn == "test":
+            width = self._op_width(ops[0])
+            a, bv = self._masked_pair(ops[0], ops[1], width)
+            self.set_flags_logic(b.binop("and", a, bv), width)
+        elif mn == "imul":
+            dst, src = ops
+            a = self.read_gpr(dst.name)
+            bv = self.read_int_operand(src)
+            r = b.mul(a, bv)
+            self.write_gpr(dst.name, r)
+            if self._needed & {"cf", "of"}:
+                # CF=OF=1 iff the signed product does not fit in 64 bits.
+                # The classic division check works on wrapping two's
+                # complement: overflow ⟺ b ≠ 0 ∧ (a·b) / b ≠ a.
+                nonzero = b.icmp("ne", bv, _c64(0))
+                safe_divisor = b.select(nonzero, bv, _c64(1))
+                quotient = b.binop("sdiv", r, safe_divisor)
+                mismatch = b.icmp("ne", quotient, a)
+                overflow = b.binop("and", nonzero, mismatch)
+                if "cf" in self._needed:
+                    self.write_flag("cf", overflow)
+                if "of" in self._needed:
+                    self.write_flag("of", overflow)
+        elif mn == "cqo":
+            rax = b.load(self.slot("rax"))
+            self.write_gpr("rdx", b.binop("ashr", rax, _c64(63)))
+        elif mn == "idiv":
+            # Assumes the usual cqo;idiv idiom (rdx:rax = sext rax), so the
+            # division is 64-bit; the same simplification mctoll makes.
+            rax = b.load(self.slot("rax"))
+            d = self.read_int_operand(ops[0])
+            q = b.binop("sdiv", rax, d)
+            r = b.binop("srem", rax, d)
+            b.store(q, self.slot("rax"))
+            b.store(r, self.slot("rdx"))
+        elif mn == "neg":
+            a = self.read_int_operand(ops[0])
+            r = b.sub(_c64(0), a)
+            self.set_flags_sub(_c64(0), a, r)
+            self._write_int_operand(ops[0], r)
+        elif mn == "not":
+            a = self.read_int_operand(ops[0])
+            self._write_int_operand(ops[0], b.binop("xor", a, _c64(2**64 - 1)))
+        elif mn in ("shl", "shr", "sar"):
+            dst, src = ops
+            a = self.read_int_operand(dst)
+            if isinstance(src, Imm):
+                count: Value = _c64(src.value & 63)
+            else:
+                count = b.binop("and", self.read_gpr("rcx"), _c64(63))
+            lir_op = {"shl": "shl", "shr": "lshr", "sar": "ashr"}[mn]
+            r = b.binop(lir_op, a, count)
+            self._write_int_operand(dst, r)
+            # Flags are unchanged for zero counts; emulated via select.
+            # CF is the last bit shifted out; OF is pinned to 0 (undefined
+            # architecturally for count > 1 — matches the emulator).
+            needed = self._needed
+            nonzero = b.icmp("ne", count, _c64(0)) if needed else None
+            if "zf" in needed:
+                zf_new = b.icmp("eq", r, _c64(0))
+                self.write_flag(
+                    "zf", b.select(nonzero, zf_new, self.read_flag("zf"))
+                )
+            if "sf" in needed:
+                self.write_flag(
+                    "sf",
+                    b.select(nonzero, self._sign(r), self.read_flag("sf")),
+                )
+            if "pf" in needed:
+                self.write_flag(
+                    "pf",
+                    b.select(nonzero, self._parity(r), self.read_flag("pf")),
+                )
+            if "cf" in needed:
+                if mn == "shl":
+                    out_shift = b.sub(_c64(64), count)
+                    shifted = b.binop("lshr", a, out_shift)
+                else:
+                    out_shift = b.sub(count, _c64(1))
+                    op64 = "lshr" if mn == "shr" else "ashr"
+                    shifted = b.binop(op64, a, out_shift)
+                cf_new = b.icmp(
+                    "ne", b.binop("and", shifted, _c64(1)), _c64(0)
+                )
+                self.write_flag(
+                    "cf", b.select(nonzero, cf_new, self.read_flag("cf"))
+                )
+            if "of" in needed:
+                self.write_flag(
+                    "of", b.select(nonzero, _c1(0), self.read_flag("of"))
+                )
+        elif mn.startswith("set") and mn[3:] in CC_NUM:
+            cond = self.condition(mn[3:])
+            self.write_gpr(ops[0].name, b.zext(cond, I64))
+        elif mn == "jmp":
+            b.br(self._target_block(ops[0]))
+        elif mn.startswith("j") and mn[1:] in CC_NUM:
+            cond = self.condition(mn[1:])
+            taken = self._target_block(ops[0])
+            fall = self.block_map[instr.address + instr.size]
+            b.cond_br(cond, taken, fall)
+        elif mn == "call":
+            self._lift_call(instr)
+        elif mn == "ret":
+            if self.sig.ret == "i64":
+                b.ret(b.load(self.slot("rax")))
+            elif self.sig.ret == "f64":
+                b.ret(b.load(self.slot("xmm0")))
+            else:
+                b.ret()
+        elif mn == "nop":
+            pass
+        elif mn == "mfence":
+            b.fence("sc")  # Fig. 8a: MFENCE → Fsc
+        elif mn == "cmpxchg":
+            dst, src = ops
+            addr = self.mem_address(dst)
+            p = b.inttoptr(addr, ptr(I64))
+            expected = b.load(self.slot("rax"))
+            new = self.read_gpr(src.name)
+            old = b.cmpxchg(p, expected, new, "sc")
+            b.store(old, self.slot("rax"))
+            # x86 sets the full flag set of (rax - [mem]); ZF is the
+            # success bit.
+            diff = b.sub(expected, old)
+            self.set_flags_sub(expected, old, diff)
+        elif mn == "xadd":
+            dst, src = ops
+            addr = self.mem_address(dst)
+            p = b.inttoptr(addr, ptr(I64))
+            operand = self.read_gpr(src.name)
+            old = b.atomicrmw("add", p, operand, "sc")
+            self.write_gpr(src.name, old)
+            self.set_flags_add(old, operand, b.add(old, operand))
+        elif mn == "xchg":
+            dst, src = ops
+            addr = self.mem_address(dst)
+            p = b.inttoptr(addr, ptr(I64))
+            old = b.atomicrmw("xchg", p, self.read_gpr(src.name), "sc")
+            self.write_gpr(src.name, old)
+        elif mn == "movsd":
+            dst, src = ops
+            if isinstance(dst, Reg) and dst.info.kind == "xmm":
+                if isinstance(src, Mem):
+                    self.write_xmm(dst.name, self.load_mem(src, as_float=True))
+                else:
+                    self.write_xmm(dst.name, self.read_xmm(src.name))
+            else:
+                self.store_mem(dst, self.read_xmm(src.name), as_float=True)
+        elif mn in ("addsd", "subsd", "mulsd", "divsd"):
+            dst, src = ops
+            a = self.read_xmm(dst.name)
+            bv = (
+                self.load_mem(src, as_float=True)
+                if isinstance(src, Mem)
+                else self.read_xmm(src.name)
+            )
+            op = {"addsd": "fadd", "subsd": "fsub", "mulsd": "fmul",
+                  "divsd": "fdiv"}[mn]
+            self.write_xmm(dst.name, b.binop(op, a, bv))
+        elif mn == "sqrtsd":
+            dst, src = ops
+            bv = (
+                self.load_mem(src, as_float=True)
+                if isinstance(src, Mem)
+                else self.read_xmm(src.name)
+            )
+            sqrt = self.module.declare_external("sqrt", FunctionType(F64, (F64,)))
+            self.write_xmm(dst.name, b.call(sqrt, [bv]))
+        elif mn == "pxor":
+            dst, src = ops
+            if dst.name != src.name:
+                raise LiftError(f"{self.name}: general pxor not supported")
+            if dst.name in self.packed_xmm:
+                zero = ConstantFloat(F64, 0.0)
+                self.write_xmm(
+                    dst.name,
+                    ConstantVector(VectorType(F64, 2), [zero, zero]),
+                )
+            else:
+                self.write_xmm(dst.name, ConstantFloat(F64, 0.0))
+        elif mn == "ucomisd":
+            a = self.read_xmm(ops[0].name)
+            bv = (
+                self.load_mem(ops[1], as_float=True)
+                if isinstance(ops[1], Mem)
+                else self.read_xmm(ops[1].name)
+            )
+            needed = self._needed
+            uno = b.fcmp("uno", a, bv) if needed else None
+            if "zf" in needed:
+                self.write_flag(
+                    "zf", b.binop("or", uno, b.fcmp("oeq", a, bv))
+                )
+            if "cf" in needed:
+                self.write_flag(
+                    "cf", b.binop("or", uno, b.fcmp("olt", a, bv))
+                )
+            if "pf" in needed:
+                self.write_flag("pf", uno)
+            if "sf" in needed:
+                self.write_flag("sf", _c1(0))
+            if "of" in needed:
+                self.write_flag("of", _c1(0))
+        elif mn == "cvtsi2sd":
+            dst, src = ops
+            v = self.read_int_operand(src)
+            self.write_xmm(dst.name, b.cast("sitofp", v, F64))
+        elif mn == "cvttsd2si":
+            dst, src = ops
+            v = (
+                self.load_mem(src, as_float=True)
+                if isinstance(src, Mem)
+                else self.read_xmm(src.name)
+            )
+            self.write_gpr(dst.name, b.cast("fptosi", v, I64))
+        elif mn == "movq":
+            dst, src = ops
+            if isinstance(dst, Reg) and dst.info.kind == "xmm":
+                v = self.read_int_operand(src)
+                self.write_xmm(dst.name, b.bitcast(v, F64))
+            else:
+                v = self.read_xmm(src.name)
+                self.write_gpr(dst.name, b.bitcast(v, I64))
+        elif mn == "movaps":
+            dst, src = ops
+            vec2 = VectorType(F64, 2)
+            if isinstance(dst, Reg) and dst.info.kind == "xmm":
+                if isinstance(src, Mem):
+                    addr = self.mem_address(src)
+                    p = b.inttoptr(addr, ptr(vec2))
+                    self.write_xmm(dst.name, b.load(p))
+                else:
+                    self.write_xmm(dst.name, self.read_xmm(src.name))
+            else:
+                addr = self.mem_address(dst)
+                p = b.inttoptr(addr, ptr(vec2))
+                b.store(self.read_xmm(src.name), p)
+        elif mn in ("addpd", "subpd", "mulpd"):
+            dst, src = ops
+            a = self.read_xmm(dst.name)
+            bv = self._read_packed_operand(src)
+            op = {"addpd": "fadd", "subpd": "fsub", "mulpd": "fmul"}[mn]
+            self.write_xmm(dst.name, b.binop(op, a, bv))
+        elif mn in ("paddq", "paddd"):
+            dst, src = ops
+            lanes = 2 if mn == "paddq" else 4
+            ivec = VectorType(IntType(128 // lanes), lanes)
+            a = b.bitcast(self.read_xmm(dst.name), ivec)
+            bv = b.bitcast(self._read_packed_operand(src), ivec)
+            summed = b.binop("add", a, bv)
+            self.write_xmm(dst.name, b.bitcast(summed, VectorType(F64, 2)))
+        else:
+            raise LiftError(f"{self.name}: cannot lift {instr}")
+
+    def _read_packed_operand(self, op) -> Value:
+        if isinstance(op, Mem):
+            addr = self.mem_address(op)
+            p = self.builder.inttoptr(addr, ptr(VectorType(F64, 2)))
+            return self.builder.load(p)
+        return self.read_xmm(op.name)
+
+    # ---- small helpers ----------------------------------------------------------
+    def _masked_pair(self, dst, src, width: int) -> tuple[Value, Value]:
+        """Read two ALU operands, masked to the operation width."""
+        b = self.builder
+        a = self.read_int_operand(dst)
+        bv = self.read_int_operand(src)
+        if width < 64:
+            mask = _c64((1 << width) - 1)
+            a = b.binop("and", a, mask)
+            bv = b.binop("and", bv, mask)
+        return a, bv
+
+    def _op_width(self, op) -> int:
+        if isinstance(op, Reg):
+            return op.info.width
+        if isinstance(op, Mem):
+            return op.width
+        return 64
+
+    def _write_int_operand(self, op, value: Value) -> None:
+        if isinstance(op, Reg):
+            self.write_gpr(op.name, value)
+        elif isinstance(op, Mem):
+            self.store_mem(op, value)
+        else:
+            raise LiftError(f"{self.name}: bad write operand {op!r}")
+
+    def _target_block(self, op) -> BasicBlock:
+        if not isinstance(op, Imm):
+            raise LiftError(f"{self.name}: indirect branch")
+        return self.block_map[op.value]
+
+
+def lift_program(
+    obj: X86Object, stack_size: int = STACK_SIZE, lazy_flags: bool = False
+) -> Module:
+    """Lift a linked x86 image to an LIR module (no fences inserted yet)."""
+    return ProgramLifter(obj, stack_size, lazy_flags).lift()

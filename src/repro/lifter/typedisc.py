@@ -1,0 +1,307 @@
+"""Function type discovery (§4.1 of the paper).
+
+Parameters are discovered by live-register analysis: a System-V parameter
+register that is live-in at the function entry (read before any definition
+on some path) is a parameter.  General-purpose registers raise to ``i64``
+(pointers included — they are re-discovered by IR refinement, §5); SSE
+registers raise to ``double`` since the paper's focus is scalar FP.
+
+Return types are discovered from the conventional return registers RAX and
+XMM0.  As a single function body usually defines both, we disambiguate the
+way a whole-program lifter can: call sites vote — a caller that consumes
+``xmm0`` right after the call implies a double return, one that consumes
+``rax`` implies an integer return.  Functions with no informative call site
+default to ``i64`` (the paper defaults to the largest discovered type).
+
+As §4.2.1 notes, the original argument *order* between the integer and SSE
+groups is not recoverable; like the paper we assume all integer parameters
+come before all SSE parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..x86.isa import CC_NUM, Imm, Instr, Mem, Reg
+from ..x86.objfile import X86Object
+from ..x86.registers import CALLER_SAVED, INT_PARAM_REGS, SSE_PARAM_REGS, reg_info
+from .cfg import MachineCFG
+
+# Runtime externals and their lifted signatures: (int_args, sse_args, ret).
+# ret is 'i64', 'f64' or 'void'.
+EXTERNAL_SIGS: dict[str, tuple[int, int, str]] = {
+    "malloc": (1, 0, "i64"),
+    "spawn": (2, 0, "i64"),
+    "join": (1, 0, "i64"),
+    "print_i64": (1, 0, "void"),
+    "print_f64": (0, 1, "void"),
+    "thread_id": (0, 0, "i64"),
+    "abort": (0, 0, "void"),
+}
+
+
+@dataclass
+class Signature:
+    int_params: int = 0
+    sse_params: int = 0
+    ret: str = "i64"  # 'i64' | 'f64' | 'void'
+
+    @property
+    def param_count(self) -> int:
+        return self.int_params + self.sse_params
+
+
+def _full(name: str) -> str:
+    return reg_info(name).full_name
+
+
+def instr_reg_uses(instr: Instr) -> tuple[set[str], set[str]]:
+    """(reads, writes) of *full* register names for one instruction."""
+    mn = instr.mnemonic
+    ops = instr.operands
+    reads: set[str] = set()
+    writes: set[str] = set()
+
+    def read_op(op) -> None:
+        if isinstance(op, Reg):
+            reads.add(_full(op.name))
+        elif isinstance(op, Mem):
+            if op.base is not None:
+                reads.add(_full(op.base))
+            if op.index is not None:
+                reads.add(_full(op.index))
+
+    def write_op(op) -> None:
+        if isinstance(op, Reg):
+            writes.add(_full(op.name))
+            if op.info.width < 32:
+                # Partial writes also read the old value.
+                reads.add(_full(op.name))
+        elif isinstance(op, Mem):
+            read_op(op)  # address registers are read
+
+    if mn in ("mov", "movabs", "movzx", "movsx", "movsxd", "lea",
+              "movsd", "movss", "movq", "movaps", "cvtsi2sd", "cvttsd2si"):
+        write_op(ops[0])
+        read_op(ops[1])
+    elif mn in ("add", "sub", "and", "or", "xor", "imul", "shl", "shr",
+                "sar", "addsd", "subsd", "mulsd", "divsd", "addss", "subss",
+                "mulss", "divss", "addpd", "subpd", "mulpd", "paddq",
+                "paddd", "pxor", "sqrtsd"):
+        read_op(ops[0])
+        write_op(ops[0])
+        read_op(ops[1])
+    elif mn in ("cmp", "test", "ucomisd"):
+        read_op(ops[0])
+        read_op(ops[1])
+    elif mn in ("neg", "not"):
+        read_op(ops[0])
+        write_op(ops[0])
+    elif mn == "push":
+        read_op(ops[0])
+        reads.add("rsp")
+        writes.add("rsp")
+    elif mn == "pop":
+        write_op(ops[0])
+        reads.add("rsp")
+        writes.add("rsp")
+    elif mn == "cqo":
+        reads.add("rax")
+        writes.add("rdx")
+    elif mn == "idiv":
+        read_op(ops[0])
+        reads.update({"rax", "rdx"})
+        writes.update({"rax", "rdx"})
+    elif mn.startswith("set") and mn[3:] in CC_NUM:
+        write_op(ops[0])
+    elif mn == "cmpxchg":
+        read_op(ops[0])
+        write_op(ops[0])
+        read_op(ops[1])
+        reads.add("rax")
+        writes.add("rax")
+    elif mn in ("xadd", "xchg"):
+        read_op(ops[0])
+        write_op(ops[0])
+        read_op(ops[1])
+        write_op(ops[1])
+    elif mn in ("ret",):
+        reads.add("rsp")
+        writes.add("rsp")
+    elif mn in ("jmp", "nop", "mfence", "ud2", "cdq") or (
+        mn.startswith("j") and mn[1:] in CC_NUM
+    ):
+        pass
+    elif mn == "call":
+        # handled specially by the liveness analysis
+        if ops and isinstance(ops[0], Reg):
+            read_op(ops[0])
+    else:
+        raise ValueError(f"no use/def model for {instr}")
+    return reads, writes
+
+
+class TypeDiscovery:
+    """Whole-program parameter and return-type discovery."""
+
+    def __init__(self, obj: X86Object, cfgs: dict[str, MachineCFG]) -> None:
+        self.obj = obj
+        self.cfgs = cfgs
+        self.signatures: dict[str, Signature] = {}
+
+    # ---- public API --------------------------------------------------------
+    def discover(self) -> dict[str, Signature]:
+        for name in self._topo_order():
+            self.signatures[name] = Signature()
+            live_in = self._entry_live_in(self.cfgs[name])
+            self.signatures[name] = self._params_from_live_in(live_in)
+        self._discover_returns()
+        return self.signatures
+
+    # ---- call graph ------------------------------------------------------------
+    def _callee_of(self, instr: Instr) -> str | None:
+        if instr.mnemonic != "call" or not instr.operands:
+            return None
+        op = instr.operands[0]
+        if not isinstance(op, Imm):
+            return None
+        ext = self.obj.external_at(op.value)
+        if ext is not None:
+            return ext
+        sym = self.obj.function_at(op.value)
+        return sym.name if sym is not None else None
+
+    def _topo_order(self) -> list[str]:
+        """Callees before callers (falls back to arbitrary order on cycles)."""
+        deps: dict[str, set[str]] = {}
+        for name, cfg in self.cfgs.items():
+            deps[name] = set()
+            for instr in cfg.instructions():
+                callee = self._callee_of(instr)
+                if callee in self.cfgs and callee != name:
+                    deps[name].add(callee)
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(n: str, stack: set[str]) -> None:
+            if n in seen or n in stack:
+                return
+            stack.add(n)
+            for d in deps[n]:
+                visit(d, stack)
+            stack.discard(n)
+            seen.add(n)
+            order.append(n)
+
+        for n in self.cfgs:
+            visit(n, set())
+        return order
+
+    # ---- liveness ------------------------------------------------------------------
+    def _call_effects(self, instr: Instr) -> tuple[set[str], set[str]]:
+        """(reads, writes) of a call instruction, given known signatures."""
+        callee = self._callee_of(instr)
+        reads: set[str] = set()
+        if callee in EXTERNAL_SIGS:
+            ints, sses, _ = EXTERNAL_SIGS[callee]
+        elif callee in self.signatures:
+            sig = self.signatures[callee]
+            ints, sses = sig.int_params, sig.sse_params
+        else:
+            ints = sses = 0
+        reads.update(INT_PARAM_REGS[:ints])
+        reads.update(SSE_PARAM_REGS[:sses])
+        writes = set(CALLER_SAVED) | {f"xmm{i}" for i in range(16)}
+        return reads, writes
+
+    def _block_use_def(self, block) -> tuple[set[str], set[str]]:
+        use: set[str] = set()
+        define: set[str] = set()
+        for instr in block.instructions:
+            if instr.mnemonic == "call" and instr.operands and isinstance(
+                instr.operands[0], Imm
+            ):
+                reads, writes = self._call_effects(instr)
+            else:
+                reads, writes = instr_reg_uses(instr)
+            use.update(r for r in reads if r not in define)
+            define.update(writes)
+        return use, define
+
+    def _entry_live_in(self, cfg: MachineCFG) -> set[str]:
+        blocks = cfg.block_order()
+        use_def = {b.start: self._block_use_def(b) for b in blocks}
+        live_in: dict[int, set[str]] = {b.start: set() for b in blocks}
+        changed = True
+        while changed:
+            changed = False
+            for b in reversed(blocks):
+                live_out: set[str] = set()
+                for s in b.successors:
+                    live_out |= live_in[s]
+                use, define = use_def[b.start]
+                new = use | (live_out - define)
+                if new != live_in[b.start]:
+                    live_in[b.start] = new
+                    changed = True
+        return live_in[cfg.entry]
+
+    @staticmethod
+    def _params_from_live_in(live_in: set[str]) -> Signature:
+        nint = 0
+        for i, reg in enumerate(INT_PARAM_REGS):
+            if reg in live_in:
+                nint = i + 1
+        nsse = 0
+        for i, reg in enumerate(SSE_PARAM_REGS):
+            if reg in live_in:
+                nsse = i + 1
+        return Signature(nint, nsse, "i64")
+
+    # ---- return types -----------------------------------------------------------------
+    def _discover_returns(self) -> None:
+        votes: dict[str, list[str]] = {name: [] for name in self.cfgs}
+        for cfg in self.cfgs.values():
+            for block in cfg.block_order():
+                insts = block.instructions
+                for i, instr in enumerate(insts):
+                    callee = self._callee_of(instr)
+                    if callee not in votes:
+                        continue
+                    vote = self._result_use(insts[i + 1 :])
+                    if vote is not None:
+                        votes[callee].append(vote)
+        for name, vs in votes.items():
+            if vs and all(v == "f64" for v in vs):
+                self.signatures[name].ret = "f64"
+            elif "f64" in vs:
+                # mixed evidence: take the largest type like the paper
+                self.signatures[name].ret = "f64"
+            else:
+                self.signatures[name].ret = "i64"
+
+    @staticmethod
+    def _result_use(following: list[Instr]) -> str | None:
+        """Which return register does the caller consume first?"""
+        for instr in following:
+            if instr.mnemonic == "call":
+                return None
+            reads, writes = instr_reg_uses(instr)
+            if "rax" in reads:
+                return "i64"
+            if "xmm0" in reads:
+                return "f64"
+            if "rax" in writes and "xmm0" in writes:
+                return None
+            if "rax" in writes:
+                # rax dead; keep looking for an xmm0 read
+                for later in following[following.index(instr) + 1 :]:
+                    lr, lw = instr_reg_uses(later)
+                    if "xmm0" in lr:
+                        return "f64"
+                    if "xmm0" in lw or later.mnemonic == "call":
+                        break
+                return None
+            if "xmm0" in writes:
+                return None
+        return None

@@ -1,0 +1,94 @@
+"""LIR — the LLVM-like SSA intermediate representation used by Lasagne.
+
+Public API re-exports the commonly used pieces so downstream code can write
+``from repro.lir import Module, IRBuilder, I64`` etc.
+"""
+
+from .builder import IRBuilder
+from .dominators import DominatorTree
+from .function import BasicBlock, Function, Module
+from .instructions import (
+    GEP,
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CmpXchg,
+    ExtractElement,
+    FCmp,
+    Fence,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    BINOPS,
+    CAST_OPS,
+    FENCE_KINDS,
+    ICMP_PREDS,
+    FCMP_PREDS,
+    INT_BINOPS,
+    FLOAT_BINOPS,
+    RMW_OPS,
+)
+from .interp import Interpreter, InterpError
+from .parser import IRParseError, parse_module, parse_type
+from .printer import format_function, format_instruction, format_module
+from .types import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+    ptr,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    ExternalFunction,
+    GlobalValue,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "IRBuilder", "DominatorTree", "BasicBlock", "Function", "Module",
+    "GEP", "Alloca", "AtomicRMW", "BinOp", "Br", "Call", "Cast", "CmpXchg",
+    "ExtractElement", "FCmp", "Fence", "ICmp", "InsertElement", "Instruction",
+    "Load", "Phi", "Ret", "Select", "Store", "Unreachable",
+    "BINOPS", "CAST_OPS", "FENCE_KINDS", "ICMP_PREDS", "FCMP_PREDS",
+    "INT_BINOPS", "FLOAT_BINOPS", "RMW_OPS",
+    "Interpreter", "InterpError",
+    "IRParseError", "parse_module", "parse_type",
+    "format_function", "format_instruction", "format_module",
+    "F32", "F64", "I1", "I8", "I16", "I32", "I64", "VOID",
+    "ArrayType", "FloatType", "FunctionType", "IntType", "PointerType",
+    "Type", "VectorType", "VoidType", "ptr",
+    "Argument", "Constant", "ConstantFloat", "ConstantInt",
+    "ConstantPointerNull", "ConstantVector", "ExternalFunction",
+    "GlobalValue", "GlobalVariable", "UndefValue", "Value",
+    "VerificationError", "verify_function", "verify_module",
+]

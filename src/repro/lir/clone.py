@@ -1,0 +1,112 @@
+"""Cloning utilities: remap-and-copy LIR instructions and function bodies.
+
+Used by the inliner (and usable for loop unrolling or function
+specialization): ``clone_instruction`` copies one instruction with operands
+substituted through a value map; phi incoming blocks go through a block map
+and their operands are expected to be patched by the caller once all cloned
+values exist (two-pass cloning).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .function import BasicBlock
+from .instructions import (
+    GEP,
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CmpXchg,
+    ExtractElement,
+    FCmp,
+    Fence,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .values import Value
+
+
+class CloneError(Exception):
+    pass
+
+
+def clone_instruction(
+    inst: Instruction,
+    lookup: Callable[[Value], Value],
+    block_map: Optional[dict[int, BasicBlock]] = None,
+) -> Instruction:
+    """Copy ``inst`` with every operand passed through ``lookup``.
+
+    ``Phi`` nodes are cloned *empty* (incomings must be added by the caller
+    after all values exist).  ``Br`` targets and ``Ret`` are remapped through
+    ``block_map`` — ``Ret`` is not handled here because its replacement is
+    context-dependent (the inliner rewrites returns into branches).
+    """
+    if isinstance(inst, Alloca):
+        return Alloca(inst.allocated_type, inst.name)
+    if isinstance(inst, Load):
+        return Load(lookup(inst.pointer), inst.ordering, inst.name)
+    if isinstance(inst, Store):
+        return Store(lookup(inst.value), lookup(inst.pointer), inst.ordering)
+    if isinstance(inst, AtomicRMW):
+        return AtomicRMW(
+            inst.op, lookup(inst.pointer), lookup(inst.value), inst.ordering,
+            inst.name,
+        )
+    if isinstance(inst, CmpXchg):
+        return CmpXchg(
+            lookup(inst.pointer), lookup(inst.expected), lookup(inst.new),
+            inst.ordering, inst.name,
+        )
+    if isinstance(inst, Fence):
+        return Fence(inst.kind)
+    if isinstance(inst, GEP):
+        return GEP(
+            inst.source_type, lookup(inst.pointer),
+            [lookup(i) for i in inst.indices], inst.name,
+        )
+    if isinstance(inst, BinOp):
+        return BinOp(inst.op, lookup(inst.lhs), lookup(inst.rhs), inst.name)
+    if isinstance(inst, ICmp):
+        return ICmp(inst.pred, lookup(inst.lhs), lookup(inst.rhs), inst.name)
+    if isinstance(inst, FCmp):
+        return FCmp(inst.pred, lookup(inst.lhs), lookup(inst.rhs), inst.name)
+    if isinstance(inst, Cast):
+        return Cast(inst.op, lookup(inst.value), inst.type, inst.name)
+    if isinstance(inst, Select):
+        return Select(
+            lookup(inst.cond), lookup(inst.true_value),
+            lookup(inst.false_value), inst.name,
+        )
+    if isinstance(inst, ExtractElement):
+        return ExtractElement(lookup(inst.vector), lookup(inst.index), inst.name)
+    if isinstance(inst, InsertElement):
+        return InsertElement(
+            lookup(inst.vector), lookup(inst.element), lookup(inst.index),
+            inst.name,
+        )
+    if isinstance(inst, Phi):
+        return Phi(inst.type, inst.name)
+    if isinstance(inst, Call):
+        return Call(inst.callee, [lookup(a) for a in inst.args], inst.name)
+    if isinstance(inst, Br):
+        if block_map is None:
+            raise CloneError("cloning a branch requires a block map")
+        targets = [block_map[id(t)] for t in inst.targets]
+        if inst.is_conditional:
+            return Br(lookup(inst.cond), targets[0], targets[1])
+        return Br(None, targets[0])
+    if isinstance(inst, Unreachable):
+        return Unreachable()
+    raise CloneError(f"cannot clone {inst.opcode} (Ret is context-dependent)")

@@ -1,0 +1,142 @@
+"""Dominator tree and dominance frontier (Cooper-Harvey-Kennedy algorithm).
+
+Used by the verifier (SSA checks), ``mem2reg`` (phi placement) and ``licm``
+(loop detection via back edges).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .function import BasicBlock, Function
+
+
+class DominatorTree:
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self.rpo = self._reverse_postorder(func)
+        self._index = {id(bb): i for i, bb in enumerate(self.rpo)}
+        self.idom: dict[int, Optional[BasicBlock]] = {}
+        self._compute_idoms()
+        self._dominance_cache: dict[tuple[int, int], bool] = {}
+
+    # ---- construction --------------------------------------------------
+    @staticmethod
+    def _reverse_postorder(func: Function) -> list[BasicBlock]:
+        visited: set[int] = set()
+        postorder: list[BasicBlock] = []
+
+        def visit(bb: BasicBlock) -> None:
+            stack = [(bb, iter(bb.successors()))]
+            visited.add(id(bb))
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if id(succ) not in visited:
+                        visited.add(id(succ))
+                        stack.append((succ, iter(succ.successors())))
+                        advanced = True
+                        break
+                if not advanced:
+                    postorder.append(node)
+                    stack.pop()
+
+        visit(func.entry)
+        return list(reversed(postorder))
+
+    def _compute_idoms(self) -> None:
+        entry = self.func.entry
+        idom: dict[int, Optional[BasicBlock]] = {id(entry): entry}
+
+        def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+            f1, f2 = b1, b2
+            while f1 is not f2:
+                while self._index[id(f1)] > self._index[id(f2)]:
+                    f1 = idom[id(f1)]  # type: ignore[assignment]
+                while self._index[id(f2)] > self._index[id(f1)]:
+                    f2 = idom[id(f2)]  # type: ignore[assignment]
+            return f1
+
+        changed = True
+        preds = {
+            id(bb): [p for p in bb.predecessors() if id(p) in self._index]
+            for bb in self.rpo
+        }
+        while changed:
+            changed = False
+            for bb in self.rpo:
+                if bb is entry:
+                    continue
+                candidates = [p for p in preds[id(bb)] if id(p) in idom]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for p in candidates[1:]:
+                    new_idom = intersect(p, new_idom)
+                if idom.get(id(bb)) is not new_idom:
+                    idom[id(bb)] = new_idom
+                    changed = True
+        self.idom = idom
+        self.idom[id(entry)] = None  # entry has no immediate dominator
+
+    # ---- queries -----------------------------------------------------------
+    def is_reachable(self, bb: BasicBlock) -> bool:
+        return id(bb) in self._index
+
+    def immediate_dominator(self, bb: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom.get(id(bb))
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when ``a`` dominates ``b`` (reflexive)."""
+        key = (id(a), id(b))
+        cached = self._dominance_cache.get(key)
+        if cached is not None:
+            return cached
+        if not self.is_reachable(a) or not self.is_reachable(b):
+            result = False
+        else:
+            node: Optional[BasicBlock] = b
+            result = False
+            while node is not None:
+                if node is a:
+                    result = True
+                    break
+                node = self.idom.get(id(node))
+        self._dominance_cache[key] = result
+        return result
+
+    def dominance_frontier(self) -> dict[int, set[int]]:
+        """Map from block id to the ids of its dominance-frontier blocks."""
+        df: dict[int, set[int]] = {id(bb): set() for bb in self.rpo}
+        for bb in self.rpo:
+            preds = [p for p in bb.predecessors() if self.is_reachable(p)]
+            if len(preds) < 2:
+                continue
+            for p in preds:
+                runner: Optional[BasicBlock] = p
+                while runner is not None and runner is not self.idom[id(bb)]:
+                    df[id(runner)].add(id(bb))
+                    runner = self.idom.get(id(runner))
+        return df
+
+    def back_edges(self) -> list[tuple[BasicBlock, BasicBlock]]:
+        """Edges (tail, head) where head dominates tail — natural loops."""
+        edges = []
+        for bb in self.rpo:
+            for succ in bb.successors():
+                if self.is_reachable(succ) and self.dominates(succ, bb):
+                    edges.append((bb, succ))
+        return edges
+
+    def natural_loop(self, tail: BasicBlock, head: BasicBlock) -> set[int]:
+        """Blocks (by id) of the natural loop for back edge tail→head."""
+        loop = {id(head), id(tail)}
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            for p in node.predecessors():
+                if id(p) not in loop and self.is_reachable(p):
+                    loop.add(id(p))
+                    stack.append(p)
+        return loop

@@ -1,0 +1,545 @@
+"""LIR instructions.
+
+The instruction set mirrors the LLVM slice used by Lasagne:
+
+* memory: ``alloca``, ``load``/``store`` (non-atomic or seq_cst),
+  ``atomicrmw``, ``cmpxchg``, ``fence`` (``sc``/``rm``/``ww`` per LIMM),
+  ``getelementptr``;
+* casts: ``trunc``/``zext``/``sext``/``bitcast``/``inttoptr``/``ptrtoint``/
+  FP conversions;
+* arithmetic/bitwise binops, ``icmp``/``fcmp``, ``select``, ``phi``;
+* vectors: ``extractelement``/``insertelement`` (used by SSE lifting);
+* control flow: ``br``, ``ret``, ``call``, ``unreachable``.
+
+Memory orderings follow LIMM: ``"na"`` is a non-atomic access and ``"sc"`` is
+seq_cst.  Fence kinds: ``"sc"`` (full fence, maps to x86 MFENCE / Arm DMBFF),
+``"rm"`` (LIMM's Frm, read-to-memory ordering, maps to DMBLD), ``"ww"``
+(LIMM's Fww, write-write ordering, maps to DMBST).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .types import (
+    I1,
+    I64,
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+    VOID,
+)
+from .values import ExternalFunction, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .function import BasicBlock, Function
+
+
+INT_BINOPS = {
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+}
+FLOAT_BINOPS = {"fadd", "fsub", "fmul", "fdiv"}
+BINOPS = INT_BINOPS | FLOAT_BINOPS
+
+ICMP_PREDS = {"eq", "ne", "slt", "sle", "sgt", "sge", "ult", "ule", "ugt", "uge"}
+FCMP_PREDS = {"oeq", "one", "olt", "ole", "ogt", "oge", "ord", "uno"}
+
+CAST_OPS = {
+    "trunc", "zext", "sext", "bitcast", "inttoptr", "ptrtoint",
+    "sitofp", "uitofp", "fptosi", "fptoui", "fpext", "fptrunc",
+}
+
+RMW_OPS = {"xchg", "add", "sub", "and", "or", "xor", "max", "min"}
+
+ORDERINGS = {"na", "sc"}
+FENCE_KINDS = {"sc", "rm", "ww"}
+
+
+class Instruction(Value):
+    """Base class: an SSA value with operands, living in a basic block."""
+
+    opcode: str = "<abstract>"
+
+    def __init__(self, type_: Type, operands: Sequence[Value], name: str = "") -> None:
+        super().__init__(type_, name)
+        self.operands: list[Value] = []
+        self.parent: Optional["BasicBlock"] = None
+        for op in operands:
+            self._append_operand(op)
+
+    # ---- operand/use management -------------------------------------
+    def _append_operand(self, v: Value) -> None:
+        if not isinstance(v, Value):
+            raise TypeError(f"operand of {self.opcode} must be a Value, got {v!r}")
+        self.operands.append(v)
+        v.users.add(self)
+
+    def set_operand(self, index: int, v: Value) -> None:
+        old = self.operands[index]
+        self.operands[index] = v
+        v.users.add(self)
+        if old not in self.operands:
+            old.users.discard(self)
+
+    def drop_all_references(self) -> None:
+        """Detach this instruction from its operands' use lists."""
+        for op in set(self.operands):
+            op.users.discard(self)
+        self.operands.clear()
+
+    # ---- block placement --------------------------------------------
+    def erase_from_parent(self) -> None:
+        """Remove from the containing block and drop operand references."""
+        if self.parent is not None:
+            self.parent.instructions.remove(self)
+            self.parent = None
+        self.drop_all_references()
+
+    @property
+    def function(self) -> Optional["Function"]:
+        return self.parent.parent if self.parent is not None else None
+
+    # ---- classification ----------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, Ret, Unreachable))
+
+    def may_read_memory(self) -> bool:
+        return isinstance(self, (Load, AtomicRMW, CmpXchg)) or (
+            isinstance(self, Call) and not self.is_readnone_callee()
+        )
+
+    def may_write_memory(self) -> bool:
+        return isinstance(self, (Store, AtomicRMW, CmpXchg)) or (
+            isinstance(self, Call) and not self.is_readnone_callee()
+        )
+
+    def accesses_memory(self) -> bool:
+        return self.may_read_memory() or self.may_write_memory()
+
+    def is_readnone_callee(self) -> bool:
+        return False
+
+    def has_side_effects(self) -> bool:
+        """True when the instruction cannot be deleted even if unused."""
+        return (
+            self.is_terminator
+            or isinstance(self, (Store, Fence, AtomicRMW, CmpXchg, Call))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import format_instruction
+
+        try:
+            return format_instruction(self)
+        except Exception:
+            return f"<{self.opcode}>"
+
+
+class Alloca(Instruction):
+    opcode = "alloca"
+
+    def __init__(self, allocated_type: Type, name: str = "") -> None:
+        super().__init__(PointerType(allocated_type), [], name)
+        self.allocated_type = allocated_type
+
+    def size_bytes(self) -> int:
+        return self.allocated_type.size_bytes()
+
+
+class Load(Instruction):
+    opcode = "load"
+
+    def __init__(self, pointer: Value, ordering: str = "na", name: str = "") -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"load pointer operand has type {pointer.type}")
+        if ordering not in ORDERINGS:
+            raise ValueError(f"bad ordering {ordering!r}")
+        super().__init__(pointer.type.pointee, [pointer], name)
+        self.ordering = ordering
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+
+class Store(Instruction):
+    opcode = "store"
+
+    def __init__(self, value: Value, pointer: Value, ordering: str = "na") -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"store pointer operand has type {pointer.type}")
+        if ordering not in ORDERINGS:
+            raise ValueError(f"bad ordering {ordering!r}")
+        super().__init__(VOID, [value, pointer])
+        self.ordering = ordering
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+
+class AtomicRMW(Instruction):
+    """``atomicrmw op ptr, value`` — returns the *old* stored value."""
+
+    opcode = "atomicrmw"
+
+    def __init__(
+        self, op: str, pointer: Value, value: Value, ordering: str = "sc",
+        name: str = "",
+    ) -> None:
+        if op not in RMW_OPS:
+            raise ValueError(f"bad atomicrmw op {op!r}")
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"atomicrmw pointer operand has type {pointer.type}")
+        super().__init__(pointer.type.pointee, [pointer, value], name)
+        self.op = op
+        self.ordering = ordering
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def value(self) -> Value:
+        return self.operands[1]
+
+
+class CmpXchg(Instruction):
+    """``cmpxchg ptr, expected, new`` — returns the *old* stored value.
+
+    Success can be recovered with ``icmp eq old, expected`` (LLVM returns a
+    struct; we keep the IR first-order).
+    """
+
+    opcode = "cmpxchg"
+
+    def __init__(
+        self, pointer: Value, expected: Value, new: Value, ordering: str = "sc",
+        name: str = "",
+    ) -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"cmpxchg pointer operand has type {pointer.type}")
+        super().__init__(pointer.type.pointee, [pointer, expected, new], name)
+        self.ordering = ordering
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def expected(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def new(self) -> Value:
+        return self.operands[2]
+
+
+class Fence(Instruction):
+    opcode = "fence"
+
+    def __init__(self, kind: str) -> None:
+        if kind not in FENCE_KINDS:
+            raise ValueError(f"bad fence kind {kind!r}")
+        super().__init__(VOID, [])
+        self.kind = kind
+
+
+class BinOp(Instruction):
+    opcode = "binop"
+
+    def __init__(self, op: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if op not in BINOPS:
+            raise ValueError(f"bad binary opcode {op!r}")
+        super().__init__(lhs.type, [lhs, rhs], name)
+        self.op = op
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def is_commutative(self) -> bool:
+        return self.op in {"add", "mul", "and", "or", "xor", "fadd", "fmul"}
+
+
+class ICmp(Instruction):
+    opcode = "icmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in ICMP_PREDS:
+            raise ValueError(f"bad icmp predicate {pred!r}")
+        super().__init__(I1, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class FCmp(Instruction):
+    opcode = "fcmp"
+
+    def __init__(self, pred: str, lhs: Value, rhs: Value, name: str = "") -> None:
+        if pred not in FCMP_PREDS:
+            raise ValueError(f"bad fcmp predicate {pred!r}")
+        super().__init__(I1, [lhs, rhs], name)
+        self.pred = pred
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+
+class Cast(Instruction):
+    opcode = "cast"
+
+    def __init__(self, op: str, value: Value, dest: Type, name: str = "") -> None:
+        if op not in CAST_OPS:
+            raise ValueError(f"bad cast opcode {op!r}")
+        super().__init__(dest, [value], name)
+        self.op = op
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class GEP(Instruction):
+    """``getelementptr`` — address arithmetic, never touches memory.
+
+    We support the two shapes the pipeline produces:
+
+    * one index: ``gep T, T* p, i64 n`` → address ``p + n * sizeof(T)``;
+    * two indices with ``T`` an array: ``gep [k x E], ptr, i64 a, i64 b`` →
+      ``p + a * sizeof(T) + b * sizeof(E)``.
+    """
+
+    opcode = "getelementptr"
+
+    def __init__(
+        self,
+        source_type: Type,
+        pointer: Value,
+        indices: Sequence[Value],
+        name: str = "",
+    ) -> None:
+        if not isinstance(pointer.type, PointerType):
+            raise TypeError(f"gep pointer operand has type {pointer.type}")
+        if not 1 <= len(indices) <= 2:
+            raise ValueError("gep supports one or two indices")
+        if len(indices) == 2 and not isinstance(source_type, ArrayType):
+            raise TypeError("two-index gep requires an array source type")
+        if len(indices) == 2:
+            result = PointerType(source_type.element)
+        else:
+            result = PointerType(source_type)
+        super().__init__(result, [pointer, *indices], name)
+        self.source_type = source_type
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> list[Value]:
+        return self.operands[1:]
+
+
+class Phi(Instruction):
+    opcode = "phi"
+
+    def __init__(self, type_: Type, name: str = "") -> None:
+        super().__init__(type_, [], name)
+        self.incoming_blocks: list["BasicBlock"] = []
+
+    def add_incoming(self, value: Value, block: "BasicBlock") -> None:
+        self._append_operand(value)
+        self.incoming_blocks.append(block)
+
+    def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def incoming_for(self, block: "BasicBlock") -> Optional[Value]:
+        for v, b in self.incoming():
+            if b is block:
+                return v
+        return None
+
+    def remove_incoming(self, block: "BasicBlock") -> None:
+        for i, b in enumerate(self.incoming_blocks):
+            if b is block:
+                old = self.operands.pop(i)
+                self.incoming_blocks.pop(i)
+                if old not in self.operands:
+                    old.users.discard(self)
+                return
+
+
+class Select(Instruction):
+    opcode = "select"
+
+    def __init__(self, cond: Value, tval: Value, fval: Value, name: str = "") -> None:
+        super().__init__(tval.type, [cond, tval, fval], name)
+
+    @property
+    def cond(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+
+class ExtractElement(Instruction):
+    opcode = "extractelement"
+
+    def __init__(self, vector: Value, index: Value, name: str = "") -> None:
+        if not isinstance(vector.type, VectorType):
+            raise TypeError(f"extractelement on non-vector {vector.type}")
+        super().__init__(vector.type.element, [vector, index], name)
+
+    @property
+    def vector(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class InsertElement(Instruction):
+    opcode = "insertelement"
+
+    def __init__(
+        self, vector: Value, element: Value, index: Value, name: str = ""
+    ) -> None:
+        if not isinstance(vector.type, VectorType):
+            raise TypeError(f"insertelement on non-vector {vector.type}")
+        super().__init__(vector.type, [vector, element, index], name)
+
+    @property
+    def vector(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def element(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[2]
+
+
+class Call(Instruction):
+    opcode = "call"
+
+    # Calls to these runtime functions do not access program-visible memory.
+    _READNONE = {"clock", "thread_id"}
+
+    def __init__(self, callee: Value, args: Sequence[Value], name: str = "") -> None:
+        ftype = self._callee_ftype(callee)
+        super().__init__(ftype.ret, [callee, *args], name)
+        self.ftype = ftype
+
+    @staticmethod
+    def _callee_ftype(callee: Value) -> FunctionType:
+        t = callee.type
+        if isinstance(t, PointerType) and isinstance(t.pointee, FunctionType):
+            return t.pointee
+        raise TypeError(f"call callee has non-function type {t}")
+
+    @property
+    def callee(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def args(self) -> list[Value]:
+        return self.operands[1:]
+
+    def is_readnone_callee(self) -> bool:
+        c = self.callee
+        return isinstance(c, ExternalFunction) and c.name in self._READNONE
+
+
+class Br(Instruction):
+    """Conditional or unconditional branch."""
+
+    opcode = "br"
+
+    def __init__(
+        self,
+        cond: Optional[Value],
+        target: "BasicBlock",
+        else_target: Optional["BasicBlock"] = None,
+    ) -> None:
+        if cond is not None and else_target is None:
+            raise ValueError("conditional branch needs two targets")
+        ops = [] if cond is None else [cond]
+        super().__init__(VOID, ops)
+        self.targets: list["BasicBlock"] = (
+            [target] if cond is None else [target, else_target]
+        )
+
+    @property
+    def is_conditional(self) -> bool:
+        return len(self.operands) == 1
+
+    @property
+    def cond(self) -> Optional[Value]:
+        return self.operands[0] if self.is_conditional else None
+
+    def successors(self) -> list["BasicBlock"]:
+        return list(self.targets)
+
+    def replace_target(self, old: "BasicBlock", new: "BasicBlock") -> None:
+        self.targets = [new if t is old else t for t in self.targets]
+
+
+class Ret(Instruction):
+    opcode = "ret"
+
+    def __init__(self, value: Optional[Value] = None) -> None:
+        super().__init__(VOID, [] if value is None else [value])
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    def successors(self) -> list["BasicBlock"]:
+        return []
+
+
+class Unreachable(Instruction):
+    opcode = "unreachable"
+
+    def __init__(self) -> None:
+        super().__init__(VOID, [])
+
+    def successors(self) -> list["BasicBlock"]:
+        return []

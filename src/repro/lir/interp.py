@@ -1,0 +1,700 @@
+"""A reference interpreter for LIR.
+
+The interpreter gives LIR an executable semantics so every pipeline stage can
+be differentially tested: the x86 emulator, the lifted IR, the refined IR, the
+optimized IR and the generated Arm code must all compute the same results on
+data-race-free programs.
+
+Memory is a flat byte array.  Globals are laid out at load time, ``malloc``
+is a bump allocator, and each thread gets a private stack region for
+``alloca``.  Threads are interpreted with deterministic round-robin
+scheduling at a configurable quantum; for the data-race-free programs the
+test-suite runs, any interleaving yields the same answer, so determinism is a
+feature rather than a restriction.  (Weak-memory *behaviours* are explored by
+:mod:`repro.memmodel`, not by this interpreter.)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Optional
+
+from .function import BasicBlock, Function, Module
+from .instructions import (
+    GEP,
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CmpXchg,
+    ExtractElement,
+    FCmp,
+    Fence,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .types import ArrayType, FloatType, IntType, PointerType, Type, VectorType
+from .values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    ExternalFunction,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+GLOBAL_BASE = 0x1000
+HEAP_BASE = 0x100000
+STACK_BASE = 0x800000
+STACK_SIZE = 0x40000
+MEMORY_SIZE = 0x800000 + 64 * STACK_SIZE
+FUNC_TABLE_BASE = 0x10  # "addresses" for function pointers
+
+
+class InterpError(Exception):
+    """Raised on dynamically ill-formed programs (bad memory, bad call...)."""
+
+
+class Frame:
+    def __init__(self, func: Function, args: list[object]) -> None:
+        self.func = func
+        self.values: dict[int, object] = {}
+        for a, v in zip(func.arguments, args):
+            self.values[id(a)] = v
+        self.block: BasicBlock = func.entry
+        self.prev_block: Optional[BasicBlock] = None
+        self.index = 0
+        self.sp_mark = 0  # stack pointer to restore on return
+        self.ret_target: Optional[Instruction] = None  # call inst awaiting result
+
+
+class Thread:
+    def __init__(self, tid: int, frame: Frame, stack_top: int) -> None:
+        self.tid = tid
+        self.frames = [frame]
+        self.stack_ptr = stack_top
+        self.done = False
+        self.result: object = None
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+
+class Interpreter:
+    """Executes a LIR module starting from a named entry function."""
+
+    def __init__(self, module: Module, quantum: int = 64) -> None:
+        self.module = module
+        self.memory = bytearray(MEMORY_SIZE)
+        self.quantum = quantum
+        self.heap_ptr = HEAP_BASE
+        self.output: list[str] = []
+        self.steps = 0
+        self.max_steps = 200_000_000
+        self.global_addr: dict[str, int] = {}
+        self.func_by_addr: dict[int, Function] = {}
+        self.func_addr: dict[str, int] = {}
+        self.threads: list[Thread] = []
+        self.next_tid = 0
+        self.externals: dict[str, Callable] = {
+            "malloc": self._ext_malloc,
+            "spawn": self._ext_spawn,
+            "join": self._ext_join,
+            "print_i64": self._ext_print_i64,
+            "print_f64": self._ext_print_f64,
+            "abort": self._ext_abort,
+            "thread_id": self._ext_thread_id,
+            "sqrt": self._ext_sqrt,
+        }
+        self._layout_globals()
+        self._layout_functions()
+
+    # ---- memory layout --------------------------------------------------
+    def _layout_globals(self) -> None:
+        addr = GLOBAL_BASE
+        for g in self.module.globals.values():
+            size = max(1, g.size_bytes())
+            addr = (addr + 7) & ~7  # 8-byte alignment
+            self.global_addr[g.name] = addr
+            init = g.initializer
+            if isinstance(init, bytes):
+                self.memory[addr : addr + len(init)] = init
+            elif isinstance(init, ConstantInt):
+                self._store_typed(addr, g.value_type, init.value)
+            elif isinstance(init, ConstantFloat):
+                self._store_typed(addr, g.value_type, init.value)
+            addr += size
+
+    def _layout_functions(self) -> None:
+        next_addr = FUNC_TABLE_BASE
+        for f in self.module.functions.values():
+            self.func_addr[f.name] = next_addr
+            self.func_by_addr[next_addr] = f
+            next_addr += 1
+
+    # ---- typed memory access -----------------------------------------------
+    def _check_range(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > len(self.memory):
+            raise InterpError(f"memory access out of range: {addr:#x}+{size}")
+
+    def load_typed(self, addr: int, type_: Type) -> object:
+        self._check_range(addr, type_.size_bytes())
+        if isinstance(type_, IntType):
+            size = type_.size_bytes()
+            raw = int.from_bytes(self.memory[addr : addr + size], "little")
+            return raw & type_.mask()
+        if isinstance(type_, FloatType):
+            fmt = "<f" if type_.bits == 32 else "<d"
+            size = type_.size_bytes()
+            return struct.unpack(fmt, self.memory[addr : addr + size])[0]
+        if isinstance(type_, PointerType):
+            return int.from_bytes(self.memory[addr : addr + 8], "little")
+        if isinstance(type_, VectorType):
+            elems = []
+            esize = type_.element.size_bytes()
+            for i in range(type_.count):
+                elems.append(self.load_typed(addr + i * esize, type_.element))
+            return tuple(elems)
+        raise InterpError(f"cannot load type {type_}")
+
+    def _store_typed(self, addr: int, type_: Type, value: object) -> None:
+        self._check_range(addr, type_.size_bytes())
+        if isinstance(type_, IntType):
+            size = type_.size_bytes()
+            v = int(value) & ((1 << (size * 8)) - 1)
+            self.memory[addr : addr + size] = v.to_bytes(size, "little")
+        elif isinstance(type_, FloatType):
+            fmt = "<f" if type_.bits == 32 else "<d"
+            self.memory[addr : addr + type_.size_bytes()] = struct.pack(
+                fmt, float(value)
+            )
+        elif isinstance(type_, PointerType):
+            self.memory[addr : addr + 8] = (int(value) & (2**64 - 1)).to_bytes(
+                8, "little"
+            )
+        elif isinstance(type_, VectorType):
+            esize = type_.element.size_bytes()
+            for i, elem in enumerate(value):  # type: ignore[arg-type]
+                self._store_typed(addr + i * esize, type_.element, elem)
+        else:
+            raise InterpError(f"cannot store type {type_}")
+
+    store_typed = _store_typed
+
+    # ---- value evaluation ---------------------------------------------------
+    def _value(self, thread: Thread, v: Value) -> object:
+        if isinstance(v, ConstantInt):
+            return v.value
+        if isinstance(v, ConstantFloat):
+            return v.value
+        if isinstance(v, ConstantPointerNull):
+            return 0
+        if isinstance(v, UndefValue):
+            if isinstance(v.type, FloatType):
+                return 0.0
+            if isinstance(v.type, VectorType):
+                return tuple([0] * v.type.count)
+            return 0
+        if isinstance(v, ConstantVector):
+            return tuple(
+                e.value for e in v.elements  # type: ignore[attr-defined]
+            )
+        if isinstance(v, GlobalVariable):
+            return self.global_addr[v.name]
+        if isinstance(v, Function):
+            return self.func_addr[v.name]
+        if isinstance(v, ExternalFunction):
+            return ("external", v.name)
+        if isinstance(v, (Instruction, Argument)):
+            frame = thread.frame
+            if id(v) not in frame.values:
+                raise InterpError(
+                    f"use of undefined value %{v.name} in {frame.func.name}"
+                )
+            return frame.values[id(v)]
+        raise InterpError(f"cannot evaluate value {v!r}")
+
+    # ---- entry points ------------------------------------------------------
+    def run(self, entry: str = "main", args: Optional[list[object]] = None) -> object:
+        func = self.module.get_function(entry)
+        actual = list(args or [])
+        # Missing trailing arguments default to zero, mirroring the machine
+        # emulators where registers start zeroed (matters for lifted mains
+        # whose type discovery conservatively found parameters).
+        while len(actual) < len(func.arguments):
+            ftype = func.arguments[len(actual)].type
+            actual.append(0.0 if ftype.is_float else 0)
+        main = self._make_thread(func, actual)
+        while not main.done:
+            self._schedule()
+        ret = func.ftype.ret
+        if isinstance(ret, IntType) and isinstance(main.result, int):
+            return _signed(main.result, ret.bits)
+        return main.result
+
+    def _make_thread(self, func: Function, args: list[object]) -> Thread:
+        tid = self.next_tid
+        self.next_tid += 1
+        stack_top = STACK_BASE + (tid + 1) * STACK_SIZE - 16
+        frame = Frame(func, args)
+        thread = Thread(tid, frame, stack_top)
+        frame.sp_mark = stack_top
+        self.threads.append(thread)
+        return thread
+
+    def _schedule(self) -> None:
+        ran_any = False
+        for thread in list(self.threads):
+            if thread.done:
+                continue
+            ran_any = True
+            for _ in range(self.quantum):
+                if thread.done:
+                    break
+                self._step(thread)
+        if not ran_any:
+            raise InterpError("deadlock: all threads blocked or done")
+
+    # ---- single step -------------------------------------------------------
+    def _step(self, thread: Thread) -> None:
+        self.steps += 1
+        if self.steps > self.max_steps:
+            raise InterpError("step budget exceeded (runaway program?)")
+        frame = thread.frame
+        if frame.index >= len(frame.block.instructions):
+            raise InterpError(
+                f"fell off the end of block {frame.block.name} in "
+                f"{frame.func.name}"
+            )
+        inst = frame.block.instructions[frame.index]
+        self._execute(thread, inst)
+
+    def _advance(self, frame: Frame) -> None:
+        frame.index += 1
+
+    def _execute(self, thread: Thread, inst: Instruction) -> None:
+        frame = thread.frame
+        if isinstance(inst, Alloca):
+            size = max(1, inst.size_bytes())
+            thread.stack_ptr = (thread.stack_ptr - size) & ~15
+            frame.values[id(inst)] = thread.stack_ptr
+            self._advance(frame)
+        elif isinstance(inst, Load):
+            addr = self._value(thread, inst.pointer)
+            frame.values[id(inst)] = self.load_typed(int(addr), inst.type)
+            self._advance(frame)
+        elif isinstance(inst, Store):
+            addr = self._value(thread, inst.pointer)
+            val = self._value(thread, inst.value)
+            self._store_typed(int(addr), inst.value.type, val)
+            self._advance(frame)
+        elif isinstance(inst, AtomicRMW):
+            addr = int(self._value(thread, inst.pointer))
+            operand = self._value(thread, inst.value)
+            old = self.load_typed(addr, inst.type)
+            new = _rmw_apply(inst.op, old, operand, inst.type)
+            self._store_typed(addr, inst.type, new)
+            frame.values[id(inst)] = old
+            self._advance(frame)
+        elif isinstance(inst, CmpXchg):
+            addr = int(self._value(thread, inst.pointer))
+            expected = self._value(thread, inst.expected)
+            new = self._value(thread, inst.new)
+            old = self.load_typed(addr, inst.type)
+            if old == expected:
+                self._store_typed(addr, inst.type, new)
+            frame.values[id(inst)] = old
+            self._advance(frame)
+        elif isinstance(inst, Fence):
+            self._advance(frame)  # single-copy-atomic memory: fences are no-ops
+        elif isinstance(inst, GEP):
+            frame.values[id(inst)] = self._eval_gep(thread, inst)
+            self._advance(frame)
+        elif isinstance(inst, BinOp):
+            lhs = self._value(thread, inst.lhs)
+            rhs = self._value(thread, inst.rhs)
+            frame.values[id(inst)] = _binop_apply(inst.op, lhs, rhs, inst.type)
+            self._advance(frame)
+        elif isinstance(inst, ICmp):
+            lhs = self._value(thread, inst.lhs)
+            rhs = self._value(thread, inst.rhs)
+            frame.values[id(inst)] = _icmp_apply(
+                inst.pred, int(lhs), int(rhs), inst.lhs.type
+            )
+            self._advance(frame)
+        elif isinstance(inst, FCmp):
+            lhs = float(self._value(thread, inst.lhs))
+            rhs = float(self._value(thread, inst.rhs))
+            frame.values[id(inst)] = _fcmp_apply(inst.pred, lhs, rhs)
+            self._advance(frame)
+        elif isinstance(inst, Cast):
+            frame.values[id(inst)] = self._eval_cast(thread, inst)
+            self._advance(frame)
+        elif isinstance(inst, Select):
+            cond = self._value(thread, inst.cond)
+            pick = inst.true_value if int(cond) & 1 else inst.false_value
+            frame.values[id(inst)] = self._value(thread, pick)
+            self._advance(frame)
+        elif isinstance(inst, ExtractElement):
+            vec = self._value(thread, inst.vector)
+            idx = int(self._value(thread, inst.index))
+            frame.values[id(inst)] = vec[idx]  # type: ignore[index]
+            self._advance(frame)
+        elif isinstance(inst, InsertElement):
+            vec = list(self._value(thread, inst.vector))  # type: ignore[arg-type]
+            idx = int(self._value(thread, inst.index))
+            vec[idx] = self._value(thread, inst.element)
+            frame.values[id(inst)] = tuple(vec)
+            self._advance(frame)
+        elif isinstance(inst, Phi):
+            # Phi nodes at a block head are evaluated atomically on entry
+            # (handled by _enter_block); reaching one here means _enter_block
+            # already filled it in, just skip.
+            self._advance(frame)
+        elif isinstance(inst, Call):
+            self._eval_call(thread, inst)
+        elif isinstance(inst, Br):
+            if inst.is_conditional:
+                cond = int(self._value(thread, inst.cond)) & 1
+                target = inst.targets[0] if cond else inst.targets[1]
+            else:
+                target = inst.targets[0]
+            self._enter_block(thread, target)
+        elif isinstance(inst, Ret):
+            result = (
+                self._value(thread, inst.value) if inst.value is not None else None
+            )
+            self._return(thread, result)
+        elif isinstance(inst, Unreachable):
+            raise InterpError(f"executed unreachable in {frame.func.name}")
+        else:
+            raise InterpError(f"cannot interpret {inst.opcode}")
+
+    # ---- helpers ----------------------------------------------------------
+    def _enter_block(self, thread: Thread, target: BasicBlock) -> None:
+        frame = thread.frame
+        source = frame.block
+        # Evaluate all phis in parallel against the old frame values.
+        phi_values = []
+        for phi in target.phis():
+            incoming = phi.incoming_for(source)
+            if incoming is None:
+                raise InterpError(
+                    f"phi in {target.name} has no incoming for {source.name}"
+                )
+            phi_values.append((phi, self._value(thread, incoming)))
+        for phi, v in phi_values:
+            frame.values[id(phi)] = v
+        frame.prev_block = source
+        frame.block = target
+        frame.index = target.first_non_phi_index()
+
+    def _return(self, thread: Thread, result: object) -> None:
+        frame = thread.frames.pop()
+        thread.stack_ptr = frame.sp_mark
+        if not thread.frames:
+            thread.done = True
+            thread.result = result
+            return
+        caller = thread.frame
+        call_inst = frame.ret_target
+        if call_inst is not None and not call_inst.type.is_void:
+            caller.values[id(call_inst)] = result
+        caller.index += 1
+
+    def _eval_call(self, thread: Thread, inst: Call) -> None:
+        frame = thread.frame
+        callee = self._value(thread, inst.callee)
+        args = [self._value(thread, a) for a in inst.args]
+        if isinstance(callee, tuple) and callee[0] == "external":
+            handler = self.externals.get(callee[1])
+            if handler is None:
+                raise InterpError(f"call to unknown external {callee[1]}")
+            result = handler(thread, args)
+            if not inst.type.is_void:
+                frame.values[id(inst)] = result
+            frame.index += 1
+            return
+        func = self.func_by_addr.get(int(callee))  # type: ignore[arg-type]
+        if func is None:
+            raise InterpError(f"indirect call to bad address {callee}")
+        new_frame = Frame(func, args)
+        new_frame.sp_mark = thread.stack_ptr
+        new_frame.ret_target = inst
+        thread.frames.append(new_frame)
+
+    def _eval_gep(self, thread: Thread, inst: GEP) -> int:
+        base = int(self._value(thread, inst.pointer))
+        indices = [int(self._value(thread, i)) for i in inst.indices]
+        addr = base + _signed64(indices[0]) * inst.source_type.size_bytes()
+        if len(indices) == 2:
+            assert isinstance(inst.source_type, ArrayType)
+            addr += _signed64(indices[1]) * inst.source_type.element.size_bytes()
+        return addr & (2**64 - 1)
+
+    def _eval_cast(self, thread: Thread, inst: Cast) -> object:
+        v = self._value(thread, inst.value)
+        src, dst = inst.value.type, inst.type
+        op = inst.op
+        if op in ("inttoptr", "ptrtoint"):
+            return int(v) & (2**64 - 1)
+        if op == "trunc":
+            return int(v) & dst.mask()  # type: ignore[union-attr]
+        if op == "zext":
+            return int(v) & src.mask()  # type: ignore[union-attr]
+        if op == "sext":
+            return _sext(int(v), src.bits, dst.bits)  # type: ignore[union-attr]
+        if op == "bitcast":
+            return _bitcast(v, src, dst)
+        if op in ("sitofp",):
+            return float(_signed(int(v), src.bits))  # type: ignore[union-attr]
+        if op in ("uitofp",):
+            return float(int(v))
+        if op in ("fptosi", "fptoui"):
+            iv = int(v)  # truncation toward zero
+            return iv & dst.mask()  # type: ignore[union-attr]
+        if op == "fpext":
+            return float(v)
+        if op == "fptrunc":
+            return struct.unpack("<f", struct.pack("<f", float(v)))[0]
+        raise InterpError(f"cannot evaluate cast {op}")
+
+    # ---- externals ---------------------------------------------------------
+    def _ext_malloc(self, thread: Thread, args: list[object]) -> int:
+        size = int(args[0])
+        addr = (self.heap_ptr + 15) & ~15
+        self.heap_ptr = addr + max(1, size)
+        if self.heap_ptr >= STACK_BASE:
+            raise InterpError("heap exhausted")
+        return addr
+
+    def _ext_spawn(self, thread: Thread, args: list[object]) -> int:
+        fn_addr = int(args[0])
+        func = self.func_by_addr.get(fn_addr)
+        if func is None:
+            raise InterpError(f"spawn of bad function address {fn_addr}")
+        child = self._make_thread(func, list(args[1:1 + len(func.arguments)]))
+        return child.tid
+
+    def _ext_join(self, thread: Thread, args: list[object]) -> int:
+        tid = int(args[0])
+        for t in self.threads:
+            if t.tid == tid:
+                # Run the target thread to completion (cooperative join).
+                while not t.done:
+                    for _ in range(self.quantum):
+                        if t.done:
+                            break
+                        self._step(t)
+                result = t.result
+                return int(result) if isinstance(result, int) else 0
+        raise InterpError(f"join of unknown thread {tid}")
+
+    def _ext_print_i64(self, thread: Thread, args: list[object]) -> None:
+        self.output.append(str(_signed(int(args[0]), 64)))
+
+    def _ext_print_f64(self, thread: Thread, args: list[object]) -> None:
+        self.output.append(f"{float(args[0]):.6f}")
+
+    def _ext_abort(self, thread: Thread, args: list[object]) -> None:
+        raise InterpError("program aborted")
+
+    def _ext_thread_id(self, thread: Thread, args: list[object]) -> int:
+        return thread.tid
+
+    def _ext_sqrt(self, thread: Thread, args: list[object]) -> float:
+        return float(args[0]) ** 0.5
+
+
+# ---- pure helpers ------------------------------------------------------
+
+
+def _signed(v: int, bits: int) -> int:
+    v &= (1 << bits) - 1
+    if v >= 1 << (bits - 1):
+        v -= 1 << bits
+    return v
+
+
+def _signed64(v: int) -> int:
+    return _signed(v, 64)
+
+
+def _sext(v: int, from_bits: int, to_bits: int) -> int:
+    return _signed(v, from_bits) & ((1 << to_bits) - 1)
+
+
+def _bitcast(v: object, src: Type, dst: Type) -> object:
+    raw = _to_bytes(v, src)
+    return _from_bytes(raw, dst)
+
+
+def _to_bytes(v: object, t: Type) -> bytes:
+    if isinstance(t, IntType):
+        return (int(v) & t.mask()).to_bytes(t.size_bytes(), "little")
+    if isinstance(t, FloatType):
+        return struct.pack("<f" if t.bits == 32 else "<d", float(v))
+    if isinstance(t, PointerType):
+        return (int(v) & (2**64 - 1)).to_bytes(8, "little")
+    if isinstance(t, VectorType):
+        return b"".join(_to_bytes(e, t.element) for e in v)  # type: ignore[union-attr]
+    raise InterpError(f"cannot bitcast from {t}")
+
+
+def _from_bytes(raw: bytes, t: Type) -> object:
+    if isinstance(t, IntType):
+        return int.from_bytes(raw[: t.size_bytes()], "little") & t.mask()
+    if isinstance(t, FloatType):
+        fmt = "<f" if t.bits == 32 else "<d"
+        return struct.unpack(fmt, raw[: t.size_bytes()])[0]
+    if isinstance(t, PointerType):
+        return int.from_bytes(raw[:8], "little")
+    if isinstance(t, VectorType):
+        esize = t.element.size_bytes()
+        return tuple(
+            _from_bytes(raw[i * esize : (i + 1) * esize], t.element)
+            for i in range(t.count)
+        )
+    raise InterpError(f"cannot bitcast to {t}")
+
+
+def _binop_apply(op: str, lhs: object, rhs: object, type_: Type) -> object:
+    if isinstance(type_, VectorType):
+        return tuple(
+            _binop_apply(op, a, b, type_.element)
+            for a, b in zip(lhs, rhs)  # type: ignore[arg-type]
+        )
+    if op.startswith("f"):
+        a, b = float(lhs), float(rhs)
+        if op == "fadd":
+            return a + b
+        if op == "fsub":
+            return a - b
+        if op == "fmul":
+            return a * b
+        if op == "fdiv":
+            return a / b if b != 0.0 else float("inf") if a > 0 else (
+                float("-inf") if a < 0 else float("nan")
+            )
+        raise InterpError(f"bad float op {op}")
+    assert isinstance(type_, IntType)
+    bits = type_.bits
+    mask = type_.mask()
+    a, b = int(lhs) & mask, int(rhs) & mask
+    sa, sb = _signed(a, bits), _signed(b, bits)
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "mul":
+        return (a * b) & mask
+    if op == "sdiv":
+        if sb == 0:
+            raise InterpError("sdiv by zero")
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return q & mask
+    if op == "udiv":
+        if b == 0:
+            raise InterpError("udiv by zero")
+        return (a // b) & mask
+    if op == "srem":
+        if sb == 0:
+            raise InterpError("srem by zero")
+        q = abs(sa) // abs(sb)
+        if (sa < 0) != (sb < 0):
+            q = -q
+        return (sa - q * sb) & mask
+    if op == "urem":
+        if b == 0:
+            raise InterpError("urem by zero")
+        return (a % b) & mask
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "shl":
+        return (a << (b % bits)) & mask
+    if op == "lshr":
+        return (a >> (b % bits)) & mask
+    if op == "ashr":
+        return (sa >> (b % bits)) & mask
+    raise InterpError(f"bad int op {op}")
+
+
+def _icmp_apply(pred: str, lhs: int, rhs: int, type_: Type) -> int:
+    bits = type_.bits if isinstance(type_, IntType) else 64
+    mask = (1 << bits) - 1
+    ua, ub = lhs & mask, rhs & mask
+    sa, sb = _signed(ua, bits), _signed(ub, bits)
+    table = {
+        "eq": ua == ub,
+        "ne": ua != ub,
+        "slt": sa < sb,
+        "sle": sa <= sb,
+        "sgt": sa > sb,
+        "sge": sa >= sb,
+        "ult": ua < ub,
+        "ule": ua <= ub,
+        "ugt": ua > ub,
+        "uge": ua >= ub,
+    }
+    return 1 if table[pred] else 0
+
+
+def _fcmp_apply(pred: str, a: float, b: float) -> int:
+    unordered = a != a or b != b  # NaN check
+    if pred == "ord":
+        return 0 if unordered else 1
+    if pred == "uno":
+        return 1 if unordered else 0
+    if unordered:
+        return 0
+    table = {
+        "oeq": a == b,
+        "one": a != b,
+        "olt": a < b,
+        "ole": a <= b,
+        "ogt": a > b,
+        "oge": a >= b,
+    }
+    return 1 if table[pred] else 0
+
+
+def _rmw_apply(op: str, old: object, operand: object, type_: Type) -> object:
+    assert isinstance(type_, IntType)
+    mask = type_.mask()
+    a, b = int(old) & mask, int(operand) & mask
+    if op == "xchg":
+        return b
+    if op == "add":
+        return (a + b) & mask
+    if op == "sub":
+        return (a - b) & mask
+    if op == "and":
+        return a & b
+    if op == "or":
+        return a | b
+    if op == "xor":
+        return a ^ b
+    if op == "max":
+        return a if _signed(a, type_.bits) >= _signed(b, type_.bits) else b
+    if op == "min":
+        return a if _signed(a, type_.bits) <= _signed(b, type_.bits) else b
+    raise InterpError(f"bad rmw op {op}")

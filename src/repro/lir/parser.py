@@ -1,0 +1,478 @@
+"""Parser for the LIR textual format — the inverse of :mod:`printer`.
+
+``parse_module(format_module(m))`` reconstructs an equivalent module, which
+the property tests verify by re-printing and by differential interpretation.
+Forward references (e.g. phi operands defined in later blocks) are handled
+with placeholder values patched after the function body is read.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .function import BasicBlock, Function, Module
+from .instructions import (
+    GEP,
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CmpXchg,
+    ExtractElement,
+    FCmp,
+    Fence,
+    ICmp,
+    InsertElement,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+    BINOPS,
+    CAST_OPS,
+    FCMP_PREDS,
+    ICMP_PREDS,
+)
+from .types import (
+    ArrayType,
+    F32,
+    F64,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VOID,
+)
+from .values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class IRParseError(Exception):
+    pass
+
+
+class _Placeholder(Value):
+    """Stand-in for a %name referenced before its definition."""
+
+    def __init__(self, name: str, type_: Type) -> None:
+        super().__init__(type_, name)
+
+
+_FENCE_KINDS = {"seq_cst": "sc", "frm": "rm", "fww": "ww"}
+
+
+def parse_type(text: str) -> tuple[Type, str]:
+    """Parse a type at the start of ``text``; return (type, rest)."""
+    text = text.lstrip()
+    if text.startswith("void"):
+        base: Type = VOID
+        rest = text[4:]
+    elif text.startswith("double"):
+        base = F64
+        rest = text[6:]
+    elif text.startswith("float"):
+        base = F32
+        rest = text[5:]
+    elif text.startswith("i"):
+        m = re.match(r"i(\d+)", text)
+        if not m:
+            raise IRParseError(f"bad type at {text[:20]!r}")
+        base = IntType(int(m.group(1)))
+        rest = text[m.end():]
+    elif text.startswith("["):
+        m = re.match(r"\[\s*(\d+)\s*x\s*", text)
+        if not m:
+            raise IRParseError(f"bad array type at {text[:20]!r}")
+        elem, rest = parse_type(text[m.end():])
+        rest = rest.lstrip()
+        if not rest.startswith("]"):
+            raise IRParseError(f"unterminated array type at {text[:20]!r}")
+        base = ArrayType(elem, int(m.group(1)))
+        rest = rest[1:]
+    elif text.startswith("<"):
+        m = re.match(r"<\s*(\d+)\s*x\s*", text)
+        if not m:
+            raise IRParseError(f"bad vector type at {text[:20]!r}")
+        elem, rest = parse_type(text[m.end():])
+        rest = rest.lstrip()
+        if not rest.startswith(">"):
+            raise IRParseError(f"unterminated vector type at {text[:20]!r}")
+        base = VectorType(elem, int(m.group(1)))
+        rest = rest[1:]
+    else:
+        raise IRParseError(f"bad type at {text[:20]!r}")
+    while rest.startswith("*"):
+        base = PointerType(base)
+        rest = rest[1:]
+    return base, rest
+
+
+class _FunctionParser:
+    def __init__(self, module: Module, func: Function) -> None:
+        self.module = module
+        self.func = func
+        self.values: dict[str, Value] = {a.name: a for a in func.arguments}
+        self.blocks: dict[str, BasicBlock] = {}
+        self.placeholders: dict[str, _Placeholder] = {}
+
+    # ---- value / operand handling -------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        if name not in self.blocks:
+            bb = BasicBlock(name)
+            self.blocks[name] = bb
+        return self.blocks[name]
+
+    def value_ref(self, token: str, type_: Type) -> Value:
+        token = token.strip()
+        if token.startswith("%"):
+            name = token[1:]
+            if name in self.values:
+                return self.values[name]
+            ph = self.placeholders.get(name)
+            if ph is None:
+                ph = _Placeholder(name, type_)
+                self.placeholders[name] = ph
+            return ph
+        if token.startswith("@"):
+            name = token[1:]
+            if name in self.module.globals:
+                return self.module.globals[name]
+            if name in self.module.functions:
+                return self.module.functions[name]
+            if name in self.module.externals:
+                return self.module.externals[name]
+            raise IRParseError(f"unknown global {token}")
+        if token == "null":
+            return ConstantPointerNull(type_)  # type: ignore[arg-type]
+        if token == "undef":
+            return UndefValue(type_)
+        if isinstance(type_, FloatType):
+            return ConstantFloat(type_, float(token))
+        if isinstance(type_, IntType):
+            return ConstantInt(type_, int(token))
+        raise IRParseError(f"cannot parse operand {token!r} of type {type_}")
+
+    def typed_operand(self, text: str) -> tuple[Value, str]:
+        """Parse ``<type> <ref>`` and return (value, rest-after-ref)."""
+        type_, rest = parse_type(text)
+        rest = rest.lstrip()
+        m = re.match(r"(%[\w.$-]+|@[\w.$-]+|[-+]?[\d.eE+]+|null|undef)", rest)
+        if not m:
+            raise IRParseError(f"bad operand at {rest[:30]!r}")
+        return self.value_ref(m.group(1), type_), rest[m.end():]
+
+    def define(self, name: str, value: Value) -> None:
+        self.values[name] = value
+        ph = self.placeholders.pop(name, None)
+        if ph is not None:
+            ph.replace_all_uses_with(value)
+
+    # ---- driver --------------------------------------------------------
+    def finish(self) -> None:
+        if self.placeholders:
+            missing = sorted(self.placeholders)
+            raise IRParseError(
+                f"{self.func.name}: undefined values {missing}"
+            )
+
+
+def parse_module(text: str) -> Module:
+    lines = [ln.rstrip() for ln in text.splitlines()]
+    module = Module("parsed")
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith(";"):
+            if line.startswith("; module"):
+                module.name = line.split("; module", 1)[1].strip() or "parsed"
+            continue
+        if line.startswith("@"):
+            _parse_global(module, line)
+        elif line.startswith("declare"):
+            _parse_declare(module, line)
+        elif line.startswith("define"):
+            i = _parse_function(module, lines, i - 1)
+        else:
+            raise IRParseError(f"unexpected top-level line: {line!r}")
+    return module
+
+
+def _parse_global(module: Module, line: str) -> None:
+    m = re.match(r"@([\w.$-]+)\s*=\s*global\s+(.*)$", line)
+    if not m:
+        raise IRParseError(f"bad global: {line!r}")
+    name = m.group(1)
+    type_, rest = parse_type(m.group(2))
+    rest = rest.strip()
+    init = None
+    if rest == "zeroinitializer" or not rest:
+        init = None
+    elif rest.startswith("bytes 0x"):
+        init = bytes.fromhex(rest[len("bytes 0x"):])
+    elif isinstance(type_, FloatType):
+        init = ConstantFloat(type_, float(rest))
+    elif isinstance(type_, IntType):
+        init = ConstantInt(type_, int(rest))
+    module.add_global(GlobalVariable(name, type_, init))
+
+
+def _parse_declare(module: Module, line: str) -> None:
+    m = re.match(r"declare\s+(.+?)\s*@([\w.$-]+)\((.*)\)\s*$", line)
+    if not m:
+        raise IRParseError(f"bad declare: {line!r}")
+    ret, _ = parse_type(m.group(1))
+    params = []
+    variadic = False
+    body = m.group(3).strip()
+    if body == "...":
+        variadic = True  # printed form of externals elides parameter types
+    elif body:
+        for piece in body.split(","):
+            piece = piece.strip()
+            if piece == "...":
+                variadic = True
+                continue
+            t, _ = parse_type(piece)
+            params.append(t)
+    module.declare_external(
+        m.group(2), FunctionType(ret, tuple(params), variadic)
+    )
+
+
+def _parse_function(module: Module, lines: list[str], start: int) -> int:
+    header = lines[start].strip()
+    m = re.match(r"define\s+(.+?)\s*@([\w.$-]+)\((.*)\)\s*\{$", header)
+    if not m:
+        raise IRParseError(f"bad define: {header!r}")
+    ret, _ = parse_type(m.group(1))
+    params: list[Type] = []
+    names: list[str] = []
+    args_text = m.group(3).strip()
+    if args_text:
+        for piece in args_text.split(","):
+            t, rest = parse_type(piece.strip())
+            rest = rest.strip()
+            if not rest.startswith("%"):
+                raise IRParseError(f"bad parameter: {piece!r}")
+            params.append(t)
+            names.append(rest[1:])
+    existing = module.functions.get(m.group(2))
+    if existing is not None and existing.is_declaration:
+        func = existing
+    else:
+        func = Function(m.group(2), FunctionType(ret, tuple(params)), names)
+        module.add_function(func)
+    fp = _FunctionParser(module, func)
+
+    current: Optional[BasicBlock] = None
+    i = start + 1
+    while i < len(lines):
+        raw = lines[i]
+        line = raw.strip()
+        i += 1
+        if not line:
+            continue
+        if line == "}":
+            break
+        label = re.match(r"^([\w.$-]+):$", line)
+        if label:
+            current = fp.block(label.group(1))
+            func.append_block(current)
+            continue
+        if current is None:
+            raise IRParseError(f"instruction outside block: {line!r}")
+        inst = _parse_instruction(fp, line)
+        current.append(inst)
+    fp.finish()
+    return i
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on top-level commas (respecting [ ] and < > brackets)."""
+    parts = []
+    depth = 0
+    cur = ""
+    for ch in text:
+        if ch in "[<(":
+            depth += 1
+        elif ch in "]>)":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur)
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur)
+    return parts
+
+
+def _parse_instruction(fp: _FunctionParser, line: str):
+    name = ""
+    m = re.match(r"%([\w.$-]+)\s*=\s*(.*)$", line)
+    if m:
+        name = m.group(1)
+        line = m.group(2)
+
+    mnemonic = line.split(None, 1)[0]
+    rest = line[len(mnemonic):].strip()
+
+    inst = _dispatch(fp, mnemonic, rest, line)
+    if name:
+        inst.name = name
+        fp.define(name, inst)
+    return inst
+
+
+def _dispatch(fp: _FunctionParser, mnemonic: str, rest: str, line: str):
+    if mnemonic == "alloca":
+        t, _ = parse_type(rest)
+        return Alloca(t)
+    if mnemonic == "load":
+        atomic = rest.startswith("atomic")
+        if atomic:
+            rest = rest[len("atomic"):].strip()
+        parts = _split_args(rest)
+        ptr_part = parts[1].strip()
+        ordering = "na"
+        if ptr_part.endswith(" sc"):
+            ptr_part = ptr_part[:-3]
+            ordering = "sc"
+        value, _ = fp.typed_operand(ptr_part)
+        return Load(value, ordering)
+    if mnemonic == "store":
+        atomic = rest.startswith("atomic")
+        if atomic:
+            rest = rest[len("atomic"):].strip()
+        parts = _split_args(rest)
+        val, _ = fp.typed_operand(parts[0])
+        ptr_part = parts[1].strip()
+        ordering = "na"
+        if ptr_part.endswith(" sc"):
+            ptr_part = ptr_part[:-3]
+            ordering = "sc"
+        ptr_v, _ = fp.typed_operand(ptr_part)
+        return Store(val, ptr_v, ordering)
+    if mnemonic == "atomicrmw":
+        op, rest = rest.split(None, 1)
+        parts = _split_args(rest)
+        ptr_v, _ = fp.typed_operand(parts[0])
+        val_part = parts[1].strip()
+        ordering = "sc"
+        if val_part.endswith(" sc"):
+            val_part = val_part[:-3]
+        val, _ = fp.typed_operand(val_part)
+        return AtomicRMW(op, ptr_v, val, ordering)
+    if mnemonic == "cmpxchg":
+        parts = _split_args(rest)
+        ptr_v, _ = fp.typed_operand(parts[0])
+        expected, _ = fp.typed_operand(parts[1])
+        new_part = parts[2].strip()
+        if new_part.endswith(" sc"):
+            new_part = new_part[:-3]
+        new, _ = fp.typed_operand(new_part)
+        return CmpXchg(ptr_v, expected, new, "sc")
+    if mnemonic == "fence":
+        kind = _FENCE_KINDS.get(rest.strip())
+        if kind is None:
+            raise IRParseError(f"bad fence: {line!r}")
+        return Fence(kind)
+    if mnemonic == "getelementptr":
+        parts = _split_args(rest)
+        src_t, _ = parse_type(parts[0])
+        ptr_v, _ = fp.typed_operand(parts[1])
+        indices = [fp.typed_operand(p)[0] for p in parts[2:]]
+        return GEP(src_t, ptr_v, indices)
+    if mnemonic in BINOPS:
+        parts = _split_args(rest)
+        lhs, _ = fp.typed_operand(parts[0])
+        rhs = fp.value_ref(parts[1].strip(), lhs.type)
+        return BinOp(mnemonic, lhs, rhs)
+    if mnemonic == "icmp":
+        pred, rest2 = rest.split(None, 1)
+        if pred not in ICMP_PREDS:
+            raise IRParseError(f"bad icmp: {line!r}")
+        parts = _split_args(rest2)
+        lhs, _ = fp.typed_operand(parts[0])
+        rhs = fp.value_ref(parts[1].strip(), lhs.type)
+        return ICmp(pred, lhs, rhs)
+    if mnemonic == "fcmp":
+        pred, rest2 = rest.split(None, 1)
+        if pred not in FCMP_PREDS:
+            raise IRParseError(f"bad fcmp: {line!r}")
+        parts = _split_args(rest2)
+        lhs, _ = fp.typed_operand(parts[0])
+        rhs = fp.value_ref(parts[1].strip(), lhs.type)
+        return FCmp(pred, lhs, rhs)
+    if mnemonic in CAST_OPS:
+        m = re.match(r"(.+?)\s+to\s+(.+)$", rest)
+        if not m:
+            raise IRParseError(f"bad cast: {line!r}")
+        value, _ = fp.typed_operand(m.group(1))
+        dest, _ = parse_type(m.group(2))
+        return Cast(mnemonic, value, dest)
+    if mnemonic == "select":
+        parts = _split_args(rest)
+        cond, _ = fp.typed_operand(parts[0])
+        tval, _ = fp.typed_operand(parts[1])
+        fval, _ = fp.typed_operand(parts[2])
+        return Select(cond, tval, fval)
+    if mnemonic == "extractelement":
+        parts = _split_args(rest)
+        vec, _ = fp.typed_operand(parts[0])
+        idx, _ = fp.typed_operand(parts[1])
+        return ExtractElement(vec, idx)
+    if mnemonic == "insertelement":
+        parts = _split_args(rest)
+        vec, _ = fp.typed_operand(parts[0])
+        elem, _ = fp.typed_operand(parts[1])
+        idx, _ = fp.typed_operand(parts[2])
+        return InsertElement(vec, elem, idx)
+    if mnemonic == "phi":
+        type_, rest2 = parse_type(rest)
+        phi = Phi(type_)
+        for m2 in re.finditer(r"\[\s*([^,\]]+)\s*,\s*%([\w.$-]+)\s*\]", rest2):
+            value = fp.value_ref(m2.group(1).strip(), type_)
+            phi.add_incoming(value, fp.block(m2.group(2)))
+        return phi
+    if mnemonic == "call":
+        m = re.match(r"(.+?)\s*(@[\w.$-]+)\((.*)\)$", rest)
+        if not m:
+            raise IRParseError(f"bad call: {line!r}")
+        callee = fp.value_ref(m.group(2), VOID)
+        args = []
+        body = m.group(3).strip()
+        if body:
+            for piece in _split_args(body):
+                args.append(fp.typed_operand(piece)[0])
+        return Call(callee, args)
+    if mnemonic == "br":
+        if rest.startswith("label"):
+            target = rest.split("%", 1)[1].strip()
+            return Br(None, fp.block(target))
+        parts = _split_args(rest)
+        cond, _ = fp.typed_operand(parts[0])
+        then_name = parts[1].split("%", 1)[1].strip()
+        else_name = parts[2].split("%", 1)[1].strip()
+        return Br(cond, fp.block(then_name), fp.block(else_name))
+    if mnemonic == "ret":
+        if rest.strip() == "void":
+            return Ret(None)
+        value, _ = fp.typed_operand(rest)
+        return Ret(value)
+    if mnemonic == "unreachable":
+        return Unreachable()
+    raise IRParseError(f"unknown instruction: {line!r}")

@@ -1,0 +1,151 @@
+"""Textual printer for LIR modules (LLVM-assembly-flavoured)."""
+
+from __future__ import annotations
+
+from .function import BasicBlock, Function, Module
+from .instructions import (
+    GEP,
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CmpXchg,
+    ExtractElement,
+    FCmp,
+    Fence,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from .values import Value
+
+
+def _ref(v: Value) -> str:
+    """Operand reference: ``<type> <name>``."""
+    from .function import BasicBlock as BB
+
+    if isinstance(v, BB):
+        return f"label %{v.name}"
+    return f"{v.type} {v.short_name()}"
+
+
+def format_instruction(inst: Instruction) -> str:
+    name = f"%{inst.name} = " if not inst.type.is_void and inst.name else (
+        "" if inst.type.is_void else "%<unnamed> = "
+    )
+    if isinstance(inst, Alloca):
+        return f"{name}alloca {inst.allocated_type}"
+    if isinstance(inst, Load):
+        atomic = " atomic" if inst.ordering != "na" else ""
+        suffix = f" {inst.ordering}" if inst.ordering != "na" else ""
+        return f"{name}load{atomic} {inst.type}, {_ref(inst.pointer)}{suffix}"
+    if isinstance(inst, Store):
+        atomic = " atomic" if inst.ordering != "na" else ""
+        suffix = f" {inst.ordering}" if inst.ordering != "na" else ""
+        return f"store{atomic} {_ref(inst.value)}, {_ref(inst.pointer)}{suffix}"
+    if isinstance(inst, AtomicRMW):
+        return (
+            f"{name}atomicrmw {inst.op} {_ref(inst.pointer)}, "
+            f"{_ref(inst.value)} {inst.ordering}"
+        )
+    if isinstance(inst, CmpXchg):
+        return (
+            f"{name}cmpxchg {_ref(inst.pointer)}, {_ref(inst.expected)}, "
+            f"{_ref(inst.new)} {inst.ordering}"
+        )
+    if isinstance(inst, Fence):
+        pretty = {"sc": "seq_cst", "rm": "frm", "ww": "fww"}[inst.kind]
+        return f"fence {pretty}"
+    if isinstance(inst, GEP):
+        idx = ", ".join(_ref(i) for i in inst.indices)
+        return (
+            f"{name}getelementptr {inst.source_type}, {_ref(inst.pointer)}, {idx}"
+        )
+    if isinstance(inst, BinOp):
+        return f"{name}{inst.op} {_ref(inst.lhs)}, {inst.rhs.short_name()}"
+    if isinstance(inst, ICmp):
+        return f"{name}icmp {inst.pred} {_ref(inst.lhs)}, {inst.rhs.short_name()}"
+    if isinstance(inst, FCmp):
+        return f"{name}fcmp {inst.pred} {_ref(inst.lhs)}, {inst.rhs.short_name()}"
+    if isinstance(inst, Cast):
+        return f"{name}{inst.op} {_ref(inst.value)} to {inst.type}"
+    if isinstance(inst, Select):
+        return (
+            f"{name}select {_ref(inst.cond)}, {_ref(inst.true_value)}, "
+            f"{_ref(inst.false_value)}"
+        )
+    if isinstance(inst, ExtractElement):
+        return f"{name}extractelement {_ref(inst.vector)}, {_ref(inst.index)}"
+    if isinstance(inst, InsertElement):
+        return (
+            f"{name}insertelement {_ref(inst.vector)}, {_ref(inst.element)}, "
+            f"{_ref(inst.index)}"
+        )
+    if isinstance(inst, Phi):
+        pairs = ", ".join(
+            f"[ {v.short_name()}, %{b.name} ]" for v, b in inst.incoming()
+        )
+        return f"{name}phi {inst.type} {pairs}"
+    if isinstance(inst, Call):
+        args = ", ".join(_ref(a) for a in inst.args)
+        callee = inst.callee.short_name()
+        if inst.type.is_void:
+            return f"call void {callee}({args})"
+        return f"{name}call {inst.type} {callee}({args})"
+    if isinstance(inst, Br):
+        if inst.is_conditional:
+            t, e = inst.targets
+            return f"br {_ref(inst.cond)}, label %{t.name}, label %{e.name}"
+        return f"br label %{inst.targets[0].name}"
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {_ref(inst.value)}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    raise NotImplementedError(f"cannot print {inst.opcode}")
+
+
+def format_block(block: BasicBlock) -> str:
+    lines = [f"{block.name}:"]
+    for inst in block.instructions:
+        lines.append(f"  {format_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def format_function(func: Function) -> str:
+    func.assign_names()
+    params = ", ".join(
+        f"{a.type} %{a.name}" for a in func.arguments
+    )
+    if func.is_declaration:
+        return f"declare {func.ftype.ret} @{func.name}({params})"
+    header = f"define {func.ftype.ret} @{func.name}({params}) {{"
+    body = "\n\n".join(format_block(bb) for bb in func.blocks)
+    return f"{header}\n{body}\n}}"
+
+
+def format_module(module: Module) -> str:
+    parts = [f"; module {module.name}"]
+    for g in module.globals.values():
+        init = g.initializer
+        if isinstance(init, bytes):
+            desc = f"bytes 0x{init.hex()}" if init else "zeroinitializer"
+        elif init is None:
+            desc = "zeroinitializer"
+        else:
+            desc = init.short_name()
+        parts.append(f"@{g.name} = global {g.value_type} {desc}")
+    for ext in module.externals.values():
+        parts.append(f"declare {ext.ftype.ret} @{ext.name}(...)")
+    for f in module.functions.values():
+        parts.append(format_function(f))
+    return "\n\n".join(parts) + "\n"

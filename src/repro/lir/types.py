@@ -1,0 +1,167 @@
+"""Type system for LIR, the LLVM-like intermediate representation.
+
+LIR mirrors the slice of LLVM's type system that Lasagne's pipeline needs:
+integers of arbitrary width, 32/64-bit floats, typed pointers, fixed arrays,
+fixed vectors (for SSE lifting), and function types.  Types are immutable and
+compared structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Type:
+    """Base class for all LIR types."""
+
+    def size_bytes(self) -> int:
+        """Size of a value of this type in memory, in bytes."""
+        raise NotImplementedError(f"{type(self).__name__} has no memory size")
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0:
+            raise ValueError(f"integer width must be positive, got {self.bits}")
+
+    def size_bytes(self) -> int:
+        return max(1, (self.bits + 7) // 8)
+
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits not in (32, 64):
+            raise ValueError(f"float width must be 32 or 64, got {self.bits}")
+
+    def size_bytes(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+
+    def size_bytes(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"array count must be non-negative, got {self.count}")
+
+    def size_bytes(self) -> int:
+        return self.element.size_bytes() * self.count
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+@dataclass(frozen=True)
+class VectorType(Type):
+    element: Type
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError(f"vector count must be positive, got {self.count}")
+
+    def size_bytes(self) -> int:
+        return self.element.size_bytes() * self.count
+
+    def bit_width(self) -> int:
+        return self.size_bytes() * 8
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.element}>"
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    ret: Type
+    params: tuple[Type, ...] = field(default_factory=tuple)
+    variadic: bool = False
+
+    def __str__(self) -> str:
+        parts = [str(p) for p in self.params]
+        if self.variadic:
+            parts.append("...")
+        return f"{self.ret} ({', '.join(parts)})"
+
+
+# Commonly used singletons.
+VOID = VoidType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand constructor for pointer types."""
+    return PointerType(pointee)
+
+
+I8PTR = ptr(I8)
+I32PTR = ptr(I32)
+I64PTR = ptr(I64)
+F64PTR = ptr(F64)

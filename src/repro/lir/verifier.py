@@ -1,0 +1,243 @@
+"""LIR verifier: structural and SSA well-formedness checks.
+
+Mirrors the checks LLVM's verifier performs for the IR slice we use:
+
+* every block ends with exactly one terminator, terminators only at the end;
+* instruction operands are defined before use (dominance for non-phi uses,
+  edge-dominance for phi incoming values);
+* phi nodes have exactly one incoming value per predecessor;
+* simple type checks on memory operations, branches, calls and returns.
+"""
+
+from __future__ import annotations
+
+from .dominators import DominatorTree
+from .function import BasicBlock, Function, Module
+from .instructions import (
+    Br,
+    Call,
+    Cast,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+)
+from .types import IntType, PointerType
+from .values import Argument, Constant, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates LIR well-formedness."""
+
+
+def verify_module(module: Module) -> None:
+    for func in module.functions.values():
+        if not func.is_declaration:
+            verify_function(func)
+
+
+def verify_function(func: Function) -> None:
+    if not func.blocks:
+        raise VerificationError(f"{func.name}: function has no blocks")
+    _check_block_structure(func)
+    _check_phis(func)
+    _check_types(func)
+    _check_ssa_dominance(func)
+
+
+def _check_block_structure(func: Function) -> None:
+    for bb in func.blocks:
+        if not bb.instructions:
+            raise VerificationError(f"{func.name}/{bb.name}: empty block")
+        term = bb.instructions[-1]
+        if not term.is_terminator:
+            raise VerificationError(
+                f"{func.name}/{bb.name}: block does not end with a terminator"
+            )
+        for inst in bb.instructions[:-1]:
+            if inst.is_terminator:
+                raise VerificationError(
+                    f"{func.name}/{bb.name}: terminator in the middle of a block"
+                )
+        for inst in bb.instructions:
+            if inst.parent is not bb:
+                raise VerificationError(
+                    f"{func.name}/{bb.name}: instruction with stale parent link"
+                )
+        if isinstance(term, Br):
+            for target in term.targets:
+                if target.parent is not func:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: branch to block outside function"
+                    )
+
+
+def _check_phis(func: Function) -> None:
+    for bb in func.blocks:
+        preds = bb.predecessors()
+        saw_non_phi = False
+        for inst in bb.instructions:
+            if isinstance(inst, Phi):
+                if saw_non_phi:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: phi after non-phi instruction"
+                    )
+                incoming_blocks = list(inst.incoming_blocks)
+                if len(set(map(id, incoming_blocks))) != len(incoming_blocks):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: phi with duplicate incoming block"
+                    )
+                if set(map(id, incoming_blocks)) != set(map(id, preds)):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: phi incoming blocks "
+                        f"{sorted(b.name for b in incoming_blocks)} do not match "
+                        f"predecessors {sorted(p.name for p in preds)}"
+                    )
+            else:
+                saw_non_phi = True
+
+
+def _check_types(func: Function) -> None:
+    for bb in func.blocks:
+        for inst in bb.instructions:
+            if isinstance(inst, Load):
+                pt = inst.pointer.type
+                if not isinstance(pt, PointerType) or pt.pointee != inst.type:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: load type mismatch "
+                        f"({inst.type} from {pt})"
+                    )
+            elif isinstance(inst, Store):
+                pt = inst.pointer.type
+                if not isinstance(pt, PointerType) or pt.pointee != inst.value.type:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: store type mismatch "
+                        f"({inst.value.type} into {pt})"
+                    )
+            elif isinstance(inst, Cast):
+                _check_cast(func, bb, inst)
+            elif isinstance(inst, Br) and inst.is_conditional:
+                ct = inst.cond.type
+                if not (isinstance(ct, IntType) and ct.bits == 1):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: branch condition must be i1, "
+                        f"got {ct}"
+                    )
+            elif isinstance(inst, Ret):
+                want = func.ftype.ret
+                got = inst.value.type if inst.value is not None else None
+                if want.is_void:
+                    if inst.value is not None:
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: returning value from void fn"
+                        )
+                elif got != want:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: return type {got}, want {want}"
+                    )
+            elif isinstance(inst, Call):
+                ftype = inst.ftype
+                nargs = len(inst.args)
+                nparams = len(ftype.params)
+                if ftype.variadic:
+                    if nargs < nparams:
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: too few args to variadic call"
+                        )
+                elif nargs != nparams:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: call arg count {nargs}, "
+                        f"want {nparams}"
+                    )
+                for a, pt in zip(inst.args, ftype.params):
+                    if a.type != pt:
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: call arg type {a.type}, "
+                            f"want {pt}"
+                        )
+
+
+def _check_cast(func: Function, bb: BasicBlock, inst: Cast) -> None:
+    src, dst = inst.value.type, inst.type
+    op = inst.op
+    if op == "inttoptr" and not (src.is_int and dst.is_pointer):
+        raise VerificationError(f"{func.name}/{bb.name}: bad inttoptr {src}->{dst}")
+    if op == "ptrtoint" and not (src.is_pointer and dst.is_int):
+        raise VerificationError(f"{func.name}/{bb.name}: bad ptrtoint {src}->{dst}")
+    if op == "trunc" and not (
+        src.is_int and dst.is_int and src.bits > dst.bits  # type: ignore[union-attr]
+    ):
+        raise VerificationError(f"{func.name}/{bb.name}: bad trunc {src}->{dst}")
+    if op in ("zext", "sext") and not (
+        src.is_int and dst.is_int and src.bits < dst.bits  # type: ignore[union-attr]
+    ):
+        raise VerificationError(f"{func.name}/{bb.name}: bad {op} {src}->{dst}")
+    if op == "bitcast":
+        ok = (src.is_pointer and dst.is_pointer) or (
+            not src.is_pointer
+            and not dst.is_pointer
+            and src.size_bytes() == dst.size_bytes()
+        )
+        if not ok:
+            raise VerificationError(
+                f"{func.name}/{bb.name}: bad bitcast {src}->{dst}"
+            )
+
+
+def _check_ssa_dominance(func: Function) -> None:
+    dt = DominatorTree(func)
+    positions: dict[int, tuple[BasicBlock, int]] = {}
+    for bb in func.blocks:
+        for i, inst in enumerate(bb.instructions):
+            positions[id(inst)] = (bb, i)
+    # Unreachable blocks are exempt from dominance rules (as in LLVM);
+    # simplifycfg removes them.
+    reachable = [bb for bb in func.blocks if dt.is_reachable(bb)]
+
+    def defined_before(def_inst: Instruction, use_inst: Instruction) -> bool:
+        dbb, di = positions[id(def_inst)]
+        ubb, ui = positions[id(use_inst)]
+        if dbb is ubb:
+            return di < ui
+        return dt.dominates(dbb, ubb)
+
+    for bb in reachable:
+        for inst in bb.instructions:
+            if isinstance(inst, Phi):
+                for value, pred in inst.incoming():
+                    if isinstance(value, Instruction):
+                        if id(value) not in positions:
+                            raise VerificationError(
+                                f"{func.name}/{bb.name}: phi uses erased value"
+                            )
+                        dbb, _ = positions[id(value)]
+                        if not dt.dominates(dbb, pred):
+                            raise VerificationError(
+                                f"{func.name}/{bb.name}: phi incoming "
+                                f"%{value.name} does not dominate edge from "
+                                f"{pred.name}"
+                            )
+                continue
+            for op in inst.operands:
+                if isinstance(op, Instruction):
+                    if id(op) not in positions:
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: use of erased instruction "
+                            f"%{op.name} in {inst.opcode}"
+                        )
+                    if not defined_before(op, inst):
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: %{op.name} used before "
+                            f"definition in {inst.opcode}"
+                        )
+                elif isinstance(op, Argument):
+                    if op not in inst.function.arguments:  # type: ignore[union-attr]
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: use of foreign argument "
+                            f"%{op.name}"
+                        )
+                elif not isinstance(op, (Constant, BasicBlock, Value)):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: non-Value operand {op!r}"
+                    )

@@ -1,0 +1,203 @@
+"""Consistency axioms: x86-TSO, Arm (simplified ob), and LIMM (Fig. 6/7).
+
+Each model is a predicate over :class:`Execution`.  All three share
+*(sc-per-loc)* and *(atomicity)*; they differ in their global-order axiom:
+
+* x86: ``hb = ppo ∪ implied ∪ rfe ∪ fr ∪ co`` must be acyclic, where ``ppo``
+  orders all po pairs except W→R, and ``implied`` orders po pairs around
+  RMWs and MFENCEs (axiom **GHB**);
+* Arm: ``ob = (obs ∪ aob ∪ dob ∪ bob)+`` must be irreflexive (axiom
+  **external**); ``dob`` includes the data dependencies our litmus DSL
+  tracks;
+* LIMM: ``ghb = (ord ∪ rfe ∪ coe ∪ fre)+`` must be irreflexive (axiom
+  **GOrd**), with ``ord`` given by rules ord1–ord4 over Frm/Fww/Fsc and
+  seq_cst accesses.  Crucially LIMM has *no* dependency-based ordering, so
+  LLVM's dependency-breaking optimizations stay sound (§6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .enumerate import enumerate_executions
+from .events import Execution, Program, compose, is_acyclic, is_irreflexive, transitive_closure
+
+Pairs = set[tuple[int, int]]
+
+
+def _po_loc(x: Execution) -> Pairs:
+    return {
+        (a, b)
+        for a, b in x.po
+        if x.event(a).loc is not None and x.event(a).loc == x.event(b).loc
+    }
+
+
+def sc_per_loc(x: Execution) -> bool:
+    rel = _po_loc(x) | x.rf_pairs() | x.co_pairs() | x.fr_pairs()
+    return is_acyclic(rel)
+
+
+def atomicity(x: Execution) -> bool:
+    fre = x.external(x.fr_pairs())
+    coe = x.external(x.co_pairs())
+    violating = compose(fre, coe)
+    return not (x.rmw & violating)
+
+
+# ---- x86 ------------------------------------------------------------------
+
+
+def x86_consistent(x: Execution) -> bool:
+    if not sc_per_loc(x) or not atomicity(x):
+        return False
+    ppo = {
+        (a, b)
+        for a, b in x.po
+        if not (x.event(a).is_write and x.event(b).is_read)
+        and not x.event(a).is_fence
+        and not x.event(b).is_fence
+    }
+    atomic_events = {r for r, _ in x.rmw} | {w for _, w in x.rmw}
+    barrier = atomic_events | {
+        e.eid for e in x.events if e.is_fence and e.ordering == "mfence"
+    }
+    implied = {
+        (a, b)
+        for a, b in x.po
+        if a in barrier or b in barrier
+    }
+    rfe = x.external(x.rf_pairs())
+    hb = ppo | implied | rfe | x.fr_pairs() | x.co_pairs()
+    return is_acyclic(hb)
+
+
+# ---- Arm ------------------------------------------------------------------
+
+
+def arm_consistent(x: Execution) -> bool:
+    if not sc_per_loc(x) or not atomicity(x):
+        return False
+    obs = (
+        x.external(x.rf_pairs())
+        | x.external(x.co_pairs())
+        | x.external(x.fr_pairs())
+    )
+    aob = set(x.rmw)
+    # dob: data dependencies order reads before dependent accesses;
+    # control dependencies order reads before dependent *writes* only
+    # (ctrl;[W] in the paper's Fig. 6).
+    dob = set(x.data) | {
+        (a, b) for (a, b) in x.ctrl if x.event(b).is_write
+    }
+    bob: Pairs = set()
+    for a, b in x.po:
+        ea, eb = x.event(a), x.event(b)
+        # po;[F_ff];po — ordered across a full fence.
+        if ea.is_fence and ea.ordering == "ff":
+            bob.add((a, b))
+        if eb.is_fence and eb.ordering == "ff":
+            bob.add((a, b))
+        # Appendix A half-fences: [A];po (acquire) and po;[L] (release).
+        if ea.is_read and ea.ordering == "acq":
+            bob.add((a, b))
+        if eb.is_write and eb.ordering == "rel":
+            bob.add((a, b))
+    for f in x.events:
+        if not f.is_fence:
+            continue
+        before = [a for a, b in x.po if b == f.eid]
+        after = [b for a, b in x.po if a == f.eid]
+        if f.ordering == "ld":
+            for a in before:
+                if x.event(a).is_read:
+                    for b in after:
+                        bob.add((a, b))
+        elif f.ordering == "st":
+            for a in before:
+                if x.event(a).is_write:
+                    for b in after:
+                        if x.event(b).is_write:
+                            bob.add((a, b))
+    ob = obs | aob | dob | bob
+    return is_irreflexive(transitive_closure(ob))
+
+
+# ---- LIMM -----------------------------------------------------------------
+
+
+def limm_ord(x: Execution) -> Pairs:
+    """The ord relation of Figure 7 (rules ord1-ord4)."""
+    ord_rel: Pairs = set()
+    rmw_reads = {r for r, _ in x.rmw}
+    rmw_writes = {w for _, w in x.rmw}
+    # ord3: [Fsc ∪ Rsc ∪ codom(rmw)] ; po
+    # ord4: po ; [Fsc ∪ Wsc ∪ dom(rmw)]
+    for a, b in x.po:
+        ea, eb = x.event(a), x.event(b)
+        if ea.is_fence and ea.ordering == "sc":
+            ord_rel.add((a, b))
+        if ea.is_read and ea.ordering == "sc":
+            ord_rel.add((a, b))
+        if a in rmw_writes:
+            ord_rel.add((a, b))
+        if eb.is_fence and eb.ordering == "sc":
+            ord_rel.add((a, b))
+        if eb.is_write and eb.ordering == "sc":
+            ord_rel.add((a, b))
+        if b in rmw_reads:
+            ord_rel.add((a, b))
+    # ord1: [R] ; po ; [Frm] ; po ; [R∪W]
+    # ord2: [W] ; po ; [Fww] ; po ; [W]
+    for f in x.events:
+        if not f.is_fence or f.ordering not in ("rm", "ww"):
+            continue
+        before = [a for a, b in x.po if b == f.eid]
+        after = [b for a, b in x.po if a == f.eid]
+        if f.ordering == "rm":
+            for a in before:
+                if x.event(a).is_read:
+                    for b in after:
+                        if x.event(b).is_read or x.event(b).is_write:
+                            ord_rel.add((a, b))
+        else:
+            for a in before:
+                if x.event(a).is_write:
+                    for b in after:
+                        if x.event(b).is_write:
+                            ord_rel.add((a, b))
+    return ord_rel
+
+
+def limm_consistent(x: Execution) -> bool:
+    if not sc_per_loc(x) or not atomicity(x):
+        return False
+    ghb = (
+        limm_ord(x)
+        | x.external(x.rf_pairs())
+        | x.external(x.co_pairs())
+        | x.external(x.fr_pairs())
+    )
+    return is_irreflexive(transitive_closure(ghb))
+
+
+MODELS: dict[str, Callable[[Execution], bool]] = {
+    "x86": x86_consistent,
+    "arm": arm_consistent,
+    "limm": limm_consistent,
+}
+
+
+def consistent_executions(program: Program, model: str) -> list[Execution]:
+    judge = MODELS[model]
+    return [x for x in enumerate_executions(program) if judge(x)]
+
+
+def behaviours(program: Program, model: str) -> set[frozenset]:
+    """The paper's Behav: final memory values of consistent executions."""
+    return {x.behaviour() for x in consistent_executions(program, model)}
+
+
+def outcomes(program: Program, model: str) -> set[frozenset]:
+    """Final memory values plus register observations (litmus outcomes)."""
+    return {x.outcome() for x in consistent_executions(program, model)}

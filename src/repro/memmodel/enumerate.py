@@ -1,0 +1,268 @@
+"""Exhaustive enumeration of candidate executions of a litmus program.
+
+For each combination of RMW success/failure, each reads-from assignment and
+each per-location coherence order, builds an :class:`Execution`.  Model
+axioms (:mod:`repro.memmodel.axioms`) then filter the candidates down to the
+consistent ones.  This enumeration plays the role the Agda proofs play in
+the paper: theorems 7.1-7.5 are checked by comparing behaviour sets of
+enumerated executions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from .events import CtrlDep, Event, Execution, Fence, Ld, Program, Reg, Rmw, St
+
+
+def _build_events(
+    program: Program, rmw_success: tuple[bool, ...]
+) -> tuple[list[Event], set[tuple[int, int]], dict, list]:
+    """Events + po given an RMW success/fail assignment.
+
+    Returns (events, po, reads_by_eid, write_eids).  Values of reads and of
+    dependent stores are placeholders (None) at this stage.
+    """
+    events: list[Event] = []
+    po: set[tuple[int, int]] = set()
+
+    def add(event: Event) -> int:
+        events.append(event)
+        return event.eid
+
+    # Initialization writes (thread 0).
+    for loc in program.locations():
+        init_val = program.init.get(loc, 0)
+        add(
+            Event(
+                eid=len(events), tid=0, kind="W", loc=loc, val=init_val,
+                po_index=0,
+            )
+        )
+
+    rmw_iter = iter(rmw_success)
+    for tid, thread in enumerate(program.threads, start=1):
+        thread_eids: list[int] = []
+        for op_index, op in enumerate(thread):
+            if isinstance(op, Ld):
+                eid = add(
+                    Event(
+                        eid=len(events), tid=tid, kind="R", loc=op.loc,
+                        val=None, ordering=op.ordering,
+                        po_index=len(thread_eids), op_index=op_index,
+                    )
+                )
+                thread_eids.append(eid)
+            elif isinstance(op, St):
+                val = op.value if not isinstance(op.value, Reg) else None
+                eid = add(
+                    Event(
+                        eid=len(events), tid=tid, kind="W", loc=op.loc,
+                        val=val, ordering=op.ordering,
+                        po_index=len(thread_eids), op_index=op_index,
+                    )
+                )
+                thread_eids.append(eid)
+            elif isinstance(op, Rmw):
+                success = next(rmw_iter)
+                r_eid = add(
+                    Event(
+                        eid=len(events), tid=tid, kind="R", loc=op.loc,
+                        val=None, ordering="sc",
+                        po_index=len(thread_eids), op_index=op_index,
+                    )
+                )
+                thread_eids.append(r_eid)
+                if success:
+                    w_eid = add(
+                        Event(
+                            eid=len(events), tid=tid, kind="W", loc=op.loc,
+                            val=op.new, ordering="sc",
+                            po_index=len(thread_eids), op_index=op_index,
+                        )
+                    )
+                    thread_eids.append(w_eid)
+            elif isinstance(op, Fence):
+                eid = add(
+                    Event(
+                        eid=len(events), tid=tid, kind="F", loc=None,
+                        val=None, ordering=op.kind,
+                        po_index=len(thread_eids), op_index=op_index,
+                    )
+                )
+                thread_eids.append(eid)
+            elif isinstance(op, CtrlDep):
+                pass  # no event; handled during value resolution
+            else:
+                raise TypeError(f"unknown op {op!r}")
+        for i in range(len(thread_eids)):
+            for j in range(i + 1, len(thread_eids)):
+                po.add((thread_eids[i], thread_eids[j]))
+    return events, po, {}, []
+
+
+def _count_rmws(program: Program) -> int:
+    return sum(
+        1 for thread in program.threads for op in thread if isinstance(op, Rmw)
+    )
+
+
+def enumerate_executions(program: Program) -> Iterator[Execution]:
+    """Yield all *pre-axiom* candidate executions (plain-coherence holes are
+    filtered by the model axioms, not here, except basic value sanity)."""
+    nrmw = _count_rmws(program)
+    for rmw_success in itertools.product([False, True], repeat=nrmw):
+        events, po, _, _ = _build_events(program, rmw_success)
+        yield from _enumerate_rf_co(program, events, po, rmw_success)
+
+
+def _enumerate_rf_co(program, events, po, rmw_success):
+    reads = [e for e in events if e.is_read]
+    writes_by_loc: dict[str, list[Event]] = {}
+    for e in events:
+        if e.is_write:
+            writes_by_loc.setdefault(e.loc, []).append(e)
+
+    # rmw pairs: R and W that share tid/op_index.
+    rmw_pairs: set[tuple[int, int]] = set()
+    rmw_read_info: dict[int, tuple[int, bool]] = {}  # read eid -> (expect, ok)
+    rmw_iter = iter(rmw_success)
+    for tid, thread in enumerate(program.threads, start=1):
+        for op_index, op in enumerate(thread):
+            if isinstance(op, Rmw):
+                success = next(rmw_iter)
+                r = next(
+                    e for e in events
+                    if e.tid == tid and e.op_index == op_index and e.is_read
+                )
+                rmw_read_info[r.eid] = (op.expect, success)
+                if success:
+                    w = next(
+                        e for e in events
+                        if e.tid == tid and e.op_index == op_index and e.is_write
+                    )
+                    rmw_pairs.add((r.eid, w.eid))
+
+    rf_choices = [
+        [w.eid for w in writes_by_loc.get(r.loc, [])] for r in reads
+    ]
+    for rf_combo in itertools.product(*rf_choices):
+        rf = {r.eid: w for r, w in zip(reads, rf_combo)}
+        resolved = _resolve_values(program, events, rf, rmw_read_info)
+        if resolved is None:
+            continue
+        events_resolved, registers, data, ctrl = resolved
+        for co in _enumerate_co(events_resolved, writes_by_loc):
+            yield Execution(
+                events=events_resolved,
+                po=set(po),
+                rf=dict(rf),
+                co=co,
+                rmw=set(rmw_pairs),
+                data=data,
+                ctrl=ctrl,
+                registers=registers,
+            )
+
+
+def _resolve_values(program, events, rf, rmw_read_info):
+    """Fill read values from rf, dependent store values from registers.
+
+    Values may flow across threads (a load reading a data-dependent store in
+    another thread), so resolution iterates to a fixpoint.  Returns None
+    when the rf
+    assignment is internally inconsistent (e.g. a failed RMW reading its
+    expected value, or an unresolvable value cycle).  Returns
+    (events, registers, data pairs, ctrl pairs) on success."""
+    events = list(events)
+    registers: dict[tuple[int, str], int] = {}
+    data: set[tuple[int, int]] = set()
+    reg_def_event: dict[tuple[int, str], int] = {}
+
+    total_ops = sum(len(t) for t in program.threads)
+    for _ in range(total_ops + 1):
+        progress = False
+        for tid, thread in enumerate(program.threads, start=1):
+            for op_index, op in enumerate(thread):
+                if isinstance(op, (Ld, Rmw)):
+                    r = next(
+                        e for e in events
+                        if e.tid == tid and e.op_index == op_index and e.is_read
+                    )
+                    if events[r.eid].val is not None:
+                        continue
+                    src = events[rf[r.eid]]
+                    if src.val is None:
+                        continue  # not resolved yet
+                    if isinstance(op, Rmw):
+                        expect, success = rmw_read_info[r.eid]
+                        if success != (src.val == expect):
+                            return None
+                    events[r.eid] = Event(
+                        r.eid, r.tid, "R", r.loc, src.val, r.ordering,
+                        r.po_index, r.op_index,
+                    )
+                    reg = op.reg
+                    if reg:
+                        registers[(tid, reg)] = src.val
+                        reg_def_event[(tid, reg)] = r.eid
+                    progress = True
+                elif isinstance(op, St) and isinstance(op.value, Reg):
+                    w = next(
+                        e for e in events
+                        if e.tid == tid and e.op_index == op_index
+                        and e.is_write
+                    )
+                    if events[w.eid].val is not None:
+                        continue
+                    key = (tid, op.value.name)
+                    if key not in registers:
+                        continue
+                    events[w.eid] = Event(
+                        w.eid, w.tid, "W", w.loc, registers[key], w.ordering,
+                        w.po_index, w.op_index,
+                    )
+                    data.add((reg_def_event[key], w.eid))
+                    progress = True
+        if not progress:
+            break
+    if any(
+        e.val is None for e in events if e.is_read or e.is_write
+    ):
+        return None
+
+    # Control dependencies: every event po-after a CtrlDep marker depends
+    # on the load that defined the marked register.
+    ctrl: set[tuple[int, int]] = set()
+    for tid, thread in enumerate(program.threads, start=1):
+        active: list[int] = []  # defining-read eids currently in force
+        for op_index, op in enumerate(thread):
+            if isinstance(op, CtrlDep):
+                key = (tid, op.reg)
+                if key not in reg_def_event:
+                    return None  # branch on an undefined register
+                active.append(reg_def_event[key])
+                continue
+            if not active:
+                continue
+            for e in events:
+                if e.tid == tid and e.op_index == op_index and not e.is_fence:
+                    for src in active:
+                        ctrl.add((src, e.eid))
+    return events, registers, data, ctrl
+
+
+def _enumerate_co(events, writes_by_loc):
+    """All coherence orders: init writes first, then any permutation."""
+    locs = sorted(writes_by_loc)
+    per_loc_orders = []
+    for loc in locs:
+        eids = [w.eid for w in writes_by_loc[loc]]
+        init = [e for e in eids if events[e].tid == 0]
+        rest = [e for e in eids if events[e].tid != 0]
+        per_loc_orders.append(
+            [init + list(p) for p in itertools.permutations(rest)]
+        )
+    for combo in itertools.product(*per_loc_orders):
+        yield {loc: order for loc, order in zip(locs, combo)}

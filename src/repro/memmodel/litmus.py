@@ -1,0 +1,228 @@
+"""Standard litmus tests used throughout the paper (Figures 1, 2, 9, 10)."""
+
+from __future__ import annotations
+
+from .events import Fence, Ld, Program, Reg, Rmw, St
+
+# Figure 1 (SB): non-SC outcome a=b=0 allowed in both x86 and Arm.
+SB = Program(
+    name="SB",
+    threads=[
+        [St("X", 1), Ld("Y", "a")],
+        [St("Y", 1), Ld("X", "b")],
+    ],
+)
+
+# Figure 1 (MP): outcome a=1,b=0 disallowed in x86, allowed in Arm.
+MP = Program(
+    name="MP",
+    threads=[
+        [St("X", 1), St("Y", 1)],
+        [Ld("Y", "a"), Ld("X", "b")],
+    ],
+)
+
+# Load buffering.
+LB = Program(
+    name="LB",
+    threads=[
+        [Ld("X", "a"), St("Y", 1)],
+        [Ld("Y", "b"), St("X", 1)],
+    ],
+)
+
+# LB with data dependencies on both sides (no thin-air values).
+LB_DATA = Program(
+    name="LB+datas",
+    threads=[
+        [Ld("X", "a"), St("Y", Reg("a"))],
+        [Ld("Y", "b"), St("X", Reg("b"))],
+    ],
+)
+
+# Coherence tests (CoRR / CoWW shapes exercised through sc-per-loc).
+CoRR = Program(
+    name="CoRR",
+    threads=[
+        [St("X", 1)],
+        [Ld("X", "a"), Ld("X", "b")],
+    ],
+)
+
+CoWW = Program(
+    name="CoWW",
+    threads=[
+        [St("X", 1), St("X", 2)],
+    ],
+)
+
+# Store buffering with full fences: a=b=0 forbidden everywhere.
+SB_FENCED_X86 = Program(
+    name="SB+mfences",
+    threads=[
+        [St("X", 1), Fence("mfence"), Ld("Y", "a")],
+        [St("Y", 1), Fence("mfence"), Ld("X", "b")],
+    ],
+)
+
+SB_FENCED_ARM = Program(
+    name="SB+dmbs",
+    threads=[
+        [St("X", 1), Fence("ff"), Ld("Y", "a")],
+        [St("Y", 1), Fence("ff"), Ld("X", "b")],
+    ],
+)
+
+SB_FENCED_LIMM = Program(
+    name="SB+fscs",
+    threads=[
+        [St("X", 1), Fence("sc"), Ld("Y", "a")],
+        [St("Y", 1), Fence("sc"), Ld("X", "b")],
+    ],
+)
+
+# Figure 9: the MP program after the x86→IR mapping (Fww before the second
+# store, Frm after the first load) and after the IR→Arm mapping.
+MP_MAPPED_IR = Program(
+    name="MP-mapped-IR",
+    threads=[
+        [St("X", 1), Fence("ww"), St("Y", 1)],
+        [Ld("Y", "a"), Fence("rm"), Ld("X", "b")],
+    ],
+)
+
+MP_MAPPED_ARM = Program(
+    name="MP-mapped-Arm",
+    threads=[
+        [St("X", 1), Fence("st"), St("Y", 1)],
+        [Ld("Y", "a"), Fence("ld"), Ld("X", "b")],
+    ],
+)
+
+# Figure 10 left: two threads doing  Wna ; RMWsc  each.  The distinguishing
+# observation is both RMWs succeeding (reading 0): forbidden with the DMBFF
+# fences of the IR→Arm mapping, allowed on bare Arm.  (The paper states the
+# outcome as X=Y=2; with registers on the RMW reads the same witness is
+# directly observable.)
+FIG10_LEFT_IR = Program(
+    name="Fig10-left-IR",
+    threads=[
+        [St("X", 1), Rmw("Y", 0, 2, reg="r")],
+        [St("Y", 1), Rmw("X", 0, 2, reg="r")],
+    ],
+)
+
+# Figure 10 right: RMWsc ; Rna each; a=b=0 forbidden.
+FIG10_RIGHT_IR = Program(
+    name="Fig10-right-IR",
+    threads=[
+        [Rmw("X", 0, 2), Ld("Y", "a")],
+        [Rmw("Y", 0, 2), Ld("X", "b")],
+    ],
+)
+
+ALL_LITMUS = [
+    SB, MP, LB, LB_DATA, CoRR, CoWW,
+    SB_FENCED_X86, SB_FENCED_ARM, SB_FENCED_LIMM,
+    MP_MAPPED_IR, MP_MAPPED_ARM,
+    FIG10_LEFT_IR, FIG10_RIGHT_IR,
+]
+
+
+def register_outcome(execution_outcome: frozenset, **regs: int) -> bool:
+    """True when the outcome contains the given register observations,
+    written as ``register_outcome(o, t1_a=1, t2_b=0)``."""
+    wanted = {
+        (f"t{key.split('_')[0][1:]}:{key.split('_', 1)[1]}", val)
+        for key, val in regs.items()
+    }
+    return wanted <= set(execution_outcome)
+
+
+def has_outcome(outcomes: set[frozenset], **regs: int) -> bool:
+    return any(register_outcome(o, **regs) for o in outcomes)
+
+
+# ---- extended battery ------------------------------------------------------
+
+# Appendix A: MP with release store / acquire load — forbidden on Arm.
+MP_RELACQ = Program(
+    name="MP+rel+acq",
+    threads=[
+        [St("X", 1), St("Y", 1, ordering="rel")],
+        [Ld("Y", "a", ordering="acq"), Ld("X", "b")],
+    ],
+)
+
+# Write-to-read causality (WRC): with full fences, a=1 ∧ b=1 ∧ c=0 forbidden.
+WRC = Program(
+    name="WRC",
+    threads=[
+        [St("X", 1)],
+        [Ld("X", "a"), Fence("ff"), St("Y", 1)],
+        [Ld("Y", "b"), Fence("ff"), Ld("X", "c")],
+    ],
+)
+
+WRC_UNFENCED = Program(
+    name="WRC-unfenced",
+    threads=[
+        [St("X", 1)],
+        [Ld("X", "a"), St("Y", 1)],
+        [Ld("Y", "b"), Ld("X", "c")],
+    ],
+)
+
+# Independent reads of independent writes; plain Arm allows the split.
+IRIW = Program(
+    name="IRIW",
+    threads=[
+        [St("X", 1)],
+        [St("Y", 1)],
+        [Ld("X", "a"), Ld("Y", "b")],
+        [Ld("Y", "c"), Ld("X", "d")],
+    ],
+)
+
+IRIW_FENCED_ARM = Program(
+    name="IRIW+dmbs",
+    threads=[
+        [St("X", 1)],
+        [St("Y", 1)],
+        [Ld("X", "a"), Fence("ff"), Ld("Y", "b")],
+        [Ld("Y", "c"), Fence("ff"), Ld("X", "d")],
+    ],
+)
+
+# S: write-then-write against read-then-write on the same pair.
+S_TEST = Program(
+    name="S",
+    threads=[
+        [St("X", 2), St("Y", 1)],
+        [Ld("Y", "a"), St("X", 1)],
+    ],
+)
+
+# R: two writers, one also reads.
+R_TEST = Program(
+    name="R",
+    threads=[
+        [St("X", 1), St("Y", 1)],
+        [St("Y", 2), Ld("X", "a")],
+    ],
+)
+
+# 2+2W: write-write against write-write.
+TWO_PLUS_TWO_W = Program(
+    name="2+2W",
+    threads=[
+        [St("X", 1), St("Y", 2)],
+        [St("Y", 1), St("X", 2)],
+    ],
+)
+
+EXTENDED_LITMUS = [
+    MP_RELACQ, WRC, WRC_UNFENCED, IRIW, IRIW_FENCED_ARM, S_TEST, R_TEST,
+    TWO_PLUS_TWO_W,
+]
+ALL_LITMUS = ALL_LITMUS + EXTENDED_LITMUS

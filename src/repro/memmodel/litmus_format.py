@@ -1,0 +1,141 @@
+"""A herd-flavoured text format for litmus tests.
+
+Example::
+
+    MP+fences
+    { X=0; Y=0 }
+    P0           | P1            ;
+    X = 1        | a = Y         ;
+    fence ww     | fence rm      ;
+    Y = 1        | b = X         ;
+    exists (P1:a=1 /\\ P1:b=0)
+
+Operations per cell:
+
+* ``X = 1`` — store a constant
+* ``X = r`` — store a register (data dependency)
+* ``a = X`` — load into register ``a``
+* ``fence <kind>`` — mfence / ff / ld / st / sc / rm / ww
+* ``r = cas X 0 2`` — compare-and-swap (``Rmw``), read value into ``r``
+* ``ctrl r`` — control dependency on ``r`` for the rest of the thread
+* orderings: ``a =acq X`` (acquire load), ``X =rel 1`` (release store)
+
+The trailing ``exists (...)`` clause (optional) names an outcome; the
+checker API evaluates it under a model.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .axioms import outcomes
+from .events import CtrlDep, Fence, Ld, Program, Reg, Rmw, St
+
+
+class LitmusParseError(Exception):
+    pass
+
+
+@dataclass
+class LitmusTest:
+    program: Program
+    exists: Optional[dict[str, int]] = None  # "P0:a" / "X" -> value
+
+    def exists_allowed(self, model: str) -> bool:
+        """Evaluate the ``exists`` clause: is the outcome reachable?"""
+        if self.exists is None:
+            raise LitmusParseError("litmus test has no exists clause")
+        wanted = set()
+        for key, value in self.exists.items():
+            m = re.fullmatch(r"P(\d+):(\w+)", key)
+            if m:
+                wanted.add((f"t{int(m.group(1)) + 1}:{m.group(2)}", value))
+            else:
+                wanted.add((key, value))
+        return any(wanted <= set(o) for o in outcomes(self.program, model))
+
+
+def _parse_op(text: str, line_no: int):
+    text = text.strip()
+    if not text:
+        return None
+    m = re.fullmatch(r"fence\s+(\w+)", text)
+    if m:
+        return Fence(m.group(1))
+    m = re.fullmatch(r"ctrl\s+(\w+)", text)
+    if m:
+        return CtrlDep(m.group(1))
+    m = re.fullmatch(r"(\w+)\s*=(?:\s*)cas\s+(\w+)\s+(-?\d+)\s+(-?\d+)", text)
+    if m:
+        return Rmw(m.group(2), int(m.group(3)), int(m.group(4)),
+                   reg=m.group(1))
+    m = re.fullmatch(r"(\w+)\s*=(acq)?\s*([A-Z]\w*)", text)
+    if m:
+        ordering = "acq" if m.group(2) else "plain"
+        return Ld(m.group(3), m.group(1), ordering)
+    m = re.fullmatch(r"([A-Z]\w*)\s*=(rel)?\s*(-?\d+)", text)
+    if m:
+        ordering = "rel" if m.group(2) else "plain"
+        return St(m.group(1), int(m.group(3)), ordering)
+    m = re.fullmatch(r"([A-Z]\w*)\s*=(rel)?\s*([a-z]\w*)", text)
+    if m:
+        ordering = "rel" if m.group(2) else "plain"
+        return St(m.group(1), Reg(m.group(3)), ordering)
+    raise LitmusParseError(f"line {line_no}: cannot parse op {text!r}")
+
+
+def parse_litmus(source: str) -> LitmusTest:
+    lines = [ln.rstrip() for ln in source.strip().splitlines()]
+    if not lines:
+        raise LitmusParseError("empty litmus test")
+    name = lines[0].strip()
+    idx = 1
+
+    # Optional init block: { X=0; Y=1 }
+    init: dict[str, int] = {}
+    if idx < len(lines) and lines[idx].strip().startswith("{"):
+        body = lines[idx].strip().strip("{}")
+        for piece in body.split(";"):
+            piece = piece.strip()
+            if not piece:
+                continue
+            loc, _, value = piece.partition("=")
+            init[loc.strip()] = int(value.strip())
+        idx += 1
+
+    # Header row: P0 | P1 | ... ;
+    if idx >= len(lines):
+        raise LitmusParseError("missing thread header row")
+    header = [c.strip() for c in lines[idx].rstrip(";").split("|")]
+    if not all(re.fullmatch(r"P\d+", h) for h in header):
+        raise LitmusParseError(f"bad thread header {lines[idx]!r}")
+    nthreads = len(header)
+    idx += 1
+
+    threads: list[list] = [[] for _ in range(nthreads)]
+    exists: Optional[dict[str, int]] = None
+    for line_no, line in enumerate(lines[idx:], start=idx + 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("exists"):
+            m = re.search(r"\((.*)\)", stripped)
+            if not m:
+                raise LitmusParseError("malformed exists clause")
+            exists = {}
+            for clause in re.split(r"/\\", m.group(1)):
+                key, _, value = clause.strip().partition("=")
+                exists[key.strip()] = int(value.strip())
+            continue
+        cells = [c.strip() for c in stripped.rstrip(";").split("|")]
+        if len(cells) != nthreads:
+            raise LitmusParseError(
+                f"line {line_no}: expected {nthreads} cells, got {len(cells)}"
+            )
+        for tid, cell in enumerate(cells):
+            op = _parse_op(cell, line_no)
+            if op is not None:
+                threads[tid].append(op)
+    return LitmusTest(Program(threads, init, name), exists)

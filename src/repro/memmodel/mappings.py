@@ -1,0 +1,217 @@
+"""The verified mapping schemes of Figure 8, as program transformers.
+
+``map_x86_to_ir`` implements Fig. 8a (x86 → LIMM), ``map_ir_to_arm``
+implements Fig. 8b (LIMM → Arm), and their composition is Fig. 8c.
+``check_mapping`` states Theorem 7.1 over enumerated executions: every
+consistent *target* behaviour must be a consistent *source* behaviour.
+(The paper proves this in Agda; we check it exhaustively per program.)
+"""
+
+from __future__ import annotations
+
+from .axioms import behaviours, outcomes
+from .events import Fence, Ld, Program, Rmw, St
+
+
+def map_x86_to_ir(program: Program) -> Program:
+    """Fig. 8a: ld → ldna;Frm   st → Fww;stna   RMW → RMWsc
+    MFENCE → Fsc."""
+    threads = []
+    for thread in program.threads:
+        ops = []
+        for op in thread:
+            if isinstance(op, Ld):
+                ops.append(Ld(op.loc, op.reg, "plain"))
+                ops.append(Fence("rm"))
+            elif isinstance(op, St):
+                ops.append(Fence("ww"))
+                ops.append(St(op.loc, op.value, "plain"))
+            elif isinstance(op, Rmw):
+                ops.append(op)  # RMWsc
+            elif isinstance(op, Fence):
+                if op.kind != "mfence":
+                    raise ValueError(f"non-x86 fence {op.kind} in source")
+                ops.append(Fence("sc"))
+            else:
+                raise TypeError(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), f"{program.name}→IR")
+
+
+def map_ir_to_arm(program: Program) -> Program:
+    """Fig. 8b: ldna → ld   stna → st   RMWsc → DMBFF;RMW;DMBFF
+    Frm → DMBLD   Fww → DMBST   Fsc → DMBFF."""
+    threads = []
+    for thread in program.threads:
+        ops = []
+        for op in thread:
+            if isinstance(op, Ld):
+                ops.append(Ld(op.loc, op.reg, "plain"))
+            elif isinstance(op, St):
+                ops.append(St(op.loc, op.value, "plain"))
+            elif isinstance(op, Rmw):
+                ops.append(Fence("ff"))
+                ops.append(op)
+                ops.append(Fence("ff"))
+            elif isinstance(op, Fence):
+                kind = {"rm": "ld", "ww": "st", "sc": "ff"}.get(op.kind)
+                if kind is None:
+                    raise ValueError(f"non-IR fence {op.kind} in source")
+                ops.append(Fence(kind))
+            else:
+                raise TypeError(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), f"{program.name}→Arm")
+
+
+def map_x86_to_arm(program: Program) -> Program:
+    """Fig. 8c: the composition of the two schemes."""
+    return map_ir_to_arm(map_x86_to_ir(program))
+
+
+def check_mapping(
+    source: Program,
+    source_model: str,
+    target: Program,
+    target_model: str,
+    compare: str = "behaviour",
+) -> tuple[bool, set, set]:
+    """Theorem 7.1 check: Behav(target) ⊆ Behav(source).
+
+    ``compare="outcome"`` additionally includes register observations,
+    which is a stronger property that holds on our litmus battery.
+    Returns (holds, source set, target set).
+    """
+    fn = behaviours if compare == "behaviour" else outcomes
+    src = fn(source, source_model)
+    tgt = fn(target, target_model)
+    return tgt <= src, src, tgt
+
+
+def check_x86_to_arm(program: Program, compare: str = "outcome") -> bool:
+    """End-to-end Fig. 8c correctness on one litmus program."""
+    target = map_x86_to_arm(program)
+    holds, _, _ = check_mapping(program, "x86", target, "arm", compare)
+    return holds
+
+
+def check_x86_to_ir(program: Program, compare: str = "outcome") -> bool:
+    target = map_x86_to_ir(program)
+    holds, _, _ = check_mapping(program, "x86", target, "limm", compare)
+    return holds
+
+
+def check_ir_to_arm(program: Program, compare: str = "outcome") -> bool:
+    target = map_ir_to_arm(program)
+    holds, _, _ = check_mapping(program, "limm", target, "arm", compare)
+    return holds
+
+
+# ---- precision witnesses (Definition 7.2) -----------------------------------
+
+
+def weaken_fences(program: Program, replace: dict[str, str | None]) -> Program:
+    """Replace (or drop, when mapped to None) fence kinds — used to show a
+    mapping's fences are *necessary* (precision, Def. 7.2)."""
+    threads = []
+    for thread in program.threads:
+        ops = []
+        for op in thread:
+            if isinstance(op, Fence) and op.kind in replace:
+                new_kind = replace[op.kind]
+                if new_kind is not None:
+                    ops.append(Fence(new_kind))
+            else:
+                ops.append(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), f"{program.name}-weakened")
+
+
+# ---- reverse direction: Arm → IR → x86 (Appendix B) --------------------------
+#
+# The appendix defines a precise weak-to-strong mapping.  Our source text
+# omits the appendix body, so the scheme below is derived from the models
+# and *checked* by enumeration like everything else:
+#
+# * Arm→IR: LIMM deliberately has no dependency-based ordering (§6.3), but
+#   Arm's dob orders dependent accesses — so an Arm load maps to
+#   ``ldna;Frm``, which over-approximates every dependency edge out of the
+#   load.  Stores map plainly; DMB fences map to their LIMM counterparts.
+# * IR→x86: x86's ppo already orders R-R, R-W and W-W pairs, so ``Frm`` and
+#   ``Fww`` need no instruction at all; only ``Fsc`` (which must order W-R)
+#   becomes an MFENCE.  RMWsc maps to a locked RMW.
+
+
+def map_arm_to_ir(program: Program) -> Program:
+    threads = []
+    for thread in program.threads:
+        ops = []
+        for op in thread:
+            if isinstance(op, Ld):
+                if op.ordering not in ("plain",):
+                    raise ValueError("acquire loads not supported in reverse "
+                                     "mapping (strengthen to DMB first)")
+                ops.append(Ld(op.loc, op.reg, "plain"))
+                ops.append(Fence("rm"))
+            elif isinstance(op, St):
+                if op.ordering not in ("plain",):
+                    raise ValueError("release stores not supported in reverse "
+                                     "mapping (strengthen to DMB first)")
+                ops.append(St(op.loc, op.value, "plain"))
+            elif isinstance(op, Rmw):
+                ops.append(op)
+            elif isinstance(op, Fence):
+                kind = {"ld": "rm", "st": "ww", "ff": "sc"}.get(op.kind)
+                if kind is None:
+                    raise ValueError(f"non-Arm fence {op.kind} in source")
+                ops.append(Fence(kind))
+            else:
+                raise TypeError(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), f"{program.name}→IR")
+
+
+def map_ir_to_x86(program: Program) -> Program:
+    threads = []
+    for thread in program.threads:
+        ops = []
+        for op in thread:
+            if isinstance(op, Ld):
+                ops.append(Ld(op.loc, op.reg, "plain"))
+            elif isinstance(op, St):
+                ops.append(St(op.loc, op.value, "plain"))
+            elif isinstance(op, Rmw):
+                ops.append(op)  # lock-prefixed RMW
+            elif isinstance(op, Fence):
+                if op.kind == "sc":
+                    ops.append(Fence("mfence"))
+                elif op.kind in ("rm", "ww"):
+                    pass  # implicit in x86's ppo
+                else:
+                    raise ValueError(f"non-IR fence {op.kind} in source")
+            else:
+                raise TypeError(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), f"{program.name}→x86")
+
+
+def map_arm_to_x86(program: Program) -> Program:
+    return map_ir_to_x86(map_arm_to_ir(program))
+
+
+def check_arm_to_ir(program: Program, compare: str = "outcome") -> bool:
+    target = map_arm_to_ir(program)
+    holds, _, _ = check_mapping(program, "arm", target, "limm", compare)
+    return holds
+
+
+def check_ir_to_x86(program: Program, compare: str = "outcome") -> bool:
+    target = map_ir_to_x86(program)
+    holds, _, _ = check_mapping(program, "limm", target, "x86", compare)
+    return holds
+
+
+def check_arm_to_x86(program: Program, compare: str = "outcome") -> bool:
+    target = map_arm_to_x86(program)
+    holds, _, _ = check_mapping(program, "arm", target, "x86", compare)
+    return holds

@@ -1,0 +1,231 @@
+"""The LIMM transformation tables of Figure 11 and their checkers.
+
+``REORDER_TABLE`` is Figure 11a verbatim: which adjacent event pairs
+``a·b ↝ b·a`` are safe on LIMM.  ``can_reorder`` is the queryable form the
+optimizer's LIMM-awareness is tested against.  ``ELIMINATIONS`` lists the
+Figure 11b redundant-access eliminations.
+
+``check_reordering_in_context``/``check_elimination_in_context`` state
+Theorem 7.5 over enumerated executions: applying the transformation must
+not introduce new behaviours.
+"""
+
+from __future__ import annotations
+
+from .axioms import outcomes
+from .events import Fence, Ld, Program, Rmw, St
+
+# Event-kind names used by the table (columns/rows of Fig. 11a):
+#   Rna, Wna            non-atomic load / store
+#   Rsc                 failed RMWsc (lone sc read)
+#   RscWsc              successful RMWsc (sc read-write pair)
+#   Frm, Fww, Fsc       the three LIMM fences
+KINDS = ["Rna", "Wna", "Rsc", "RscWsc", "Frm", "Fww", "Fsc"]
+
+# REORDER_TABLE[a][b] == True  ⟺  a·b ↝ b·a is safe (accesses on different
+# locations and independent).  "=" diagonal entries for fences are True
+# (reordering a fence with itself is the identity).
+REORDER_TABLE: dict[str, dict[str, bool]] = {
+    "Rna":    {"Rna": True,  "Wna": True,  "Rsc": True,  "RscWsc": False,
+               "Frm": False, "Fww": True,  "Fsc": False},
+    "Wna":    {"Rna": True,  "Wna": True,  "Rsc": True,  "RscWsc": False,
+               "Frm": True,  "Fww": False, "Fsc": False},
+    "Rsc":    {"Rna": False, "Wna": False, "Rsc": False, "RscWsc": False,
+               "Frm": True,  "Fww": True,  "Fsc": True},
+    "RscWsc": {"Rna": False, "Wna": False, "Rsc": False, "RscWsc": False,
+               "Frm": True,  "Fww": True,  "Fsc": True},
+    "Frm":    {"Rna": False, "Wna": False, "Rsc": False, "RscWsc": True,
+               "Frm": True,  "Fww": True,  "Fsc": True},
+    "Fww":    {"Rna": True,  "Wna": False, "Rsc": True,  "RscWsc": True,
+               "Frm": True,  "Fww": True,  "Fsc": True},
+    "Fsc":    {"Rna": False, "Wna": False, "Rsc": False, "RscWsc": True,
+               "Frm": True,  "Fww": True,  "Fsc": True},
+}
+
+
+def can_reorder(a: str, b: str) -> bool:
+    """Is the adjacent reordering a·b ↝ b·a safe on LIMM (Fig. 11a)?"""
+    return REORDER_TABLE[a][b]
+
+
+def op_kind(op) -> str:
+    """Classify a litmus op into a Fig. 11a row/column name."""
+    if isinstance(op, Ld):
+        return "Rsc" if op.ordering == "sc" else "Rna"
+    if isinstance(op, St):
+        return "Wsc" if op.ordering == "sc" else "Wna"
+    if isinstance(op, Rmw):
+        return "RscWsc"
+    if isinstance(op, Fence):
+        return {"rm": "Frm", "ww": "Fww", "sc": "Fsc"}[op.kind]
+    raise TypeError(op)
+
+
+def reorder_ops(program: Program, tid: int, index: int) -> Program:
+    """Swap the ops at positions index and index+1 of thread ``tid``."""
+    threads = [list(t) for t in program.threads]
+    ops = threads[tid]
+    ops[index], ops[index + 1] = ops[index + 1], ops[index]
+    return Program(threads, dict(program.init), f"{program.name}-reordered")
+
+
+def check_reordering_in_context(
+    program: Program, tid: int, index: int, model: str = "limm"
+) -> bool:
+    """Theorem 7.5: the reordered program admits no new outcomes."""
+    src = outcomes(program, model)
+    tgt = outcomes(reorder_ops(program, tid, index), model)
+    return tgt <= src
+
+
+# ---- eliminations (Fig. 11b) -------------------------------------------------
+
+# Each entry: (name, pattern description, fence kinds allowed in between).
+ELIMINATIONS = [
+    ("RAR", "R(X,v) · R(X,v') ↝ R(X,v)", set()),
+    ("RAW", "W(X,v) · R(X,v) ↝ W(X,v)", set()),
+    ("WAW", "W(X,v) · W(X,v') ↝ W(X,v')", set()),
+    ("F-RAR", "R(X,v) · F_o · R(X,v') ↝ R(X,v) · F_o", {"rm", "ww"}),
+    ("F-RAW", "W(X,v) · F_t · R(X,v) ↝ W(X,v) · F_t", {"sc", "ww"}),
+    ("F-WAW", "W(X,v) · F_o · W(X,v') ↝ F_o · W(X,v')", {"rm", "ww"}),
+]
+
+
+def eliminate_rar(program: Program, tid: int, first: int, second: int) -> Program:
+    """Remove the second read; its register takes the first read's value.
+    Models RAR / F-RAR (the ops in between must be fences)."""
+    threads = [list(t) for t in program.threads]
+    ops = threads[tid]
+    first_op = ops[first]
+    second_op = ops[second]
+    assert isinstance(first_op, Ld) and isinstance(second_op, Ld)
+    # The eliminated read's register now aliases the first read's register;
+    # rename it throughout (registers are write-once in litmus programs).
+    del ops[second]
+    renamed = Program(threads, dict(program.init), f"{program.name}-rar")
+    return _rename_register(renamed, tid, second_op.reg, first_op.reg)
+
+
+def eliminate_raw(program: Program, tid: int, store: int, load: int) -> Program:
+    """Remove a read that follows a store to the same location; the read's
+    register takes the stored value.  Models RAW / F-RAW."""
+    threads = [list(t) for t in program.threads]
+    ops = threads[tid]
+    store_op = ops[store]
+    load_op = ops[load]
+    assert isinstance(store_op, St) and isinstance(load_op, Ld)
+    del ops[load]
+    prog = Program(threads, dict(program.init), f"{program.name}-raw")
+    return _bind_register(prog, tid, load_op.reg, store_op.value)
+
+
+def eliminate_waw(program: Program, tid: int, first: int) -> Program:
+    """Remove the first of two same-location stores.  Models WAW / F-WAW."""
+    threads = [list(t) for t in program.threads]
+    del threads[tid][first]
+    return Program(threads, dict(program.init), f"{program.name}-waw")
+
+
+def _rename_register(program: Program, tid: int, old: str, new: str) -> Program:
+    from .events import Reg
+
+    threads = []
+    for t, thread in enumerate(program.threads):
+        ops = []
+        for op in thread:
+            if t == tid and isinstance(op, St) and isinstance(op.value, Reg) \
+                    and op.value.name == old:
+                ops.append(St(op.loc, Reg(new), op.ordering))
+            else:
+                ops.append(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), program.name)
+
+
+def _bind_register(program: Program, tid: int, reg: str, value) -> Program:
+    from .events import Reg
+
+    threads = []
+    for t, thread in enumerate(program.threads):
+        ops = []
+        for op in thread:
+            if t == tid and isinstance(op, St) and isinstance(op.value, Reg) \
+                    and op.value.name == reg:
+                ops.append(St(op.loc, value, op.ordering))
+            else:
+                ops.append(op)
+        threads.append(ops)
+    return Program(threads, dict(program.init), program.name)
+
+
+def check_elimination(
+    source: Program, target: Program, model: str = "limm",
+    compare_registers: bool = False,
+) -> bool:
+    """Theorem 7.5 for an elimination: target behaviours ⊆ source's.
+
+    Eliminations drop observations (the removed access's register), so the
+    default compares final memory only, as the paper's Behav does.
+    """
+    from .axioms import behaviours
+
+    fn = outcomes if compare_registers else behaviours
+    src = fn(source, model)
+    tgt = fn(target, model)
+    return tgt <= src
+
+
+# ---- fence merging (§7 "Fence Merging") ---------------------------------------
+
+
+def merge_adjacent_fences(program: Program, tid: int, index: int) -> Program:
+    """Frm·Fww (either order, adjacent) ↝ Fsc; like-kinded pairs collapse."""
+    threads = [list(t) for t in program.threads]
+    ops = threads[tid]
+    a, b = ops[index], ops[index + 1]
+    assert isinstance(a, Fence) and isinstance(b, Fence)
+    kinds = {a.kind, b.kind}
+    if "sc" in kinds or kinds == {"rm", "ww"}:
+        merged = "sc"
+    else:
+        merged = a.kind
+    ops[index : index + 2] = [Fence(merged)]
+    return Program(threads, dict(program.init), f"{program.name}-merged")
+
+
+# ---- speculative load introduction (§7.2) -----------------------------------
+
+
+def introduce_speculative_load(
+    program: Program, tid: int, index: int, loc: str, reg: str = "__spec"
+) -> Program:
+    """Insert a non-atomic load whose value is never used — the effect of
+    hoisting a load out of a conditional (LLVM's SimplifyCFG speculation)."""
+    threads = [list(t) for t in program.threads]
+    threads[tid].insert(index, Ld(loc, reg))
+    return Program(threads, dict(program.init), f"{program.name}+spec")
+
+
+def check_speculative_load(
+    program: Program, tid: int, index: int, loc: str, model: str = "limm"
+) -> bool:
+    """§7.2: introducing an unused speculative load adds no observable
+    behaviour.  Outcomes of the target are compared after erasing the
+    speculative register (its value is unused by construction)."""
+    reg = "__spec"
+    target = introduce_speculative_load(program, tid, index, loc, reg)
+    src = outcomes(program, model)
+    spec_key = f"t{tid + 1}:{reg}"
+    source_locs = set(program.locations())
+    projected = {
+        frozenset(
+            item
+            for item in o
+            # drop the unused register and any location the load itself
+            # introduced (its init write is an artefact of the DSL)
+            if item[0] != spec_key
+            and (":" in item[0] or item[0] in source_locs)
+        )
+        for o in outcomes(target, model)
+    }
+    return projected <= src

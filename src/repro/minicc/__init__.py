@@ -1,0 +1,20 @@
+"""mini-C: the C-subset compiler used to produce x86-64 binaries (lifter
+input) and native Arm binaries (the evaluation's Native baseline)."""
+
+from .astnodes import CType, FuncDef, Program
+from .codegen_x86 import CodegenError, compile_to_x86
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .sema import BUILTINS, SemaError, SemaResult, analyze
+
+__all__ = [
+    "CType", "FuncDef", "Program",
+    "CodegenError", "compile_to_x86",
+    "LexError", "tokenize",
+    "ParseError", "parse",
+    "BUILTINS", "SemaError", "SemaResult", "analyze",
+]
+
+from .codegen_arm import ArmCodegenError, compile_to_arm  # noqa: E402
+
+__all__ += ["ArmCodegenError", "compile_to_arm"]

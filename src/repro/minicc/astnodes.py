@@ -1,0 +1,234 @@
+"""AST node definitions for mini-C."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CType:
+    """``base`` is 'int', 'double', 'char' or 'void'; ``ptr`` is the number
+    of pointer levels."""
+
+    base: str
+    ptr: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0
+
+    @property
+    def is_double(self) -> bool:
+        return self.base == "double" and self.ptr == 0
+
+    @property
+    def is_integral(self) -> bool:
+        return self.base in ("int", "char") and self.ptr == 0
+
+    def pointee(self) -> "CType":
+        if not self.is_pointer:
+            raise ValueError(f"{self} is not a pointer")
+        return CType(self.base, self.ptr - 1)
+
+    def pointer_to(self) -> "CType":
+        return CType(self.base, self.ptr + 1)
+
+    def element_size(self) -> int:
+        """Size of the pointee (for pointer arithmetic)."""
+        return self.pointee().sizeof()
+
+    def sizeof(self) -> int:
+        if self.ptr > 0:
+            return 8
+        return {"int": 8, "double": 8, "char": 1, "void": 0}[self.base]
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.ptr
+
+
+INT = CType("int")
+DOUBLE = CType("double")
+CHAR = CType("char")
+VOID = CType("void")
+
+
+# ---- expressions -----------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+    ctype: Optional[CType] = None  # filled in by sema
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class StringLit(Expr):
+    value: str = ""
+    symbol: str = ""  # anonymous global name, assigned by sema
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+    # sema fills these:
+    scope: str = ""       # 'local', 'global', 'param', 'func'
+    is_array: bool = False
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""          # '-', '!', '~', '*', '&'
+    operand: Optional[Expr] = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    lhs: Optional[Expr] = None
+    rhs: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Expr):
+    target: Optional[Expr] = None  # VarRef, Unary('*'), or Index
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Index(Expr):
+    base: Optional[Expr] = None
+    index: Optional[Expr] = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+    is_builtin: bool = False
+
+
+@dataclass
+class CastExpr(Expr):
+    target_type: Optional[CType] = None
+    operand: Optional[Expr] = None
+
+
+# ---- statements -----------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Decl(Stmt):
+    ctype: Optional[CType] = None
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Optional[Expr] = None
+    then: Optional[Stmt] = None
+    otherwise: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Expr] = None
+    body: Optional[Stmt] = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ---- top level --------------------------------------------------------------
+
+
+@dataclass
+class GlobalDecl:
+    ctype: CType
+    name: str
+    array_size: Optional[int] = None
+    init: Optional[Expr] = None
+    line: int = 0
+
+    def sizeof(self) -> int:
+        if self.array_size is not None:
+            return self.ctype.sizeof() * self.array_size
+        return self.ctype.sizeof()
+
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDef:
+    ret_type: CType
+    name: str
+    params: list[Param]
+    body: Block
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDef] = field(default_factory=list)
+    # String-literal pool: symbol -> bytes (filled by sema).
+    strings: dict[str, bytes] = field(default_factory=dict)
+
+    def loc(self, source: str) -> int:
+        """Non-blank, non-comment-only source lines (Table 1 metric)."""
+        count = 0
+        for raw in source.splitlines():
+            stripped = raw.strip()
+            if stripped and not stripped.startswith("//"):
+                count += 1
+        return count

@@ -1,0 +1,619 @@
+"""mini-C → AArch64 code generator: the evaluation's *Native* baseline.
+
+Direct compilation from source to Arm, as the paper's Native configuration
+compiles the C sources with a native compiler.  Shares the stack-machine
+structure of the x86 generator (values in ``x0``/``d0``), but needs no
+TSO-emulation fences: only the program's own atomics and explicit
+``fence()`` calls produce barriers, which is precisely why Native wins in
+Figure 12.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..arm.isa import AImm, AInstr, ALabel, AMem, DReg, XReg
+from ..arm.program import ArmFunction, ArmProgram
+from .astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    CHAR,
+    Continue,
+    CType,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    If,
+    Index,
+    INT,
+    IntLit,
+    Return,
+    Stmt,
+    StringLit,
+    Unary,
+    VarRef,
+    While,
+)
+from .codegen_x86 import EXTERNAL_NAMES, _count_decls
+from .parser import parse
+from .sema import SemaResult, analyze
+
+
+class ArmCodegenError(Exception):
+    pass
+
+
+class _FuncCtx:
+    def __init__(self, func: FuncDef) -> None:
+        self.func = func
+        self.scopes: list[dict[str, tuple[int, CType]]] = [{}]
+        self.next_offset = 0
+        self.label_counter = 0
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, ctype: CType) -> int:
+        offset = self.next_offset
+        self.next_offset += 8
+        self.scopes[-1][name] = (offset, ctype)
+        return offset
+
+    def lookup(self, name: str) -> Optional[tuple[int, CType]]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".L{hint}{self.label_counter}"
+
+
+class ArmCodeGen:
+    def __init__(self, sema: SemaResult) -> None:
+        self.sema = sema
+        self.program = ArmProgram()
+        self.ctx: Optional[_FuncCtx] = None
+        self.out: Optional[ArmFunction] = None
+        self._epilogue = ""
+
+    # ---- driver ----------------------------------------------------------
+    def generate(self, entry: str = "main") -> ArmProgram:
+        src = self.sema.program
+        for name in sorted(EXTERNAL_NAMES.values()):
+            self.program.declare_external(name)
+        for g in src.globals:
+            init = b""
+            if g.init is not None:
+                if isinstance(g.init, IntLit):
+                    size = g.ctype.sizeof()
+                    init = (g.init.value & ((1 << (8 * size)) - 1)).to_bytes(
+                        size, "little"
+                    )
+                elif isinstance(g.init, FloatLit):
+                    init = struct.pack("<d", g.init.value)
+            self.program.add_global(g.name, max(1, g.sizeof()), init)
+        for sym, data in src.strings.items():
+            self.program.add_global(sym, len(data), data)
+        for func in src.functions:
+            self._gen_function(func)
+        self.program.entry = entry
+        return self.program
+
+    # ---- emission helpers ----------------------------------------------------
+    def emit(self, mnemonic: str, *operands) -> None:
+        assert self.out is not None
+        self.out.emit(AInstr(mnemonic, list(operands)))
+
+    def label(self, name: str) -> None:
+        assert self.out is not None
+        self.out.label(name)
+
+    def _slot(self, offset: int, width: int = 64) -> AMem:
+        return AMem(base="x29", offset_imm=offset, width=width)
+
+    def _push_x0(self) -> None:
+        self.emit("sub", XReg("sp"), XReg("sp"), AImm(8))
+        self.emit("str", XReg("x0"), AMem(base="sp"))
+
+    def _pop(self, reg: str) -> None:
+        self.emit("ldr", XReg(reg), AMem(base="sp"))
+        self.emit("add", XReg("sp"), XReg("sp"), AImm(8))
+
+    def _push_d0(self) -> None:
+        self.emit("sub", XReg("sp"), XReg("sp"), AImm(8))
+        self.emit("fstr", DReg("d0"), AMem(base="sp", width=64))
+
+    def _pop_d(self, reg: str) -> None:
+        self.emit("fldr", DReg(reg), AMem(base="sp", width=64))
+        self.emit("add", XReg("sp"), XReg("sp"), AImm(8))
+
+    # ---- functions -----------------------------------------------------------
+    def _gen_function(self, func: FuncDef) -> None:
+        self.ctx = _FuncCtx(func)
+        self.out = ArmFunction(func.name)
+        nslots = len(func.params) + _count_decls(func.body)
+        frame = nslots * 8 + 16
+
+        self.emit("sub", XReg("sp"), XReg("sp"), AImm(frame))
+        self.emit("str", XReg("x29"), AMem(base="sp", offset_imm=frame - 8))
+        self.emit("str", XReg("x30"), AMem(base="sp", offset_imm=frame - 16))
+        self.emit("mov", XReg("x29"), XReg("sp"))
+
+        int_idx = 0
+        fp_idx = 0
+        for p in func.params:
+            offset = self.ctx.declare(p.name, p.ctype)
+            if p.ctype.is_double:
+                self.emit("fstr", DReg(f"d{fp_idx}"), self._slot(offset))
+                fp_idx += 1
+            else:
+                self.emit("str", XReg(f"x{int_idx}"), self._slot(offset))
+                int_idx += 1
+
+        self._epilogue = self.ctx.new_label("ret")
+        self._gen_block(func.body)
+        self.emit("mov", XReg("x0"), AImm(0))
+        self.label(self._epilogue)
+        self.emit("mov", XReg("sp"), XReg("x29"))
+        self.emit("ldr", XReg("x29"), AMem(base="sp", offset_imm=frame - 8))
+        self.emit("ldr", XReg("x30"), AMem(base="sp", offset_imm=frame - 16))
+        self.emit("add", XReg("sp"), XReg("sp"), AImm(frame))
+        self.emit("ret")
+        self.program.add_function(self.out)
+        self.ctx = None
+        self.out = None
+
+    # ---- statements -------------------------------------------------------------
+    def _gen_block(self, block: Block) -> None:
+        assert self.ctx is not None
+        self.ctx.push_scope()
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        self.ctx.pop_scope()
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        assert self.ctx is not None
+        if isinstance(stmt, Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, Decl):
+            offset = self.ctx.declare(stmt.name, stmt.ctype)
+            if stmt.init is not None:
+                self._gen_expr(stmt.init)
+                if stmt.ctype.is_double:
+                    self.emit("fstr", DReg("d0"), self._slot(offset))
+                else:
+                    if stmt.ctype == CHAR:
+                        self.emit("and", XReg("x0"), XReg("x0"), AImm(0xFF))
+                    self.emit("str", XReg("x0"), self._slot(offset))
+        elif isinstance(stmt, ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            else_l = self.ctx.new_label("else")
+            end_l = self.ctx.new_label("endif")
+            self._gen_expr(stmt.cond)
+            self.emit("cbz", XReg("x0"), ALabel(else_l))
+            self._gen_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.emit("b", ALabel(end_l))
+                self.label(else_l)
+                self._gen_stmt(stmt.otherwise)
+                self.label(end_l)
+            else:
+                self.label(else_l)
+        elif isinstance(stmt, While):
+            head = self.ctx.new_label("while")
+            exit_l = self.ctx.new_label("endwhile")
+            self.label(head)
+            self._gen_expr(stmt.cond)
+            self.emit("cbz", XReg("x0"), ALabel(exit_l))
+            self.ctx.break_labels.append(exit_l)
+            self.ctx.continue_labels.append(head)
+            self._gen_stmt(stmt.body)
+            self.ctx.break_labels.pop()
+            self.ctx.continue_labels.pop()
+            self.emit("b", ALabel(head))
+            self.label(exit_l)
+        elif isinstance(stmt, For):
+            self.ctx.push_scope()
+            head = self.ctx.new_label("for")
+            step_l = self.ctx.new_label("forstep")
+            exit_l = self.ctx.new_label("endfor")
+            if stmt.init is not None:
+                self._gen_stmt(stmt.init)
+            self.label(head)
+            if stmt.cond is not None:
+                self._gen_expr(stmt.cond)
+                self.emit("cbz", XReg("x0"), ALabel(exit_l))
+            self.ctx.break_labels.append(exit_l)
+            self.ctx.continue_labels.append(step_l)
+            self._gen_stmt(stmt.body)
+            self.ctx.break_labels.pop()
+            self.ctx.continue_labels.pop()
+            self.label(step_l)
+            if stmt.step is not None:
+                self._gen_expr(stmt.step)
+            self.emit("b", ALabel(head))
+            self.label(exit_l)
+            self.ctx.pop_scope()
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+            else:
+                self.emit("mov", XReg("x0"), AImm(0))
+            self.emit("b", ALabel(self._epilogue))
+        elif isinstance(stmt, Break):
+            self.emit("b", ALabel(self.ctx.break_labels[-1]))
+        elif isinstance(stmt, Continue):
+            self.emit("b", ALabel(self.ctx.continue_labels[-1]))
+        else:
+            raise ArmCodegenError(f"cannot codegen {type(stmt).__name__}")
+
+    # ---- expressions -------------------------------------------------------------
+    def _gen_expr(self, expr: Expr) -> None:
+        if isinstance(expr, IntLit):
+            self.emit("mov", XReg("x0"), AImm(expr.value))
+        elif isinstance(expr, FloatLit):
+            bits = int.from_bytes(struct.pack("<d", expr.value), "little")
+            self.emit("mov", XReg("x0"), AImm(bits))
+            self.emit("fmov", DReg("d0"), XReg("x0"))
+        elif isinstance(expr, StringLit):
+            self.emit("adr", XReg("x0"), ALabel(expr.symbol))
+        elif isinstance(expr, VarRef):
+            self._gen_varref(expr)
+        elif isinstance(expr, Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, Index):
+            self._gen_address(expr)
+            self._load_through_x0(expr.ctype)
+        elif isinstance(expr, Call):
+            self._gen_call(expr)
+        elif isinstance(expr, CastExpr):
+            self._gen_cast(expr)
+        else:
+            raise ArmCodegenError(f"cannot codegen {type(expr).__name__}")
+
+    def _gen_varref(self, expr: VarRef) -> None:
+        assert self.ctx is not None
+        if expr.scope == "local":
+            entry = self.ctx.lookup(expr.name)
+            if entry is None:
+                raise ArmCodegenError(f"unbound local {expr.name!r}")
+            offset, ctype = entry
+            if ctype.is_double:
+                self.emit("fldr", DReg("d0"), self._slot(offset))
+            else:
+                self.emit("ldr", XReg("x0"), self._slot(offset))
+        elif expr.scope == "global":
+            if expr.is_array:
+                self.emit("adr", XReg("x0"), ALabel(expr.name))
+            else:
+                self.emit("adr", XReg("x2"), ALabel(expr.name))
+                self._load_through(XReg("x2"), expr.ctype)
+        elif expr.scope == "func":
+            self.emit("adr", XReg("x0"), ALabel(expr.name))
+        else:
+            raise ArmCodegenError(f"unresolved variable {expr.name!r}")
+
+    def _load_through(self, base: XReg, ctype: CType) -> None:
+        if ctype.is_double:
+            self.emit("fldr", DReg("d0"), AMem(base=base.name, width=64))
+        elif ctype == CHAR:
+            self.emit("ldrb", XReg("x0"), AMem(base=base.name, width=8))
+        else:
+            self.emit("ldr", XReg("x0"), AMem(base=base.name))
+
+    def _load_through_x0(self, ctype: CType) -> None:
+        if ctype.is_double:
+            self.emit("fldr", DReg("d0"), AMem(base="x0", width=64))
+        elif ctype == CHAR:
+            self.emit("ldrb", XReg("x0"), AMem(base="x0", width=8))
+        else:
+            self.emit("ldr", XReg("x0"), AMem(base="x0"))
+
+    def _gen_unary(self, expr: Unary) -> None:
+        if expr.op == "&":
+            self._gen_address(expr.operand)
+            return
+        if expr.op == "*":
+            self._gen_expr(expr.operand)
+            self._load_through_x0(expr.ctype)
+            return
+        self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if expr.ctype.is_double:
+                self.emit("fmov", DReg("d1"), AImm(0))
+                self.emit("fsub", DReg("d0"), DReg("d1"), DReg("d0"))
+            else:
+                self.emit("neg", XReg("x0"), XReg("x0"))
+        elif expr.op == "!":
+            self.emit("cmp", XReg("x0"), AImm(0))
+            self.emit("cset", XReg("x0"), ALabel("eq"))
+        elif expr.op == "~":
+            self.emit("mvn", XReg("x0"), XReg("x0"))
+        else:
+            raise ArmCodegenError(f"bad unary {expr.op}")
+
+    _INT_OPS = {"+": "add", "-": "sub", "*": "mul", "&": "and", "|": "orr",
+                "^": "eor", "<<": "lsl", ">>": "asr"}
+    _CMP_CONDS = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt",
+                  ">=": "ge"}
+    _FCMP_CONDS = {"==": "eq", "!=": "ne", "<": "mi", "<=": "ls", ">": "gt",
+                   ">=": "ge"}
+
+    def _gen_binary(self, expr: Binary) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_logical(expr)
+            return
+        lt = expr.lhs.ctype
+        rt = expr.rhs.ctype
+        if lt.is_double:
+            self._gen_fbinary(expr)
+            return
+        self._gen_expr(expr.lhs)
+        self._push_x0()
+        self._gen_expr(expr.rhs)
+        self.emit("mov", XReg("x1"), XReg("x0"))
+        self._pop("x0")
+        if op in ("+", "-") and lt.is_pointer and rt.is_integral:
+            size = lt.element_size()
+            if size == 8:
+                self.emit("lsl", XReg("x1"), XReg("x1"), AImm(3))
+            self.emit(self._INT_OPS[op], XReg("x0"), XReg("x0"), XReg("x1"))
+        elif op == "-" and lt.is_pointer and rt.is_pointer:
+            self.emit("sub", XReg("x0"), XReg("x0"), XReg("x1"))
+            if lt.element_size() == 8:
+                self.emit("asr", XReg("x0"), XReg("x0"), AImm(3))
+        elif op in self._INT_OPS:
+            self.emit(self._INT_OPS[op], XReg("x0"), XReg("x0"), XReg("x1"))
+        elif op == "/":
+            self.emit("sdiv", XReg("x0"), XReg("x0"), XReg("x1"))
+        elif op == "%":
+            self.emit("sdiv", XReg("x2"), XReg("x0"), XReg("x1"))
+            self.emit("msub", XReg("x0"), XReg("x2"), XReg("x1"), XReg("x0"))
+        elif op in self._CMP_CONDS:
+            self.emit("cmp", XReg("x0"), XReg("x1"))
+            self.emit("cset", XReg("x0"), ALabel(self._CMP_CONDS[op]))
+        else:
+            raise ArmCodegenError(f"bad int binary {op}")
+
+    def _gen_fbinary(self, expr: Binary) -> None:
+        op = expr.op
+        self._gen_expr(expr.lhs)
+        self._push_d0()
+        self._gen_expr(expr.rhs)
+        self.emit("fmov", DReg("d1"), DReg("d0"))
+        self._pop_d("d0")
+        arith = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+        if op in arith:
+            self.emit(arith[op], DReg("d0"), DReg("d0"), DReg("d1"))
+        elif op in self._FCMP_CONDS:
+            self.emit("fcmp", DReg("d0"), DReg("d1"))
+            self.emit("cset", XReg("x0"), ALabel(self._FCMP_CONDS[op]))
+        else:
+            raise ArmCodegenError(f"bad float binary {op}")
+
+    def _gen_logical(self, expr: Binary) -> None:
+        assert self.ctx is not None
+        done = self.ctx.new_label("ldone")
+        short = self.ctx.new_label("lshort")
+        self._gen_expr(expr.lhs)
+        if expr.op == "&&":
+            self.emit("cbz", XReg("x0"), ALabel(short))
+        else:
+            self.emit("cbnz", XReg("x0"), ALabel(short))
+        self._gen_expr(expr.rhs)
+        self.emit("cmp", XReg("x0"), AImm(0))
+        self.emit("cset", XReg("x0"), ALabel("ne"))
+        self.emit("b", ALabel(done))
+        self.label(short)
+        self.emit("mov", XReg("x0"), AImm(0 if expr.op == "&&" else 1))
+        self.label(done)
+
+    # ---- addresses ------------------------------------------------------------
+    def _gen_address(self, expr: Expr) -> None:
+        assert self.ctx is not None
+        if isinstance(expr, VarRef):
+            if expr.scope == "local":
+                entry = self.ctx.lookup(expr.name)
+                if entry is None:
+                    raise ArmCodegenError(f"unbound local {expr.name!r}")
+                offset, _ = entry
+                self.emit("add", XReg("x0"), XReg("x29"), AImm(offset))
+            elif expr.scope == "global":
+                self.emit("adr", XReg("x0"), ALabel(expr.name))
+            else:
+                raise ArmCodegenError(f"cannot take address of {expr.name!r}")
+        elif isinstance(expr, Index):
+            self._gen_expr(expr.base)
+            self._push_x0()
+            self._gen_expr(expr.index)
+            size = expr.base.ctype.element_size()
+            if size == 8:
+                self.emit("lsl", XReg("x0"), XReg("x0"), AImm(3))
+            self._pop("x1")
+            self.emit("add", XReg("x0"), XReg("x1"), XReg("x0"))
+        elif isinstance(expr, Unary) and expr.op == "*":
+            self._gen_expr(expr.operand)
+        else:
+            raise ArmCodegenError("not an lvalue")
+
+    # ---- assignment ---------------------------------------------------------------
+    def _gen_assign(self, expr: Assign) -> None:
+        assert self.ctx is not None
+        target = expr.target
+        ctype = expr.ctype
+        if isinstance(target, VarRef) and target.scope == "local":
+            self._gen_expr(expr.value)
+            entry = self.ctx.lookup(target.name)
+            if entry is None:
+                raise ArmCodegenError(f"unbound local {target.name!r}")
+            offset, _ = entry
+            if ctype.is_double:
+                self.emit("fstr", DReg("d0"), self._slot(offset))
+            else:
+                if ctype == CHAR:
+                    self.emit("and", XReg("x0"), XReg("x0"), AImm(0xFF))
+                self.emit("str", XReg("x0"), self._slot(offset))
+            return
+        if isinstance(target, VarRef) and target.scope == "global":
+            self._gen_expr(expr.value)
+            self.emit("adr", XReg("x2"), ALabel(target.name))
+            self._store_through(XReg("x2"), ctype)
+            return
+        if ctype.is_double:
+            self._gen_expr(expr.value)
+            self._push_d0()
+            self._gen_address(target)
+            self._pop_d("d0")
+            self.emit("fstr", DReg("d0"), AMem(base="x0", width=64))
+        else:
+            self._gen_expr(expr.value)
+            self._push_x0()
+            self._gen_address(target)
+            self.emit("mov", XReg("x2"), XReg("x0"))
+            self._pop("x0")
+            if ctype == CHAR:
+                self.emit("strb", XReg("x0"), AMem(base="x2", width=8))
+            else:
+                self.emit("str", XReg("x0"), AMem(base="x2"))
+
+    def _store_through(self, base: XReg, ctype: CType) -> None:
+        if ctype.is_double:
+            self.emit("fstr", DReg("d0"), AMem(base=base.name, width=64))
+        elif ctype == CHAR:
+            self.emit("strb", XReg("x0"), AMem(base=base.name, width=8))
+        else:
+            self.emit("str", XReg("x0"), AMem(base=base.name))
+
+    # ---- calls ---------------------------------------------------------------------
+    def _gen_call(self, expr: Call) -> None:
+        if expr.is_builtin:
+            self._gen_builtin(expr)
+            return
+        kinds: list[str] = []
+        for arg in expr.args:
+            self._gen_expr(arg)
+            if arg.ctype.is_double:
+                self._push_d0()
+                kinds.append("fp")
+            else:
+                self._push_x0()
+                kinds.append("int")
+        int_idx = kinds.count("int")
+        fp_idx = kinds.count("fp")
+        for i in reversed(range(len(kinds))):
+            if kinds[i] == "fp":
+                fp_idx -= 1
+                self._pop_d(f"d{fp_idx}")
+            else:
+                int_idx -= 1
+                self._pop(f"x{int_idx}")
+        self.emit("bl", ALabel(expr.name))
+
+    def _gen_builtin(self, expr: Call) -> None:
+        name = expr.name
+        if name == "fence":
+            self.emit("dmb ish")
+            return
+        if name == "sqrt":
+            self._gen_expr(expr.args[0])
+            self.emit("fsqrt", DReg("d0"), DReg("d0"))
+            return
+        if name in ("atomic_add", "atomic_xchg"):
+            self._gen_expr(expr.args[0])
+            self._push_x0()
+            self._gen_expr(expr.args[1])
+            self.emit("mov", XReg("x1"), XReg("x0"))
+            self._pop("x2")
+            assert self.ctx is not None
+            loop = self.ctx.new_label("rmw")
+            self.emit("dmb ish")
+            self.label(loop)
+            self.emit("ldxr", XReg("x0"), AMem(base="x2"))
+            if name == "atomic_add":
+                self.emit("add", XReg("x3"), XReg("x0"), XReg("x1"))
+            else:
+                self.emit("mov", XReg("x3"), XReg("x1"))
+            self.emit("stxr", XReg("x4"), XReg("x3"), AMem(base="x2"))
+            self.emit("cbnz", XReg("x4"), ALabel(loop))
+            self.emit("dmb ish")
+            return
+        if name == "atomic_cas":
+            self._gen_expr(expr.args[0])
+            self._push_x0()
+            self._gen_expr(expr.args[1])
+            self._push_x0()
+            self._gen_expr(expr.args[2])
+            self.emit("mov", XReg("x3"), XReg("x0"))
+            self._pop("x1")
+            self._pop("x2")
+            assert self.ctx is not None
+            loop = self.ctx.new_label("cas")
+            done = self.ctx.new_label("casdone")
+            self.emit("dmb ish")
+            self.label(loop)
+            self.emit("ldxr", XReg("x0"), AMem(base="x2"))
+            self.emit("cmp", XReg("x0"), XReg("x1"))
+            self.emit("b.ne", ALabel(done))
+            self.emit("stxr", XReg("x4"), XReg("x3"), AMem(base="x2"))
+            self.emit("cbnz", XReg("x4"), ALabel(loop))
+            self.label(done)
+            self.emit("dmb ish")
+            return
+        if name == "spawn":
+            fn = expr.args[0]
+            assert isinstance(fn, VarRef)
+            self._gen_expr(expr.args[1])
+            self.emit("mov", XReg("x1"), XReg("x0"))
+            self.emit("adr", XReg("x0"), ALabel(fn.name))
+            self.emit("bl", ALabel(EXTERNAL_NAMES["spawn"]))
+            return
+        external = EXTERNAL_NAMES[name]
+        if expr.args:
+            self._gen_expr(expr.args[0])
+            # integer arg is already in x0, double in d0
+        self.emit("bl", ALabel(external))
+
+    # ---- casts ---------------------------------------------------------------------
+    def _gen_cast(self, expr: CastExpr) -> None:
+        self._gen_expr(expr.operand)
+        src = expr.operand.ctype
+        dst = expr.target_type
+        if src == dst:
+            return
+        if src.is_integral and dst.is_double:
+            self.emit("scvtf", DReg("d0"), XReg("x0"))
+        elif src.is_double and dst.is_integral:
+            self.emit("fcvtzs", XReg("x0"), DReg("d0"))
+            if dst == CHAR:
+                self.emit("and", XReg("x0"), XReg("x0"), AImm(0xFF))
+        elif src == INT and dst == CHAR:
+            self.emit("and", XReg("x0"), XReg("x0"), AImm(0xFF))
+        # char→int and pointer/int casts are free
+
+
+def compile_to_arm(source: str, entry: str = "main") -> ArmProgram:
+    """Compile mini-C source directly to Arm: the Native baseline."""
+    program = parse(source)
+    sema = analyze(program)
+    return ArmCodeGen(sema).generate(entry)

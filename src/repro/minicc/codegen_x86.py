@@ -1,0 +1,940 @@
+"""mini-C → x86-64 code generator.
+
+A classic single-pass stack-machine code generator: integer/pointer values
+live in ``rax``, doubles in ``xmm0``, sub-expressions are spilled to the
+machine stack, locals live in ``rbp``-relative slots.  This deliberately
+mirrors what an unoptimized (or lightly optimized) C compiler emits — stack
+slot traffic, explicit flag-setting comparisons, SSE scalar FP — which is
+exactly the input shape the binary lifter has to cope with.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from ..x86.asm import Assembler, AsmFunction
+from ..x86.isa import Imm, Instr, Label, Mem, Reg
+from ..x86.objfile import X86Object
+from ..x86.registers import INT_PARAM_REGS
+from .astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    CHAR,
+    Continue,
+    CType,
+    Decl,
+    DOUBLE,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    If,
+    Index,
+    INT,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Unary,
+    VarRef,
+    While,
+)
+from .sema import BUILTINS, SemaError, SemaResult, analyze
+from .parser import parse
+
+# mini-C builtin -> runtime external symbol
+EXTERNAL_NAMES = {
+    "malloc": "malloc",
+    "spawn": "spawn",
+    "join": "join",
+    "print_i": "print_i64",
+    "print_f": "print_f64",
+    "thread_id": "thread_id",
+}
+
+
+class CodegenError(Exception):
+    pass
+
+
+class _FuncCtx:
+    def __init__(
+        self, func: FuncDef, reg_locals: dict[str, str], save_count: int = 0
+    ) -> None:
+        self.func = func
+        # A local's home is ("slot", rbp_offset) or ("reg", callee_saved_reg).
+        # Slots start below the callee-saved register save area.
+        self.scopes: list[dict[str, tuple[str, object, CType]]] = [{}]
+        self.reg_locals = reg_locals
+        self.next_offset = 8 * save_count
+        self.label_counter = 0
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, ctype: CType) -> tuple[str, object, CType]:
+        if name in self.reg_locals:
+            home = ("reg", self.reg_locals[name], ctype)
+        else:
+            self.next_offset += 8
+            home = ("slot", self.next_offset, ctype)
+        self.scopes[-1][name] = home
+        return home
+
+    def lookup(self, name: str) -> Optional[tuple[str, object, CType]]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".L{hint}{self.label_counter}"
+
+
+def _count_decls(stmt: Stmt) -> int:
+    if isinstance(stmt, Block):
+        return sum(_count_decls(s) for s in stmt.statements)
+    if isinstance(stmt, Decl):
+        return 1
+    if isinstance(stmt, If):
+        n = _count_decls(stmt.then)
+        if stmt.otherwise is not None:
+            n += _count_decls(stmt.otherwise)
+        return n
+    if isinstance(stmt, While):
+        return _count_decls(stmt.body)
+    if isinstance(stmt, For):
+        n = _count_decls(stmt.body)
+        if stmt.init is not None:
+            n += _count_decls(stmt.init)
+        return n
+    return 0
+
+
+# Callee-saved registers available for hot scalar locals (rbp is the frame
+# pointer; rbx/r12-r15 survive calls per the System-V ABI).
+_LOCAL_REGS = ["rbx", "r12", "r13", "r14", "r15"]
+
+
+def _walk_stmts(stmt):
+    yield stmt
+    if isinstance(stmt, Block):
+        for s in stmt.statements:
+            yield from _walk_stmts(s)
+    elif isinstance(stmt, If):
+        yield from _walk_stmts(stmt.then)
+        if stmt.otherwise is not None:
+            yield from _walk_stmts(stmt.otherwise)
+    elif isinstance(stmt, While):
+        yield from _walk_stmts(stmt.body)
+    elif isinstance(stmt, For):
+        if stmt.init is not None:
+            yield from _walk_stmts(stmt.init)
+        yield from _walk_stmts(stmt.body)
+
+
+def _walk_exprs(expr):
+    if expr is None:
+        return
+    yield expr
+    for attr in ("operand", "lhs", "rhs", "target", "value", "base", "index"):
+        sub = getattr(expr, attr, None)
+        if isinstance(sub, Expr):
+            yield from _walk_exprs(sub)
+    if isinstance(expr, Call):
+        for a in expr.args:
+            yield from _walk_exprs(a)
+
+
+def _stmt_exprs(stmt):
+    for attr in ("expr", "cond", "init", "step", "value"):
+        sub = getattr(stmt, attr, None)
+        if isinstance(sub, Expr):
+            yield from _walk_exprs(sub)
+
+
+# Builtins that lower to inline instructions (no machine-level call).
+_INLINE_BUILTINS = {"fence", "sqrt", "atomic_add", "atomic_cas", "atomic_xchg"}
+
+
+def _is_leaf(func: FuncDef) -> bool:
+    """True when the body performs no machine-level calls, so caller-saved
+    registers (including XMM) can hold values across the whole function."""
+    for stmt in _walk_stmts(func.body):
+        for expr in _stmt_exprs(stmt):
+            if isinstance(expr, Call) and not (
+                expr.is_builtin and expr.name in _INLINE_BUILTINS
+            ):
+                return False
+    return True
+
+
+def _choose_register_locals(func: FuncDef) -> dict[str, str]:
+    """Pick hot, non-addressed, uniquely-declared scalar locals and
+    parameters to live in registers — roughly what -O1/-O2 register
+    allocation does for loop counters, accumulators and leaf-function
+    parameters.
+
+    Integers use callee-saved GPRs (plus r10/r11 in leaf functions, where
+    nothing clobbers them).  Doubles are register-allocated only in leaf
+    functions (x86-64 has no callee-saved XMM registers), using xmm8-xmm13.
+    """
+    leaf = _is_leaf(func)
+    decl_type: dict[str, CType] = {p.name: p.ctype for p in func.params}
+    decl_count: dict[str, int] = {p.name: 1 for p in func.params}
+    for stmt in _walk_stmts(func.body):
+        if isinstance(stmt, Decl):
+            decl_count[stmt.name] = decl_count.get(stmt.name, 0) + 1
+            decl_type[stmt.name] = stmt.ctype
+    addressed: set[str] = set()
+    uses: dict[str, int] = {}
+    for stmt in _walk_stmts(func.body):
+        for expr in _stmt_exprs(stmt):
+            if isinstance(expr, Unary) and expr.op == "&" and isinstance(
+                expr.operand, VarRef
+            ):
+                addressed.add(expr.operand.name)
+            if isinstance(expr, VarRef):
+                uses[expr.name] = uses.get(expr.name, 0) + 1
+
+    int_pool = list(_LOCAL_REGS) + (["r10", "r11"] if leaf else [])
+    fp_pool = [f"xmm{i}" for i in range(8, 14)] if leaf else []
+    candidates = [
+        name
+        for name, n in decl_count.items()
+        if n == 1 and name not in addressed
+    ]
+    candidates.sort(key=lambda n: -uses.get(n, 0))
+    assignment: dict[str, str] = {}
+    for name in candidates:
+        pool = fp_pool if decl_type[name].is_double else int_pool
+        if pool:
+            assignment[name] = pool.pop(0)
+    return assignment
+
+
+class X86CodeGen:
+    def __init__(self, sema: SemaResult) -> None:
+        self.sema = sema
+        self.asm = Assembler()
+        self.ctx: Optional[_FuncCtx] = None
+        self.out: Optional[AsmFunction] = None
+
+    # ---- driver ----------------------------------------------------------
+    def generate(self, entry: str = "main") -> X86Object:
+        program = self.sema.program
+        for name in sorted(EXTERNAL_NAMES.values()):
+            self.asm.declare_external(name)
+        for g in program.globals:
+            init = b""
+            if g.init is not None:
+                if isinstance(g.init, IntLit):
+                    size = g.ctype.sizeof()
+                    init = (g.init.value & ((1 << (8 * size)) - 1)).to_bytes(
+                        size, "little"
+                    )
+                elif isinstance(g.init, FloatLit):
+                    init = struct.pack("<d", g.init.value)
+            self.asm.add_global(g.name, max(1, g.sizeof()), init)
+        for sym, data in program.strings.items():
+            self.asm.add_global(sym, len(data), data)
+        for func in program.functions:
+            self._gen_function(func)
+        return self.asm.link(entry)
+
+    # ---- emission helpers ----------------------------------------------------
+    def emit(self, mnemonic: str, *operands, lock: bool = False) -> None:
+        assert self.out is not None
+        self.out.emit(Instr(mnemonic, list(operands), lock=lock))
+
+    def label(self, name: str) -> None:
+        assert self.out is not None
+        self.out.label(name)
+
+    def _slot(self, offset: int, width: int = 64) -> Mem:
+        return Mem(base="rbp", disp=-offset, width=width)
+
+    # ---- functions -----------------------------------------------------------
+    def _gen_function(self, func: FuncDef) -> None:
+        reg_locals = _choose_register_locals(func)
+        saved = sorted(
+            {r for r in reg_locals.values() if r in _LOCAL_REGS},
+            key=_LOCAL_REGS.index,
+        )
+        self.ctx = _FuncCtx(func, reg_locals, save_count=len(saved))
+        self.out = AsmFunction(func.name)
+        nslots = len(func.params) + _count_decls(func.body)
+        frame = (nslots * 8 + 15) & ~15
+
+        self.emit("push", Reg("rbp"))
+        self.emit("mov", Reg("rbp"), Reg("rsp"))
+        for reg in saved:
+            self.emit("push", Reg(reg))
+        if frame:
+            self.emit("sub", Reg("rsp"), Imm(frame))
+
+        # Spill parameters into local slots (System-V register assignment).
+        int_idx = 0
+        sse_idx = 0
+        for p in func.params:
+            home = self.ctx.declare(p.name, p.ctype)
+            kind, where, _ = home
+            if p.ctype.is_double:
+                src = Reg(f"xmm{sse_idx}")
+                if kind == "reg":
+                    self.emit("movsd", Reg(where), src)
+                else:
+                    self.emit("movsd", self._slot(where), src)
+                sse_idx += 1
+            else:
+                if int_idx >= len(INT_PARAM_REGS):
+                    raise CodegenError("too many integer parameters")
+                src = Reg(INT_PARAM_REGS[int_idx])
+                if kind == "reg":
+                    self.emit("mov", Reg(where), src)
+                else:
+                    self.emit("mov", self._slot(where), src)
+                int_idx += 1
+
+        self._epilogue = self.ctx.new_label("ret")
+        self._gen_block(func.body)
+        # Fall-through return (void or missing return yields 0).
+        self.emit("xor", Reg("rax"), Reg("rax"))
+        self.label(self._epilogue)
+        self.emit("lea", Reg("rsp"), Mem(base="rbp", disp=-8 * len(saved)))
+        for reg in reversed(saved):
+            self.emit("pop", Reg(reg))
+        self.emit("pop", Reg("rbp"))
+        self.emit("ret")
+        self.asm.add_function(self.out)
+        self.ctx = None
+        self.out = None
+
+    # ---- statements -------------------------------------------------------------
+    def _gen_block(self, block: Block) -> None:
+        assert self.ctx is not None
+        self.ctx.push_scope()
+        for stmt in block.statements:
+            self._gen_stmt(stmt)
+        self.ctx.pop_scope()
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        assert self.ctx is not None
+        if isinstance(stmt, Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, Decl):
+            home = self.ctx.declare(stmt.name, stmt.ctype)
+            if stmt.init is not None:
+                self._gen_expr(stmt.init)
+                if stmt.ctype == CHAR:
+                    self.emit("and", Reg("rax"), Imm(0xFF))
+                self._store_local(home, Reg("rax"))
+        elif isinstance(stmt, ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            else_l = self.ctx.new_label("else")
+            end_l = self.ctx.new_label("endif")
+            self._gen_cond_jump(stmt.cond, else_l)
+            self._gen_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                self.emit("jmp", Label(end_l))
+                self.label(else_l)
+                self._gen_stmt(stmt.otherwise)
+                self.label(end_l)
+            else:
+                self.label(else_l)
+        elif isinstance(stmt, While):
+            head = self.ctx.new_label("while")
+            exit_l = self.ctx.new_label("endwhile")
+            self.label(head)
+            self._gen_cond_jump(stmt.cond, exit_l)
+            self.ctx.break_labels.append(exit_l)
+            self.ctx.continue_labels.append(head)
+            self._gen_stmt(stmt.body)
+            self.ctx.break_labels.pop()
+            self.ctx.continue_labels.pop()
+            self.emit("jmp", Label(head))
+            self.label(exit_l)
+        elif isinstance(stmt, For):
+            self.ctx.push_scope()
+            head = self.ctx.new_label("for")
+            step_l = self.ctx.new_label("forstep")
+            exit_l = self.ctx.new_label("endfor")
+            if stmt.init is not None:
+                self._gen_stmt(stmt.init)
+            self.label(head)
+            if stmt.cond is not None:
+                self._gen_cond_jump(stmt.cond, exit_l)
+            self.ctx.break_labels.append(exit_l)
+            self.ctx.continue_labels.append(step_l)
+            self._gen_stmt(stmt.body)
+            self.ctx.break_labels.pop()
+            self.ctx.continue_labels.pop()
+            self.label(step_l)
+            if stmt.step is not None:
+                self._gen_expr(stmt.step)
+            self.emit("jmp", Label(head))
+            self.label(exit_l)
+            self.ctx.pop_scope()
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                self._gen_expr(stmt.value)
+            else:
+                self.emit("xor", Reg("rax"), Reg("rax"))
+            self.emit("jmp", Label(self._epilogue_label()))
+        elif isinstance(stmt, Break):
+            self.emit("jmp", Label(self.ctx.break_labels[-1]))
+        elif isinstance(stmt, Continue):
+            self.emit("jmp", Label(self.ctx.continue_labels[-1]))
+        else:
+            raise CodegenError(f"cannot codegen {type(stmt).__name__}")
+
+    def _epilogue_label(self) -> str:
+        return self._epilogue  # type: ignore[attr-defined]
+
+    def _gen_cond_jump(self, cond: Expr, false_label: str) -> None:
+        self._gen_expr(cond)
+        self.emit("test", Reg("rax"), Reg("rax"))
+        self.emit("je", Label(false_label))
+
+    # ---- expressions -------------------------------------------------------------
+    def _gen_expr(self, expr: Expr) -> None:
+        """Leaves the value in rax (ints/pointers) or xmm0 (doubles)."""
+        if isinstance(expr, IntLit):
+            self._load_const(expr.value)
+        elif isinstance(expr, FloatLit):
+            bits = int.from_bytes(struct.pack("<d", expr.value), "little")
+            self.emit("movabs", Reg("rax"), Imm(bits, 64))
+            self.emit("movq", Reg("xmm0"), Reg("rax"))
+        elif isinstance(expr, StringLit):
+            self.emit("movabs", Reg("rax"), Label(expr.symbol))
+        elif isinstance(expr, VarRef):
+            self._gen_varref(expr)
+        elif isinstance(expr, Unary):
+            self._gen_unary(expr)
+        elif isinstance(expr, Binary):
+            self._gen_binary(expr)
+        elif isinstance(expr, Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, Index):
+            self._gen_address(expr)
+            self._load_from_rax(expr.ctype)
+        elif isinstance(expr, Call):
+            self._gen_call(expr)
+        elif isinstance(expr, CastExpr):
+            self._gen_cast(expr)
+        else:
+            raise CodegenError(f"cannot codegen {type(expr).__name__}")
+
+    def _load_const(self, value: int) -> None:
+        if -(2**31) <= value < 2**31:
+            self.emit("mov", Reg("rax"), Imm(value))
+        else:
+            self.emit("movabs", Reg("rax"), Imm(value, 64))
+
+    def _store_local(self, home: tuple, src: Reg) -> None:
+        kind, where, ctype = home
+        if ctype.is_double:
+            if kind == "reg":
+                self.emit("movsd", Reg(where), Reg("xmm0"))
+            else:
+                self.emit("movsd", self._slot(where), Reg("xmm0"))
+        elif kind == "reg":
+            self.emit("mov", Reg(where), src)
+        else:
+            self.emit("mov", self._slot(where), src)
+
+    def _load_local(self, home: tuple, dst: Reg) -> None:
+        kind, where, ctype = home
+        if ctype.is_double:
+            if kind == "reg":
+                self.emit("movsd", Reg("xmm0"), Reg(where))
+            else:
+                self.emit("movsd", Reg("xmm0"), self._slot(where))
+        elif kind == "reg":
+            self.emit("mov", dst, Reg(where))
+        else:
+            self.emit("mov", dst, self._slot(where))
+
+    def _gen_varref(self, expr: VarRef) -> None:
+        assert self.ctx is not None
+        if expr.scope == "local":
+            entry = self.ctx.lookup(expr.name)
+            if entry is None:
+                raise CodegenError(f"unbound local {expr.name!r}")
+            self._load_local(entry, Reg("rax"))
+        elif expr.scope == "global":
+            if expr.is_array:
+                self.emit("movabs", Reg("rax"), Label(expr.name))
+            else:
+                self.emit("movabs", Reg("rcx"), Label(expr.name))
+                self._load_from(Reg("rcx"), expr.ctype)
+        elif expr.scope == "func":
+            self.emit("movabs", Reg("rax"), Label(expr.name))
+        else:
+            raise CodegenError(f"unresolved variable {expr.name!r}")
+
+    def _load_from(self, base: Reg, ctype: CType) -> None:
+        mem = Mem(base=base.name, width=64)
+        if ctype.is_double:
+            self.emit("movsd", Reg("xmm0"), Mem(base=base.name, width=64))
+        elif ctype == CHAR:
+            self.emit("movzx", Reg("rax"), Mem(base=base.name, width=8))
+        else:
+            self.emit("mov", Reg("rax"), mem)
+
+    def _load_from_rax(self, ctype: CType) -> None:
+        self._load_from(Reg("rax"), ctype)
+
+    def _gen_unary(self, expr: Unary) -> None:
+        if expr.op == "&":
+            self._gen_address(expr.operand)
+            return
+        if expr.op == "*":
+            self._gen_expr(expr.operand)
+            self._load_from_rax(expr.ctype)
+            return
+        self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if expr.ctype.is_double:
+                self.emit("pxor", Reg("xmm1"), Reg("xmm1"))
+                self.emit("subsd", Reg("xmm1"), Reg("xmm0"))
+                self.emit("movsd", Reg("xmm0"), Reg("xmm1"))
+            else:
+                self.emit("neg", Reg("rax"))
+        elif expr.op == "!":
+            self.emit("test", Reg("rax"), Reg("rax"))
+            self.emit("sete", Reg("al"))
+            self.emit("movzx", Reg("rax"), Reg("al"))
+        elif expr.op == "~":
+            self.emit("not", Reg("rax"))
+        else:
+            raise CodegenError(f"bad unary {expr.op}")
+
+    # int binary helpers: lhs in rax, rhs in rcx
+    _INT_OPS = {"+": "add", "-": "sub", "&": "and", "|": "or", "^": "xor"}
+    _CMP_CC = {"==": "e", "!=": "ne", "<": "l", "<=": "le", ">": "g",
+               ">=": "ge"}
+    _FCMP_CC = {"==": "e", "!=": "ne", "<": "b", "<=": "be", ">": "a",
+                ">=": "ae"}
+
+    def _gen_binary(self, expr: Binary) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_logical(expr)
+            return
+        lt = expr.lhs.ctype
+        rt = expr.rhs.ctype
+        if lt.is_double or (op in self._CMP_CC and lt.is_double):
+            self._gen_fbinary(expr)
+            return
+        # integer/pointer path
+        self._gen_expr(expr.lhs)
+        if not self._eval_simple_into(expr.rhs, "rcx"):
+            self.emit("push", Reg("rax"))
+            self._gen_expr(expr.rhs)
+            self.emit("mov", Reg("rcx"), Reg("rax"))
+            self.emit("pop", Reg("rax"))
+        if op in ("+", "-") and lt.is_pointer and rt.is_integral:
+            self._scale(Reg("rcx"), lt.element_size())
+            self.emit(self._INT_OPS[op], Reg("rax"), Reg("rcx"))
+        elif op == "-" and lt.is_pointer and rt.is_pointer:
+            self.emit("sub", Reg("rax"), Reg("rcx"))
+            size = lt.element_size()
+            if size == 8:
+                self.emit("sar", Reg("rax"), Imm(3, 8))
+        elif op in self._INT_OPS:
+            self.emit(self._INT_OPS[op], Reg("rax"), Reg("rcx"))
+        elif op == "*":
+            self.emit("imul", Reg("rax"), Reg("rcx"))
+        elif op == "/":
+            self.emit("cqo")
+            self.emit("idiv", Reg("rcx"))
+        elif op == "%":
+            self.emit("cqo")
+            self.emit("idiv", Reg("rcx"))
+            self.emit("mov", Reg("rax"), Reg("rdx"))
+        elif op in ("<<", ">>"):
+            self.emit("shl" if op == "<<" else "sar", Reg("rax"), Reg("cl"))
+        elif op in self._CMP_CC:
+            self.emit("cmp", Reg("rax"), Reg("rcx"))
+            self.emit(f"set{self._CMP_CC[op]}", Reg("al"))
+            self.emit("movzx", Reg("rax"), Reg("al"))
+        else:
+            raise CodegenError(f"bad int binary {op}")
+
+    def _eval_simple_into(self, expr: Expr, reg: str) -> bool:
+        """Evaluate a trivial integer expression directly into ``reg``
+        (no rax clobber), avoiding the push/pop dance.  Returns False when
+        the expression is not trivial."""
+        assert self.ctx is not None
+        if isinstance(expr, IntLit) and -(2**31) <= expr.value < 2**31:
+            self.emit("mov", Reg(reg), Imm(expr.value))
+            return True
+        if isinstance(expr, VarRef) and expr.scope == "local":
+            entry = self.ctx.lookup(expr.name)
+            if entry is None or entry[2].is_double:
+                return False
+            kind, where, _ = entry
+            if kind == "reg":
+                self.emit("mov", Reg(reg), Reg(where))
+            else:
+                self.emit("mov", Reg(reg), self._slot(where))
+            return True
+        if isinstance(expr, CastExpr) and self._is_free_cast(expr):
+            return self._eval_simple_into(expr.operand, reg)
+        return False
+
+    @staticmethod
+    def _is_free_cast(expr: CastExpr) -> bool:
+        src = expr.operand.ctype
+        dst = expr.target_type
+        if src is None or dst is None:
+            return False
+        if src.is_double or dst.is_double or dst == CHAR:
+            return False
+        return True  # int/pointer casts are free at machine level
+
+    def _scale(self, reg: Reg, size: int) -> None:
+        if size == 1:
+            return
+        shift = {2: 1, 4: 2, 8: 3}.get(size)
+        if shift is None:
+            raise CodegenError(f"bad element size {size}")
+        self.emit("shl", reg, Imm(shift, 8))
+
+    def _eval_simple_double_into(self, expr: Expr, xmm: str) -> bool:
+        """Evaluate a trivial double expression directly into ``xmm``
+        (clobbers rax for literals).  Returns False when not trivial."""
+        assert self.ctx is not None
+        if isinstance(expr, FloatLit):
+            bits = int.from_bytes(struct.pack("<d", expr.value), "little")
+            self.emit("movabs", Reg("rax"), Imm(bits, 64))
+            self.emit("movq", Reg(xmm), Reg("rax"))
+            return True
+        if isinstance(expr, VarRef) and expr.scope == "local":
+            entry = self.ctx.lookup(expr.name)
+            if entry is None or not entry[2].is_double:
+                return False
+            kind, where, _ = entry
+            if kind == "reg":
+                self.emit("movsd", Reg(xmm), Reg(where))
+            else:
+                self.emit("movsd", Reg(xmm), self._slot(where))
+            return True
+        return False
+
+    def _gen_fbinary(self, expr: Binary) -> None:
+        op = expr.op
+        self._gen_expr(expr.lhs)
+        if not self._eval_simple_double_into(expr.rhs, "xmm1"):
+            self.emit("sub", Reg("rsp"), Imm(8))
+            self.emit("movsd", Mem(base="rsp", width=64), Reg("xmm0"))
+            self._gen_expr(expr.rhs)
+            self.emit("movsd", Reg("xmm1"), Reg("xmm0"))
+            self.emit("movsd", Reg("xmm0"), Mem(base="rsp", width=64))
+            self.emit("add", Reg("rsp"), Imm(8))
+        arith = {"+": "addsd", "-": "subsd", "*": "mulsd", "/": "divsd"}
+        if op in arith:
+            self.emit(arith[op], Reg("xmm0"), Reg("xmm1"))
+        elif op in self._FCMP_CC:
+            self.emit("ucomisd", Reg("xmm0"), Reg("xmm1"))
+            self.emit(f"set{self._FCMP_CC[op]}", Reg("al"))
+            self.emit("movzx", Reg("rax"), Reg("al"))
+        else:
+            raise CodegenError(f"bad float binary {op}")
+
+    def _gen_logical(self, expr: Binary) -> None:
+        assert self.ctx is not None
+        done = self.ctx.new_label("ldone")
+        short = self.ctx.new_label("lshort")
+        self._gen_expr(expr.lhs)
+        self.emit("test", Reg("rax"), Reg("rax"))
+        if expr.op == "&&":
+            self.emit("je", Label(short))
+        else:
+            self.emit("jne", Label(short))
+        self._gen_expr(expr.rhs)
+        self.emit("test", Reg("rax"), Reg("rax"))
+        self.emit("setne", Reg("al"))
+        self.emit("movzx", Reg("rax"), Reg("al"))
+        self.emit("jmp", Label(done))
+        self.label(short)
+        self.emit("mov", Reg("rax"), Imm(0 if expr.op == "&&" else 1))
+        self.label(done)
+
+    # ---- addresses ------------------------------------------------------------
+    def _gen_address(self, expr: Expr) -> None:
+        """Leaves the address of an lvalue in rax."""
+        assert self.ctx is not None
+        if isinstance(expr, VarRef):
+            if expr.scope == "local":
+                entry = self.ctx.lookup(expr.name)
+                if entry is None:
+                    raise CodegenError(f"unbound local {expr.name!r}")
+                kind, where, _ = entry
+                if kind == "reg":
+                    raise CodegenError(
+                        f"address taken of register local {expr.name!r}"
+                    )
+                self.emit("lea", Reg("rax"), self._slot(where))
+            elif expr.scope == "global":
+                self.emit("movabs", Reg("rax"), Label(expr.name))
+            else:
+                raise CodegenError(f"cannot take address of {expr.name!r}")
+        elif isinstance(expr, Index):
+            size = expr.base.ctype.element_size()
+            if size not in (1, 2, 4, 8):
+                raise CodegenError(f"bad element size {size}")
+            self._gen_expr(expr.base)
+            if self._eval_simple_into(expr.index, "rcx"):
+                self.emit(
+                    "lea",
+                    Reg("rax"),
+                    Mem(base="rax", index="rcx", scale=size, width=64),
+                )
+            else:
+                self.emit("push", Reg("rax"))
+                self._gen_expr(expr.index)
+                self.emit("pop", Reg("rcx"))
+                self.emit(
+                    "lea",
+                    Reg("rax"),
+                    Mem(base="rcx", index="rax", scale=size, width=64),
+                )
+        elif isinstance(expr, Unary) and expr.op == "*":
+            self._gen_expr(expr.operand)
+        else:
+            raise CodegenError("not an lvalue")
+
+    # ---- assignment ---------------------------------------------------------------
+    def _gen_assign(self, expr: Assign) -> None:
+        assert self.ctx is not None
+        target = expr.target
+        ctype = expr.ctype
+        if isinstance(target, VarRef) and target.scope == "local":
+            self._gen_expr(expr.value)
+            entry = self.ctx.lookup(target.name)
+            if entry is None:
+                raise CodegenError(f"unbound local {target.name!r}")
+            if ctype == CHAR:
+                self.emit("and", Reg("rax"), Imm(0xFF))
+            self._store_local(entry, Reg("rax"))
+            return
+        if isinstance(target, VarRef) and target.scope == "global":
+            self._gen_expr(expr.value)
+            self.emit("movabs", Reg("rcx"), Label(target.name))
+            self._store_to(Reg("rcx"), ctype)
+            return
+        # *p = v or a[i] = v: value first, then address.
+        if ctype.is_double:
+            self._gen_expr(expr.value)
+            self.emit("sub", Reg("rsp"), Imm(8))
+            self.emit("movsd", Mem(base="rsp", width=64), Reg("xmm0"))
+            self._gen_address(target)
+            self.emit("movsd", Reg("xmm0"), Mem(base="rsp", width=64))
+            self.emit("add", Reg("rsp"), Imm(8))
+            self.emit("movsd", Mem(base="rax", width=64), Reg("xmm0"))
+        else:
+            self._gen_address(target)
+            if self._eval_simple_into(expr.value, "rcx"):
+                if ctype == CHAR:
+                    self.emit("mov", Mem(base="rax", width=8), Reg("cl"))
+                else:
+                    self.emit("mov", Mem(base="rax", width=64), Reg("rcx"))
+                self.emit("mov", Reg("rax"), Reg("rcx"))
+                return
+            self.emit("push", Reg("rax"))
+            self._gen_expr(expr.value)
+            self.emit("pop", Reg("rcx"))
+            if ctype == CHAR:
+                self.emit("mov", Mem(base="rcx", width=8), Reg("al"))
+            else:
+                self.emit("mov", Mem(base="rcx", width=64), Reg("rax"))
+
+    def _store_to(self, base: Reg, ctype: CType) -> None:
+        """Store rax/xmm0 through the pointer in ``base``."""
+        if ctype.is_double:
+            self.emit("movsd", Mem(base=base.name, width=64), Reg("xmm0"))
+        elif ctype == CHAR:
+            self.emit("mov", Mem(base=base.name, width=8), Reg("al"))
+        else:
+            self.emit("mov", Mem(base=base.name, width=64), Reg("rax"))
+
+    # ---- calls ---------------------------------------------------------------------
+    def _gen_call(self, expr: Call) -> None:
+        if expr.is_builtin:
+            self._gen_builtin(expr)
+            return
+        # Complex arguments are evaluated left to right and parked on the
+        # stack; trivial arguments (literals and locals) are marshaled
+        # directly into their parameter registers at the end — they have no
+        # side effects, so the reordering is unobservable.
+        kinds: list[str] = []
+        simple: list[bool] = []
+        for arg in expr.args:
+            is_sse = arg.ctype.is_double
+            kinds.append("sse" if is_sse else "int")
+            trivial = (
+                self._is_trivial_double(arg) if is_sse
+                else self._is_trivial_int(arg)
+            )
+            simple.append(trivial)
+            if trivial:
+                continue
+            self._gen_expr(arg)
+            if is_sse:
+                self.emit("sub", Reg("rsp"), Imm(8))
+                self.emit("movsd", Mem(base="rsp", width=64), Reg("xmm0"))
+            else:
+                self.emit("push", Reg("rax"))
+        int_regs = self._int_reg_seq(kinds)
+        sse_regs = self._sse_reg_seq(kinds)
+        for i in reversed(range(len(kinds))):
+            if simple[i]:
+                continue
+            if kinds[i] == "sse":
+                self.emit("movsd", Reg(sse_regs[i]), Mem(base="rsp", width=64))
+                self.emit("add", Reg("rsp"), Imm(8))
+            else:
+                self.emit("pop", Reg(int_regs[i]))
+        for i in range(len(kinds)):
+            if not simple[i]:
+                continue
+            if kinds[i] == "sse":
+                self._eval_simple_double_into(expr.args[i], sse_regs[i])
+            else:
+                self._eval_simple_into(expr.args[i], int_regs[i])
+        self.emit("call", Label(expr.name))
+
+    def _is_trivial_int(self, expr: Expr) -> bool:
+        if isinstance(expr, IntLit) and -(2**31) <= expr.value < 2**31:
+            return True
+        if isinstance(expr, VarRef) and expr.scope == "local":
+            entry = self.ctx.lookup(expr.name) if self.ctx else None
+            return entry is not None and not entry[2].is_double
+        if isinstance(expr, CastExpr) and self._is_free_cast(expr):
+            return self._is_trivial_int(expr.operand)
+        return False
+
+    def _is_trivial_double(self, expr: Expr) -> bool:
+        if isinstance(expr, FloatLit):
+            return True
+        if isinstance(expr, VarRef) and expr.scope == "local":
+            entry = self.ctx.lookup(expr.name) if self.ctx else None
+            return entry is not None and entry[2].is_double
+        return False
+
+    @staticmethod
+    def _int_reg_seq(kinds: list[str]) -> list[str]:
+        regs = []
+        idx = 0
+        for k in kinds:
+            if k == "int":
+                regs.append(INT_PARAM_REGS[idx])
+                idx += 1
+            else:
+                regs.append("")
+        return regs
+
+    @staticmethod
+    def _sse_reg_seq(kinds: list[str]) -> list[str]:
+        regs = []
+        idx = 0
+        for k in kinds:
+            if k == "sse":
+                regs.append(f"xmm{idx}")
+                idx += 1
+            else:
+                regs.append("")
+        return regs
+
+    def _gen_builtin(self, expr: Call) -> None:
+        name = expr.name
+        if name == "fence":
+            self.emit("mfence")
+            return
+        if name == "sqrt":
+            self._gen_expr(expr.args[0])
+            self.emit("sqrtsd", Reg("xmm0"), Reg("xmm0"))
+            return
+        if name == "atomic_add" or name == "atomic_xchg":
+            self._gen_expr(expr.args[0])
+            self.emit("push", Reg("rax"))
+            self._gen_expr(expr.args[1])
+            self.emit("mov", Reg("rcx"), Reg("rax"))
+            self.emit("pop", Reg("rdx"))
+            if name == "atomic_add":
+                self.emit("xadd", Mem(base="rdx", width=64), Reg("rcx"), lock=True)
+            else:
+                self.emit("xchg", Mem(base="rdx", width=64), Reg("rcx"))
+            self.emit("mov", Reg("rax"), Reg("rcx"))
+            return
+        if name == "atomic_cas":
+            self._gen_expr(expr.args[0])
+            self.emit("push", Reg("rax"))
+            self._gen_expr(expr.args[1])
+            self.emit("push", Reg("rax"))
+            self._gen_expr(expr.args[2])
+            self.emit("mov", Reg("rcx"), Reg("rax"))
+            self.emit("pop", Reg("rax"))
+            self.emit("pop", Reg("rdx"))
+            self.emit("cmpxchg", Mem(base="rdx", width=64), Reg("rcx"), lock=True)
+            return
+        if name == "spawn":
+            fn = expr.args[0]
+            assert isinstance(fn, VarRef)
+            self._gen_expr(expr.args[1])
+            self.emit("mov", Reg("rsi"), Reg("rax"))
+            self.emit("movabs", Reg("rdi"), Label(fn.name))
+            self.emit("call", Label(EXTERNAL_NAMES["spawn"]))
+            return
+        # Plain externals: join / malloc / print_i / print_f / thread_id.
+        external = EXTERNAL_NAMES[name]
+        if expr.args:
+            self._gen_expr(expr.args[0])
+            if expr.args[0].ctype.is_double:
+                pass  # already in xmm0
+            else:
+                self.emit("mov", Reg("rdi"), Reg("rax"))
+        self.emit("call", Label(external))
+
+    # ---- casts ---------------------------------------------------------------------
+    def _gen_cast(self, expr: CastExpr) -> None:
+        self._gen_expr(expr.operand)
+        src = expr.operand.ctype
+        dst = expr.target_type
+        if src == dst:
+            return
+        if src.is_integral and dst.is_double:
+            self.emit("cvtsi2sd", Reg("xmm0"), Reg("rax"))
+        elif src.is_double and dst.is_integral:
+            self.emit("cvttsd2si", Reg("rax"), Reg("xmm0"))
+            if dst == CHAR:
+                self.emit("and", Reg("rax"), Imm(0xFF))
+        elif src == CHAR and dst == INT:
+            pass  # chars are kept zero-extended in rax
+        elif src == INT and dst == CHAR:
+            self.emit("and", Reg("rax"), Imm(0xFF))
+        else:
+            pass  # pointer/int casts are free at machine level
+
+
+def compile_to_x86(source: str, entry: str = "main") -> X86Object:
+    """Compile mini-C source text to a linked x86-64 image."""
+    program = parse(source)
+    sema = analyze(program)
+    return X86CodeGen(sema).generate(entry)

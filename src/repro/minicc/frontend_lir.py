@@ -1,0 +1,544 @@
+"""mini-C → LIR frontend.
+
+This is the *source-level* route into the shared optimizer and Arm backend:
+the evaluation's Native baseline is ``mini-C → LIR → O2 → Arm``, exactly as
+the paper's Native configuration is ``C → LLVM → O2 → Arm``.  It also gives
+the optimizer and backend a second, independent producer of IR, which the
+test-suite uses for differential testing against the lifted route.
+
+Typed from the start: ints are ``i64``, doubles ``f64``, chars ``i8`` in
+memory (computed on as ``i64``), pointers are typed pointers.  Only the
+program's own concurrency constructs produce atomics/fences — no
+TSO-emulation fences, which is why Native needs none of the Fig. 8a
+machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lir import (
+    BasicBlock,
+    ConstantFloat,
+    ConstantInt,
+    F64,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I1,
+    I8,
+    I64,
+    IRBuilder,
+    ArrayType,
+    Module,
+    PointerType,
+    Type,
+    Value,
+    VOID,
+    ptr,
+)
+from .astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    CHAR,
+    Continue,
+    CType,
+    Decl,
+    DOUBLE,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    If,
+    Index,
+    INT,
+    IntLit,
+    Return,
+    Stmt,
+    StringLit,
+    Unary,
+    VarRef,
+    VOID as C_VOID,
+    While,
+)
+from .parser import parse
+from .sema import SemaResult, analyze
+
+# mini-C builtin → runtime external (signatures in LIR types).
+_EXTERNALS = {
+    "malloc": FunctionType(I64, (I64,)),
+    "spawn": FunctionType(I64, (I64, I64)),
+    "join": FunctionType(I64, (I64,)),
+    "print_i64": FunctionType(VOID, (I64,)),
+    "print_f64": FunctionType(VOID, (F64,)),
+    "thread_id": FunctionType(I64, ()),
+    "sqrt": FunctionType(F64, (F64,)),
+}
+
+
+class FrontendError(Exception):
+    pass
+
+
+def _lir_type(ctype: CType) -> Type:
+    if ctype.is_pointer:
+        return ptr(_lir_type(ctype.pointee()))
+    return {"int": I64, "double": F64, "char": I8, "void": VOID}[ctype.base]
+
+
+def _value_type(ctype: CType) -> Type:
+    """Type of the computed value (chars are widened to i64)."""
+    if ctype == CHAR:
+        return I64
+    return _lir_type(ctype)
+
+
+class LIRFrontend:
+    def __init__(self, sema: SemaResult) -> None:
+        self.sema = sema
+        self.module = Module("native")
+        self.b = IRBuilder()
+        self.func: Optional[Function] = None
+        self.locals: list[dict[str, tuple[Value, CType]]] = []
+        self.break_stack: list[BasicBlock] = []
+        self.continue_stack: list[BasicBlock] = []
+
+    # ---- driver ----------------------------------------------------------
+    def generate(self) -> Module:
+        program = self.sema.program
+        for g in program.globals:
+            vt = _lir_type(g.ctype)
+            if g.array_size is not None:
+                vt = ArrayType(vt, g.array_size)
+            init = None
+            if isinstance(g.init, IntLit):
+                init = ConstantInt(_lir_type(g.ctype), g.init.value)  # type: ignore[arg-type]
+            elif isinstance(g.init, FloatLit):
+                init = ConstantFloat(F64, g.init.value)
+            self.module.add_global(GlobalVariable(g.name, vt, init))
+        for sym, data in program.strings.items():
+            self.module.add_global(
+                GlobalVariable(sym, ArrayType(I8, len(data)), data)
+            )
+        # Declarations first so calls can be emitted in any order.
+        for f in program.functions:
+            params = tuple(_value_type(p.ctype) for p in f.params)
+            ftype = FunctionType(_value_type(f.ret_type), params)
+            self.module.add_function(
+                Function(f.name, ftype, [p.name for p in f.params])
+            )
+        for f in program.functions:
+            self._gen_function(f)
+        return self.module
+
+    # ---- helpers --------------------------------------------------------------
+    def _lookup(self, name: str) -> Optional[tuple[Value, CType]]:
+        for scope in reversed(self.locals):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _external(self, name: str) -> Value:
+        return self.module.declare_external(name, _EXTERNALS[name])
+
+    # ---- functions ----------------------------------------------------------------
+    def _gen_function(self, fdef: FuncDef) -> None:
+        func = self.module.get_function(fdef.name)
+        self.func = func
+        entry = func.new_block("entry")
+        self.b.position_at_end(entry)
+        self.locals = [{}]
+        for param, arg in zip(fdef.params, func.arguments):
+            slot = self.b.alloca(_value_type(param.ctype), f"{param.name}_addr")
+            self.b.store(arg, slot)
+            self.locals[-1][param.name] = (slot, param.ctype)
+        self._gen_block(fdef.body)
+        # Implicit return for functions that fall off the end.
+        current = self.b.block
+        if current is not None and current.terminator is None:
+            if fdef.ret_type == C_VOID:
+                self.b.ret()
+            elif fdef.ret_type == DOUBLE:
+                self.b.ret(ConstantFloat(F64, 0.0))
+            else:
+                self.b.ret(ConstantInt(I64, 0))
+        self.func = None
+
+    # ---- statements ----------------------------------------------------------------
+    def _gen_block(self, block: Block) -> None:
+        self.locals.append({})
+        for stmt in block.statements:
+            if self.b.block is not None and self.b.block.terminator is not None:
+                break  # unreachable code after return/break
+            self._gen_stmt(stmt)
+        self.locals.pop()
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        assert self.func is not None
+        b = self.b
+        if isinstance(stmt, Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, Decl):
+            slot = b.alloca(_value_type(stmt.ctype), f"{stmt.name}_addr")
+            self.locals[-1][stmt.name] = (slot, stmt.ctype)
+            if stmt.init is not None:
+                b.store(self._gen_expr(stmt.init), slot)
+        elif isinstance(stmt, ExprStmt):
+            self._gen_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            then_bb = self.func.new_block("then")
+            else_bb = self.func.new_block("else") if stmt.otherwise else None
+            end_bb = self.func.new_block("endif")
+            cond = self._gen_condition(stmt.cond)
+            b.cond_br(cond, then_bb, else_bb or end_bb)
+            b.position_at_end(then_bb)
+            self._gen_stmt(stmt.then)
+            if b.block.terminator is None:
+                b.br(end_bb)
+            if else_bb is not None:
+                b.position_at_end(else_bb)
+                self._gen_stmt(stmt.otherwise)
+                if b.block.terminator is None:
+                    b.br(end_bb)
+            b.position_at_end(end_bb)
+            if not end_bb.predecessors():
+                b.unreachable()
+        elif isinstance(stmt, While):
+            head = self.func.new_block("while_head")
+            body = self.func.new_block("while_body")
+            done = self.func.new_block("while_end")
+            b.br(head)
+            b.position_at_end(head)
+            b.cond_br(self._gen_condition(stmt.cond), body, done)
+            b.position_at_end(body)
+            self.break_stack.append(done)
+            self.continue_stack.append(head)
+            self._gen_stmt(stmt.body)
+            self.break_stack.pop()
+            self.continue_stack.pop()
+            if b.block.terminator is None:
+                b.br(head)
+            b.position_at_end(done)
+        elif isinstance(stmt, For):
+            self.locals.append({})
+            if stmt.init is not None:
+                self._gen_stmt(stmt.init)
+            head = self.func.new_block("for_head")
+            body = self.func.new_block("for_body")
+            step = self.func.new_block("for_step")
+            done = self.func.new_block("for_end")
+            b.br(head)
+            b.position_at_end(head)
+            if stmt.cond is not None:
+                b.cond_br(self._gen_condition(stmt.cond), body, done)
+            else:
+                b.br(body)
+            b.position_at_end(body)
+            self.break_stack.append(done)
+            self.continue_stack.append(step)
+            self._gen_stmt(stmt.body)
+            self.break_stack.pop()
+            self.continue_stack.pop()
+            if b.block.terminator is None:
+                b.br(step)
+            b.position_at_end(step)
+            if stmt.step is not None:
+                self._gen_expr(stmt.step)
+            b.br(head)
+            b.position_at_end(done)
+            self.locals.pop()
+        elif isinstance(stmt, Return):
+            if stmt.value is not None:
+                b.ret(self._gen_expr(stmt.value))
+            else:
+                b.ret()
+        elif isinstance(stmt, Break):
+            b.br(self.break_stack[-1])
+        elif isinstance(stmt, Continue):
+            b.br(self.continue_stack[-1])
+        else:
+            raise FrontendError(f"cannot lower {type(stmt).__name__}")
+
+    def _gen_condition(self, expr: Expr) -> Value:
+        v = self._gen_expr(expr)
+        if v.type == I1:
+            return v
+        if v.type.is_pointer:
+            v = self.b.ptrtoint(v, I64)
+        return self.b.icmp("ne", v, ConstantInt(I64, 0))
+
+    # ---- expressions ------------------------------------------------------------------
+    def _gen_expr(self, expr: Expr) -> Value:
+        b = self.b
+        if isinstance(expr, IntLit):
+            return ConstantInt(I64, expr.value)
+        if isinstance(expr, FloatLit):
+            return ConstantFloat(F64, expr.value)
+        if isinstance(expr, StringLit):
+            g = self.module.globals[expr.symbol]
+            return b.gep(g.value_type, g, [ConstantInt(I64, 0), ConstantInt(I64, 0)])
+        if isinstance(expr, VarRef):
+            return self._gen_varref(expr)
+        if isinstance(expr, Unary):
+            return self._gen_unary(expr)
+        if isinstance(expr, Binary):
+            return self._gen_binary(expr)
+        if isinstance(expr, Assign):
+            return self._gen_assign(expr)
+        if isinstance(expr, Index):
+            addr = self._gen_address(expr)
+            return self._load(addr, expr.ctype)
+        if isinstance(expr, Call):
+            return self._gen_call(expr)
+        if isinstance(expr, CastExpr):
+            return self._gen_cast(expr)
+        raise FrontendError(f"cannot lower {type(expr).__name__}")
+
+    def _load(self, addr: Value, ctype: CType) -> Value:
+        v = self.b.load(addr)
+        if ctype == CHAR and v.type == I8:
+            return self.b.zext(v, I64)
+        return v
+
+    def _store(self, value: Value, addr: Value, ctype: CType) -> None:
+        if ctype == CHAR and value.type == I64:
+            value = self.b.trunc(value, I8)
+        self.b.store(value, addr)
+
+    def _gen_varref(self, expr: VarRef) -> Value:
+        entry = self._lookup(expr.name)
+        if entry is not None:
+            slot, ctype = entry
+            return self._load(slot, ctype)
+        if expr.scope == "global":
+            g = self.module.globals[expr.name]
+            if expr.is_array:
+                return self.b.gep(
+                    g.value_type, g,
+                    [ConstantInt(I64, 0), ConstantInt(I64, 0)],
+                )
+            return self._load(g, expr.ctype)  # type: ignore[arg-type]
+        if expr.scope == "func":
+            f = self.module.get_function(expr.name)
+            return self.b.ptrtoint(f, I64)
+        raise FrontendError(f"unresolved variable {expr.name!r}")
+
+    def _gen_address(self, expr: Expr) -> Value:
+        if isinstance(expr, VarRef):
+            entry = self._lookup(expr.name)
+            if entry is not None:
+                return entry[0]
+            if expr.scope == "global":
+                g = self.module.globals[expr.name]
+                if expr.is_array:
+                    return self.b.gep(
+                        g.value_type, g,
+                        [ConstantInt(I64, 0), ConstantInt(I64, 0)],
+                    )
+                return g
+            raise FrontendError(f"cannot address {expr.name!r}")
+        if isinstance(expr, Index):
+            base = self._gen_expr(expr.base)
+            idx = self._gen_expr(expr.index)
+            elem = base.type.pointee  # type: ignore[union-attr]
+            return self.b.gep(elem, base, [idx])
+        if isinstance(expr, Unary) and expr.op == "*":
+            return self._gen_expr(expr.operand)
+        raise FrontendError("not an lvalue")
+
+    def _gen_unary(self, expr: Unary) -> Value:
+        b = self.b
+        if expr.op == "&":
+            return self._gen_address(expr.operand)
+        if expr.op == "*":
+            return self._load(self._gen_expr(expr.operand), expr.ctype)
+        v = self._gen_expr(expr.operand)
+        if expr.op == "-":
+            if expr.ctype.is_double:
+                return b.binop("fsub", ConstantFloat(F64, 0.0), v)
+            return b.sub(ConstantInt(I64, 0), v)
+        if expr.op == "!":
+            if v.type.is_pointer:
+                v = b.ptrtoint(v, I64)
+            z = b.icmp("eq", v, ConstantInt(v.type, 0))
+            return b.zext(z, I64)
+        if expr.op == "~":
+            return b.binop("xor", v, ConstantInt(I64, -1))
+        raise FrontendError(f"bad unary {expr.op}")
+
+    _INT_OPS = {"+": "add", "-": "sub", "*": "mul", "/": "sdiv", "%": "srem",
+                "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "ashr"}
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+    _ICMP = {"==": "eq", "!=": "ne", "<": "slt", "<=": "sle", ">": "sgt",
+             ">=": "sge"}
+    _FCMP = {"==": "oeq", "!=": "one", "<": "olt", "<=": "ole", ">": "ogt",
+             ">=": "oge"}
+
+    def _gen_binary(self, expr: Binary) -> Value:
+        b = self.b
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._gen_logical(expr)
+        lt, rt = expr.lhs.ctype, expr.rhs.ctype
+        lhs = self._gen_expr(expr.lhs)
+        if op in self._ICMP and (lt.is_double or rt.is_double):
+            rhs = self._gen_expr(expr.rhs)
+            return b.zext(b.fcmp(self._FCMP[op], lhs, rhs), I64)
+        if lt.is_pointer and op in ("+", "-") and rt.is_integral:
+            rhs = self._gen_expr(expr.rhs)
+            if op == "-":
+                rhs = b.sub(ConstantInt(I64, 0), rhs)
+            return b.gep(lhs.type.pointee, lhs, [rhs])  # type: ignore[union-attr]
+        if lt.is_pointer and rt.is_pointer:
+            rhs = self._gen_expr(expr.rhs)
+            li = b.ptrtoint(lhs, I64)
+            ri = b.ptrtoint(rhs, I64)
+            if op == "-":
+                diff = b.sub(li, ri)
+                size = lt.element_size()
+                if size > 1:
+                    shift = {2: 1, 4: 2, 8: 3}[size]
+                    return b.binop("ashr", diff, ConstantInt(I64, shift))
+                return diff
+            return b.zext(b.icmp(self._ICMP[op], li, ri), I64)
+        rhs = self._gen_expr(expr.rhs)
+        if lt.is_pointer or rt.is_pointer:
+            # mixed pointer/integer comparison (e.g. p == 0)
+            if lhs.type.is_pointer:
+                lhs = b.ptrtoint(lhs, I64)
+            if rhs.type.is_pointer:
+                rhs = b.ptrtoint(rhs, I64)
+            return b.zext(b.icmp(self._ICMP[op], lhs, rhs), I64)
+        if expr.ctype.is_double or lt.is_double:
+            if op in self._FLOAT_OPS:
+                return b.binop(self._FLOAT_OPS[op], lhs, rhs)
+            raise FrontendError(f"bad float op {op}")
+        if op in self._ICMP:
+            return b.zext(b.icmp(self._ICMP[op], lhs, rhs), I64)
+        return b.binop(self._INT_OPS[op], lhs, rhs)
+
+    def _gen_logical(self, expr: Binary) -> Value:
+        b = self.b
+        assert self.func is not None
+        result = b.alloca(I64, "logtmp")
+        rhs_bb = self.func.new_block("log_rhs")
+        short_bb = self.func.new_block("log_short")
+        end_bb = self.func.new_block("log_end")
+        cond = self._gen_condition(expr.lhs)
+        if expr.op == "&&":
+            b.cond_br(cond, rhs_bb, short_bb)
+            short_value = 0
+        else:
+            b.cond_br(cond, short_bb, rhs_bb)
+            short_value = 1
+        b.position_at_end(rhs_bb)
+        rv = self._gen_condition(expr.rhs)
+        b.store(b.zext(rv, I64), result)
+        b.br(end_bb)
+        b.position_at_end(short_bb)
+        b.store(ConstantInt(I64, short_value), result)
+        b.br(end_bb)
+        b.position_at_end(end_bb)
+        return b.load(result)
+
+    def _gen_assign(self, expr: Assign) -> Value:
+        value = self._gen_expr(expr.value)
+        target = expr.target
+        if isinstance(target, VarRef):
+            entry = self._lookup(target.name)
+            if entry is not None:
+                self._store(value, entry[0], entry[1])
+                return value
+            g = self.module.globals[target.name]
+            self._store(value, g, target.ctype)  # type: ignore[arg-type]
+            return value
+        addr = self._gen_address(target)
+        self._store(value, addr, expr.ctype)
+        return value
+
+    def _gen_call(self, expr: Call) -> Value:
+        b = self.b
+        if expr.is_builtin:
+            return self._gen_builtin(expr)
+        func = self.module.get_function(expr.name)
+        args = [self._gen_expr(a) for a in expr.args]
+        return b.call(func, args)
+
+    def _gen_builtin(self, expr: Call) -> Value:
+        b = self.b
+        name = expr.name
+        if name == "fence":
+            b.fence("sc")
+            return ConstantInt(I64, 0)
+        if name == "sqrt":
+            return b.call(self._external("sqrt"), [self._gen_expr(expr.args[0])])
+        if name == "malloc":
+            raw = b.call(self._external("malloc"), [self._gen_expr(expr.args[0])])
+            return b.inttoptr(raw, ptr(I8))
+        if name == "spawn":
+            fn = expr.args[0]
+            assert isinstance(fn, VarRef)
+            faddr = b.ptrtoint(self.module.get_function(fn.name), I64)
+            arg = self._gen_expr(expr.args[1])
+            return b.call(self._external("spawn"), [faddr, arg])
+        if name in ("join", "thread_id"):
+            args = [self._gen_expr(a) for a in expr.args]
+            return b.call(self._external(name), args)
+        if name == "print_i":
+            b.call(self._external("print_i64"), [self._gen_expr(expr.args[0])])
+            return ConstantInt(I64, 0)
+        if name == "print_f":
+            b.call(self._external("print_f64"), [self._gen_expr(expr.args[0])])
+            return ConstantInt(I64, 0)
+        if name == "atomic_add":
+            p = self._gen_expr(expr.args[0])
+            v = self._gen_expr(expr.args[1])
+            return b.atomicrmw("add", p, v, "sc")
+        if name == "atomic_xchg":
+            p = self._gen_expr(expr.args[0])
+            v = self._gen_expr(expr.args[1])
+            return b.atomicrmw("xchg", p, v, "sc")
+        if name == "atomic_cas":
+            p = self._gen_expr(expr.args[0])
+            old = self._gen_expr(expr.args[1])
+            new = self._gen_expr(expr.args[2])
+            return b.cmpxchg(p, old, new, "sc")
+        raise FrontendError(f"unknown builtin {name}")
+
+    def _gen_cast(self, expr: CastExpr) -> Value:
+        b = self.b
+        v = self._gen_expr(expr.operand)
+        src = expr.operand.ctype
+        dst = expr.target_type
+        if src == dst:
+            return v
+        if src.is_integral and dst.is_double:
+            return b.cast("sitofp", v, F64)
+        if src.is_double and dst.is_integral:
+            iv = b.cast("fptosi", v, I64)
+            if dst == CHAR:
+                return b.binop("and", iv, ConstantInt(I64, 0xFF))
+            return iv
+        if src == INT and dst == CHAR:
+            return b.binop("and", v, ConstantInt(I64, 0xFF))
+        if src == CHAR and dst == INT:
+            return v  # already widened
+        if src.is_pointer and dst.is_pointer:
+            return b.bitcast(v, _lir_type(dst))
+        if src.is_pointer and dst.is_integral:
+            return b.ptrtoint(v, I64)
+        if src.is_integral and dst.is_pointer:
+            return b.inttoptr(v, _lir_type(dst))
+        raise FrontendError(f"cannot cast {src} to {dst}")
+
+
+def compile_to_lir(source: str) -> Module:
+    """Compile mini-C source to typed LIR (the Native route)."""
+    program = parse(source)
+    sema = analyze(program)
+    return LIRFrontend(sema).generate()

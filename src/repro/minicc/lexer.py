@@ -1,0 +1,136 @@
+"""Lexer for mini-C, the C subset the Phoenix kernels are written in."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "double", "char", "void", "if", "else", "while", "for",
+    "return", "break", "continue",
+}
+
+# Longest-match-first operator table.
+OPERATORS = [
+    "<<=", ">>=",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'int', 'float', 'ident', 'keyword', 'op', 'string', 'char', 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            if source.startswith(("0x", "0X"), i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                if j == i + 2:
+                    raise LexError("malformed hex literal", line)
+                tokens.append(Token("int", source[i:j], line))
+                i = j
+                continue
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] in ".eE"
+                             or (source[j] in "+-" and source[j - 1] in "eE")):
+                if source[j] in ".eE":
+                    is_float = True
+                j += 1
+            text = source[i:j]
+            kind = "float" if is_float else "int"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if c == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                    if j >= n:
+                        break
+                    buf.append({"n": "\n", "t": "\t", "0": "\0",
+                                "\\": "\\", '"': '"'}.get(source[j], source[j]))
+                else:
+                    buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise LexError("unterminated string literal", line)
+            tokens.append(Token("string", "".join(buf), line))
+            i = j + 1
+            continue
+        if c == "'":
+            j = i + 1
+            if j < n and source[j] == "\\":
+                ch = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\",
+                      "'": "'"}.get(source[j + 1], source[j + 1])
+                j += 2
+            else:
+                ch = source[j]
+                j += 1
+            if j >= n or source[j] != "'":
+                raise LexError("unterminated char literal", line)
+            tokens.append(Token("char", ch, line))
+            i = j + 1
+            continue
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise LexError(f"unexpected character {c!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

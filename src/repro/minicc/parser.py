@@ -1,0 +1,373 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    Continue,
+    CType,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    Index,
+    IntLit,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Unary,
+    VarRef,
+    While,
+)
+from .lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+_TYPE_KEYWORDS = {"int", "double", "char", "void"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # ---- token helpers ---------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            tok = self.peek()
+            want = text or kind
+            raise ParseError(f"expected {want!r}, got {tok.text!r}", tok.line)
+        return self.advance()
+
+    # ---- types -------------------------------------------------------------
+    def at_type(self) -> bool:
+        return self.peek().kind == "keyword" and self.peek().text in _TYPE_KEYWORDS
+
+    def parse_type(self) -> CType:
+        tok = self.expect("keyword")
+        if tok.text not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, got {tok.text!r}", tok.line)
+        ptr = 0
+        while self.accept("op", "*"):
+            ptr += 1
+        return CType(tok.text, ptr)
+
+    # ---- top level ------------------------------------------------------------
+    def parse_program(self) -> Program:
+        program = Program()
+        while not self.check("eof"):
+            start = self.pos
+            ctype = self.parse_type()
+            name = self.expect("ident").text
+            if self.check("op", "("):
+                self.pos = start
+                program.functions.append(self.parse_function())
+            else:
+                self.pos = start
+                program.globals.append(self.parse_global())
+        return program
+
+    def parse_global(self) -> GlobalDecl:
+        line = self.peek().line
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        array_size = None
+        init = None
+        if self.accept("op", "["):
+            array_size = int(self.expect("int").text, 0)
+            self.expect("op", "]")
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return GlobalDecl(ctype, name, array_size, init, line)
+
+    def parse_function(self) -> FuncDef:
+        line = self.peek().line
+        ret_type = self.parse_type()
+        name = self.expect("ident").text
+        self.expect("op", "(")
+        params: list[Param] = []
+        if not self.check("op", ")"):
+            while True:
+                if self.check("keyword", "void") and self.peek(1).text == ")":
+                    self.advance()
+                    break
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(Param(ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        body = self.parse_block()
+        return FuncDef(ret_type, name, params, body, line)
+
+    # ---- statements ---------------------------------------------------------
+    def parse_block(self) -> Block:
+        line = self.expect("op", "{").line
+        stmts: list[Stmt] = []
+        while not self.check("op", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("op", "}")
+        return Block(line=line, statements=stmts)
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.peek()
+        if self.check("op", "{"):
+            return self.parse_block()
+        if self.at_type():
+            return self.parse_decl()
+        if self.check("keyword", "if"):
+            return self.parse_if()
+        if self.check("keyword", "while"):
+            return self.parse_while()
+        if self.check("keyword", "for"):
+            return self.parse_for()
+        if self.check("keyword", "return"):
+            self.advance()
+            value = None if self.check("op", ";") else self.parse_expr()
+            self.expect("op", ";")
+            return Return(line=tok.line, value=value)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return Break(line=tok.line)
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return Continue(line=tok.line)
+        expr = self.parse_expr()
+        self.expect("op", ";")
+        return ExprStmt(line=tok.line, expr=expr)
+
+    def parse_decl(self) -> Decl:
+        line = self.peek().line
+        ctype = self.parse_type()
+        name = self.expect("ident").text
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return Decl(line=line, ctype=ctype, name=name, init=init)
+
+    def parse_if(self) -> If:
+        line = self.expect("keyword", "if").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_stmt()
+        otherwise = None
+        if self.accept("keyword", "else"):
+            otherwise = self.parse_stmt()
+        return If(line=line, cond=cond, then=then, otherwise=otherwise)
+
+    def parse_while(self) -> While:
+        line = self.expect("keyword", "while").line
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return While(line=line, cond=cond, body=body)
+
+    def parse_for(self) -> For:
+        line = self.expect("keyword", "for").line
+        self.expect("op", "(")
+        init: Optional[Stmt] = None
+        if not self.check("op", ";"):
+            if self.at_type():
+                init = self.parse_decl()  # consumes ';'
+            else:
+                expr = self.parse_expr()
+                self.expect("op", ";")
+                init = ExprStmt(line=line, expr=expr)
+        else:
+            self.expect("op", ";")
+        cond = None if self.check("op", ";") else self.parse_expr()
+        self.expect("op", ";")
+        step = None if self.check("op", ")") else self.parse_expr()
+        self.expect("op", ")")
+        body = self.parse_stmt()
+        return For(line=line, init=init, cond=cond, step=step, body=body)
+
+    # ---- expressions (precedence climbing) -------------------------------------
+    _BINARY_LEVELS = [
+        ["||"],
+        ["&&"],
+        ["|"],
+        ["^"],
+        ["&"],
+        ["==", "!="],
+        ["<", "<=", ">", ">="],
+        ["<<", ">>"],
+        ["+", "-"],
+        ["*", "/", "%"],
+    ]
+
+    def parse_expr(self) -> Expr:
+        return self.parse_assignment()
+
+    _COMPOUND_OPS = {
+        "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+        "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+    }
+
+    def parse_assignment(self) -> Expr:
+        lhs = self.parse_binary(0)
+        if self.check("op", "="):
+            line = self.advance().line
+            value = self.parse_assignment()
+            self._require_lvalue(lhs, line)
+            return Assign(line=line, target=lhs, value=value)
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in self._COMPOUND_OPS:
+            # `a OP= b` desugars to `a = a OP b` (the lvalue is re-evaluated,
+            # which is observationally identical for mini-C's pure lvalues).
+            self.advance()
+            rhs = self.parse_assignment()
+            self._require_lvalue(lhs, tok.line)
+            import copy
+
+            read = copy.deepcopy(lhs)
+            value = Binary(
+                line=tok.line, op=self._COMPOUND_OPS[tok.text],
+                lhs=read, rhs=rhs,
+            )
+            return Assign(line=tok.line, target=lhs, value=value)
+        return lhs
+
+    @staticmethod
+    def _require_lvalue(expr: Expr, line: int) -> None:
+        if not isinstance(expr, (VarRef, Index)) and not (
+            isinstance(expr, Unary) and expr.op == "*"
+        ):
+            raise ParseError("invalid assignment target", line)
+
+    def _desugar_incdec(self, target: Expr, op_text: str, line: int) -> Expr:
+        """``x++``/``--x`` desugar to ``x = x ± 1``; the expression's value
+        is the *new* value in both forms (documented mini-C deviation)."""
+        self._require_lvalue(target, line)
+        import copy
+
+        read = copy.deepcopy(target)
+        delta = Binary(
+            line=line, op="+" if op_text == "++" else "-",
+            lhs=read, rhs=IntLit(line=line, value=1),
+        )
+        return Assign(line=line, target=target, value=delta)
+
+    def parse_binary(self, level: int) -> Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self.parse_unary()
+        ops = self._BINARY_LEVELS[level]
+        lhs = self.parse_binary(level + 1)
+        while self.peek().kind == "op" and self.peek().text in ops:
+            op = self.advance()
+            rhs = self.parse_binary(level + 1)
+            lhs = Binary(line=op.line, op=op.text, lhs=lhs, rhs=rhs)
+        return lhs
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("++", "--"):
+            self.advance()
+            operand = self.parse_unary()
+            return self._desugar_incdec(operand, tok.text, tok.line)
+        if tok.kind == "op" and tok.text in ("-", "!", "~", "*", "&"):
+            self.advance()
+            operand = self.parse_unary()
+            return Unary(line=tok.line, op=tok.text, operand=operand)
+        # Cast: '(' type ')' unary
+        if tok.kind == "op" and tok.text == "(":
+            nxt = self.peek(1)
+            if nxt.kind == "keyword" and nxt.text in _TYPE_KEYWORDS:
+                self.advance()
+                target = self.parse_type()
+                self.expect("op", ")")
+                operand = self.parse_unary()
+                return CastExpr(line=tok.line, target_type=target, operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.check("op", "["):
+                line = self.advance().line
+                index = self.parse_expr()
+                self.expect("op", "]")
+                expr = Index(line=line, base=expr, index=index)
+            elif self.peek().kind == "op" and self.peek().text in ("++", "--"):
+                tok = self.advance()
+                expr = self._desugar_incdec(expr, tok.text, tok.line)
+            else:
+                break
+        return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "int":
+            self.advance()
+            return IntLit(line=tok.line, value=int(tok.text, 0))
+        if tok.kind == "float":
+            self.advance()
+            return FloatLit(line=tok.line, value=float(tok.text))
+        if tok.kind == "char":
+            self.advance()
+            return IntLit(line=tok.line, value=ord(tok.text))
+        if tok.kind == "string":
+            self.advance()
+            return StringLit(line=tok.line, value=tok.text)
+        if tok.kind == "ident":
+            self.advance()
+            if self.check("op", "("):
+                self.advance()
+                args: list[Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return Call(line=tok.line, name=tok.text, args=args)
+            return VarRef(line=tok.line, name=tok.text)
+        if self.accept("op", "("):
+            expr = self.parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"unexpected token {tok.text!r}", tok.line)
+
+
+def parse(source: str) -> Program:
+    return Parser(tokenize(source)).parse_program()

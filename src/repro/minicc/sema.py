@@ -1,0 +1,449 @@
+"""Semantic analysis for mini-C: symbol resolution and type checking.
+
+After ``analyze`` runs, every expression carries its ``ctype`` and all
+implicit conversions (int↔double, char→int promotion) have been made
+explicit as :class:`~repro.minicc.astnodes.CastExpr` nodes, so both code
+generators are purely syntax-directed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    CHAR,
+    Continue,
+    CType,
+    Decl,
+    DOUBLE,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    Index,
+    INT,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Unary,
+    VarRef,
+    VOID,
+    While,
+)
+
+
+class SemaError(Exception):
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+@dataclass
+class BuiltinSig:
+    name: str
+    ret: CType
+    params: list[CType]
+    # spawn's first argument is a function name, not an expression value.
+    takes_function: bool = False
+
+
+BUILTINS: dict[str, BuiltinSig] = {
+    "malloc": BuiltinSig("malloc", CType("char", 1), [INT]),
+    "spawn": BuiltinSig("spawn", INT, [INT], takes_function=True),
+    "join": BuiltinSig("join", INT, [INT]),
+    "print_i": BuiltinSig("print_i", VOID, [INT]),
+    "print_f": BuiltinSig("print_f", VOID, [DOUBLE]),
+    "thread_id": BuiltinSig("thread_id", INT, []),
+    "fence": BuiltinSig("fence", VOID, []),
+    "atomic_add": BuiltinSig("atomic_add", INT, [CType("int", 1), INT]),
+    "atomic_cas": BuiltinSig("atomic_cas", INT, [CType("int", 1), INT, INT]),
+    "atomic_xchg": BuiltinSig("atomic_xchg", INT, [CType("int", 1), INT]),
+    "sqrt": BuiltinSig("sqrt", DOUBLE, [DOUBLE]),
+}
+
+
+@dataclass
+class SemaResult:
+    program: Program
+    functions: dict[str, FuncDef] = field(default_factory=dict)
+    globals: dict[str, GlobalDecl] = field(default_factory=dict)
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None) -> None:
+        self.parent = parent
+        self.vars: dict[str, CType] = {}
+
+    def lookup(self, name: str) -> Optional[CType]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.vars:
+                return scope.vars[name]
+            scope = scope.parent
+        return None
+
+    def declare(self, name: str, ctype: CType, line: int) -> None:
+        if name in self.vars:
+            raise SemaError(f"redeclaration of {name!r}", line)
+        self.vars[name] = ctype
+
+
+class Analyzer:
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.result = SemaResult(program)
+        self.current: Optional[FuncDef] = None
+        self._string_counter = 0
+        self._loop_depth = 0
+
+    # ---- driver ----------------------------------------------------------
+    def analyze(self) -> SemaResult:
+        for g in self.program.globals:
+            if g.name in self.result.globals:
+                raise SemaError(f"duplicate global {g.name!r}", g.line)
+            if g.ctype == VOID:
+                raise SemaError("global of type void", g.line)
+            if g.init is not None and not isinstance(g.init, (IntLit, FloatLit)):
+                raise SemaError(
+                    f"global {g.name!r} initializer must be a literal", g.line
+                )
+            self.result.globals[g.name] = g
+        for f in self.program.functions:
+            if f.name in self.result.functions or f.name in BUILTINS:
+                raise SemaError(f"duplicate function {f.name!r}", f.line)
+            self.result.functions[f.name] = f
+        for f in self.program.functions:
+            self._check_function(f)
+        return self.result
+
+    def _check_function(self, func: FuncDef) -> None:
+        self.current = func
+        scope = _Scope()
+        for p in func.params:
+            scope.declare(p.name, p.ctype, func.line)
+        self._check_block(func.body, scope)
+        self.current = None
+
+    # ---- statements --------------------------------------------------------
+    def _check_block(self, block: Block, scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in block.statements:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, Decl):
+            if stmt.ctype == VOID:
+                raise SemaError("variable of type void", stmt.line)
+            if stmt.init is not None:
+                self._check_expr(stmt.init, scope)
+                stmt.init = self._coerce(stmt.init, stmt.ctype, stmt.line)
+            scope.declare(stmt.name, stmt.ctype, stmt.line)
+        elif isinstance(stmt, ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, If):
+            self._check_cond(stmt, "cond", scope)
+            self._check_stmt(stmt.then, scope)
+            if stmt.otherwise is not None:
+                self._check_stmt(stmt.otherwise, scope)
+        elif isinstance(stmt, While):
+            self._check_cond(stmt, "cond", scope)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, scope)
+            self._loop_depth -= 1
+        elif isinstance(stmt, For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_cond(stmt, "cond", inner)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, inner)
+            self._loop_depth -= 1
+        elif isinstance(stmt, Return):
+            assert self.current is not None
+            want = self.current.ret_type
+            if stmt.value is None:
+                if want != VOID:
+                    raise SemaError("missing return value", stmt.line)
+            else:
+                if want == VOID:
+                    raise SemaError("return value in void function", stmt.line)
+                self._check_expr(stmt.value, scope)
+                stmt.value = self._coerce(stmt.value, want, stmt.line)
+        elif isinstance(stmt, (Break, Continue)):
+            if self._loop_depth == 0:
+                raise SemaError("break/continue outside a loop", stmt.line)
+        else:
+            raise SemaError(f"unknown statement {type(stmt).__name__}")
+
+    def _check_cond(self, stmt, attr: str, scope: _Scope) -> None:
+        expr = getattr(stmt, attr)
+        self._check_expr(expr, scope)
+        t = expr.ctype
+        if t.is_double:
+            setattr(stmt, attr, self._coerce(expr, INT, stmt.line))
+        # ints, chars and pointers are all valid conditions
+
+    # ---- expressions ---------------------------------------------------------
+    def _check_expr(self, expr: Expr, scope: _Scope) -> CType:
+        if isinstance(expr, IntLit):
+            expr.ctype = INT
+        elif isinstance(expr, FloatLit):
+            expr.ctype = DOUBLE
+        elif isinstance(expr, StringLit):
+            symbol = f".str{self._string_counter}"
+            self._string_counter += 1
+            expr.symbol = symbol
+            self.program.strings[symbol] = expr.value.encode() + b"\0"
+            expr.ctype = CType("char", 1)
+        elif isinstance(expr, VarRef):
+            expr.ctype = self._check_varref(expr, scope)
+        elif isinstance(expr, Unary):
+            expr.ctype = self._check_unary(expr, scope)
+        elif isinstance(expr, Binary):
+            expr.ctype = self._check_binary(expr, scope)
+        elif isinstance(expr, Assign):
+            expr.ctype = self._check_assign(expr, scope)
+        elif isinstance(expr, Index):
+            expr.ctype = self._check_index(expr, scope)
+        elif isinstance(expr, Call):
+            expr.ctype = self._check_call(expr, scope)
+        elif isinstance(expr, CastExpr):
+            self._check_expr(expr.operand, scope)
+            self._check_cast_valid(expr)
+            expr.ctype = expr.target_type
+        else:
+            raise SemaError(f"unknown expression {type(expr).__name__}", expr.line)
+        return expr.ctype
+
+    def _check_varref(self, expr: VarRef, scope: _Scope) -> CType:
+        local = scope.lookup(expr.name)
+        if local is not None:
+            expr.scope = "local"
+            return local
+        g = self.result.globals.get(expr.name)
+        if g is not None:
+            expr.scope = "global"
+            expr.is_array = g.array_size is not None
+            if expr.is_array:
+                return g.ctype.pointer_to()  # arrays decay to pointers
+            return g.ctype
+        if expr.name in self.result.functions:
+            expr.scope = "func"
+            return INT  # function designator (only meaningful to spawn)
+        raise SemaError(f"undeclared identifier {expr.name!r}", expr.line)
+
+    def _check_unary(self, expr: Unary, scope: _Scope) -> CType:
+        t = self._check_expr(expr.operand, scope)
+        if expr.op == "-":
+            if t.is_double:
+                return DOUBLE
+            if t.is_integral:
+                expr.operand = self._promote_char(expr.operand)
+                return INT
+            raise SemaError("cannot negate a pointer", expr.line)
+        if expr.op == "!":
+            if t.is_double:
+                expr.operand = self._coerce(expr.operand, INT, expr.line)
+            return INT
+        if expr.op == "~":
+            if not t.is_integral:
+                raise SemaError("~ requires an integer", expr.line)
+            expr.operand = self._promote_char(expr.operand)
+            return INT
+        if expr.op == "*":
+            if not t.is_pointer:
+                raise SemaError("cannot dereference a non-pointer", expr.line)
+            return t.pointee()
+        if expr.op == "&":
+            inner = expr.operand
+            if isinstance(inner, VarRef):
+                if inner.scope == "func":
+                    raise SemaError("cannot take address of function", expr.line)
+                if inner.is_array:
+                    return t  # &array is the array pointer itself
+                return t.pointer_to()
+            if isinstance(inner, Index):
+                return t.pointer_to()
+            if isinstance(inner, Unary) and inner.op == "*":
+                return t.pointer_to()
+            raise SemaError("cannot take address of this expression", expr.line)
+        raise SemaError(f"unknown unary {expr.op!r}", expr.line)
+
+    def _check_binary(self, expr: Binary, scope: _Scope) -> CType:
+        lt = self._check_expr(expr.lhs, scope)
+        rt = self._check_expr(expr.rhs, scope)
+        op = expr.op
+        if op in ("&&", "||"):
+            for attr in ("lhs", "rhs"):
+                sub = getattr(expr, attr)
+                if sub.ctype.is_double:
+                    setattr(expr, attr, self._coerce(sub, INT, expr.line))
+            return INT
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            if lt.is_pointer and rt.is_pointer:
+                return INT
+            if lt.is_pointer or rt.is_pointer:
+                # pointer vs integer comparison (e.g. p == 0)
+                return INT
+            self._unify_arith(expr)
+            return INT
+        if op in ("%", "<<", ">>", "&", "|", "^"):
+            if not lt.is_integral or not rt.is_integral:
+                raise SemaError(f"{op} requires integers", expr.line)
+            expr.lhs = self._promote_char(expr.lhs)
+            expr.rhs = self._promote_char(expr.rhs)
+            return INT
+        if op in ("+", "-"):
+            if lt.is_pointer and rt.is_integral:
+                expr.rhs = self._promote_char(expr.rhs)
+                return lt
+            if op == "+" and lt.is_integral and rt.is_pointer:
+                # canonicalize int + ptr as ptr + int
+                expr.lhs, expr.rhs = expr.rhs, expr.lhs
+                expr.lhs.ctype, expr.rhs.ctype = rt, lt
+                return rt
+            if op == "-" and lt.is_pointer and rt.is_pointer:
+                if lt != rt:
+                    raise SemaError("pointer subtraction type mismatch", expr.line)
+                return INT
+            if lt.is_pointer or rt.is_pointer:
+                raise SemaError(f"bad pointer arithmetic with {op}", expr.line)
+        # plain arithmetic
+        return self._unify_arith(expr)
+
+    def _unify_arith(self, expr: Binary) -> CType:
+        lt, rt = expr.lhs.ctype, expr.rhs.ctype
+        if lt.is_double or rt.is_double:
+            expr.lhs = self._coerce(expr.lhs, DOUBLE, expr.line)
+            expr.rhs = self._coerce(expr.rhs, DOUBLE, expr.line)
+            return DOUBLE
+        if lt.is_integral and rt.is_integral:
+            expr.lhs = self._promote_char(expr.lhs)
+            expr.rhs = self._promote_char(expr.rhs)
+            return INT
+        raise SemaError(f"bad operands to {expr.op}: {lt} and {rt}", expr.line)
+
+    def _check_assign(self, expr: Assign, scope: _Scope) -> CType:
+        target_t = self._check_expr(expr.target, scope)
+        if isinstance(expr.target, VarRef):
+            if expr.target.scope == "func":
+                raise SemaError("cannot assign to function", expr.line)
+            if expr.target.is_array:
+                raise SemaError("cannot assign to array", expr.line)
+        self._check_expr(expr.value, scope)
+        expr.value = self._coerce(expr.value, target_t, expr.line)
+        return target_t
+
+    def _check_index(self, expr: Index, scope: _Scope) -> CType:
+        base_t = self._check_expr(expr.base, scope)
+        if not base_t.is_pointer:
+            raise SemaError("indexing a non-pointer", expr.line)
+        idx_t = self._check_expr(expr.index, scope)
+        if not idx_t.is_integral:
+            raise SemaError("array index must be an integer", expr.line)
+        expr.index = self._promote_char(expr.index)
+        return base_t.pointee()
+
+    def _check_call(self, expr: Call, scope: _Scope) -> CType:
+        builtin = BUILTINS.get(expr.name)
+        if builtin is not None:
+            expr.is_builtin = True
+            if len(expr.args) != len(builtin.params) and not (
+                builtin.takes_function
+            ):
+                raise SemaError(
+                    f"{expr.name} expects {len(builtin.params)} args", expr.line
+                )
+            if builtin.takes_function:
+                # spawn(fn, arg): first arg must be a function name.
+                if len(expr.args) != 2:
+                    raise SemaError("spawn expects (function, arg)", expr.line)
+                fn = expr.args[0]
+                if not isinstance(fn, VarRef) or fn.name not in self.result.functions:
+                    raise SemaError(
+                        "spawn's first argument must be a function", expr.line
+                    )
+                fn.scope = "func"
+                fn.ctype = INT
+                self._check_expr(expr.args[1], scope)
+                expr.args[1] = self._coerce(expr.args[1], INT, expr.line)
+                return builtin.ret
+            for i, want in enumerate(builtin.params):
+                self._check_expr(expr.args[i], scope)
+                expr.args[i] = self._coerce(expr.args[i], want, expr.line)
+            return builtin.ret
+        func = self.result.functions.get(expr.name)
+        if func is None:
+            raise SemaError(f"call to undeclared function {expr.name!r}", expr.line)
+        if len(expr.args) != len(func.params):
+            raise SemaError(
+                f"{expr.name} expects {len(func.params)} args, got "
+                f"{len(expr.args)}",
+                expr.line,
+            )
+        for i, p in enumerate(func.params):
+            self._check_expr(expr.args[i], scope)
+            expr.args[i] = self._coerce(expr.args[i], p.ctype, expr.line)
+        return func.ret_type
+
+    # ---- conversions ----------------------------------------------------------
+    def _promote_char(self, expr: Expr) -> Expr:
+        if expr.ctype == CHAR:
+            return self._wrap_cast(expr, INT)
+        return expr
+
+    def _coerce(self, expr: Expr, want: CType, line: int) -> Expr:
+        have = expr.ctype
+        if have == want:
+            return expr
+        if have.is_integral and want == INT:
+            return self._wrap_cast(expr, INT)
+        if have == INT and want == CHAR:
+            return self._wrap_cast(expr, CHAR)
+        if have.is_integral and want == DOUBLE:
+            return self._wrap_cast(self._promote_char(expr), DOUBLE)
+        if have == DOUBLE and want.is_integral:
+            return self._wrap_cast(expr, want)
+        if have.is_pointer and want.is_pointer:
+            return self._wrap_cast(expr, want)  # pointer cast, free
+        if have.is_pointer and want == INT:
+            return self._wrap_cast(expr, INT)
+        if have == INT and want.is_pointer:
+            return self._wrap_cast(expr, want)
+        raise SemaError(f"cannot convert {have} to {want}", line)
+
+    @staticmethod
+    def _wrap_cast(expr: Expr, target: CType) -> CastExpr:
+        cast = CastExpr(line=expr.line, target_type=target, operand=expr)
+        cast.ctype = target
+        return cast
+
+    def _check_cast_valid(self, expr: CastExpr) -> None:
+        src = expr.operand.ctype
+        dst = expr.target_type
+        if dst == VOID:
+            raise SemaError("cannot cast to void", expr.line)
+        if src == VOID:
+            raise SemaError("cannot cast from void", expr.line)
+        # everything else (int/double/char/pointers) is permitted
+
+
+def analyze(program: Program) -> SemaResult:
+    return Analyzer(program).analyze()

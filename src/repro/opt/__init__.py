@@ -1,0 +1,32 @@
+"""LIMM-aware optimizer: LLVM-style passes over LIR."""
+
+from .dce import run_adce, run_dce
+from .dse import run_dse
+from .gvn import run_gvn
+from .inline import run_inline
+from .instcombine import run_instcombine
+from .licm import run_licm
+from .mem2reg import run_mem2reg
+from .pass_manager import (
+    FUNCTION_PASSES,
+    MODULE_PASSES,
+    STANDARD_PIPELINE,
+    PassManager,
+    PassStats,
+    optimize_module,
+)
+from .reassociate import run_reassociate
+from .sccp import run_ipsccp, run_sccp
+from .simplifycfg import run_simplifycfg
+from .sroa import run_sroa
+from .unroll import run_unroll
+from .utils import remove_unreachable_blocks, simplify_trivial_phis
+
+__all__ = [
+    "run_adce", "run_dce", "run_dse", "run_gvn", "run_instcombine",
+    "run_inline", "run_licm", "run_mem2reg", "run_reassociate", "run_ipsccp", "run_sccp",
+    "run_simplifycfg", "run_sroa", "run_unroll",
+    "FUNCTION_PASSES", "MODULE_PASSES", "STANDARD_PIPELINE",
+    "PassManager", "PassStats", "optimize_module",
+    "remove_unreachable_blocks", "simplify_trivial_phis",
+]

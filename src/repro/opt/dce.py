@@ -1,0 +1,61 @@
+"""dce / adce: dead-code elimination.
+
+``dce`` iteratively deletes unused pure instructions (the classic
+worklist).  ``adce`` is the aggressive variant: it additionally removes
+non-atomic stores to allocas that are never loaded (dead register/flag
+slots left over from lifting) and then re-runs plain DCE — mirroring how
+LLVM's ADCE removes computation chains plain DCE keeps alive through dead
+stores.
+"""
+
+from __future__ import annotations
+
+from ..lir import Alloca, Function, Load, Store
+from .utils import erase_if_trivially_dead
+
+
+def run_dce(func: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for bb in func.blocks:
+            for inst in reversed(list(bb.instructions)):
+                if erase_if_trivially_dead(inst):
+                    progress = True
+                    changed = True
+    return changed
+
+
+def _dead_alloca_stores(func: Function) -> bool:
+    changed = False
+    for bb in func.blocks:
+        for inst in list(bb.instructions):
+            if not isinstance(inst, Alloca):
+                continue
+            users = list(inst.users)
+            loads = [u for u in users if isinstance(u, Load)]
+            escapes = [
+                u
+                for u in users
+                if not isinstance(u, (Load, Store))
+                or (isinstance(u, Store) and u.value is inst)
+                or (isinstance(u, (Load, Store)) and u.ordering != "na")
+            ]
+            if loads or escapes:
+                continue
+            for u in users:
+                u.erase_from_parent()
+            inst.erase_from_parent()
+            changed = True
+    return changed
+
+
+def run_adce(func: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = run_dce(func)
+        progress |= _dead_alloca_stores(func)
+        changed |= progress
+    return changed

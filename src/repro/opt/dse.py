@@ -1,0 +1,41 @@
+"""dse: dead store elimination (block-local, LIMM-aware).
+
+A non-atomic store is dead when a later store in the same block overwrites
+the same pointer SSA value before any possible read.  Per Figure 11b's
+F-WAW rule, the kill may cross ``Frm``/``Fww`` fences but not ``Fsc``;
+loads, calls and atomics in between block the elimination (no alias
+analysis beyond pointer identity, so any read might alias).
+"""
+
+from __future__ import annotations
+
+from ..lir import Fence, Function, Load, Store
+
+_WAW_FENCES = {"rm", "ww"}
+
+
+def run_dse(func: Function) -> bool:
+    changed = False
+    for bb in func.blocks:
+        # pending[ptr id] = (store inst, fence kinds crossed since)
+        pending: dict[int, tuple[Store, set[str]]] = {}
+        for inst in list(bb.instructions):
+            if isinstance(inst, Fence):
+                for _, crossed in pending.values():
+                    crossed.add(inst.kind)
+                continue
+            if isinstance(inst, Store) and inst.ordering == "na":
+                key = id(inst.pointer)
+                entry = pending.get(key)
+                if entry is not None:
+                    earlier, crossed = entry
+                    if crossed <= _WAW_FENCES:
+                        earlier.erase_from_parent()
+                        changed = True
+                pending[key] = (inst, set())
+                continue
+            if isinstance(inst, Load) or inst.may_read_memory() or (
+                inst.may_write_memory()
+            ):
+                pending.clear()
+    return changed

@@ -1,0 +1,159 @@
+"""gvn: global value numbering + LIMM-aware redundant load elimination.
+
+Pure expressions are numbered over the dominator tree: an instruction whose
+(opcode, operands) key was already computed in a dominating position is
+replaced by the earlier value.
+
+Load elimination implements the RAR/RAW rules of Figure 11b: a non-atomic
+load can reuse the value of an earlier load of / store to the *same pointer
+SSA value* in the same block, provided nothing in between may write memory,
+and any fences in between are of the kinds the LIMM elimination table
+permits (``Frm``/``Fww`` for read-after-read, ``Fsc``/``Fww`` for
+read-after-write).  Atomic accesses are never touched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lir import (
+    BinOp,
+    Call,
+    Cast,
+    FCmp,
+    Fence,
+    Function,
+    GEP,
+    ICmp,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    Value,
+)
+from ..lir.dominators import DominatorTree
+from .utils import erase_if_trivially_dead
+
+# Fence kinds an elimination may cross (Fig. 11b).
+_RAR_FENCES = {"rm", "ww"}
+_RAW_FENCES = {"sc", "ww"}
+
+
+def _value_key(v: Value):
+    from ..lir import ConstantFloat, ConstantInt
+
+    if isinstance(v, ConstantInt):
+        return ("ci", str(v.type), v.value)
+    if isinstance(v, ConstantFloat):
+        return ("cf", str(v.type), v.value)
+    return ("v", id(v))
+
+
+def _expr_key(inst: Instruction):
+    if isinstance(inst, BinOp):
+        ops = [_value_key(o) for o in inst.operands]
+        if inst.is_commutative():
+            ops.sort()
+        return ("binop", inst.op, str(inst.type), tuple(ops))
+    if isinstance(inst, ICmp):
+        return (
+            "icmp", inst.pred,
+            tuple(_value_key(o) for o in inst.operands),
+        )
+    if isinstance(inst, FCmp):
+        return (
+            "fcmp", inst.pred,
+            tuple(_value_key(o) for o in inst.operands),
+        )
+    if isinstance(inst, Cast):
+        return ("cast", inst.op, str(inst.type), _value_key(inst.value))
+    if isinstance(inst, GEP):
+        return (
+            "gep", str(inst.source_type), str(inst.type),
+            tuple(_value_key(o) for o in inst.operands),
+        )
+    if isinstance(inst, Select):
+        return ("select", tuple(_value_key(o) for o in inst.operands))
+    return None
+
+
+def _forward_loads_in_block(bb) -> bool:
+    """Block-local RAR/RAW forwarding honouring the LIMM fence table."""
+    changed = False
+    # available: pointer id -> (kind, value) where kind is 'load'/'store'
+    available: dict[int, tuple[str, Value]] = {}
+    fences_since: dict[int, set[str]] = {}
+    for inst in list(bb.instructions):
+        if isinstance(inst, Fence):
+            for fs in fences_since.values():
+                fs.add(inst.kind)
+            continue
+        if isinstance(inst, Load) and inst.ordering == "na":
+            key = id(inst.pointer)
+            entry = available.get(key)
+            if entry is not None:
+                kind, value = entry
+                crossed = fences_since.get(key, set())
+                allowed = _RAR_FENCES if kind == "load" else _RAW_FENCES
+                if crossed <= allowed and value.type == inst.type:
+                    inst.replace_all_uses_with(value)
+                    inst.erase_from_parent()
+                    changed = True
+                    continue
+            available[key] = ("load", inst)
+            fences_since[key] = set()
+            continue
+        if isinstance(inst, Store) and inst.ordering == "na":
+            # A store invalidates everything (no alias analysis beyond
+            # pointer identity), then makes its own value available.
+            available = {id(inst.pointer): ("store", inst.value)}
+            fences_since = {id(inst.pointer): set()}
+            continue
+        if inst.may_write_memory() or isinstance(inst, Call):
+            available.clear()
+            fences_since.clear()
+    return changed
+
+
+def run_gvn(func: Function) -> bool:
+    changed = False
+    dt = DominatorTree(func)
+    table: dict[object, list[tuple[Instruction, object]]] = {}
+
+    # Dominator-tree walk numbering pure expressions.
+    order = dt.rpo
+    positions: dict[int, tuple[object, int]] = {}
+    for bb in order:
+        for i, inst in enumerate(bb.instructions):
+            positions[id(inst)] = (bb, i)
+
+    def dominates(a: Instruction, b: Instruction) -> bool:
+        ba, ia = positions[id(a)]
+        bb_, ib = positions[id(b)]
+        if ba is bb_:
+            return ia < ib
+        return dt.dominates(ba, bb_)
+
+    for bb in order:
+        for inst in list(bb.instructions):
+            key = _expr_key(inst)
+            if key is None:
+                continue
+            candidates = table.setdefault(key, [])
+            replaced = False
+            for earlier, _ in candidates:
+                if earlier.parent is not None and dominates(earlier, inst):
+                    inst.replace_all_uses_with(earlier)
+                    inst.erase_from_parent()
+                    changed = True
+                    replaced = True
+                    break
+            if not replaced:
+                candidates.append((inst, None))
+
+    for bb in func.blocks:
+        changed |= _forward_loads_in_block(bb)
+    for bb in func.blocks:
+        for inst in reversed(list(bb.instructions)):
+            changed |= erase_if_trivially_dead(inst)
+    return changed

@@ -1,0 +1,168 @@
+"""Function inlining.
+
+Replaces calls to small, non-recursive functions with a clone of the callee
+body.  Not part of the standard pipeline (the paper's measured configuration
+keeps functions separate); exposed as the ``inline`` pass for the ablation
+benches and for users who want whole-program optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lir import (
+    Alloca,
+    BasicBlock,
+    Br,
+    Call,
+    Function,
+    Instruction,
+    Module,
+    Phi,
+    Ret,
+    UndefValue,
+    Value,
+)
+from ..lir.clone import clone_instruction
+from .utils import remove_unreachable_blocks, simplify_trivial_phis
+
+DEFAULT_THRESHOLD = 60  # callee instruction budget
+
+
+def _is_recursive(func: Function, seen: Optional[set[str]] = None) -> bool:
+    seen = seen or set()
+    if func.name in seen:
+        return True
+    seen = seen | {func.name}
+    for inst in func.instructions():
+        if isinstance(inst, Call) and isinstance(inst.callee, Function):
+            callee = inst.callee
+            if callee.name == func.name:
+                return True
+            if not callee.is_declaration and _is_recursive(callee, seen):
+                return True
+    return False
+
+
+def _inline_call(caller: Function, call: Call) -> None:
+    callee: Function = call.callee  # type: ignore[assignment]
+    block = call.parent
+    assert block is not None
+
+    # 1. Split the caller block after the call.
+    idx = block.instructions.index(call)
+    continuation = BasicBlock(caller.next_name("inlined_cont"))
+    caller.blocks.insert(caller.blocks.index(block) + 1, continuation)
+    continuation.parent = caller
+    tail = block.instructions[idx + 1:]
+    del block.instructions[idx + 1:]
+    for inst in tail:
+        inst.parent = None
+        continuation.append(inst)
+    # Successor phis must re-route their incoming edge to the continuation.
+    for succ in continuation.successors():
+        for phi in succ.phis():
+            for i, b in enumerate(phi.incoming_blocks):
+                if b is block:
+                    phi.incoming_blocks[i] = continuation
+
+    # 2. Clone callee blocks (empty shells first, for branch targets).
+    block_map: dict[int, BasicBlock] = {}
+    for cb in callee.blocks:
+        nb = BasicBlock(caller.next_name(f"inl_{callee.name}"))
+        caller.blocks.insert(caller.blocks.index(continuation), nb)
+        nb.parent = caller
+        block_map[id(cb)] = nb
+
+    value_map: dict[int, Value] = {}
+    for param, arg in zip(callee.arguments, call.args):
+        value_map[id(param)] = arg
+
+    def lookup(v: Value) -> Value:
+        return value_map.get(id(v), v)
+
+    # 3. Clone instructions; collect returns and phis for patching.
+    returns: list[tuple[BasicBlock, Optional[Value]]] = []  # cloned block, value ref
+    phis_to_patch: list[tuple[Phi, Phi]] = []
+    entry_allocas: list[Alloca] = []
+    for cb in callee.blocks:
+        nb = block_map[id(cb)]
+        for inst in cb.instructions:
+            if isinstance(inst, Ret):
+                # Record with the *original* value; resolved after cloning.
+                returns.append((nb, inst.value))
+                continue
+            cloned = clone_instruction(inst, lookup, block_map)
+            value_map[id(inst)] = cloned
+            if isinstance(inst, Phi):
+                phis_to_patch.append((inst, cloned))
+            if isinstance(cloned, Alloca):
+                entry_allocas.append(cloned)
+                continue  # placed in the caller entry below
+            nb.append(cloned)
+    for original, cloned in phis_to_patch:
+        for value, pred in original.incoming():
+            cloned.add_incoming(lookup(value), block_map[id(pred)])
+    # Allocas hoist to the caller's entry so loops around the call site do
+    # not repeatedly grow the frame.
+    entry = caller.entry
+    for alloca in reversed(entry_allocas):
+        entry.instructions.insert(0, alloca)
+        alloca.parent = entry
+
+    # 4. Wire control flow: call site → cloned entry; returns → continuation.
+    block.append(Br(None, block_map[id(callee.entry)]))
+    result_phi: Optional[Phi] = None
+    if not call.type.is_void:
+        result_phi = Phi(call.type, caller.next_name("inlret"))
+        continuation.instructions.insert(0, result_phi)
+        result_phi.parent = continuation
+    for nb, original_value in returns:
+        nb.append(Br(None, continuation))
+        if result_phi is not None:
+            value = (
+                lookup(original_value)
+                if original_value is not None
+                else UndefValue(call.type)
+            )
+            result_phi.add_incoming(value, nb)
+
+    # 5. Replace the call's value and remove it.
+    if result_phi is not None:
+        call.replace_all_uses_with(result_phi)
+    call.erase_from_parent()
+    simplify_trivial_phis(caller)
+
+
+def run_inline(
+    module: Module, threshold: int = DEFAULT_THRESHOLD, budget: int = 100
+) -> bool:
+    """Inline small non-recursive callees; returns True on change."""
+    changed = False
+    work = True
+    while work and budget > 0:
+        work = False
+        for caller in module.functions.values():
+            if caller.is_declaration:
+                continue
+            for bb in list(caller.blocks):
+                for inst in list(bb.instructions):
+                    if not isinstance(inst, Call):
+                        continue
+                    callee = inst.callee
+                    if not isinstance(callee, Function) or callee.is_declaration:
+                        continue
+                    if callee is caller or _is_recursive(callee):
+                        continue
+                    if callee.instruction_count() > threshold:
+                        continue
+                    _inline_call(caller, inst)
+                    remove_unreachable_blocks(caller)
+                    changed = True
+                    work = True
+                    budget -= 1
+                    break  # block structure changed; rescan the function
+                else:
+                    continue
+                break
+    return changed

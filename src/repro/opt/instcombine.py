@@ -1,0 +1,312 @@
+"""instcombine: algebraic peephole simplification + constant folding.
+
+LLVM's general-purpose cleanup pass; in this pipeline it is the workhorse
+that collapses the flag-materialization and sub-register masking chains the
+lifter emits (Fig. 17 shows it as the most impactful pass on kmeans).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lir import (
+    BinOp,
+    Cast,
+    ConstantFloat,
+    ConstantInt,
+    FCmp,
+    Function,
+    GEP,
+    ICmp,
+    Instruction,
+    IntType,
+    Select,
+    Value,
+)
+from ..lir.interp import _binop_apply, _fcmp_apply, _icmp_apply, _signed
+from ..lir.types import FloatType, I1, PointerType
+from .utils import erase_if_trivially_dead, simplify_trivial_phis
+
+_ASSOCIATIVE = {"add", "mul", "and", "or", "xor"}
+_COMMUTATIVE = {"add", "mul", "and", "or", "xor", "fadd", "fmul"}
+
+
+def _cint(type_, v: int) -> ConstantInt:
+    return ConstantInt(type_, v)
+
+
+def _simplify_binop(inst: BinOp) -> Optional[Value]:
+    op = inst.op
+    lhs, rhs = inst.lhs, inst.rhs
+    ty = inst.type
+
+    # Canonicalize constants to the right for commutative operations.
+    if (
+        op in _COMMUTATIVE
+        and isinstance(lhs, (ConstantInt, ConstantFloat))
+        and not isinstance(rhs, (ConstantInt, ConstantFloat))
+    ):
+        inst.set_operand(0, rhs)
+        inst.set_operand(1, lhs)
+        lhs, rhs = inst.lhs, inst.rhs
+
+    # Constant folding.
+    if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+        if op in ("sdiv", "udiv", "srem", "urem") and rhs.value == 0:
+            return None
+        return _cint(ty, _binop_apply(op, lhs.value, rhs.value, ty))
+    if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+        return ConstantFloat(ty, _binop_apply(op, lhs.value, rhs.value, ty))
+
+    if isinstance(ty, IntType) and isinstance(rhs, ConstantInt):
+        c = rhs.value
+        if op in ("add", "sub", "or", "xor", "shl", "lshr", "ashr") and c == 0:
+            return lhs
+        if op == "and":
+            if c == 0:
+                return _cint(ty, 0)
+            if c == ty.mask():
+                return lhs
+            # (x & c) & c == x & c ; also zext i1 & 1 == zext i1
+            if isinstance(lhs, BinOp) and lhs.op == "and" and isinstance(
+                lhs.rhs, ConstantInt
+            ):
+                merged = lhs.rhs.value & c
+                return BinOpReplace(lhs.lhs, "and", _cint(ty, merged))
+            if (
+                isinstance(lhs, Cast)
+                and lhs.op == "zext"
+                and isinstance(lhs.value.type, IntType)
+                and c & ((1 << lhs.value.type.bits) - 1)
+                == (1 << lhs.value.type.bits) - 1
+            ):
+                return lhs
+        if op in ("mul",) and c == 1:
+            return lhs
+        if op in ("mul", "and") and c == 0:
+            return _cint(ty, 0)
+        if op in ("sdiv", "udiv") and c == 1:
+            return lhs
+        # Associate constant chains: (x op c1) op c2 → x op (c1 op c2).
+        if (
+            op in _ASSOCIATIVE
+            and isinstance(lhs, BinOp)
+            and lhs.op == op
+            and isinstance(lhs.rhs, ConstantInt)
+        ):
+            folded = _binop_apply(op, lhs.rhs.value, c, ty)
+            return BinOpReplace(lhs.lhs, op, _cint(ty, folded))
+        # (x + c1) - c2 and (x - c1) + c2 style mixes.
+        if op == "sub" and isinstance(lhs, BinOp) and isinstance(
+            lhs.rhs, ConstantInt
+        ):
+            if lhs.op == "add":
+                return BinOpReplace(
+                    lhs.lhs, "add", _cint(ty, lhs.rhs.value - c)
+                )
+            if lhs.op == "sub":
+                return BinOpReplace(
+                    lhs.lhs, "sub", _cint(ty, lhs.rhs.value + c)
+                )
+        if op == "add" and isinstance(lhs, BinOp) and isinstance(
+            lhs.rhs, ConstantInt
+        ):
+            if lhs.op == "sub":
+                return BinOpReplace(
+                    lhs.lhs, "add", _cint(ty, c - lhs.rhs.value)
+                )
+        # Normalize sub-by-const to add-of-negative for better chaining.
+        if op == "sub":
+            return BinOpReplace(lhs, "add", _cint(ty, -c))
+
+    if isinstance(ty, IntType):
+        if op == "sub" and lhs is rhs:
+            return _cint(ty, 0)
+        if op == "xor" and lhs is rhs:
+            return _cint(ty, 0)
+        if op in ("and", "or") and lhs is rhs:
+            return lhs
+        # Boolean double-negation: (x ^ 1) ^ 1 → x on i1.
+        if (
+            op == "xor"
+            and ty == I1
+            and isinstance(rhs, ConstantInt)
+            and rhs.value == 1
+            and isinstance(lhs, BinOp)
+            and lhs.op == "xor"
+            and isinstance(lhs.rhs, ConstantInt)
+            and lhs.rhs.value == 1
+        ):
+            return lhs.lhs
+    if isinstance(ty, FloatType) and isinstance(rhs, ConstantFloat):
+        if op in ("fadd", "fsub") and rhs.value == 0.0:
+            return lhs
+        if op in ("fmul", "fdiv") and rhs.value == 1.0:
+            return lhs
+    return None
+
+
+class BinOpReplace:
+    """Marker asking the driver to materialize a fresh binop."""
+
+    def __init__(self, lhs: Value, op: str, rhs: Value) -> None:
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+
+
+def _simplify_icmp(inst: ICmp) -> Optional[Value]:
+    lhs, rhs = inst.lhs, inst.rhs
+    if isinstance(lhs, ConstantInt) and isinstance(rhs, ConstantInt):
+        return _cint(I1, _icmp_apply(inst.pred, lhs.value, rhs.value, lhs.type))
+    if isinstance(rhs, ConstantInt) and rhs.value == 0:
+        # icmp ne (zext i1 x), 0 → x ; icmp eq (zext i1 x), 0 → x ^ 1
+        if (
+            isinstance(lhs, Cast)
+            and lhs.op == "zext"
+            and lhs.value.type == I1
+        ):
+            if inst.pred == "ne":
+                return lhs.value
+            if inst.pred == "eq":
+                return BinOpReplace(lhs.value, "xor", _cint(I1, 1))
+    if lhs is rhs:
+        if inst.pred in ("eq", "sle", "sge", "ule", "uge"):
+            return _cint(I1, 1)
+        if inst.pred in ("ne", "slt", "sgt", "ult", "ugt"):
+            return _cint(I1, 0)
+    return None
+
+
+def _simplify_fcmp(inst: FCmp) -> Optional[Value]:
+    lhs, rhs = inst.lhs, inst.rhs
+    if isinstance(lhs, ConstantFloat) and isinstance(rhs, ConstantFloat):
+        return _cint(I1, _fcmp_apply(inst.pred, lhs.value, rhs.value))
+    return None
+
+
+def _simplify_cast(inst: Cast) -> Optional[Value]:
+    op = inst.op
+    src = inst.value
+    ty = inst.type
+
+    if isinstance(src, ConstantInt):
+        if op == "trunc":
+            return _cint(ty, src.value)
+        if op == "zext":
+            return _cint(ty, src.value)
+        if op == "sext":
+            return _cint(ty, _signed(src.value, src.type.bits))
+        if op in ("sitofp",):
+            return ConstantFloat(ty, float(src.signed_value))
+        if op in ("uitofp",):
+            return ConstantFloat(ty, float(src.value))
+    if isinstance(src, ConstantFloat):
+        if op in ("fptosi", "fptoui"):
+            return _cint(ty, int(src.value))
+        if op in ("fpext", "fptrunc"):
+            return ConstantFloat(ty, src.value)
+
+    if isinstance(src, Cast):
+        inner = src.value
+        # inttoptr(ptrtoint p) → p (or bitcast when types differ).
+        if op == "inttoptr" and src.op == "ptrtoint":
+            if inner.type == ty:
+                return inner
+            return CastReplace("bitcast", inner, ty)
+        if op == "ptrtoint" and src.op == "inttoptr":
+            if inner.type == ty:
+                return inner
+        if op == "bitcast" and src.op == "bitcast":
+            if inner.type == ty:
+                return inner
+            return CastReplace("bitcast", inner, ty)
+        # trunc(zext/sext x) → x | narrower cast
+        if op == "trunc" and src.op in ("zext", "sext"):
+            if inner.type == ty:
+                return inner
+            if inner.type.bits > ty.bits:  # type: ignore[union-attr]
+                return CastReplace("trunc", inner, ty)
+            return CastReplace(src.op, inner, ty)
+        if op == "zext" and src.op == "zext":
+            return CastReplace("zext", inner, ty)
+        if op == "sext" and src.op == "sext":
+            return CastReplace("sext", inner, ty)
+    if op == "bitcast" and src.type == ty:
+        return src
+    return None
+
+
+class CastReplace:
+    def __init__(self, op: str, value: Value, ty) -> None:
+        self.op = op
+        self.value = value
+        self.ty = ty
+
+
+def _simplify_select(inst: Select) -> Optional[Value]:
+    if isinstance(inst.cond, ConstantInt):
+        return inst.true_value if inst.cond.value & 1 else inst.false_value
+    if inst.true_value is inst.false_value:
+        return inst.true_value
+    return None
+
+
+def _simplify_gep(inst: GEP) -> Optional[Value]:
+    if len(inst.indices) == 1 and isinstance(inst.indices[0], ConstantInt):
+        if inst.indices[0].value == 0 and inst.pointer.type == inst.type:
+            return inst.pointer
+    return None
+
+
+def _simplify(inst: Instruction):
+    if isinstance(inst, BinOp):
+        return _simplify_binop(inst)
+    if isinstance(inst, ICmp):
+        return _simplify_icmp(inst)
+    if isinstance(inst, FCmp):
+        return _simplify_fcmp(inst)
+    if isinstance(inst, Cast):
+        return _simplify_cast(inst)
+    if isinstance(inst, Select):
+        return _simplify_select(inst)
+    if isinstance(inst, GEP):
+        return _simplify_gep(inst)
+    return None
+
+
+def run_instcombine(func: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        for bb in func.blocks:
+            for inst in list(bb.instructions):
+                if inst.parent is None:
+                    continue
+                result = _simplify(inst)
+                if result is None:
+                    continue
+                if isinstance(result, BinOpReplace):
+                    new = BinOp(result.op, result.lhs, result.rhs, inst.name)
+                    bb.insert_before(inst, new)
+                    inst.replace_all_uses_with(new)
+                    inst.erase_from_parent()
+                elif isinstance(result, CastReplace):
+                    new = Cast(result.op, result.value, result.ty, inst.name)
+                    bb.insert_before(inst, new)
+                    inst.replace_all_uses_with(new)
+                    inst.erase_from_parent()
+                else:
+                    inst.replace_all_uses_with(result)
+                    inst.erase_from_parent()
+                progress = True
+                changed = True
+        progress |= simplify_trivial_phis(func)
+        # Clean up newly dead feeders so chains keep collapsing.
+        for bb in func.blocks:
+            for inst in reversed(list(bb.instructions)):
+                if erase_if_trivially_dead(inst):
+                    progress = True
+                    changed = True
+    return changed

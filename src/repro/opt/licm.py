@@ -1,0 +1,110 @@
+"""licm: loop-invariant code motion.
+
+Natural loops are found from dominator-tree back edges.  Pure instructions
+whose operands are defined outside the loop hoist to a preheader.  A
+non-atomic load additionally hoists when its pointer is loop-invariant and
+the loop body contains no store, call, fence or atomic (the conservative
+end of what LIMM permits — reordering a load past arbitrary code is only
+safe when nothing in between may order or alias it).
+"""
+
+from __future__ import annotations
+
+from ..lir import BasicBlock, Br, Fence, Function, Instruction, Load, Phi
+from ..lir.dominators import DominatorTree
+from .utils import is_pure
+
+
+def _ensure_preheader(func: Function, head: BasicBlock, loop: set[int]) -> BasicBlock | None:
+    """Find or create a unique edge block from outside the loop into head."""
+    outside_preds = [p for p in head.predecessors() if id(p) not in loop]
+    if not outside_preds:
+        return None
+    if len(outside_preds) == 1:
+        pred = outside_preds[0]
+        term = pred.terminator
+        if isinstance(term, Br) and not term.is_conditional:
+            return pred
+    # Create a dedicated preheader block.
+    pre = BasicBlock(func.next_name("preheader"))
+    func.blocks.insert(func.blocks.index(head), pre)
+    pre.parent = func
+    pre.append(Br(None, head))
+    for pred in outside_preds:
+        term = pred.terminator
+        if isinstance(term, Br):
+            term.replace_target(head, pre)
+    for phi in head.phis():
+        # Merge the outside incomings into one through the preheader.
+        outside_values = [
+            (v, b) for v, b in phi.incoming() if id(b) not in loop
+        ]
+        if not outside_values:
+            continue
+        if len(outside_values) == 1:
+            value, block = outside_values[0]
+            phi.remove_incoming(block)
+            phi.add_incoming(value, pre)
+        else:
+            merge = Phi(phi.type, func.next_name("pre_phi"))
+            pre.instructions.insert(0, merge)
+            merge.parent = pre
+            for value, block in outside_values:
+                merge.add_incoming(value, block)
+                phi.remove_incoming(block)
+            phi.add_incoming(merge, pre)
+    return pre
+
+
+def run_licm(func: Function) -> bool:
+    changed = False
+    dt = DominatorTree(func)
+    for tail, head in dt.back_edges():
+        loop = dt.natural_loop(tail, head)
+        loop_blocks = [bb for bb in func.blocks if id(bb) in loop]
+        loop_insts = {
+            id(i) for bb in loop_blocks for i in bb.instructions
+        }
+        has_memory_effects = any(
+            i.may_write_memory() or isinstance(i, Fence)
+            for bb in loop_blocks
+            for i in bb.instructions
+        )
+
+        def invariant(inst: Instruction) -> bool:
+            return all(
+                id(op) not in loop_insts for op in inst.operands
+            )
+
+        preheader = None
+        progress = True
+        while progress:
+            progress = False
+            for bb in loop_blocks:
+                for inst in list(bb.instructions):
+                    if id(inst) not in loop_insts:
+                        continue
+                    hoistable = is_pure(inst) and invariant(inst)
+                    if (
+                        not hoistable
+                        and isinstance(inst, Load)
+                        and inst.ordering == "na"
+                        and not has_memory_effects
+                        and invariant(inst)
+                    ):
+                        hoistable = True
+                    if not hoistable:
+                        continue
+                    if preheader is None:
+                        preheader = _ensure_preheader(func, head, loop)
+                        if preheader is None:
+                            break
+                    bb.instructions.remove(inst)
+                    term = preheader.terminator
+                    idx = preheader.instructions.index(term)
+                    preheader.instructions.insert(idx, inst)
+                    inst.parent = preheader
+                    loop_insts.discard(id(inst))
+                    progress = True
+                    changed = True
+    return changed

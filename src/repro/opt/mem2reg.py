@@ -1,0 +1,151 @@
+"""mem2reg: promote scalar allocas to SSA registers.
+
+The classic SSA-construction pass (phi placement on dominance frontiers +
+renaming).  This is where lifted code sheds its register-slot indirection —
+every ``%rax_slot``-style alloca disappears — which is why it is among the
+most impactful passes in the paper's Figure 17.
+
+An alloca is promotable when it has scalar type and every use is a direct
+non-atomic ``load`` or a ``store`` of the full value (no escapes via
+``ptrtoint``, ``bitcast``, calls, geps...).
+"""
+
+from __future__ import annotations
+
+from ..lir import (
+    Alloca,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    Function,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+    UndefValue,
+)
+from ..lir.dominators import DominatorTree
+from ..lir.types import FloatType, IntType, PointerType
+from .utils import remove_unreachable_blocks, simplify_trivial_phis
+
+
+def _promotable(alloca: Alloca) -> bool:
+    if alloca.allocated_type.is_array or alloca.allocated_type.is_vector:
+        return False
+    for user in alloca.users:
+        if isinstance(user, Load):
+            if user.ordering != "na" or user.pointer is not alloca:
+                return False
+        elif isinstance(user, Store):
+            if (
+                user.ordering != "na"
+                or user.pointer is not alloca
+                or user.value is alloca
+            ):
+                return False
+        else:
+            return False
+    return True
+
+
+def run_mem2reg(func: Function) -> bool:
+    remove_unreachable_blocks(func)
+    allocas = [
+        inst
+        for bb in func.blocks
+        for inst in bb.instructions
+        if isinstance(inst, Alloca) and _promotable(inst)
+    ]
+    if not allocas:
+        return False
+    dt = DominatorTree(func)
+    df = dt.dominance_frontier()
+    blocks_by_id = {id(bb): bb for bb in func.blocks}
+
+    phi_for: dict[tuple[int, int], Phi] = {}  # (alloca, block) -> phi
+    for alloca in allocas:
+        def_blocks = {
+            id(u.parent)
+            for u in alloca.users
+            if isinstance(u, Store) and u.parent is not None
+        }
+        work = list(def_blocks)
+        placed: set[int] = set()
+        while work:
+            bid = work.pop()
+            for fid in df.get(bid, ()):
+                if fid in placed:
+                    continue
+                placed.add(fid)
+                bb = blocks_by_id[fid]
+                phi = Phi(alloca.allocated_type, f"{alloca.name}_phi")
+                bb.instructions.insert(0, phi)
+                phi.parent = bb
+                phi_for[(id(alloca), fid)] = phi
+                if fid not in def_blocks:
+                    work.append(fid)
+
+    # Renaming walk over the dominator tree.
+    alloca_ids = {id(a): a for a in allocas}
+    children: dict[int, list] = {id(bb): [] for bb in func.blocks}
+    for bb in func.blocks:
+        idom = dt.immediate_dominator(bb)
+        if idom is not None and bb is not func.entry:
+            children[id(idom)].append(bb)
+
+    def undef(alloca: Alloca):
+        # Reads of never-written slots yield definite zeros, not undef:
+        # alloca memory is zero-initialized in every executable semantics of
+        # this repository, and Lasagne assumes lifted programs are free of
+        # undefined behaviour (§7.3) — leaving undef here would let the
+        # optimizer make choices the interpreter/emulators don't.
+        ty = alloca.allocated_type
+        if isinstance(ty, IntType):
+            return ConstantInt(ty, 0)
+        if isinstance(ty, FloatType):
+            return ConstantFloat(ty, 0.0)
+        if isinstance(ty, PointerType):
+            return ConstantPointerNull(ty)
+        return UndefValue(ty)
+
+    def rename(bb, incoming: dict[int, object]) -> None:
+        state = dict(incoming)
+        for key, phi in phi_for.items():
+            aid, bid = key
+            if bid == id(bb):
+                state[aid] = phi
+        for inst in list(bb.instructions):
+            if isinstance(inst, Load) and id(inst.pointer) in alloca_ids:
+                value = state.get(id(inst.pointer))
+                if value is None:
+                    value = undef(alloca_ids[id(inst.pointer)])
+                inst.replace_all_uses_with(value)  # type: ignore[arg-type]
+                inst.erase_from_parent()
+            elif isinstance(inst, Store) and id(inst.pointer) in alloca_ids:
+                state[id(inst.pointer)] = inst.value
+                inst.erase_from_parent()
+        for succ in bb.successors():
+            for aid in alloca_ids:
+                phi = phi_for.get((aid, id(succ)))
+                if phi is not None:
+                    value = state.get(aid)
+                    if value is None:
+                        value = undef(alloca_ids[aid])
+                    phi.add_incoming(value, bb)  # type: ignore[arg-type]
+        for child in children[id(bb)]:
+            rename(child, state)
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 10000))
+    try:
+        rename(func.entry, {})
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    for alloca in allocas:
+        assert not alloca.users, f"alloca {alloca.name} still has users"
+        alloca.erase_from_parent()
+    simplify_trivial_phis(func)
+    return True

@@ -1,0 +1,126 @@
+"""Pass manager: named passes, standard pipelines, per-pass statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..lir import Function, Module, verify_module
+from .dce import run_adce, run_dce
+from .dse import run_dse
+from .gvn import run_gvn
+from .inline import run_inline
+from .instcombine import run_instcombine
+from .licm import run_licm
+from .mem2reg import run_mem2reg
+from .reassociate import run_reassociate
+from .sccp import run_ipsccp, run_sccp
+from .simplifycfg import run_simplifycfg
+from .sroa import run_sroa
+from .unroll import run_unroll
+
+FUNCTION_PASSES: dict[str, Callable[[Function], bool]] = {
+    "mem2reg": run_mem2reg,
+    "sroa": run_sroa,
+    "instcombine": run_instcombine,
+    "reassociate": run_reassociate,
+    "gvn": run_gvn,
+    "sccp": run_sccp,
+    "licm": run_licm,
+    "dse": run_dse,
+    "dce": run_dce,
+    "adce": run_adce,
+    "simplifycfg": run_simplifycfg,
+    "unroll": run_unroll,
+}
+
+MODULE_PASSES: dict[str, Callable[[Module], bool]] = {
+    "ipsccp": run_ipsccp,
+    "inline": run_inline,
+}
+
+# The default -O2-flavoured pipeline (iterated to a fixpoint by run_pipeline).
+# sroa is deliberately not part of the default pipeline: splitting the
+# lifted byte-array stack frame into scalars goes beyond what the paper's
+# LLVM did on mctoll output; it is available separately as an ablation
+# (see benchmarks/test_ablations.py).
+STANDARD_PIPELINE = [
+    "simplifycfg",
+    "mem2reg",
+    "instcombine",
+    "reassociate",
+    "sccp",
+    "simplifycfg",
+    "gvn",
+    "instcombine",
+    "licm",
+    "dse",
+    "adce",
+    "ipsccp",
+    "dce",
+    "simplifycfg",
+]
+
+
+@dataclass
+class PassStats:
+    """Instruction counts around each executed pass."""
+
+    records: list[tuple[str, int, int]] = field(default_factory=list)
+
+    def add(self, name: str, before: int, after: int) -> None:
+        self.records.append((name, before, after))
+
+    def reduction_by_pass(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for name, before, after in self.records:
+            out[name] = out.get(name, 0) + (before - after)
+        return out
+
+
+class PassManager:
+    def __init__(self, verify: bool = False) -> None:
+        self.verify = verify
+        self.stats = PassStats()
+
+    def run_pass(self, module: Module, name: str) -> bool:
+        before = module.instruction_count()
+        if name in MODULE_PASSES:
+            changed = MODULE_PASSES[name](module)
+        elif name in FUNCTION_PASSES:
+            changed = False
+            for func in module.functions.values():
+                if not func.is_declaration:
+                    changed |= FUNCTION_PASSES[name](func)
+        else:
+            raise KeyError(f"unknown pass {name!r}")
+        after = module.instruction_count()
+        self.stats.add(name, before, after)
+        if self.verify:
+            verify_module(module)
+        return changed
+
+    def run_pipeline(
+        self,
+        module: Module,
+        pipeline: list[str] | None = None,
+        max_iterations: int = 3,
+    ) -> PassStats:
+        names = pipeline if pipeline is not None else STANDARD_PIPELINE
+        for _ in range(max_iterations):
+            changed = False
+            for name in names:
+                changed |= self.run_pass(module, name)
+            if not changed:
+                break
+        return self.stats
+
+
+def optimize_module(
+    module: Module,
+    pipeline: list[str] | None = None,
+    verify: bool = False,
+    max_iterations: int = 3,
+) -> PassStats:
+    pm = PassManager(verify=verify)
+    return pm.run_pipeline(module, pipeline, max_iterations)

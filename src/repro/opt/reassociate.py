@@ -1,0 +1,112 @@
+"""reassociate: flatten and re-fold associative integer expression trees.
+
+Collects ``add``/``and``/``or``/``xor``/``mul`` chains into (leaves,
+constant) form, folds the constant part and rebuilds a right-leaning chain
+with the constant last.  ``sub x, c`` participates as ``add x, -c``.  The
+pass is what collapses the lifter's long stack-address arithmetic chains
+into a single offset.
+"""
+
+from __future__ import annotations
+
+from ..lir import BinOp, ConstantInt, Function, Instruction, IntType, Value
+from ..lir.interp import _binop_apply
+from .utils import erase_if_trivially_dead
+
+_IDENTITY = {"add": 0, "or": 0, "xor": 0, "and": -1, "mul": 1}
+
+
+def _collect(op: str, value: Value, leaves: list[Value], depth: int = 0) -> int:
+    """Flatten a chain; returns the folded constant contribution."""
+    if isinstance(value, ConstantInt):
+        return value.value
+    if (
+        isinstance(value, BinOp)
+        and depth < 64
+        and len(value.users) == 1  # only single-use links may be absorbed
+    ):
+        if value.op == op:
+            c1 = _collect(op, value.lhs, leaves, depth + 1)
+            c2 = _collect(op, value.rhs, leaves, depth + 1)
+            ty = value.type
+            return _binop_apply(op, c1, c2, ty)
+        if op == "add" and value.op == "sub" and isinstance(
+            value.rhs, ConstantInt
+        ):
+            c1 = _collect(op, value.lhs, leaves, depth + 1)
+            return (c1 - value.rhs.value) & value.type.mask()
+    leaves.append(value)
+    ty = None
+    return _IDENTITY[op] & ((1 << 64) - 1) if op == "and" else _IDENTITY[op]
+
+
+def run_reassociate(func: Function) -> bool:
+    changed = False
+    for bb in func.blocks:
+        for inst in list(bb.instructions):
+            if not isinstance(inst, BinOp) or not isinstance(
+                inst.type, IntType
+            ):
+                continue
+            op = inst.op
+            if op not in _IDENTITY and op != "sub":
+                continue
+            work_op = "add" if op == "sub" else op
+            leaves: list[Value] = []
+            if op == "sub":
+                if not isinstance(inst.rhs, ConstantInt):
+                    continue
+                const = _collect("add", inst.lhs, leaves)
+                const = (const - inst.rhs.value) & inst.type.mask()
+            else:
+                c1 = _collect(op, inst.lhs, leaves)
+                c2 = _collect(op, inst.rhs, leaves)
+                const = _binop_apply(op, c1, c2, inst.type)
+            identity = _IDENTITY[work_op]
+            if identity == -1:
+                identity = inst.type.mask()
+            # Nothing to do if the chain is already in canonical shape.
+            if (
+            len(leaves) == 1
+                and inst.lhs is leaves[0]
+                and isinstance(inst.rhs, ConstantInt)
+            ):
+                continue
+            if len(leaves) + (0 if const == identity else 1) >= _chain_len(inst, work_op):
+                continue
+            # Rebuild: ((l1 op l2) op l3 ...) op const
+            ty = inst.type
+            if not leaves:
+                new_value: Value = ConstantInt(ty, const)
+            else:
+                new_value = leaves[0]
+                for leaf in leaves[1:]:
+                    nb = BinOp(work_op, new_value, leaf)
+                    bb.insert_before(inst, nb)
+                    new_value = nb
+                if const != identity:
+                    nb = BinOp(work_op, new_value, ConstantInt(ty, const))
+                    bb.insert_before(inst, nb)
+                    new_value = nb
+            inst.replace_all_uses_with(new_value)
+            inst.erase_from_parent()
+            changed = True
+    if changed:
+        for bb in func.blocks:
+            for inst in reversed(list(bb.instructions)):
+                erase_if_trivially_dead(inst)
+    return changed
+
+
+def _chain_len(inst: Instruction, op: str) -> int:
+    """Number of binops in the existing chain rooted at ``inst``."""
+    count = 0
+    stack: list[Value] = [inst]
+    while stack:
+        v = stack.pop()
+        if isinstance(v, BinOp) and (
+            v.op == op or (op == "add" and v.op == "sub")
+        ):
+            count += 1
+            stack.extend(v.operands)
+    return count

@@ -1,0 +1,310 @@
+"""sccp / ipsccp: sparse conditional constant propagation.
+
+``sccp`` runs the classic optimistic lattice algorithm (⊤ → constant → ⊥)
+over SSA with reachability tracking: blocks only become executable when a
+branch can actually reach them, so constants propagate through conditional
+structure that plain folding misses.
+
+``ipsccp`` extends it interprocedurally: when every call site of a
+function passes the same constant for a parameter, the parameter is
+replaced by that constant and the function bodies re-run through sccp.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..lir import (
+    Argument,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    FCmp,
+    Function,
+    ICmp,
+    Instruction,
+    Module,
+    Phi,
+    Select,
+    UndefValue,
+    Value,
+)
+from ..lir.interp import _binop_apply, _fcmp_apply, _icmp_apply, _signed
+from ..lir.types import FloatType, IntType
+from .simplifycfg import run_simplifycfg
+
+TOP = "top"
+BOTTOM = "bottom"
+Lattice = Union[str, int, float]  # TOP, BOTTOM, or a concrete constant
+
+
+class _SCCP:
+    def __init__(self, func: Function,
+                 arg_facts: Optional[dict[int, Lattice]] = None) -> None:
+        self.func = func
+        self.values: dict[int, Lattice] = {}
+        self.executable: set[int] = set()
+        self.inst_work: list[Instruction] = []
+        self.block_work = [func.entry]
+        self.arg_facts = arg_facts or {}
+
+    # ---- lattice -----------------------------------------------------------
+    def value_of(self, v: Value) -> Lattice:
+        if isinstance(v, ConstantInt):
+            return v.value
+        if isinstance(v, ConstantFloat):
+            return v.value
+        if isinstance(v, UndefValue):
+            # Treat undef pessimistically: optimistically resolving it (the
+            # LLVM-style TOP treatment) could pick a value inconsistent with
+            # the reference interpreter, which reads undef as zero.
+            return BOTTOM
+        if isinstance(v, Constant):
+            return BOTTOM  # globals/functions: a runtime address
+        if isinstance(v, Argument):
+            return self.arg_facts.get(v.index, BOTTOM)
+        return self.values.get(id(v), TOP)
+
+    def _set(self, inst: Instruction, value: Lattice) -> None:
+        old = self.values.get(id(inst), TOP)
+        if old == value:
+            return
+        if old is not TOP and value is not BOTTOM and old != value:
+            value = BOTTOM
+        self.values[id(inst)] = value
+        for user in inst.users:
+            self.inst_work.append(user)
+
+    # ---- driver ----------------------------------------------------------------
+    def run(self) -> None:
+        while self.block_work or self.inst_work:
+            while self.inst_work:
+                inst = self.inst_work.pop()
+                if inst.parent is not None and id(inst.parent) in self.executable:
+                    self._visit(inst)
+            if self.block_work:
+                bb = self.block_work.pop()
+                if id(bb) in self.executable:
+                    continue
+                self.executable.add(id(bb))
+                for inst in bb.instructions:
+                    self._visit(inst)
+
+    def _mark_edge(self, target) -> None:
+        if id(target) not in self.executable:
+            self.block_work.append(target)
+        else:
+            for phi in target.phis():
+                self.inst_work.append(phi)
+
+    # ---- transfer functions -------------------------------------------------------
+    def _visit(self, inst: Instruction) -> None:
+        if isinstance(inst, Phi):
+            result: Lattice = TOP
+            for value, block in inst.incoming():
+                if id(block) not in self.executable:
+                    continue
+                v = self.value_of(value)
+                if v is TOP:
+                    continue
+                if result is TOP:
+                    result = v
+                elif result != v or v is BOTTOM:
+                    result = BOTTOM
+            self._set(inst, result)
+            return
+        if isinstance(inst, Br):
+            if not inst.is_conditional:
+                self._mark_edge(inst.targets[0])
+                return
+            cond = self.value_of(inst.cond)
+            if cond is TOP:
+                return
+            if cond is BOTTOM:
+                self._mark_edge(inst.targets[0])
+                self._mark_edge(inst.targets[1])
+            else:
+                taken = inst.targets[0] if int(cond) & 1 else inst.targets[1]
+                self._mark_edge(taken)
+            return
+        if isinstance(inst, BinOp):
+            a = self.value_of(inst.lhs)
+            b = self.value_of(inst.rhs)
+            if a is BOTTOM or b is BOTTOM:
+                self._set(inst, BOTTOM)
+            elif a is TOP or b is TOP:
+                pass
+            else:
+                try:
+                    self._set(inst, _binop_apply(inst.op, a, b, inst.type))
+                except Exception:
+                    self._set(inst, BOTTOM)
+            return
+        if isinstance(inst, ICmp):
+            a = self.value_of(inst.lhs)
+            b = self.value_of(inst.rhs)
+            if a is BOTTOM or b is BOTTOM:
+                self._set(inst, BOTTOM)
+            elif a is not TOP and b is not TOP:
+                self._set(
+                    inst, _icmp_apply(inst.pred, int(a), int(b), inst.lhs.type)
+                )
+            return
+        if isinstance(inst, FCmp):
+            a = self.value_of(inst.lhs)
+            b = self.value_of(inst.rhs)
+            if a is BOTTOM or b is BOTTOM:
+                self._set(inst, BOTTOM)
+            elif a is not TOP and b is not TOP:
+                self._set(inst, _fcmp_apply(inst.pred, float(a), float(b)))
+            return
+        if isinstance(inst, Cast):
+            v = self.value_of(inst.value)
+            if v is BOTTOM:
+                self._set(inst, BOTTOM)
+            elif v is not TOP:
+                folded = _fold_cast(inst, v)
+                self._set(inst, BOTTOM if folded is None else folded)
+            return
+        if isinstance(inst, Select):
+            c = self.value_of(inst.cond)
+            if c is BOTTOM:
+                a = self.value_of(inst.true_value)
+                b = self.value_of(inst.false_value)
+                if a is BOTTOM or b is BOTTOM or (
+                    a is not TOP and b is not TOP and a != b
+                ):
+                    self._set(inst, BOTTOM)
+                elif a is not TOP and a == b:
+                    self._set(inst, a)
+            elif c is not TOP:
+                pick = inst.true_value if int(c) & 1 else inst.false_value
+                v = self.value_of(pick)
+                if v is not TOP:
+                    self._set(inst, v)
+            return
+        if not inst.type.is_void:
+            self._set(inst, BOTTOM)
+
+
+def _fold_cast(inst: Cast, v) -> Optional[Lattice]:
+    op = inst.op
+    ty = inst.type
+    if op in ("trunc", "zext") and isinstance(ty, IntType):
+        return int(v) & ty.mask()
+    if op == "sext" and isinstance(ty, IntType):
+        return _signed(int(v), inst.value.type.bits) & ty.mask()
+    if op in ("sitofp",):
+        return float(_signed(int(v), inst.value.type.bits))
+    if op == "uitofp":
+        return float(int(v))
+    if op in ("fptosi", "fptoui") and isinstance(ty, IntType):
+        return int(v) & ty.mask()
+    if op in ("fpext", "fptrunc"):
+        return float(v)
+    return None
+
+
+def _apply_facts(func: Function, sccp: _SCCP) -> bool:
+    changed = False
+    for bb in func.blocks:
+        for inst in list(bb.instructions):
+            v = sccp.values.get(id(inst))
+            if v is None or v in (TOP, BOTTOM) or inst.type.is_void:
+                continue
+            if isinstance(inst.type, IntType):
+                const: Constant = ConstantInt(inst.type, int(v))
+            elif isinstance(inst.type, FloatType):
+                const = ConstantFloat(inst.type, float(v))
+            else:
+                continue
+            inst.replace_all_uses_with(const)
+            if not inst.has_side_effects():
+                inst.erase_from_parent()
+            changed = True
+    return changed
+
+
+def run_sccp(func: Function,
+             arg_facts: Optional[dict[int, Lattice]] = None) -> bool:
+    solver = _SCCP(func, arg_facts)
+    solver.run()
+    changed = _apply_facts(func, solver)
+    changed |= run_simplifycfg(func)
+    return changed
+
+
+def run_ipsccp(module: Module) -> bool:
+    """Interprocedural constant propagation across call sites."""
+    changed = False
+    # Gather, per function, the lattice of each argument over all calls.
+    facts: dict[str, dict[int, Lattice]] = {
+        name: {} for name in module.functions
+    }
+    seen_calls: dict[str, int] = {name: 0 for name in module.functions}
+    for func in module.functions.values():
+        for bb in func.blocks:
+            for inst in bb.instructions:
+                if not isinstance(inst, Call):
+                    continue
+                callee = inst.callee
+                if not isinstance(callee, Function):
+                    continue
+                # Address-taken functions can be called indirectly (spawn).
+                name = callee.name
+                if name not in facts:
+                    continue
+                seen_calls[name] += 1
+                for i, arg in enumerate(inst.args):
+                    if isinstance(arg, ConstantInt):
+                        v: Lattice = arg.value
+                    elif isinstance(arg, ConstantFloat):
+                        v = arg.value
+                    else:
+                        v = BOTTOM
+                    prev = facts[name].get(i, TOP)
+                    if prev is TOP:
+                        facts[name][i] = v
+                    elif prev != v:
+                        facts[name][i] = BOTTOM
+
+    address_taken = set()
+    for func in module.functions.values():
+        for user in func.users:
+            if not (isinstance(user, Call) and user.callee is func):
+                address_taken.add(func.name)
+    for g_func in module.functions.values():
+        for bb in g_func.blocks:
+            for inst in bb.instructions:
+                for op in inst.operands:
+                    if isinstance(op, Function) and not (
+                        isinstance(inst, Call) and inst.callee is op
+                    ):
+                        address_taken.add(op.name)
+
+    for name, func in module.functions.items():
+        if func.is_declaration:
+            continue
+        arg_facts = {
+            i: v
+            for i, v in facts[name].items()
+            if v not in (TOP, BOTTOM)
+        }
+        if name in address_taken or seen_calls[name] == 0:
+            arg_facts = {}
+        if arg_facts:
+            for i, v in arg_facts.items():
+                arg = func.arguments[i]
+                if isinstance(arg.type, IntType):
+                    arg.replace_all_uses_with(ConstantInt(arg.type, int(v)))
+                elif isinstance(arg.type, FloatType):
+                    arg.replace_all_uses_with(
+                        ConstantFloat(arg.type, float(v))
+                    )
+            changed = True
+        changed |= run_sccp(func)
+    return changed

@@ -1,0 +1,109 @@
+"""simplifycfg: CFG cleanups.
+
+* delete unreachable blocks,
+* fold conditional branches on constants,
+* merge a block into its unique predecessor when that predecessor has a
+  single successor,
+* thread empty forwarding blocks (a block containing only ``br %next``),
+* drop trivial phis.
+"""
+
+from __future__ import annotations
+
+from ..lir import Br, ConstantInt, Function, Phi
+from .utils import remove_unreachable_blocks, simplify_trivial_phis
+
+
+def _fold_constant_branches(func: Function) -> bool:
+    changed = False
+    for bb in func.blocks:
+        term = bb.terminator
+        if isinstance(term, Br) and term.is_conditional and isinstance(
+            term.cond, ConstantInt
+        ):
+            taken = term.targets[0] if term.cond.value & 1 else term.targets[1]
+            dropped = term.targets[1] if term.cond.value & 1 else term.targets[0]
+            term.erase_from_parent()
+            bb.append(Br(None, taken))
+            if dropped is not taken:
+                for phi in dropped.phis():
+                    phi.remove_incoming(bb)
+            changed = True
+    return changed
+
+
+def _merge_single_pred(func: Function) -> bool:
+    changed = False
+    for bb in list(func.blocks):
+        if bb is func.entry:
+            continue
+        preds = bb.predecessors()
+        if len(preds) != 1:
+            continue
+        pred = preds[0]
+        if pred is bb:
+            continue
+        term = pred.terminator
+        if not isinstance(term, Br) or len(set(map(id, term.successors()))) != 1:
+            continue
+        # Fold phis (single incoming).
+        for phi in list(bb.phis()):
+            value = phi.incoming_for(pred)
+            phi.replace_all_uses_with(value)  # type: ignore[arg-type]
+            phi.erase_from_parent()
+        term.erase_from_parent()
+        for inst in list(bb.instructions):
+            bb.instructions.remove(inst)
+            pred.append(inst)
+        # Successor phis must re-route their incoming edge to `pred`.
+        for succ in pred.successors():
+            for phi in succ.phis():
+                for i, blk in enumerate(phi.incoming_blocks):
+                    if blk is bb:
+                        phi.incoming_blocks[i] = pred
+        func.remove_block(bb)
+        changed = True
+    return changed
+
+
+def _thread_empty_blocks(func: Function) -> bool:
+    """Retarget branches over blocks containing only an unconditional br."""
+    changed = False
+    for bb in list(func.blocks):
+        if bb is func.entry:
+            continue
+        if len(bb.instructions) != 1:
+            continue
+        term = bb.terminator
+        if not isinstance(term, Br) or term.is_conditional:
+            continue
+        target = term.targets[0]
+        if target is bb or target.phis():
+            continue
+        preds = bb.predecessors()
+        if any(p is bb for p in preds):
+            continue
+        for pred in preds:
+            ptorm = pred.terminator
+            if isinstance(ptorm, Br):
+                ptorm.replace_target(bb, target)
+                changed = True
+        if not bb.predecessors():
+            term.erase_from_parent()
+            func.remove_block(bb)
+            changed = True
+    return changed
+
+
+def run_simplifycfg(func: Function) -> bool:
+    changed = False
+    progress = True
+    while progress:
+        progress = False
+        progress |= remove_unreachable_blocks(func)
+        progress |= _fold_constant_branches(func)
+        progress |= simplify_trivial_phis(func)
+        progress |= _merge_single_pred(func)
+        progress |= _thread_empty_blocks(func)
+        changed |= progress
+    return changed

@@ -1,0 +1,140 @@
+"""sroa: scalar replacement of (byte-array) aggregates.
+
+After IR refinement, the lifted per-function stack is an ``[N x i8]``
+alloca accessed through constant-offset ``getelementptr`` + ``bitcast``
+chains.  When every access is such a constant-offset scalar load/store and
+the accessed byte ranges do not overlap at conflicting types, the array is
+split into one scalar alloca per offset — after which ``mem2reg`` promotes
+the former stack slots to SSA values.  This is the pass that lets the
+fully-refined configuration approach native code quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lir import (
+    Alloca,
+    Cast,
+    ConstantInt,
+    Function,
+    GEP,
+    Instruction,
+    Load,
+    Store,
+    Type,
+    Value,
+)
+
+
+@dataclass
+class _Access:
+    inst: Instruction      # the load/store
+    offset: int
+    type: Type
+
+
+def _trace_accesses(alloca: Alloca) -> list[_Access] | None:
+    """All accesses as (instruction, byte offset, scalar type), or None if
+    the alloca escapes or is accessed non-uniformly."""
+    accesses: list[_Access] = []
+    # worklist of (value, offset) pointer derivations
+    work: list[tuple[Value, int]] = [(alloca, 0)]
+    seen: set[int] = set()
+    while work:
+        value, offset = work.pop()
+        if id(value) in seen:
+            continue
+        seen.add(id(value))
+        for user in list(value.users):
+            if isinstance(user, Load):
+                if user.pointer is not value or user.ordering != "na":
+                    return None
+                accesses.append(_Access(user, offset, user.type))
+            elif isinstance(user, Store):
+                if (
+                    user.pointer is not value
+                    or user.value is value
+                    or user.ordering != "na"
+                ):
+                    return None
+                accesses.append(_Access(user, offset, user.value.type))
+            elif isinstance(user, Cast) and user.op == "bitcast":
+                work.append((user, offset))
+            elif isinstance(user, GEP):
+                if user.pointer is not value:
+                    return None
+                indices = user.indices
+                if not all(isinstance(i, ConstantInt) for i in indices):
+                    return None
+                delta = indices[0].signed_value * user.source_type.size_bytes()  # type: ignore[union-attr]
+                if len(indices) == 2:
+                    delta += (
+                        indices[1].signed_value  # type: ignore[union-attr]
+                        * user.source_type.element.size_bytes()  # type: ignore[union-attr]
+                    )
+                work.append((user, offset + delta))
+            else:
+                return None  # escapes (ptrtoint, call, phi, ...)
+    return accesses
+
+
+def _partition(accesses: list[_Access]) -> dict[int, Type] | None:
+    """offset → scalar type; None when ranges overlap inconsistently."""
+    slots: dict[int, Type] = {}
+    for acc in accesses:
+        existing = slots.get(acc.offset)
+        if existing is None:
+            slots[acc.offset] = acc.type
+        elif existing != acc.type:
+            return None
+    # Reject overlapping ranges (distinct offsets whose extents intersect).
+    spans = sorted((off, off + ty.size_bytes()) for off, ty in slots.items())
+    for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+        if s2 < e1:
+            return None
+    return slots
+
+
+def run_sroa(func: Function) -> bool:
+    changed = False
+    for bb in list(func.blocks):
+        for inst in list(bb.instructions):
+            if not isinstance(inst, Alloca) or not (
+                inst.allocated_type.is_array
+            ):
+                continue
+            accesses = _trace_accesses(inst)
+            if accesses is None or not accesses:
+                continue
+            slots = _partition(accesses)
+            if slots is None:
+                continue
+            scalar_allocas: dict[int, Alloca] = {}
+            entry = func.entry
+            for offset, ty in sorted(slots.items()):
+                na = Alloca(ty, f"{inst.name}_o{offset}")
+                entry.instructions.insert(0, na)
+                na.parent = entry
+                scalar_allocas[offset] = na
+            for acc in accesses:
+                na = scalar_allocas[acc.offset]
+                if isinstance(acc.inst, Load):
+                    acc.inst.set_operand(0, na)
+                else:
+                    acc.inst.set_operand(1, na)
+            # Remaining users of the array are pure address derivations,
+            # now dead.
+            def _erase_chain(v: Value) -> None:
+                for user in list(v.users):
+                    if isinstance(user, (Cast, GEP)):
+                        _erase_chain(user)
+                for user in list(v.users):
+                    if isinstance(user, (Cast, GEP)) and not user.users:
+                        user.erase_from_parent()
+
+            _erase_chain(inst)
+            if not inst.users:
+                inst.erase_from_parent()
+                changed = True
+    return changed

@@ -1,0 +1,253 @@
+"""Full loop unrolling for small constant-trip-count loops.
+
+An extension pass (not part of the paper's measured pipeline).  Handles the
+canonical rotated-loop shape the mini-C frontend and the lifter both
+produce:
+
+    preheader:  br header
+    header:     %i = phi [C0, preheader], [%i.next, latch] ; other phis...
+                %c = icmp <pred> %i, CN
+                br %c, body..., exit          (or the negated arrangement)
+    ...body blocks...
+    latch:      %i.next = add %i, S
+                br header
+
+When the trip count is a known small constant, the loop blocks are cloned
+once per iteration, header phis are threaded through iterations, and the
+exit branch of each clone is folded to the known direction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lir import (
+    BasicBlock,
+    BinOp,
+    Br,
+    ConstantInt,
+    Function,
+    ICmp,
+    Instruction,
+    Phi,
+    Value,
+)
+from ..lir.clone import clone_instruction
+from ..lir.dominators import DominatorTree
+from .utils import remove_unreachable_blocks, simplify_trivial_phis
+
+MAX_TRIP_COUNT = 16
+MAX_LOOP_INSTRUCTIONS = 48
+
+
+class _LoopInfo:
+    def __init__(self) -> None:
+        self.header: BasicBlock = None  # type: ignore[assignment]
+        self.latch: BasicBlock = None   # type: ignore[assignment]
+        self.blocks: list[BasicBlock] = []
+        self.preheader: BasicBlock = None  # type: ignore[assignment]
+        self.exit: BasicBlock = None    # type: ignore[assignment]
+        self.body_target: BasicBlock = None  # type: ignore[assignment]
+        self.iv_phi: Phi = None         # type: ignore[assignment]
+        self.trip_count: int = 0
+
+
+def _trip_count(pred: str, start: int, bound: int, step: int) -> Optional[int]:
+    if step == 0:
+        return None
+    count = 0
+    i = start
+    while count <= MAX_TRIP_COUNT:
+        holds = {
+            "slt": i < bound, "sle": i <= bound,
+            "sgt": i > bound, "sge": i >= bound,
+            "ne": i != bound,
+            "ult": (i % 2**64) < (bound % 2**64),
+        }.get(pred)
+        if holds is None:
+            return None
+        if not holds:
+            return count
+        count += 1
+        i += step
+    return None
+
+
+def _analyze(func: Function, dt: DominatorTree, tail: BasicBlock,
+             header: BasicBlock) -> Optional[_LoopInfo]:
+    info = _LoopInfo()
+    info.header = header
+    info.latch = tail
+    loop_ids = dt.natural_loop(tail, header)
+    info.blocks = [bb for bb in func.blocks if id(bb) in loop_ids]
+    if sum(len(bb.instructions) for bb in info.blocks) > MAX_LOOP_INSTRUCTIONS:
+        return None
+
+    # Unique preheader with an unconditional branch.
+    outside_preds = [p for p in header.predecessors() if id(p) not in loop_ids]
+    if len(outside_preds) != 1 or len(header.predecessors()) != 2:
+        return None
+    pre = outside_preds[0]
+    pterm = pre.terminator
+    if not isinstance(pterm, Br) or pterm.is_conditional:
+        return None
+    info.preheader = pre
+
+    # Latch jumps unconditionally back to the header.
+    lterm = info.latch.terminator
+    if not isinstance(lterm, Br) or lterm.is_conditional:
+        return None
+
+    # Header: phis, an icmp on an induction phi against a constant, and a
+    # conditional branch with exactly one in-loop and one exit target.
+    hterm = header.terminator
+    if not isinstance(hterm, Br) or not hterm.is_conditional:
+        return None
+    cond = hterm.cond
+    if not isinstance(cond, ICmp) or cond.parent is not header:
+        return None
+    then_in = id(hterm.targets[0]) in loop_ids
+    else_in = id(hterm.targets[1]) in loop_ids
+    if then_in == else_in:
+        return None
+    info.body_target = hterm.targets[0] if then_in else hterm.targets[1]
+    info.exit = hterm.targets[1] if then_in else hterm.targets[0]
+    if info.exit.phis():
+        return None  # keep it simple: no exit phis to patch
+
+    # Find the induction phi: phi(i) with constant init from preheader and
+    # `add i, const` from the latch; the icmp compares it to a constant.
+    iv = cond.lhs
+    if not isinstance(iv, Phi) or iv.parent is not header:
+        return None
+    if not isinstance(cond.rhs, ConstantInt):
+        return None
+    init = iv.incoming_for(info.preheader)
+    nxt = iv.incoming_for(info.latch)
+    if not isinstance(init, ConstantInt):
+        return None
+    if not (
+        isinstance(nxt, BinOp)
+        and nxt.op == "add"
+        and nxt.lhs is iv
+        and isinstance(nxt.rhs, ConstantInt)
+    ):
+        return None
+    pred = cond.pred if then_in else _negate(cond.pred)
+    if pred is None:
+        return None
+    trips = _trip_count(
+        pred, init.signed_value, cond.rhs.signed_value, nxt.rhs.signed_value
+    )
+    if trips is None or trips == 0:
+        return None
+    info.iv_phi = iv
+    info.trip_count = trips
+
+    # Every header phi must have exactly the preheader/latch incomings.
+    for phi in header.phis():
+        blocks = {id(b) for b in phi.incoming_blocks}
+        if blocks != {id(info.preheader), id(info.latch)}:
+            return None
+    return info
+
+
+def _negate(pred: str) -> Optional[str]:
+    return {
+        "slt": "sge", "sle": "sgt", "sgt": "sle", "sge": "slt",
+        "eq": "ne", "ne": "eq", "ult": "uge", "ule": "ugt",
+        "ugt": "ule", "uge": "ult",
+    }.get(pred)
+
+
+def _unroll(func: Function, info: _LoopInfo) -> None:
+    header_phis = info.header.phis()
+    # Live state entering iteration k: value of each header phi.
+    state: dict[int, Value] = {
+        id(phi): phi.incoming_for(info.preheader) for phi in header_phis
+    }
+    insert_at = func.blocks.index(info.exit)
+    prev_tail: BasicBlock = info.preheader
+    prev_term = info.preheader.terminator
+    prev_term.erase_from_parent()
+
+    for _k in range(info.trip_count):
+        block_map: dict[int, BasicBlock] = {}
+        value_map: dict[int, Value] = dict(state)
+        for bb in info.blocks:
+            nb = BasicBlock(func.next_name(f"unroll_{bb.name}"))
+            func.blocks.insert(insert_at, nb)
+            insert_at += 1
+            nb.parent = func
+            block_map[id(bb)] = nb
+        # Clones of the exit edge target the real exit.
+        block_map[id(info.exit)] = info.exit
+
+        def lookup(v: Value) -> Value:
+            return value_map.get(id(v), v)
+
+        phis_to_patch: list[tuple[Phi, Phi]] = []
+        for bb in info.blocks:
+            nb = block_map[id(bb)]
+            for inst in bb.instructions:
+                if isinstance(inst, Phi) and bb is info.header:
+                    continue  # header phis are the threaded state
+                if inst is bb.terminator and bb is info.header:
+                    # The exit test is statically false inside the unroll:
+                    # always continue into the body clone.
+                    nb.append(Br(None, block_map[id(info.body_target)]))
+                    continue
+                if inst is bb.terminator and bb is info.latch:
+                    continue  # wired to the next iteration below
+                cloned = clone_instruction(inst, lookup, block_map)
+                value_map[id(inst)] = cloned
+                nb.append(cloned)
+                if isinstance(inst, Phi):
+                    # Non-header phi (nested-loop headers, if-joins): its
+                    # incomings may reference values cloned later in this
+                    # iteration, so patch them in a second pass.
+                    phis_to_patch.append((inst, cloned))
+        for original, cloned in phis_to_patch:
+            for v, pb in original.incoming():
+                cloned.add_incoming(lookup(v), block_map[id(pb)])
+        # Chain: previous tail → this iteration's header clone.
+        prev_tail.append(Br(None, block_map[id(info.header)]))
+        prev_tail = block_map[id(info.latch)]
+        # Next-iteration state: the latch incomings of the header phis.
+        state = {
+            id(phi): value_map.get(
+                id(phi.incoming_for(info.latch)),
+                phi.incoming_for(info.latch),
+            )
+            for phi in header_phis
+        }
+
+    # After the last iteration, fall through to the exit block.
+    prev_tail.append(Br(None, info.exit))
+
+    # Any use of a header phi *outside* the loop sees the final state.
+    for phi in header_phis:
+        phi.replace_all_uses_with(state[id(phi)])
+
+    # The original loop blocks are now unreachable.
+    remove_unreachable_blocks(func)
+    simplify_trivial_phis(func)
+
+
+def run_unroll(func: Function) -> bool:
+    changed = False
+    for _ in range(4):  # a few rounds for nests, innermost first
+        dt = DominatorTree(func)
+        edges = dt.back_edges()
+        done = True
+        for tail, header in edges:
+            info = _analyze(func, dt, tail, header)
+            if info is None:
+                continue
+            _unroll(func, info)
+            changed = True
+            done = False
+            break  # CFG changed: recompute dominators
+        if done:
+            break
+    return changed

@@ -1,0 +1,30 @@
+"""Phoenix multi-threaded benchmark kernels and evaluation harness."""
+
+from .programs import (
+    HISTOGRAM,
+    KMEANS,
+    LINEAR_REGRESSION,
+    MATRIX_MULTIPLY,
+    PROGRAM_NAMES,
+    SIZE_SMALL,
+    SIZE_TINY,
+    STRING_MATCH,
+    PhoenixProgram,
+    all_programs,
+    scale,
+)
+from .runner import (
+    EvaluationRow,
+    ProgramMetrics,
+    evaluate_program,
+    evaluate_suite,
+    geomean,
+)
+
+__all__ = [
+    "HISTOGRAM", "KMEANS", "LINEAR_REGRESSION", "MATRIX_MULTIPLY",
+    "PROGRAM_NAMES", "SIZE_SMALL", "SIZE_TINY", "STRING_MATCH",
+    "PhoenixProgram", "all_programs", "scale",
+    "EvaluationRow", "ProgramMetrics", "evaluate_program", "evaluate_suite",
+    "geomean",
+]

@@ -1,0 +1,551 @@
+"""The Phoenix multi-threaded benchmark kernels, in mini-C (Table 1).
+
+Each program mirrors its Phoenix counterpart's computational pattern:
+chunked data-parallel workers over shared global arrays, spawned and joined
+from ``main``, with per-thread partial results merged at the end.  Inputs
+are generated in-program by a deterministic LCG, so every configuration
+(native / lifted / opt / popt / ppopt) of the same program must produce the
+identical checksum — the differential-correctness property the test-suite
+checks.
+
+``SIZE_SMALL`` variants keep the emulated runs fast; ``scale()`` lets the
+benchmarks pick other sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NTHREADS = 4
+
+
+@dataclass(frozen=True)
+class PhoenixProgram:
+    name: str
+    abbrev: str
+    source: str
+
+    def loc(self) -> int:
+        """Non-blank, non-comment source lines (Table 1's LoC metric)."""
+        count = 0
+        for raw in self.source.splitlines():
+            stripped = raw.strip()
+            if stripped and not stripped.startswith("//"):
+                count += 1
+        return count
+
+    def function_count(self) -> int:
+        from ..minicc.parser import parse
+
+        return len(parse(self.source).functions)
+
+
+HISTOGRAM = PhoenixProgram(
+    name="histogram",
+    abbrev="HT",
+    source="""
+// histogram: bin 8-bit samples, one private 256-bin histogram per thread,
+// merged in main (Phoenix: histogram over bitmap channels).
+int seed = 1;
+char img[{N}];
+int hist[1024];
+int tids[4];
+
+int lcg() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int init_data() {
+  for (int i = 0; i < {N}; i = i + 1) {
+    img[i] = (char)(lcg() % 256);
+  }
+  return 0;
+}
+
+int worker(int t) {
+  int chunk = {N} / 4;
+  int base = t * chunk;
+  for (int i = 0; i < chunk; i = i + 1) {
+    int v = img[base + i];
+    hist[t * 256 + v] = hist[t * 256 + v] + 1;
+  }
+  return 0;
+}
+
+int main() {
+  init_data();
+  for (int t = 0; t < 4; t = t + 1) {
+    tids[t] = spawn(worker, t);
+  }
+  for (int t = 0; t < 4; t = t + 1) {
+    join(tids[t]);
+  }
+  int checksum = 0;
+  for (int v = 0; v < 256; v = v + 1) {
+    int total = hist[v] + hist[256 + v] + hist[512 + v] + hist[768 + v];
+    checksum = checksum + v * total;
+  }
+  print_i(checksum);
+  return checksum & 1073741823;
+}
+""",
+)
+
+KMEANS = PhoenixProgram(
+    name="kmeans",
+    abbrev="KM",
+    source="""
+// kmeans: 2-D points, 4 centers, parallel assignment step with per-thread
+// partial sums, sequential center update (Phoenix: kmeans).
+int seed = 7;
+double px[{N}];
+double py[{N}];
+double cx[4];
+double cy[4];
+int assign[{N}];
+double sumx[16];
+double sumy[16];
+int cnt[16];
+int tids[4];
+
+int lcg() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int init_points() {
+  for (int i = 0; i < {N}; i = i + 1) {
+    px[i] = (double)(lcg() % 1000) / 10.0;
+    py[i] = (double)(lcg() % 1000) / 10.0;
+  }
+  for (int c = 0; c < 4; c = c + 1) {
+    cx[c] = (double)(25 * c);
+    cy[c] = (double)(100 - 25 * c);
+  }
+  return 0;
+}
+
+double dist2(double x1, double y1, double x2, double y2) {
+  double dx = x1 - x2;
+  double dy = y1 - y2;
+  return dx * dx + dy * dy;
+}
+
+int nearest(double x, double y) {
+  int best = 0;
+  double bestd = dist2(x, y, cx[0], cy[0]);
+  for (int c = 1; c < 4; c = c + 1) {
+    double d = dist2(x, y, cx[c], cy[c]);
+    if (d < bestd) {
+      bestd = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+int assign_worker(int t) {
+  int chunk = {N} / 4;
+  int base = t * chunk;
+  for (int i = base; i < base + chunk; i = i + 1) {
+    int c = nearest(px[i], py[i]);
+    assign[i] = c;
+    sumx[t * 4 + c] = sumx[t * 4 + c] + px[i];
+    sumy[t * 4 + c] = sumy[t * 4 + c] + py[i];
+    cnt[t * 4 + c] = cnt[t * 4 + c] + 1;
+  }
+  return 0;
+}
+
+int update_centers() {
+  for (int c = 0; c < 4; c = c + 1) {
+    double sx = 0.0;
+    double sy = 0.0;
+    int n = 0;
+    for (int t = 0; t < 4; t = t + 1) {
+      sx = sx + sumx[t * 4 + c];
+      sy = sy + sumy[t * 4 + c];
+      n = n + cnt[t * 4 + c];
+      sumx[t * 4 + c] = 0.0;
+      sumy[t * 4 + c] = 0.0;
+      cnt[t * 4 + c] = 0;
+    }
+    if (n > 0) {
+      cx[c] = sx / (double)n;
+      cy[c] = sy / (double)n;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  init_points();
+  for (int iter = 0; iter < 3; iter = iter + 1) {
+    for (int t = 0; t < 4; t = t + 1) {
+      tids[t] = spawn(assign_worker, t);
+    }
+    for (int t = 0; t < 4; t = t + 1) {
+      join(tids[t]);
+    }
+    update_centers();
+  }
+  int checksum = 0;
+  for (int c = 0; c < 4; c = c + 1) {
+    checksum = checksum + (int)(cx[c] * 100.0) + (int)(cy[c] * 100.0);
+  }
+  for (int i = 0; i < {N}; i = i + 1) {
+    checksum = checksum + assign[i];
+  }
+  print_i(checksum);
+  return checksum & 1073741823;
+}
+""",
+)
+
+LINEAR_REGRESSION = PhoenixProgram(
+    name="linear_regression",
+    abbrev="LR",
+    source="""
+// linear_regression: least-squares fit over (x, y) samples; workers produce
+// per-thread partial sums (Phoenix: linear_regression).
+int seed = 3;
+int xs[{N}];
+int ys[{N}];
+int psx[4];
+int psy[4];
+int psxx[4];
+int psxy[4];
+int tids[4];
+
+int lcg() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int worker(int t) {
+  int chunk = {N} / 4;
+  int base = t * chunk;
+  int sx = 0;
+  int sy = 0;
+  int sxx = 0;
+  int sxy = 0;
+  for (int i = base; i < base + chunk; i = i + 1) {
+    int x = xs[i];
+    int y = ys[i];
+    sx = sx + x;
+    sy = sy + y;
+    sxx = sxx + x * x;
+    sxy = sxy + x * y;
+  }
+  psx[t] = sx;
+  psy[t] = sy;
+  psxx[t] = sxx;
+  psxy[t] = sxy;
+  return 0;
+}
+
+int main() {
+  for (int i = 0; i < {N}; i = i + 1) {
+    xs[i] = lcg() % 100;
+    ys[i] = 3 * xs[i] + 7 + (lcg() % 5);
+  }
+  for (int t = 0; t < 4; t = t + 1) {
+    tids[t] = spawn(worker, t);
+  }
+  for (int t = 0; t < 4; t = t + 1) {
+    join(tids[t]);
+  }
+  int sx = psx[0] + psx[1] + psx[2] + psx[3];
+  int sy = psy[0] + psy[1] + psy[2] + psy[3];
+  int sxx = psxx[0] + psxx[1] + psxx[2] + psxx[3];
+  int sxy = psxy[0] + psxy[1] + psxy[2] + psxy[3];
+  double n = (double){N};
+  double slope = ((double)sxy * n - (double)sx * (double)sy)
+               / ((double)sxx * n - (double)sx * (double)sx);
+  double intercept = ((double)sy - slope * (double)sx) / n;
+  print_f(slope);
+  print_f(intercept);
+  int checksum = (int)(slope * 1000.0) + (int)(intercept * 1000.0) + sxy;
+  print_i(checksum);
+  return checksum & 1073741823;
+}
+""",
+)
+
+MATRIX_MULTIPLY = PhoenixProgram(
+    name="matrix_multiply",
+    abbrev="MM",
+    source="""
+// matrix_multiply: C = A * B over {DIM}x{DIM} integer matrices; workers own
+// row bands (Phoenix: matrix_multiply).
+int seed = 11;
+int ma[{NELEM}];
+int mb[{NELEM}];
+int mc[{NELEM}];
+int tids[4];
+
+int lcg() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int init_matrices() {
+  for (int i = 0; i < {NELEM}; i = i + 1) {
+    ma[i] = lcg() % 10;
+    mb[i] = lcg() % 10;
+  }
+  return 0;
+}
+
+int worker(int t) {
+  int rows = {DIM} / 4;
+  int r0 = t * rows;
+  for (int i = r0; i < r0 + rows; i = i + 1) {
+    for (int j = 0; j < {DIM}; j = j + 1) {
+      int acc = 0;
+      for (int k = 0; k < {DIM}; k = k + 1) {
+        acc = acc + ma[i * {DIM} + k] * mb[k * {DIM} + j];
+      }
+      mc[i * {DIM} + j] = acc;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  init_matrices();
+  for (int t = 0; t < 4; t = t + 1) {
+    tids[t] = spawn(worker, t);
+  }
+  for (int t = 0; t < 4; t = t + 1) {
+    join(tids[t]);
+  }
+  int checksum = 0;
+  for (int i = 0; i < {NELEM}; i = i + 1) {
+    checksum = checksum + mc[i] * (i & 15);
+  }
+  print_i(checksum);
+  return checksum & 1073741823;
+}
+""",
+)
+
+STRING_MATCH = PhoenixProgram(
+    name="string_match",
+    abbrev="SM",
+    source="""
+// string_match: scan a text for occurrences of four keys; workers count
+// matches in their chunk (Phoenix: string_match).
+int seed = 17;
+char text[{N}];
+int found[16];
+int tids[4];
+
+int lcg() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int init_text() {
+  for (int i = 0; i < {N}; i = i + 1) {
+    int r = lcg() % 8;
+    if (r < 6) {
+      text[i] = (char)(97 + lcg() % 6);
+    } else {
+      text[i] = ' ';
+    }
+  }
+  return 0;
+}
+
+int match_at(char *hay, char *needle) {
+  int j = 0;
+  while (needle[j] != 0) {
+    if (hay[j] != needle[j]) {
+      return 0;
+    }
+    j = j + 1;
+  }
+  return 1;
+}
+
+int worker(int t) {
+  char *k0 = "abc";
+  char *k1 = "fad";
+  char *k2 = "cab";
+  char *k3 = "dec";
+  int chunk = {N} / 4;
+  int base = t * chunk;
+  int limit = base + chunk;
+  if (limit > {N} - 4) {
+    limit = {N} - 4;
+  }
+  for (int i = base; i < limit; i = i + 1) {
+    if (match_at(&text[i], k0)) { found[t * 4 + 0] = found[t * 4 + 0] + 1; }
+    if (match_at(&text[i], k1)) { found[t * 4 + 1] = found[t * 4 + 1] + 1; }
+    if (match_at(&text[i], k2)) { found[t * 4 + 2] = found[t * 4 + 2] + 1; }
+    if (match_at(&text[i], k3)) { found[t * 4 + 3] = found[t * 4 + 3] + 1; }
+  }
+  return 0;
+}
+
+int main() {
+  init_text();
+  for (int t = 0; t < 4; t = t + 1) {
+    tids[t] = spawn(worker, t);
+  }
+  for (int t = 0; t < 4; t = t + 1) {
+    join(tids[t]);
+  }
+  int checksum = 0;
+  for (int k = 0; k < 4; k = k + 1) {
+    int total = found[k] + found[4 + k] + found[8 + k] + found[12 + k];
+    print_i(total);
+    checksum = checksum + (k + 1) * total;
+  }
+  print_i(checksum);
+  return checksum & 1073741823;
+}
+""",
+)
+
+_TEMPLATES = {
+    "histogram": HISTOGRAM,
+    "kmeans": KMEANS,
+    "linear_regression": LINEAR_REGRESSION,
+    "matrix_multiply": MATRIX_MULTIPLY,
+    "string_match": STRING_MATCH,
+}
+
+# Default sizes keep emulated runs fast while giving workers real loops.
+SIZE_SMALL = {
+    "histogram": {"N": 2048},
+    "kmeans": {"N": 48},
+    "linear_regression": {"N": 256},
+    "matrix_multiply": {"DIM": 12, "NELEM": 144},
+    "string_match": {"N": 1024},
+}
+
+SIZE_TINY = {
+    "histogram": {"N": 256},
+    "kmeans": {"N": 16},
+    "linear_regression": {"N": 64},
+    "matrix_multiply": {"DIM": 8, "NELEM": 64},
+    "string_match": {"N": 256},
+}
+
+
+def scale(name: str, params: dict[str, int] | None = None) -> PhoenixProgram:
+    """Instantiate a kernel template with concrete sizes."""
+    template = _TEMPLATES[name]
+    values = dict(SIZE_SMALL[name])
+    if params:
+        values.update(params)
+    source = template.source
+    for key, val in values.items():
+        source = source.replace("{" + key + "}", str(val))
+    return PhoenixProgram(template.name, template.abbrev, source)
+
+
+def all_programs(
+    size: dict[str, dict[str, int]] | None = None,
+    include_extensions: bool = False,
+) -> list[PhoenixProgram]:
+    """The paper's five kernels; ``include_extensions`` adds word_count."""
+    sizes = size or SIZE_SMALL
+    names = PROGRAM_NAMES if include_extensions else PAPER_PROGRAM_NAMES
+    return [scale(name, sizes.get(name)) for name in names]
+
+
+PROGRAM_NAMES = list(_TEMPLATES)
+
+
+# ---- extension kernel (beyond the paper's five) -----------------------------
+
+WORD_COUNT = PhoenixProgram(
+    name="word_count",
+    abbrev="WC",
+    source="""
+// word_count: count word occurrences by hash bucket; workers scan text
+// chunks and merge per-thread bucket counts (Phoenix: word_count).  This
+// kernel is an extension: the paper had to omit it because mctoll mislifted
+// it; our lifter handles it.
+int seed = 23;
+char text[{N}];
+int counts[64];
+int tids[4];
+
+int lcg() {
+  seed = (seed * 1103515245 + 12345) & 2147483647;
+  return seed;
+}
+
+int init_text() {
+  for (int i = 0; i < {N}; i++) {
+    int r = lcg() % 6;
+    if (r < 5) {
+      text[i] = (char)(97 + lcg() % 5);
+    } else {
+      text[i] = ' ';
+    }
+  }
+  text[{N} - 1] = ' ';
+  return 0;
+}
+
+int hash_word(char *start, int len) {
+  int h = 0;
+  for (int i = 0; i < len; i++) {
+    h = (h * 31 + start[i]) & 1048575;
+  }
+  return h % 16;
+}
+
+int worker(int t) {
+  int chunk = {N} / 4;
+  int base = t * chunk;
+  int limit = base + chunk;
+  int i = base;
+  // Skip a partial word at the chunk head (the previous chunk owns it).
+  if (t > 0) {
+    while (i < limit && text[i] != ' ') { i++; }
+  }
+  while (i < limit) {
+    while (i < limit && text[i] == ' ') { i++; }
+    int start = i;
+    while (i < {N} && text[i] != ' ') { i++; }
+    if (i > start) {
+      int bucket = hash_word(&text[start], i - start);
+      counts[t * 16 + bucket] += 1;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  init_text();
+  for (int t = 0; t < 4; t++) { tids[t] = spawn(worker, t); }
+  for (int t = 0; t < 4; t++) { join(tids[t]); }
+  int checksum = 0;
+  int total = 0;
+  for (int b = 0; b < 16; b++) {
+    int n = counts[b] + counts[16 + b] + counts[32 + b] + counts[48 + b];
+    total += n;
+    checksum += (b + 1) * n;
+  }
+  print_i(total);
+  print_i(checksum);
+  return checksum & 1073741823;
+}
+""",
+)
+
+_TEMPLATES["word_count"] = WORD_COUNT
+SIZE_SMALL["word_count"] = {"N": 1024}
+SIZE_TINY["word_count"] = {"N": 256}
+
+# The paper's Table 1 suite (used by the figure benchmarks) stays the five
+# original kernels; word_count is an extension exercised by the test-suite.
+PAPER_PROGRAM_NAMES = [n for n in PROGRAM_NAMES]
+PROGRAM_NAMES = list(_TEMPLATES)

@@ -1,0 +1,120 @@
+"""Build/run helpers for the Phoenix evaluation (the §9 harness)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.pipeline import CONFIGS, Lasagne, RunResult, TranslationResult
+from ..minicc.codegen_x86 import compile_to_x86
+from ..x86.emulator import X86Emulator
+from .programs import PhoenixProgram, all_programs
+
+
+@dataclass
+class ProgramMetrics:
+    program: str
+    config: str
+    result: int
+    cycles: int
+    instructions_retired: int
+    fences: int
+    fences_naive: int
+    arm_instructions: int
+    lir_instructions: int
+    pointer_casts_before: int
+    pointer_casts_after: int
+
+
+@dataclass
+class EvaluationRow:
+    program: str
+    metrics: dict[str, ProgramMetrics] = field(default_factory=dict)
+
+    def normalized_runtime(self, config: str) -> float:
+        base = self.metrics["native"].cycles
+        return self.metrics[config].cycles / base
+
+    def fence_reduction(self, config: str) -> float:
+        """% of fences removed relative to the naive-placement count."""
+        naive = self.metrics["lifted"].fences
+        if naive == 0:
+            return 0.0
+        return 100.0 * (naive - self.metrics[config].fences) / naive
+
+    def cast_reduction(self) -> float:
+        before = self.metrics["ppopt"].pointer_casts_before
+        after = self.metrics["ppopt"].pointer_casts_after
+        if before == 0:
+            return 0.0
+        return 100.0 * (before - after) / before
+
+    def code_increase(self, config: str) -> float:
+        """% LIR code-size increase over native (Fig. 16's metric)."""
+        base = self.metrics["native"].lir_instructions
+        return 100.0 * (self.metrics[config].lir_instructions - base) / base
+
+
+def evaluate_program(
+    program: PhoenixProgram,
+    configs: Optional[list[str]] = None,
+    check_x86: bool = True,
+    verify: bool = True,
+) -> EvaluationRow:
+    """Build and run every configuration of one kernel; assert they agree."""
+    lasagne = Lasagne(verify=verify)
+    row = EvaluationRow(program.name)
+    expected: Optional[int] = None
+    expected_output: Optional[list[str]] = None
+
+    if check_x86:
+        obj = compile_to_x86(program.source)
+        emu = X86Emulator(obj)
+        expected = emu.run()
+        expected_output = emu.output
+
+    for config in configs or CONFIGS:
+        built = lasagne.build(program.source, config)
+        run = Lasagne.run(built)
+        if expected is None:
+            expected = run.result
+            expected_output = run.output
+        if run.result != expected or run.output != expected_output:
+            raise AssertionError(
+                f"{program.name}/{config}: result {run.result} != {expected} "
+                f"(output {run.output} vs {expected_output})"
+            )
+        row.metrics[config] = ProgramMetrics(
+            program=program.name,
+            config=config,
+            result=run.result,
+            cycles=run.cycles,
+            instructions_retired=run.instructions_retired,
+            fences=built.fences,
+            fences_naive=built.fences_naive,
+            arm_instructions=built.arm_instructions,
+            lir_instructions=built.lir_instructions,
+            pointer_casts_before=built.pointer_casts_before,
+            pointer_casts_after=built.pointer_casts_after,
+        )
+    return row
+
+
+def evaluate_suite(
+    size: Optional[dict[str, dict[str, int]]] = None,
+    configs: Optional[list[str]] = None,
+    verify: bool = True,
+) -> list[EvaluationRow]:
+    return [
+        evaluate_program(p, configs=configs, verify=verify)
+        for p in all_programs(size)
+    ]
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= max(v, 1e-12)
+    return product ** (1.0 / len(values))

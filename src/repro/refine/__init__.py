@@ -1,0 +1,56 @@
+"""IR refinement (§5): expose typed pointers in lifted code."""
+
+from __future__ import annotations
+
+from ..lir import Module
+from ..opt import run_dce, run_instcombine, run_mem2reg, run_reassociate
+from .peephole import count_pointer_casts, run_peephole
+from .ptrpromote import run_pointer_promotion
+
+
+def run_refinement(module: Module) -> None:
+    """The full §5 refinement stage.
+
+    The lifter materializes registers as memory slots, so refinement first
+    promotes those slots to SSA (mem2reg) and folds the resulting address
+    arithmetic (instcombine/reassociate) — this exposes the
+    ptrtoint/add/inttoptr chains of Figure 5 — then applies the peephole
+    rules and pointer-parameter promotion until a fixpoint.
+    """
+    for func in module.functions.values():
+        if func.is_declaration:
+            continue
+        run_mem2reg(func)
+        run_instcombine(func)
+        run_reassociate(func)
+        run_instcombine(func)
+    for _ in range(4):
+        changed = False
+        for func in module.functions.values():
+            if func.is_declaration:
+                continue
+            changed |= run_peephole(func)
+            changed |= run_instcombine(func)
+        changed |= run_pointer_promotion(module)
+        for func in module.functions.values():
+            if not func.is_declaration:
+                run_dce(func)
+        if not changed:
+            break
+
+
+def module_pointer_casts(module: Module) -> int:
+    return sum(
+        count_pointer_casts(f)
+        for f in module.functions.values()
+        if not f.is_declaration
+    )
+
+
+__all__ = [
+    "run_refinement",
+    "run_peephole",
+    "run_pointer_promotion",
+    "count_pointer_casts",
+    "module_pointer_casts",
+]

@@ -1,0 +1,46 @@
+"""x86-64 substrate: registers, ISA model, encoder/decoder, assembler,
+object container, and a TSO emulator."""
+
+from .asm import Assembler, AsmError, AsmFunction
+from .asmparser import AsmParseError, assemble_text, parse_asm
+from .decoder import DecodeError, decode_one
+from .emulator import EmuError, X86Emulator
+from .encoder import EncodeError, encode
+from .isa import (
+    CC_NUM,
+    CONDITION_CODES,
+    Imm,
+    Instr,
+    Label,
+    Mem,
+    Operand,
+    Reg,
+    is_branch,
+    is_terminator,
+)
+from .objfile import DATA_BASE, STUB_BASE, TEXT_BASE, DataSymbol, FuncSymbol, X86Object
+from .registers import (
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    GPR64,
+    INT_PARAM_REGS,
+    INT_RETURN_REG,
+    SSE_PARAM_REGS,
+    SSE_RETURN_REG,
+    XMM,
+    reg_info,
+)
+
+__all__ = [
+    "Assembler", "AsmError", "AsmFunction",
+    "AsmParseError", "assemble_text", "parse_asm",
+    "DecodeError", "decode_one",
+    "EmuError", "X86Emulator",
+    "EncodeError", "encode",
+    "CC_NUM", "CONDITION_CODES", "Imm", "Instr", "Label", "Mem", "Operand",
+    "Reg", "is_branch", "is_terminator",
+    "DATA_BASE", "STUB_BASE", "TEXT_BASE", "DataSymbol", "FuncSymbol",
+    "X86Object",
+    "CALLEE_SAVED", "CALLER_SAVED", "GPR64", "INT_PARAM_REGS",
+    "INT_RETURN_REG", "SSE_PARAM_REGS", "SSE_RETURN_REG", "XMM", "reg_info",
+]

@@ -1,0 +1,169 @@
+"""Two-pass assembler/linker: symbolic x86-64 → a linked X86Object image.
+
+Input is per-function instruction streams where branch targets are
+:class:`~repro.x86.isa.Label` operands.  Labels can name local blocks
+(``.Lfoo``), functions, globals or externals; the assembler lays text out at
+``TEXT_BASE``, globals at ``DATA_BASE``, gives every external a stub address,
+then resolves:
+
+* ``jmp/jcc/call Label`` → rel32 displacements;
+* ``movabs reg, Label`` → the absolute address of a global/function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .encoder import encode
+from .isa import Imm, Instr, Label, Mem, Reg
+from .objfile import (
+    DATA_BASE,
+    STUB_BASE,
+    STUB_SIZE,
+    TEXT_BASE,
+    DataSymbol,
+    FuncSymbol,
+    X86Object,
+)
+
+
+class AsmError(Exception):
+    pass
+
+
+Item = Union[str, Instr]  # a local label definition or an instruction
+
+
+@dataclass
+class AsmFunction:
+    name: str
+    items: list[Item] = field(default_factory=list)
+
+    def label(self, name: str) -> None:
+        self.items.append(name)
+
+    def emit(self, instr: Instr) -> Instr:
+        self.items.append(instr)
+        return instr
+
+
+@dataclass
+class AsmGlobal:
+    name: str
+    size: int
+    init: bytes = b""
+
+
+class Assembler:
+    def __init__(self) -> None:
+        self.functions: list[AsmFunction] = []
+        self.globals: list[AsmGlobal] = []
+        self.externals: list[str] = []
+
+    def add_function(self, func: AsmFunction) -> AsmFunction:
+        self.functions.append(func)
+        return func
+
+    def add_global(self, name: str, size: int, init: bytes = b"") -> None:
+        self.globals.append(AsmGlobal(name, size, init))
+
+    def declare_external(self, name: str) -> None:
+        if name not in self.externals:
+            self.externals.append(name)
+
+    # ------------------------------------------------------------------
+    def link(self, entry: str = "main") -> X86Object:
+        obj = X86Object(entry=entry)
+        # Stub addresses for externals.
+        for i, name in enumerate(self.externals):
+            obj.externals[name] = STUB_BASE + i * STUB_SIZE
+        # Data layout.
+        addr = DATA_BASE
+        for g in self.globals:
+            addr = (addr + 15) & ~15
+            obj.data_symbols[g.name] = DataSymbol(g.name, addr, g.size, g.init)
+            addr += max(1, g.size)
+
+        symbols: dict[str, int] = {}
+        symbols.update(obj.externals)
+        for name, sym in obj.data_symbols.items():
+            symbols[name] = sym.address
+
+        # Pass 1: lay out instructions with placeholder displacements.
+        layouts: list[tuple[AsmFunction, list[tuple[Instr, int]]]] = []
+        pc = TEXT_BASE
+        local_labels: dict[tuple[str, str], int] = {}
+        for func in self.functions:
+            start = pc
+            placed: list[tuple[Instr, int]] = []
+            for item in func.items:
+                if isinstance(item, str):
+                    local_labels[(func.name, item)] = pc
+                    continue
+                size = len(self._encode(item, pc, symbols, resolve=False))
+                item.address = pc
+                item.size = size
+                placed.append((item, pc))
+                pc += size
+            symbols[func.name] = start
+            obj.functions[func.name] = FuncSymbol(func.name, start, pc - start)
+            layouts.append((func, placed))
+
+        # Pass 2: resolve labels and emit final bytes.
+        text = bytearray()
+        for func, placed in layouts:
+            for instr, addr in placed:
+                encoded = self._encode(
+                    instr, addr, symbols, resolve=True,
+                    local=lambda n, f=func.name: local_labels.get((f, n)),
+                )
+                if len(encoded) != instr.size:
+                    raise AsmError(
+                        f"{func.name}: size changed between passes for {instr}"
+                    )
+                text.extend(encoded)
+        obj.text = bytes(text)
+        return obj
+
+    def _encode(self, instr, addr, symbols, resolve, local=None) -> bytes:
+        target_rel = 0
+        prepared = instr
+        label = self._label_operand(instr)
+        if label is not None:
+            target = 0
+            if resolve:
+                target = self._resolve(label.name, symbols, local)
+            if instr.mnemonic in ("jmp", "call") or instr.mnemonic.startswith("j"):
+                end = addr + (instr.size if resolve else 8)
+                # Relative displacement measured from the end of the
+                # instruction.  Branch encodings have a fixed size, so pass 1
+                # computes sizes with rel=0 and pass 2 supplies the real one.
+                target_rel = target - end if resolve else 0
+                prepared = Instr(instr.mnemonic, [], lock=instr.lock)
+                prepared.size = instr.size
+            elif instr.mnemonic == "movabs":
+                prepared = Instr(
+                    "movabs", [instr.operands[0], Imm(target, 64)],
+                    lock=instr.lock,
+                )
+            else:
+                raise AsmError(f"label operand not allowed in {instr}")
+        return encode(prepared, rel32=target_rel)
+
+    @staticmethod
+    def _label_operand(instr: Instr) -> Label | None:
+        for op in instr.operands:
+            if isinstance(op, Label):
+                return op
+        return None
+
+    @staticmethod
+    def _resolve(name, symbols, local) -> int:
+        if local is not None:
+            t = local(name)
+            if t is not None:
+                return t
+        if name in symbols:
+            return symbols[name]
+        raise AsmError(f"undefined symbol {name!r}")

@@ -1,0 +1,167 @@
+"""Text parser for x86-64 assembly (Intel syntax, destination first).
+
+Turns source like::
+
+    main:
+        mov rax, 0
+        movabs rcx, g          ; symbol reference
+    .loop:
+        add rax, qword [rcx + rdx*8 + 16]
+        cmp rax, 100
+        jl .loop
+        lock xadd [rcx], rax
+        ret
+
+into :class:`~repro.x86.asm.AsmFunction` streams ready for the two-pass
+assembler.  Directives: ``.global name, size [, hex-init]`` declares a data
+symbol, ``.extern name`` a runtime external.  Memory operand widths come
+from ``byte``/``dword``/``qword``/``xmmword`` prefixes (default qword).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .asm import Assembler, AsmFunction
+from .isa import Imm, Instr, Label, Mem, Reg
+from .registers import is_register
+
+WIDTHS = {"byte": 8, "word": 16, "dword": 32, "qword": 64, "xmmword": 128}
+
+
+class AsmParseError(Exception):
+    def __init__(self, message: str, line_no: int) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _parse_int(token: str) -> Optional[int]:
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def _parse_mem(text: str, width: int, line_no: int) -> Mem:
+    """Parse ``[base + index*scale + disp]`` (any order of terms)."""
+    inner = text.strip()
+    assert inner.startswith("[") and inner.endswith("]")
+    inner = inner[1:-1]
+    base = None
+    index = None
+    scale = 1
+    disp = 0
+    # Normalize "a - 8" to "a + -8" then split on '+'.
+    inner = inner.replace("-", "+-")
+    for raw in inner.split("+"):
+        term = raw.replace(" ", "")
+        if not term:
+            continue
+        if "*" in term:
+            lhs, rhs = [p.strip() for p in term.split("*", 1)]
+            if is_register(lhs) and _parse_int(rhs) is not None:
+                reg_name, factor = lhs, _parse_int(rhs)
+            elif is_register(rhs) and _parse_int(lhs) is not None:
+                reg_name, factor = rhs, _parse_int(lhs)
+            else:
+                raise AsmParseError(f"bad scaled index {term!r}", line_no)
+            if index is not None:
+                raise AsmParseError("two index registers", line_no)
+            index, scale = reg_name, factor
+        elif is_register(term):
+            if base is None:
+                base = term
+            elif index is None:
+                index = term
+            else:
+                raise AsmParseError("too many registers in address", line_no)
+        else:
+            value = _parse_int(term)
+            if value is None:
+                raise AsmParseError(f"bad address term {term!r}", line_no)
+            disp += value
+    return Mem(base=base, index=index, scale=scale, disp=disp, width=width)
+
+
+def _parse_operand(text: str, line_no: int):
+    token = text.strip()
+    width = 64
+    m = re.match(r"(byte|word|dword|qword|xmmword)\s+(.*)$", token)
+    if m:
+        width = WIDTHS[m.group(1)]
+        token = m.group(2).strip()
+    if token.startswith("["):
+        return _parse_mem(token, width, line_no)
+    if is_register(token):
+        return Reg(token)
+    value = _parse_int(token)
+    if value is not None:
+        return Imm(value, 64 if not -(2**31) <= value < 2**31 else 32)
+    if re.fullmatch(r"[.\w$]+", token):
+        return Label(token)
+    raise AsmParseError(f"bad operand {token!r}", line_no)
+
+
+def parse_asm(source: str) -> Assembler:
+    """Parse a whole assembly file into an :class:`Assembler`."""
+    asm = Assembler()
+    current: Optional[AsmFunction] = None
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith(".global "):
+            parts = [p.strip() for p in line[len(".global "):].split(",")]
+            if len(parts) < 2:
+                raise AsmParseError(".global needs name, size", line_no)
+            init = bytes.fromhex(parts[2]) if len(parts) > 2 else b""
+            asm.add_global(parts[0], int(parts[1], 0), init)
+            continue
+        if line.startswith(".extern "):
+            asm.declare_external(line[len(".extern "):].strip())
+            continue
+        m = re.match(r"^([.\w$]+):$", line)
+        if m:
+            name = m.group(1)
+            if name.startswith("."):
+                if current is None:
+                    raise AsmParseError("local label outside function", line_no)
+                current.label(name)
+            else:
+                current = AsmFunction(name)
+                asm.add_function(current)
+            continue
+        # An instruction line.
+        if current is None:
+            raise AsmParseError("instruction outside function", line_no)
+        lock = False
+        body = line
+        if body.startswith("lock "):
+            lock = True
+            body = body[5:].strip()
+        parts = body.split(None, 1)
+        mnemonic = parts[0]
+        operands = []
+        if len(parts) > 1:
+            depth = 0
+            token = ""
+            for ch in parts[1]:
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                if ch == "," and depth == 0:
+                    operands.append(_parse_operand(token, line_no))
+                    token = ""
+                else:
+                    token += ch
+            if token.strip():
+                operands.append(_parse_operand(token, line_no))
+        current.emit(Instr(mnemonic, operands, lock=lock))
+    return asm
+
+
+def assemble_text(source: str, entry: str = "main"):
+    """Convenience: parse and link in one step."""
+    return parse_asm(source).link(entry)

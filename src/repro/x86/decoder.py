@@ -1,0 +1,348 @@
+"""x86-64 machine-code decoder (disassembler core).
+
+Exact inverse of :mod:`repro.x86.encoder` over the supported subset.
+``decode_one`` consumes bytes at an offset and returns the raised
+:class:`~repro.x86.isa.Instr` with ``address`` and ``size`` filled in.
+Branch targets are rehydrated to absolute addresses (stored in ``Imm``
+operands); the disassembler layer turns them back into labels.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from .encoder import ALU_IMM_EXT, ALU_MR_OPCODE, SHIFT_EXT
+from .isa import CONDITION_CODES, Imm, Instr, Mem, Reg
+from .registers import gpr_name, xmm_name
+
+_ALU_BY_OPCODE = {v: k for k, v in ALU_MR_OPCODE.items()}
+_ALU_BY_EXT = {v: k for k, v in ALU_IMM_EXT.items()}
+_SHIFT_BY_EXT = {v: k for k, v in SHIFT_EXT.items()}
+_SSE_SCALAR = {0x58: "add", 0x59: "mul", 0x5C: "sub", 0x5E: "div"}
+_SSE_PACKED = {0x58: "addpd", 0x59: "mulpd", 0x5C: "subpd",
+               0xD4: "paddq", 0xFE: "paddd"}
+
+
+class DecodeError(Exception):
+    pass
+
+
+@dataclass
+class _Cursor:
+    data: bytes
+    pos: int
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("truncated instruction")
+        b = self.data[self.pos]
+        self.pos += 1
+        return b
+
+    def peek(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodeError("truncated instruction")
+        return self.data[self.pos]
+
+    def i8(self) -> int:
+        return struct.unpack("<b", bytes([self.u8()]))[0]
+
+    def i32(self) -> int:
+        if self.pos + 4 > len(self.data):
+            raise DecodeError("truncated imm32")
+        v = struct.unpack("<i", self.data[self.pos : self.pos + 4])[0]
+        self.pos += 4
+        return v
+
+    def u64(self) -> int:
+        if self.pos + 8 > len(self.data):
+            raise DecodeError("truncated imm64")
+        v = struct.unpack("<Q", self.data[self.pos : self.pos + 8])[0]
+        self.pos += 8
+        return v
+
+
+@dataclass
+class _Prefixes:
+    lock: bool = False
+    op66: bool = False
+    f2: bool = False
+    f3: bool = False
+    rex: int = 0
+
+    @property
+    def rex_w(self) -> int:
+        return (self.rex >> 3) & 1
+
+    @property
+    def rex_r(self) -> int:
+        return (self.rex >> 2) & 1
+
+    @property
+    def rex_x(self) -> int:
+        return (self.rex >> 1) & 1
+
+    @property
+    def rex_b(self) -> int:
+        return self.rex & 1
+
+
+def _read_prefixes(cur: _Cursor) -> _Prefixes:
+    p = _Prefixes()
+    while True:
+        b = cur.peek()
+        if b == 0xF0:
+            p.lock = True
+        elif b == 0x66:
+            p.op66 = True
+        elif b == 0xF2:
+            p.f2 = True
+        elif b == 0xF3:
+            p.f3 = True
+        else:
+            break
+        cur.u8()
+    b = cur.peek()
+    if 0x40 <= b <= 0x4F:
+        p.rex = cur.u8()
+    return p
+
+
+def _reg(num: int, width: int, kind: str = "gpr") -> Reg:
+    if kind == "xmm":
+        return Reg(xmm_name(num))
+    return Reg(gpr_name(num, width))
+
+
+def _read_modrm(
+    cur: _Cursor, p: _Prefixes, rm_width: int, rm_kind: str = "gpr"
+) -> tuple[int, object]:
+    """Returns (reg_field, rm_operand)."""
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg_field = ((modrm >> 3) & 7) | (p.rex_r << 3)
+    rm3 = modrm & 7
+    if mod == 3:
+        return reg_field, _reg(rm3 | (p.rex_b << 3), rm_width, rm_kind)
+    base = None
+    index = None
+    scale = 1
+    if rm3 == 4:  # SIB
+        sib = cur.u8()
+        scale = 1 << (sib >> 6)
+        index3 = (sib >> 3) & 7
+        base3 = sib & 7
+        if not (index3 == 4 and p.rex_x == 0):
+            index = gpr_name(index3 | (p.rex_x << 3), 64)
+        if mod == 0 and base3 == 5:
+            base = None  # absolute [disp32] (+index)
+            disp = cur.i32()
+            return reg_field, Mem(base, index, scale, disp, rm_width)
+        base = gpr_name(base3 | (p.rex_b << 3), 64)
+    elif mod == 0 and rm3 == 5:
+        # RIP-relative in 64-bit mode; our encoder never emits it.
+        raise DecodeError("RIP-relative addressing not supported")
+    else:
+        base = gpr_name(rm3 | (p.rex_b << 3), 64)
+    if mod == 0:
+        disp = 0
+    elif mod == 1:
+        disp = cur.i8()
+    else:
+        disp = cur.i32()
+    return reg_field, Mem(base, index, scale, disp, rm_width)
+
+
+def _gpr_width(p: _Prefixes) -> int:
+    return 64 if p.rex_w else 32
+
+
+def _imm(v: int) -> Imm:
+    return Imm(v, 8 if -128 <= v <= 127 else 32)
+
+
+def decode_one(data: bytes, offset: int, address: int = 0) -> Instr:
+    """Decode the instruction starting at ``data[offset]``.
+
+    ``address`` is the runtime address of the instruction, used to
+    materialize absolute branch/call targets.
+    """
+    cur = _Cursor(data, offset)
+    p = _read_prefixes(cur)
+    op = cur.u8()
+    instr = _decode_opcode(cur, p, op, address, offset)
+    instr.address = address
+    instr.size = cur.pos - offset
+    instr.lock = p.lock
+    return instr
+
+
+def _decode_opcode(
+    cur: _Cursor, p: _Prefixes, op: int, address: int, start: int
+) -> Instr:
+    w = _gpr_width(p)
+    if op == 0x0F:
+        return _decode_0f(cur, p, address, start)
+    if 0x50 <= op <= 0x57:
+        return Instr("push", [_reg((op - 0x50) | (p.rex_b << 3), 64)])
+    if 0x58 <= op <= 0x5F:
+        return Instr("pop", [_reg((op - 0x58) | (p.rex_b << 3), 64)])
+    if op in _ALU_BY_OPCODE:
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr(_ALU_BY_OPCODE[op], [rm, _reg(reg_field, w)])
+    if op in (0x81, 0x83):
+        reg_field, rm = _read_modrm(cur, p, w)
+        ext = reg_field & 7
+        if ext not in _ALU_BY_EXT:
+            raise DecodeError(f"bad ALU /ext {ext}")
+        v = cur.i8() if op == 0x83 else cur.i32()
+        return Instr(_ALU_BY_EXT[ext], [rm, _imm(v)])
+    if op == 0x85:
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr("test", [rm, _reg(reg_field, w)])
+    if op == 0x87:
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr("xchg", [rm, _reg(reg_field, w)])
+    if op == 0x63:
+        reg_field, rm = _read_modrm(cur, p, 32)
+        return Instr("movsxd", [_reg(reg_field, 64), rm])
+    if op == 0x88:
+        reg_field, rm = _read_modrm(cur, p, 8)
+        return Instr("mov", [rm, _reg(reg_field, 8)])
+    if op == 0x89:
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr("mov", [rm, _reg(reg_field, w)])
+    if op == 0x8A:
+        reg_field, rm = _read_modrm(cur, p, 8)
+        return Instr("mov", [_reg(reg_field, 8), rm])
+    if op == 0x8B:
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr("mov", [_reg(reg_field, w), rm])
+    if op == 0x8D:
+        reg_field, rm = _read_modrm(cur, p, 64)
+        return Instr("lea", [_reg(reg_field, 64), rm])
+    if 0xB8 <= op <= 0xBF and p.rex_w:
+        num = (op - 0xB8) | (p.rex_b << 3)
+        return Instr("movabs", [_reg(num, 64), Imm(cur.u64(), 64)])
+    if op == 0xC1:
+        reg_field, rm = _read_modrm(cur, p, w)
+        ext = reg_field & 7
+        if ext not in _SHIFT_BY_EXT:
+            raise DecodeError(f"bad shift /ext {ext}")
+        return Instr(_SHIFT_BY_EXT[ext], [rm, Imm(cur.u8(), 8)])
+    if op == 0xD3:
+        reg_field, rm = _read_modrm(cur, p, w)
+        ext = reg_field & 7
+        if ext not in _SHIFT_BY_EXT:
+            raise DecodeError(f"bad shift /ext {ext}")
+        return Instr(_SHIFT_BY_EXT[ext], [rm, Reg("cl")])
+    if op == 0xC3:
+        return Instr("ret")
+    if op == 0xC7:
+        reg_field, rm = _read_modrm(cur, p, w)
+        if reg_field & 7:
+            raise DecodeError("bad mov imm /ext")
+        return Instr("mov", [rm, _imm(cur.i32())])
+    if op == 0x90:
+        return Instr("nop")
+    if op == 0x99:
+        return Instr("cqo" if p.rex_w else "cdq")
+    if op == 0xE8:
+        rel = cur.i32()
+        end = address + (cur.pos - start)
+        return Instr("call", [Imm(end + rel, 64)])
+    if op == 0xE9:
+        rel = cur.i32()
+        end = address + (cur.pos - start)
+        return Instr("jmp", [Imm(end + rel, 64)])
+    if op == 0xF7:
+        reg_field, rm = _read_modrm(cur, p, w)
+        ext = reg_field & 7
+        table = {7: "idiv", 3: "neg", 2: "not"}
+        if ext not in table:
+            raise DecodeError(f"bad F7 /ext {ext}")
+        return Instr(table[ext], [rm])
+    if op == 0xFF:
+        reg_field, rm = _read_modrm(cur, p, 64)
+        if (reg_field & 7) == 2:
+            return Instr("call", [rm])
+        raise DecodeError(f"bad FF /ext {reg_field & 7}")
+    raise DecodeError(f"unknown opcode {op:#x}")
+
+
+def _decode_0f(cur: _Cursor, p: _Prefixes, address: int, start: int) -> Instr:
+    op = cur.u8()
+    if op == 0xAE:
+        modrm = cur.u8()
+        if modrm == 0xF0:
+            return Instr("mfence")
+        raise DecodeError(f"bad 0F AE modrm {modrm:#x}")
+    if op == 0x0B:
+        return Instr("ud2")
+    if op == 0xAF:
+        w = _gpr_width(p)
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr("imul", [_reg(reg_field, w), rm])
+    if op == 0xB1:
+        reg_field, rm = _read_modrm(cur, p, _gpr_width(p))
+        return Instr("cmpxchg", [rm, _reg(reg_field, _gpr_width(p))])
+    if op == 0xC1:
+        reg_field, rm = _read_modrm(cur, p, _gpr_width(p))
+        return Instr("xadd", [rm, _reg(reg_field, _gpr_width(p))])
+    if op in (0xB6, 0xB7, 0xBE, 0xBF):
+        width = 8 if op in (0xB6, 0xBE) else 16
+        mn = "movzx" if op in (0xB6, 0xB7) else "movsx"
+        reg_field, rm = _read_modrm(cur, p, width)
+        return Instr(mn, [_reg(reg_field, 64 if p.rex_w else 32), rm])
+    if 0x80 <= op <= 0x8F:
+        rel = cur.i32()
+        end = address + (cur.pos - start)
+        return Instr(f"j{CONDITION_CODES[op - 0x80]}", [Imm(end + rel, 64)])
+    if 0x90 <= op <= 0x9F:
+        reg_field, rm = _read_modrm(cur, p, 8)
+        return Instr(f"set{CONDITION_CODES[op - 0x90]}", [rm])
+    if op in (0x10, 0x11):
+        if p.f2 or p.f3:
+            mn = "movsd" if p.f2 else "movss"
+            width = 64 if p.f2 else 32
+            reg_field, rm = _read_modrm(cur, p, width, rm_kind="xmm")
+            xr = _reg(reg_field, 128, "xmm")
+            return Instr(mn, [xr, rm] if op == 0x10 else [rm, xr])
+        raise DecodeError("unprefixed 0F 10/11 not supported")
+    if op in (0x28, 0x29):
+        reg_field, rm = _read_modrm(cur, p, 128, rm_kind="xmm")
+        xr = _reg(reg_field, 128, "xmm")
+        return Instr("movaps", [xr, rm] if op == 0x28 else [rm, xr])
+    if op == 0x2A and p.f2:
+        reg_field, rm = _read_modrm(cur, p, 64)
+        return Instr("cvtsi2sd", [_reg(reg_field, 128, "xmm"), rm])
+    if op == 0x2C and p.f2:
+        reg_field, rm = _read_modrm(cur, p, 128, rm_kind="xmm")
+        return Instr("cvttsd2si", [_reg(reg_field, 64), rm])
+    if op == 0x2E and p.op66:
+        reg_field, rm = _read_modrm(cur, p, 64, rm_kind="xmm")
+        return Instr("ucomisd", [_reg(reg_field, 128, "xmm"), rm])
+    if op == 0xEF and p.op66:
+        reg_field, rm = _read_modrm(cur, p, 128, rm_kind="xmm")
+        return Instr("pxor", [_reg(reg_field, 128, "xmm"), rm])
+    if op == 0x6E and p.op66:
+        reg_field, rm = _read_modrm(cur, p, 64)
+        return Instr("movq", [_reg(reg_field, 128, "xmm"), rm])
+    if op == 0x7E and p.op66:
+        reg_field, rm = _read_modrm(cur, p, 64)
+        return Instr("movq", [rm, _reg(reg_field, 128, "xmm")])
+    if op in _SSE_PACKED and p.op66:
+        reg_field, rm = _read_modrm(cur, p, 128, rm_kind="xmm")
+        return Instr(_SSE_PACKED[op], [_reg(reg_field, 128, "xmm"), rm])
+    if op in _SSE_SCALAR and (p.f2 or p.f3):
+        suffix = "sd" if p.f2 else "ss"
+        width = 64 if p.f2 else 32
+        reg_field, rm = _read_modrm(cur, p, width, rm_kind="xmm")
+        return Instr(
+            _SSE_SCALAR[op] + suffix, [_reg(reg_field, 128, "xmm"), rm]
+        )
+    if op == 0x51 and p.f2:
+        reg_field, rm = _read_modrm(cur, p, 64, rm_kind="xmm")
+        return Instr("sqrtsd", [_reg(reg_field, 128, "xmm"), rm])
+    raise DecodeError(f"unknown 0F opcode {op:#x}")

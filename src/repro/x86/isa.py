@@ -1,0 +1,128 @@
+"""x86-64 instruction model: operands and the `Instr` record.
+
+This is the MCInst-level representation: a mnemonic plus structured
+operands.  The encoder lowers it to machine-code bytes and the decoder
+raises bytes back to it, so `decode(encode(i)) == i` round-trips for the
+whole subset (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from .registers import reg_info
+
+# Condition codes in hardware encoding order (Jcc = 0F 80+cc).
+CONDITION_CODES = [
+    "o", "no", "b", "ae", "e", "ne", "be", "a",
+    "s", "ns", "p", "np", "l", "ge", "le", "g",
+]
+CC_NUM = {cc: i for i, cc in enumerate(CONDITION_CODES)}
+
+
+@dataclass(frozen=True)
+class Reg:
+    name: str
+
+    def __post_init__(self) -> None:
+        reg_info(self.name)  # validate
+
+    @property
+    def info(self):
+        return reg_info(self.name)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    value: int
+    # Encoded immediate width in bits; chosen by the encoder, informative
+    # only, so it does not participate in equality (round-trip tests compare
+    # decoded instructions against their sources).
+    width: int = field(default=32, compare=False)
+
+    def __str__(self) -> str:
+        return f"${self.value}"
+
+
+@dataclass(frozen=True)
+class Mem:
+    """Memory operand ``disp(base, index, scale)`` with access width in bits."""
+
+    base: Optional[str] = None
+    index: Optional[str] = None
+    scale: int = 1
+    disp: int = 0
+    width: int = 64
+
+    def __post_init__(self) -> None:
+        if self.base is not None:
+            reg_info(self.base)
+        if self.index is not None:
+            if self.index == "rsp":
+                raise ValueError("rsp cannot be an index register")
+            reg_info(self.index)
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"bad scale {self.scale}")
+
+    def __str__(self) -> str:
+        inner = self.base or ""
+        if self.index:
+            inner += f",{self.index},{self.scale}"
+        return f"{self.disp}({inner})"
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic branch/call target, resolved by the assembler."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+Operand = Union[Reg, Imm, Mem, Label]
+
+
+@dataclass
+class Instr:
+    """One x86-64 instruction (MCInst level)."""
+
+    mnemonic: str
+    operands: list[Operand] = field(default_factory=list)
+    lock: bool = False
+    # Filled in by the assembler/decoder:
+    address: int = 0
+    size: int = 0
+
+    def __str__(self) -> str:
+        prefix = "lock " if self.lock else ""
+        ops = ", ".join(str(o) for o in self.operands)
+        return f"{prefix}{self.mnemonic} {ops}".strip()
+
+    def key(self) -> tuple:
+        """Equality key ignoring address/size (for round-trip tests)."""
+        return (self.mnemonic, tuple(self.operands), self.lock)
+
+
+# Mnemonic groups used by the encoder, decoder, emulator and lifter.
+ALU_RR = {"add", "sub", "and", "or", "xor", "cmp"}  # 64-bit reg,reg / reg,imm
+SHIFT_OPS = {"shl", "shr", "sar"}
+SSE_ARITH = {"addsd", "subsd", "mulsd", "divsd", "addss", "subss", "mulss",
+             "divss"}
+SSE_PACKED = {"addpd", "subpd", "mulpd", "paddq", "paddd"}
+
+JCC = {f"j{cc}" for cc in CONDITION_CODES}
+SETCC = {f"set{cc}" for cc in CONDITION_CODES}
+
+
+def is_branch(mnemonic: str) -> bool:
+    return mnemonic == "jmp" or mnemonic in JCC
+
+
+def is_terminator(mnemonic: str) -> bool:
+    return mnemonic in ("jmp", "ret") or mnemonic in JCC

@@ -1,0 +1,73 @@
+"""A minimal linked-image container for x86-64 programs ("ELF-lite").
+
+Holds the final text bytes at a fixed image base, a symbol table for
+functions, a data segment for globals, and stub addresses for external
+runtime functions (``malloc``, ``spawn`` ...).  This is what the binary
+lifter consumes — raw machine code plus the minimal symbol information
+mctoll also relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+TEXT_BASE = 0x400000
+DATA_BASE = 0x600000
+STUB_BASE = 0x3F0000  # external-function stubs live below text
+STUB_SIZE = 16
+
+
+@dataclass
+class FuncSymbol:
+    name: str
+    address: int
+    size: int
+
+
+@dataclass
+class DataSymbol:
+    name: str
+    address: int
+    size: int
+    init: bytes  # zero-padded to size at load
+
+
+@dataclass
+class X86Object:
+    """A fully linked x86-64 image."""
+
+    text: bytes = b""
+    text_base: int = TEXT_BASE
+    functions: dict[str, FuncSymbol] = field(default_factory=dict)
+    data_symbols: dict[str, DataSymbol] = field(default_factory=dict)
+    externals: dict[str, int] = field(default_factory=dict)  # name -> stub addr
+    entry: str = "main"
+
+    def function_at(self, address: int) -> FuncSymbol | None:
+        for sym in self.functions.values():
+            if sym.address <= address < sym.address + sym.size:
+                return sym
+        return None
+
+    def external_at(self, address: int) -> str | None:
+        for name, addr in self.externals.items():
+            if addr == address:
+                return name
+        return None
+
+    def symbol_for_data_address(self, address: int) -> DataSymbol | None:
+        for sym in self.data_symbols.values():
+            if sym.address <= address < sym.address + max(1, sym.size):
+                return sym
+        return None
+
+    def function_body(self, name: str) -> bytes:
+        sym = self.functions[name]
+        start = sym.address - self.text_base
+        return self.text[start : start + sym.size]
+
+    def data_end(self) -> int:
+        end = DATA_BASE
+        for sym in self.data_symbols.values():
+            end = max(end, sym.address + sym.size)
+        return end

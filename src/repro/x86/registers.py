@@ -1,0 +1,83 @@
+"""x86-64 register model.
+
+Registers are identified by name; :func:`reg_info` maps any architectural
+name (``rax``, ``eax``, ``ax``, ``al``, ``xmm3`` ...) to its register file,
+hardware encoding number and access width.  The lifter treats sub-registers
+as views of the full 64-bit (or 128-bit) register, as hardware does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GPR64 = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+GPR32 = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+]
+GPR16 = [
+    "ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+    "r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+]
+GPR8 = [
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+]
+XMM = [f"xmm{i}" for i in range(16)]
+
+# System-V AMD64 calling convention.
+INT_PARAM_REGS = ["rdi", "rsi", "rdx", "rcx", "r8", "r9"]
+SSE_PARAM_REGS = [f"xmm{i}" for i in range(8)]
+INT_RETURN_REG = "rax"
+SSE_RETURN_REG = "xmm0"
+CALLEE_SAVED = ["rbx", "rbp", "r12", "r13", "r14", "r15"]
+CALLER_SAVED = ["rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11"]
+
+
+@dataclass(frozen=True)
+class RegInfo:
+    name: str
+    kind: str        # "gpr" or "xmm"
+    num: int         # hardware encoding (0-15)
+    width: int       # access width in bits
+    full_name: str   # name of the containing 64/128-bit register
+
+
+_INFO: dict[str, RegInfo] = {}
+for _i, _n in enumerate(GPR64):
+    _INFO[_n] = RegInfo(_n, "gpr", _i, 64, _n)
+for _i, _n in enumerate(GPR32):
+    _INFO[_n] = RegInfo(_n, "gpr", _i, 32, GPR64[_i])
+for _i, _n in enumerate(GPR16):
+    _INFO[_n] = RegInfo(_n, "gpr", _i, 16, GPR64[_i])
+for _i, _n in enumerate(GPR8):
+    _INFO[_n] = RegInfo(_n, "gpr", _i, 8, GPR64[_i])
+for _i, _n in enumerate(XMM):
+    _INFO[_n] = RegInfo(_n, "xmm", _i, 128, _n)
+
+
+def reg_info(name: str) -> RegInfo:
+    try:
+        return _INFO[name]
+    except KeyError:
+        raise ValueError(f"unknown register {name!r}") from None
+
+
+def is_register(name: str) -> bool:
+    return name in _INFO
+
+
+def gpr_name(num: int, width: int) -> str:
+    table = {64: GPR64, 32: GPR32, 16: GPR16, 8: GPR8}[width]
+    return table[num]
+
+
+def xmm_name(num: int) -> str:
+    return XMM[num]
+
+
+# RFLAGS bits the emulator and lifter model.
+FLAGS = ["cf", "pf", "zf", "sf", "of"]

@@ -1,0 +1,246 @@
+"""Unit tests for the AArch64-subset emulator and cost model."""
+
+import pytest
+
+from repro.arm import (
+    AImm,
+    AInstr,
+    ALabel,
+    AMem,
+    ArmEmuError,
+    ArmEmulator,
+    ArmFunction,
+    ArmProgram,
+    DReg,
+    XReg,
+    cost_of,
+    fence_kind,
+    is_fence,
+)
+
+
+def program_of(instrs, globals_=(), externals=()):
+    p = ArmProgram()
+    f = ArmFunction("main")
+    for item in instrs:
+        if isinstance(item, str):
+            f.label(item)
+        else:
+            f.emit(item)
+    p.add_function(f)
+    for name, size, init in globals_:
+        p.add_global(name, size, init)
+    for name in externals:
+        p.declare_external(name)
+    return p
+
+
+def run(instrs, **kw):
+    emu = ArmEmulator(program_of(instrs, **kw))
+    return emu.run(), emu
+
+
+class TestALU:
+    def test_basic_ops(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(10)]),
+            AInstr("mov", [XReg("x2"), AImm(3)]),
+            AInstr("mul", [XReg("x3"), XReg("x1"), XReg("x2")]),
+            AInstr("sub", [XReg("x0"), XReg("x3"), AImm(4)]),
+            AInstr("ret", []),
+        ])
+        assert r == 26
+
+    def test_sdiv_by_zero_yields_zero(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(5)]),
+            AInstr("mov", [XReg("x2"), AImm(0)]),
+            AInstr("sdiv", [XReg("x0"), XReg("x1"), XReg("x2")]),
+            AInstr("ret", []),
+        ])
+        assert r == 0
+
+    def test_msub_remainder_idiom(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(17)]),
+            AInstr("mov", [XReg("x2"), AImm(5)]),
+            AInstr("sdiv", [XReg("x3"), XReg("x1"), XReg("x2")]),
+            AInstr("msub", [XReg("x0"), XReg("x3"), XReg("x2"), XReg("x1")]),
+            AInstr("ret", []),
+        ])
+        assert r == 2
+
+    def test_xzr_reads_zero_ignores_writes(self):
+        r, _ = run([
+            AInstr("mov", [XReg("xzr"), AImm(99)]),
+            AInstr("add", [XReg("x0"), XReg("xzr"), AImm(1)]),
+            AInstr("ret", []),
+        ])
+        assert r == 1
+
+    def test_csel(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(1)]),
+            AInstr("cmp", [XReg("x1"), AImm(0)]),
+            AInstr("mov", [XReg("x2"), AImm(10)]),
+            AInstr("mov", [XReg("x3"), AImm(20)]),
+            AInstr("csel", [XReg("x0"), XReg("x2"), XReg("x3"), ALabel("ne")]),
+            AInstr("ret", []),
+        ])
+        assert r == 10
+
+
+class TestMemoryAndBranches:
+    def test_global_load_store(self):
+        r, _ = run(
+            [
+                AInstr("adr", [XReg("x1"), ALabel("g")]),
+                AInstr("mov", [XReg("x2"), AImm(42)]),
+                AInstr("str", [XReg("x2"), AMem(base="x1")]),
+                AInstr("ldr", [XReg("x0"), AMem(base="x1")]),
+                AInstr("ret", []),
+            ],
+            globals_=[("g", 8, b"")],
+        )
+        assert r == 42
+
+    def test_byte_access(self):
+        r, _ = run(
+            [
+                AInstr("adr", [XReg("x1"), ALabel("g")]),
+                AInstr("ldrb", [XReg("x0"), AMem(base="x1", offset_imm=1, width=8)]),
+                AInstr("ret", []),
+            ],
+            globals_=[("g", 4, b"ab")],
+        )
+        assert r == ord("b")
+
+    def test_loop_with_cbnz(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(5)]),
+            AInstr("mov", [XReg("x0"), AImm(0)]),
+            ".loop",
+            AInstr("add", [XReg("x0"), XReg("x0"), XReg("x1")]),
+            AInstr("sub", [XReg("x1"), XReg("x1"), AImm(1)]),
+            AInstr("cbnz", [XReg("x1"), ALabel(".loop")]),
+            AInstr("ret", []),
+        ])
+        assert r == 15
+
+    def test_conditional_branches(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(-5)]),
+            AInstr("cmp", [XReg("x1"), AImm(0)]),
+            AInstr("b.lt", [ALabel(".neg")]),
+            AInstr("mov", [XReg("x0"), AImm(1)]),
+            AInstr("ret", []),
+            ".neg",
+            AInstr("mov", [XReg("x0"), AImm(2)]),
+            AInstr("ret", []),
+        ])
+        assert r == 2
+
+    def test_bl_and_ret_nesting(self):
+        p = ArmProgram()
+        callee = ArmFunction("double_it")
+        callee.emit(AInstr("add", [XReg("x0"), XReg("x0"), XReg("x0")]))
+        callee.emit(AInstr("ret", []))
+        p.add_function(callee)
+        main = ArmFunction("main")
+        # save x30 around the call
+        main.emit(AInstr("mov", [XReg("x9"), XReg("x30")]))
+        main.emit(AInstr("mov", [XReg("x0"), AImm(21)]))
+        main.emit(AInstr("bl", [ALabel("double_it")]))
+        main.emit(AInstr("mov", [XReg("x30"), XReg("x9")]))
+        main.emit(AInstr("ret", []))
+        p.add_function(main)
+        p.entry = "main"
+        assert ArmEmulator(p).run() == 42
+
+    def test_pc_escape_raises(self):
+        with pytest.raises(ArmEmuError):
+            run([AInstr("b", [ALabel(".nowhere")])])
+
+    def test_udf_raises(self):
+        with pytest.raises(ArmEmuError):
+            run([AInstr("udf", [])])
+
+
+class TestFloats:
+    def test_fp_roundtrip(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(9)]),
+            AInstr("scvtf", [DReg("d0"), XReg("x1")]),
+            AInstr("fmov", [DReg("d1"), DReg("d0")]),
+            AInstr("fmul", [DReg("d2"), DReg("d0"), DReg("d1")]),
+            AInstr("fsqrt", [DReg("d3"), DReg("d2")]),
+            AInstr("fcvtzs", [XReg("x0"), DReg("d3")]),
+            AInstr("ret", []),
+        ])
+        assert r == 9
+
+    def test_fcmp_and_cset(self):
+        r, _ = run([
+            AInstr("mov", [XReg("x1"), AImm(3)]),
+            AInstr("scvtf", [DReg("d0"), XReg("x1")]),
+            AInstr("mov", [XReg("x1"), AImm(4)]),
+            AInstr("scvtf", [DReg("d1"), XReg("x1")]),
+            AInstr("fcmp", [DReg("d0"), DReg("d1")]),
+            AInstr("cset", [XReg("x0"), ALabel("mi")]),
+            AInstr("ret", []),
+        ])
+        assert r == 1
+
+
+class TestExclusives:
+    def test_ldxr_stxr_success(self):
+        r, _ = run(
+            [
+                AInstr("adr", [XReg("x1"), ALabel("g")]),
+                AInstr("ldxr", [XReg("x2"), AMem(base="x1")]),
+                AInstr("add", [XReg("x2"), XReg("x2"), AImm(5)]),
+                AInstr("stxr", [XReg("x3"), XReg("x2"), AMem(base="x1")]),
+                AInstr("ldr", [XReg("x0"), AMem(base="x1")]),
+                AInstr("add", [XReg("x0"), XReg("x0"), XReg("x3")]),
+                AInstr("ret", []),
+            ],
+            globals_=[("g", 8, (10).to_bytes(8, "little"))],
+        )
+        assert r == 15  # status 0 + value 15
+
+    def test_stxr_without_monitor_fails(self):
+        r, _ = run(
+            [
+                AInstr("adr", [XReg("x1"), ALabel("g")]),
+                AInstr("mov", [XReg("x2"), AImm(7)]),
+                AInstr("stxr", [XReg("x0"), XReg("x2"), AMem(base="x1")]),
+                AInstr("ret", []),
+            ],
+            globals_=[("g", 8, b"")],
+        )
+        assert r == 1  # failure status
+
+
+class TestCostModel:
+    def test_barrier_costs_ordered(self):
+        assert cost_of("dmb ish") > cost_of("dmb ishld")
+        assert cost_of("dmb ishld") > cost_of("ldr")
+        assert cost_of("ldr") > cost_of("add")
+
+    def test_fence_helpers(self):
+        dmb = AInstr("dmb ish", [])
+        assert is_fence(dmb)
+        assert fence_kind(dmb) == "ff"
+        assert fence_kind(AInstr("dmb ishld", [])) == "ld"
+        assert not is_fence(AInstr("add", [XReg("x0"), XReg("x0"), AImm(1)]))
+
+    def test_fence_cycles_accounted(self):
+        _, emu = run([
+            AInstr("dmb ish", []),
+            AInstr("dmb ishld", []),
+            AInstr("mov", [XReg("x0"), AImm(0)]),
+            AInstr("ret", []),
+        ])
+        t = emu.threads[0]
+        assert t.fence_cycles == cost_of("dmb ish") + cost_of("dmb ishld")
+        assert t.cycles > t.fence_cycles

@@ -1,0 +1,117 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+DEMO = """
+int g = 0;
+int worker(int t) { atomic_add(&g, t + 1); return 0; }
+int main() {
+  int a = spawn(worker, 1);
+  int b = spawn(worker, 2);
+  join(a); join(b);
+  return g;
+}
+"""
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+class TestTranslateCommand:
+    def test_translate_runs_and_matches(self, demo_file, capsys):
+        rc = main(["translate", demo_file, "--run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x86 result: 5" in out
+        assert "arm result: 5" in out
+
+    def test_translate_dump_arm(self, demo_file, capsys):
+        rc = main(["translate", demo_file, "--dump-arm", "--no-verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "worker:" in out and "main:" in out
+        assert "dmb ish" in out  # atomic_add's barriers
+
+    def test_translate_dump_ir(self, demo_file, capsys):
+        rc = main(["translate", demo_file, "--dump-ir", "--config", "opt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "define" in out and "atomicrmw" in out
+
+    def test_all_configs_accepted(self, demo_file):
+        for config in ("native", "lifted", "opt", "popt", "ppopt"):
+            assert main(["translate", demo_file, "--config", config]) == 0
+
+
+class TestLiftCommand:
+    def test_lift_shows_slots(self, demo_file, capsys):
+        rc = main(["lift", demo_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rax_slot" in out and "stacktop" in out
+
+    def test_lift_refined_and_fenced(self, demo_file, capsys):
+        rc = main(["lift", demo_file, "--refine", "--fences"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fence" in out
+
+    def test_lift_optimized(self, demo_file, capsys):
+        rc = main(["lift", demo_file, "--optimize"])
+        assert rc == 0
+
+
+class TestLitmusCommand:
+    def test_known_test(self, capsys):
+        rc = main(["litmus", "MP", "--model", "x86"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MP under x86" in out
+        assert "t2:a=1, t2:b=0" not in out  # forbidden on x86
+
+    def test_mapped_program(self, capsys):
+        rc = main(["litmus", "MP", "--map", "x86-to-arm", "--model", "arm"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "t2:a=1, t2:b=0" not in out  # mapping preserves x86 semantics
+
+    def test_unknown_test_lists_available(self, capsys):
+        rc = main(["litmus", "NOPE"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "available" in err and "SB" in err
+
+
+class TestLitmusFileCommand:
+    def test_litmus_file(self, tmp_path, capsys):
+        path = tmp_path / "mp.litmus"
+        path.write_text(
+            "MP\n{ X=0; Y=0 }\n"
+            "P0    | P1    ;\n"
+            "X = 1 | a = Y ;\n"
+            "Y = 1 | b = X ;\n"
+            "exists (P1:a=1 /\\ P1:b=0)\n"
+        )
+        rc = main(["litmus", "--file", str(path), "--model", "x86"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "forbidden under x86" in out
+        rc = main(["litmus", "--file", str(path), "--model", "arm"])
+        out = capsys.readouterr().out
+        assert "ALLOWED under arm" in out
+
+
+def test_evaluate_command_smoke(capsys):
+    """The evaluate command prints the Figure-12-style table (tiny size)."""
+    rc = main(["evaluate", "--size", "tiny"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "GMean" in out
+    for config in ("native", "lifted", "opt", "popt", "ppopt"):
+        assert config in out

@@ -1,0 +1,303 @@
+"""Tests for the LIR→Arm backend (Fig. 8b mapping + linear scan)."""
+
+import pytest
+
+from repro.arm import ArmEmulator, is_fence
+from repro.codegen import compile_lir_to_arm
+from repro.lir import (
+    F64,
+    I1,
+    I8,
+    I64,
+    ArrayType,
+    ConstantFloat,
+    ConstantInt,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IRBuilder,
+    Module,
+    Phi,
+    ptr,
+)
+
+
+def new_func(params=(I64,), ret=I64, name="main"):
+    m = Module("t")
+    f = Function(name, FunctionType(ret, tuple(params)), ["x", "y", "z"])
+    m.add_function(f)
+    return m, f, IRBuilder(f.new_block("entry"))
+
+
+def run(m, entry="main", args=None):
+    prog = compile_lir_to_arm(m, entry)
+    emu = ArmEmulator(prog)
+    return emu.run(entry, args or []), emu
+
+
+class TestBasics:
+    def test_arithmetic(self):
+        m, f, b = new_func(params=(I64, I64))
+        x, y = f.arguments
+        b.ret(b.binop("sdiv", b.mul(b.add(x, y), b.sub(x, y)), ConstantInt(I64, 2)))
+        r, _ = run(m, args=[7, 3])
+        assert r == 20
+
+    def test_srem_via_msub(self):
+        m, f, b = new_func(params=(I64, I64))
+        b.ret(b.binop("srem", *f.arguments))
+        r, _ = run(m, args=[17, 5])
+        assert r == 2
+
+    def test_icmp_signed_unsigned(self):
+        m, f, b = new_func(params=(I64, I64))
+        x, y = f.arguments
+        s = b.zext(b.icmp("slt", x, y), I64)
+        u = b.zext(b.icmp("ult", x, y), I64)
+        b.ret(b.binop("or", b.binop("shl", s, ConstantInt(I64, 1)), u))
+        r, _ = run(m, args=[(-1) & (2**64 - 1), 1])
+        assert r == 0b10
+
+    def test_floats(self):
+        m, f, b = new_func(params=(F64, F64), ret=F64)
+        x, y = f.arguments
+        b.ret(b.binop("fdiv", b.binop("fmul", x, y), ConstantFloat(F64, 2.0)))
+        prog = compile_lir_to_arm(m)
+        emu = ArmEmulator(prog)
+        main = emu._make_thread(emu.symbols["main"])
+        main.d["d0"] = 6.0
+        main.d["d1"] = 4.0
+        while not main.done:
+            emu._schedule()
+        assert main.d["d0"] == 12.0
+
+    def test_select(self):
+        m, f, b = new_func(params=(I64,))
+        c = b.icmp("sgt", f.arguments[0], ConstantInt(I64, 0))
+        b.ret(b.select(c, ConstantInt(I64, 10), ConstantInt(I64, 20)))
+        assert run(m, args=[5])[0] == 10
+        assert run(m, args=[0])[0] == 20
+
+    def test_casts(self):
+        m, f, b = new_func(params=(I64,))
+        x = f.arguments[0]
+        t = b.trunc(x, I8)
+        s = b.sext(t, I64)
+        b.ret(s)
+        r, _ = run(m, args=[0x1FF])  # low byte 0xFF → sext → -1
+        assert r == -1
+
+    def test_float_int_bitcasts(self):
+        m, f, b = new_func(params=())
+        bits = b.bitcast(ConstantFloat(F64, 1.0), I64)
+        back = b.bitcast(bits, F64)
+        b.ret(b.cast("fptosi", back, I64))
+        assert run(m)[0] == 1
+
+    def test_sitofp_fptosi(self):
+        m, f, b = new_func(params=(I64,))
+        d = b.cast("sitofp", f.arguments[0], F64)
+        d2 = b.binop("fmul", d, ConstantFloat(F64, 2.5))
+        b.ret(b.cast("fptosi", d2, I64))
+        assert run(m, args=[4])[0] == 10
+
+
+class TestMemory:
+    def test_alloca_and_gep(self):
+        m, f, b = new_func(params=())
+        arr = b.alloca(ArrayType(I64, 4))
+        base = b.bitcast(arr, ptr(I64))
+        for i in range(4):
+            b.store(ConstantInt(I64, i * 3),
+                    b.gep(I64, base, [ConstantInt(I64, i)]))
+        p = b.gep(I64, base, [ConstantInt(I64, 3)])
+        b.ret(b.load(p))
+        assert run(m)[0] == 9
+
+    def test_globals(self):
+        m, f, b = new_func(params=())
+        g = m.add_global(GlobalVariable("g", I64, ConstantInt(I64, 55)))
+        v = b.load(g)
+        b.store(b.add(v, ConstantInt(I64, 1)), g)
+        b.ret(b.load(g))
+        assert run(m)[0] == 56
+
+    def test_byte_loads_stores(self):
+        m, f, b = new_func(params=())
+        g = m.add_global(GlobalVariable("buf", ArrayType(I8, 4), b"abcd"))
+        p = b.gep(ArrayType(I8, 4), g, [ConstantInt(I64, 0), ConstantInt(I64, 2)])
+        v = b.zext(b.load(p), I64)
+        b.store(ConstantInt(I8, ord("Z")), p)
+        v2 = b.zext(b.load(p), I64)
+        b.ret(b.add(v, v2))
+        assert run(m)[0] == ord("c") + ord("Z")
+
+
+class TestFenceMapping:
+    def test_fig8b_fence_selection(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        b.fence("rm")
+        b.fence("ww")
+        b.fence("sc")
+        b.ret(ConstantInt(I64, 0))
+        prog = compile_lir_to_arm(m)
+        fences = [
+            i.mnemonic
+            for fn in prog.functions.values()
+            for i in fn.instructions()
+            if is_fence(i)
+        ]
+        assert fences == ["dmb ishld", "dmb ishst", "dmb ish"]
+
+    def test_rmw_wrapped_in_dmbff(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        b.atomicrmw("add", f.arguments[0], ConstantInt(I64, 1))
+        b.ret(ConstantInt(I64, 0))
+        prog = compile_lir_to_arm(m)
+        mnems = [i.mnemonic for i in prog.functions["main"].instructions()]
+        i_ldxr = mnems.index("ldxr")
+        i_stxr = mnems.index("stxr")
+        before = mnems[:i_ldxr]
+        after = mnems[i_stxr:]
+        assert "dmb ish" in before and "dmb ish" in after
+
+    def test_cmpxchg_loop(self):
+        m, f, b = new_func(params=())
+        g = m.add_global(GlobalVariable("g", I64, ConstantInt(I64, 5)))
+        old = b.cmpxchg(g, ConstantInt(I64, 5), ConstantInt(I64, 9))
+        b.ret(b.add(old, b.load(g)))
+        assert run(m)[0] == 5 + 9
+
+    def test_rmw_returns_old(self):
+        m, f, b = new_func(params=())
+        g = m.add_global(GlobalVariable("g", I64, ConstantInt(I64, 10)))
+        old = b.atomicrmw("add", g, ConstantInt(I64, 7))
+        b.ret(b.binop("or", b.binop("shl", b.load(g), ConstantInt(I64, 8)), old))
+        assert run(m)[0] == (17 << 8) | 10
+
+
+class TestControlFlowAndPhis:
+    def test_phi_via_staging_slots(self):
+        m = Module("t")
+        f = Function("main", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        then = f.new_block("then")
+        els = f.new_block("els")
+        join = f.new_block("join")
+        b = IRBuilder(entry)
+        b.cond_br(b.icmp("sgt", f.arguments[0], ConstantInt(I64, 0)), then, els)
+        IRBuilder(then).br(join)
+        IRBuilder(els).br(join)
+        phi = Phi(I64)
+        join.append(phi)
+        phi.add_incoming(ConstantInt(I64, 100), then)
+        phi.add_incoming(ConstantInt(I64, 200), els)
+        IRBuilder(join).ret(phi)
+        assert run(m, args=[1])[0] == 100
+        assert run(m, args=[0])[0] == 200
+
+    def test_phi_swap_cycle(self):
+        """Loop-carried phi pair that swaps each iteration (parallel copy)."""
+        m = Module("t")
+        f = Function("main", FunctionType(I64, (I64,)), ["n"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        head = f.new_block("head")
+        body = f.new_block("body")
+        done = f.new_block("done")
+        IRBuilder(entry).br(head)
+        pa = Phi(I64, "a")
+        pb = Phi(I64, "b")
+        pi = Phi(I64, "i")
+        head.append(pa)
+        head.append(pb)
+        head.append(pi)
+        hb = IRBuilder(head)
+        hb.cond_br(hb.icmp("slt", pi, f.arguments[0]), body, done)
+        bb = IRBuilder(body)
+        inext = bb.add(pi, ConstantInt(I64, 1))
+        bb.br(head)
+        pa.add_incoming(ConstantInt(I64, 1), entry)
+        pb.add_incoming(ConstantInt(I64, 2), entry)
+        pi.add_incoming(ConstantInt(I64, 0), entry)
+        pa.add_incoming(pb, body)   # swap!
+        pb.add_incoming(pa, body)
+        pi.add_incoming(inext, body)
+        db = IRBuilder(done)
+        db.ret(db.binop("or", db.binop("shl", pa, ConstantInt(I64, 8)), pb))
+        assert run(m, args=[0])[0] == (1 << 8) | 2
+        assert run(m, args=[1])[0] == (2 << 8) | 1
+        assert run(m, args=[2])[0] == (1 << 8) | 2
+
+    def test_calls(self):
+        m = Module("t")
+        callee = Function("sq", FunctionType(I64, (I64,)), ["v"])
+        m.add_function(callee)
+        cb = IRBuilder(callee.new_block("entry"))
+        cb.ret(cb.mul(callee.arguments[0], callee.arguments[0]))
+        f = Function("main", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        b.ret(b.call(callee, [b.add(f.arguments[0], ConstantInt(I64, 1))]))
+        assert run(m, args=[5])[0] == 36
+
+    def test_spill_pressure(self):
+        """More than ten live values forces spilling; results must hold."""
+        m, f, b = new_func(params=(I64,))
+        x = f.arguments[0]
+        vals = []
+        for i in range(16):
+            vals.append(b.add(x, ConstantInt(I64, i)))
+        acc = vals[0]
+        for v in vals[1:]:
+            acc = b.add(acc, v)
+        b.ret(acc)
+        r, _ = run(m, args=[10])
+        assert r == sum(10 + i for i in range(16))
+
+    def test_many_call_args(self):
+        m = Module("t")
+        callee = Function(
+            "f8", FunctionType(I64, tuple([I64] * 8)),
+            [f"a{i}" for i in range(8)],
+        )
+        m.add_function(callee)
+        cb = IRBuilder(callee.new_block("entry"))
+        acc = callee.arguments[0]
+        for i, a in enumerate(callee.arguments[1:], start=1):
+            scaled = cb.mul(a, ConstantInt(I64, 10**i))
+            acc = cb.add(acc, scaled)
+        cb.ret(acc)
+        f = Function("main", FunctionType(I64, ()))
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        args = [ConstantInt(I64, i + 1) for i in range(8)]
+        b.ret(b.call(callee, args))
+        assert run(m)[0] == 87654321
+
+
+class TestRuntime:
+    def test_spawn_join_through_backend(self):
+        m = Module("t")
+        worker = Function("worker", FunctionType(I64, (I64,)), ["t"])
+        m.add_function(worker)
+        wb = IRBuilder(worker.new_block("entry"))
+        wb.ret(wb.mul(worker.arguments[0], ConstantInt(I64, 3)))
+        f = Function("main", FunctionType(I64, ()))
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        spawn = m.declare_external("spawn", FunctionType(I64, (I64, I64)))
+        join = m.declare_external("join", FunctionType(I64, (I64,)))
+        tid = b.call(spawn, [b.ptrtoint(worker, I64), ConstantInt(I64, 14)])
+        b.ret(b.call(join, [tid]))
+        assert run(m)[0] == 42
+
+    def test_cycle_accounting(self):
+        m, f, b = new_func(params=())
+        b.fence("sc")
+        b.ret(ConstantInt(I64, 0))
+        _, emu = run(m)
+        from repro.arm.costs import cost_of
+
+        assert sum(t.cycles for t in emu.threads) >= cost_of("dmb ish")

@@ -1,0 +1,284 @@
+"""Tests for the binary lifter: disassembly, CFG reconstruction, function
+type discovery and instruction translation (paper §4)."""
+
+import pytest
+
+from repro.lifter import (
+    EXTERNAL_SIGS,
+    LiftError,
+    TypeDiscovery,
+    build_cfg,
+    disassemble_all,
+    disassemble_function,
+    lift_program,
+)
+from repro.lir import (
+    Alloca,
+    AtomicRMW,
+    Cast,
+    CmpXchg,
+    Fence,
+    Interpreter,
+    Load,
+    Store,
+    verify_module,
+)
+from repro.minicc import compile_to_x86
+from repro.x86 import X86Emulator
+
+
+def lift(source: str):
+    obj = compile_to_x86(source)
+    module = lift_program(obj)
+    verify_module(module)
+    return obj, module
+
+
+def differential(source: str, entry="main"):
+    obj = compile_to_x86(source)
+    emu = X86Emulator(obj)
+    expected = emu.run()
+    module = lift_program(obj)
+    verify_module(module)
+    interp = Interpreter(module)
+    got = interp.run(entry)
+    assert got == expected, (got, expected)
+    assert interp.output == emu.output
+    return module
+
+
+class TestDisassembly:
+    def test_full_function_coverage(self):
+        obj = compile_to_x86("int main() { return 1 + 2; }")
+        instrs = disassemble_function(obj, "main")
+        total = sum(i.size for i in instrs)
+        assert total == obj.functions["main"].size
+
+    def test_all_functions(self):
+        obj = compile_to_x86(
+            "int f() { return 1; } int g() { return 2; } int main() { return f() + g(); }"
+        )
+        table = disassemble_all(obj)
+        assert set(table) == {"f", "g", "main"}
+
+
+class TestCFG:
+    def test_loop_creates_back_edge(self):
+        obj = compile_to_x86(
+            "int main() { int s = 0; for (int i = 0; i < 3; i = i + 1) "
+            "{ s = s + i; } return s; }"
+        )
+        cfg = build_cfg("main", disassemble_function(obj, "main"))
+        starts = set(cfg.blocks)
+        back_edges = [
+            (b.start, s)
+            for b in cfg.blocks.values()
+            for s in b.successors
+            if s <= b.start
+        ]
+        assert back_edges, "loop should produce a back edge"
+        for block in cfg.blocks.values():
+            for s in block.successors:
+                assert s in starts
+
+    def test_if_else_diamond(self):
+        obj = compile_to_x86(
+            "int main() { int x = 3; if (x > 1) { x = 10; } else { x = 20; } "
+            "return x; }"
+        )
+        cfg = build_cfg("main", disassemble_function(obj, "main"))
+        n_cond = sum(
+            1 for b in cfg.blocks.values() if len(b.successors) == 2
+        )
+        assert n_cond >= 1
+
+
+class TestTypeDiscovery:
+    def _sigs(self, source):
+        obj = compile_to_x86(source)
+        instrs = disassemble_all(obj)
+        cfgs = {n: build_cfg(n, b) for n, b in instrs.items()}
+        return TypeDiscovery(obj, cfgs).discover()
+
+    def test_int_params(self):
+        sigs = self._sigs(
+            "int add3(int a, int b, int c) { return a + b + c; } "
+            "int main() { return add3(1, 2, 3); }"
+        )
+        assert sigs["add3"].int_params == 3
+        assert sigs["add3"].sse_params == 0
+        assert sigs["main"].param_count == 0
+
+    def test_double_params(self):
+        sigs = self._sigs(
+            "double mul(double a, double b) { return a * b; } "
+            "int main() { return (int)mul(2.0, 3.0); }"
+        )
+        assert sigs["mul"].sse_params == 2
+        assert sigs["mul"].int_params == 0
+
+    def test_mixed_params_ints_before_sse(self):
+        # §4.2.1: original interleaving is unrecoverable; ints come first.
+        sigs = self._sigs(
+            "double mix(double a, int k) { return a * (double)k; } "
+            "int main() { return (int)mix(1.0, 2); }"
+        )
+        assert sigs["mix"].int_params == 1
+        assert sigs["mix"].sse_params == 1
+
+    def test_return_type_votes_int(self):
+        sigs = self._sigs(
+            "int f() { return 7; } int main() { return f() + 1; }"
+        )
+        assert sigs["f"].ret == "i64"
+
+    def test_return_type_votes_double(self):
+        sigs = self._sigs(
+            "double f() { return 7.5; } "
+            "int main() { double d = f(); return (int)d; }"
+        )
+        assert sigs["f"].ret == "f64"
+
+    def test_unused_param_not_discovered(self):
+        # The callee never reads rsi, so only one parameter is discovered.
+        sigs = self._sigs(
+            "int first(int a, int b) { return a; } "
+            "int main() { return first(5, 9); }"
+        )
+        assert sigs["first"].int_params <= 2
+        assert sigs["first"].int_params >= 1
+
+
+class TestTranslation:
+    def test_registers_become_slots(self):
+        _, module = lift("int main() { return 3; }")
+        main = module.get_function("main")
+        allocas = [i for i in main.instructions() if isinstance(i, Alloca)]
+        names = {a.name for a in allocas}
+        assert any("rax" in n for n in names)
+        assert any("stacktop" in n for n in names)
+
+    def test_stack_addresses_use_inttoptr(self):
+        src = "int deep(int *p) { return p[1]; } int main() { int a = 1; int b = 2; int c = a + b; return deep(&a) * 0 + c; }"
+        _, module = lift(src)
+        main = module.get_function("main")
+        casts = [
+            i for i in main.instructions()
+            if isinstance(i, Cast) and i.op == "inttoptr"
+        ]
+        assert casts, "stack traffic should flow through inttoptr (pre-refinement)"
+
+    def test_mfence_lifts_to_fsc(self):
+        _, module = lift("int main() { fence(); return 0; }")
+        main = module.get_function("main")
+        fences = [i for i in main.instructions() if isinstance(i, Fence)]
+        assert any(f.kind == "sc" for f in fences)
+
+    def test_lock_xadd_lifts_to_atomicrmw(self):
+        _, module = lift(
+            "int g = 0; int main() { return atomic_add(&g, 5); }"
+        )
+        main = module.get_function("main")
+        rmws = [i for i in main.instructions() if isinstance(i, AtomicRMW)]
+        assert rmws and rmws[0].ordering == "sc"
+
+    def test_lock_cmpxchg_lifts_to_cmpxchg(self):
+        _, module = lift(
+            "int g = 0; int main() { return atomic_cas(&g, 0, 1); }"
+        )
+        main = module.get_function("main")
+        assert any(isinstance(i, CmpXchg) for i in main.instructions())
+
+    def test_globals_discovered(self):
+        _, module = lift("int g = 7; int main() { return g; }")
+        assert "g" in module.globals
+
+    def test_external_calls_typed(self):
+        _, module = lift("int main() { print_i(1); return 0; }")
+        assert "print_i64" in module.externals
+
+    def test_indirect_branch_rejected(self):
+        # Hand-build a function with call through register: lifter refuses.
+        from repro.x86 import Assembler, AsmFunction, Instr, Reg
+
+        a = Assembler()
+        f = AsmFunction("main")
+        f.emit(Instr("mov", [Reg("rax"), Reg("rdi")]))
+        f.emit(Instr("call", [Reg("rax")]))
+        f.emit(Instr("ret"))
+        a.add_function(f)
+        obj = a.link()
+        with pytest.raises(LiftError):
+            lift_program(obj)
+
+
+class TestDifferentialExecution:
+    def test_arithmetic(self):
+        differential("int main() { return (5 * 7 - 3) / 4 + (13 % 5); }")
+
+    def test_flags_heavy_comparisons(self):
+        differential(
+            "int main() { int r = 0; for (int i = -3; i < 4; i = i + 1) {"
+            " if (i <= 0) { r = r + 1; } if (i != 2) { r = r + 10; }"
+            " if (i > -2) { r = r + 100; } } return r; }"
+        )
+
+    def test_doubles_and_conversions(self):
+        differential(
+            "int main() { double s = 0.0; for (int i = 1; i < 6; i = i + 1) {"
+            " s = s + 1.0 / (double)i; } return (int)(s * 1000.0); }"
+        )
+
+    def test_function_calls(self):
+        differential(
+            "int sq(int x) { return x * x; } "
+            "int main() { int s = 0; for (int i = 0; i < 5; i = i + 1)"
+            " { s = s + sq(i); } return s; }"
+        )
+
+    def test_double_returning_function(self):
+        differential(
+            "double half(double x) { return x / 2.0; } "
+            "int main() { return (int)(half(9.0) * 10.0); }"
+        )
+
+    def test_globals_and_arrays(self):
+        differential(
+            "int a[10]; int main() { for (int i = 0; i < 10; i = i + 1) "
+            "{ a[i] = i; } int s = 0; for (int i = 0; i < 10; i = i + 1) "
+            "{ s = s + a[i] * i; } return s; }"
+        )
+
+    def test_strings(self):
+        differential(
+            'int main() { char *s = "lift"; int h = 0; '
+            "for (int i = 0; i < 4; i = i + 1) { h = h * 31 + s[i]; } "
+            "return h & 65535; }"
+        )
+
+    def test_threads_and_atomics(self):
+        differential(
+            """
+            int ctr = 0;
+            int worker(int t) {
+              for (int i = 0; i < 10; i = i + 1) { atomic_add(&ctr, t); }
+              return 0;
+            }
+            int main() {
+              int t1 = spawn(worker, 1);
+              int t2 = spawn(worker, 3);
+              join(t1); join(t2);
+              return ctr;
+            }
+            """
+        )
+
+    def test_shifts_and_bitwise(self):
+        differential(
+            "int main() { int x = 0; for (int i = 1; i < 20; i = i + 1) "
+            "{ x = (x << 1) ^ i; x = x & 1048575; x = x | (i >> 2); } "
+            "return x; }"
+        )
+
+    def test_negation_and_not(self):
+        differential("int main() { int x = 5; return -x + ~x + !x; }")

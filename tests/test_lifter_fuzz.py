@@ -1,0 +1,201 @@
+"""Property-based fuzzing of the instruction translator.
+
+Hypothesis generates random straight-line x86-64 register programs (heavy
+on flag-setting ALU ops, setcc materialization and conditional branches);
+the lifted LIR interpreted result must equal the x86 emulation, both before
+and after the full optimization pipeline.  This hammers the lifter's flag
+semantics (zf/sf/cf/of/pf), sub-register handling and condition lowering.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lifter import lift_program
+from repro.lir import Interpreter, verify_module
+from repro.opt import optimize_module
+from repro.x86 import (
+    Assembler,
+    AsmFunction,
+    Imm,
+    Instr,
+    Label,
+    Reg,
+    X86Emulator,
+)
+
+# Scratch registers for generated programs (no rsp/rbp).
+REGS = ["rax", "rcx", "rdx", "rbx", "rsi", "rdi", "r8", "r9", "r10", "r11"]
+
+regs = st.sampled_from(REGS)
+imm32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+small_imm = st.integers(min_value=-100, max_value=100)
+CONDS = ["e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns",
+         "p", "np", "o", "no"]
+
+
+@st.composite
+def alu_block(draw):
+    """A few ALU instructions followed by a setcc materialization."""
+    out = []
+    for _ in range(draw(st.integers(1, 4))):
+        choice = draw(st.integers(0, 6))
+        if choice == 0:
+            mn = draw(st.sampled_from(["add", "sub", "and", "or", "xor"]))
+            out.append(Instr(mn, [Reg(draw(regs)), Reg(draw(regs))]))
+        elif choice == 1:
+            mn = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                       "cmp"]))
+            out.append(Instr(mn, [Reg(draw(regs)), Imm(draw(imm32))]))
+        elif choice == 2:
+            out.append(Instr("imul", [Reg(draw(regs)), Reg(draw(regs))]))
+        elif choice == 3:
+            mn = draw(st.sampled_from(["shl", "shr", "sar"]))
+            out.append(Instr(mn, [Reg(draw(regs)),
+                                  Imm(draw(st.integers(0, 63)), 8)]))
+        elif choice == 4:
+            out.append(Instr(draw(st.sampled_from(["neg", "not"])),
+                             [Reg(draw(regs))]))
+        elif choice == 5:
+            out.append(Instr("test", [Reg(draw(regs)), Reg(draw(regs))]))
+        else:
+            out.append(Instr("mov", [Reg(draw(regs)), Imm(draw(imm32))]))
+    # Materialize a condition into rax's low byte and fold it in.
+    cc = draw(st.sampled_from(CONDS))
+    out.append(Instr(f"set{cc}", [Reg("al")]))
+    out.append(Instr("movzx", [Reg("rax"), Reg("al")]))
+    target = draw(regs)
+    if target != "rax":
+        out.append(Instr("add", [Reg("rax"), Reg(target)]))
+    return out
+
+
+@st.composite
+def straightline_program(draw):
+    instrs = []
+    # Seed registers with known values.
+    for reg in REGS:
+        instrs.append(Instr("mov", [Reg(reg), Imm(draw(small_imm))]))
+    for _ in range(draw(st.integers(1, 3))):
+        instrs.extend(draw(alu_block()))
+    instrs.append(Instr("ret"))
+    return instrs
+
+
+@st.composite
+def branchy_program(draw):
+    """A diamond: flags decide which side updates rax."""
+    instrs = []
+    for reg in REGS[:4]:
+        instrs.append(Instr("mov", [Reg(reg), Imm(draw(small_imm))]))
+    instrs.append(Instr("cmp", [Reg(draw(regs)), Imm(draw(small_imm))]))
+    cc = draw(st.sampled_from(CONDS))
+    instrs.append(Instr(f"j{cc}", [Label(".taken")]))
+    instrs.extend(draw(alu_block()))
+    instrs.append(Instr("jmp", [Label(".done")]))
+    instrs.append(".taken")
+    instrs.extend(draw(alu_block()))
+    instrs.append(".done")
+    instrs.append(Instr("ret"))
+    return instrs
+
+
+def _build(instrs):
+    asm = Assembler()
+    f = AsmFunction("main")
+    for item in instrs:
+        if isinstance(item, str):
+            f.label(item)
+        else:
+            f.emit(item)
+    asm.add_function(f)
+    return asm.link("main")
+
+
+def _check(instrs):
+    obj = _build(instrs)
+    expected = X86Emulator(obj).run()
+    module = lift_program(obj)
+    verify_module(module)
+    got = Interpreter(module).run("main")
+    assert got == expected, (got, expected)
+    optimize_module(module)
+    verify_module(module)
+    got_opt = Interpreter(module).run("main")
+    assert got_opt == expected, (got_opt, expected)
+
+
+@given(straightline_program())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_straightline_flag_semantics(instrs):
+    _check(instrs)
+
+
+@given(branchy_program())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_conditional_branches(instrs):
+    _check(instrs)
+
+
+REGS32 = ["eax", "ecx", "edx", "ebx", "esi", "edi", "r8d", "r9d"]
+regs32 = st.sampled_from(REGS32)
+
+
+@st.composite
+def mixed_width_program(draw):
+    """64-bit seeds, then interleaved 32-bit and 64-bit ALU ops."""
+    instrs = []
+    for reg in REGS:
+        instrs.append(Instr("mov", [Reg(reg), Imm(draw(imm32))]))
+    for _ in range(draw(st.integers(2, 8))):
+        if draw(st.booleans()):
+            mn = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                       "cmp"]))
+            instrs.append(Instr(mn, [Reg(draw(regs32)), Reg(draw(regs32))]))
+        else:
+            mn = draw(st.sampled_from(["add", "sub", "xor"]))
+            instrs.append(Instr(mn, [Reg(draw(regs)), Reg(draw(regs))]))
+        cc = draw(st.sampled_from(CONDS))
+        instrs.append(Instr(f"set{cc}", [Reg("al")]))
+        instrs.append(Instr("movzx", [Reg("rax"), Reg("al")]))
+        other = draw(regs)
+        if other != "rax":
+            instrs.append(Instr("add", [Reg("rax"), Reg(other)]))
+    instrs.append(Instr("ret"))
+    return instrs
+
+
+@given(mixed_width_program())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_32bit_alu_flag_semantics(instrs):
+    _check(instrs)
+
+
+@given(straightline_program())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_lazy_flag_lifting_matches(instrs):
+    """The lazy-flag lifter computes exactly the flags consumers need."""
+    obj = _build(instrs)
+    expected = X86Emulator(obj).run()
+    module = lift_program(obj, lazy_flags=True)
+    verify_module(module)
+    assert Interpreter(module).run("main") == expected
+
+
+@given(branchy_program())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_lazy_flags_across_branches(instrs):
+    obj = _build(instrs)
+    expected = X86Emulator(obj).run()
+    module = lift_program(obj, lazy_flags=True)
+    verify_module(module)
+    assert Interpreter(module).run("main") == expected

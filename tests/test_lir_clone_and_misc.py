@@ -1,0 +1,135 @@
+"""Direct tests for the clone utility, object-file helpers and misc APIs."""
+
+import pytest
+
+from repro.lir import (
+    Br,
+    ConstantInt,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    Phi,
+    Ret,
+    ptr,
+)
+from repro.lir.clone import CloneError, clone_instruction
+from repro.minicc import compile_to_x86
+from repro.x86.objfile import DATA_BASE, STUB_BASE, TEXT_BASE
+
+
+class TestCloneInstruction:
+    def _setup(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64, ptr(I64))), ["x", "p"])
+        m.add_function(f)
+        return m, f, IRBuilder(f.new_block("entry"))
+
+    def test_clone_remaps_operands(self):
+        m, f, b = self._setup()
+        x = f.arguments[0]
+        a = b.add(x, ConstantInt(I64, 1))
+        replacement = ConstantInt(I64, 100)
+        cloned = clone_instruction(
+            a, lambda v: replacement if v is x else v
+        )
+        assert cloned is not a
+        assert cloned.operands[0] is replacement
+        assert cloned.op == "add"
+
+    def test_clone_covers_memory_ops(self):
+        m, f, b = self._setup()
+        p = f.arguments[1]
+        insts = [
+            b.load(p),
+            b.store(ConstantInt(I64, 1), p),
+            b.atomicrmw("add", p, ConstantInt(I64, 2)),
+            b.cmpxchg(p, ConstantInt(I64, 0), ConstantInt(I64, 1)),
+            b.fence("sc"),
+            b.gep(I64, p, [ConstantInt(I64, 3)]),
+            b.icmp("eq", f.arguments[0], ConstantInt(I64, 0)),
+            b.ptrtoint(p, I64),
+        ]
+        for inst in insts:
+            cloned = clone_instruction(inst, lambda v: v)
+            assert type(cloned) is type(inst)
+            assert len(cloned.operands) == len(inst.operands)
+
+    def test_clone_phi_is_empty(self):
+        m, f, b = self._setup()
+        phi = Phi(I64)
+        f.entry.instructions.insert(0, phi)
+        phi.parent = f.entry
+        cloned = clone_instruction(phi, lambda v: v)
+        assert isinstance(cloned, Phi)
+        assert not cloned.incoming()
+
+    def test_clone_branch_needs_block_map(self):
+        m, f, b = self._setup()
+        other = f.new_block("other")
+        br = Br(None, other)
+        with pytest.raises(CloneError):
+            clone_instruction(br, lambda v: v)
+        new_target = f.new_block("new")
+        cloned = clone_instruction(
+            br, lambda v: v, {id(other): new_target}
+        )
+        assert cloned.targets[0] is new_target
+
+    def test_clone_ret_rejected(self):
+        with pytest.raises(CloneError):
+            clone_instruction(Ret(ConstantInt(I64, 0)), lambda v: v)
+
+
+class TestObjectFile:
+    @pytest.fixture()
+    def obj(self):
+        return compile_to_x86(
+            "int g = 1; int helper() { return g; } "
+            "int main() { return helper(); }"
+        )
+
+    def test_layout_regions(self, obj):
+        assert obj.text_base == TEXT_BASE
+        for sym in obj.data_symbols.values():
+            assert sym.address >= DATA_BASE
+        for addr in obj.externals.values():
+            assert STUB_BASE <= addr < TEXT_BASE
+
+    def test_function_at(self, obj):
+        main = obj.functions["main"]
+        assert obj.function_at(main.address).name == "main"
+        assert obj.function_at(main.address + main.size - 1).name == "main"
+        assert obj.function_at(0x100) is None
+
+    def test_symbol_for_data_address(self, obj):
+        g = obj.data_symbols["g"]
+        assert obj.symbol_for_data_address(g.address).name == "g"
+        assert obj.symbol_for_data_address(g.address + g.size + 64) is None
+
+    def test_function_body_slicing(self, obj):
+        body = obj.function_body("helper")
+        assert len(body) == obj.functions["helper"].size
+        assert body in obj.text
+
+
+class TestParserPropertyRoundTrip:
+    def test_random_modules_roundtrip(self):
+        """Random DAG modules print → parse → print identically and run
+        identically."""
+        from hypothesis import given, settings, HealthCheck
+        from tests.test_codegen_fuzz import dag_module  # reuse the strategy
+        from repro.lir import Interpreter, format_module, parse_module
+
+        @given(dag_module())
+        @settings(max_examples=20, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+        def inner(m):
+            expected = Interpreter(m).run("main", [3, 4])
+            text = format_module(m)
+            parsed = parse_module(text)
+            assert format_module(parsed) == text
+            assert Interpreter(parsed).run("main", [3, 4]) == expected
+
+        inner()

@@ -1,0 +1,315 @@
+"""Tests for LIR values, instructions, use-def tracking and the builder."""
+
+import pytest
+
+from repro.lir import (
+    F64,
+    I1,
+    I8,
+    I64,
+    Alloca,
+    ArrayType,
+    BasicBlock,
+    BinOp,
+    ConstantFloat,
+    ConstantInt,
+    Fence,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IRBuilder,
+    Load,
+    Module,
+    Phi,
+    Store,
+    UndefValue,
+    format_function,
+    format_instruction,
+    format_module,
+    ptr,
+    verify_function,
+    verify_module,
+)
+from repro.lir.verifier import VerificationError
+
+
+def _make_function(name="f", params=(I64,)):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, tuple(params)), ["x", "y", "z"][: len(params)])
+    m.add_function(f)
+    return m, f
+
+
+class TestConstants:
+    def test_int_wraps_to_width(self):
+        c = ConstantInt(I8, 300)
+        assert c.value == 44
+
+    def test_signed_view(self):
+        assert ConstantInt(I8, 0xFF).signed_value == -1
+        assert ConstantInt(I64, 2**63).signed_value == -(2**63)
+
+    def test_equality_and_hash(self):
+        assert ConstantInt(I64, 5) == ConstantInt(I64, 5)
+        assert ConstantInt(I64, 5) != ConstantInt(I8, 5)
+        assert hash(ConstantInt(I64, 5)) == hash(ConstantInt(I64, 5))
+
+    def test_float_roundtrips_binary32(self):
+        import struct
+
+        c = ConstantFloat(F64, 0.1)
+        assert c.value == 0.1
+        c32 = ConstantFloat(__import__("repro.lir", fromlist=["F32"]).F32, 0.1)
+        assert c32.value == struct.unpack("<f", struct.pack("<f", 0.1))[0]
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            ConstantInt(F64, 1)
+        with pytest.raises(TypeError):
+            ConstantFloat(I64, 1.0)
+
+
+class TestUseDef:
+    def test_users_tracked(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        x = f.arguments[0]
+        s = b.add(x, ConstantInt(I64, 1))
+        assert s in x.users
+
+    def test_replace_all_uses_with(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        x = f.arguments[0]
+        a = b.add(x, ConstantInt(I64, 1))
+        c = b.mul(a, a)
+        a.replace_all_uses_with(x)
+        assert c.operands[0] is x and c.operands[1] is x
+        assert c not in a.users
+        assert c in x.users
+
+    def test_erase_from_parent_drops_references(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        x = f.arguments[0]
+        a = b.add(x, ConstantInt(I64, 1))
+        a.erase_from_parent()
+        assert a not in bb.instructions
+        assert a not in x.users
+
+    def test_set_operand_updates_users(self):
+        m, f = _make_function(params=(I64, I64))
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        x, y = f.arguments
+        a = b.add(x, x)
+        a.set_operand(1, y)
+        assert a in x.users  # still used as operand 0
+        assert a in y.users
+        a.set_operand(0, y)
+        assert a not in x.users
+
+
+class TestInstructions:
+    def test_load_type_comes_from_pointer(self):
+        m, f = _make_function(params=(ptr(F64),))
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        ld = b.load(f.arguments[0])
+        assert ld.type == F64
+
+    def test_load_rejects_non_pointer(self):
+        with pytest.raises(TypeError):
+            Load(ConstantInt(I64, 0))
+
+    def test_bad_ordering_rejected(self):
+        m, f = _make_function(params=(ptr(I64),))
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        with pytest.raises(ValueError):
+            b.load(f.arguments[0], ordering="acquire")
+
+    def test_fence_kinds(self):
+        for kind in ("sc", "rm", "ww"):
+            Fence(kind)
+        with pytest.raises(ValueError):
+            Fence("full")
+
+    def test_binop_commutativity_flag(self):
+        x = ConstantInt(I64, 1)
+        assert BinOp("add", x, x).is_commutative()
+        assert not BinOp("sub", x, x).is_commutative()
+
+    def test_side_effects_classification(self):
+        m, f = _make_function(params=(ptr(I64),))
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        p = f.arguments[0]
+        assert b.store(ConstantInt(I64, 0), p).has_side_effects()
+        assert b.fence("sc").has_side_effects()
+        assert not b.load(p).has_side_effects()
+        assert b.load(p).may_read_memory()
+        assert not b.add(ConstantInt(I64, 1), ConstantInt(I64, 2)).accesses_memory()
+
+    def test_atomicrmw_returns_pointee_type(self):
+        m, f = _make_function(params=(ptr(I64),))
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        old = b.atomicrmw("add", f.arguments[0], ConstantInt(I64, 1))
+        assert old.type == I64
+
+    def test_phi_incoming_management(self):
+        m, f = _make_function()
+        bb1 = f.new_block("a")
+        bb2 = f.new_block("b")
+        join = f.new_block("j")
+        phi = Phi(I64)
+        join.append(phi)
+        phi.add_incoming(ConstantInt(I64, 1), bb1)
+        phi.add_incoming(ConstantInt(I64, 2), bb2)
+        assert phi.incoming_for(bb1).value == 1
+        phi.remove_incoming(bb1)
+        assert phi.incoming_for(bb1) is None
+        assert len(phi.incoming()) == 1
+
+
+class TestModuleStructure:
+    def test_duplicate_function_rejected(self):
+        m = Module("t")
+        m.add_function(Function("f", FunctionType(I64, ())))
+        with pytest.raises(ValueError):
+            m.add_function(Function("f", FunctionType(I64, ())))
+
+    def test_duplicate_global_rejected(self):
+        m = Module("t")
+        m.add_global(GlobalVariable("g", I64))
+        with pytest.raises(ValueError):
+            m.add_global(GlobalVariable("g", I64))
+
+    def test_global_value_has_pointer_type(self):
+        g = GlobalVariable("g", ArrayType(I8, 4))
+        assert g.type == ptr(ArrayType(I8, 4))
+        assert g.size_bytes() == 4
+
+    def test_external_declared_once(self):
+        m = Module("t")
+        e1 = m.declare_external("malloc", FunctionType(I64, (I64,)))
+        e2 = m.declare_external("malloc", FunctionType(I64, (I64,)))
+        assert e1 is e2
+
+    def test_instruction_count(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        b.ret(b.add(f.arguments[0], ConstantInt(I64, 1)))
+        assert m.instruction_count() == 2
+
+
+class TestVerifier:
+    def test_accepts_wellformed(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        b.ret(b.add(f.arguments[0], ConstantInt(I64, 1)))
+        verify_module(m)
+
+    def test_rejects_missing_terminator(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        IRBuilder(bb).add(f.arguments[0], ConstantInt(I64, 1))
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_rejects_use_before_def(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        a = BinOp("add", f.arguments[0], ConstantInt(I64, 1))
+        use = b.add(a, ConstantInt(I64, 2))  # uses a before it is placed
+        b.ret(use)
+        bb.append(a)  # placed after its use — and after the terminator
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_rejects_type_mismatched_return(self):
+        m = Module("t")
+        f = Function("g", FunctionType(F64, ()))
+        m.add_function(f)
+        bb = f.new_block("entry")
+        IRBuilder(bb).ret(ConstantInt(I64, 0))
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_rejects_bad_branch_condition_type(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        t1 = f.new_block("t1")
+        t2 = f.new_block("t2")
+        b = IRBuilder(bb)
+        b.cond_br(ConstantInt(I64, 1), t1, t2)  # must be i1
+        IRBuilder(t1).ret(ConstantInt(I64, 0))
+        IRBuilder(t2).ret(ConstantInt(I64, 0))
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+    def test_unreachable_blocks_tolerated(self):
+        m, f = _make_function()
+        entry = f.new_block("entry")
+        IRBuilder(entry).ret(ConstantInt(I64, 0))
+        dead = f.new_block("dead")
+        db = IRBuilder(dead)
+        v = db.add(f.arguments[0], ConstantInt(I64, 1))
+        db.ret(v)
+        verify_function(f)  # dominance rules don't apply to dead code
+
+    def test_rejects_phi_pred_mismatch(self):
+        m, f = _make_function()
+        entry = f.new_block("entry")
+        other = f.new_block("other")
+        join = f.new_block("join")
+        IRBuilder(entry).br(join)
+        IRBuilder(other).br(join)
+        phi = Phi(I64)
+        join.append(phi)
+        phi.add_incoming(ConstantInt(I64, 1), entry)  # missing 'other'
+        IRBuilder(join).ret(phi)
+        with pytest.raises(VerificationError):
+            verify_function(f)
+
+
+class TestPrinter:
+    def test_format_module_smoke(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        p = b.alloca(I64, "slot")
+        b.store(f.arguments[0], p)
+        v = b.load(p, name="v")
+        b.fence("ww")
+        b.ret(v)
+        text = format_module(m)
+        assert "define i64 @f(i64 %x)" in text
+        assert "alloca i64" in text
+        assert "fence fww" in text
+
+    def test_every_instruction_formats(self):
+        m, f = _make_function(params=(ptr(I64), I64))
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        p, x = f.arguments
+        b.load(p)
+        b.store(x, p)
+        b.atomicrmw("add", p, x)
+        b.cmpxchg(p, x, x)
+        b.fence("sc")
+        b.gep(I64, p, [x])
+        b.icmp("slt", x, x)
+        b.binop("fadd", ConstantFloat(F64, 1.0), ConstantFloat(F64, 2.0))
+        b.select(ConstantInt(I1, 1), x, x)
+        b.ptrtoint(p, I64)
+        b.ret(x)
+        for inst in bb.instructions:
+            assert format_instruction(inst)

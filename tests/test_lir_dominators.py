@@ -1,0 +1,104 @@
+"""Tests for the dominator tree / dominance frontier machinery."""
+
+from repro.lir import (
+    ConstantInt,
+    DominatorTree,
+    Function,
+    FunctionType,
+    I1,
+    I64,
+    IRBuilder,
+    Module,
+)
+
+
+def diamond():
+    """entry → (then|els) → join."""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)), ["x"])
+    m.add_function(f)
+    entry = f.new_block("entry")
+    then = f.new_block("then")
+    els = f.new_block("els")
+    join = f.new_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("sgt", f.arguments[0], ConstantInt(I64, 0))
+    b.cond_br(cond, then, els)
+    IRBuilder(then).br(join)
+    IRBuilder(els).br(join)
+    IRBuilder(join).ret(ConstantInt(I64, 0))
+    return f, entry, then, els, join
+
+
+def loop():
+    """entry → head ⇄ body, head → exit."""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)), ["n"])
+    m.add_function(f)
+    entry = f.new_block("entry")
+    head = f.new_block("head")
+    body = f.new_block("body")
+    exit_ = f.new_block("exit")
+    IRBuilder(entry).br(head)
+    hb = IRBuilder(head)
+    cond = hb.icmp("sgt", f.arguments[0], ConstantInt(I64, 0))
+    hb.cond_br(cond, body, exit_)
+    IRBuilder(body).br(head)
+    IRBuilder(exit_).ret(ConstantInt(I64, 0))
+    return f, entry, head, body, exit_
+
+
+class TestDominance:
+    def test_entry_dominates_all(self):
+        f, entry, then, els, join = diamond()
+        dt = DominatorTree(f)
+        for bb in (entry, then, els, join):
+            assert dt.dominates(entry, bb)
+
+    def test_branches_do_not_dominate_join(self):
+        f, entry, then, els, join = diamond()
+        dt = DominatorTree(f)
+        assert not dt.dominates(then, join)
+        assert not dt.dominates(els, join)
+        assert dt.immediate_dominator(join) is entry
+
+    def test_dominance_is_reflexive(self):
+        f, entry, *_ = diamond()
+        dt = DominatorTree(f)
+        assert dt.dominates(entry, entry)
+
+    def test_unreachable_blocks_not_in_tree(self):
+        f, entry, then, els, join = diamond()
+        dead = f.new_block("dead")
+        IRBuilder(dead).ret(ConstantInt(I64, 1))
+        dt = DominatorTree(f)
+        assert not dt.is_reachable(dead)
+        assert not dt.dominates(entry, dead)
+
+    def test_dominance_frontier_of_branches_is_join(self):
+        f, entry, then, els, join = diamond()
+        dt = DominatorTree(f)
+        df = dt.dominance_frontier()
+        assert id(join) in df[id(then)]
+        assert id(join) in df[id(els)]
+        assert df[id(entry)] == set()
+
+    def test_back_edge_detection(self):
+        f, entry, head, body, exit_ = loop()
+        dt = DominatorTree(f)
+        edges = dt.back_edges()
+        assert (body, head) in [(t, h) for t, h in edges]
+
+    def test_natural_loop_membership(self):
+        f, entry, head, body, exit_ = loop()
+        dt = DominatorTree(f)
+        (tail, head_) = dt.back_edges()[0]
+        members = dt.natural_loop(tail, head_)
+        assert id(head) in members and id(body) in members
+        assert id(entry) not in members and id(exit_) not in members
+
+    def test_loop_header_frontier_includes_itself(self):
+        f, entry, head, body, exit_ = loop()
+        dt = DominatorTree(f)
+        df = dt.dominance_frontier()
+        assert id(head) in df[id(body)]

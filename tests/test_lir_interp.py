@@ -1,0 +1,295 @@
+"""Tests for the LIR reference interpreter."""
+
+import pytest
+
+from repro.lir import (
+    F64,
+    I8,
+    I64,
+    ArrayType,
+    ConstantFloat,
+    ConstantInt,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    Interpreter,
+    InterpError,
+    IRBuilder,
+    Module,
+    Phi,
+    VOID,
+    ptr,
+)
+
+
+def build(ret=I64, params=(), name="main"):
+    m = Module("t")
+    f = Function(name, FunctionType(ret, tuple(params)))
+    m.add_function(f)
+    bb = f.new_block("entry")
+    return m, f, IRBuilder(bb)
+
+
+def run(m, name="main", args=None):
+    return Interpreter(m).run(name, args or [])
+
+
+class TestArithmetic:
+    def test_add_sub_mul(self):
+        m, f, b = build(params=(I64, I64))
+        x, y = f.arguments
+        v = b.mul(b.add(x, y), b.sub(x, y))
+        b.ret(v)
+        assert run(m, args=[7, 3]) == 40
+
+    def test_signed_division_truncates_toward_zero(self):
+        m, f, b = build(params=(I64, I64))
+        b.ret(b.binop("sdiv", *f.arguments))
+        assert Interpreter(m).run("main", [-7, 2]) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        m, f, b = build(params=(I64, I64))
+        b.ret(b.binop("srem", *f.arguments))
+        assert Interpreter(m).run("main", [(-7) & (2**64 - 1), 2]) == -1
+
+    def test_division_by_zero_raises(self):
+        m, f, b = build(params=(I64, I64))
+        b.ret(b.binop("sdiv", *f.arguments))
+        with pytest.raises(InterpError):
+            run(m, args=[1, 0])
+
+    def test_shifts(self):
+        m, f, b = build(params=(I64,))
+        x = f.arguments[0]
+        v = b.binop("ashr", b.binop("shl", x, ConstantInt(I64, 4)),
+                    ConstantInt(I64, 2))
+        b.ret(v)
+        assert run(m, args=[3]) == 12
+
+    def test_float_ops(self):
+        m, f, b = build(ret=F64)
+        v = b.binop(
+            "fdiv",
+            b.binop("fmul", ConstantFloat(F64, 3.0), ConstantFloat(F64, 4.0)),
+            ConstantFloat(F64, 2.0),
+        )
+        b.ret(v)
+        assert run(m) == 6.0
+
+    def test_icmp_signed_vs_unsigned(self):
+        m, f, b = build(params=(I64, I64))
+        x, y = f.arguments
+        slt = b.icmp("slt", x, y)
+        ult = b.icmp("ult", x, y)
+        both = b.binop("shl", b.zext(slt, I64), ConstantInt(I64, 1))
+        b.ret(b.binop("or", both, b.zext(ult, I64)))
+        # -1 < 1 signed, but 0xFFF..F > 1 unsigned
+        assert run(m, args=[(-1) & (2**64 - 1), 1]) == 0b10
+
+
+class TestMemory:
+    def test_alloca_load_store(self):
+        m, f, b = build(params=(I64,))
+        slot = b.alloca(I64)
+        b.store(f.arguments[0], slot)
+        b.ret(b.load(slot))
+        assert run(m, args=[99]) == 99
+
+    def test_gep_indexing(self):
+        m, f, b = build()
+        arr = b.alloca(ArrayType(I64, 4))
+        base = b.bitcast(arr, ptr(I64))
+        for i in range(4):
+            p = b.gep(I64, base, [ConstantInt(I64, i)])
+            b.store(ConstantInt(I64, i * 10), p)
+        p2 = b.gep(I64, base, [ConstantInt(I64, 2)])
+        b.ret(b.load(p2))
+        assert run(m) == 20
+
+    def test_two_index_gep(self):
+        m, f, b = build()
+        g = GlobalVariable("tbl", ArrayType(I64, 3), None)
+        m.add_global(g)
+        p = b.gep(ArrayType(I64, 3), g, [ConstantInt(I64, 0), ConstantInt(I64, 1)])
+        b.store(ConstantInt(I64, 5), p)
+        b.ret(b.load(p))
+        assert run(m) == 5
+
+    def test_global_initializer(self):
+        m, f, b = build()
+        m.add_global(GlobalVariable("g", I64, ConstantInt(I64, 123)))
+        b.ret(b.load(m.globals["g"]))
+        assert run(m) == 123
+
+    def test_byte_global_initializer(self):
+        m, f, b = build()
+        m.add_global(GlobalVariable("s", ArrayType(I8, 3), b"ab\x00"))
+        g = m.globals["s"]
+        p = b.gep(ArrayType(I8, 3), g, [ConstantInt(I64, 0), ConstantInt(I64, 1)])
+        b.ret(b.zext(b.load(p), I64))
+        assert run(m) == ord("b")
+
+    def test_atomicrmw_returns_old(self):
+        m, f, b = build()
+        slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 10), slot)
+        old = b.atomicrmw("add", slot, ConstantInt(I64, 5))
+        new = b.load(slot)
+        b.ret(b.binop("or", b.binop("shl", new, ConstantInt(I64, 8)), old))
+        assert run(m) == (15 << 8) | 10
+
+    def test_cmpxchg_success_and_failure(self):
+        m, f, b = build(params=(I64,))
+        slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 1), slot)
+        old = b.cmpxchg(slot, f.arguments[0], ConstantInt(I64, 7))
+        final = b.load(slot)
+        b.ret(b.binop("or", b.binop("shl", final, ConstantInt(I64, 8)), old))
+        assert run(m, args=[1]) == (7 << 8) | 1   # success
+        assert run(m, args=[2]) == (1 << 8) | 1   # failure leaves memory
+
+    def test_out_of_range_access_raises(self):
+        m, f, b = build()
+        p = b.inttoptr(ConstantInt(I64, 2**40), ptr(I64))
+        b.ret(b.load(p))
+        with pytest.raises(InterpError):
+            run(m)
+
+
+class TestControlFlow:
+    def test_branch_and_phi(self):
+        m = Module("t")
+        f = Function("main", FunctionType(I64, (I64,)))
+        m.add_function(f)
+        entry = f.new_block("entry")
+        then = f.new_block("then")
+        els = f.new_block("else")
+        join = f.new_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("sgt", f.arguments[0], ConstantInt(I64, 0))
+        b.cond_br(cond, then, els)
+        IRBuilder(then).br(join)
+        IRBuilder(els).br(join)
+        phi = Phi(I64)
+        join.append(phi)
+        phi.add_incoming(ConstantInt(I64, 111), then)
+        phi.add_incoming(ConstantInt(I64, 222), els)
+        IRBuilder(join).ret(phi)
+        assert run(m, args=[5]) == 111
+        assert run(m, args=[0]) == 222
+
+    def test_loop_sums(self):
+        m = Module("t")
+        f = Function("main", FunctionType(I64, (I64,)))
+        m.add_function(f)
+        entry = f.new_block("entry")
+        b = IRBuilder(entry)
+        i_slot = b.alloca(I64)
+        s_slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 0), i_slot)
+        b.store(ConstantInt(I64, 0), s_slot)
+        head = f.new_block("head")
+        body = f.new_block("body")
+        done = f.new_block("done")
+        b.br(head)
+        b.position_at_end(head)
+        i = b.load(i_slot)
+        b.cond_br(b.icmp("slt", i, f.arguments[0]), body, done)
+        b.position_at_end(body)
+        i2 = b.load(i_slot)
+        s = b.load(s_slot)
+        b.store(b.add(s, i2), s_slot)
+        b.store(b.add(i2, ConstantInt(I64, 1)), i_slot)
+        b.br(head)
+        b.position_at_end(done)
+        b.ret(b.load(s_slot))
+        assert run(m, args=[10]) == 45
+
+    def test_calls_and_recursion(self):
+        m = Module("t")
+        fact = Function("fact", FunctionType(I64, (I64,)))
+        m.add_function(fact)
+        entry = fact.new_block("entry")
+        base = fact.new_block("base")
+        rec = fact.new_block("rec")
+        b = IRBuilder(entry)
+        n = fact.arguments[0]
+        b.cond_br(b.icmp("sle", n, ConstantInt(I64, 1)), base, rec)
+        IRBuilder(base).ret(ConstantInt(I64, 1))
+        b = IRBuilder(rec)
+        smaller = b.call(fact, [b.sub(n, ConstantInt(I64, 1))])
+        b.ret(b.mul(n, smaller))
+        assert run(m, "fact", [6]) == 720
+
+    def test_unreachable_raises(self):
+        m, f, b = build()
+        b.unreachable()
+        with pytest.raises(InterpError):
+            run(m)
+
+
+class TestRuntime:
+    def test_malloc_and_print(self):
+        m, f, b = build()
+        malloc = m.declare_external("malloc", FunctionType(I64, (I64,)))
+        print_i = m.declare_external("print_i64", FunctionType(VOID, (I64,)))
+        addr = b.call(malloc, [ConstantInt(I64, 16)])
+        p = b.inttoptr(addr, ptr(I64))
+        b.store(ConstantInt(I64, 42), p)
+        b.call(print_i, [b.load(p)])
+        b.ret(ConstantInt(I64, 0))
+        it = Interpreter(m)
+        it.run("main")
+        assert it.output == ["42"]
+
+    def test_spawn_join(self):
+        m = Module("t")
+        worker = Function("worker", FunctionType(I64, (I64,)))
+        m.add_function(worker)
+        wb = IRBuilder(worker.new_block("entry"))
+        wb.ret(wb.mul(worker.arguments[0], ConstantInt(I64, 2)))
+
+        main = Function("main", FunctionType(I64, ()))
+        m.add_function(main)
+        b = IRBuilder(main.new_block("entry"))
+        spawn = m.declare_external("spawn", FunctionType(I64, (I64, I64)))
+        join = m.declare_external("join", FunctionType(I64, (I64,)))
+        faddr = b.ptrtoint(worker, I64)
+        tid = b.call(spawn, [faddr, ConstantInt(I64, 21)])
+        b.ret(b.call(join, [tid]))
+        assert run(m) == 42
+
+    def test_concurrent_atomic_counter(self):
+        m = Module("t")
+        m.add_global(GlobalVariable("ctr", I64, ConstantInt(I64, 0)))
+        worker = Function("worker", FunctionType(I64, (I64,)))
+        m.add_function(worker)
+        wb = IRBuilder(worker.new_block("entry"))
+        g = m.globals["ctr"]
+        head = worker.new_block("head")
+        body = worker.new_block("body")
+        done = worker.new_block("done")
+        i_slot = wb.alloca(I64)
+        wb.store(ConstantInt(I64, 0), i_slot)
+        wb.br(head)
+        hb = IRBuilder(head)
+        i = hb.load(i_slot)
+        hb.cond_br(hb.icmp("slt", i, ConstantInt(I64, 100)), body, done)
+        bb = IRBuilder(body)
+        bb.atomicrmw("add", g, ConstantInt(I64, 1))
+        bb.store(bb.add(bb.load(i_slot), ConstantInt(I64, 1)), i_slot)
+        bb.br(head)
+        IRBuilder(done).ret(ConstantInt(I64, 0))
+
+        main = Function("main", FunctionType(I64, ()))
+        m.add_function(main)
+        b = IRBuilder(main.new_block("entry"))
+        spawn = m.declare_external("spawn", FunctionType(I64, (I64, I64)))
+        join = m.declare_external("join", FunctionType(I64, (I64,)))
+        faddr = b.ptrtoint(worker, I64)
+        t1 = b.call(spawn, [faddr, ConstantInt(I64, 0)])
+        t2 = b.call(spawn, [faddr, ConstantInt(I64, 0)])
+        b.call(join, [t1])
+        b.call(join, [t2])
+        b.ret(b.load(g))
+        assert run(m) == 200

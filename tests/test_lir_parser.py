@@ -1,0 +1,256 @@
+"""Round-trip tests: format_module → parse_module → semantically equal."""
+
+import pytest
+
+from repro.lir import (
+    ConstantInt,
+    I64,
+    Interpreter,
+    format_module,
+    verify_module,
+)
+from repro.lir.parser import IRParseError, parse_module, parse_type
+from repro.lir.types import ArrayType, F64, IntType, PointerType, VectorType
+
+
+class TestTypeParsing:
+    def test_scalars(self):
+        for text, width in (("i1", 1), ("i8", 8), ("i64", 64)):
+            t, rest = parse_type(text)
+            assert t == IntType(width) and rest == ""
+
+    def test_floats(self):
+        assert parse_type("double")[0] == F64
+
+    def test_pointers(self):
+        t, _ = parse_type("i64**")
+        assert t == PointerType(PointerType(IntType(64)))
+
+    def test_aggregates(self):
+        t, _ = parse_type("[4 x i8]*")
+        assert t == PointerType(ArrayType(IntType(8), 4))
+        t, _ = parse_type("<2 x double>")
+        assert t == VectorType(F64, 2)
+
+    def test_bad_type_raises(self):
+        with pytest.raises(IRParseError):
+            parse_type("j32")
+
+
+def roundtrip(module):
+    text = format_module(module)
+    parsed = parse_module(text)
+    verify_module(parsed)
+    # A second print of the parsed module must be identical text.
+    assert format_module(parsed) == text
+    return parsed
+
+
+class TestModuleRoundTrip:
+    def test_simple_function(self):
+        text = """
+; module demo
+
+@g = global i64 5
+
+define i64 @main() {
+entry:
+  %v = load i64, i64* @g
+  %s = add i64 %v, 37
+  ret i64 %s
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("main") == 42
+        roundtrip(module)
+
+    def test_control_flow_and_phi(self):
+        text = """
+define i64 @main(i64 %x) {
+entry:
+  %c = icmp sgt i64 %x, 0
+  br i1 %c, label %then, label %els
+
+then:
+  br label %join
+
+els:
+  br label %join
+
+join:
+  %r = phi i64 [ 10, %then ], [ 20, %els ]
+  ret i64 %r
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        it = Interpreter(module)
+        assert it.run("main", [5]) == 10
+        assert Interpreter(module).run("main", [0]) == 20
+        roundtrip(module)
+
+    def test_forward_reference_in_phi(self):
+        """A loop-carried phi references a value defined later in the text."""
+        text = """
+define i64 @main(i64 %n) {
+entry:
+  br label %head
+
+head:
+  %i = phi i64 [ 0, %entry ], [ %inext, %body ]
+  %s = phi i64 [ 0, %entry ], [ %snext, %body ]
+  %c = icmp slt i64 %i, %n
+  br i1 %c, label %body, label %done
+
+body:
+  %snext = add i64 %s, %i
+  %inext = add i64 %i, 1
+  br label %head
+
+done:
+  ret i64 %s
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("main", [10]) == 45
+        roundtrip(module)
+
+    def test_memory_and_fences(self):
+        text = """
+@x = global i64 0
+
+define i64 @main() {
+entry:
+  fence fww
+  store i64 7, i64* @x
+  %v = load i64, i64* @x
+  fence frm
+  %old = atomicrmw add i64* @x, i64 3 sc
+  fence seq_cst
+  %cur = cmpxchg i64* @x, i64 10, i64 99 sc
+  %r1 = add i64 %v, %old
+  %r2 = add i64 %r1, %cur
+  ret i64 %r2
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        # v=7, old=7, cur=10 (cas succeeds reading 10)
+        assert Interpreter(module).run("main") == 24
+        roundtrip(module)
+
+    def test_calls_and_externals(self):
+        text = """
+declare i64 @malloc(i64)
+
+define i64 @helper(i64 %a, double %d) {
+entry:
+  %i = fptosi double %d to i64
+  %s = add i64 %a, %i
+  ret i64 %s
+}
+
+define i64 @main() {
+entry:
+  %p = call i64 @malloc(i64 16)
+  %r = call i64 @helper(i64 2, double 3.5)
+  ret i64 %r
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("main") == 5
+        roundtrip(module)
+
+    def test_gep_and_casts(self):
+        text = """
+@buf = global [16 x i8] zeroinitializer
+
+define i64 @main() {
+entry:
+  %p8 = getelementptr [16 x i8], [16 x i8]* @buf, i64 0, i64 8
+  %p = bitcast i8* %p8 to i64*
+  store i64 1234, i64* %p
+  %raw = ptrtoint i64* %p to i64
+  %q = inttoptr i64 %raw to i64*
+  %v = load i64, i64* %q
+  ret i64 %v
+}
+"""
+        module = parse_module(text)
+        verify_module(module)
+        assert Interpreter(module).run("main") == 1234
+        roundtrip(module)
+
+
+class TestWholePipelineRoundTrip:
+    def test_lifted_module_roundtrips(self):
+        """A real lifted + refined + fenced module survives print→parse."""
+        from repro.fences import place_fences
+        from repro.lifter import lift_program
+        from repro.minicc import compile_to_x86
+        from repro.refine import run_refinement
+        from repro.x86 import X86Emulator
+
+        src = """
+        int g = 0;
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 5; i = i + 1) { acc = acc + i; }
+          g = acc;
+          return g;
+        }
+        """
+        obj = compile_to_x86(src)
+        module = lift_program(obj)
+        run_refinement(module)
+        place_fences(module)
+        expected = X86Emulator(obj).run()
+
+        text = format_module(module)
+        parsed = parse_module(text)
+        verify_module(parsed)
+        assert Interpreter(parsed).run("main") == expected
+        assert format_module(parsed) == text
+
+    def test_native_frontend_module_roundtrips(self):
+        from repro.minicc.frontend_lir import compile_to_lir
+
+        src = """
+        double d = 1.5;
+        int main() {
+          double x = d * 4.0;
+          if (x > 5.0) { return (int)x; }
+          return 0;
+        }
+        """
+        module = compile_to_lir(src)
+        expected = Interpreter(module).run("main")
+        parsed = roundtrip(module)
+        assert Interpreter(parsed).run("main") == expected
+
+
+class TestErrors:
+    def test_undefined_value_rejected(self):
+        text = """
+define i64 @main() {
+entry:
+  %r = add i64 %nope, 1
+  ret i64 %r
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)
+
+    def test_unknown_instruction_rejected(self):
+        text = """
+define i64 @main() {
+entry:
+  frobnicate i64 1
+  ret i64 0
+}
+"""
+        with pytest.raises(IRParseError):
+            parse_module(text)

@@ -1,0 +1,122 @@
+"""Tests for the LIR type system."""
+
+import pytest
+
+from repro.lir import (
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+    VectorType,
+    ptr,
+)
+
+
+class TestIntTypes:
+    def test_sizes(self):
+        assert I8.size_bytes() == 1
+        assert I16.size_bytes() == 2
+        assert I32.size_bytes() == 4
+        assert I64.size_bytes() == 8
+
+    def test_i1_occupies_one_byte(self):
+        assert I1.size_bytes() == 1
+
+    def test_odd_width_rounds_up_to_bytes(self):
+        assert IntType(12).size_bytes() == 2
+        assert IntType(33).size_bytes() == 5
+
+    def test_mask(self):
+        assert I8.mask() == 0xFF
+        assert I1.mask() == 1
+        assert I64.mask() == 2**64 - 1
+
+    def test_structural_equality(self):
+        assert IntType(64) == I64
+        assert IntType(32) != I64
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(-3)
+
+    def test_str(self):
+        assert str(I64) == "i64"
+        assert str(I1) == "i1"
+
+
+class TestFloatTypes:
+    def test_sizes(self):
+        assert F32.size_bytes() == 4
+        assert F64.size_bytes() == 8
+
+    def test_only_32_and_64(self):
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+    def test_str(self):
+        assert str(F32) == "float"
+        assert str(F64) == "double"
+
+
+class TestAggregateTypes:
+    def test_pointer_size(self):
+        assert ptr(I8).size_bytes() == 8
+        assert ptr(ptr(F64)).size_bytes() == 8
+
+    def test_pointer_structural_equality(self):
+        assert ptr(I64) == PointerType(I64)
+        assert ptr(I64) != ptr(I32)
+
+    def test_array(self):
+        a = ArrayType(I64, 10)
+        assert a.size_bytes() == 80
+        assert str(a) == "[10 x i64]"
+
+    def test_array_of_arrays(self):
+        a = ArrayType(ArrayType(I8, 4), 4)
+        assert a.size_bytes() == 16
+
+    def test_negative_array_count_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayType(I8, -1)
+
+    def test_vector(self):
+        v = VectorType(F64, 2)
+        assert v.size_bytes() == 16
+        assert v.bit_width() == 128
+        assert str(v) == "<2 x double>"
+
+    def test_function_type(self):
+        ft = FunctionType(I64, (I64, F64))
+        assert ft.ret == I64
+        assert len(ft.params) == 2
+        assert "i64 (i64, double)" == str(ft)
+
+    def test_variadic_function_type_str(self):
+        ft = FunctionType(VOID, (I64,), variadic=True)
+        assert "..." in str(ft)
+
+
+class TestPredicates:
+    def test_kind_predicates(self):
+        assert I64.is_int and not I64.is_float
+        assert F64.is_float and not F64.is_int
+        assert ptr(I8).is_pointer
+        assert VOID.is_void
+        assert ArrayType(I8, 2).is_array
+        assert VectorType(I32, 4).is_vector
+
+    def test_void_has_no_size(self):
+        with pytest.raises(NotImplementedError):
+            VOID.size_bytes()

@@ -1,0 +1,119 @@
+"""Tests for the herd-style litmus text format."""
+
+import pytest
+
+from repro.memmodel import Fence, Ld, Rmw, St, outcomes, has_outcome
+from repro.memmodel.litmus_format import (
+    LitmusParseError,
+    LitmusTest,
+    parse_litmus,
+)
+
+MP_TEXT = r"""
+MP
+{ X=0; Y=0 }
+P0           | P1            ;
+X = 1        | a = Y         ;
+Y = 1        | b = X         ;
+exists (P1:a=1 /\ P1:b=0)
+"""
+
+MP_FENCED_TEXT = r"""
+MP+fences
+{ X=0; Y=0 }
+P0           | P1            ;
+X = 1        | a = Y         ;
+fence ww     | fence rm      ;
+Y = 1        | b = X         ;
+exists (P1:a=1 /\ P1:b=0)
+"""
+
+
+class TestParsing:
+    def test_structure(self):
+        test = parse_litmus(MP_TEXT)
+        assert test.program.name == "MP"
+        assert len(test.program.threads) == 2
+        t0, t1 = test.program.threads
+        assert [type(o).__name__ for o in t0] == ["St", "St"]
+        assert [type(o).__name__ for o in t1] == ["Ld", "Ld"]
+        assert test.exists == {"P1:a": 1, "P1:b": 0}
+
+    def test_init_values(self):
+        test = parse_litmus("T\n{ X=7 }\nP0 ;\na = X ;\n")
+        assert test.program.init == {"X": 7}
+        assert has_outcome(outcomes(test.program, "x86"), t1_a=7)
+
+    def test_fences(self):
+        test = parse_litmus(MP_FENCED_TEXT)
+        kinds = [
+            op.kind
+            for t in test.program.threads
+            for op in t
+            if isinstance(op, Fence)
+        ]
+        assert kinds == ["ww", "rm"]
+
+    def test_cas_and_ctrl(self):
+        test = parse_litmus(
+            "T\nP0 ;\nr = cas X 0 2 ;\nctrl r ;\nY = 1 ;\n"
+        )
+        ops = test.program.threads[0]
+        assert isinstance(ops[0], Rmw) and ops[0].new == 2
+        assert type(ops[1]).__name__ == "CtrlDep"
+
+    def test_register_store(self):
+        test = parse_litmus("T\nP0 ;\na = X ;\nY = a ;\n")
+        st = test.program.threads[0][1]
+        assert isinstance(st, St) and not isinstance(st.value, int)
+
+    def test_acquire_release(self):
+        test = parse_litmus(
+            "T\nP0        | P1 ;\nX =rel 1  | a =acq X ;\n"
+        )
+        st = test.program.threads[0][0]
+        ld = test.program.threads[1][0]
+        assert st.ordering == "rel" and ld.ordering == "acq"
+
+    def test_uneven_rows_rejected(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("T\nP0 | P1 ;\nX = 1 ;\n")
+
+    def test_garbage_op_rejected(self):
+        with pytest.raises(LitmusParseError):
+            parse_litmus("T\nP0 ;\nwibble ;\n")
+
+
+class TestSemantics:
+    def test_mp_exists_per_model(self):
+        test = parse_litmus(MP_TEXT)
+        assert not test.exists_allowed("x86")
+        assert test.exists_allowed("arm")
+        assert test.exists_allowed("limm")
+
+    def test_fenced_mp_forbidden_everywhere(self):
+        test = parse_litmus(MP_FENCED_TEXT)
+        assert not test.exists_allowed("limm")
+        # the Arm spelling with DMB flavours
+        arm_text = MP_FENCED_TEXT.replace("fence ww", "fence st").replace(
+            "fence rm", "fence ld"
+        )
+        assert not parse_litmus(arm_text).exists_allowed("arm")
+
+    def test_memory_exists_clause(self):
+        test = parse_litmus(
+            "T\nP0 | P1 ;\nX = 1 | X = 2 ;\nexists (X=2)\n"
+        )
+        assert test.exists_allowed("x86")
+
+    def test_matches_programmatic_battery(self):
+        """The parsed SB equals the hand-built SB's outcome sets."""
+        from repro.memmodel import SB
+
+        parsed = parse_litmus(
+            "SB\nP0 | P1 ;\nX = 1 | Y = 1 ;\na = Y | b = X ;\n"
+        )
+        for model in ("x86", "arm", "limm"):
+            got = outcomes(parsed.program, model)
+            want = outcomes(SB, model)
+            assert got == want, model

@@ -1,0 +1,256 @@
+"""Extended memory-model tests: Appendix A (release/acquire), Appendix B
+(the reverse Arm→x86 mapping), and the wider litmus battery."""
+
+import pytest
+
+from repro.memmodel import (
+    CoRR,
+    CoWW,
+    IRIW,
+    IRIW_FENCED_ARM,
+    LB,
+    Ld,
+    MP,
+    MP_RELACQ,
+    Program,
+    R_TEST,
+    S_TEST,
+    SB,
+    SB_FENCED_ARM,
+    St,
+    TWO_PLUS_TWO_W,
+    WRC,
+    WRC_UNFENCED,
+    check_arm_to_ir,
+    check_arm_to_x86,
+    check_ir_to_x86,
+    has_outcome,
+    map_arm_to_ir,
+    map_arm_to_x86,
+    outcomes,
+)
+
+ARM_BATTERY = [SB, MP, LB, CoRR, CoWW, SB_FENCED_ARM]
+
+
+class TestReleaseAcquire:
+    def test_mp_relacq_forbidden_on_arm(self):
+        """Appendix A: rel-store/acq-load pairs restore MP ordering."""
+        assert not has_outcome(outcomes(MP_RELACQ, "arm"), t2_a=1, t2_b=0)
+
+    def test_release_alone_insufficient(self):
+        p = Program(
+            [
+                [St("X", 1), St("Y", 1, ordering="rel")],
+                [Ld("Y", "a"), Ld("X", "b")],  # no acquire
+            ]
+        )
+        assert has_outcome(outcomes(p, "arm"), t2_a=1, t2_b=0)
+
+    def test_acquire_alone_insufficient(self):
+        p = Program(
+            [
+                [St("X", 1), St("Y", 1)],  # no release
+                [Ld("Y", "a", ordering="acq"), Ld("X", "b")],
+            ]
+        )
+        assert has_outcome(outcomes(p, "arm"), t2_a=1, t2_b=0)
+
+    def test_acquire_does_not_order_earlier_accesses(self):
+        """[A];po orders later events only; SB stays allowed."""
+        p = Program(
+            [
+                [St("X", 1), Ld("Y", "a", ordering="acq")],
+                [St("Y", 1), Ld("X", "b", ordering="acq")],
+            ]
+        )
+        assert has_outcome(outcomes(p, "arm"), t1_a=0, t2_b=0)
+
+
+class TestExtendedBattery:
+    def test_wrc_with_fences_is_causal(self):
+        o = outcomes(WRC, "arm")
+        assert not has_outcome(o, t2_a=1, t3_b=1, t3_c=0)
+
+    def test_wrc_unfenced_allows_non_causal(self):
+        o = outcomes(WRC_UNFENCED, "arm")
+        assert has_outcome(o, t2_a=1, t3_b=1, t3_c=0)
+
+    def test_wrc_forbidden_on_x86_even_unfenced(self):
+        o = outcomes(WRC_UNFENCED, "x86")
+        assert not has_outcome(o, t2_a=1, t3_b=1, t3_c=0)
+
+    def test_iriw_split_reads_allowed_on_plain_arm(self):
+        o = outcomes(IRIW, "arm")
+        assert has_outcome(o, t3_a=1, t3_b=0, t4_c=1, t4_d=0)
+
+    def test_iriw_forbidden_with_full_fences(self):
+        """Arm is multi-copy atomic: DMBFF restores IRIW."""
+        o = outcomes(IRIW_FENCED_ARM, "arm")
+        assert not has_outcome(o, t3_a=1, t3_b=0, t4_c=1, t4_d=0)
+
+    def test_iriw_forbidden_on_x86(self):
+        o = outcomes(IRIW, "x86")
+        assert not has_outcome(o, t3_a=1, t3_b=0, t4_c=1, t4_d=0)
+
+    def test_s_shape(self):
+        # a=1 (read the other thread's Y) with X finally 2 means T2's write
+        # to X was overwritten even though it po-followed the read: allowed
+        # on Arm, forbidden on x86.
+        bad = dict(t2_a=1)
+
+        def final_x2(outcome):
+            return ("X", 2) in outcome and ("t2:a", 1) in outcome
+
+        arm = any(final_x2(o) for o in outcomes(S_TEST, "arm"))
+        x86 = any(final_x2(o) for o in outcomes(S_TEST, "x86"))
+        assert arm and not x86
+
+    def test_r_shape(self):
+        # T1: X=1;Y=1  T2: Y=2;a=X.  The SC-violating witness is final Y=2
+        # with a=0.  Plain TSO *allows* it (the W→R pair in T2 may relax);
+        # an MFENCE in T2 forbids it on x86, while Arm still allows the
+        # unfenced version.
+        def witness(outcome):
+            return ("Y", 2) in outcome and ("t2:a", 0) in outcome
+
+        assert any(witness(o) for o in outcomes(R_TEST, "arm"))
+        assert any(witness(o) for o in outcomes(R_TEST, "x86"))
+
+        from repro.memmodel import Fence
+
+        fenced = Program(
+            [
+                [St("X", 1), St("Y", 1)],
+                [St("Y", 2), Fence("mfence"), Ld("X", "a")],
+            ]
+        )
+        assert not any(witness(o) for o in outcomes(fenced, "x86"))
+
+    def test_2plus2w(self):
+        # Final X=1 ∧ Y=1 requires both second writes to lose: needs W-W
+        # reordering, so x86 forbids it while Arm allows it.
+        target = frozenset({("X", 1), ("Y", 1)})
+        from repro.memmodel import behaviours
+
+        assert target in behaviours(TWO_PLUS_TWO_W, "arm")
+        assert target not in behaviours(TWO_PLUS_TWO_W, "x86")
+
+
+class TestReverseMapping:
+    """Appendix B: weak→strong translation, Arm → IR → x86."""
+
+    @pytest.mark.parametrize("program", ARM_BATTERY, ids=lambda p: p.name)
+    def test_arm_to_ir(self, program):
+        assert check_arm_to_ir(program, compare="outcome")
+
+    @pytest.mark.parametrize("program", ARM_BATTERY, ids=lambda p: p.name)
+    def test_ir_to_x86(self, program):
+        assert check_ir_to_x86(map_arm_to_ir(program), compare="outcome")
+
+    @pytest.mark.parametrize("program", ARM_BATTERY, ids=lambda p: p.name)
+    def test_arm_to_x86_composition(self, program):
+        assert check_arm_to_x86(program, compare="outcome")
+
+    def test_frm_needed_for_dependency_preservation(self):
+        """Without the trailing Frm, Arm→IR would be wrong: LIMM has no
+        dependency ordering (§6.3), so an Arm-forbidden LB+data outcome
+        becomes reachable.  The witness is LB with a data dependency on one
+        side and a DMBFF on the other:
+
+            T1: a = X; Y = a          T2: b = Y; DMBFF; X = 1
+
+        a=b=1 is forbidden on Arm (dob + bob cycle) but allowed on LIMM if
+        the dependency edge is simply dropped.
+        """
+        from repro.memmodel import Fence, Reg, check_mapping
+
+        src = Program(
+            [
+                [Ld("X", "a"), St("Y", Reg("a"))],
+                [Ld("Y", "b"), Fence("ff"), St("X", 1)],
+            ],
+            name="LB+data+dmb",
+        )
+        assert not has_outcome(outcomes(src, "arm"), t1_a=1, t2_b=1)
+
+        # Naive translation: same accesses, LIMM fences for the DMB only.
+        naive = Program(
+            [
+                [Ld("X", "a"), St("Y", Reg("a"))],
+                [Ld("Y", "b"), Fence("sc"), St("X", 1)],
+            ],
+            name="naive",
+        )
+        assert has_outcome(outcomes(naive, "limm"), t1_a=1, t2_b=1)
+        holds, _, _ = check_mapping(src, "arm", naive, "limm",
+                                    compare="outcome")
+        assert not holds  # the naive scheme is incorrect...
+
+        proper = map_arm_to_ir(src)
+        holds, _, _ = check_mapping(src, "arm", proper, "limm",
+                                    compare="outcome")
+        assert holds  # ...and the ld→ldna;Frm scheme repairs it
+
+    def test_ir_fences_free_on_x86(self):
+        """Frm/Fww vanish in the x86 target (x86's ppo subsumes them)."""
+        from repro.memmodel import Fence, map_ir_to_x86
+
+        src = Program([[Ld("X", "a"), Fence("rm"), Fence("ww"), St("Y", 1)]])
+        tgt = map_ir_to_x86(src)
+        assert all(not isinstance(op, Fence) for op in tgt.threads[0])
+
+    def test_rel_acq_rejected_by_reverse_mapping(self):
+        with pytest.raises(ValueError):
+            map_arm_to_ir(MP_RELACQ)
+
+
+class TestControlDependencies:
+    """Arm's dob includes ctrl;[W] (Fig. 6); LIMM drops it (§6.3)."""
+
+    def test_lb_ctrl_forbidden_on_arm(self):
+        from repro.memmodel import CtrlDep
+
+        p = Program(
+            [
+                [Ld("X", "a"), CtrlDep("a"), St("Y", 1)],
+                [Ld("Y", "b"), CtrlDep("b"), St("X", 1)],
+            ],
+            name="LB+ctrls",
+        )
+        assert not has_outcome(outcomes(p, "arm"), t1_a=1, t2_b=1)
+
+    def test_ctrl_does_not_order_loads(self):
+        """The classic result: a branch orders dependent *writes* only, so
+        MP with a control dependency on the reader side stays weak."""
+        from repro.memmodel import CtrlDep, Fence
+
+        p = Program(
+            [
+                [St("X", 1), Fence("st"), St("Y", 1)],
+                [Ld("Y", "a"), CtrlDep("a"), Ld("X", "b")],
+            ],
+            name="MP+ctrl",
+        )
+        assert has_outcome(outcomes(p, "arm"), t2_a=1, t2_b=0)
+
+    def test_limm_ignores_control_dependencies(self):
+        """LIMM must allow the ctrl-ordered outcome (it has no dependency
+        ordering), which is exactly why a dependency-preserving Arm→IR
+        mapping needs the Frm (§6.3)."""
+        from repro.memmodel import CtrlDep
+
+        p = Program(
+            [
+                [Ld("X", "a"), CtrlDep("a"), St("Y", 1)],
+                [Ld("Y", "b"), CtrlDep("b"), St("X", 1)],
+            ],
+            name="LB+ctrls",
+        )
+        assert has_outcome(outcomes(p, "limm"), t1_a=1, t2_b=1)
+
+    def test_ctrl_on_undefined_register_rejected(self):
+        from repro.memmodel import CtrlDep
+
+        p = Program([[CtrlDep("nope"), St("X", 1)]], name="bad")
+        assert outcomes(p, "limm") == set()

@@ -1,0 +1,158 @@
+"""Theorem 7.1/7.3/7.4 checks: the Fig. 8 mapping schemes are correct and
+precise on the litmus battery (the executable stand-in for the Agda proofs)."""
+
+import pytest
+
+from repro.memmodel import (
+    ALL_LITMUS,
+    CoRR,
+    CoWW,
+    FIG10_LEFT_IR,
+    FIG10_RIGHT_IR,
+    Fence,
+    LB,
+    Ld,
+    MP,
+    Program,
+    Rmw,
+    SB,
+    SB_FENCED_X86,
+    St,
+    check_ir_to_arm,
+    check_mapping,
+    check_x86_to_arm,
+    check_x86_to_ir,
+    has_outcome,
+    map_ir_to_arm,
+    map_x86_to_arm,
+    map_x86_to_ir,
+    outcomes,
+    weaken_fences,
+)
+
+X86_BATTERY = [SB, MP, LB, CoRR, CoWW, SB_FENCED_X86]
+
+
+class TestMappingShapes:
+    def test_fig8a_shapes(self):
+        mapped = map_x86_to_ir(MP)
+        t1, t2 = mapped.threads
+        # st → Fww;st ×2 ; ld → ld;Frm ×2
+        assert [type(op).__name__ for op in t1] == ["Fence", "St", "Fence", "St"]
+        assert all(op.kind == "ww" for op in t1 if isinstance(op, Fence))
+        assert [type(op).__name__ for op in t2] == ["Ld", "Fence", "Ld", "Fence"]
+        assert all(op.kind == "rm" for op in t2 if isinstance(op, Fence))
+
+    def test_fig8a_mfence_to_fsc(self):
+        mapped = map_x86_to_ir(SB_FENCED_X86)
+        kinds = [
+            op.kind for t in mapped.threads for op in t if isinstance(op, Fence)
+        ]
+        assert "sc" in kinds and "mfence" not in kinds
+
+    def test_fig8b_rmw_gets_dmbff_pair(self):
+        mapped = map_ir_to_arm(FIG10_LEFT_IR)
+        t1 = mapped.threads[0]
+        i = next(j for j, op in enumerate(t1) if isinstance(op, Rmw))
+        assert isinstance(t1[i - 1], Fence) and t1[i - 1].kind == "ff"
+        assert isinstance(t1[i + 1], Fence) and t1[i + 1].kind == "ff"
+
+    def test_fig8b_fence_translation(self):
+        src = Program([[Fence("rm"), Fence("ww"), Fence("sc")]])
+        mapped = map_ir_to_arm(src)
+        assert [op.kind for op in mapped.threads[0]] == ["ld", "st", "ff"]
+
+
+class TestTheorem71:
+    @pytest.mark.parametrize("program", X86_BATTERY, ids=lambda p: p.name)
+    def test_x86_to_ir(self, program):
+        assert check_x86_to_ir(program, compare="outcome")
+
+    @pytest.mark.parametrize("program", X86_BATTERY, ids=lambda p: p.name)
+    def test_ir_to_arm(self, program):
+        ir = map_x86_to_ir(program)
+        assert check_ir_to_arm(ir, compare="outcome")
+
+    @pytest.mark.parametrize("program", X86_BATTERY, ids=lambda p: p.name)
+    def test_x86_to_arm_composition(self, program):
+        assert check_x86_to_arm(program, compare="outcome")
+
+    def test_mapping_is_exact_on_mp(self):
+        """For MP the mapped program admits *exactly* the x86 outcomes."""
+        holds, src, tgt = check_mapping(
+            MP, "x86", map_x86_to_arm(MP), "arm", compare="outcome"
+        )
+        assert holds and src == tgt
+
+    def test_rmw_programs_map_correctly(self):
+        assert check_ir_to_arm(FIG10_LEFT_IR, compare="outcome")
+        assert check_ir_to_arm(FIG10_RIGHT_IR, compare="outcome")
+
+
+class TestPrecision:
+    """Definition 7.2: each fence in the mapping is necessary (weakening or
+    dropping it admits an outcome the source forbids)."""
+
+    def test_frm_necessary(self):
+        mp_ir = map_x86_to_ir(MP)
+        weak = weaken_fences(mp_ir, {"rm": None})
+        assert has_outcome(outcomes(weak, "limm"), t2_a=1, t2_b=0)
+
+    def test_fww_necessary(self):
+        mp_ir = map_x86_to_ir(MP)
+        weak = weaken_fences(mp_ir, {"ww": None})
+        assert has_outcome(outcomes(weak, "limm"), t2_a=1, t2_b=0)
+
+    def test_frm_cannot_be_weakened_to_fww(self):
+        mp_ir = map_x86_to_ir(MP)
+        weak = weaken_fences(mp_ir, {"rm": "ww"})
+        assert has_outcome(outcomes(weak, "limm"), t2_a=1, t2_b=0)
+
+    def test_fww_cannot_be_weakened_to_frm(self):
+        mp_ir = map_x86_to_ir(MP)
+        weak = weaken_fences(mp_ir, {"ww": "rm"})
+        assert has_outcome(outcomes(weak, "limm"), t2_a=1, t2_b=0)
+
+    def test_dmbld_necessary_on_arm(self):
+        mp_arm = map_x86_to_arm(MP)
+        weak = weaken_fences(mp_arm, {"ld": None})
+        assert has_outcome(outcomes(weak, "arm"), t2_a=1, t2_b=0)
+
+    def test_dmbst_necessary_on_arm(self):
+        mp_arm = map_x86_to_arm(MP)
+        weak = weaken_fences(mp_arm, {"st": None})
+        assert has_outcome(outcomes(weak, "arm"), t2_a=1, t2_b=0)
+
+    def test_dmbff_around_rmw_necessary_left(self):
+        """Fig. 10 left: dropping the DMBFFs admits both CAS successes."""
+        arm = map_ir_to_arm(FIG10_LEFT_IR)
+        strong = outcomes(arm, "arm")
+        weak = outcomes(weaken_fences(arm, {"ff": None}), "arm")
+        assert not has_outcome(strong, t1_r=0, t2_r=0)
+        assert has_outcome(weak, t1_r=0, t2_r=0)
+
+    def test_dmbff_around_rmw_necessary_right(self):
+        """Fig. 10 right: dropping the DMBFFs admits the SB outcome."""
+        arm = map_ir_to_arm(FIG10_RIGHT_IR)
+        strong = outcomes(arm, "arm")
+        weak = outcomes(weaken_fences(arm, {"ff": None}), "arm")
+        assert not has_outcome(strong, t1_a=0, t2_b=0)
+        assert has_outcome(weak, t1_a=0, t2_b=0)
+
+    def test_dmbff_cannot_weaken_to_dmbst(self):
+        """Fig. 10 right with DMBST instead of DMBFF is incorrect."""
+        arm = map_ir_to_arm(FIG10_RIGHT_IR)
+        weak = weaken_fences(arm, {"ff": "st"})
+        assert has_outcome(outcomes(weak, "arm"), t1_a=0, t2_b=0)
+
+
+class TestMotivatingFigure2:
+    def test_unfenced_translation_is_wrong(self):
+        """Fig. 2: translating MP without fences (mctoll+LLVM style) allows
+        an outcome the x86 source forbids — the paper's motivation."""
+        naive_arm = Program(list(MP.threads), dict(MP.init), "MP-naive")
+        x86_outcomes = outcomes(MP, "x86")
+        arm_outcomes = outcomes(naive_arm, "arm")
+        assert not arm_outcomes <= x86_outcomes
+        assert has_outcome(arm_outcomes, t2_a=1, t2_b=0)
+        assert not has_outcome(x86_outcomes, t2_a=1, t2_b=0)

@@ -1,0 +1,188 @@
+"""Tests of the axiomatic models: the paper's Figures 1, 2, 9 and 10."""
+
+import pytest
+
+from repro.memmodel import (
+    CoRR,
+    CoWW,
+    FIG10_LEFT_IR,
+    FIG10_RIGHT_IR,
+    Fence,
+    LB,
+    LB_DATA,
+    Ld,
+    MP,
+    MP_MAPPED_ARM,
+    MP_MAPPED_IR,
+    Program,
+    Rmw,
+    SB,
+    SB_FENCED_ARM,
+    SB_FENCED_LIMM,
+    SB_FENCED_X86,
+    St,
+    behaviours,
+    consistent_executions,
+    enumerate_executions,
+    has_outcome,
+    outcomes,
+)
+
+
+class TestEnumeration:
+    def test_single_store_has_one_behaviour(self):
+        p = Program([[St("X", 1)]])
+        assert behaviours(p, "x86") == {frozenset({("X", 1)})}
+
+    def test_read_can_see_init_or_store(self):
+        p = Program([[St("X", 1)], [Ld("X", "a")]])
+        o = outcomes(p, "x86")
+        assert has_outcome(o, t2_a=0)
+        assert has_outcome(o, t2_a=1)
+
+    def test_failed_rmw_generates_single_read(self):
+        p = Program([[Rmw("X", 5, 9, reg="r")]])
+        # X starts at 0 ≠ 5: the CAS must fail, memory stays 0.
+        assert behaviours(p, "x86") == {frozenset({("X", 0)})}
+        o = outcomes(p, "x86")
+        assert has_outcome(o, t1_r=0)
+
+    def test_successful_rmw_writes(self):
+        p = Program([[Rmw("X", 0, 9, reg="r")]])
+        assert behaviours(p, "x86") == {frozenset({("X", 9)})}
+
+    def test_rmw_success_consistent_with_rf(self):
+        # CAS expecting 1 after a store of 1 can succeed or run first & fail.
+        p = Program([[St("X", 1)], [Rmw("X", 1, 7, reg="r")]])
+        b = behaviours(p, "x86")
+        assert frozenset({("X", 7)}) in b
+        assert frozenset({("X", 1)}) in b
+
+    def test_data_dependency_values_flow(self):
+        p = Program([[St("X", 5)], [Ld("X", "a"), St("Y", __import__(
+            "repro.memmodel", fromlist=["Reg"]).Reg("a"))]])
+        b = behaviours(p, "x86")
+        assert frozenset({("X", 5), ("Y", 5)}) in b
+        assert frozenset({("X", 5), ("Y", 0)}) in b
+
+
+class TestSCPerLocation:
+    def test_corr_forbidden_everywhere(self):
+        for model in ("x86", "arm", "limm"):
+            o = outcomes(CoRR, model)
+            assert not has_outcome(o, t2_a=1, t2_b=0), model
+
+    def test_coww_final_value(self):
+        for model in ("x86", "arm", "limm"):
+            assert behaviours(CoWW, model) == {frozenset({("X", 2)})}, model
+
+
+class TestFigure1:
+    def test_sb_allowed_in_all_models(self):
+        for model in ("x86", "arm", "limm"):
+            assert has_outcome(outcomes(SB, model), t1_a=0, t2_b=0), model
+
+    def test_mp_distinguishes_x86_from_arm(self):
+        assert not has_outcome(outcomes(MP, "x86"), t2_a=1, t2_b=0)
+        assert has_outcome(outcomes(MP, "arm"), t2_a=1, t2_b=0)
+
+    def test_mp_allowed_in_limm(self):
+        """LIMM non-atomics are weaker than x86 (motivates Fig. 2)."""
+        assert has_outcome(outcomes(MP, "limm"), t2_a=1, t2_b=0)
+
+
+class TestLoadBuffering:
+    def test_lb_forbidden_on_x86(self):
+        assert not has_outcome(outcomes(LB, "x86"), t1_a=1, t2_b=1)
+
+    def test_lb_allowed_on_arm_and_limm(self):
+        assert has_outcome(outcomes(LB, "arm"), t1_a=1, t2_b=1)
+        assert has_outcome(outcomes(LB, "limm"), t1_a=1, t2_b=1)
+
+    def test_lb_with_data_deps_forbidden_on_arm(self):
+        """dob includes data dependencies: no thin-air on Arm."""
+        o = outcomes(LB_DATA, "arm")
+        assert not has_outcome(o, t1_a=1, t2_b=1)
+
+
+class TestFences:
+    def test_fenced_sb_forbidden(self):
+        assert not has_outcome(outcomes(SB_FENCED_X86, "x86"), t1_a=0, t2_b=0)
+        assert not has_outcome(outcomes(SB_FENCED_ARM, "arm"), t1_a=0, t2_b=0)
+        assert not has_outcome(outcomes(SB_FENCED_LIMM, "limm"), t1_a=0, t2_b=0)
+
+    def test_dmbst_only_orders_stores(self):
+        """DMBST between a store and a load does NOT forbid SB."""
+        p = Program(
+            [
+                [St("X", 1), Fence("st"), Ld("Y", "a")],
+                [St("Y", 1), Fence("st"), Ld("X", "b")],
+            ]
+        )
+        assert has_outcome(outcomes(p, "arm"), t1_a=0, t2_b=0)
+
+    def test_dmbld_does_not_order_store_load(self):
+        p = Program(
+            [
+                [St("X", 1), Fence("ld"), Ld("Y", "a")],
+                [St("Y", 1), Fence("ld"), Ld("X", "b")],
+            ]
+        )
+        assert has_outcome(outcomes(p, "arm"), t1_a=0, t2_b=0)
+
+    def test_fww_orders_write_write_in_limm(self):
+        """MP with Fww+Frm is exactly Figure 9b: outcome forbidden."""
+        assert not has_outcome(outcomes(MP_MAPPED_IR, "limm"), t2_a=1, t2_b=0)
+
+    def test_mapped_arm_mp_forbidden(self):
+        assert not has_outcome(outcomes(MP_MAPPED_ARM, "arm"), t2_a=1, t2_b=0)
+
+    def test_frm_alone_insufficient_for_mp(self):
+        p = Program(
+            [
+                [St("X", 1), St("Y", 1)],           # no Fww
+                [Ld("Y", "a"), Fence("rm"), Ld("X", "b")],
+            ]
+        )
+        assert has_outcome(outcomes(p, "limm"), t2_a=1, t2_b=0)
+
+    def test_fww_alone_insufficient_for_mp(self):
+        p = Program(
+            [
+                [St("X", 1), Fence("ww"), St("Y", 1)],
+                [Ld("Y", "a"), Ld("X", "b")],       # no Frm
+            ]
+        )
+        assert has_outcome(outcomes(p, "limm"), t2_a=1, t2_b=0)
+
+
+class TestRMWOrdering:
+    def test_fig10_left_limm_forbids_double_success(self):
+        o = outcomes(FIG10_LEFT_IR, "limm")
+        assert not has_outcome(o, t1_r=0, t2_r=0)
+
+    def test_fig10_right_limm_forbids_sb_outcome(self):
+        o = outcomes(FIG10_RIGHT_IR, "limm")
+        assert not has_outcome(o, t1_a=0, t2_b=0)
+
+    def test_rmw_acts_as_fence_in_x86(self):
+        """SB with an interposed successful RMW is forbidden on x86."""
+        p = Program(
+            [
+                [St("X", 1), Rmw("Z", 0, 1), Ld("Y", "a")],
+                [St("Y", 1), Rmw("W", 0, 1), Ld("X", "b")],
+            ]
+        )
+        assert not has_outcome(outcomes(p, "x86"), t1_a=0, t2_b=0)
+
+    def test_atomicity_axiom(self):
+        """Both CAS(X,0,_) cannot succeed: one must observe the other."""
+        p = Program(
+            [
+                [Rmw("X", 0, 1, reg="r")],
+                [Rmw("X", 0, 2, reg="r")],
+            ]
+        )
+        for model in ("x86", "arm", "limm"):
+            o = outcomes(p, model)
+            assert not has_outcome(o, t1_r=0, t2_r=0), model

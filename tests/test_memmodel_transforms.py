@@ -1,0 +1,304 @@
+"""Theorem 7.5 checks: the Figure 11 reordering/elimination tables.
+
+Every ✓ cell of Figure 11a is validated in standard litmus contexts (the
+reordered program admits no new outcomes); every ✗ cell we rely on has a
+witness context where the reordering *does* add an outcome.  Figure 11b's
+eliminations are checked the same way.
+"""
+
+import itertools
+
+import pytest
+
+from repro.memmodel import (
+    Fence,
+    KINDS,
+    Ld,
+    Program,
+    REORDER_TABLE,
+    Rmw,
+    St,
+    can_reorder,
+    check_elimination,
+    check_reordering_in_context,
+    eliminate_rar,
+    eliminate_raw,
+    eliminate_waw,
+    merge_adjacent_fences,
+    outcomes,
+    reorder_ops,
+)
+
+# Concrete op templates for each Fig. 11a kind (locations X and Y; the
+# observer thread uses Z-free MP/SB-style contexts).
+
+
+def make_op(kind: str, loc: str, reg: str):
+    if kind == "Rna":
+        return [Ld(loc, reg)]
+    if kind == "Wna":
+        return [St(loc, 1)]
+    if kind == "Rsc":
+        return [Rmw(loc, 7, 9, reg=reg)]  # fails: location never holds 7
+    if kind == "RscWsc":
+        return [Rmw(loc, 0, 9, reg=reg)]
+    if kind == "Frm":
+        return [Fence("rm")]
+    if kind == "Fww":
+        return [Fence("ww")]
+    if kind == "Fsc":
+        return [Fence("sc")]
+    raise ValueError(kind)
+
+
+# Observer contexts sensitive to every ordering direction.  The candidate
+# pair sits between optional prefix/suffix accesses (so fences in the pair
+# have events to order) and runs against several partner threads.
+_WRAPPERS = [
+    ([], []),
+    ([], [Ld("Y", "rs")]),
+    ([], [St("Y", 3)]),
+    ([Ld("Y", "rp")], []),
+    ([St("Y", 2)], []),
+    ([Ld("X", "rp")], []),
+    ([St("X", 2)], []),
+    ([], [Ld("X", "rs")]),
+    ([], [St("X", 3)]),
+]
+_PARTNERS = [
+    [Ld("Y", "c1"), Fence("rm"), Ld("X", "c2")],
+    [St("Y", 1), Fence("ww"), St("X", 1)],
+    [Ld("X", "c1"), Fence("rm"), Ld("Y", "c2")],
+    [St("X", 1), Fence("ww"), St("Y", 1)],
+]
+
+
+def contexts(a_kind: str, b_kind: str):
+    """Yield (program, pair_index) context instantiations."""
+    a_ops = make_op(a_kind, "X", "ra")
+    b_ops = make_op(b_kind, "Y", "rb")
+    out = []
+    for prefix, suffix in _WRAPPERS:
+        thread0 = list(prefix) + a_ops + b_ops + list(suffix)
+        for partner in _PARTNERS:
+            out.append(
+                (
+                    Program(
+                        [thread0, list(partner)],
+                        name=f"{a_kind}.{b_kind}",
+                    ),
+                    len(prefix),
+                )
+            )
+    return out
+
+
+ACCESS_KINDS = ["Rna", "Wna", "Rsc", "RscWsc"]
+FENCE_KINDS = ["Frm", "Fww", "Fsc"]
+
+
+class TestTableSafety:
+    """Every ✓ cell: reordering adds no outcomes in any of our contexts."""
+
+    @pytest.mark.parametrize(
+        "a_kind,b_kind",
+        [
+            (a, b)
+            for a in KINDS
+            for b in KINDS
+            if REORDER_TABLE[a][b] and not (a == b and a in FENCE_KINDS)
+        ],
+        ids=lambda v: v,
+    )
+    def test_safe_cells(self, a_kind, b_kind):
+        for program, index in contexts(a_kind, b_kind):
+            assert check_reordering_in_context(program, 0, index), (
+                a_kind, b_kind, program.name,
+            )
+
+
+class TestTableUnsafety:
+    """Key ✗ cells have witness contexts: reordering changes behaviour."""
+
+    def _some_context_breaks(self, a_kind, b_kind) -> bool:
+        for program, index in contexts(a_kind, b_kind):
+            if not check_reordering_in_context(program, 0, index):
+                return True
+        return False
+
+    @pytest.mark.parametrize(
+        "a_kind,b_kind",
+        [
+            ("Rna", "Frm"), ("Frm", "Rna"), ("Wna", "Fww"), ("Fww", "Wna"),
+            ("Rna", "Fsc"), ("Fsc", "Rna"), ("Wna", "Fsc"), ("Fsc", "Wna"),
+            ("Rna", "RscWsc"), ("RscWsc", "Rna"),
+            ("Wna", "RscWsc"), ("RscWsc", "Wna"),
+        ],
+        ids=lambda v: v,
+    )
+    def test_unsafe_cells_witnessed(self, a_kind, b_kind):
+        assert not REORDER_TABLE[a_kind][b_kind]
+        assert self._some_context_breaks(a_kind, b_kind), (a_kind, b_kind)
+
+
+class TestTableContents:
+    """The table itself matches Figure 11a rows the paper prints."""
+
+    def test_nonatomics_reorder_freely(self):
+        assert can_reorder("Rna", "Wna")
+        assert can_reorder("Wna", "Rna")
+        assert can_reorder("Rna", "Rna")
+        assert can_reorder("Wna", "Wna")
+
+    def test_nonatomics_never_cross_rmw(self):
+        for a in ("Rna", "Wna"):
+            assert not can_reorder(a, "RscWsc")
+            assert not can_reorder("RscWsc", a)
+
+    def test_store_reorders_with_successor_frm(self):
+        assert can_reorder("Wna", "Frm")
+
+    def test_load_reorders_with_fww_both_ways(self):
+        assert can_reorder("Rna", "Fww")
+        assert can_reorder("Fww", "Rna")
+
+    def test_fences_reorder_with_fences(self):
+        for a in FENCE_KINDS:
+            for b in FENCE_KINDS:
+                assert can_reorder(a, b)
+
+    def test_load_never_crosses_its_frm(self):
+        assert not can_reorder("Rna", "Frm")
+        assert not can_reorder("Frm", "Rna")
+
+    def test_store_never_crosses_its_fww(self):
+        assert not can_reorder("Wna", "Fww")
+        assert not can_reorder("Fww", "Wna")
+
+
+class TestEliminations:
+    def test_rar(self):
+        src = Program(
+            [[Ld("X", "a"), Ld("X", "b")], [St("X", 1)]], name="rar"
+        )
+        tgt = eliminate_rar(src, 0, 0, 1)
+        assert check_elimination(src, tgt)
+
+    def test_f_rar_across_frm_and_fww(self):
+        for kind in ("rm", "ww"):
+            src = Program(
+                [[Ld("X", "a"), Fence(kind), Ld("X", "b")], [St("X", 1)]],
+                name="frar",
+            )
+            tgt = eliminate_rar(src, 0, 0, 2)
+            assert check_elimination(src, tgt), kind
+
+    def test_raw(self):
+        src = Program(
+            [[St("X", 4), Ld("X", "a")], [St("X", 1)]], name="raw"
+        )
+        tgt = eliminate_raw(src, 0, 0, 1)
+        assert check_elimination(src, tgt)
+
+    def test_f_raw_across_fsc_and_fww(self):
+        for kind in ("sc", "ww"):
+            src = Program(
+                [[St("X", 4), Fence(kind), Ld("X", "a")], [St("X", 1)]],
+                name="fraw",
+            )
+            tgt = eliminate_raw(src, 0, 0, 2)
+            assert check_elimination(src, tgt), kind
+
+    def test_waw(self):
+        src = Program(
+            [[St("X", 1), St("X", 2)], [Ld("X", "a")]], name="waw"
+        )
+        tgt = eliminate_waw(src, 0, 0)
+        assert check_elimination(src, tgt)
+
+    def test_f_waw_across_frm_and_fww(self):
+        for kind in ("rm", "ww"):
+            src = Program(
+                [[St("X", 1), Fence(kind), St("X", 2)], [Ld("X", "a")]],
+                name="fwaw",
+            )
+            tgt = eliminate_waw(src, 0, 0)
+            assert check_elimination(src, tgt), kind
+
+
+class TestFenceMerging:
+    def test_frm_fww_to_fsc_sound(self):
+        src = Program(
+            [
+                [Ld("X", "a"), Fence("rm"), Fence("ww"), St("Y", 1)],
+                [Ld("Y", "b"), Fence("rm"), Ld("X", "c")],
+            ],
+            name="merge",
+        )
+        tgt = merge_adjacent_fences(src, 0, 1)
+        assert check_elimination(src, tgt, compare_registers=True)
+        kinds = [op.kind for op in tgt.threads[0] if isinstance(op, Fence)]
+        assert kinds == ["sc"]
+
+    def test_like_pair_collapses(self):
+        src = Program([[St("X", 1), Fence("ww"), Fence("ww"), St("Y", 1)]])
+        tgt = merge_adjacent_fences(src, 0, 1)
+        kinds = [op.kind for op in tgt.threads[0] if isinstance(op, Fence)]
+        assert kinds == ["ww"]
+        assert check_elimination(src, tgt, compare_registers=True)
+
+    def test_strengthening_is_sound_not_weakening(self):
+        """Replacing Frm by Fsc keeps behaviours; Fsc by Frm may not."""
+        src = Program(
+            [
+                [St("X", 1), Fence("sc"), Ld("Y", "a")],
+                [St("Y", 1), Fence("sc"), Ld("X", "b")],
+            ]
+        )
+        from repro.memmodel import weaken_fences
+
+        weak = weaken_fences(src, {"sc": "rm"})
+        src_o = outcomes(src, "limm")
+        weak_o = outcomes(weak, "limm")
+        assert not weak_o <= src_o  # weakening added the a=b=0 outcome
+
+
+class TestSpeculativeLoadIntroduction:
+    """§7.2: hoisting a load out of a conditional is safe on LIMM."""
+
+    def test_safe_in_mp_context(self):
+        from repro.memmodel import check_speculative_load
+
+        prog = Program(
+            [
+                [St("X", 1), Fence("ww"), St("Y", 1)],
+                [Ld("Y", "a"), Fence("rm"), Ld("X", "b")],
+            ],
+            name="mp-ir",
+        )
+        for tid in (0, 1):
+            for index in range(len(prog.threads[tid]) + 1):
+                for loc in ("X", "Y", "Z"):
+                    assert check_speculative_load(prog, tid, index, loc), (
+                        tid, index, loc,
+                    )
+
+    def test_safe_before_rmw(self):
+        from repro.memmodel import check_speculative_load
+
+        prog = Program(
+            [[Rmw("X", 0, 2, reg="r")], [St("X", 1)]], name="rmw"
+        )
+        assert check_speculative_load(prog, 0, 0, "X")
+        assert check_speculative_load(prog, 1, 0, "X")
+
+    def test_speculative_store_would_be_wrong(self):
+        """The dual — introducing a store — is NOT safe (sanity check that
+        the checker can fail)."""
+        from repro.memmodel import outcomes as outc
+
+        prog = Program([[Ld("X", "a")]], name="p")
+        target = Program([[St("X", 9), Ld("X", "a")]], name="p+store")
+        src = outc(prog, "limm")
+        tgt = outc(target, "limm")
+        assert not tgt <= src

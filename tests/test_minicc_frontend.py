@@ -1,0 +1,181 @@
+"""Tests for the mini-C lexer, parser and semantic analysis."""
+
+import pytest
+
+from repro.minicc import LexError, ParseError, SemaError, analyze, parse, tokenize
+from repro.minicc.astnodes import (
+    Assign,
+    Binary,
+    CastExpr,
+    CHAR,
+    CType,
+    DOUBLE,
+    INT,
+    IntLit,
+    Unary,
+)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("int x = 42;")
+        kinds = [t.kind for t in toks]
+        assert kinds == ["keyword", "ident", "op", "int", "op", "eof"]
+
+    def test_float_literals(self):
+        toks = tokenize("1.5 2e3 .25")
+        assert [t.kind for t in toks[:-1]] == ["float"] * 3
+
+    def test_hex_literal(self):
+        toks = tokenize("0xff")
+        assert toks[0].kind == "int"
+        assert int(toks[0].text, 0) == 255
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // line\n/* block\nstill */ b")
+        assert [t.text for t in toks[:-1]] == ["a", "b"]
+
+    def test_string_and_char_literals(self):
+        toks = tokenize('"a\\nb" \'x\' \'\\0\'')
+        assert toks[0].kind == "string" and toks[0].text == "a\nb"
+        assert toks[1].kind == "char" and toks[1].text == "x"
+        assert toks[2].text == "\0"
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <= b >> 2 && c")
+        texts = [t.text for t in toks if t.kind == "op"]
+        assert texts == ["<=", ">>", "&&"]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert [t.line for t in toks[:-1]] == [1, 2, 3]
+
+
+class TestParser:
+    def test_global_and_function(self):
+        p = parse("int g = 1; int arr[4]; int main() { return g; }")
+        assert len(p.globals) == 2
+        assert p.globals[1].array_size == 4
+        assert p.functions[0].name == "main"
+
+    def test_precedence(self):
+        p = parse("int main() { return 1 + 2 * 3; }")
+        ret = p.functions[0].body.statements[0]
+        expr = ret.value
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert isinstance(expr.rhs, Binary) and expr.rhs.op == "*"
+
+    def test_unary_and_cast(self):
+        p = parse("int main() { double d = (double)-3; return 0; }")
+        decl = p.functions[0].body.statements[0]
+        assert isinstance(decl.init, CastExpr)
+        assert isinstance(decl.init.operand, Unary)
+
+    def test_pointer_types(self):
+        p = parse("int *f(double **p) { return 0; }")
+        f = p.functions[0]
+        assert f.ret_type == CType("int", 1)
+        assert f.params[0].ctype == CType("double", 2)
+
+    def test_for_loop_with_decl(self):
+        p = parse("int main() { for (int i = 0; i < 3; i = i + 1) {} return 0; }")
+        assert p.functions[0].body.statements[0].init is not None
+
+    def test_if_else_chain(self):
+        p = parse(
+            "int main() { if (1) { return 1; } else if (2) { return 2; } "
+            "else { return 3; } }"
+        )
+        stmt = p.functions[0].body.statements[0]
+        assert stmt.otherwise is not None
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0 }")
+
+    def test_assignment_target_validation(self):
+        with pytest.raises(ParseError):
+            parse("int main() { 1 = 2; return 0; }")
+
+
+class TestSema:
+    def test_implicit_int_to_double(self):
+        p = parse("int main() { double d = 1; return 0; }")
+        analyze(p)
+        decl = p.functions[0].body.statements[0]
+        assert isinstance(decl.init, CastExpr)
+        assert decl.init.ctype == DOUBLE
+
+    def test_char_promotes_in_arithmetic(self):
+        p = parse("char c; int main() { int x = c + 1; return x; }")
+        analyze(p)
+        decl = p.functions[0].body.statements[0]
+        assert decl.init.ctype == INT
+
+    def test_pointer_arith_typed(self):
+        p = parse("int a[4]; int main() { int *p = a + 1; return *p; }")
+        analyze(p)
+        decl = p.functions[0].body.statements[0]
+        assert decl.init.ctype == CType("int", 1)
+
+    def test_array_decays_to_pointer(self):
+        p = parse("int a[4]; int *f() { return a; }")
+        analyze(p)
+
+    def test_undeclared_identifier_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { return nope; }"))
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { int x; int x; return 0; }"))
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        analyze(parse("int main() { int x = 1; { int x = 2; } return x; }"))
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int f(int a) { return a; } int main() { return f(); }"))
+
+    def test_call_argument_coerced(self):
+        p = parse("double f(double d) { return d; } int main() { f(3); return 0; }")
+        analyze(p)
+
+    def test_spawn_requires_function_name(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { spawn(42, 0); return 0; }"))
+
+    def test_spawn_accepts_function(self):
+        analyze(parse(
+            "int w(int t) { return t; } int main() { return spawn(w, 1); }"
+        ))
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { break; return 0; }"))
+
+    def test_deref_non_pointer_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { int x; return *x; }"))
+
+    def test_string_literal_pooled(self):
+        p = parse('int main() { char *s = "hey"; return s[0]; }')
+        analyze(p)
+        assert len(p.strings) == 1
+        data = next(iter(p.strings.values()))
+        assert data == b"hey\0"
+
+    def test_condition_may_be_pointer(self):
+        analyze(parse("int main() { char *p = malloc(4); if (p) {} return 0; }"))
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { void v; return 0; }"))
+
+    def test_modulo_requires_ints(self):
+        with pytest.raises(SemaError):
+            analyze(parse("int main() { double d = 1.0; return 3 % d; }"))

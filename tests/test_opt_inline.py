@@ -1,0 +1,156 @@
+"""Tests for the function-inlining pass."""
+
+import pytest
+
+from repro.lir import (
+    Call,
+    ConstantInt,
+    Function,
+    FunctionType,
+    I64,
+    Interpreter,
+    IRBuilder,
+    Module,
+    verify_module,
+)
+from repro.minicc.frontend_lir import compile_to_lir
+from repro.opt import optimize_module, run_inline
+
+
+def direct_calls(func):
+    return [
+        i for i in func.instructions()
+        if isinstance(i, Call) and isinstance(i.callee, Function)
+    ]
+
+
+class TestInlining:
+    def test_simple_call_inlined(self):
+        m = compile_to_lir(
+            "int sq(int x) { return x * x; } int main() { return sq(7); }"
+        )
+        assert run_inline(m)
+        verify_module(m)
+        assert not direct_calls(m.get_function("main"))
+        assert Interpreter(m).run("main") == 49
+
+    def test_multi_return_callee_builds_phi(self):
+        m = compile_to_lir(
+            "int clamp(int x) { if (x > 10) { return 10; } return x; } "
+            "int main() { return clamp(42) + clamp(3); }"
+        )
+        assert run_inline(m)
+        verify_module(m)
+        assert Interpreter(m).run("main") == 13
+
+    def test_void_like_callee(self):
+        m = compile_to_lir(
+            "int g = 0; int bump(int k) { g = g + k; return 0; } "
+            "int main() { bump(5); bump(2); return g; }"
+        )
+        run_inline(m)
+        verify_module(m)
+        assert Interpreter(m).run("main") == 7
+
+    def test_callee_with_locals_in_loop(self):
+        """Inlined allocas hoist to the entry: no frame growth per iteration."""
+        m = compile_to_lir(
+            """
+            int addup(int n) { int acc = 0; acc = acc + n; return acc; }
+            int main() {
+              int s = 0;
+              for (int i = 0; i < 2000; i++) { s = s + addup(1); }
+              return s;
+            }
+            """
+        )
+        run_inline(m)
+        verify_module(m)
+        assert Interpreter(m).run("main") == 2000
+
+    def test_recursion_not_inlined(self):
+        m = compile_to_lir(
+            "int fact(int n) { if (n < 2) { return 1; } "
+            "return n * fact(n - 1); } "
+            "int main() { return fact(5); }"
+        )
+        run_inline(m)
+        verify_module(m)
+        assert direct_calls(m.get_function("main"))  # fact stays a call
+        assert Interpreter(m).run("main") == 120
+
+    def test_mutual_recursion_not_inlined(self):
+        m = compile_to_lir(
+            """
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+            int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
+            int main() { return is_even(10); }
+            """.replace("int is_odd(int n);", "")
+        )
+        run_inline(m)
+        verify_module(m)
+        assert Interpreter(m).run("main") == 1
+
+    def test_threshold_respected(self):
+        m = compile_to_lir(
+            "int sq(int x) { return x * x; } int main() { return sq(7); }"
+        )
+        assert not run_inline(m, threshold=1)
+        assert direct_calls(m.get_function("main"))
+
+    def test_inline_then_optimize_constant_folds(self):
+        m = compile_to_lir(
+            "int sq(int x) { return x * x; } int main() { return sq(6) + 6; }"
+        )
+        run_inline(m)
+        optimize_module(m, verify=True)
+        main = m.get_function("main")
+        # After inlining + sccp the function is a constant return.
+        assert main.instruction_count() <= 2
+        assert Interpreter(m).run("main") == 42
+
+    def test_transitive_inlining(self):
+        m = compile_to_lir(
+            "int a(int x) { return x + 1; } "
+            "int b(int x) { return a(x) * 2; } "
+            "int main() { return b(20); }"
+        )
+        run_inline(m)
+        verify_module(m)
+        assert not direct_calls(m.get_function("main"))
+        assert Interpreter(m).run("main") == 42
+
+    def test_spawned_function_body_survives(self):
+        """Inlining must not break functions whose address is taken."""
+        m = compile_to_lir(
+            """
+            int worker(int t) { return t + 1; }
+            int main() {
+              int tid = spawn(worker, 4);
+              return join(tid);
+            }
+            """
+        )
+        run_inline(m)
+        verify_module(m)
+        assert "worker" in m.functions
+        assert Interpreter(m).run("main") == 5
+
+    def test_full_pipeline_with_inline_differential(self):
+        src = """
+        int g = 0;
+        int helper(int x) { if (x % 2 == 0) { return x / 2; } return 3 * x + 1; }
+        int main() {
+          int v = 27;
+          int steps = 0;
+          while (v != 1) { v = helper(v); steps++; }
+          g = steps;
+          return steps;
+        }
+        """
+        m = compile_to_lir(src)
+        expected = Interpreter(m).run("main")
+        run_inline(m)
+        optimize_module(m, verify=True)
+        assert Interpreter(m).run("main") == expected == 111

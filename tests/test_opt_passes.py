@@ -1,0 +1,572 @@
+"""Unit tests for individual optimizer passes."""
+
+import pytest
+
+from repro.lir import (
+    F64,
+    I1,
+    I64,
+    Alloca,
+    ArrayType,
+    BinOp,
+    Cast,
+    ConstantFloat,
+    ConstantInt,
+    Fence,
+    Function,
+    FunctionType,
+    GEP,
+    ICmp,
+    Interpreter,
+    IRBuilder,
+    Load,
+    Module,
+    Phi,
+    Select,
+    Store,
+    format_function,
+    ptr,
+    verify_function,
+    verify_module,
+)
+from repro.opt import (
+    run_adce,
+    run_dce,
+    run_dse,
+    run_gvn,
+    run_instcombine,
+    run_licm,
+    run_mem2reg,
+    run_reassociate,
+    run_sccp,
+    run_simplifycfg,
+    run_sroa,
+)
+
+
+def new_func(params=(I64,), ret=I64, name="f"):
+    m = Module("t")
+    f = Function(name, FunctionType(ret, tuple(params)), ["x", "y"])
+    m.add_function(f)
+    bb = f.new_block("entry")
+    return m, f, IRBuilder(bb)
+
+
+def count_op(f, cls):
+    return sum(1 for i in f.instructions() if isinstance(i, cls))
+
+
+class TestMem2Reg:
+    def test_promotes_scalar_slot(self):
+        m, f, b = new_func()
+        slot = b.alloca(I64)
+        b.store(f.arguments[0], slot)
+        b.ret(b.load(slot))
+        run_mem2reg(f)
+        verify_function(f)
+        assert count_op(f, Alloca) == 0
+        assert count_op(f, Load) == 0
+
+    def test_inserts_phi_at_join(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        then = f.new_block("then")
+        els = f.new_block("els")
+        join = f.new_block("join")
+        b = IRBuilder(entry)
+        slot = b.alloca(I64)
+        cond = b.icmp("sgt", f.arguments[0], ConstantInt(I64, 0))
+        b.cond_br(cond, then, els)
+        tb = IRBuilder(then)
+        tb.store(ConstantInt(I64, 1), slot)
+        tb.br(join)
+        eb = IRBuilder(els)
+        eb.store(ConstantInt(I64, 2), slot)
+        eb.br(join)
+        jb = IRBuilder(join)
+        jb.ret(jb.load(slot))
+        run_mem2reg(f)
+        verify_function(f)
+        assert count_op(f, Phi) == 1
+        it = Interpreter(m)
+        assert it.run("f", [5]) == 1
+        assert it.run("f", [0]) == 2
+
+    def test_loop_carried_value(self):
+        # Sum 0..n-1 through a memory slot; must become a phi cycle.
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64,)), ["n"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        head = f.new_block("head")
+        body = f.new_block("body")
+        done = f.new_block("done")
+        b = IRBuilder(entry)
+        i_slot = b.alloca(I64)
+        s_slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 0), i_slot)
+        b.store(ConstantInt(I64, 0), s_slot)
+        b.br(head)
+        hb = IRBuilder(head)
+        hb.cond_br(
+            hb.icmp("slt", hb.load(i_slot), f.arguments[0]), body, done
+        )
+        bb2 = IRBuilder(body)
+        i = bb2.load(i_slot)
+        bb2.store(bb2.add(bb2.load(s_slot), i), s_slot)
+        bb2.store(bb2.add(i, ConstantInt(I64, 1)), i_slot)
+        bb2.br(head)
+        db = IRBuilder(done)
+        db.ret(db.load(s_slot))
+        run_mem2reg(f)
+        verify_function(f)
+        assert count_op(f, Alloca) == 0
+        assert Interpreter(m).run("f", [10]) == 45
+
+    def test_escaping_alloca_not_promoted(self):
+        m, f, b = new_func()
+        slot = b.alloca(I64)
+        b.ptrtoint(slot, I64)  # escape
+        b.store(f.arguments[0], slot)
+        b.ret(b.load(slot))
+        run_mem2reg(f)
+        assert count_op(f, Alloca) == 1
+
+    def test_atomic_slot_not_promoted(self):
+        m, f, b = new_func()
+        slot = b.alloca(I64)
+        b.store(f.arguments[0], slot, ordering="sc")
+        b.ret(b.load(slot, ordering="sc"))
+        run_mem2reg(f)
+        assert count_op(f, Alloca) == 1
+
+
+class TestInstcombine:
+    def test_constant_folding(self):
+        m, f, b = new_func()
+        v = b.add(ConstantInt(I64, 2), ConstantInt(I64, 3))
+        b.ret(b.mul(v, ConstantInt(I64, 4)))
+        run_instcombine(f)
+        verify_function(f)
+        assert f.instruction_count() == 1  # just ret 20
+        assert Interpreter(m).run("f", [0]) == 20
+
+    def test_algebraic_identities(self):
+        m, f, b = new_func()
+        x = f.arguments[0]
+        v = b.add(x, ConstantInt(I64, 0))
+        v = b.mul(v, ConstantInt(I64, 1))
+        v = b.binop("or", v, ConstantInt(I64, 0))
+        b.ret(v)
+        run_instcombine(f)
+        assert f.instruction_count() == 1
+
+    def test_add_chain_folds(self):
+        m, f, b = new_func()
+        x = f.arguments[0]
+        v = b.add(x, ConstantInt(I64, 5))
+        v = b.add(v, ConstantInt(I64, 7))
+        v = b.sub(v, ConstantInt(I64, 2))
+        b.ret(v)
+        run_instcombine(f)
+        binops = [i for i in f.instructions() if isinstance(i, BinOp)]
+        assert len(binops) == 1
+        assert Interpreter(m).run("f", [100]) == 110
+
+    def test_inttoptr_of_ptrtoint_collapses(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        i = b.ptrtoint(p, I64)
+        q = b.inttoptr(i, ptr(I64))
+        b.ret(b.load(q))
+        run_instcombine(f)
+        loads = [i for i in f.instructions() if isinstance(i, Load)]
+        assert loads[0].pointer is p
+
+    def test_icmp_of_zext_bool(self):
+        m, f, b = new_func()
+        c = b.icmp("slt", f.arguments[0], ConstantInt(I64, 5))
+        z = b.zext(c, I64)
+        c2 = b.icmp("ne", z, ConstantInt(I64, 0))
+        b.ret(b.zext(c2, I64))
+        run_instcombine(f)
+        icmps = [i for i in f.instructions() if isinstance(i, ICmp)]
+        assert len(icmps) == 1
+
+    def test_select_folding(self):
+        m, f, b = new_func()
+        v = b.select(ConstantInt(I1, 1), f.arguments[0], ConstantInt(I64, 0))
+        b.ret(v)
+        run_instcombine(f)
+        assert count_op(f, Select) == 0
+
+    def test_double_mask_collapses(self):
+        m, f, b = new_func()
+        x = f.arguments[0]
+        v = b.binop("and", x, ConstantInt(I64, 0xFF))
+        v = b.binop("and", v, ConstantInt(I64, 0xFF))
+        b.ret(v)
+        run_instcombine(f)
+        binops = [i for i in f.instructions() if isinstance(i, BinOp)]
+        assert len(binops) == 1
+
+    def test_preserves_semantics_randomly(self):
+        import random
+
+        rng = random.Random(42)
+        for trial in range(20):
+            m, f, b = new_func()
+            v = f.arguments[0]
+            for _ in range(8):
+                op = rng.choice(["add", "sub", "mul", "and", "or", "xor", "shl"])
+                c = ConstantInt(I64, rng.randrange(0, 7))
+                v = b.binop(op, v, c)
+            b.ret(v)
+            arg = rng.randrange(-1000, 1000) & (2**64 - 1)
+            before = Interpreter(m).run("f", [arg])
+            run_instcombine(f)
+            verify_function(f)
+            after = Interpreter(m).run("f", [arg])
+            assert before == after
+
+
+class TestDCE:
+    def test_removes_unused_pure(self):
+        m, f, b = new_func()
+        b.add(f.arguments[0], ConstantInt(I64, 1))  # dead
+        b.ret(f.arguments[0])
+        run_dce(f)
+        assert f.instruction_count() == 1
+
+    def test_keeps_side_effects(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        b.store(ConstantInt(I64, 1), f.arguments[0])
+        b.fence("sc")
+        b.ret(ConstantInt(I64, 0))
+        run_dce(f)
+        assert f.instruction_count() == 3
+
+    def test_removes_dead_chains(self):
+        m, f, b = new_func()
+        v = f.arguments[0]
+        for _ in range(5):
+            v = b.add(v, ConstantInt(I64, 1))  # whole chain dead
+        b.ret(f.arguments[0])
+        run_dce(f)
+        assert f.instruction_count() == 1
+
+    def test_adce_removes_stores_to_dead_slot(self):
+        m, f, b = new_func()
+        slot = b.alloca(I64)
+        b.store(f.arguments[0], slot)  # never loaded
+        b.ret(f.arguments[0])
+        run_adce(f)
+        assert count_op(f, Alloca) == 0
+        assert count_op(f, Store) == 0
+
+
+class TestGVN:
+    def test_common_subexpression(self):
+        m, f, b = new_func()
+        x = f.arguments[0]
+        a = b.add(x, ConstantInt(I64, 1))
+        c = b.add(x, ConstantInt(I64, 1))
+        b.ret(b.mul(a, c))
+        run_gvn(f)
+        binops = [i for i in f.instructions() if isinstance(i, BinOp)]
+        assert len(binops) == 2  # one add + the mul
+
+    def test_commutative_keys_match(self):
+        m, f, b = new_func(params=(I64, I64))
+        x, y = f.arguments
+        a = b.add(x, y)
+        c = b.add(y, x)
+        b.ret(b.mul(a, c))
+        run_gvn(f)
+        adds = [i for i in f.instructions()
+                if isinstance(i, BinOp) and i.op == "add"]
+        assert len(adds) == 1
+
+    def test_load_forwarding_same_pointer(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        l1 = b.load(p)
+        l2 = b.load(p)
+        b.ret(b.add(l1, l2))
+        run_gvn(f)
+        assert count_op(f, Load) == 1
+
+    def test_store_to_load_forwarding(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        b.store(ConstantInt(I64, 9), p)
+        b.ret(b.load(p))
+        run_gvn(f)
+        assert count_op(f, Load) == 0
+
+    def test_rar_may_cross_frm_fence(self):
+        # Fig. 11b F-RAR: o ∈ {rm, ww}.
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        l1 = b.load(p)
+        b.fence("rm")
+        l2 = b.load(p)
+        b.ret(b.add(l1, l2))
+        run_gvn(f)
+        assert count_op(f, Load) == 1
+
+    def test_rar_must_not_cross_fsc(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        l1 = b.load(p)
+        b.fence("sc")
+        l2 = b.load(p)
+        b.ret(b.add(l1, l2))
+        run_gvn(f)
+        assert count_op(f, Load) == 2
+
+    def test_raw_may_cross_fww_but_not_frm(self):
+        # F-RAW allows τ ∈ {sc, ww}; Frm does not forward W→R.
+        for kind, expected_loads in (("ww", 0), ("rm", 1)):
+            m, f, b = new_func(params=(ptr(I64),))
+            p = f.arguments[0]
+            b.store(ConstantInt(I64, 3), p)
+            b.fence(kind)
+            b.ret(b.load(p))
+            run_gvn(f)
+            assert count_op(f, Load) == expected_loads, kind
+
+    def test_intervening_store_blocks_forwarding(self):
+        m, f, b = new_func(params=(ptr(I64), ptr(I64)))
+        p, q = f.arguments
+        l1 = b.load(p)
+        b.store(ConstantInt(I64, 1), q)  # may alias p
+        l2 = b.load(p)
+        b.ret(b.add(l1, l2))
+        run_gvn(f)
+        assert count_op(f, Load) == 2
+
+    def test_atomic_loads_never_merged(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        l1 = b.load(p, ordering="sc")
+        l2 = b.load(p, ordering="sc")
+        b.ret(b.add(l1, l2))
+        run_gvn(f)
+        assert count_op(f, Load) == 2
+
+
+class TestDSE:
+    def test_dead_store_removed(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        b.store(ConstantInt(I64, 1), p)
+        b.store(ConstantInt(I64, 2), p)
+        b.ret(ConstantInt(I64, 0))
+        run_dse(f)
+        assert count_op(f, Store) == 1
+
+    def test_waw_crosses_frm_fww_not_fsc(self):
+        # Fig. 11b F-WAW: o ∈ {rm, ww}.
+        for kind, expected in (("rm", 1), ("ww", 1), ("sc", 2)):
+            m, f, b = new_func(params=(ptr(I64),))
+            p = f.arguments[0]
+            b.store(ConstantInt(I64, 1), p)
+            b.fence(kind)
+            b.store(ConstantInt(I64, 2), p)
+            b.ret(ConstantInt(I64, 0))
+            run_dse(f)
+            assert count_op(f, Store) == expected, kind
+
+    def test_intervening_load_blocks(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        b.store(ConstantInt(I64, 1), p)
+        v = b.load(p)
+        b.store(ConstantInt(I64, 2), p)
+        b.ret(v)
+        run_dse(f)
+        assert count_op(f, Store) == 2
+
+
+class TestSCCPAndCFG:
+    def test_sccp_folds_through_branches(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, ()))
+        m.add_function(f)
+        entry = f.new_block("entry")
+        then = f.new_block("then")
+        els = f.new_block("els")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", ConstantInt(I64, 1), ConstantInt(I64, 1))
+        b.cond_br(cond, then, els)
+        IRBuilder(then).ret(ConstantInt(I64, 10))
+        IRBuilder(els).ret(ConstantInt(I64, 20))
+        run_sccp(f)
+        verify_function(f)
+        assert Interpreter(m).run("f") == 10
+        assert len(f.blocks) == 1  # dead branch removed
+
+    def test_simplifycfg_merges_straightline(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, ()))
+        m.add_function(f)
+        a = f.new_block("a")
+        bb = f.new_block("b")
+        c = f.new_block("c")
+        IRBuilder(a).br(bb)
+        IRBuilder(bb).br(c)
+        IRBuilder(c).ret(ConstantInt(I64, 4))
+        run_simplifycfg(f)
+        assert len(f.blocks) == 1
+        assert Interpreter(m).run("f") == 4
+
+    def test_simplifycfg_removes_unreachable(self):
+        m, f, b = new_func()
+        b.ret(f.arguments[0])
+        dead = f.new_block("dead")
+        IRBuilder(dead).ret(ConstantInt(I64, 0))
+        run_simplifycfg(f)
+        assert len(f.blocks) == 1
+
+
+class TestLICM:
+    def test_hoists_invariant_computation(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64, I64)), ["n", "k"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        head = f.new_block("head")
+        body = f.new_block("body")
+        done = f.new_block("done")
+        b = IRBuilder(entry)
+        i_slot = b.alloca(I64)
+        s_slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 0), i_slot)
+        b.store(ConstantInt(I64, 0), s_slot)
+        b.br(head)
+        hb = IRBuilder(head)
+        hb.cond_br(hb.icmp("slt", hb.load(i_slot), f.arguments[0]), body, done)
+        bb2 = IRBuilder(body)
+        inv = bb2.mul(f.arguments[1], f.arguments[1])  # invariant
+        bb2.store(bb2.add(bb2.load(s_slot), inv), s_slot)
+        bb2.store(bb2.add(bb2.load(i_slot), ConstantInt(I64, 1)), i_slot)
+        bb2.br(head)
+        IRBuilder(done).ret(IRBuilder(done).load(s_slot))
+        run_mem2reg(f)
+        run_licm(f)
+        verify_function(f)
+        # the multiply must not live in the loop body anymore
+        loop_blocks = {bb.name for bb in f.blocks if bb.name in ("head", "body")}
+        for blk in f.blocks:
+            if blk.name in loop_blocks:
+                assert not any(
+                    isinstance(i, BinOp) and i.op == "mul"
+                    for i in blk.instructions
+                )
+        assert Interpreter(m).run("f", [5, 3]) == 45
+
+    def test_does_not_hoist_load_past_loop_stores(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (ptr(I64), I64)), ["p", "n"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        head = f.new_block("head")
+        body = f.new_block("body")
+        done = f.new_block("done")
+        b = IRBuilder(entry)
+        i_slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 0), i_slot)
+        b.br(head)
+        hb = IRBuilder(head)
+        hb.cond_br(hb.icmp("slt", hb.load(i_slot), f.arguments[1]), body, done)
+        bb2 = IRBuilder(body)
+        v = bb2.load(f.arguments[0])  # loop stores may alias
+        bb2.store(bb2.add(v, ConstantInt(I64, 1)), f.arguments[0])
+        bb2.store(bb2.add(bb2.load(i_slot), ConstantInt(I64, 1)), i_slot)
+        bb2.br(head)
+        IRBuilder(done).ret(IRBuilder(done).load(f.arguments[0]))
+        run_mem2reg(f)
+        before = Interpreter(m)
+        # set up memory: write through a pointer into the global heap area
+        run_licm(f)
+        verify_function(f)
+        body_block = next(bb for bb in f.blocks if bb.name == "body")
+        assert any(isinstance(i, Load) for i in body_block.instructions)
+
+
+class TestReassociate:
+    def test_flattens_constant_chain(self):
+        m, f, b = new_func()
+        x = f.arguments[0]
+        v = b.add(b.add(b.add(x, ConstantInt(I64, 1)), ConstantInt(I64, 2)),
+                  ConstantInt(I64, 3))
+        b.ret(v)
+        run_reassociate(f)
+        run_dce(f)
+        verify_function(f)
+        binops = [i for i in f.instructions() if isinstance(i, BinOp)]
+        assert len(binops) == 1
+        assert Interpreter(m).run("f", [10]) == 16
+
+    def test_mixed_add_sub(self):
+        m, f, b = new_func()
+        x = f.arguments[0]
+        v = b.sub(b.add(x, ConstantInt(I64, 10)), ConstantInt(I64, 4))
+        b.ret(v)
+        run_reassociate(f)
+        run_dce(f)
+        assert Interpreter(m).run("f", [0]) == 6
+
+
+class TestSROA:
+    def test_splits_constant_offset_array(self):
+        m, f, b = new_func()
+        arr = b.alloca(ArrayType(__import__("repro.lir", fromlist=["I8"]).I8, 16))
+        p8 = b.bitcast(arr, ptr(__import__("repro.lir", fromlist=["I8"]).I8))
+        from repro.lir import I8
+
+        g0 = b.gep(I8, p8, [ConstantInt(I64, 0)])
+        g8 = b.gep(I8, p8, [ConstantInt(I64, 8)])
+        p0 = b.bitcast(g0, ptr(I64))
+        p1 = b.bitcast(g8, ptr(I64))
+        b.store(ConstantInt(I64, 7), p0)
+        b.store(f.arguments[0], p1)
+        v = b.add(b.load(p0), b.load(p1))
+        b.ret(v)
+        run_sroa(f)
+        run_mem2reg(f)
+        run_dce(f)
+        verify_function(f)
+        assert count_op(f, Alloca) == 0
+        assert Interpreter(m).run("f", [35]) == 42
+
+    def test_rejects_overlapping_types(self):
+        from repro.lir import I8
+
+        m, f, b = new_func()
+        arr = b.alloca(ArrayType(I8, 16))
+        p8 = b.bitcast(arr, ptr(I8))
+        p0i = b.bitcast(p8, ptr(I64))
+        g4 = b.gep(I8, p8, [ConstantInt(I64, 4)])
+        p4i = b.bitcast(g4, ptr(I64))  # overlaps bytes 4..12
+        b.store(ConstantInt(I64, 1), p0i)
+        b.store(ConstantInt(I64, 2), p4i)
+        b.ret(b.load(p0i))
+        run_sroa(f)
+        assert count_op(f, Alloca) == 1  # must not split
+
+    def test_rejects_escaping_array(self):
+        from repro.lir import I8
+
+        m, f, b = new_func()
+        arr = b.alloca(ArrayType(I8, 8))
+        p8 = b.bitcast(arr, ptr(I8))
+        b.ptrtoint(p8, I64)  # escape
+        p0 = b.bitcast(p8, ptr(I64))
+        b.store(ConstantInt(I64, 1), p0)
+        b.ret(b.load(p0))
+        run_sroa(f)
+        assert count_op(f, Alloca) == 1

@@ -1,0 +1,125 @@
+"""Tests for the full loop-unrolling pass (extension)."""
+
+import pytest
+
+from repro.lir import DominatorTree, Interpreter, verify_module
+from repro.minicc.frontend_lir import compile_to_lir
+from repro.opt import (
+    optimize_module,
+    run_instcombine,
+    run_mem2reg,
+    run_unroll,
+)
+
+
+def prepare(src: str):
+    m = compile_to_lir(src)
+    expected = Interpreter(m).run("main")
+    f = m.get_function("main")
+    run_mem2reg(f)
+    run_instcombine(f)
+    return m, f, expected
+
+
+def check(src: str, expect_unroll: bool = True):
+    m, f, expected = prepare(src)
+    changed = run_unroll(f)
+    verify_module(m)
+    assert Interpreter(m).run("main") == expected
+    assert changed == expect_unroll
+    return m, f, expected
+
+
+class TestUnrolling:
+    def test_simple_counting_loop(self):
+        m, f, expected = check(
+            "int main() { int s = 0; for (int i = 0; i < 5; i++) "
+            "{ s += i; } return s; }"
+        )
+        assert not DominatorTree(f).back_edges()
+        assert expected == 10
+
+    def test_loop_with_memory(self):
+        check(
+            "int g[8]; int main() { int s = 0; "
+            "for (int i = 0; i < 6; i++) { g[i] = i * 3; s += g[i]; } "
+            "return s; }"
+        )
+
+    def test_accumulator_threading(self):
+        """Multiple loop-carried phis thread correctly across iterations."""
+        m, f, expected = check(
+            "int main() { int a = 1; int b = 1; "
+            "for (int i = 0; i < 7; i++) { int t = a + b; a = b; b = t; } "
+            "return b; }"
+        )
+        assert expected == 34  # fib
+
+    def test_loop_with_branch_in_body(self):
+        check(
+            "int main() { int s = 0; for (int i = 0; i < 8; i++) { "
+            "if (i % 2 == 0) { s += i; } else { s -= 1; } } return s; }"
+        )
+
+    def test_step_greater_than_one(self):
+        m, f, expected = check(
+            "int main() { int s = 0; for (int i = 0; i < 10; i += 3) "
+            "{ s += i; } return s; }"
+        )
+        assert expected == 0 + 3 + 6 + 9
+
+    def test_count_down_loop(self):
+        check(
+            "int main() { int s = 0; for (int i = 5; i > 0; i -= 1) "
+            "{ s += i; } return s; }"
+        )
+
+    def test_large_trip_count_not_unrolled(self):
+        check(
+            "int main() { int s = 0; for (int i = 0; i < 1000; i++) "
+            "{ s += i; } return s; }",
+            expect_unroll=False,
+        )
+
+    def test_dynamic_bound_not_unrolled(self):
+        m = compile_to_lir(
+            "int n = 9; int main() { int s = 0; "
+            "for (int i = 0; i < n; i++) { s += i; } return s; }"
+        )
+        expected = Interpreter(m).run("main")
+        f = m.get_function("main")
+        run_mem2reg(f)
+        run_instcombine(f)
+        assert not run_unroll(f)
+        assert Interpreter(m).run("main") == expected
+
+    def test_zero_trip_loop_untouched(self):
+        check(
+            "int main() { int s = 3; for (int i = 5; i < 5; i++) "
+            "{ s = 99; } return s; }",
+            expect_unroll=False,
+        )
+
+    def test_nested_loops_unroll_completely(self):
+        m, f, expected = check(
+            "int main() { int s = 0; for (int i = 0; i < 3; i++) { "
+            "for (int j = 0; j < 4; j++) { s += i * j; } } return s; }"
+        )
+        optimize_module(m, verify=True)
+        assert Interpreter(m).run("main") == expected
+        # after unrolling both levels and folding, main is loop-free
+        assert not DominatorTree(m.get_function("main")).back_edges()
+
+    def test_unroll_enables_constant_folding(self):
+        m, f, expected = check(
+            "int main() { int s = 0; for (int i = 0; i < 4; i++) "
+            "{ s += i * i; } return s; }"
+        )
+        optimize_module(m, verify=True)
+        assert m.get_function("main").instruction_count() <= 2  # ret const
+        assert expected == 14
+
+    def test_pass_registered(self):
+        from repro.opt import FUNCTION_PASSES
+
+        assert "unroll" in FUNCTION_PASSES

@@ -1,0 +1,97 @@
+"""Tests of the Phoenix kernels (Table 1) and the evaluation harness."""
+
+import pytest
+
+from repro.phoenix import (
+    PROGRAM_NAMES,
+    SIZE_TINY,
+    PhoenixProgram,
+    all_programs,
+    evaluate_program,
+    geomean,
+    scale,
+)
+
+
+class TestPrograms:
+    def test_all_five_kernels_exist(self):
+        from repro.phoenix.programs import PAPER_PROGRAM_NAMES
+
+        assert PAPER_PROGRAM_NAMES == [
+            "histogram", "kmeans", "linear_regression", "matrix_multiply",
+            "string_match",
+        ]
+        assert set(PROGRAM_NAMES) == set(PAPER_PROGRAM_NAMES) | {"word_count"}
+
+    def test_scaling_substitutes_parameters(self):
+        p = scale("histogram", {"N": 512})
+        assert "512" in p.source
+        assert "{N}" not in p.source
+
+    def test_function_counts_match_table1_scale(self):
+        """Table 1 reports small function counts (2-7) per kernel."""
+        for p in all_programs(SIZE_TINY):
+            assert 2 <= p.function_count() <= 8, p.name
+
+    def test_loc_counts_are_plausible(self):
+        for p in all_programs(SIZE_TINY):
+            assert 30 <= p.loc() <= 160, (p.name, p.loc())
+
+    def test_kernels_parse_and_typecheck(self):
+        from repro.minicc import analyze, parse
+
+        for p in all_programs(SIZE_TINY):
+            analyze(parse(p.source))
+
+
+@pytest.mark.parametrize("name", PROGRAM_NAMES)
+def test_kernel_differential_all_configs(name):
+    """Every configuration of every kernel computes the same checksum as
+    the x86 emulation of the original binary."""
+    program = scale(name, SIZE_TINY[name])
+    row = evaluate_program(program, verify=False, check_x86=True)
+    assert set(row.metrics) == {"native", "lifted", "opt", "popt", "ppopt"}
+    results = {m.result for m in row.metrics.values()}
+    assert len(results) == 1
+
+
+def test_geomean():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+
+
+class TestWordCountExtension:
+    """word_count — the kernel the paper's mctoll could not lift (§9.1);
+    our lifter handles it, included as an extension beyond the paper."""
+
+    def test_differential_all_configs(self):
+        program = scale("word_count", SIZE_TINY["word_count"])
+        row = evaluate_program(program, verify=False, check_x86=True)
+        results = {m.result for m in row.metrics.values()}
+        assert len(results) == 1
+
+    def test_extension_excluded_from_paper_suite(self):
+        names = [p.name for p in all_programs(SIZE_TINY)]
+        assert "word_count" not in names
+        names_ext = [
+            p.name for p in all_programs(SIZE_TINY, include_extensions=True)
+        ]
+        assert "word_count" in names_ext
+
+    def test_word_counting_is_consistent(self):
+        """The parallel word count equals a sequential scan of the text."""
+        from repro.minicc import compile_to_x86
+        from repro.x86 import X86Emulator
+
+        program = scale("word_count", SIZE_TINY["word_count"])
+        obj = compile_to_x86(program.source)
+        emu = X86Emulator(obj)
+        emu.run()
+        total_words = int(emu.output[0])
+
+        # Recompute sequentially from the text the program generated.
+        addr = obj.data_symbols["text"].address
+        size = obj.data_symbols["text"].size
+        text = bytes(emu.memory[addr : addr + size])
+        expected = len([w for w in text.split(b" ") if w])
+        assert total_words == expected

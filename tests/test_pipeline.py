@@ -1,0 +1,114 @@
+"""End-to-end tests of the Lasagne pipeline (all five §9.1 configurations)."""
+
+import pytest
+
+from repro.core import CONFIGS, Lasagne
+from repro.minicc import compile_to_x86
+from repro.x86 import X86Emulator
+
+SHARED_COUNTER = """
+int ctr = 0;
+int done = 0;
+int worker(int t) {
+  for (int i = 0; i < 8; i = i + 1) { atomic_add(&ctr, t); }
+  return 0;
+}
+int main() {
+  int t1 = spawn(worker, 1);
+  int t2 = spawn(worker, 2);
+  join(t1); join(t2);
+  fence();
+  done = 1;
+  return ctr * 10 + done;
+}
+"""
+
+MIXED_MATH = """
+int a[6];
+double acc = 0.0;
+int main() {
+  for (int i = 0; i < 6; i = i + 1) { a[i] = i * i + 1; }
+  for (int i = 0; i < 6; i = i + 1) { acc = acc + (double)a[i] / 2.0; }
+  print_f(acc);
+  return (int)acc;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def lasagne():
+    return Lasagne(verify=True)
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_counter_program_all_configs_agree(self, lasagne, config):
+        obj = compile_to_x86(SHARED_COUNTER)
+        expected = X86Emulator(obj).run()
+        built = lasagne.build(SHARED_COUNTER, config)
+        run = Lasagne.run(built)
+        assert run.result == expected
+
+    @pytest.mark.parametrize("config", CONFIGS)
+    def test_fp_program_all_configs_agree(self, lasagne, config):
+        obj = compile_to_x86(MIXED_MATH)
+        x86 = X86Emulator(obj)
+        expected = x86.run()
+        built = lasagne.build(MIXED_MATH, config)
+        run = Lasagne.run(built)
+        assert run.result == expected
+        assert run.output == x86.output
+
+    def test_cost_ordering(self, lasagne):
+        """Native ≤ PPOpt ≤ POpt ≤ Opt ≤ Lifted (Fig. 12's ordering)."""
+        cycles = {}
+        for config in CONFIGS:
+            built = lasagne.build(MIXED_MATH, config)
+            cycles[config] = Lasagne.run(built).cycles
+        assert cycles["native"] <= cycles["ppopt"]
+        assert cycles["ppopt"] <= cycles["popt"]
+        assert cycles["popt"] <= cycles["opt"]
+        assert cycles["opt"] <= cycles["lifted"]
+
+    def test_fence_counts_ordering(self, lasagne):
+        """PPOpt places fewer fences than POpt places fewer than Lifted."""
+        fences = {}
+        for config in ("lifted", "popt", "ppopt"):
+            built = lasagne.build(SHARED_COUNTER, config)
+            fences[config] = built.fences
+        assert fences["ppopt"] <= fences["popt"] <= fences["lifted"]
+        assert fences["ppopt"] < fences["lifted"]
+
+    def test_native_has_no_tso_fences(self, lasagne):
+        built = lasagne.build(MIXED_MATH, "native")
+        assert built.fences == 0  # no atomics/fence() in this program
+
+    def test_explicit_fence_survives_all_configs(self, lasagne):
+        src = "int g = 0; int main() { g = 1; fence(); return g; }"
+        for config in CONFIGS:
+            built = lasagne.build(src, config)
+            from repro.arm import is_fence
+
+            dmbs = [
+                i.mnemonic
+                for fn in built.program.functions.values()
+                for i in fn.instructions()
+                if is_fence(i)
+            ]
+            assert "dmb ish" in dmbs, config
+
+    def test_pointer_cast_metrics_populated(self, lasagne):
+        built = lasagne.build(MIXED_MATH, "ppopt")
+        assert built.pointer_casts_before > 0
+        assert built.pointer_casts_after < built.pointer_casts_before
+
+    def test_invalid_config_rejected(self, lasagne):
+        obj = compile_to_x86(MIXED_MATH)
+        with pytest.raises(ValueError):
+            lasagne.translate(obj, "o3")
+
+    def test_pass_stats_collected(self, lasagne):
+        built = lasagne.build(MIXED_MATH, "opt")
+        assert built.pass_stats is not None
+        reductions = built.pass_stats.reduction_by_pass()
+        assert reductions.get("mem2reg", 0) > 0

@@ -1,0 +1,133 @@
+"""Property-based differential testing of the whole translation pipeline.
+
+Hypothesis generates random (terminating, deterministic) mini-C programs;
+every configuration — the x86 emulation of the source binary, the Native
+LIR route, and the lifted Lifted/Opt/PPOpt routes — must compute identical
+results and output.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Lasagne
+from repro.lir import Interpreter, verify_module
+from repro.lifter import lift_program
+from repro.minicc import compile_to_x86
+from repro.opt import optimize_module
+from repro.x86 import X86Emulator
+
+VARS = ["v0", "v1", "v2"]
+
+literals = st.integers(min_value=-20, max_value=20)
+var_names = st.sampled_from(VARS)
+shift_amounts = st.integers(min_value=0, max_value=5)
+array_index = st.integers(min_value=0, max_value=7)
+
+
+@st.composite
+def expr(draw, depth=0):
+    if depth >= 3:
+        choice = draw(st.integers(0, 2))
+    else:
+        choice = draw(st.integers(0, 6))
+    if choice == 0:
+        return str(draw(literals))
+    if choice == 1:
+        return draw(var_names)
+    if choice == 2:
+        return f"g[{draw(array_index)}]"
+    if choice == 3:
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        return f"({draw(expr(depth + 1))} {op} {draw(expr(depth + 1))})"
+    if choice == 4:
+        op = draw(st.sampled_from(["<<", ">>"]))
+        return f"(({draw(expr(depth + 1))} & 1023) {op} {draw(shift_amounts)})"
+    if choice == 5:
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        return f"({draw(expr(depth + 1))} {op} {draw(expr(depth + 1))})"
+    # safe division/modulo: constant non-zero divisor
+    op = draw(st.sampled_from(["/", "%"]))
+    divisor = draw(st.integers(min_value=1, max_value=9))
+    return f"({draw(expr(depth + 1))} {op} {divisor})"
+
+
+@st.composite
+def statement(draw, depth=0):
+    choice = draw(st.integers(0, 4 if depth < 2 else 2))
+    if choice == 0:
+        return f"{draw(var_names)} = {draw(expr())};"
+    if choice == 1:
+        return f"g[{draw(array_index)}] = {draw(expr())};"
+    if choice == 2:
+        return f"print_i({draw(expr())});"
+    if choice == 3:
+        body = draw(st.lists(statement(depth + 1), min_size=1, max_size=3))
+        cond = draw(expr(2))
+        alt = draw(st.booleans())
+        text = f"if ({cond}) {{ {' '.join(body)} }}"
+        if alt:
+            body2 = draw(st.lists(statement(depth + 1), min_size=1, max_size=2))
+            text += f" else {{ {' '.join(body2)} }}"
+        return text
+    count = draw(st.integers(1, 4))
+    body = draw(st.lists(statement(depth + 1), min_size=1, max_size=3))
+    ivar = f"i{depth}"
+    return (
+        f"for (int {ivar} = 0; {ivar} < {count}; {ivar} = {ivar} + 1)"
+        f" {{ {' '.join(body)} }}"
+    )
+
+
+@st.composite
+def mini_c_program(draw):
+    inits = [f"int {v} = {draw(literals)};" for v in VARS]
+    stmts = draw(st.lists(statement(), min_size=2, max_size=6))
+    result = draw(expr())
+    body = "\n  ".join(inits + stmts)
+    return (
+        "int g[8];\n"
+        "int main() {\n"
+        f"  {body}\n"
+        f"  return ({result}) & 268435455;\n"
+        "}\n"
+    )
+
+
+@given(mini_c_program())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_all_routes_agree(source):
+    obj = compile_to_x86(source)
+    x86 = X86Emulator(obj)
+    expected = x86.run()
+    expected_output = x86.output
+
+    lasagne = Lasagne(verify=True)
+    for config in ("native", "lifted", "ppopt"):
+        built = lasagne.build(source, config)
+        run = Lasagne.run(built)
+        assert run.result == expected, (config, source)
+        assert run.output == expected_output, (config, source)
+
+
+@given(mini_c_program())
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_optimizer_preserves_lifted_semantics(source):
+    """lift → O2 is semantics-preserving (checked on the LIR interpreter)."""
+    obj = compile_to_x86(source)
+    x86 = X86Emulator(obj)
+    expected = x86.run()
+
+    module = lift_program(obj)
+    optimize_module(module)
+    verify_module(module)
+    interp = Interpreter(module)
+    assert interp.run("main") == expected
+    assert interp.output == x86.output

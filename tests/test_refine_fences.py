@@ -1,0 +1,355 @@
+"""Tests for IR refinement (§5) and fence placement/merging (§8)."""
+
+import pytest
+
+from repro.fences import (
+    count_fences,
+    is_stack_address,
+    merge_fences,
+    place_fences,
+)
+from repro.lir import (
+    GEP,
+    Alloca,
+    ArrayType,
+    Cast,
+    ConstantInt,
+    Fence,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I8,
+    I64,
+    Interpreter,
+    IRBuilder,
+    Load,
+    Module,
+    Store,
+    ptr,
+    verify_function,
+    verify_module,
+)
+from repro.lifter import lift_program
+from repro.minicc import compile_to_x86
+from repro.refine import (
+    count_pointer_casts,
+    module_pointer_casts,
+    run_peephole,
+    run_refinement,
+)
+from repro.refine.ptrpromote import run_pointer_promotion
+from repro.x86 import X86Emulator
+
+
+def new_func(params=(I64,), name="f"):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, tuple(params)), ["x", "y"])
+    m.add_function(f)
+    return m, f, IRBuilder(f.new_block("entry"))
+
+
+class TestPeepholeRules:
+    def test_rule1_pointer_casting(self):
+        """ptrtoint + inttoptr (zero offset) → bitcast (Fig. 5 rule 1)."""
+        m, f, b = new_func(params=())
+        stack = b.alloca(ArrayType(I8, 16), "stacktop")
+        s8 = b.bitcast(stack, ptr(I8))
+        raw = b.ptrtoint(s8, I64)
+        p = b.inttoptr(raw, ptr(I64))
+        b.store(ConstantInt(I64, 7), p)
+        b.ret(b.load(p))
+        run_peephole(f)
+        verify_function(f)
+        assert count_pointer_casts(f) == 0
+        assert Interpreter(m).run("f") == 7
+
+    def test_rule2_stack_offset(self):
+        """add of constant to ptrtoint(stack) → gep i8 (Fig. 5 rule 2)."""
+        m, f, b = new_func(params=())
+        stack = b.alloca(ArrayType(I8, 32), "stacktop")
+        s8 = b.bitcast(stack, ptr(I8))
+        raw = b.ptrtoint(s8, I64)
+        addr = b.add(raw, ConstantInt(I64, 16))
+        p = b.inttoptr(addr, ptr(I64))
+        b.store(ConstantInt(I64, 9), p)
+        b.ret(b.load(p))
+        run_peephole(f)
+        verify_function(f)
+        geps = [i for i in f.instructions() if isinstance(i, GEP)]
+        assert geps and count_pointer_casts(f) == 0
+        assert Interpreter(m).run("f") == 9
+
+    def test_rule3_parameter_offset(self):
+        """inttoptr(arg + 8) → inttoptr(arg) ; gep 8 (Fig. 5 rule 3)."""
+        m, f, b = new_func(params=(I64,))
+        addr = b.add(f.arguments[0], ConstantInt(I64, 8))
+        p = b.inttoptr(addr, ptr(I64))
+        b.ret(b.load(p))
+        run_peephole(f)
+        verify_function(f)
+        casts = [i for i in f.instructions() if isinstance(i, Cast)]
+        # one inttoptr of the raw argument remains (promotion removes it)
+        assert [c.op for c in casts if c.op == "inttoptr"] == ["inttoptr"]
+        assert any(isinstance(i, GEP) for i in f.instructions())
+
+    def test_subtraction_chains(self):
+        m, f, b = new_func(params=())
+        stack = b.alloca(ArrayType(I8, 64), "stacktop")
+        s8 = b.bitcast(stack, ptr(I8))
+        raw = b.ptrtoint(s8, I64)
+        top = b.add(raw, ConstantInt(I64, 48))
+        down = b.sub(top, ConstantInt(I64, 8))
+        p = b.inttoptr(down, ptr(I64))
+        b.store(ConstantInt(I64, 5), p)
+        b.ret(b.load(p))
+        run_peephole(f)
+        assert count_pointer_casts(f) == 0
+        assert Interpreter(m).run("f") == 5
+
+    def test_dynamic_index_terms(self):
+        m, f, b = new_func(params=(I64,))
+        g = GlobalVariable("arr", ArrayType(I8, 64), None)
+        m.add_global(g)
+        g8 = b.bitcast(g, ptr(I8))
+        raw = b.ptrtoint(g8, I64)
+        scaled = b.binop("shl", f.arguments[0], ConstantInt(I64, 3))
+        addr = b.add(raw, scaled)
+        p = b.inttoptr(addr, ptr(I64))
+        b.store(ConstantInt(I64, 3), p)
+        b.ret(b.load(p))
+        run_peephole(f)
+        verify_function(f)
+        assert count_pointer_casts(f) == 0
+        assert Interpreter(m).run("f", [2]) == 3
+
+    def test_opaque_root_untouched(self):
+        """An address loaded from memory stays an inttoptr (§9.3 case ii)."""
+        m, f, b = new_func(params=(ptr(I64),))
+        raw = b.load(f.arguments[0])
+        p = b.inttoptr(raw, ptr(I64))
+        b.ret(b.load(p))
+        before = count_pointer_casts(f)
+        run_peephole(f)
+        assert count_pointer_casts(f) == before
+
+
+class TestPointerPromotion:
+    def test_promotes_single_type(self):
+        m, f, b = new_func(params=(I64,))
+        p = b.inttoptr(f.arguments[0], ptr(I64))
+        b.ret(b.load(p))
+        # caller passing a ptrtoint
+        main = Function("main", FunctionType(I64, ()))
+        m.add_function(main)
+        mb = IRBuilder(main.new_block("entry"))
+        g = m.add_global(GlobalVariable("g", I64, ConstantInt(I64, 77)))
+        raw = mb.ptrtoint(g, I64)
+        mb.ret(mb.call(f, [raw]))
+        run_pointer_promotion(m)
+        verify_module(m)
+        assert f.arguments[0].type == ptr(I64)
+        assert f.ftype.params[0] == ptr(I64)
+        assert Interpreter(m).run("main") == 77
+
+    def test_mixed_types_promote_to_i8ptr(self):
+        m, f, b = new_func(params=(I64,))
+        p1 = b.inttoptr(f.arguments[0], ptr(I64))
+        p2 = b.inttoptr(f.arguments[0], ptr(I8))
+        v = b.load(p1)
+        c = b.zext(b.load(p2), I64)
+        b.ret(b.add(v, c))
+        run_pointer_promotion(m)
+        verify_module(m)
+        assert f.arguments[0].type == ptr(I8)
+
+    def test_non_pointer_use_blocks_promotion(self):
+        m, f, b = new_func(params=(I64,))
+        p = b.inttoptr(f.arguments[0], ptr(I64))
+        v = b.add(f.arguments[0], ConstantInt(I64, 1))  # arithmetic use
+        b.ret(b.add(b.load(p), v))
+        run_pointer_promotion(m)
+        assert f.arguments[0].type == I64
+
+    def test_address_taken_function_skipped(self):
+        m, f, b = new_func(params=(I64,))
+        p = b.inttoptr(f.arguments[0], ptr(I64))
+        b.ret(b.load(p))
+        main = Function("main", FunctionType(I64, ()))
+        m.add_function(main)
+        mb = IRBuilder(main.new_block("entry"))
+        mb.ret(mb.ptrtoint(f, I64))  # address taken (spawn-style)
+        run_pointer_promotion(m)
+        assert f.arguments[0].type == I64
+
+
+class TestStackAnalysis:
+    def test_direct_alloca_is_stack(self):
+        m, f, b = new_func()
+        a = b.alloca(I64)
+        assert is_stack_address(a)
+
+    def test_through_bitcast_and_gep(self):
+        m, f, b = new_func()
+        a = b.alloca(ArrayType(I8, 16))
+        p = b.bitcast(a, ptr(I8))
+        g = b.gep(I8, p, [ConstantInt(I64, 4)])
+        q = b.bitcast(g, ptr(I64))
+        assert is_stack_address(q)
+
+    def test_inttoptr_hides_stack(self):
+        m, f, b = new_func()
+        a = b.alloca(ArrayType(I8, 16))
+        p = b.bitcast(a, ptr(I8))
+        raw = b.ptrtoint(p, I64)
+        q = b.inttoptr(raw, ptr(I64))
+        assert not is_stack_address(q)
+
+    def test_global_is_not_stack(self):
+        m, f, b = new_func()
+        g = m.add_global(GlobalVariable("g", I64))
+        assert not is_stack_address(g)
+
+
+class TestPlacement:
+    def test_mapping_fig8a(self):
+        """ld gets trailing Frm, st gets leading Fww (shared accesses)."""
+        m, f, b = new_func(params=(ptr(I64),))
+        p = f.arguments[0]
+        b.store(ConstantInt(I64, 1), p)
+        v = b.load(p)
+        b.ret(v)
+        place_fences(m)
+        ops = [
+            (i.opcode, getattr(i, "kind", None))
+            for i in f.entry.instructions
+        ]
+        assert ops == [
+            ("fence", "ww"), ("store", None), ("load", None),
+            ("fence", "rm"), ("ret", None),
+        ]
+
+    def test_stack_accesses_skipped(self):
+        m, f, b = new_func(params=())
+        slot = b.alloca(I64)
+        b.store(ConstantInt(I64, 1), slot)
+        b.ret(b.load(slot))
+        stats = place_fences(m)
+        assert stats.total_inserted == 0
+        assert stats.skipped_stack == 2
+
+    def test_atomics_not_double_fenced(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        b.atomicrmw("add", f.arguments[0], ConstantInt(I64, 1))
+        b.ret(ConstantInt(I64, 0))
+        place_fences(m)
+        assert count_fences(m) == 0  # RMWsc orders itself (ord3/ord4)
+
+    def test_lifted_program_state_fences_only_nonstack(self):
+        src = """
+        int g = 0;
+        int main() { int local = 1; g = g + local; return g; }
+        """
+        obj = compile_to_x86(src)
+        module = lift_program(obj)
+        stats = place_fences(module)
+        assert stats.skipped_stack > 0       # register slots are allocas
+        assert stats.total_inserted > 0      # global + hidden stack traffic
+
+
+class TestMerging:
+    def test_frm_fww_merge_to_fsc(self):
+        m, f, b = new_func(params=(ptr(I64), ptr(I64)))
+        p, q = f.arguments
+        v = b.load(p)
+        b.fence("rm")
+        b.fence("ww")
+        b.store(v, q)
+        b.ret(ConstantInt(I64, 0))
+        removed = merge_fences(m)
+        assert removed == 1
+        kinds = [i.kind for i in f.instructions() if isinstance(i, Fence)]
+        assert kinds == ["sc"]
+
+    def test_like_fences_collapse(self):
+        m, f, b = new_func(params=())
+        b.fence("rm")
+        b.fence("rm")
+        b.fence("rm")
+        b.ret(ConstantInt(I64, 0))
+        merge_fences(m)
+        kinds = [i.kind for i in f.instructions() if isinstance(i, Fence)]
+        assert kinds == ["rm"]
+
+    def test_memory_access_blocks_merge(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        b.fence("rm")
+        b.load(f.arguments[0])
+        b.fence("ww")
+        b.ret(ConstantInt(I64, 0))
+        removed = merge_fences(m)
+        assert removed == 0
+
+    def test_pure_instructions_are_transparent(self):
+        m, f, b = new_func(params=(I64,))
+        b.fence("rm")
+        b.add(f.arguments[0], ConstantInt(I64, 1))
+        b.fence("ww")
+        b.ret(ConstantInt(I64, 0))
+        removed = merge_fences(m)
+        assert removed == 1
+
+    def test_sc_absorbs_neighbours(self):
+        m, f, b = new_func(params=())
+        b.fence("ww")
+        b.fence("sc")
+        b.fence("rm")
+        b.ret(ConstantInt(I64, 0))
+        merge_fences(m)
+        kinds = [i.kind for i in f.instructions() if isinstance(i, Fence)]
+        assert kinds == ["sc"]
+
+
+class TestRefinementEndToEnd:
+    def test_cast_reduction_on_lifted_code(self):
+        src = """
+        int a[8];
+        int sum(int *p, int n) {
+          int s = 0;
+          for (int i = 0; i < n; i = i + 1) { s = s + p[i]; }
+          return s;
+        }
+        int main() {
+          for (int i = 0; i < 8; i = i + 1) { a[i] = i; }
+          return sum(a, 8);
+        }
+        """
+        obj = compile_to_x86(src)
+        module = lift_program(obj)
+        before = module_pointer_casts(module)
+        run_refinement(module)
+        verify_module(module)
+        after = module_pointer_casts(module)
+        assert after < before / 2  # Fig. 13 ballpark: ≥50% removed
+
+        expected = X86Emulator(obj).run()
+        assert Interpreter(module).run("main") == expected
+
+    def test_fence_reduction_after_refinement(self):
+        src = """
+        int g = 0;
+        int main() {
+          int acc = 0;
+          for (int i = 0; i < 4; i = i + 1) { acc = acc + i; g = acc; }
+          return g;
+        }
+        """
+        obj = compile_to_x86(src)
+        naive = lift_program(obj)
+        place_fences(naive)
+        naive_count = count_fences(naive)
+
+        refined = lift_program(obj)
+        run_refinement(refined)
+        place_fences(refined)
+        refined_count = count_fences(refined)
+        assert refined_count < naive_count

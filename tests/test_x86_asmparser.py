@@ -1,0 +1,181 @@
+"""Tests for the x86 assembly text parser."""
+
+import pytest
+
+from repro.lifter import lift_program
+from repro.lir import Interpreter
+from repro.x86 import X86Emulator
+from repro.x86.asmparser import AsmParseError, assemble_text, parse_asm
+
+
+class TestBasicParsing:
+    def test_simple_function(self):
+        obj = assemble_text("""
+        main:
+            mov rax, 40
+            add rax, 2
+            ret
+        """)
+        assert X86Emulator(obj).run() == 42
+
+    def test_comments_and_blank_lines(self):
+        obj = assemble_text("""
+        ; leading comment
+        main:
+            mov rax, 7   ; trailing comment
+
+            ret
+        """)
+        assert X86Emulator(obj).run() == 7
+
+    def test_local_labels_and_loops(self):
+        obj = assemble_text("""
+        main:
+            mov rax, 0
+            mov rcx, 5
+        .loop:
+            add rax, rcx
+            sub rcx, 1
+            cmp rcx, 0
+            jne .loop
+            ret
+        """)
+        assert X86Emulator(obj).run() == 15
+
+    def test_negative_and_hex_immediates(self):
+        obj = assemble_text("""
+        main:
+            mov rax, -5
+            add rax, 0x2F
+            ret
+        """)
+        assert X86Emulator(obj).run() == 42
+
+    def test_movabs_symbol(self):
+        obj = assemble_text("""
+        .global g, 8, 2a00000000000000
+        main:
+            movabs rcx, g
+            mov rax, qword [rcx]
+            ret
+        """)
+        assert X86Emulator(obj).run() == 0x2A
+
+    def test_cross_function_calls(self):
+        obj = assemble_text("""
+        twice:
+            mov rax, rdi
+            add rax, rdi
+            ret
+        main:
+            mov rdi, 21
+            call twice
+            ret
+        """)
+        assert X86Emulator(obj).run() == 42
+
+
+class TestMemoryOperands:
+    def test_base_index_scale_disp(self):
+        obj = assemble_text("""
+        .global tbl, 64
+        main:
+            movabs rcx, tbl
+            mov rdx, 3
+            mov rax, 99
+            mov qword [rcx + rdx*8 + 8], rax
+            mov rax, qword [rcx + 32]
+            ret
+        """)
+        assert X86Emulator(obj).run() == 99
+
+    def test_negative_displacement(self):
+        obj = assemble_text("""
+        .global tbl, 32
+        main:
+            movabs rcx, tbl
+            mov rax, 7
+            mov qword [rcx + 8], rax
+            mov rax, qword [rcx + 16 - 8]
+            ret
+        """)
+        assert X86Emulator(obj).run() == 7
+
+    def test_byte_width(self):
+        obj = assemble_text("""
+        .global buf, 4, 61626364
+        main:
+            movabs rcx, buf
+            movzx rax, byte [rcx + 2]
+            ret
+        """)
+        assert X86Emulator(obj).run() == ord("c")
+
+
+class TestConcurrencySyntax:
+    def test_lock_prefix_and_externs(self):
+        obj = assemble_text("""
+        .global ctr, 8
+        .extern spawn
+        .extern join
+        worker:
+            movabs rdx, ctr
+            mov rcx, 1
+            lock xadd qword [rdx], rcx
+            xor rax, rax
+            ret
+        main:
+            movabs rdi, worker
+            xor rsi, rsi
+            call spawn
+            mov rdi, rax
+            call join
+            movabs rdx, ctr
+            mov rax, qword [rdx]
+            ret
+        """)
+        assert X86Emulator(obj).run() == 1
+
+    def test_mfence(self):
+        obj = assemble_text("""
+        main:
+            mfence
+            xor rax, rax
+            ret
+        """)
+        assert X86Emulator(obj).run() == 0
+
+
+class TestPipelineFromText:
+    def test_parsed_assembly_lifts(self):
+        obj = assemble_text("""
+        .global g, 8
+        main:
+            movabs rcx, g
+            mov rax, 21
+            mov qword [rcx], rax
+            mov rax, qword [rcx]
+            add rax, rax
+            ret
+        """)
+        expected = X86Emulator(obj).run()
+        module = lift_program(obj)
+        assert Interpreter(module).run("main") == expected == 42
+
+
+class TestErrors:
+    def test_instruction_outside_function(self):
+        with pytest.raises(AsmParseError):
+            parse_asm("mov rax, 1")
+
+    def test_bad_operand(self):
+        with pytest.raises(AsmParseError):
+            parse_asm("main:\n  mov rax, @@nope@@")
+
+    def test_local_label_outside_function(self):
+        with pytest.raises(AsmParseError):
+            parse_asm(".here:")
+
+    def test_two_indices_rejected(self):
+        with pytest.raises(AsmParseError):
+            parse_asm("main:\n  mov rax, [rcx*2 + rdx*4]")

@@ -1,0 +1,306 @@
+"""Tests for the assembler/linker and the x86-TSO emulator."""
+
+import pytest
+
+from repro.x86 import (
+    Assembler,
+    AsmError,
+    AsmFunction,
+    Imm,
+    Instr,
+    Label,
+    Mem,
+    Reg,
+    X86Emulator,
+)
+from repro.x86.emulator import EmuError
+
+
+def assemble(funcs, globals_=(), externals=(), entry="main"):
+    a = Assembler()
+    for name in externals:
+        a.declare_external(name)
+    for name, size, init in globals_:
+        a.add_global(name, size, init)
+    for f in funcs:
+        a.add_function(f)
+    return a.link(entry)
+
+
+def fn(name, *instrs):
+    f = AsmFunction(name)
+    for item in instrs:
+        if isinstance(item, str):
+            f.label(item)
+        else:
+            f.emit(item)
+    return f
+
+
+class TestAssembler:
+    def test_local_labels_resolve(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rax"), Imm(0)]),
+            Instr("jmp", [Label(".skip")]),
+            Instr("mov", [Reg("rax"), Imm(99)]),
+            ".skip",
+            Instr("ret"),
+        )
+        obj = assemble([f])
+        assert X86Emulator(obj).run() == 0
+
+    def test_undefined_symbol_raises(self):
+        f = fn("main", Instr("jmp", [Label(".nowhere")]), Instr("ret"))
+        with pytest.raises(AsmError):
+            assemble([f])
+
+    def test_cross_function_call(self):
+        callee = fn(
+            "five", Instr("mov", [Reg("rax"), Imm(5)]), Instr("ret")
+        )
+        caller = fn("main", Instr("call", [Label("five")]), Instr("ret"))
+        obj = assemble([callee, caller])
+        assert X86Emulator(obj).run() == 5
+
+    def test_global_symbol_address(self):
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rcx"), Label("g")]),
+            Instr("mov", [Reg("rax"), Imm(7)]),
+            Instr("mov", [Mem(base="rcx", width=64), Reg("rax")]),
+            Instr("mov", [Reg("rax"), Mem(base="rcx", width=64)]),
+            Instr("ret"),
+        )
+        obj = assemble([f], globals_=[("g", 8, b"")])
+        assert "g" in obj.data_symbols
+        assert X86Emulator(obj).run() == 7
+
+    def test_global_initializer_loaded(self):
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rcx"), Label("g")]),
+            Instr("mov", [Reg("rax"), Mem(base="rcx", width=64)]),
+            Instr("ret"),
+        )
+        obj = assemble(
+            [f], globals_=[("g", 8, (1234).to_bytes(8, "little"))]
+        )
+        assert X86Emulator(obj).run() == 1234
+
+    def test_function_symbols_have_sizes(self):
+        f = fn("main", Instr("ret"))
+        obj = assemble([f])
+        assert obj.functions["main"].size == 1
+
+
+class TestEmulatorSemantics:
+    def test_flags_and_conditional_jump(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rax"), Imm(3)]),
+            Instr("cmp", [Reg("rax"), Imm(5)]),
+            Instr("jl", [Label(".less")]),
+            Instr("mov", [Reg("rax"), Imm(0)]),
+            Instr("ret"),
+            ".less",
+            Instr("mov", [Reg("rax"), Imm(1)]),
+            Instr("ret"),
+        )
+        assert X86Emulator(assemble([f])).run() == 1
+
+    def test_setcc_and_movzx(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rax"), Imm(7)]),
+            Instr("cmp", [Reg("rax"), Imm(7)]),
+            Instr("sete", [Reg("al")]),
+            Instr("movzx", [Reg("rax"), Reg("al")]),
+            Instr("ret"),
+        )
+        assert X86Emulator(assemble([f])).run() == 1
+
+    def test_32bit_write_zeroes_upper(self):
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rax"), Imm(0xFFFFFFFFFFFFFFFF, 64)]),
+            Instr("mov", [Reg("eax"), Reg("eax")]),
+            Instr("shr", [Reg("rax"), Imm(32, 8)]),
+            Instr("ret"),
+        )
+        assert X86Emulator(assemble([f])).run() == 0
+
+    def test_idiv(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rax"), Imm(-7)]),
+            Instr("mov", [Reg("rcx"), Imm(2)]),
+            Instr("cqo"),
+            Instr("idiv", [Reg("rcx")]),
+            Instr("ret"),
+        )
+        assert X86Emulator(assemble([f])).run() == -3
+
+    def test_idiv_remainder_in_rdx(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rax"), Imm(7)]),
+            Instr("mov", [Reg("rcx"), Imm(3)]),
+            Instr("cqo"),
+            Instr("idiv", [Reg("rcx")]),
+            Instr("mov", [Reg("rax"), Reg("rdx")]),
+            Instr("ret"),
+        )
+        assert X86Emulator(assemble([f])).run() == 1
+
+    def test_division_by_zero_raises(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rax"), Imm(7)]),
+            Instr("xor", [Reg("rcx"), Reg("rcx")]),
+            Instr("cqo"),
+            Instr("idiv", [Reg("rcx")]),
+            Instr("ret"),
+        )
+        with pytest.raises(EmuError):
+            X86Emulator(assemble([f])).run()
+
+    def test_sse_double_arithmetic(self):
+        import struct
+
+        bits = int.from_bytes(struct.pack("<d", 1.5), "little")
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rax"), Imm(bits, 64)]),
+            Instr("movq", [Reg("xmm0"), Reg("rax")]),
+            Instr("addsd", [Reg("xmm0"), Reg("xmm0")]),
+            Instr("cvttsd2si", [Reg("rax"), Reg("xmm0")]),
+            Instr("ret"),
+        )
+        assert X86Emulator(assemble([f])).run() == 3
+
+    def test_xadd_returns_old_value(self):
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rdx"), Label("g")]),
+            Instr("mov", [Reg("rax"), Imm(10)]),
+            Instr("mov", [Mem(base="rdx", width=64), Reg("rax")]),
+            Instr("mov", [Reg("rcx"), Imm(5)]),
+            Instr("xadd", [Mem(base="rdx", width=64), Reg("rcx")], lock=True),
+            Instr("mov", [Reg("rax"), Mem(base="rdx", width=64)]),
+            Instr("add", [Reg("rax"), Reg("rcx")]),  # 15 + old(10)
+            Instr("ret"),
+        )
+        obj = assemble([f], globals_=[("g", 8, b"")])
+        assert X86Emulator(obj).run() == 25
+
+    def test_cmpxchg_success_sets_zf(self):
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rdx"), Label("g")]),
+            Instr("xor", [Reg("rax"), Reg("rax")]),
+            Instr("mov", [Reg("rcx"), Imm(9)]),
+            Instr("cmpxchg", [Mem(base="rdx", width=64), Reg("rcx")], lock=True),
+            Instr("jne", [Label(".fail")]),
+            Instr("mov", [Reg("rax"), Mem(base="rdx", width=64)]),
+            Instr("ret"),
+            ".fail",
+            Instr("mov", [Reg("rax"), Imm(-1)]),
+            Instr("ret"),
+        )
+        obj = assemble([f], globals_=[("g", 8, b"")])
+        assert X86Emulator(obj).run() == 9
+
+    def test_runtime_print(self):
+        f = fn(
+            "main",
+            Instr("mov", [Reg("rdi"), Imm(123)]),
+            Instr("call", [Label("print_i64")]),
+            Instr("xor", [Reg("rax"), Reg("rax")]),
+            Instr("ret"),
+        )
+        obj = assemble([f], externals=["print_i64"])
+        emu = X86Emulator(obj)
+        emu.run()
+        assert emu.output == ["123"]
+
+
+class TestTSOStoreBuffer:
+    def _counter_program(self):
+        """Two spawned threads each lock-xadd the counter 50 times."""
+        worker = fn(
+            "worker",
+            Instr("mov", [Reg("rcx"), Imm(50)]),
+            ".loop",
+            Instr("movabs", [Reg("rdx"), Label("ctr")]),
+            Instr("mov", [Reg("rsi"), Imm(1)]),
+            Instr("xadd", [Mem(base="rdx", width=64), Reg("rsi")], lock=True),
+            Instr("sub", [Reg("rcx"), Imm(1)]),
+            Instr("cmp", [Reg("rcx"), Imm(0)]),
+            Instr("jne", [Label(".loop")]),
+            Instr("xor", [Reg("rax"), Reg("rax")]),
+            Instr("ret"),
+        )
+        main = fn(
+            "main",
+            Instr("movabs", [Reg("rdi"), Label("worker")]),
+            Instr("xor", [Reg("rsi"), Reg("rsi")]),
+            Instr("call", [Label("spawn")]),
+            Instr("mov", [Reg("rbx"), Reg("rax")]),
+            Instr("movabs", [Reg("rdi"), Label("worker")]),
+            Instr("xor", [Reg("rsi"), Reg("rsi")]),
+            Instr("call", [Label("spawn")]),
+            Instr("mov", [Reg("rdi"), Reg("rax")]),
+            Instr("call", [Label("join")]),
+            Instr("mov", [Reg("rdi"), Reg("rbx")]),
+            Instr("call", [Label("join")]),
+            Instr("movabs", [Reg("rdx"), Label("ctr")]),
+            Instr("mov", [Reg("rax"), Mem(base="rdx", width=64)]),
+            Instr("ret"),
+        )
+        return assemble(
+            [worker, main],
+            globals_=[("ctr", 8, b"")],
+            externals=["spawn", "join"],
+        )
+
+    def test_atomic_increments_are_exact(self):
+        assert X86Emulator(self._counter_program()).run() == 100
+
+    def test_store_buffer_forwarding(self):
+        """A thread sees its own buffered store before it drains."""
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rcx"), Label("g")]),
+            Instr("mov", [Reg("rax"), Imm(77)]),
+            Instr("mov", [Mem(base="rcx", width=64), Reg("rax")]),
+            # load before any flush point: must forward from the buffer
+            Instr("mov", [Reg("rax"), Mem(base="rcx", width=64)]),
+            Instr("ret"),
+        )
+        obj = assemble([f], globals_=[("g", 8, b"")])
+        emu = X86Emulator(obj, quantum=1000)
+        assert emu.run() == 77
+
+    def test_buffer_drains_on_mfence(self):
+        f = fn(
+            "main",
+            Instr("movabs", [Reg("rcx"), Label("g")]),
+            Instr("mov", [Reg("rax"), Imm(5)]),
+            Instr("mov", [Mem(base="rcx", width=64), Reg("rax")]),
+            Instr("mfence"),
+            Instr("ret"),
+        )
+        obj = assemble([f], globals_=[("g", 8, b"")])
+        emu = X86Emulator(obj, quantum=1000)
+
+        # Stop right after the store: memory must not yet contain it.
+        thread = emu._make_thread(obj.functions["main"].address)
+        for _ in range(3):
+            emu.step(thread)
+        addr = obj.data_symbols["g"].address
+        assert int.from_bytes(emu.memory[addr : addr + 8], "little") == 0
+        assert thread.store_buffer  # value parked in the buffer
+        emu.step(thread)  # mfence
+        assert not thread.store_buffer
+        assert int.from_bytes(emu.memory[addr : addr + 8], "little") == 5

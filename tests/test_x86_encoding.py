@@ -1,0 +1,235 @@
+"""Encoder/decoder round-trip tests for the x86-64 subset.
+
+Includes a hypothesis property: any instruction the encoder accepts decodes
+back to an equal instruction (same mnemonic/operands/lock prefix).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.x86 import Imm, Instr, Mem, Reg, decode_one, encode
+from repro.x86.encoder import EncodeError
+from repro.x86.decoder import DecodeError
+from repro.x86.registers import GPR64, XMM
+
+
+def roundtrip(instr: Instr) -> Instr:
+    data = encode(instr)
+    decoded = decode_one(data, 0, 0)
+    assert decoded.size == len(data)
+    return decoded
+
+
+class TestBasicEncodings:
+    def test_known_byte_patterns(self):
+        # Cross-checked against a reference assembler.
+        assert encode(Instr("ret")) == b"\xc3"
+        assert encode(Instr("nop")) == b"\x90"
+        assert encode(Instr("mfence")) == b"\x0f\xae\xf0"
+        assert encode(Instr("cqo")) == b"\x48\x99"
+        assert encode(Instr("mov", [Reg("rax"), Reg("rdi")])) == b"\x48\x89\xf8"
+        assert encode(Instr("push", [Reg("rbp")])) == b"\x55"
+        assert encode(Instr("pop", [Reg("rbp")])) == b"\x5d"
+        assert encode(Instr("push", [Reg("r12")])) == b"\x41\x54"
+        assert (
+            encode(Instr("add", [Reg("rax"), Imm(1)])) == b"\x48\x83\xc0\x01"
+        )
+        assert encode(Instr("xor", [Reg("rax"), Reg("rax")])) == b"\x48\x31\xc0"
+
+    def test_rex_b_for_high_registers(self):
+        data = encode(Instr("mov", [Reg("r8"), Reg("r15")]))
+        assert data[0] == 0x4D  # REX.WRB
+
+    def test_movabs(self):
+        instr = Instr("movabs", [Reg("rbx"), Imm(0x1122334455667788, 64)])
+        data = encode(instr)
+        assert data[:2] == b"\x48\xbb"
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_lock_prefix(self):
+        instr = Instr(
+            "cmpxchg", [Mem(base="rdx", width=64), Reg("rcx")], lock=True
+        )
+        data = encode(instr)
+        assert data[0] == 0xF0
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_rel32_branches(self):
+        data = encode(Instr("jmp"), rel32=0x10)
+        assert data == b"\xe9\x10\x00\x00\x00"
+        data = encode(Instr("je"), rel32=-2)
+        assert data[:2] == b"\x0f\x84"
+
+    def test_imm_width_selection(self):
+        small = encode(Instr("add", [Reg("rax"), Imm(5)]))
+        large = encode(Instr("add", [Reg("rax"), Imm(500)]))
+        assert len(small) < len(large)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(EncodeError):
+            encode(Instr("mov", [Reg("rax"), Imm(2**40)]))  # needs movabs
+        with pytest.raises(EncodeError):
+            encode(Instr("frobnicate"))
+
+
+class TestMemoryOperands:
+    def test_plain_base(self):
+        instr = Instr("mov", [Reg("rax"), Mem(base="rcx", width=64)])
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_rsp_base_needs_sib(self):
+        instr = Instr("mov", [Reg("rax"), Mem(base="rsp", width=64)])
+        data = encode(instr)
+        assert roundtrip(instr).key() == instr.key()
+        # SIB byte present: opcode is third byte (REX + 8B + modrm + sib)
+        assert len(data) == 4
+
+    def test_rbp_base_needs_disp8(self):
+        instr = Instr("mov", [Reg("rax"), Mem(base="rbp", width=64)])
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_r13_base_needs_disp8(self):
+        instr = Instr("mov", [Reg("rax"), Mem(base="r13", width=64)])
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_disp8_and_disp32(self):
+        for disp in (0, 8, -8, 127, -128, 128, -129, 2**20, -(2**20)):
+            instr = Instr(
+                "mov", [Reg("rdx"), Mem(base="rsi", disp=disp, width=64)]
+            )
+            assert roundtrip(instr).key() == instr.key(), disp
+
+    def test_scaled_index(self):
+        for scale in (1, 2, 4, 8):
+            instr = Instr(
+                "lea",
+                [Reg("rax"), Mem(base="rcx", index="rdx", scale=scale, width=64)],
+            )
+            assert roundtrip(instr).key() == instr.key(), scale
+
+    def test_index_r12_and_r13(self):
+        instr = Instr(
+            "mov",
+            [Reg("rax"), Mem(base="r12", index="r13", scale=8, disp=16, width=64)],
+        )
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_rsp_cannot_be_index(self):
+        with pytest.raises(ValueError):
+            Mem(base="rax", index="rsp")
+
+    def test_absolute_disp32(self):
+        instr = Instr("mov", [Reg("rax"), Mem(disp=0x601000, width=64)])
+        assert roundtrip(instr).key() == instr.key()
+
+    def test_byte_memory_access(self):
+        instr = Instr("mov", [Mem(base="rcx", width=8), Reg("al")])
+        assert roundtrip(instr).key() == instr.key()
+
+
+class TestSSEEncodings:
+    def test_movsd_load_store(self):
+        load = Instr("movsd", [Reg("xmm0"), Mem(base="rax", width=64)])
+        store = Instr("movsd", [Mem(base="rax", width=64), Reg("xmm0")])
+        assert roundtrip(load).key() == load.key()
+        assert roundtrip(store).key() == store.key()
+
+    def test_scalar_arith(self):
+        for mn in ("addsd", "subsd", "mulsd", "divsd"):
+            instr = Instr(mn, [Reg("xmm1"), Reg("xmm2")])
+            assert roundtrip(instr).key() == instr.key()
+
+    def test_packed(self):
+        for mn in ("addpd", "paddq", "paddd"):
+            instr = Instr(mn, [Reg("xmm3"), Reg("xmm4")])
+            assert roundtrip(instr).key() == instr.key()
+
+    def test_conversions_and_moves(self):
+        pairs = [
+            Instr("cvtsi2sd", [Reg("xmm0"), Reg("rax")]),
+            Instr("cvttsd2si", [Reg("rax"), Reg("xmm0")]),
+            Instr("movq", [Reg("xmm5"), Reg("rdi")]),
+            Instr("movq", [Reg("rdi"), Reg("xmm5")]),
+            Instr("ucomisd", [Reg("xmm0"), Reg("xmm1")]),
+            Instr("pxor", [Reg("xmm7"), Reg("xmm7")]),
+            Instr("sqrtsd", [Reg("xmm2"), Reg("xmm3")]),
+        ]
+        for instr in pairs:
+            assert roundtrip(instr).key() == instr.key(), instr
+
+    def test_high_xmm_registers(self):
+        instr = Instr("addsd", [Reg("xmm12"), Reg("xmm9")])
+        assert roundtrip(instr).key() == instr.key()
+
+
+# ---- property-based round trip -------------------------------------------
+
+gpr64 = st.sampled_from(GPR64)
+xmm = st.sampled_from(XMM)
+imm32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+scale = st.sampled_from([1, 2, 4, 8])
+index_reg = st.sampled_from([r for r in GPR64 if r != "rsp"])
+
+
+@st.composite
+def mem_operand(draw, width=64):
+    base = draw(gpr64)
+    use_index = draw(st.booleans())
+    index = draw(index_reg) if use_index else None
+    return Mem(
+        base=base,
+        index=index,
+        scale=draw(scale) if use_index else 1,
+        disp=draw(st.integers(min_value=-(2**27), max_value=2**27)),
+        width=width,
+    )
+
+
+@st.composite
+def any_instr(draw):
+    choice = draw(st.integers(0, 9))
+    if choice == 0:
+        return Instr("mov", [Reg(draw(gpr64)), Reg(draw(gpr64))])
+    if choice == 1:
+        return Instr("mov", [Reg(draw(gpr64)), draw(mem_operand())])
+    if choice == 2:
+        return Instr("mov", [draw(mem_operand()), Reg(draw(gpr64))])
+    if choice == 3:
+        mn = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "cmp"]))
+        return Instr(mn, [Reg(draw(gpr64)), Reg(draw(gpr64))])
+    if choice == 4:
+        mn = draw(st.sampled_from(["add", "sub", "and", "or", "xor", "cmp"]))
+        return Instr(mn, [Reg(draw(gpr64)), Imm(draw(imm32))])
+    if choice == 5:
+        return Instr("lea", [Reg(draw(gpr64)), draw(mem_operand())])
+    if choice == 6:
+        return Instr(
+            "movabs",
+            [Reg(draw(gpr64)),
+             Imm(draw(st.integers(0, 2**64 - 1)), 64)],
+        )
+    if choice == 7:
+        mn = draw(st.sampled_from(["shl", "shr", "sar"]))
+        return Instr(mn, [Reg(draw(gpr64)), Imm(draw(st.integers(0, 63)), 8)])
+    if choice == 8:
+        mn = draw(st.sampled_from(["addsd", "subsd", "mulsd", "divsd"]))
+        return Instr(mn, [Reg(draw(xmm)), Reg(draw(xmm))])
+    return Instr("imul", [Reg(draw(gpr64)), Reg(draw(gpr64))])
+
+
+@given(any_instr())
+@settings(max_examples=300, deadline=None)
+def test_roundtrip_property(instr):
+    decoded = roundtrip(instr)
+    assert decoded.key() == instr.key()
+
+
+@given(st.binary(min_size=1, max_size=15))
+@settings(max_examples=200, deadline=None)
+def test_decoder_never_crashes_unexpectedly(data):
+    """The decoder either returns an instruction or raises DecodeError."""
+    try:
+        decode_one(data, 0, 0)
+    except DecodeError:
+        pass
