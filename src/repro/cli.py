@@ -6,21 +6,44 @@ translate   compile mini-C to x86, translate to Arm, optionally run both
 lift        show the lifted (optionally refined) LIR of a mini-C program
 evaluate    run the Phoenix evaluation and print the §9 tables
 litmus      enumerate outcomes of a named litmus test under a model
+validate    fuzz-driven differential validation of the whole pipeline
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
+
+
+def _read_source(path: str) -> str | None:
+    """Read a source file; on failure print a clean error (no traceback)."""
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        print(f"repro: cannot read {path!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return None
+
+
+def _first_output_mismatch(expected: list[str], got: list[str]) -> int | None:
+    """Index of the first differing output entry, or None if identical."""
+    for i, (a, b) in enumerate(zip(expected, got)):
+        if a != b:
+            return i
+    if len(expected) != len(got):
+        return min(len(expected), len(got))
+    return None
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    from .arm import is_fence
     from .core import Lasagne
     from .minicc import compile_to_x86
     from .x86 import X86Emulator
 
-    source = open(args.source).read()
+    source = _read_source(args.source)
+    if source is None:
+        return 2
     obj = compile_to_x86(source)
     lasagne = Lasagne(verify=not args.no_verify)
     built = lasagne.build(source, args.config)
@@ -35,16 +58,30 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         print(format_module(built.module))
     if args.run:
         expected = None
+        expected_output: list[str] = []
         if args.config != "native":
             emu = X86Emulator(obj)
             expected = emu.run()
+            expected_output = emu.output
             print(f"x86 result: {expected}  output: {emu.output}")
         run = Lasagne.run(built)
         print(f"arm result: {run.result}  output: {run.output}  "
               f"cycles: {run.cycles}")
-        if expected is not None and run.result != expected:
-            print("MISMATCH between x86 and translated Arm!", file=sys.stderr)
-            return 1
+        if expected is not None:
+            mismatched = False
+            if run.result != expected:
+                print("MISMATCH between x86 and translated Arm results!",
+                      file=sys.stderr)
+                mismatched = True
+            index = _first_output_mismatch(expected_output, run.output)
+            if index is not None:
+                print(f"MISMATCH in output streams at index {index}: "
+                      f"x86={expected_output[index:index + 1]!r} "
+                      f"arm={run.output[index:index + 1]!r}",
+                      file=sys.stderr)
+                mismatched = True
+            if mismatched:
+                return 1
     return 0
 
 
@@ -55,7 +92,9 @@ def _cmd_lift(args: argparse.Namespace) -> int:
     from .minicc import compile_to_x86
     from .refine import run_refinement
 
-    source = open(args.source).read()
+    source = _read_source(args.source)
+    if source is None:
+        return 2
     obj = compile_to_x86(source)
     module = lift_program(obj)
     if args.refine:
@@ -94,7 +133,10 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     from . import memmodel as mm
 
     if args.file:
-        test = mm.parse_litmus(open(args.file).read())
+        text = _read_source(args.file)
+        if text is None:
+            return 2
+        test = mm.parse_litmus(text)
         program = test.program
         if test.exists is not None:
             allowed = test.exists_allowed(args.model)
@@ -127,6 +169,45 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     for outcome in sorted(mm.outcomes(program, args.model), key=sorted):
         print("  " + ", ".join(f"{k}={v}" for k, v in sorted(outcome)))
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import json
+
+    from .validate import GenConfig, OracleOptions, RunnerOptions, run_corpus
+
+    if args.count is None and args.minutes is None:
+        args.count = 100
+    opts = RunnerOptions(
+        seed=args.seed,
+        jobs=args.jobs,
+        count=args.count,
+        minutes=args.minutes,
+        shrink=args.shrink,
+        corpus_dir=args.corpus,
+        gen=GenConfig(threads=args.threads),
+        oracle=OracleOptions(verify=not args.no_verify,
+                             include_native=not args.no_native),
+    )
+
+    def progress(row: dict) -> None:
+        if not row["ok"]:
+            print(f"divergence [{row['signature']}] seed={row['seed']}: "
+                  f"{row['detail']}", file=sys.stderr)
+
+    report = run_corpus(opts, progress=None if args.quiet else progress)
+    if args.report:
+        Path(args.report).write_text(json.dumps(report, indent=2))
+    print(f"validate: {report['programs_run']} programs "
+          f"({report['corpus_replayed']} from corpus), "
+          f"{report['divergences']} divergences, "
+          f"{report['throughput_per_minute']:.0f} programs/min, "
+          f"report at {Path(opts.corpus_dir) / 'report.json'}")
+    if report["stage_histogram"]:
+        print("stage histogram: " + ", ".join(
+            f"{stage}={count}"
+            for stage, count in sorted(report["stage_histogram"].items())))
+    return 0 if report["clean"] else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -164,6 +245,29 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["x86-to-ir", "ir-to-arm", "x86-to-arm",
                             "arm-to-ir", "ir-to-x86", "arm-to-x86"])
     p.set_defaults(func=_cmd_litmus)
+
+    p = sub.add_parser(
+        "validate",
+        help="differential validation: fuzz every pipeline rung in lockstep")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--count", type=int, default=None,
+                   help="number of generated programs (default 100)")
+    p.add_argument("--minutes", type=float, default=None,
+                   help="wall-clock budget instead of --count")
+    p.add_argument("--shrink", action="store_true",
+                   help="delta-debug each diverging program")
+    p.add_argument("--corpus", default=".validate-corpus",
+                   help="persistent corpus/crash directory")
+    p.add_argument("--report", default=None,
+                   help="also write the JSON report to this path")
+    p.add_argument("--threads", action="store_true",
+                   help="include commutative atomic-counter thread programs")
+    p.add_argument("--no-native", action="store_true",
+                   help="skip the native-config Arm rung")
+    p.add_argument("--no-verify", action="store_true")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=_cmd_validate)
 
     args = parser.parse_args(argv)
     return args.func(args)

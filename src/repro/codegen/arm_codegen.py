@@ -202,17 +202,26 @@ class _FuncCodegen:
             values[id(arg)] = arg
             start[id(arg)] = 0
             end[id(arg)] = 0
+        # Pass 1: record every definition point.  Doing this before looking
+        # at uses matters: linear block order need not follow control flow,
+        # so a value can be *used* in a block that the layout places before
+        # its defining block (e.g. a loop-exit successor emitted early).
         for bb in self.blocks:
-            bstart, bend = block_range[id(bb)]
             for inst in bb.instructions:
                 if needs_interval(inst):
                     start.setdefault(id(inst), index[id(inst)])
                     end.setdefault(id(inst), index[id(inst)])
+        # Pass 2: widen each interval over explicit uses and over every
+        # block where the value is live, in both directions.
+        for bb in self.blocks:
+            bstart, bend = block_range[id(bb)]
+            for inst in bb.instructions:
                 if isinstance(inst, Phi):
                     continue
                 for op in inst.operands:
                     if needs_interval(op) and id(op) in start:
                         end[id(op)] = max(end[id(op)], index[id(inst)])
+                        start[id(op)] = min(start[id(op)], index[id(inst)])
             out: set[int] = set(phi_uses[id(bb)])
             for s in bb.successors():
                 out |= live_in[id(s)]

@@ -1,5 +1,16 @@
 """Lasagne end-to-end pipeline (core of the paper's contribution)."""
 
-from .pipeline import CONFIGS, Lasagne, RunResult, TranslationResult
+from .pipeline import (
+    CONFIGS,
+    NATIVE_STAGES,
+    TRANSLATE_STAGES,
+    Lasagne,
+    RunResult,
+    TranslationResult,
+    snapshot_module,
+)
 
-__all__ = ["CONFIGS", "Lasagne", "RunResult", "TranslationResult"]
+__all__ = [
+    "CONFIGS", "NATIVE_STAGES", "TRANSLATE_STAGES",
+    "Lasagne", "RunResult", "TranslationResult", "snapshot_module",
+]

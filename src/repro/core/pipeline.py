@@ -25,7 +25,7 @@ from ..arm.emulator import ArmEmulator
 from ..arm.program import ArmProgram
 from ..codegen import compile_lir_to_arm
 from ..fences import count_fences, merge_fences, place_fences
-from ..lir import Module, verify_module
+from ..lir import Module, format_module, parse_module, verify_module
 from ..lifter import lift_program
 from ..minicc.codegen_x86 import compile_to_x86
 from ..minicc.frontend_lir import compile_to_lir
@@ -34,6 +34,19 @@ from ..refine import module_pointer_casts, run_refinement
 from ..x86.objfile import X86Object
 
 CONFIGS = ["native", "lifted", "opt", "popt", "ppopt"]
+
+# Stage names recorded by ``Lasagne(capture_stages=True)``, in pipeline order.
+TRANSLATE_STAGES = ["lift", "refine", "place", "opt", "merge"]
+NATIVE_STAGES = ["frontend", "opt"]
+
+
+def snapshot_module(module: Module) -> Module:
+    """An independent deep copy of ``module`` (printer/parser round-trip).
+
+    Later pipeline stages mutate the module in place; a snapshot taken here
+    is immune to that, which is what differential validation needs.
+    """
+    return parse_module(format_module(module))
 
 
 @dataclass
@@ -46,6 +59,9 @@ class TranslationResult:
     pointer_casts_before: int = 0
     pointer_casts_after: int = 0
     pass_stats: Optional[PassStats] = None
+    # Intermediate modules, keyed by stage name (see TRANSLATE_STAGES /
+    # NATIVE_STAGES); populated only under ``Lasagne(capture_stages=True)``.
+    stages: dict[str, Module] = field(default_factory=dict)
 
     @property
     def arm_instructions(self) -> int:
@@ -67,19 +83,27 @@ class RunResult:
 class Lasagne:
     """End-to-end static binary translator for weak memory architectures."""
 
-    def __init__(self, verify: bool = True) -> None:
+    def __init__(self, verify: bool = True, capture_stages: bool = False) -> None:
         self.verify = verify
+        self.capture_stages = capture_stages
+
+    def _capture(self, stages: dict[str, Module], name: str, module: Module) -> None:
+        if self.capture_stages:
+            stages[name] = snapshot_module(module)
 
     # ---- the five configurations -------------------------------------------
     def native(self, source: str, entry: str = "main") -> TranslationResult:
+        stages: dict[str, Module] = {}
         module = compile_to_lir(source)
         if self.verify:
             verify_module(module)
+        self._capture(stages, "frontend", module)
         stats = optimize_module(module, verify=self.verify)
+        self._capture(stages, "opt", module)
         program = compile_lir_to_arm(module, entry)
         return TranslationResult(
             "native", module, program,
-            fences=count_fences(module), pass_stats=stats,
+            fences=count_fences(module), pass_stats=stats, stages=stages,
         )
 
     def translate(
@@ -87,23 +111,29 @@ class Lasagne:
     ) -> TranslationResult:
         if config not in ("lifted", "opt", "popt", "ppopt"):
             raise ValueError(f"unknown configuration {config!r}")
+        stages: dict[str, Module] = {}
         module = lift_program(obj)
         if self.verify:
             verify_module(module)
+        self._capture(stages, "lift", module)
         casts_before = module_pointer_casts(module)
         if config == "ppopt":
             run_refinement(module)
             if self.verify:
                 verify_module(module)
+            self._capture(stages, "refine", module)
         casts_after = module_pointer_casts(module)
         place_fences(module)
         fences_naive = count_fences(module)
+        self._capture(stages, "place", module)
         stats = None
         if config != "lifted":
             stats = optimize_module(module, verify=self.verify)
+            self._capture(stages, "opt", module)
             if config in ("popt", "ppopt"):
                 merge_fences(module)
                 optimize_module(module, ["dce"], verify=self.verify)
+                self._capture(stages, "merge", module)
         if self.verify:
             verify_module(module)
         program = compile_lir_to_arm(module, entry)
@@ -114,6 +144,7 @@ class Lasagne:
             pointer_casts_before=casts_before,
             pointer_casts_after=casts_after,
             pass_stats=stats,
+            stages=stages,
         )
 
     # ---- convenience -------------------------------------------------------

@@ -124,7 +124,13 @@ def run_mem2reg(func: Function) -> bool:
             elif isinstance(inst, Store) and id(inst.pointer) in alloca_ids:
                 state[id(inst.pointer)] = inst.value
                 inst.erase_from_parent()
+        seen_succs = set()
         for succ in bb.successors():
+            # A conditional branch with both targets equal yields the same
+            # successor twice; wiring the phi once per *block* is enough.
+            if id(succ) in seen_succs:
+                continue
+            seen_succs.add(id(succ))
             for aid in alloca_ids:
                 phi = phi_for.get((aid, id(succ)))
                 if phi is not None:

@@ -2,6 +2,7 @@
 
 * delete unreachable blocks,
 * fold conditional branches on constants,
+* fold conditional branches whose two targets coincide,
 * merge a block into its unique predecessor when that predecessor has a
   single successor,
 * thread empty forwarding blocks (a block containing only ``br %next``),
@@ -29,6 +30,35 @@ def _fold_constant_branches(func: Function) -> bool:
                 for phi in dropped.phis():
                     phi.remove_incoming(bb)
             changed = True
+    return changed
+
+
+def _fold_same_target_branches(func: Function) -> bool:
+    """Canonicalize ``br i1 %c, label %X, label %X`` to ``br label %X``.
+
+    An empty ``if`` arm produces this shape; leaving it conditional makes
+    the block look like two CFG edges to the same successor, which breaks
+    passes (e.g. mem2reg's phi insertion) that iterate successor edges.
+    """
+    changed = False
+    for bb in func.blocks:
+        term = bb.terminator
+        if not isinstance(term, Br) or not term.is_conditional:
+            continue
+        if term.targets[0] is not term.targets[1]:
+            continue
+        target = term.targets[0]
+        term.erase_from_parent()
+        bb.append(Br(None, target))
+        # A phi in the target may carry the duplicated edge twice.
+        for phi in target.phis():
+            seen = False
+            for blk in list(phi.incoming_blocks):
+                if blk is bb:
+                    if seen:
+                        phi.remove_incoming(bb)
+                    seen = True
+        changed = True
     return changed
 
 
@@ -102,6 +132,7 @@ def run_simplifycfg(func: Function) -> bool:
         progress = False
         progress |= remove_unreachable_blocks(func)
         progress |= _fold_constant_branches(func)
+        progress |= _fold_same_target_branches(func)
         progress |= simplify_trivial_phis(func)
         progress |= _merge_single_pred(func)
         progress |= _thread_empty_blocks(func)

@@ -1,0 +1,36 @@
+"""Differential translation validation (the `repro validate` subsystem).
+
+Lasagne's correctness story (§7, §9) is that every configuration of the
+pipeline computes the same results as the source x86 binary.  This package
+turns that claim into a standing, fuzz-driven oracle:
+
+* :mod:`~repro.validate.generator` — seeded random mini-C programs,
+* :mod:`~repro.validate.oracle` — lockstep co-simulation of every pipeline
+  rung with stage-level divergence classification,
+* :mod:`~repro.validate.shrink` — statement-level delta debugging of
+  diverging programs,
+* :mod:`~repro.validate.runner` — multiprocess corpus runs with a
+  persistent corpus, crash directory and JSON report.
+"""
+
+from .generator import GenConfig, ProgramGenerator, generate_program
+from .oracle import (
+    Divergence,
+    OracleOptions,
+    RungResult,
+    Verdict,
+    options_for_signature,
+    run_oracle,
+)
+from .render import render_program
+from .runner import RunnerOptions, run_corpus
+from .shrink import make_divergence_predicate, shrink
+
+__all__ = [
+    "GenConfig", "ProgramGenerator", "generate_program",
+    "Divergence", "OracleOptions", "RungResult", "Verdict",
+    "options_for_signature", "run_oracle",
+    "render_program",
+    "RunnerOptions", "run_corpus",
+    "make_divergence_predicate", "shrink",
+]

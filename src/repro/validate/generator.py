@@ -1,0 +1,388 @@
+"""Seeded random mini-C program generator.
+
+The generated programs are the fuzz inputs of the differential oracle, so
+they must be *deterministic* (no data races, no scheduling-visible output),
+*terminating* (loops have static bounds, calls are non-recursive) and free
+of undefined behaviour the pipeline rungs could legitimately disagree on
+(all array indexing is masked in-bounds, divisors are non-zero constants,
+shift amounts are small constants).  Within those rules the generator aims
+for coverage: pointers, globals, arrays, doubles, nested control flow and
+helper-function calls are all on by default and individually gated by
+:class:`GenConfig` knobs.
+
+Determinism contract: the same ``(seed, GenConfig)`` pair always yields the
+same source text, independent of interpreter hash randomization or
+generation order elsewhere.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and feature knobs for :class:`ProgramGenerator`."""
+
+    max_statements: int = 7      # statements per top-level body
+    max_depth: int = 3           # expression nesting depth
+    max_block_depth: int = 2     # control-flow nesting depth
+    max_functions: int = 2       # helper functions besides main
+    max_loop_iters: int = 6      # static trip-count bound
+    arrays: bool = True
+    pointers: bool = True
+    doubles: bool = True
+    calls: bool = True
+    prints: bool = True
+    loops: bool = True
+    branches: bool = True
+    threads: bool = False        # commutative atomic-counter workers only
+    result_mask: int = 0x0FFFFFFF
+
+    def scaled(self, factor: float) -> "GenConfig":
+        """A config with the size knobs scaled by ``factor`` (features kept)."""
+        return GenConfig(
+            max_statements=max(1, int(self.max_statements * factor)),
+            max_depth=max(1, int(self.max_depth * factor)),
+            max_block_depth=max(1, int(self.max_block_depth * factor)),
+            max_functions=max(0, int(self.max_functions * factor)),
+            max_loop_iters=max(1, int(self.max_loop_iters * factor)),
+            arrays=self.arrays, pointers=self.pointers,
+            doubles=self.doubles, calls=self.calls, prints=self.prints,
+            loops=self.loops, branches=self.branches, threads=self.threads,
+            result_mask=self.result_mask,
+        )
+
+
+ARRAY_NAME = "ga"
+ARRAY_SIZE = 8  # power of two so `& 7` masks indices in bounds
+
+
+@dataclass
+class _Scope:
+    """Names visible while generating one function body."""
+
+    int_vars: list[str] = field(default_factory=list)
+    double_vars: list[str] = field(default_factory=list)
+    pointer_vars: list[str] = field(default_factory=list)
+    protected: set[str] = field(default_factory=set)  # loop counters
+    helpers: list[str] = field(default_factory=list)  # callable helper names
+
+    def assignable_ints(self) -> list[str]:
+        return [v for v in self.int_vars if v not in self.protected]
+
+
+class ProgramGenerator:
+    """Generates one mini-C program per ``generate()`` call.
+
+    Successive calls continue the same random stream, so
+    ``ProgramGenerator(seed)`` used as a corpus source yields a reproducible
+    *sequence* of programs; ``generate_program(seed)`` is the one-shot form.
+    """
+
+    def __init__(self, seed: int, config: GenConfig | None = None) -> None:
+        self.rng = random.Random(seed)
+        self.cfg = config or GenConfig()
+        self._fresh = 0
+
+    # ---- helpers -----------------------------------------------------------
+    def _name(self, prefix: str) -> str:
+        self._fresh += 1
+        return f"{prefix}{self._fresh}"
+
+    def _pick(self, items):
+        return items[self.rng.randrange(len(items))]
+
+    # ---- expressions -------------------------------------------------------
+    def _int_atom(self, scope: _Scope) -> str:
+        choices = ["lit"]
+        if scope.int_vars:
+            choices += ["var", "var"]
+        if self.cfg.arrays:
+            choices.append("arr")
+        if scope.pointer_vars:
+            choices.append("deref")
+        kind = self._pick(choices)
+        if kind == "var":
+            return self._pick(scope.int_vars)
+        if kind == "arr":
+            return f"{ARRAY_NAME}[{self.rng.randrange(ARRAY_SIZE)}]"
+        if kind == "deref":
+            return f"(*{self._pick(scope.pointer_vars)})"
+        return str(self.rng.randint(-20, 20))
+
+    def _int_expr(self, scope: _Scope, depth: int = 0) -> str:
+        if depth >= self.cfg.max_depth:
+            return self._int_atom(scope)
+        roll = self.rng.random()
+        sub = lambda: self._int_expr(scope, depth + 1)  # noqa: E731
+        if roll < 0.28:
+            return self._int_atom(scope)
+        if roll < 0.55:
+            op = self._pick(["+", "-", "*", "&", "|", "^"])
+            return f"({sub()} {op} {sub()})"
+        if roll < 0.65:
+            op = self._pick(["<", "<=", ">", ">=", "==", "!="])
+            return f"({sub()} {op} {sub()})"
+        if roll < 0.72:
+            op = self._pick(["<<", ">>"])
+            return f"(({sub()} & 1023) {op} {self.rng.randrange(6)})"
+        if roll < 0.79:
+            op = self._pick(["/", "%"])
+            return f"({sub()} {op} {self.rng.randint(1, 9)})"
+        if roll < 0.85:
+            # The space stops `-` from fusing with a negative literal into
+            # a `--` predecrement token.
+            op = self._pick(["-", "~", "!"])
+            return f"({op} {sub()})"
+        if roll < 0.90 and self.cfg.arrays:
+            return f"{ARRAY_NAME}[({sub()} & {ARRAY_SIZE - 1})]"
+        if roll < 0.95 and self.cfg.calls and scope.helpers:
+            callee = self._pick(scope.helpers)
+            return f"{callee}({sub()}, {sub()})"
+        if self.cfg.doubles and (scope.double_vars or depth < 2):
+            return f"((int)({self._double_expr(scope, depth + 1)}))"
+        return self._int_atom(scope)
+
+    def _double_expr(self, scope: _Scope, depth: int = 0) -> str:
+        atom_choices = ["lit"]
+        if scope.double_vars:
+            atom_choices += ["var", "var"]
+        if depth >= 2:
+            kind = self._pick(atom_choices)
+            if kind == "var":
+                return self._pick(scope.double_vars)
+            return f"{self.rng.randint(-16, 16) / 2.0}"
+        roll = self.rng.random()
+        if roll < 0.35:
+            kind = self._pick(atom_choices)
+            if kind == "var":
+                return self._pick(scope.double_vars)
+            return f"{self.rng.randint(-16, 16) / 2.0}"
+        if roll < 0.70:
+            op = self._pick(["+", "-", "*"])
+            return (f"({self._double_expr(scope, depth + 1)} {op} "
+                    f"{self._double_expr(scope, depth + 1)})")
+        if roll < 0.85:
+            return (f"({self._double_expr(scope, depth + 1)} / "
+                    f"{self._pick(['2.0', '4.0', '8.0'])})")
+        return f"((double)({self._int_expr(scope, self.cfg.max_depth - 1)} & 255))"
+
+    def _int_lvalue(self, scope: _Scope) -> str | None:
+        choices = []
+        if scope.assignable_ints():
+            choices += ["var", "var"]
+        if self.cfg.arrays:
+            choices.append("arr")
+        if scope.pointer_vars:
+            choices.append("deref")
+        if not choices:
+            return None
+        kind = self._pick(choices)
+        if kind == "var":
+            return self._pick(scope.assignable_ints())
+        if kind == "arr":
+            return f"{ARRAY_NAME}[{self.rng.randrange(ARRAY_SIZE)}]"
+        return f"*{self._pick(scope.pointer_vars)}"
+
+    def _pointer_target(self, scope: _Scope) -> str | None:
+        targets = []
+        targets += [f"&{v}" for v in scope.int_vars if not v.startswith("p")]
+        if self.cfg.arrays:
+            targets.append(f"&{ARRAY_NAME}[{self.rng.randrange(ARRAY_SIZE)}]")
+        if not targets:
+            return None
+        return self._pick(targets)
+
+    # ---- statements --------------------------------------------------------
+    def _statement(self, scope: _Scope, lines: list[str], indent: str,
+                   depth: int, loop_kind: str | None) -> None:
+        choices = ["assign", "assign", "assign"]
+        if self.cfg.prints:
+            choices.append("print")
+        if self.cfg.doubles and scope.double_vars:
+            choices.append("dassign")
+        if self.cfg.branches and depth < self.cfg.max_block_depth:
+            choices.append("if")
+        if self.cfg.loops and depth < self.cfg.max_block_depth:
+            choices += ["for", "while"]
+        if scope.pointer_vars:
+            choices.append("retarget")
+        if loop_kind is not None and self.cfg.branches:
+            choices.append("escape")
+        kind = self._pick(choices)
+
+        if kind == "assign":
+            lhs = self._int_lvalue(scope)
+            if lhs is None:
+                lines.append(f"{indent}print_i({self._int_expr(scope)});")
+                return
+            lines.append(f"{indent}{lhs} = {self._int_expr(scope)};")
+        elif kind == "dassign":
+            lhs = self._pick(scope.double_vars)
+            lines.append(f"{indent}{lhs} = {self._double_expr(scope)};")
+        elif kind == "print":
+            if self.cfg.doubles and scope.double_vars and self.rng.random() < 0.3:
+                lines.append(f"{indent}print_f({self._double_expr(scope)});")
+            else:
+                lines.append(f"{indent}print_i({self._int_expr(scope)});")
+        elif kind == "retarget":
+            target = self._pointer_target(scope)
+            if target is not None:
+                lines.append(
+                    f"{indent}{self._pick(scope.pointer_vars)} = {target};")
+        elif kind == "if":
+            cond = self._int_expr(scope, 1)
+            lines.append(f"{indent}if ({cond}) {{")
+            self._block(scope, lines, indent + "  ", depth + 1, loop_kind,
+                        self.rng.randint(1, 3))
+            if self.rng.random() < 0.4:
+                lines.append(f"{indent}}} else {{")
+                self._block(scope, lines, indent + "  ", depth + 1, loop_kind,
+                            self.rng.randint(1, 2))
+            lines.append(f"{indent}}}")
+        elif kind == "for":
+            counter = self._name("i")
+            bound = self.rng.randint(1, self.cfg.max_loop_iters)
+            lines.append(
+                f"{indent}for (int {counter} = 0; {counter} < {bound}; "
+                f"{counter} = {counter} + 1) {{")
+            scope.int_vars.append(counter)
+            scope.protected.add(counter)
+            self._block(scope, lines, indent + "  ", depth + 1, "for",
+                        self.rng.randint(1, 3))
+            scope.int_vars.remove(counter)
+            scope.protected.discard(counter)
+            lines.append(f"{indent}}}")
+        elif kind == "while":
+            counter = self._name("w")
+            bound = self.rng.randint(1, self.cfg.max_loop_iters)
+            lines.append(f"{indent}int {counter} = {bound};")
+            lines.append(f"{indent}while ({counter} > 0) {{")
+            scope.int_vars.append(counter)
+            scope.protected.add(counter)
+            # `while` bodies may not `continue` (it would skip the decrement).
+            self._block(scope, lines, indent + "  ", depth + 1, "while",
+                        self.rng.randint(1, 2))
+            lines.append(f"{indent}  {counter} = {counter} - 1;")
+            scope.int_vars.remove(counter)
+            scope.protected.discard(counter)
+            lines.append(f"{indent}}}")
+        elif kind == "escape":
+            cond = self._int_expr(scope, self.cfg.max_depth - 1)
+            word = "break"
+            if loop_kind == "for" and self.rng.random() < 0.5:
+                word = "continue"
+            lines.append(f"{indent}if ({cond}) {word};")
+
+    def _block(self, scope: _Scope, lines: list[str], indent: str,
+               depth: int, loop_kind: str | None, count: int) -> None:
+        for _ in range(count):
+            self._statement(scope, lines, indent, depth, loop_kind)
+
+    # ---- functions ---------------------------------------------------------
+    def _declarations(self, scope: _Scope, lines: list[str], indent: str,
+                      globals_ints: list[str]) -> None:
+        for _ in range(self.rng.randint(1, 3)):
+            name = self._name("v")
+            lines.append(f"{indent}int {name} = {self.rng.randint(-20, 20)};")
+            scope.int_vars.append(name)
+        if self.cfg.doubles and self.rng.random() < 0.6:
+            name = self._name("d")
+            lines.append(
+                f"{indent}double {name} = {self.rng.randint(-8, 8) / 2.0};")
+            scope.double_vars.append(name)
+        if self.cfg.pointers and self.rng.random() < 0.7:
+            target = self._pointer_target(
+                _Scope(int_vars=scope.int_vars + globals_ints))
+            if target is not None:
+                name = self._name("p")
+                lines.append(f"{indent}int *{name} = {target};")
+                scope.pointer_vars.append(name)
+
+    def _helper(self, name: str, helpers: list[str],
+                globals_ints: list[str]) -> list[str]:
+        scope = _Scope(int_vars=["a", "b"] + list(globals_ints),
+                       protected=set(), helpers=list(helpers))
+        lines = [f"int {name}(int a, int b) {{"]
+        self._declarations(scope, lines, "  ", globals_ints)
+        self._block(scope, lines, "  ", 1, None,
+                    self.rng.randint(1, max(1, self.cfg.max_statements // 2)))
+        lines.append(f"  return {self._int_expr(scope)};")
+        lines.append("}")
+        return lines
+
+    def _thread_section(self, globals_ints: list[str]) -> tuple[list[str], list[str]]:
+        """A commutative atomic-counter worker plus the main-side harness.
+
+        Workers only ``atomic_add`` constants, so any interleaving retires
+        the same final counter value — the one thread shape that is safe to
+        compare across schedulers with different quanta.
+        """
+        decls = ["int tctr = 0;"]
+        per_thread = self.rng.randint(1, 4)
+        step1, step2 = self.rng.randint(1, 5), self.rng.randint(1, 5)
+        worker = [
+            "int worker(int t) {",
+            f"  for (int ti = 0; ti < {per_thread}; ti = ti + 1) "
+            "{ atomic_add(&tctr, t); }",
+            "  return 0;",
+            "}",
+        ]
+        harness = [
+            f"  int t1 = spawn(worker, {step1});",
+            f"  int t2 = spawn(worker, {step2});",
+            "  join(t1); join(t2);",
+            "  fence();",
+        ]
+        return decls + worker, harness
+
+    # ---- program -----------------------------------------------------------
+    def generate(self) -> str:
+        self._fresh = 0
+        cfg = self.cfg
+        lines: list[str] = []
+        globals_ints: list[str] = []
+        # Global initializers must be plain literals (sema rejects unary
+        # minus there), so they are drawn non-negative.
+        for _ in range(self.rng.randint(1, 2)):
+            name = self._name("g")
+            lines.append(f"int {name} = {self.rng.randint(0, 10)};")
+            globals_ints.append(name)
+        if cfg.arrays:
+            lines.append(f"int {ARRAY_NAME}[{ARRAY_SIZE}];")
+        global_doubles: list[str] = []
+        if cfg.doubles and self.rng.random() < 0.5:
+            name = self._name("gd")
+            lines.append(f"double {name} = {self.rng.randint(0, 8) / 2.0};")
+            global_doubles.append(name)
+
+        thread_harness: list[str] = []
+        if cfg.threads:
+            section, thread_harness = self._thread_section(globals_ints)
+            lines.extend(section)
+            globals_ints.append("tctr")
+
+        helpers: list[str] = []
+        if cfg.calls:
+            for _ in range(self.rng.randint(0, cfg.max_functions)):
+                name = self._name("h")
+                lines.extend(self._helper(name, helpers, globals_ints))
+                helpers.append(name)
+
+        scope = _Scope(int_vars=list(globals_ints),
+                       double_vars=list(global_doubles), helpers=helpers)
+        lines.append("int main() {")
+        self._declarations(scope, lines, "  ", globals_ints)
+        self._block(scope, lines, "  ", 0, None,
+                    self.rng.randint(2, cfg.max_statements))
+        lines.extend(thread_harness)
+        lines.append(f"  return ({self._int_expr(scope)}) & {cfg.result_mask};")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed: int, config: GenConfig | None = None) -> str:
+    """One-shot: the first program of ``ProgramGenerator(seed, config)``."""
+    return ProgramGenerator(seed, config).generate()

@@ -1,0 +1,292 @@
+"""Lockstep co-simulation oracle over every rung of the lasagne.
+
+For one mini-C program the oracle runs, in pipeline order:
+
+====================  ==========  ===========================================
+rung                  stage       what it certifies
+====================  ==========  ===========================================
+``reference``         frontend    mini-C → LIR, reference interpreter
+``x86``               x86         mini-C → x86 object, TSO emulator
+``interp:lift``       lift        lifted module, LIR interpreter
+``interp:refine``     refine      after §5 IR refinement
+``interp:place``      place       after LIMM fence placement
+``interp:opt``        opt         after the O2 pass pipeline
+``interp:merge``      merge       after §7 fence merging (+DCE)
+``arm:native``        codegen     native config on the Arm emulator
+``arm:lifted`` …      codegen     each translated config on the Arm emulator
+====================  ==========  ===========================================
+
+Every rung retires three observables: the return value, the output stream
+(``print_i``/``print_f``), and the final bytes of every named global (the
+retired memory side effects).  The first rung that disagrees with the
+reference classifies the divergence by pipeline stage — e.g. if
+``interp:lift`` agrees but ``interp:opt`` does not, the bug was introduced
+by the optimizer, not the lifter or the backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..arm.emulator import ArmEmulator
+from ..core import Lasagne
+from ..lir import Interpreter, Module
+from ..minicc.codegen_x86 import compile_to_x86
+from ..minicc.frontend_lir import compile_to_lir
+from ..x86 import X86Emulator
+
+ARM_CONFIGS = ("lifted", "opt", "popt", "ppopt")
+
+
+@dataclass(frozen=True)
+class OracleOptions:
+    verify: bool = True
+    include_native: bool = True
+    arm_configs: tuple[str, ...] = ARM_CONFIGS
+    max_steps: int = 5_000_000   # per-rung retirement budget
+    compare_globals: bool = True
+
+
+@dataclass
+class RungResult:
+    name: str
+    stage: str
+    result: Optional[int] = None
+    output: tuple[str, ...] = ()
+    globals: dict[str, str] = field(default_factory=dict)  # name -> byte digest
+    retired: int = 0             # instructions/steps retired (metadata only)
+    error: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "stage": self.stage, "result": self.result,
+            "output": list(self.output), "retired": self.retired,
+            "error": self.error,
+        }
+
+
+@dataclass
+class Divergence:
+    stage: str
+    rung: str
+    kind: str            # 'result' | 'output' | 'globals' | 'crash'
+    detail: str
+
+    @property
+    def signature(self) -> str:
+        """Stable label used for dedup and shrink preservation."""
+        return f"{self.stage}:{self.kind}"
+
+    def to_dict(self) -> dict:
+        return {"stage": self.stage, "rung": self.rung, "kind": self.kind,
+                "detail": self.detail, "signature": self.signature}
+
+
+@dataclass
+class Verdict:
+    ok: bool
+    divergence: Optional[Divergence]
+    rungs: list[RungResult]
+
+    @property
+    def signature(self) -> Optional[str]:
+        return self.divergence.signature if self.divergence else None
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "divergence": self.divergence.to_dict() if self.divergence else None,
+            "rungs": [r.to_dict() for r in self.rungs],
+        }
+
+
+def _digest(raw: bytes) -> str:
+    return hashlib.sha1(raw).hexdigest()[:16]
+
+
+def _interp_rung(name: str, stage: str, module: Module,
+                 names: list[str], opts: OracleOptions) -> RungResult:
+    rung = RungResult(name, stage)
+    interp = Interpreter(module)
+    interp.max_steps = opts.max_steps
+    try:
+        rung.result = interp.run("main")
+    except Exception as exc:  # noqa: BLE001 - any rung failure is a finding
+        rung.error = f"{type(exc).__name__}: {exc}"
+        return rung
+    rung.output = tuple(interp.output)
+    rung.retired = interp.steps
+    if opts.compare_globals:
+        for gname in names:
+            addr = interp.global_addr.get(gname)
+            if addr is None:
+                continue
+            size = _module_global_size(module, gname)
+            rung.globals[gname] = _digest(bytes(interp.memory[addr:addr + size]))
+    return rung
+
+
+def _module_global_size(module: Module, name: str) -> int:
+    g = module.globals.get(name)
+    return max(1, g.size_bytes()) if g is not None else 8
+
+
+def _arm_rung(name: str, program, names, sizes, opts: OracleOptions) -> RungResult:
+    rung = RungResult(name, "codegen")
+    emu = ArmEmulator(program)
+    emu.max_steps = opts.max_steps
+    try:
+        rung.result = emu.run()
+    except Exception as exc:  # noqa: BLE001
+        rung.error = f"{type(exc).__name__}: {exc}"
+        return rung
+    rung.output = tuple(emu.output)
+    rung.retired = sum(t.instret for t in emu.threads)
+    if opts.compare_globals:
+        for gname in names:
+            addr = emu.symbols.get(gname)
+            g = program.globals.get(gname)
+            if addr is None or g is None:
+                continue
+            size = sizes.get(gname, g.size)
+            rung.globals[gname] = _digest(bytes(emu.memory[addr:addr + size]))
+    return rung
+
+
+def _compare(reference: RungResult, rung: RungResult) -> Optional[Divergence]:
+    if rung.error is not None:
+        return Divergence(rung.stage, rung.name, "crash", rung.error)
+    if rung.result != reference.result:
+        return Divergence(
+            rung.stage, rung.name, "result",
+            f"result {rung.result!r} != reference {reference.result!r}")
+    if rung.output != reference.output:
+        index = next(
+            (i for i, (a, b) in enumerate(zip(reference.output, rung.output))
+             if a != b),
+            min(len(reference.output), len(rung.output)))
+        return Divergence(
+            rung.stage, rung.name, "output",
+            f"output differs first at index {index}: "
+            f"reference[{index}:]={list(reference.output[index:index + 3])!r} "
+            f"vs {rung.name}[{index}:]={list(rung.output[index:index + 3])!r}")
+    for gname, dig in reference.globals.items():
+        other = rung.globals.get(gname)
+        if other is not None and other != dig:
+            return Divergence(
+                rung.stage, rung.name, "globals",
+                f"final bytes of global {gname!r} differ")
+    return None
+
+
+def options_for_signature(signature: str,
+                          base: OracleOptions | None = None) -> OracleOptions:
+    """Trim the rung set to the cheapest one that can still witness
+    ``signature`` — used by the shrinker, whose predicate re-runs the oracle
+    hundreds of times.
+
+    IR-stage signatures don't need any Arm builds at all; codegen
+    signatures keep the Arm rungs but skip nothing else (the staged interps
+    are what prove the divergence arrived *after* the IR was still right).
+    """
+    base = base or OracleOptions()
+    stage = signature.split(":", 1)[0]
+    if stage == "codegen":
+        return base
+    return OracleOptions(
+        verify=base.verify, include_native=False, arm_configs=(),
+        max_steps=base.max_steps, compare_globals=base.compare_globals)
+
+
+def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
+    """Run every pipeline rung on ``source`` and classify the first mismatch.
+
+    Never raises for pipeline misbehaviour: a rung that crashes (including
+    the translator itself while building that rung) is reported as a
+    ``crash``-kind divergence at that rung's stage.  Only an uncompilable
+    *source program* (a generator or shrinker bug, not a pipeline bug)
+    propagates as an exception.
+    """
+    opts = opts or OracleOptions()
+    rungs: list[RungResult] = []
+
+    ref_module = compile_to_lir(source)
+    names = list(ref_module.globals)
+    reference = _interp_rung("reference", "frontend", ref_module, names, opts)
+    rungs.append(reference)
+    if reference.error is not None:
+        return Verdict(False, Divergence(
+            "frontend", "reference", "crash", reference.error), rungs)
+
+    obj = compile_to_x86(source)
+    sizes = {n: s.size for n, s in obj.data_symbols.items()}
+
+    rung = RungResult("x86", "x86")
+    emu = X86Emulator(obj)
+    try:
+        rung.result = emu.run()
+        rung.output = tuple(emu.output)
+        rung.retired = sum(t.instret for t in emu.threads)
+        if opts.compare_globals:
+            for gname in names:
+                sym = obj.data_symbols.get(gname)
+                if sym is None:
+                    continue
+                rung.globals[gname] = _digest(
+                    bytes(emu.memory[sym.address:sym.address + sym.size]))
+    except Exception as exc:  # noqa: BLE001
+        rung.error = f"{type(exc).__name__}: {exc}"
+    rungs.append(rung)
+
+    # One capturing ppopt build supplies every intermediate-stage module.
+    staged: dict[str, Module] = {}
+    arm_programs: dict[str, object] = {}
+    build_errors: dict[str, str] = {}
+    lasagne = Lasagne(verify=opts.verify, capture_stages=True)
+    try:
+        built = lasagne.translate(obj, "ppopt")
+        staged = built.stages
+        arm_programs["ppopt"] = built.program
+    except Exception as exc:  # noqa: BLE001
+        build_errors["ppopt"] = f"{type(exc).__name__}: {exc}"
+    plain = Lasagne(verify=opts.verify)
+    if opts.include_native:
+        try:
+            arm_programs["native"] = plain.native(source).program
+        except Exception as exc:  # noqa: BLE001
+            build_errors["native"] = f"{type(exc).__name__}: {exc}"
+    for config in opts.arm_configs:
+        if config in arm_programs or config in build_errors:
+            continue
+        try:
+            arm_programs[config] = plain.translate(obj, config).program
+        except Exception as exc:  # noqa: BLE001
+            build_errors[config] = f"{type(exc).__name__}: {exc}"
+
+    for stage in ("lift", "refine", "place", "opt", "merge"):
+        module = staged.get(stage)
+        if module is not None:
+            rungs.append(
+                _interp_rung(f"interp:{stage}", stage, module, names, opts))
+        elif "ppopt" in build_errors:
+            # The capturing build died; blame the earliest uncaptured stage.
+            rungs.append(RungResult(f"interp:{stage}", stage,
+                                    error=build_errors["ppopt"]))
+            break
+
+    arm_order = (("native",) if opts.include_native else ()) + opts.arm_configs
+    for config in arm_order:
+        name = f"arm:{config}"
+        if config in build_errors and config != "ppopt":
+            rungs.append(RungResult(name, "codegen", error=build_errors[config]))
+        elif config in arm_programs:
+            rungs.append(
+                _arm_rung(name, arm_programs[config], names, sizes, opts))
+
+    for rung in rungs[1:]:
+        divergence = _compare(reference, rung)
+        if divergence is not None:
+            return Verdict(False, divergence, rungs)
+    return Verdict(True, None, rungs)

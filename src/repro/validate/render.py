@@ -1,0 +1,150 @@
+"""Render a (pre-sema) mini-C AST back to source text.
+
+The shrinker edits parsed ASTs; this module turns the edited tree back into
+source the whole toolchain can consume.  Rendering is deliberately
+over-parenthesized — every compound sub-expression gets parentheses — so no
+precedence reasoning is needed and ``parse(render(ast))`` is structurally
+the same tree.
+
+Only ASTs straight out of :func:`repro.minicc.parser.parse` are supported;
+sema-inserted implicit casts render like explicit ones, which is still
+re-parseable, just uglier.
+"""
+
+from __future__ import annotations
+
+from ..minicc.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Break,
+    Call,
+    CastExpr,
+    Continue,
+    Decl,
+    Expr,
+    ExprStmt,
+    FloatLit,
+    For,
+    FuncDef,
+    GlobalDecl,
+    If,
+    Index,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    StringLit,
+    Unary,
+    VarRef,
+    While,
+)
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, FloatLit):
+        return repr(float(expr.value))
+    if isinstance(expr, StringLit):
+        escaped = (expr.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
+    if isinstance(expr, VarRef):
+        return expr.name
+    if isinstance(expr, Unary):
+        # The space keeps `- -x` from lexing as a `--` token.
+        return f"({expr.op} {render_expr(expr.operand)})"
+    if isinstance(expr, Binary):
+        return (f"({render_expr(expr.lhs)} {expr.op} "
+                f"{render_expr(expr.rhs)})")
+    if isinstance(expr, Assign):
+        return f"{render_expr(expr.target)} = {render_expr(expr.value)}"
+    if isinstance(expr, Index):
+        return f"{render_expr(expr.base)}[{render_expr(expr.index)}]"
+    if isinstance(expr, Call):
+        args = ", ".join(render_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, CastExpr):
+        return f"(({expr.target_type})({render_expr(expr.operand)}))"
+    raise TypeError(f"cannot render expression {type(expr).__name__}")
+
+
+def render_stmt(stmt: Stmt, indent: str = "") -> list[str]:
+    inner = indent + "  "
+    if isinstance(stmt, Block):
+        lines = [f"{indent}{{"]
+        for s in stmt.statements:
+            lines.extend(render_stmt(s, inner))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, Decl):
+        init = f" = {render_expr(stmt.init)}" if stmt.init is not None else ""
+        ctype = str(stmt.ctype)
+        if ctype.endswith("*"):
+            base, stars = stmt.ctype.base, "*" * stmt.ctype.ptr
+            return [f"{indent}{base} {stars}{stmt.name}{init};"]
+        return [f"{indent}{ctype} {stmt.name}{init};"]
+    if isinstance(stmt, ExprStmt):
+        return [f"{indent}{render_expr(stmt.expr)};"]
+    if isinstance(stmt, If):
+        lines = [f"{indent}if ({render_expr(stmt.cond)})"]
+        lines.extend(_render_body(stmt.then, indent))
+        if stmt.otherwise is not None:
+            lines.append(f"{indent}else")
+            lines.extend(_render_body(stmt.otherwise, indent))
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{indent}while ({render_expr(stmt.cond)})"]
+        lines.extend(_render_body(stmt.body, indent))
+        return lines
+    if isinstance(stmt, For):
+        if stmt.init is None:
+            init = ";"
+        elif isinstance(stmt.init, Decl):
+            init = render_stmt(stmt.init)[0].strip()
+        else:
+            init = f"{render_expr(stmt.init.expr)};"
+        cond = render_expr(stmt.cond) if stmt.cond is not None else ""
+        step = render_expr(stmt.step) if stmt.step is not None else ""
+        lines = [f"{indent}for ({init} {cond}; {step})"]
+        lines.extend(_render_body(stmt.body, indent))
+        return lines
+    if isinstance(stmt, Return):
+        if stmt.value is None:
+            return [f"{indent}return;"]
+        return [f"{indent}return {render_expr(stmt.value)};"]
+    if isinstance(stmt, Break):
+        return [f"{indent}break;"]
+    if isinstance(stmt, Continue):
+        return [f"{indent}continue;"]
+    raise TypeError(f"cannot render statement {type(stmt).__name__}")
+
+
+def _render_body(stmt: Stmt, indent: str) -> list[str]:
+    if isinstance(stmt, Block):
+        return render_stmt(stmt, indent)
+    # Single-statement bodies get braces anyway; shorter and always valid.
+    return render_stmt(Block(statements=[stmt]), indent)
+
+
+def render_global(g: GlobalDecl) -> str:
+    suffix = f"[{g.array_size}]" if g.array_size is not None else ""
+    init = f" = {render_expr(g.init)}" if g.init is not None else ""
+    return f"{g.ctype} {g.name}{suffix}{init};"
+
+
+def render_function(func: FuncDef) -> list[str]:
+    params = ", ".join(f"{p.ctype} {p.name}" for p in func.params)
+    lines = [f"{func.ret_type} {func.name}({params})"]
+    lines.extend(render_stmt(func.body, ""))
+    return lines
+
+
+def render_program(program: Program) -> str:
+    lines: list[str] = []
+    for g in program.globals:
+        lines.append(render_global(g))
+    for func in program.functions:
+        lines.extend(render_function(func))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,411 @@
+"""Delta-debugging minimizer for diverging mini-C programs.
+
+Given a program on which the oracle reports a divergence, ``shrink``
+searches for a smaller program with the *same divergence signature*
+(pipeline stage + observable kind).  It works on the parsed AST at
+statement granularity — removing statement chunks ddmin-style, hoisting
+loop and branch bodies, dropping unused functions and globals — plus a few
+expression-level simplifications (collapsing a binary operation to one of
+its operands, zeroing call arguments).
+
+Every candidate is re-rendered, re-parsed and re-judged through the caller
+supplied predicate, so a transformation that breaks compilation or loses
+the divergence is simply rejected.  The greedy loop only ever accepts
+strictly smaller trees, which guarantees termination and that the result
+is never larger than the input.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..minicc.astnodes import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    CastExpr,
+    Decl,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDef,
+    If,
+    Index,
+    IntLit,
+    Program,
+    Return,
+    Stmt,
+    Unary,
+    VarRef,
+    While,
+)
+from ..minicc.parser import parse
+from .render import render_program
+
+Predicate = Callable[[str], bool]
+
+
+@dataclass
+class ShrinkStats:
+    attempts: int = 0
+    accepted: int = 0
+    rounds: int = 0
+
+
+# ---- AST utilities ----------------------------------------------------------
+
+
+def _canonicalize(stmt: Stmt) -> None:
+    """Wrap every control-flow body in a Block so all statements live in
+    blocks and chunk removal has a uniform shape to work on."""
+    if isinstance(stmt, Block):
+        for s in stmt.statements:
+            _canonicalize(s)
+    elif isinstance(stmt, If):
+        if not isinstance(stmt.then, Block):
+            stmt.then = Block(statements=[stmt.then])
+        _canonicalize(stmt.then)
+        if stmt.otherwise is not None:
+            if not isinstance(stmt.otherwise, Block):
+                stmt.otherwise = Block(statements=[stmt.otherwise])
+            _canonicalize(stmt.otherwise)
+    elif isinstance(stmt, While):
+        if not isinstance(stmt.body, Block):
+            stmt.body = Block(statements=[stmt.body])
+        _canonicalize(stmt.body)
+    elif isinstance(stmt, For):
+        if not isinstance(stmt.body, Block):
+            stmt.body = Block(statements=[stmt.body])
+        _canonicalize(stmt.body)
+
+
+def _blocks(program: Program) -> list[Block]:
+    found: list[Block] = []
+
+    def visit(stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            found.append(stmt)
+            for s in stmt.statements:
+                visit(s)
+        elif isinstance(stmt, If):
+            visit(stmt.then)
+            if stmt.otherwise is not None:
+                visit(stmt.otherwise)
+        elif isinstance(stmt, (While, For)):
+            visit(stmt.body)
+
+    for func in program.functions:
+        visit(func.body)
+    return found
+
+
+def _called_names(program: Program) -> set[str]:
+    names: set[str] = set()
+
+    def visit_expr(expr: Optional[Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, Call):
+            names.add(expr.name)
+            for a in expr.args:
+                visit_expr(a)
+        elif isinstance(expr, Binary):
+            visit_expr(expr.lhs)
+            visit_expr(expr.rhs)
+        elif isinstance(expr, Unary):
+            visit_expr(expr.operand)
+        elif isinstance(expr, Assign):
+            visit_expr(expr.target)
+            visit_expr(expr.value)
+        elif isinstance(expr, Index):
+            visit_expr(expr.base)
+            visit_expr(expr.index)
+        elif isinstance(expr, CastExpr):
+            visit_expr(expr.operand)
+
+    def visit_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for s in stmt.statements:
+                visit_stmt(s)
+        elif isinstance(stmt, Decl):
+            visit_expr(stmt.init)
+        elif isinstance(stmt, ExprStmt):
+            visit_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                visit_stmt(stmt.otherwise)
+        elif isinstance(stmt, While):
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                visit_stmt(stmt.init)
+            visit_expr(stmt.cond)
+            visit_expr(stmt.step)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, Return):
+            visit_expr(stmt.value)
+
+    for func in program.functions:
+        visit_stmt(func.body)
+    return names
+
+
+def _used_names(program: Program) -> set[str]:
+    names: set[str] = set()
+
+    def visit_expr(expr: Optional[Expr]) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, VarRef):
+            names.add(expr.name)
+        elif isinstance(expr, Call):
+            for a in expr.args:
+                visit_expr(a)
+        elif isinstance(expr, Binary):
+            visit_expr(expr.lhs)
+            visit_expr(expr.rhs)
+        elif isinstance(expr, Unary):
+            visit_expr(expr.operand)
+        elif isinstance(expr, Assign):
+            visit_expr(expr.target)
+            visit_expr(expr.value)
+        elif isinstance(expr, Index):
+            visit_expr(expr.base)
+            visit_expr(expr.index)
+        elif isinstance(expr, CastExpr):
+            visit_expr(expr.operand)
+
+    def visit_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for s in stmt.statements:
+                visit_stmt(s)
+        elif isinstance(stmt, Decl):
+            visit_expr(stmt.init)
+        elif isinstance(stmt, ExprStmt):
+            visit_expr(stmt.expr)
+        elif isinstance(stmt, If):
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.then)
+            if stmt.otherwise is not None:
+                visit_stmt(stmt.otherwise)
+        elif isinstance(stmt, While):
+            visit_expr(stmt.cond)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, For):
+            if stmt.init is not None:
+                visit_stmt(stmt.init)
+            visit_expr(stmt.cond)
+            visit_expr(stmt.step)
+            visit_stmt(stmt.body)
+        elif isinstance(stmt, Return):
+            visit_expr(stmt.value)
+
+    for func in program.functions:
+        visit_stmt(func.body)
+    return names
+
+
+# ---- candidate enumeration --------------------------------------------------
+
+
+def _candidates(program: Program) -> Iterator[Program]:
+    """Yield smaller variants of ``program``, most aggressive first.
+
+    Each yielded value is an independent deep copy; the input is never
+    mutated.
+    """
+    # 1. Drop uncalled non-main functions and unused globals.
+    called = _called_names(program)
+    for i, func in enumerate(program.functions):
+        if func.name != "main" and func.name not in called:
+            cand = copy.deepcopy(program)
+            del cand.functions[i]
+            yield cand
+    used = _used_names(program)
+    for i, g in enumerate(program.globals):
+        if g.name not in used:
+            cand = copy.deepcopy(program)
+            del cand.globals[i]
+            yield cand
+
+    # 2. ddmin-style statement-chunk removal, large chunks first.
+    blocks = _blocks(program)
+    for bi, block in enumerate(blocks):
+        n = len(block.statements)
+        size = n
+        while size >= 1:
+            for start in range(0, n - size + 1):
+                cand = copy.deepcopy(program)
+                cblock = _blocks(cand)[bi]
+                del cblock.statements[start:start + size]
+                yield cand
+            size //= 2
+
+    # 3. Structure simplification: branch → taken arm, loop → body / nothing
+    #    is covered by chunk removal; here: replace compound statements by
+    #    their bodies (hoisting).
+    for bi, block in enumerate(blocks):
+        for si, stmt in enumerate(block.statements):
+            if isinstance(stmt, If):
+                for attr in ("then", "otherwise"):
+                    arm = getattr(stmt, attr)
+                    if isinstance(arm, Block):
+                        cand = copy.deepcopy(program)
+                        cblock = _blocks(cand)[bi]
+                        carm = getattr(cblock.statements[si], attr)
+                        cblock.statements[si:si + 1] = carm.statements
+                        yield cand
+            elif isinstance(stmt, (While, For)) and isinstance(stmt.body, Block):
+                cand = copy.deepcopy(program)
+                cblock = _blocks(cand)[bi]
+                body = cblock.statements[si].body
+                cblock.statements[si:si + 1] = body.statements
+                yield cand
+
+    # 4. Expression simplification on statement heads.
+    for bi, block in enumerate(blocks):
+        for si, stmt in enumerate(block.statements):
+            for cand_expr in _expr_edits(stmt):
+                cand = copy.deepcopy(program)
+                cblock = _blocks(cand)[bi]
+                cand_expr(cblock.statements[si])
+                yield cand
+
+
+def _expr_edits(stmt: Stmt) -> list[Callable[[Stmt], None]]:
+    """Editor callbacks applying one expression simplification to the copy
+    of ``stmt`` at the same position."""
+    edits: list[Callable[[Stmt], None]] = []
+
+    def simplify_slots(get, set_) -> None:
+        expr = get(stmt)
+        if isinstance(expr, Binary):
+            edits.append(lambda s, g=get, st=set_: st(s, g(s).lhs))
+            edits.append(lambda s, g=get, st=set_: st(s, g(s).rhs))
+        elif isinstance(expr, (Unary, CastExpr)):
+            edits.append(lambda s, g=get, st=set_: st(s, g(s).operand))
+        elif isinstance(expr, Call) and expr.args:
+            def zero_args(s, g=get):
+                call = g(s)
+                call.args = [IntLit(value=0) for _ in call.args]
+            edits.append(zero_args)
+        if expr is not None and not isinstance(expr, IntLit):
+            edits.append(lambda s, st=set_: st(s, IntLit(value=1)))
+
+    if isinstance(stmt, Return) and stmt.value is not None:
+        simplify_slots(lambda s: s.value,
+                       lambda s, e: setattr(s, "value", e))
+    elif isinstance(stmt, ExprStmt):
+        expr = stmt.expr
+        if isinstance(expr, Assign):
+            simplify_slots(lambda s: s.expr.value,
+                           lambda s, e: setattr(s.expr, "value", e))
+        elif isinstance(expr, Call):
+            simplify_slots(lambda s: s.expr,
+                           lambda s, e: setattr(s, "expr", e))
+    elif isinstance(stmt, If):
+        simplify_slots(lambda s: s.cond,
+                       lambda s, e: setattr(s, "cond", e))
+    elif isinstance(stmt, Decl) and stmt.init is not None:
+        simplify_slots(lambda s: s.init,
+                       lambda s, e: setattr(s, "init", e))
+    return edits
+
+
+def _weight(program: Program) -> int:
+    """Tree size; the greedy loop only accepts strictly smaller trees."""
+    count = 0
+
+    def visit(node) -> None:
+        nonlocal count
+        count += 1
+        for value in vars(node).values():
+            if isinstance(value, (Expr, Stmt)):
+                visit(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, (Expr, Stmt)):
+                        visit(item)
+
+    for g in program.globals:
+        count += 1
+        if g.init is not None:
+            visit(g.init)
+    for func in program.functions:
+        count += 1
+        visit(func.body)
+    return count
+
+
+# ---- driver -----------------------------------------------------------------
+
+
+def shrink(source: str, predicate: Predicate, *,
+           max_attempts: int = 4000,
+           stats: Optional[ShrinkStats] = None) -> str:
+    """Minimize ``source`` while ``predicate(candidate)`` stays true.
+
+    ``predicate`` must return True for ``source`` itself (it is re-checked);
+    if it does not, the input is returned unchanged.  The result always
+    satisfies the predicate and is never larger (in AST nodes or lines)
+    than the input.
+    """
+    stats = stats if stats is not None else ShrinkStats()
+    if not predicate(source):
+        return source
+    best = parse(source)
+    for func in best.functions:
+        _canonicalize(func.body)
+    best_text = render_program(best)
+    if not predicate(best_text):  # canonical form lost the bug: keep input
+        return source
+
+    improved = True
+    while improved and stats.attempts < max_attempts:
+        improved = False
+        stats.rounds += 1
+        weight = _weight(best)
+        for cand in _candidates(best):
+            if stats.attempts >= max_attempts:
+                break
+            if _weight(cand) >= weight:
+                continue
+            stats.attempts += 1
+            try:
+                text = render_program(cand)
+            except TypeError:
+                continue
+            if predicate(text):
+                best, best_text = cand, text
+                stats.accepted += 1
+                improved = True
+                break  # greedy restart from the smaller program
+    return best_text
+
+
+def make_divergence_predicate(signature: str, oracle_opts=None) -> Predicate:
+    """A predicate preserving ``Verdict.signature == signature``.
+
+    Candidates that fail to compile, crash the reference interpreter, or
+    diverge with a *different* signature are all rejected, so shrinking
+    never wanders onto an unrelated bug.  The oracle's rung set is trimmed
+    to the cheapest one that can still witness the signature.
+    """
+    from .oracle import options_for_signature, run_oracle
+
+    opts = options_for_signature(signature, oracle_opts)
+
+    def predicate(source: str) -> bool:
+        try:
+            verdict = run_oracle(source, opts)
+        except Exception:  # noqa: BLE001 - candidate doesn't even compile
+            return False
+        return (not verdict.ok) and verdict.signature == signature
+
+    return predicate

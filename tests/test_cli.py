@@ -1,8 +1,10 @@
 """Tests for the command-line interface (``python -m repro``)."""
 
+from unittest import mock
+
 import pytest
 
-from repro.cli import main
+from repro.cli import _first_output_mismatch, main
 
 DEMO = """
 int g = 0;
@@ -47,6 +49,41 @@ class TestTranslateCommand:
     def test_all_configs_accepted(self, demo_file):
         for config in ("native", "lifted", "opt", "popt", "ppopt"):
             assert main(["translate", demo_file, "--config", config]) == 0
+
+
+PRINTING = """
+int main() {
+  print_i(1); print_i(2); print_i(3);
+  return 0;
+}
+"""
+
+
+class TestRunOutputComparison:
+    def test_first_output_mismatch(self):
+        assert _first_output_mismatch(["1", "2"], ["1", "2"]) is None
+        assert _first_output_mismatch(["1", "2"], ["1", "9"]) == 1
+        assert _first_output_mismatch(["1", "2"], ["1"]) == 1
+        assert _first_output_mismatch([], ["1"]) == 0
+
+    def test_matching_outputs_pass(self, tmp_path):
+        path = tmp_path / "p.c"
+        path.write_text(PRINTING)
+        assert main(["translate", str(path), "--run"]) == 0
+
+    def test_output_stream_mismatch_reported(self, tmp_path, capsys):
+        """Same return value but different output must fail with the index."""
+        path = tmp_path / "p.c"
+        path.write_text(PRINTING)
+        from repro.core import Lasagne, RunResult
+
+        fake = RunResult(result=0, output=["1", "99", "3"], cycles=1,
+                         instructions_retired=1)
+        with mock.patch.object(Lasagne, "run", staticmethod(lambda *a: fake)):
+            rc = main(["translate", str(path), "--run"])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "output streams at index 1" in err
 
 
 class TestLiftCommand:

@@ -1,0 +1,76 @@
+"""CLI and runner tests for `repro validate`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.validate import GenConfig, OracleOptions, RunnerOptions, run_corpus
+
+REPORT_KEYS = {
+    "version", "seed", "jobs", "requested", "programs_run",
+    "corpus_replayed", "divergences", "stage_histogram", "kind_histogram",
+    "crashes", "elapsed_seconds", "throughput_per_minute", "clean",
+}
+
+FAST_GEN = GenConfig(max_statements=3, max_functions=1, max_loop_iters=3)
+
+
+class TestValidateCommand:
+    def test_smoke_run_clean(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus"
+        report_path = tmp_path / "report.json"
+        rc = main([
+            "validate", "--seed", "0", "--count", "3", "--jobs", "1",
+            "--corpus", str(corpus), "--report", str(report_path),
+            "--no-native",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 programs" in out and "0 divergences" in out
+
+        report = json.loads(report_path.read_text())
+        assert set(report) == REPORT_KEYS
+        assert report["version"] == 1
+        assert report["programs_run"] == 3
+        assert report["divergences"] == 0
+        assert report["clean"] is True
+        assert report["stage_histogram"] == {}
+        assert report["requested"] == {"count": 3, "minutes": None}
+        assert report["throughput_per_minute"] > 0
+        # the default report is always written inside the corpus dir too
+        assert json.loads((corpus / "report.json").read_text()) == report
+
+    def test_corpus_persists_and_replays(self, tmp_path):
+        corpus = tmp_path / "corpus"
+        opts = RunnerOptions(seed=0, jobs=1, count=2, corpus_dir=str(corpus),
+                             gen=FAST_GEN,
+                             oracle=OracleOptions(include_native=False))
+        first = run_corpus(opts)
+        assert first["corpus_replayed"] == 0
+        stored = list((corpus / "corpus").glob("*.c"))
+        assert len(stored) == 2
+        second = run_corpus(opts)
+        assert second["corpus_replayed"] == 2
+        assert second["programs_run"] == 4
+
+    def test_minutes_budget_stops_early(self, tmp_path):
+        opts = RunnerOptions(seed=0, jobs=1, count=None, minutes=0.02,
+                             corpus_dir=str(tmp_path / "c"), gen=FAST_GEN,
+                             oracle=OracleOptions(include_native=False))
+        report = run_corpus(opts)
+        assert report["requested"]["minutes"] == pytest.approx(0.02)
+        assert 1 <= report["programs_run"] < 100
+
+
+class TestSourceFileHandling:
+    def test_translate_missing_file_exits_2(self, capsys):
+        rc = main(["translate", "/nonexistent/prog.c", "--run"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "Traceback" not in err
+
+    def test_lift_missing_file_exits_2(self, capsys):
+        rc = main(["lift", "/nonexistent/prog.c"])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err

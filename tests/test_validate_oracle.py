@@ -1,0 +1,167 @@
+"""Tests for the co-simulation oracle: rung coverage, stage classification,
+and the pipeline stage hooks it relies on."""
+
+from unittest import mock
+
+import pytest
+
+import repro.core.pipeline as pipeline
+from repro.core import Lasagne
+from repro.lir import Interpreter
+from repro.lir.instructions import BinOp
+from repro.minicc.codegen_x86 import compile_to_x86
+from repro.validate import OracleOptions, options_for_signature, run_oracle
+
+CLEAN = """
+int g = 2;
+int ga[8];
+int helper(int a, int b) { return a * b + g; }
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    ga[i & 7] = helper(i, 3);
+    acc = acc + ga[i & 7];
+  }
+  print_i(acc);
+  return acc & 268435455;
+}
+"""
+
+
+def _break_main_add(module):
+    """Flip the first integer add in main — a deliberately wrong transform."""
+    main = module.functions.get("main")
+    if main is None:
+        return False
+    for block in main.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, BinOp) and inst.op == "add":
+                inst.op = "sub"
+                return True
+    return False
+
+
+class TestStageCapture:
+    def test_translate_captures_all_stages(self):
+        obj = compile_to_x86(CLEAN)
+        built = Lasagne(capture_stages=True).translate(obj, "ppopt")
+        assert list(built.stages) == ["lift", "refine", "place", "opt", "merge"]
+        for module in built.stages.values():
+            interp = Interpreter(module)
+            assert interp.run("main") is not None
+
+    def test_capture_off_by_default(self):
+        obj = compile_to_x86(CLEAN)
+        assert Lasagne().translate(obj, "ppopt").stages == {}
+
+    def test_native_captures_frontend_and_opt(self):
+        built = Lasagne(capture_stages=True).native(CLEAN)
+        assert list(built.stages) == ["frontend", "opt"]
+
+    def test_snapshots_are_independent(self):
+        obj = compile_to_x86(CLEAN)
+        built = Lasagne(capture_stages=True).translate(obj, "ppopt")
+        # Mutating a snapshot must not leak into the final module.
+        assert _break_main_add(built.stages["lift"])
+        assert Lasagne.run(built).result == Interpreter(
+            built.stages["merge"]).run("main")
+
+
+class TestOracleClean:
+    def test_clean_program_passes_every_rung(self):
+        verdict = run_oracle(CLEAN)
+        assert verdict.ok and verdict.divergence is None
+        names = [r.name for r in verdict.rungs]
+        assert names == [
+            "reference", "x86", "interp:lift", "interp:refine",
+            "interp:place", "interp:opt", "interp:merge", "arm:native",
+            "arm:lifted", "arm:opt", "arm:popt", "arm:ppopt",
+        ]
+        reference = verdict.rungs[0]
+        assert reference.output == ("40",)
+        for rung in verdict.rungs:
+            assert rung.error is None
+            assert rung.result == reference.result
+            assert rung.retired > 0
+
+    def test_globals_digests_compared(self):
+        verdict = run_oracle(CLEAN)
+        reference = verdict.rungs[0]
+        assert "g" in reference.globals and "ga" in reference.globals
+        for rung in verdict.rungs[1:]:
+            for name, digest in rung.globals.items():
+                assert digest == reference.globals[name], (rung.name, name)
+
+    def test_to_dict_is_json_shaped(self):
+        verdict = run_oracle(CLEAN, OracleOptions(include_native=False))
+        d = verdict.to_dict()
+        assert d["ok"] is True and d["divergence"] is None
+        assert all("name" in r and "stage" in r for r in d["rungs"])
+
+
+class TestStageClassification:
+    def test_broken_optimizer_blamed_on_opt(self):
+        real = pipeline.optimize_module
+
+        def broken(module, *args, **kwargs):
+            stats = real(module, *args, **kwargs)
+            _break_main_add(module)
+            return stats
+
+        with mock.patch.object(pipeline, "optimize_module", broken):
+            verdict = run_oracle(CLEAN)
+        assert not verdict.ok
+        assert verdict.divergence.stage == "opt"
+        assert verdict.divergence.rung == "interp:opt"
+        assert verdict.signature.startswith("opt:")
+
+    def test_broken_merge_blamed_on_merge(self):
+        real = pipeline.merge_fences
+
+        def broken(module):
+            count = real(module)
+            _break_main_add(module)
+            return count
+
+        with mock.patch.object(pipeline, "merge_fences", broken):
+            verdict = run_oracle(CLEAN)
+        assert not verdict.ok
+        assert verdict.divergence.stage == "merge"
+
+    def test_crashing_pass_reported_not_raised(self):
+        def exploding(module, *args, **kwargs):
+            raise RuntimeError("pass exploded")
+
+        with mock.patch.object(pipeline, "optimize_module", exploding):
+            verdict = run_oracle(CLEAN)
+        assert not verdict.ok
+        assert verdict.divergence.kind == "crash"
+        assert "pass exploded" in verdict.divergence.detail
+
+    def test_broken_codegen_blamed_on_codegen(self):
+        real = pipeline.compile_lir_to_arm
+
+        def broken(module, entry="main"):
+            program = real(module, entry)
+            for func in program.functions.values():
+                for item in func.items:
+                    if not isinstance(item, str) and item.mnemonic == "add":
+                        item.mnemonic = "sub"
+                        return program
+            return program
+
+        with mock.patch.object(pipeline, "compile_lir_to_arm", broken):
+            verdict = run_oracle(CLEAN)
+        assert not verdict.ok
+        assert verdict.divergence.stage == "codegen"
+        assert verdict.divergence.rung.startswith("arm:")
+
+
+class TestOptionsForSignature:
+    def test_ir_signature_drops_arm_rungs(self):
+        opts = options_for_signature("opt:result")
+        assert opts.arm_configs == () and not opts.include_native
+
+    def test_codegen_signature_keeps_arm_rungs(self):
+        opts = options_for_signature("codegen:result")
+        assert opts.arm_configs == OracleOptions().arm_configs

@@ -1,0 +1,101 @@
+"""Tests for the delta-debugging shrinker (`repro.validate.shrink`)."""
+
+from unittest import mock
+
+import repro.core.pipeline as pipeline
+from repro.lir import Interpreter
+from repro.lir.instructions import BinOp
+from repro.minicc.frontend_lir import compile_to_lir
+from repro.validate import make_divergence_predicate, run_oracle, shrink
+from repro.validate.shrink import ShrinkStats
+
+BLOATED = """
+int g = 1;
+int ga[8];
+int unused_helper(int a, int b) {
+  return a * b;
+}
+int main() {
+  int a = 3;
+  int b = 4;
+  int c = 5;
+  double d = 1.5;
+  d = d * 2.0;
+  ga[0] = a + b;
+  ga[1] = c * 2;
+  print_i(7);
+  for (int i = 0; i < 3; i = i + 1) {
+    g = g + i;
+  }
+  print_i(g);
+  return g & 268435455;
+}
+"""
+
+
+def _prints_seven(source: str) -> bool:
+    try:
+        interp = Interpreter(compile_to_lir(source))
+        interp.max_steps = 1_000_000
+        interp.run("main")
+    except Exception:  # noqa: BLE001
+        return False
+    return "7" in interp.output
+
+
+class TestShrinkBasics:
+    def test_result_is_smaller_and_preserves_predicate(self):
+        stats = ShrinkStats()
+        reduced = shrink(BLOATED, _prints_seven, stats=stats)
+        assert _prints_seven(reduced)
+        assert len(reduced.splitlines()) <= len(BLOATED.strip().splitlines())
+        assert "print_i(7)" in reduced.replace(" ", "").replace("print_i(7)",
+                                                                "print_i(7)")
+        assert "unused_helper" not in reduced
+        assert stats.accepted > 0
+
+    def test_failing_predicate_returns_input(self):
+        assert shrink(BLOATED, lambda s: False) == BLOATED
+
+    def test_shrink_is_deterministic(self):
+        a = shrink(BLOATED, _prints_seven)
+        b = shrink(BLOATED, _prints_seven)
+        assert a == b
+
+    def test_attempt_budget_respected(self):
+        stats = ShrinkStats()
+        shrink(BLOATED, _prints_seven, max_attempts=5, stats=stats)
+        assert stats.attempts <= 5
+
+
+class TestShrinkDivergence:
+    """Acceptance: a deliberately broken pass is caught and shrunk to a
+    small (≤15 line) mini-C reproducer that still witnesses the bug."""
+
+    def test_broken_optimizer_shrinks_to_small_reproducer(self):
+        real = pipeline.optimize_module
+
+        def broken(module, *args, **kwargs):
+            stats = real(module, *args, **kwargs)
+            main = module.functions.get("main")
+            if main is not None:
+                for block in main.blocks:
+                    for inst in block.instructions:
+                        if isinstance(inst, BinOp) and inst.op == "add":
+                            inst.op = "sub"
+                            return stats
+            return stats
+
+        with mock.patch.object(pipeline, "optimize_module", broken):
+            verdict = run_oracle(BLOATED)
+            assert not verdict.ok and verdict.divergence.stage == "opt"
+            predicate = make_divergence_predicate(verdict.signature)
+            stats = ShrinkStats()
+            reduced = shrink(BLOATED, predicate, max_attempts=250,
+                             stats=stats)
+            assert predicate(reduced)
+            assert len(reduced.splitlines()) <= 15
+            assert len(reduced.splitlines()) < len(
+                BLOATED.strip().splitlines())
+        # Outside the broken pipeline the reproducer is clean again.
+        assert run_oracle(reduced).ok
