@@ -83,6 +83,29 @@ def test_standard_pipeline_beats_any_single_pass():
     assert pipeline_red > single_best
 
 
+def test_fixpoint_iteration_attribution(evaluation):
+    """PassStats records carry the fixpoint iteration, so the reduction can
+    be attributed per iteration: the first pass over the module must do the
+    bulk of the cleanup, with diminishing returns afterwards."""
+    module = _fresh_kmeans_module()
+    stats = optimize_module(module)
+    by_iter = stats.reduction_by_iteration()
+    rows = [
+        [f"iter {i}", str(by_iter[i]),
+         ", ".join(stats.changed_passes(iteration=i)) or "(fixpoint)"]
+        for i in sorted(by_iter)
+    ]
+    print_table(
+        "O2 fixpoint — instructions removed per iteration (kmeans)",
+        ["iteration", "removed", "passes that changed the module"],
+        rows,
+    )
+    assert stats.iterations >= 2
+    assert by_iter[0] > sum(by_iter[i] for i in by_iter if i > 0)
+    # The final iteration is the fixpoint check: no pass reports a change.
+    assert stats.changed_passes(iteration=stats.iterations - 1) == []
+
+
 def test_pass_pipeline_throughput(benchmark):
     """pytest-benchmark: full O2 pipeline over refined kmeans."""
 

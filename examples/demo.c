@@ -1,0 +1,21 @@
+// Two threads bump a shared atomic counter; main then chains two
+// non-atomic global accesses (h = g; g = h + 1) so fence placement and
+// §7 fence merging both have work to do.  Used by the CI telemetry smoke
+// step: `repro translate examples/demo.c --trace` / `repro stats`.
+int g = 0;
+int h = 0;
+
+int worker(int t) {
+  atomic_add(&g, t + 1);
+  return 0;
+}
+
+int main() {
+  int a = spawn(worker, 1);
+  int b = spawn(worker, 2);
+  join(a);
+  join(b);
+  h = g;
+  g = h + 1;
+  return g;
+}

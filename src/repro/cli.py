@@ -7,12 +7,20 @@ lift        show the lifted (optionally refined) LIR of a mini-C program
 evaluate    run the Phoenix evaluation and print the §9 tables
 litmus      enumerate outcomes of a named litmus test under a model
 validate    fuzz-driven differential validation of the whole pipeline
+stats       per-stage / per-pass telemetry breakdown for one program
+bench       write the BENCH_translate.json perf baseline
+
+``translate``, ``evaluate`` and ``validate`` accept ``--trace FILE``
+(Chrome trace-event JSON, loadable in https://ui.perfetto.dev) and
+``--remarks[=FILTER]`` (LLVM ``-Rpass``-style optimization remarks,
+optionally filtered by a regex over the remark origin).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 
@@ -26,6 +34,52 @@ def _read_source(path: str) -> str | None:
         return None
 
 
+def _telemetry_session(args: argparse.Namespace):
+    """A telemetry session sized to the --trace/--remarks flags.
+
+    Returns a ``nullcontext(None)`` when neither flag is given, keeping the
+    default path on the zero-overhead no-op hooks.
+    """
+    trace_on = getattr(args, "trace", None) is not None
+    remarks_on = getattr(args, "remarks", None) is not None
+    if not trace_on and not remarks_on:
+        return nullcontext(None)
+    from . import telemetry
+
+    return telemetry.session(
+        trace=trace_on, metrics=True, remarks=remarks_on,
+        remark_filter=(args.remarks or None) if remarks_on else None)
+
+
+def _flush_telemetry(tel, args: argparse.Namespace) -> None:
+    """Write the Chrome trace and print collected remarks, as requested."""
+    if tel is None:
+        return
+    import json
+
+    from . import telemetry
+
+    if getattr(args, "trace", None) and tel.tracer is not None:
+        Path(args.trace).write_text(
+            json.dumps(telemetry.to_chrome_trace(tel.tracer)))
+        print(f"trace written to {args.trace} "
+              f"(open in https://ui.perfetto.dev)", file=sys.stderr)
+    if getattr(args, "remarks", None) is not None and tel.remarks is not None:
+        for remark in tel.remarks.remarks:
+            print(remark.format(), file=sys.stderr)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="write a Chrome trace-event JSON file "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--remarks", nargs="?", const="", default=None,
+                        metavar="FILTER",
+                        help="print optimization remarks, optionally "
+                             "filtered by a regex over the remark origin "
+                             "(e.g. --remarks=place)")
+
+
 def _first_output_mismatch(expected: list[str], got: list[str]) -> int | None:
     """Index of the first differing output entry, or None if identical."""
     for i, (a, b) in enumerate(zip(expected, got)):
@@ -37,14 +91,22 @@ def _first_output_mismatch(expected: list[str], got: list[str]) -> int | None:
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    from .core import Lasagne
     from .minicc import compile_to_x86
-    from .x86 import X86Emulator
 
     source = _read_source(args.source)
     if source is None:
         return 2
     obj = compile_to_x86(source)
+    with _telemetry_session(args) as tel:
+        rc = _translate_and_check(args, source, obj)
+    _flush_telemetry(tel, args)
+    return rc
+
+
+def _translate_and_check(args: argparse.Namespace, source: str, obj) -> int:
+    from .core import Lasagne
+    from .x86 import X86Emulator
+
     lasagne = Lasagne(verify=not args.no_verify)
     built = lasagne.build(source, args.config)
     print(f"config={args.config}: {built.arm_instructions} Arm instructions, "
@@ -113,7 +175,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     from .phoenix import SIZE_SMALL, SIZE_TINY, evaluate_suite, geomean
 
     size = SIZE_TINY if args.size == "tiny" else SIZE_SMALL
-    rows = evaluate_suite(size=size, verify=False)
+    with _telemetry_session(args) as tel:
+        rows = evaluate_suite(size=size, verify=False)
+    _flush_telemetry(tel, args)
     configs = ["native", "lifted", "opt", "popt", "ppopt"]
     print(f"{'benchmark':<18}" + "".join(f"{c:>9}" for c in configs))
     norm = {c: [] for c in configs}
@@ -185,6 +249,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         minutes=args.minutes,
         shrink=args.shrink,
         corpus_dir=args.corpus,
+        trace_file=args.trace,
+        collect_remarks=args.remarks is not None,
+        remark_filter=args.remarks or None,
         gen=GenConfig(threads=args.threads),
         oracle=OracleOptions(verify=not args.no_verify,
                              include_native=not args.no_native),
@@ -207,7 +274,78 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         print("stage histogram: " + ", ".join(
             f"{stage}={count}"
             for stage, count in sorted(report["stage_histogram"].items())))
+    timing = report.get("timing", {})
+    if timing.get("median_seconds"):
+        print(f"wall time per program: median {timing['median_seconds']:.3f}s, "
+              f"p95 {timing['p95_seconds']:.3f}s, max {timing['max_seconds']:.3f}s")
+    if args.trace:
+        print(f"trace written to {args.trace} "
+              f"(open in https://ui.perfetto.dev)", file=sys.stderr)
+    if args.remarks is not None and report.get("remark_histogram"):
+        print("remarks: " + ", ".join(
+            f"{key}={n}"
+            for key, n in sorted(report["remark_histogram"].items())),
+            file=sys.stderr)
     return 0 if report["clean"] else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from . import telemetry
+    from .core import Lasagne
+
+    source = _read_source(args.source)
+    if source is None:
+        return 2
+    with telemetry.session() as tel:
+        lasagne = Lasagne(verify=not args.no_verify)
+        built = lasagne.build(source, args.config)
+        if args.run:
+            Lasagne.run(built)
+
+    print(f"== stage breakdown ({args.config}) ==")
+    print(telemetry.format_tree(tel.tracer.roots,
+                                max_depth=None if args.full else 2))
+
+    if built.pass_stats is not None:
+        stats = built.pass_stats
+        changed = [rec for rec in stats.records if rec.changed]
+        print(f"\n== optimization passes "
+              f"({len(stats.records)} runs over {stats.iterations} fixpoint "
+              f"iterations, {len(changed)} changed) ==")
+        print(f"{'pass':<14}{'iter':>5}{'before':>8}{'after':>8}{'removed':>9}")
+        for rec in changed:
+            print(f"{rec.name:<14}{rec.iteration:>5}{rec.before:>8}"
+                  f"{rec.after:>8}{rec.before - rec.after:>9}")
+        by_iter = stats.reduction_by_iteration()
+        print("per-iteration reduction: " + ", ".join(
+            f"iter{i}={by_iter[i]}" for i in sorted(by_iter)))
+
+    snapshot = tel.metrics.snapshot()
+    print("\n== metrics ==")
+    for name, value in snapshot["counters"].items():
+        print(f"  {name} = {value}")
+    for name, value in snapshot["gauges"].items():
+        print(f"  {name} = {value} (gauge)")
+
+    histogram = tel.remarks.histogram()
+    if histogram:
+        print("\n== remarks (origin:kind -> count) ==")
+        for key, n in sorted(histogram.items()):
+            print(f"  {key} = {n}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .telemetry.bench import run_bench, write_bench
+
+    report = run_bench(size=args.size, repeats=args.repeats)
+    path = write_bench(report, args.out)
+    for config, summary in report["summary"].items():
+        print(f"{config:>8}: {summary['translate_seconds_total'] * 1e3:8.1f} ms "
+              f"translate, {summary['arm_instructions_total']:6d} Arm "
+              f"instructions, {summary['fences_total']:4d} fences")
+    print(f"baseline written to {path}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -222,6 +360,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dump-arm", action="store_true")
     p.add_argument("--dump-ir", action="store_true")
     p.add_argument("--no-verify", action="store_true")
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_translate)
 
     p = sub.add_parser("lift", help="show lifted LIR")
@@ -233,6 +372,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("evaluate", help="run the Phoenix evaluation")
     p.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("litmus", help="enumerate litmus outcomes")
@@ -267,7 +407,29 @@ def main(argv: list[str] | None = None) -> int:
                    help="skip the native-config Arm rung")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--quiet", action="store_true")
+    _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "stats",
+        help="telemetry breakdown: stage timings, passes, metrics, remarks")
+    p.add_argument("source")
+    p.add_argument("--config", default="ppopt",
+                   choices=["native", "lifted", "opt", "popt", "ppopt"])
+    p.add_argument("--run", action="store_true",
+                   help="also run the translated program (emulator metrics)")
+    p.add_argument("--full", action="store_true",
+                   help="print the full span tree including per-pass spans")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench", help="write the translate-time perf baseline "
+                      "(BENCH_translate.json)")
+    p.add_argument("--size", default="tiny", choices=["tiny", "small"])
+    p.add_argument("--repeats", type=int, default=3)
+    p.add_argument("--out", default="BENCH_translate.json")
+    p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

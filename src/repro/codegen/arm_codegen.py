@@ -20,6 +20,7 @@ from __future__ import annotations
 import struct
 from typing import Optional, Union
 
+from .. import telemetry
 from ..arm.isa import AImm, AInstr, ALabel, AMem, DReg, XReg
 from ..arm.program import ArmFunction, ArmProgram
 from ..lir import (
@@ -139,6 +140,22 @@ class _FuncCodegen:
                     self._emit(inst)
         self.out.label(self.epilogue)
         self._emit_epilogue()
+        emitted = len(self.out.instructions())
+        telemetry.count("codegen.instructions", emitted,
+                        function=self.func.name)
+        telemetry.count("codegen.intervals", len(intervals),
+                        function=self.func.name)
+        if self._spill_count:
+            telemetry.count("codegen.spills", self._spill_count,
+                            function=self.func.name)
+            if telemetry.remarks_enabled():
+                telemetry.remark(
+                    "regalloc", "spill",
+                    f"linear scan spilled {self._spill_count} of "
+                    f"{len(intervals)} live intervals to frame slots; "
+                    f"{emitted} Arm instructions emitted",
+                    function=self.func.name,
+                    spills=self._spill_count, intervals=len(intervals))
         return self.out
 
     # ---- liveness + intervals ------------------------------------------

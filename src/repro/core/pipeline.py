@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import telemetry
 from ..arm.emulator import ArmEmulator
 from ..arm.program import ArmProgram
 from ..codegen import compile_lir_to_arm
@@ -62,6 +63,21 @@ class TranslationResult:
     # Intermediate modules, keyed by stage name (see TRANSLATE_STAGES /
     # NATIVE_STAGES); populated only under ``Lasagne(capture_stages=True)``.
     stages: dict[str, Module] = field(default_factory=dict)
+    # Telemetry (populated only when a repro.telemetry session is active):
+    # the root pipeline span, with one child span per stage, and a metrics
+    # snapshot taken when the translation finished.
+    trace: Optional[telemetry.Span] = None
+    metrics: Optional[dict] = None
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Wall time per pipeline stage, from the telemetry trace."""
+        if self.trace is None:
+            return {}
+        return {
+            s.name: s.duration
+            for s in self.trace.walk()
+            if s.category == "stage" and s.end is not None
+        }
 
     @property
     def arm_instructions(self) -> int:
@@ -94,16 +110,23 @@ class Lasagne:
     # ---- the five configurations -------------------------------------------
     def native(self, source: str, entry: str = "main") -> TranslationResult:
         stages: dict[str, Module] = {}
-        module = compile_to_lir(source)
-        if self.verify:
-            verify_module(module)
-        self._capture(stages, "frontend", module)
-        stats = optimize_module(module, verify=self.verify)
-        self._capture(stages, "opt", module)
-        program = compile_lir_to_arm(module, entry)
+        with telemetry.span("pipeline", category="pipeline",
+                            config="native", entry=entry) as root:
+            with telemetry.span("frontend", category="stage"):
+                module = compile_to_lir(source)
+                if self.verify:
+                    verify_module(module)
+            self._capture(stages, "frontend", module)
+            with telemetry.span("opt", category="stage"):
+                stats = optimize_module(module, verify=self.verify)
+            self._capture(stages, "opt", module)
+            with telemetry.span("codegen", category="stage"):
+                program = compile_lir_to_arm(module, entry)
         return TranslationResult(
             "native", module, program,
             fences=count_fences(module), pass_stats=stats, stages=stages,
+            trace=root if isinstance(root, telemetry.Span) else None,
+            metrics=telemetry.metrics_snapshot(),
         )
 
     def translate(
@@ -112,31 +135,39 @@ class Lasagne:
         if config not in ("lifted", "opt", "popt", "ppopt"):
             raise ValueError(f"unknown configuration {config!r}")
         stages: dict[str, Module] = {}
-        module = lift_program(obj)
-        if self.verify:
-            verify_module(module)
-        self._capture(stages, "lift", module)
-        casts_before = module_pointer_casts(module)
-        if config == "ppopt":
-            run_refinement(module)
+        with telemetry.span("pipeline", category="pipeline",
+                            config=config, entry=entry) as root:
+            with telemetry.span("lift", category="stage"):
+                module = lift_program(obj)
+                if self.verify:
+                    verify_module(module)
+            self._capture(stages, "lift", module)
+            casts_before = module_pointer_casts(module)
+            if config == "ppopt":
+                with telemetry.span("refine", category="stage"):
+                    run_refinement(module)
+                    if self.verify:
+                        verify_module(module)
+                self._capture(stages, "refine", module)
+            casts_after = module_pointer_casts(module)
+            with telemetry.span("place", category="stage"):
+                place_fences(module)
+            fences_naive = count_fences(module)
+            self._capture(stages, "place", module)
+            stats = None
+            if config != "lifted":
+                with telemetry.span("opt", category="stage"):
+                    stats = optimize_module(module, verify=self.verify)
+                self._capture(stages, "opt", module)
+                if config in ("popt", "ppopt"):
+                    with telemetry.span("merge", category="stage"):
+                        merge_fences(module)
+                        optimize_module(module, ["dce"], verify=self.verify)
+                    self._capture(stages, "merge", module)
             if self.verify:
                 verify_module(module)
-            self._capture(stages, "refine", module)
-        casts_after = module_pointer_casts(module)
-        place_fences(module)
-        fences_naive = count_fences(module)
-        self._capture(stages, "place", module)
-        stats = None
-        if config != "lifted":
-            stats = optimize_module(module, verify=self.verify)
-            self._capture(stages, "opt", module)
-            if config in ("popt", "ppopt"):
-                merge_fences(module)
-                optimize_module(module, ["dce"], verify=self.verify)
-                self._capture(stages, "merge", module)
-        if self.verify:
-            verify_module(module)
-        program = compile_lir_to_arm(module, entry)
+            with telemetry.span("codegen", category="stage"):
+                program = compile_lir_to_arm(module, entry)
         return TranslationResult(
             config, module, program,
             fences=count_fences(module),
@@ -145,6 +176,8 @@ class Lasagne:
             pointer_casts_after=casts_after,
             pass_stats=stats,
             stages=stages,
+            trace=root if isinstance(root, telemetry.Span) else None,
+            metrics=telemetry.metrics_snapshot(),
         )
 
     # ---- convenience -------------------------------------------------------
@@ -159,7 +192,8 @@ class Lasagne:
     def run(result: TranslationResult, entry: Optional[str] = None,
             args: Optional[list[int]] = None) -> RunResult:
         emu = ArmEmulator(result.program)
-        value = emu.run(entry, args)
+        with telemetry.span("run:arm", category="emu", config=result.config):
+            value = emu.run(entry, args)
         return RunResult(
             result=value,
             output=emu.output,

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..lir import (
     Alloca,
     Cast,
@@ -67,6 +68,7 @@ def place_fences(module: Module) -> PlacementStats:
     """Insert Frm/Fww fences per the Fig. 8a mapping.  Idempotent per call
     (expects a module that has not been fence-placed yet)."""
     stats = PlacementStats()
+    emit = telemetry.remarks_enabled()
     for func in module.functions.values():
         if func.is_declaration:
             continue
@@ -75,17 +77,50 @@ def place_fences(module: Module) -> PlacementStats:
                 if isinstance(inst, Load) and inst.ordering == "na":
                     if is_stack_address(inst.pointer):
                         stats.skipped_stack += 1
+                        if emit:
+                            telemetry.remark(
+                                "place-fences", "fence-skipped",
+                                "non-atomic load is stack-local (use-def "
+                                "chain reaches an alloca); no fence needed",
+                                function=func.name, block=bb.name,
+                                instruction=f"load {inst.pointer.short_name()}")
                         continue
                     fence = Fence("rm")
                     bb.insert_after(inst, fence)
                     stats.loads_fenced += 1
+                    if emit:
+                        telemetry.remark(
+                            "place-fences", "fence-inserted",
+                            "Frm inserted after non-atomic load (Fig. 8a "
+                            "ld -> ldna;Frm mapping)",
+                            function=func.name, block=bb.name,
+                            instruction=f"load {inst.pointer.short_name()}",
+                            fence="rm")
                 elif isinstance(inst, Store) and inst.ordering == "na":
                     if is_stack_address(inst.pointer):
                         stats.skipped_stack += 1
+                        if emit:
+                            telemetry.remark(
+                                "place-fences", "fence-skipped",
+                                "non-atomic store is stack-local (use-def "
+                                "chain reaches an alloca); no fence needed",
+                                function=func.name, block=bb.name,
+                                instruction=f"store {inst.pointer.short_name()}")
                         continue
                     fence = Fence("ww")
                     bb.insert_before(inst, fence)
                     stats.stores_fenced += 1
+                    if emit:
+                        telemetry.remark(
+                            "place-fences", "fence-inserted",
+                            "Fww inserted before non-atomic store (Fig. 8a "
+                            "st -> Fww;stna mapping)",
+                            function=func.name, block=bb.name,
+                            instruction=f"store {inst.pointer.short_name()}",
+                            fence="ww")
+    telemetry.count("fences.inserted", stats.loads_fenced, kind="rm")
+    telemetry.count("fences.inserted", stats.stores_fenced, kind="ww")
+    telemetry.count("fences.skipped_stack", stats.skipped_stack)
     return stats
 
 
@@ -97,13 +132,15 @@ def merge_fences(module: Module) -> int:
         if func.is_declaration:
             continue
         for bb in func.blocks:
-            removed += _merge_block(bb)
+            removed += _merge_block(bb, func.name)
+    telemetry.count("fences.merged_away", removed)
     return removed
 
 
-def _merge_block(bb) -> int:
+def _merge_block(bb, func_name: str = "") -> int:
     removed = 0
     run: list[Fence] = []
+    emit = telemetry.remarks_enabled()
 
     def flush() -> int:
         nonlocal run
@@ -117,6 +154,15 @@ def _merge_block(bb) -> int:
             merged_kind = "rm"
         else:
             merged_kind = "ww"
+        if emit:
+            telemetry.remark(
+                "merge-fences", "fence-merged",
+                f"merged run of {len(run)} adjacent fences "
+                f"({'+'.join(f.kind for f in run)}) into one F{merged_kind} "
+                f"(section 7 merging rules)",
+                function=func_name, block=bb.name,
+                instruction=f"fence.{merged_kind}",
+                run_length=len(run), merged_kind=merged_kind)
         keeper = run[0]
         count = 0
         for extra in run[1:]:

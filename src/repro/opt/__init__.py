@@ -12,6 +12,7 @@ from .pass_manager import (
     MODULE_PASSES,
     STANDARD_PIPELINE,
     PassManager,
+    PassRecord,
     PassStats,
     optimize_module,
 )
@@ -27,6 +28,6 @@ __all__ = [
     "run_inline", "run_licm", "run_mem2reg", "run_reassociate", "run_ipsccp", "run_sccp",
     "run_simplifycfg", "run_sroa", "run_unroll",
     "FUNCTION_PASSES", "MODULE_PASSES", "STANDARD_PIPELINE",
-    "PassManager", "PassStats", "optimize_module",
+    "PassManager", "PassRecord", "PassStats", "optimize_module",
     "remove_unreachable_blocks", "simplify_trivial_phis",
 ]

@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, NamedTuple
 
+from .. import telemetry
 from ..lir import Function, Module, verify_module
 from .dce import run_adce, run_dce
 from .dse import run_dse
@@ -62,20 +63,54 @@ STANDARD_PIPELINE = [
 ]
 
 
+class PassRecord(NamedTuple):
+    """One executed pass: instruction counts, fixpoint iteration, outcome."""
+
+    name: str
+    before: int
+    after: int
+    iteration: int = 0
+    changed: bool = False
+
+
 @dataclass
 class PassStats:
-    """Instruction counts around each executed pass."""
+    """Instruction counts around each executed pass, per fixpoint iteration."""
 
-    records: list[tuple[str, int, int]] = field(default_factory=list)
+    records: list[PassRecord] = field(default_factory=list)
+    iterations: int = 0
 
-    def add(self, name: str, before: int, after: int) -> None:
-        self.records.append((name, before, after))
+    def add(self, name: str, before: int, after: int,
+            iteration: int = 0, changed: bool = False) -> None:
+        self.records.append(PassRecord(name, before, after, iteration, changed))
+        if iteration + 1 > self.iterations:
+            self.iterations = iteration + 1
 
     def reduction_by_pass(self) -> dict[str, int]:
         out: dict[str, int] = {}
-        for name, before, after in self.records:
-            out[name] = out.get(name, 0) + (before - after)
+        for rec in self.records:
+            out[rec.name] = out.get(rec.name, 0) + (rec.before - rec.after)
         return out
+
+    def reduction_by_iteration(self) -> dict[int, int]:
+        """Instructions removed per fixpoint iteration."""
+        out: dict[int, int] = {}
+        for rec in self.records:
+            out[rec.iteration] = out.get(rec.iteration, 0) + (rec.before - rec.after)
+        return out
+
+    def by_iteration(self) -> dict[int, list[PassRecord]]:
+        out: dict[int, list[PassRecord]] = {}
+        for rec in self.records:
+            out.setdefault(rec.iteration, []).append(rec)
+        return out
+
+    def changed_passes(self, iteration: int | None = None) -> list[str]:
+        """Names of passes that reported a change (optionally one iteration)."""
+        return [
+            rec.name for rec in self.records
+            if rec.changed and (iteration is None or rec.iteration == iteration)
+        ]
 
 
 class PassManager:
@@ -83,19 +118,31 @@ class PassManager:
         self.verify = verify
         self.stats = PassStats()
 
-    def run_pass(self, module: Module, name: str) -> bool:
+    def run_pass(self, module: Module, name: str, iteration: int = 0) -> bool:
         before = module.instruction_count()
-        if name in MODULE_PASSES:
-            changed = MODULE_PASSES[name](module)
-        elif name in FUNCTION_PASSES:
-            changed = False
-            for func in module.functions.values():
-                if not func.is_declaration:
-                    changed |= FUNCTION_PASSES[name](func)
-        else:
-            raise KeyError(f"unknown pass {name!r}")
+        with telemetry.span(name, category="pass", iteration=iteration):
+            if name in MODULE_PASSES:
+                changed = MODULE_PASSES[name](module)
+            elif name in FUNCTION_PASSES:
+                changed = False
+                for func in module.functions.values():
+                    if not func.is_declaration:
+                        changed |= FUNCTION_PASSES[name](func)
+            else:
+                raise KeyError(f"unknown pass {name!r}")
         after = module.instruction_count()
-        self.stats.add(name, before, after)
+        self.stats.add(name, before, after, iteration, changed)
+        telemetry.count("opt.pass.runs", pass_name=name)
+        if changed:
+            telemetry.count("opt.pass.changed", pass_name=name)
+            telemetry.count("opt.instructions_removed", before - after,
+                            pass_name=name)
+            if telemetry.remarks_enabled():
+                telemetry.remark(
+                    f"opt.{name}", "changed",
+                    f"iteration {iteration}: changed module, "
+                    f"{before} -> {after} instructions",
+                    iteration=iteration, before=before, after=after)
         if self.verify:
             verify_module(module)
         return changed
@@ -107,12 +154,15 @@ class PassManager:
         max_iterations: int = 3,
     ) -> PassStats:
         names = pipeline if pipeline is not None else STANDARD_PIPELINE
-        for _ in range(max_iterations):
+        for iteration in range(max_iterations):
             changed = False
-            for name in names:
-                changed |= self.run_pass(module, name)
+            with telemetry.span(f"opt-iteration-{iteration}",
+                                category="opt-iteration"):
+                for name in names:
+                    changed |= self.run_pass(module, name, iteration)
             if not changed:
                 break
+        telemetry.count("opt.fixpoint_iterations", self.stats.iterations)
         return self.stats
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import telemetry
 from ..core.pipeline import CONFIGS, Lasagne, RunResult, TranslationResult
 from ..minicc.codegen_x86 import compile_to_x86
 from ..x86.emulator import X86Emulator
@@ -74,8 +75,10 @@ def evaluate_program(
         expected_output = emu.output
 
     for config in configs or CONFIGS:
-        built = lasagne.build(program.source, config)
-        run = Lasagne.run(built)
+        with telemetry.span(f"{program.name}:{config}", category="program",
+                            program=program.name, config=config):
+            built = lasagne.build(program.source, config)
+            run = Lasagne.run(built)
         if expected is None:
             expected = run.result
             expected_output = run.output

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..lir import Module
 from ..opt import run_dce, run_instcombine, run_mem2reg, run_reassociate
 from .peephole import count_pointer_casts, run_peephole
@@ -17,26 +18,28 @@ def run_refinement(module: Module) -> None:
     ptrtoint/add/inttoptr chains of Figure 5 — then applies the peephole
     rules and pointer-parameter promotion until a fixpoint.
     """
-    for func in module.functions.values():
-        if func.is_declaration:
-            continue
-        run_mem2reg(func)
-        run_instcombine(func)
-        run_reassociate(func)
-        run_instcombine(func)
-    for _ in range(4):
-        changed = False
+    with telemetry.span("refine:normalize", category="refine"):
         for func in module.functions.values():
             if func.is_declaration:
                 continue
-            changed |= run_peephole(func)
-            changed |= run_instcombine(func)
-        changed |= run_pointer_promotion(module)
-        for func in module.functions.values():
-            if not func.is_declaration:
-                run_dce(func)
-        if not changed:
-            break
+            run_mem2reg(func)
+            run_instcombine(func)
+            run_reassociate(func)
+            run_instcombine(func)
+    with telemetry.span("refine:fixpoint", category="refine"):
+        for _ in range(4):
+            changed = False
+            for func in module.functions.values():
+                if func.is_declaration:
+                    continue
+                changed |= run_peephole(func)
+                changed |= run_instcombine(func)
+            changed |= run_pointer_promotion(module)
+            for func in module.functions.values():
+                if not func.is_declaration:
+                    run_dce(func)
+            if not changed:
+                break
 
 
 def module_pointer_casts(module: Module) -> int:

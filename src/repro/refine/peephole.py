@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import telemetry
 from ..lir import (
     Argument,
     BinOp,
@@ -85,9 +86,19 @@ def _trace(value: Value, chain: _Chain, sign: int, depth: int = 0) -> None:
     chain.dynamic.append(value)
 
 
+def _classify_rule(chain: _Chain) -> str:
+    """Which of the paper's Figure 5 rules this chain instantiates."""
+    if chain.arg_root is not None:
+        return "rule3-parameter-offset"
+    if not chain.dynamic and chain.offset == 0:
+        return "rule1-pointer-cast"
+    return "rule2-address-offset"
+
+
 def run_peephole(func: Function) -> bool:
     """Rewrite inttoptr chains whose root is a pointer or an int argument."""
     changed = False
+    emit = telemetry.remarks_enabled()
     for bb in list(func.blocks):
         for inst in list(bb.instructions):
             if not isinstance(inst, Cast) or inst.op != "inttoptr":
@@ -98,6 +109,17 @@ def run_peephole(func: Function) -> bool:
                 continue
             if chain.root_ptr is None and chain.arg_root is None:
                 continue
+            rule = _classify_rule(chain)
+            telemetry.count("refine.peephole_rewrites", rule=rule)
+            if emit:
+                telemetry.remark(
+                    "refine-peephole", rule,
+                    f"raised inttoptr chain to typed pointer ops "
+                    f"({len(chain.dynamic)} dynamic terms, "
+                    f"constant offset {chain.offset})",
+                    function=func.name, block=bb.name,
+                    instruction=f"inttoptr {inst.value.short_name()}",
+                    dynamic_terms=len(chain.dynamic), offset=chain.offset)
 
             insert_before = inst
             new_insts: list = []

@@ -13,6 +13,7 @@ Functions whose address is taken (e.g. thread entry points passed to
 
 from __future__ import annotations
 
+from .. import telemetry
 from ..lir import (
     Argument,
     Call,
@@ -53,6 +54,7 @@ def _promotable_type(arg: Argument) -> PointerType | None:
 
 def run_pointer_promotion(module: Module) -> bool:
     changed = False
+    emit = telemetry.remarks_enabled()
     for func in module.functions.values():
         if func.is_declaration or _address_taken(module, func):
             continue
@@ -60,6 +62,15 @@ def run_pointer_promotion(module: Module) -> bool:
             new_type = _promotable_type(arg)
             if new_type is None:
                 continue
+            telemetry.count("refine.params_promoted")
+            if emit:
+                telemetry.remark(
+                    "refine-ptrpromote", "parameter-promoted",
+                    f"integer parameter #{index} "
+                    f"({arg.short_name()}) promoted to {new_type} "
+                    f"(section 5.2: every use is an inttoptr)",
+                    function=func.name, instruction=arg.short_name(),
+                    index=index, new_type=str(new_type))
             _promote(module, func, index, new_type)
             changed = True
     return changed

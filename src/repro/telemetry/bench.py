@@ -1,0 +1,75 @@
+"""Benchmark-trajectory emitter: the perf baseline future PRs report against.
+
+Reuses the Phoenix suite (the §9 harness) to time *translation itself* —
+not the translated program — for every pipeline configuration, and
+records the static outputs that matter for a perf regression: Arm
+instruction counts, fence counts, LIR size.  The result is written as
+``BENCH_translate.json``; re-run the harness after a perf change and
+diff the two files.
+
+CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from time import perf_counter
+from typing import Optional
+
+BENCH_VERSION = 1
+DEFAULT_OUT = "BENCH_translate.json"
+
+
+def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
+              repeats: int = 3, verify: bool = False) -> dict:
+    """Time every (program, config) translation; median of ``repeats``."""
+    from ..core.pipeline import CONFIGS, Lasagne
+    from ..phoenix import SIZE_SMALL, SIZE_TINY, all_programs
+
+    sizes = SIZE_TINY if size == "tiny" else SIZE_SMALL
+    configs = list(configs or CONFIGS)
+    lasagne = Lasagne(verify=verify)
+    programs: dict[str, dict[str, dict]] = {}
+    for program in all_programs(sizes):
+        per_config: dict[str, dict] = {}
+        for config in configs:
+            times = []
+            built = None
+            for _ in range(max(1, repeats)):
+                start = perf_counter()
+                built = lasagne.build(program.source, config)
+                times.append(perf_counter() - start)
+            times.sort()
+            per_config[config] = {
+                "translate_seconds": round(times[len(times) // 2], 6),
+                "arm_instructions": built.arm_instructions,
+                "lir_instructions": built.lir_instructions,
+                "fences": built.fences,
+                "fences_naive": built.fences_naive,
+            }
+        programs[program.name] = per_config
+
+    summary: dict[str, dict] = {}
+    for config in configs:
+        rows = [programs[name][config] for name in programs]
+        summary[config] = {
+            "translate_seconds_total": round(
+                sum(r["translate_seconds"] for r in rows), 6),
+            "arm_instructions_total": sum(r["arm_instructions"] for r in rows),
+            "fences_total": sum(r["fences"] for r in rows),
+        }
+    return {
+        "version": BENCH_VERSION,
+        "size": size,
+        "repeats": repeats,
+        "configs": configs,
+        "programs": programs,
+        "summary": summary,
+    }
+
+
+def write_bench(report: dict, path: str = DEFAULT_OUT) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return out

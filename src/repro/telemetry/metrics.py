@@ -1,0 +1,70 @@
+"""Metrics registry: named counters and gauges with label support.
+
+Counters accumulate (``count("fences.inserted", 3, kind="rm")``), gauges
+record the last value.  A (name, labels) pair identifies one time series;
+labels are sorted so keyword order does not matter.  All operations are
+thread-safe.  ``snapshot()`` renders a JSON-serializable dict with
+Prometheus-style flattened names (``fences.inserted{kind=rm}``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Union
+
+Number = Union[int, float]
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: dict[str, Any]) -> _Key:
+    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+
+
+def render_key(key: _Key) -> str:
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe registry of labelled counters and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[_Key, Number] = {}
+        self._gauges: dict[_Key, Number] = {}
+
+    # ---- recording -------------------------------------------------------
+    def count(self, name: str, n: Number = 1, **labels: Any) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + n
+
+    def gauge(self, name: str, value: Number, **labels: Any) -> None:
+        with self._lock:
+            self._gauges[_key(name, labels)] = value
+
+    # ---- queries ---------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Number:
+        """The value of one counter series (0 if never incremented)."""
+        return self._counters.get(_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: Any) -> Number:
+        return self._gauges.get(_key(name, labels), 0)
+
+    def total(self, name: str) -> Number:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    def snapshot(self) -> dict[str, dict[str, Number]]:
+        """JSON-serializable flattened view of every series."""
+        with self._lock:
+            return {
+                "counters": {render_key(k): v
+                             for k, v in sorted(self._counters.items())},
+                "gauges": {render_key(k): v
+                           for k, v in sorted(self._gauges.items())},
+            }

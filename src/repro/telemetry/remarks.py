@@ -1,0 +1,87 @@
+"""Optimization remarks, LLVM ``-Rpass`` style.
+
+Transformations report structured, source-located decisions — why a fence
+was inserted, skipped or merged, which peephole rule fired, which pass
+changed the module.  A :class:`Remark` names its *origin* (the pass or
+stage), a *kind* (the decision taxonomy, see docs/observability.md), a
+human-readable message and an IR location (function / block /
+instruction).
+
+A :class:`RemarkSink` collects remarks, optionally filtered by a regex
+over the origin — the analogue of ``-Rpass=<regex>``.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Remark:
+    origin: str                       # pass/stage name, e.g. "place-fences"
+    kind: str                         # decision, e.g. "fence-inserted"
+    message: str
+    function: Optional[str] = None
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def location(self) -> str:
+        parts = [p for p in (self.function, self.block, self.instruction) if p]
+        return ":".join(parts) if parts else "<module>"
+
+    def format(self) -> str:
+        """One ``-Rpass``-flavoured line: ``remark: loc: [origin] message``."""
+        return f"remark: {self.location}: [{self.origin}:{self.kind}] {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "origin": self.origin,
+            "kind": self.kind,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+            "args": dict(self.args),
+        }
+
+
+class RemarkSink:
+    """Collects remarks; thread-safe; optional origin regex filter."""
+
+    def __init__(self, origin_filter: Optional[str] = None) -> None:
+        self._lock = threading.Lock()
+        self._filter = re.compile(origin_filter) if origin_filter else None
+        self.remarks: list[Remark] = []
+
+    def wants(self, origin: str) -> bool:
+        return self._filter is None or bool(self._filter.search(origin))
+
+    def emit(self, remark: Remark) -> None:
+        if not self.wants(remark.origin):
+            return
+        with self._lock:
+            self.remarks.append(remark)
+
+    # ---- queries ---------------------------------------------------------
+    def select(self, origin: Optional[str] = None,
+               kind: Optional[str] = None) -> list[Remark]:
+        with self._lock:
+            return [
+                r for r in self.remarks
+                if (origin is None or r.origin == origin)
+                and (kind is None or r.kind == kind)
+            ]
+
+    def histogram(self) -> dict[str, int]:
+        """Remark counts keyed by ``origin:kind``."""
+        out: dict[str, int] = {}
+        with self._lock:
+            for r in self.remarks:
+                key = f"{r.origin}:{r.kind}"
+                out[key] = out.get(key, 0) + 1
+        return out

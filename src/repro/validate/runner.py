@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterator, Optional
 
+from .. import telemetry
 from .generator import GenConfig, generate_program
 from .oracle import OracleOptions, run_oracle
 from .shrink import ShrinkStats, make_divergence_predicate, shrink
@@ -47,6 +48,12 @@ class RunnerOptions:
     shrink: bool = False
     shrink_attempts: int = 600
     corpus_dir: str = ".validate-corpus"
+    # Telemetry: write a merged Chrome trace of every oracle run to this
+    # path, and/or aggregate an optimization-remark histogram (filtered by
+    # ``remark_filter``, a regex over remark origins) into the report.
+    trace_file: Optional[str] = None
+    collect_remarks: bool = False
+    remark_filter: Optional[str] = None
     gen: GenConfig = field(default_factory=GenConfig)
     oracle: OracleOptions = field(default_factory=OracleOptions)
 
@@ -59,24 +66,44 @@ def _program_id(source: str) -> str:
     return hashlib.sha1(source.encode()).hexdigest()[:12]
 
 
+def _stage_seconds(tracer: telemetry.Tracer) -> dict[str, float]:
+    """Per-stage wall time summed across every pipeline run in the trace."""
+    return {
+        name: round(seconds, 6)
+        for name, seconds in tracer.durations(category="stage").items()
+    }
+
+
 def _run_one(task) -> dict:
     """Worker entry: generate (or load) one program and judge it."""
     kind, payload, seed, opts = task
     source = payload if kind == "corpus" else generate_program(seed, opts.gen)
     started = time.monotonic()
-    try:
-        verdict = run_oracle(source, opts.oracle)
-    except Exception as exc:  # noqa: BLE001 - an uncompilable generated program
-        return {
-            "origin": kind, "seed": seed, "ok": False, "stage": "generator",
-            "kind": "crash", "rung": None, "signature": "generator:crash",
-            "detail": f"{type(exc).__name__}: {exc}", "source": source,
-            "elapsed": time.monotonic() - started,
-        }
+    # Each program runs under its own telemetry session so the corpus
+    # report can aggregate per-stage wall time (and, on request, a merged
+    # Chrome trace and a remark histogram) even across worker processes.
+    with telemetry.session(trace=True, metrics=False,
+                           remarks=opts.collect_remarks,
+                           remark_filter=opts.remark_filter) as tel:
+        try:
+            verdict = run_oracle(source, opts.oracle)
+        except Exception as exc:  # noqa: BLE001 - an uncompilable generated program
+            return {
+                "origin": kind, "seed": seed, "ok": False, "stage": "generator",
+                "kind": "crash", "rung": None, "signature": "generator:crash",
+                "detail": f"{type(exc).__name__}: {exc}", "source": source,
+                "elapsed": time.monotonic() - started,
+                "stage_seconds": _stage_seconds(tel.tracer),
+            }
     row = {
         "origin": kind, "seed": seed, "ok": verdict.ok,
         "elapsed": time.monotonic() - started,
+        "stage_seconds": _stage_seconds(tel.tracer),
     }
+    if opts.trace_file:
+        row["trace_events"] = telemetry.to_chrome_trace(tel.tracer)["traceEvents"]
+    if opts.collect_remarks:
+        row["remark_histogram"] = tel.remarks.histogram()
     if not verdict.ok:
         div = verdict.divergence
         row.update(stage=div.stage, kind=div.kind, rung=div.rung,
@@ -102,6 +129,48 @@ def _take(iterator: Iterator[tuple], n: int) -> list[tuple]:
         if len(batch) >= n:
             break
     return batch
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def _timing_summary(rows: list[dict], slowest: int = 5) -> dict:
+    """Wall-time distribution across programs + per-stage percentiles."""
+    elapsed = sorted(r["elapsed"] for r in rows)
+    per_stage: dict[str, list[float]] = {}
+    for row in rows:
+        for stage, seconds in row.get("stage_seconds", {}).items():
+            per_stage.setdefault(stage, []).append(seconds)
+    stages = {}
+    for stage, values in sorted(per_stage.items()):
+        values.sort()
+        stages[stage] = {
+            "total_seconds": round(sum(values), 6),
+            "p50_seconds": round(_percentile(values, 0.50), 6),
+            "p95_seconds": round(_percentile(values, 0.95), 6),
+        }
+    ranked = sorted(rows, key=lambda r: r["elapsed"], reverse=True)
+    return {
+        "min_seconds": round(elapsed[0], 6) if elapsed else 0.0,
+        "median_seconds": round(_percentile(elapsed, 0.50), 6),
+        "p95_seconds": round(_percentile(elapsed, 0.95), 6),
+        "max_seconds": round(elapsed[-1], 6) if elapsed else 0.0,
+        "mean_seconds": round(sum(elapsed) / len(elapsed), 6) if elapsed else 0.0,
+        "slowest": [
+            {"seed": r.get("seed"), "origin": r["origin"],
+             "elapsed_seconds": round(r["elapsed"], 6)}
+            for r in ranked[:slowest]
+        ],
+        "stages": stages,
+    }
 
 
 def run_corpus(opts: RunnerOptions,
@@ -199,6 +268,19 @@ def run_corpus(opts: RunnerOptions,
         stage_histogram[row["stage"]] = stage_histogram.get(row["stage"], 0) + 1
         kind_histogram[row["kind"]] = kind_histogram.get(row["kind"], 0) + 1
 
+    # Merge per-program telemetry: an optional Chrome trace spanning every
+    # oracle run and an optional remark histogram.
+    if opts.trace_file is not None:
+        events: list[dict] = []
+        for row in rows:
+            events.extend(row.pop("trace_events", []))
+        Path(opts.trace_file).write_text(
+            json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}))
+    remark_histogram: dict[str, int] = {}
+    for row in rows:
+        for key, n in row.pop("remark_histogram", {}).items():
+            remark_histogram[key] = remark_histogram.get(key, 0) + n
+
     report = {
         "version": REPORT_VERSION,
         "seed": opts.seed,
@@ -213,7 +295,10 @@ def run_corpus(opts: RunnerOptions,
         "elapsed_seconds": round(elapsed, 3),
         "throughput_per_minute": round(len(rows) / elapsed * 60.0, 1)
         if elapsed > 0 else 0.0,
+        "timing": _timing_summary(rows),
         "clean": not diverging,
     }
+    if opts.collect_remarks:
+        report["remark_histogram"] = dict(sorted(remark_histogram.items()))
     (root / "report.json").write_text(json.dumps(report, indent=2))
     return report

@@ -144,6 +144,107 @@ class TestLitmusFileCommand:
         assert "ALLOWED under arm" in out
 
 
+FENCED = """
+int g = 0;
+int h = 0;
+int worker(int t) { atomic_add(&g, t + 1); return 0; }
+int main() {
+  int a = spawn(worker, 1);
+  int b = spawn(worker, 2);
+  join(a); join(b);
+  h = g;
+  g = h + 1;
+  return g;
+}
+"""
+
+
+@pytest.fixture()
+def fenced_file(tmp_path):
+    """A program with both placeable and mergeable fences (adjacent runs)."""
+    path = tmp_path / "fenced.c"
+    path.write_text(FENCED)
+    return str(path)
+
+
+class TestTelemetryFlags:
+    def test_trace_writes_chrome_trace_json(self, fenced_file, tmp_path,
+                                            capsys):
+        import json
+
+        trace = tmp_path / "trace.json"
+        rc = main(["translate", fenced_file, "--trace", str(trace)])
+        assert rc == 0
+        assert f"trace written to {trace}" in capsys.readouterr().err
+        doc = json.loads(trace.read_text())
+        assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+        events = doc["traceEvents"]
+        assert all(e["ph"] == "X" for e in events)
+        names = {e["name"] for e in events}
+        # One span per pipeline stage and one per executed opt pass.
+        assert {"pipeline", "lift", "refine", "place",
+                "opt", "merge", "codegen"} <= names
+        assert {e["name"] for e in events if e["cat"] == "pass"} >= \
+            {"mem2reg", "gvn", "dce"}
+
+    def test_remarks_flag_prints_fence_decisions(self, fenced_file, capsys):
+        rc = main(["translate", fenced_file, "--remarks"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[place-fences:fence-inserted]" in err
+        assert "[merge-fences:fence-merged]" in err
+        # Remarks carry function:block:instruction locations.
+        assert "remark: main:" in err
+
+    def test_remarks_filter_by_origin(self, fenced_file, capsys):
+        rc = main(["translate", fenced_file, "--remarks=merge"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "[merge-fences:fence-merged]" in err
+        assert "place-fences" not in err
+
+    def test_no_flags_no_telemetry_output(self, fenced_file, capsys):
+        rc = main(["translate", fenced_file])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "trace" not in captured.out
+        assert "remark" not in captured.err
+
+
+class TestStatsCommand:
+    def test_stats_sections(self, fenced_file, capsys):
+        rc = main(["stats", fenced_file, "--run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== stage breakdown (ppopt) ==" in out
+        for stage in ("lift", "refine", "place", "opt", "merge", "codegen"):
+            assert stage in out
+        assert "== optimization passes" in out
+        assert "mem2reg" in out
+        assert "per-iteration reduction: iter0=" in out
+        assert "== metrics ==" in out
+        assert "fences.inserted{kind=rm}" in out
+        assert "emu.arm.instret" in out  # --run adds emulator metrics
+        assert "== remarks (origin:kind -> count) ==" in out
+        assert "place-fences:fence-inserted" in out
+
+
+class TestBenchCommand:
+    def test_bench_writes_baseline(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_translate.json"
+        rc = main(["bench", "--size", "tiny", "--repeats", "1",
+                   "--out", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"baseline written to {out_path}" in out
+        report = json.loads(out_path.read_text())
+        assert report["version"] == 1
+        assert set(report["summary"]) == \
+            {"native", "lifted", "opt", "popt", "ppopt"}
+
+
 def test_evaluate_command_smoke(capsys):
     """The evaluate command prints the Figure-12-style table (tiny size)."""
     rc = main(["evaluate", "--size", "tiny"])

@@ -11,6 +11,7 @@ REPORT_KEYS = {
     "version", "seed", "jobs", "requested", "programs_run",
     "corpus_replayed", "divergences", "stage_histogram", "kind_histogram",
     "crashes", "elapsed_seconds", "throughput_per_minute", "clean",
+    "timing",
 }
 
 FAST_GEN = GenConfig(max_statements=3, max_functions=1, max_loop_iters=3)
