@@ -1,0 +1,47 @@
+"""repro.analysis — static analyses over LIR.
+
+Three layers:
+
+* :mod:`repro.analysis.dataflow` — a generic worklist dataflow engine
+  (forward/backward, lattice join, per-block in/out fixpoint states);
+* :mod:`repro.analysis.pointsto` — intraprocedural Andersen-style
+  points-to/escape analysis with integer provenance, exposed through the
+  :class:`AliasInfo` / ModRef query interface;
+* :mod:`repro.analysis.fencecheck` — a static linter for the LIMM fence
+  mapping obligations (ldna;Frm / Fww;stna / RMWsc).
+
+See docs/analysis.md for the design discussion.
+"""
+
+from .dataflow import (
+    BACKWARD,
+    FORWARD,
+    DataflowProblem,
+    DataflowResult,
+    run_dataflow,
+)
+from .fencecheck import (
+    READ_FENCES,
+    WRITE_FENCES,
+    FenceDiag,
+    check_function,
+    check_module,
+)
+from .pointsto import (
+    MOD,
+    MOD_REF,
+    NO_MODREF,
+    REF,
+    AliasInfo,
+    MemObject,
+    analyze_function,
+)
+
+__all__ = [
+    "BACKWARD", "FORWARD", "DataflowProblem", "DataflowResult",
+    "run_dataflow",
+    "READ_FENCES", "WRITE_FENCES", "FenceDiag",
+    "check_function", "check_module",
+    "MOD", "MOD_REF", "NO_MODREF", "REF",
+    "AliasInfo", "MemObject", "analyze_function",
+]

@@ -1,0 +1,179 @@
+"""Generic worklist dataflow engine over LIR CFGs.
+
+A :class:`DataflowProblem` packages a direction, a lattice (``top``,
+``boundary``, ``join``, ``equals``) and a per-block ``transfer`` function;
+:func:`run_dataflow` iterates it to a fixpoint with a priority worklist
+scheduled in reverse-postorder (postorder for backward problems), the
+order that converges in O(depth) passes for reducible CFGs.
+
+States are opaque to the engine — any value the problem's ``join`` and
+``equals`` understand.  The result exposes the fixpoint per-block ``in``
+and ``out`` states.
+
+Consumers in-tree: the fence-obligation analyses of
+:mod:`repro.analysis.fencecheck` (forward *fences-since-last-access* and
+backward *fences-before-next-access*).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generic, TypeVar
+
+from ..lir import BasicBlock, Function
+
+State = TypeVar("State")
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowProblem(Generic[State]):
+    """A dataflow problem: direction + lattice + transfer function.
+
+    Subclasses override the four lattice hooks and ``transfer``.  ``join``
+    must be monotone and ``transfer`` must be a monotone function of the
+    input state or the solver may not terminate.
+    """
+
+    direction: str = FORWARD
+
+    def top(self, func: Function) -> State:
+        """The optimistic initial state (identity of ``join``)."""
+        raise NotImplementedError
+
+    def boundary(self, func: Function) -> State:
+        """State at the CFG boundary: function entry for forward problems,
+        every exit block (``ret``/``unreachable``) for backward ones."""
+        return self.top(func)
+
+    def join(self, a: State, b: State) -> State:
+        raise NotImplementedError
+
+    def equals(self, a: State, b: State) -> bool:
+        return a == b
+
+    def transfer(self, block: BasicBlock, state: State) -> State:
+        """Propagate ``state`` through ``block`` (entry→exit for forward
+        problems, exit→entry for backward ones)."""
+        raise NotImplementedError
+
+
+class DataflowResult(Generic[State]):
+    """Fixpoint states per block.  ``block_in`` is the state at block entry
+    and ``block_out`` the state at block exit, regardless of direction."""
+
+    def __init__(self, func: Function, direction: str,
+                 entry_states: dict[int, State],
+                 exit_states: dict[int, State]) -> None:
+        self.func = func
+        self.direction = direction
+        self._in = entry_states
+        self._out = exit_states
+
+    def block_in(self, block: BasicBlock) -> State:
+        return self._in[id(block)]
+
+    def block_out(self, block: BasicBlock) -> State:
+        return self._out[id(block)]
+
+
+def _reverse_postorder(func: Function) -> list[BasicBlock]:
+    seen: set[int] = {id(func.entry)}
+    postorder: list[BasicBlock] = []
+    stack: list[tuple[BasicBlock, Any]] = [
+        (func.entry, iter(func.entry.successors()))
+    ]
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                stack.append((succ, iter(succ.successors())))
+                advanced = True
+                break
+        if not advanced:
+            postorder.append(node)
+            stack.pop()
+    return list(reversed(postorder))
+
+
+def run_dataflow(func: Function,
+                 problem: DataflowProblem[State]) -> DataflowResult[State]:
+    """Solve ``problem`` over ``func`` and return the fixpoint states.
+
+    Unreachable blocks keep their ``top`` states: no path reaches them, so
+    any fact holds there vacuously (mirroring the verifier's exemption).
+    """
+    forward = problem.direction == FORWARD
+    rpo = _reverse_postorder(func)
+    order = rpo if forward else list(reversed(rpo))
+    priority = {id(bb): i for i, bb in enumerate(order)}
+
+    top = problem.top(func)
+    boundary = problem.boundary(func)
+    entry_states: dict[int, State] = {id(bb): top for bb in func.blocks}
+    exit_states: dict[int, State] = {id(bb): top for bb in func.blocks}
+
+    def preds_of(bb: BasicBlock) -> list[BasicBlock]:
+        return [p for p in bb.predecessors() if id(p) in priority]
+
+    def is_boundary(bb: BasicBlock) -> bool:
+        if forward:
+            return bb is func.entry
+        return not bb.successors()
+
+    # Worklist keyed by schedule position; a block re-enters when the state
+    # feeding it changed.  Reachable blocks only — the rest stay at top.
+    heap: list[tuple[int, int]] = []
+    queued: set[int] = set()
+    by_id = {id(bb): bb for bb in order}
+
+    def push(bb: BasicBlock) -> None:
+        key = id(bb)
+        if key in priority and key not in queued:
+            queued.add(key)
+            heapq.heappush(heap, (priority[key], key))
+
+    for bb in order:
+        push(bb)
+
+    iterations = 0
+    limit = max(64, len(order) * len(order) * 4 + 256)
+    while heap:
+        iterations += 1
+        if iterations > limit:  # pragma: no cover - monotonicity violation
+            raise RuntimeError(
+                f"dataflow did not converge in {limit} steps "
+                f"({func.name}): non-monotone transfer or join?")
+        _, key = heapq.heappop(heap)
+        queued.discard(key)
+        bb = by_id[key]
+
+        if forward:
+            inputs = [exit_states[id(p)] for p in preds_of(bb)]
+        else:
+            inputs = [entry_states[id(s)] for s in bb.successors()]
+        state = boundary if is_boundary(bb) else top
+        for s in inputs:
+            state = problem.join(state, s)
+
+        if forward:
+            if not problem.equals(state, entry_states[key]) or iterations <= len(order):
+                entry_states[key] = state
+                new_out = problem.transfer(bb, state)
+                if not problem.equals(new_out, exit_states[key]):
+                    exit_states[key] = new_out
+                    for succ in bb.successors():
+                        push(succ)
+        else:
+            if not problem.equals(state, exit_states[key]) or iterations <= len(order):
+                exit_states[key] = state
+                new_in = problem.transfer(bb, state)
+                if not problem.equals(new_in, entry_states[key]):
+                    entry_states[key] = new_in
+                    for pred in preds_of(bb):
+                        push(pred)
+
+    return DataflowResult(func, problem.direction, entry_states, exit_states)

@@ -17,7 +17,7 @@ from typing import Callable, Optional
 
 from .. import telemetry
 from .costs import cost_of
-from .isa import AImm, AInstr, ALabel, AMem, DReg, XReg
+from .isa import AImm, AInstr, AMem, DReg, XReg
 from .program import DATA_BASE, ArmProgram
 
 HEAP_BASE = 0x900000

@@ -7,6 +7,7 @@ lift        show the lifted (optionally refined) LIR of a mini-C program
 evaluate    run the Phoenix evaluation and print the §9 tables
 litmus      enumerate outcomes of a named litmus test under a model
 validate    fuzz-driven differential validation of the whole pipeline
+analyze     static analysis: escape/alias report, LIMM fencecheck linter
 stats       per-stage / per-pass telemetry breakdown for one program
 bench       write the BENCH_translate.json perf baseline
 
@@ -289,6 +290,64 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0 if report["clean"] else 1
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze_function, check_module
+    from .core import Lasagne
+    from .lir import Load, Store
+
+    source = _read_source(args.source)
+    if source is None:
+        return 2
+    lasagne = Lasagne(verify=not args.no_verify)
+    built = lasagne.build(source, args.config)
+    module = built.module
+
+    # With no mode flag, print every report.
+    all_modes = not (args.fencecheck or args.escape or args.aliases)
+
+    if args.escape or all_modes:
+        print(f"== escape analysis ({args.config}) ==")
+        for func in module.functions.values():
+            if func.is_declaration:
+                continue
+            alias = analyze_function(func, module)
+            objs = alias.stack_objects()
+            escaped = [o for o in objs if o.escaped]
+            print(f"{func.name}: {len(objs)} stack object(s), "
+                  f"{len(escaped)} escaped")
+            for obj in objs:
+                state = "escaped" if obj.escaped else "thread-local"
+                print(f"  alloca {obj.name}: {state}")
+
+    if args.aliases or all_modes:
+        print(f"== access classification ({args.config}) ==")
+        for func in module.functions.values():
+            if func.is_declaration:
+                continue
+            alias = analyze_function(func, module)
+            for bb in func.blocks:
+                for inst in bb.instructions:
+                    if isinstance(inst, (Load, Store)):
+                        what = inst.opcode
+                        print(f"  {func.name}:{bb.name}: {what} "
+                              f"{inst.pointer.short_name()} -> "
+                              f"{alias.describe(inst.pointer)}")
+
+    rc = 0
+    if args.fencecheck or all_modes:
+        print(f"== fencecheck ({args.config}) ==")
+        if args.config == "native":
+            print("  (native config carries no LIMM mapping obligations; "
+                  "checking anyway)")
+        diags = check_module(module)
+        for diag in diags:
+            print(f"  {diag}")
+        print(f"fencecheck: {len(diags)} violation(s)")
+        if diags:
+            rc = 1
+    return rc
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from . import telemetry
     from .core import Lasagne
@@ -343,7 +402,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     for config, summary in report["summary"].items():
         print(f"{config:>8}: {summary['translate_seconds_total'] * 1e3:8.1f} ms "
               f"translate, {summary['arm_instructions_total']:6d} Arm "
-              f"instructions, {summary['fences_total']:4d} fences")
+              f"instructions, {summary['fences_total']:4d} fences, "
+              f"{summary['fences_elided_total']:4d} elided "
+              f"({summary['fences_elided_beyond_walk_total']} beyond walk), "
+              f"{summary['fencecheck_violations_total']} fencecheck "
+              f"violation(s)")
     print(f"baseline written to {path}")
     return 0
 
@@ -409,6 +472,22 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--quiet", action="store_true")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser(
+        "analyze",
+        help="static analysis: escape report, access classification, "
+             "LIMM fencecheck linter (exit 1 on violations)")
+    p.add_argument("source")
+    p.add_argument("--config", default="ppopt",
+                   choices=["native", "lifted", "opt", "popt", "ppopt"])
+    p.add_argument("--fencecheck", action="store_true",
+                   help="only run the LIMM-mapping linter")
+    p.add_argument("--escape", action="store_true",
+                   help="only print the per-function escape report")
+    p.add_argument("--aliases", action="store_true",
+                   help="only print the per-access points-to classification")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_analyze)
 
     p = sub.add_parser(
         "stats",

@@ -57,6 +57,8 @@ class TranslationResult:
     program: ArmProgram
     fences: int = 0
     fences_naive: int = 0          # fences right after naive placement
+    fences_elided: int = 0         # accesses proven thread-local at placement
+    fences_elided_beyond_walk: int = 0  # of those, only via escape analysis
     pointer_casts_before: int = 0
     pointer_casts_after: int = 0
     pass_stats: Optional[PassStats] = None
@@ -151,7 +153,7 @@ class Lasagne:
                 self._capture(stages, "refine", module)
             casts_after = module_pointer_casts(module)
             with telemetry.span("place", category="stage"):
-                place_fences(module)
+                placement = place_fences(module)
             fences_naive = count_fences(module)
             self._capture(stages, "place", module)
             stats = None
@@ -172,6 +174,8 @@ class Lasagne:
             config, module, program,
             fences=count_fences(module),
             fences_naive=fences_naive,
+            fences_elided=placement.total_elided,
+            fences_elided_beyond_walk=placement.skipped_escape,
             pointer_casts_before=casts_before,
             pointer_casts_after=casts_after,
             pass_stats=stats,

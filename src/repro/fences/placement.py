@@ -7,12 +7,16 @@ For every non-atomic memory access the x86→LIMM mapping demands
 
 RMW and MFENCE were already lifted to ``RMWsc``/``Fsc`` by the translator.
 
-Step 1 (stack elision): before fencing an access, the pointer operand's
-use-def chain is walked through ``bitcast`` and ``getelementptr`` only; if
-it reaches a stack allocation the access is thread-local and needs no
-fence.  Before IR refinement the lifted stack is hidden behind
-``inttoptr`` chains, so this test fails and the access is conservatively
-fenced — the mechanism behind Figure 14.
+Step 1 (stack elision): before fencing an access, the access must be
+proven thread-local.  The fast path walks the pointer's use-def chain
+through ``bitcast`` and ``getelementptr`` only, looking for an alloca
+(:func:`is_stack_address`).  When the walk fails, the points-to/escape
+analysis of :mod:`repro.analysis.pointsto` decides: it follows provenance
+through ``phi``/``select``/integer arithmetic and knows which allocas
+escaped, so accesses the syntactic walk conservatively fenced (the exact
+pessimism Figure 14 measures) are elided when provably thread-local —
+and, conversely, an alloca leaked to a callee is *not* treated as local
+even though the walk reaches it.
 
 Step 2 (merging, §7 "fence merging"): within a basic block, fences
 separated only by instructions that cannot access memory merge into one
@@ -25,30 +29,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import telemetry
-from ..lir import (
-    Alloca,
-    Cast,
-    Fence,
-    Function,
-    GEP,
-    Instruction,
-    Load,
-    Module,
-    Store,
-    Value,
-)
+from ..lir import Alloca, Cast, Fence, GEP, Load, Module, Store, Value
 
 
-def is_stack_address(pointer: Value, _depth: int = 0) -> bool:
-    """Use-def walk through bitcast/gep looking for an alloca (§8 step 1)."""
-    if _depth > 64:
-        return False
-    if isinstance(pointer, Alloca):
-        return True
-    if isinstance(pointer, Cast) and pointer.op == "bitcast":
-        return is_stack_address(pointer.value, _depth + 1)
-    if isinstance(pointer, GEP):
-        return is_stack_address(pointer.pointer, _depth + 1)
+def is_stack_address(pointer: Value) -> bool:
+    """Use-def walk through bitcast/gep looking for an alloca (§8 step 1).
+
+    This is the syntactic fast path: no escape reasoning, no phi/select.
+    Iterative, so arbitrarily deep gep/bitcast chains resolve (the old
+    recursive form silently gave up past depth 64)."""
+    seen: set[int] = set()
+    value = pointer
+    while id(value) not in seen:
+        seen.add(id(value))
+        if isinstance(value, Alloca):
+            return True
+        if isinstance(value, Cast) and value.op == "bitcast":
+            value = value.value
+        elif isinstance(value, GEP):
+            value = value.pointer
+        else:
+            return False
     return False
 
 
@@ -57,34 +58,74 @@ class PlacementStats:
     loads_fenced: int = 0
     stores_fenced: int = 0
     skipped_stack: int = 0
-    merged_away: int = 0
+    skipped_escape: int = 0   # elided by escape analysis, beyond the walk
+    leaked_fenced: int = 0    # walk said stack, analysis says escaped
 
     @property
     def total_inserted(self) -> int:
         return self.loads_fenced + self.stores_fenced
 
+    @property
+    def total_elided(self) -> int:
+        return self.skipped_stack + self.skipped_escape
 
-def place_fences(module: Module) -> PlacementStats:
+
+def _thread_locality(pointer: Value, alias) -> str:
+    """Classify an access address: ``"stack"`` (syntactic walk suffices),
+    ``"escape"`` (only the points-to analysis proves it local),
+    ``"leaked"`` (the walk reaches an alloca but it escaped — must fence)
+    or ``"shared"``."""
+    walk_hit = is_stack_address(pointer)
+    if alias is None:
+        return "stack" if walk_hit else "shared"
+    if alias.is_thread_local(pointer):
+        return "stack" if walk_hit else "escape"
+    return "leaked" if walk_hit else "shared"
+
+
+def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
     """Insert Frm/Fww fences per the Fig. 8a mapping.  Idempotent per call
-    (expects a module that has not been fence-placed yet)."""
+    (expects a module that has not been fence-placed yet).
+
+    With ``use_analysis`` (the default) thread-locality is decided by the
+    escape analysis, with :func:`is_stack_address` kept as the fast-path
+    label; pass ``False`` for the seed behaviour (syntactic walk only)."""
+    from ..analysis import analyze_function
+
     stats = PlacementStats()
     emit = telemetry.remarks_enabled()
+
+    def skip_remark(func, bb, inst, what: str, how: str) -> None:
+        if not emit:
+            return
+        reason = (
+            "use-def chain reaches an alloca" if how == "stack"
+            else "escape analysis proves the address thread-local")
+        telemetry.remark(
+            "place-fences", "fence-skipped",
+            f"non-atomic {what} is thread-local ({reason}); "
+            "no fence needed",
+            function=func.name, block=bb.name,
+            instruction=f"{what} {inst.pointer.short_name()}",
+            via=how)
+
     for func in module.functions.values():
         if func.is_declaration:
             continue
+        alias = analyze_function(func, module) if use_analysis else None
         for bb in func.blocks:
             for inst in list(bb.instructions):
                 if isinstance(inst, Load) and inst.ordering == "na":
-                    if is_stack_address(inst.pointer):
-                        stats.skipped_stack += 1
-                        if emit:
-                            telemetry.remark(
-                                "place-fences", "fence-skipped",
-                                "non-atomic load is stack-local (use-def "
-                                "chain reaches an alloca); no fence needed",
-                                function=func.name, block=bb.name,
-                                instruction=f"load {inst.pointer.short_name()}")
+                    local = _thread_locality(inst.pointer, alias)
+                    if local in ("stack", "escape"):
+                        if local == "stack":
+                            stats.skipped_stack += 1
+                        else:
+                            stats.skipped_escape += 1
+                        skip_remark(func, bb, inst, "load", local)
                         continue
+                    if local == "leaked":
+                        stats.leaked_fenced += 1
                     fence = Fence("rm")
                     bb.insert_after(inst, fence)
                     stats.loads_fenced += 1
@@ -97,16 +138,16 @@ def place_fences(module: Module) -> PlacementStats:
                             instruction=f"load {inst.pointer.short_name()}",
                             fence="rm")
                 elif isinstance(inst, Store) and inst.ordering == "na":
-                    if is_stack_address(inst.pointer):
-                        stats.skipped_stack += 1
-                        if emit:
-                            telemetry.remark(
-                                "place-fences", "fence-skipped",
-                                "non-atomic store is stack-local (use-def "
-                                "chain reaches an alloca); no fence needed",
-                                function=func.name, block=bb.name,
-                                instruction=f"store {inst.pointer.short_name()}")
+                    local = _thread_locality(inst.pointer, alias)
+                    if local in ("stack", "escape"):
+                        if local == "stack":
+                            stats.skipped_stack += 1
+                        else:
+                            stats.skipped_escape += 1
+                        skip_remark(func, bb, inst, "store", local)
                         continue
+                    if local == "leaked":
+                        stats.leaked_fenced += 1
                     fence = Fence("ww")
                     bb.insert_before(inst, fence)
                     stats.stores_fenced += 1
@@ -121,6 +162,9 @@ def place_fences(module: Module) -> PlacementStats:
     telemetry.count("fences.inserted", stats.loads_fenced, kind="rm")
     telemetry.count("fences.inserted", stats.stores_fenced, kind="ww")
     telemetry.count("fences.skipped_stack", stats.skipped_stack)
+    telemetry.count("fences.skipped_escape", stats.skipped_escape)
+    if stats.leaked_fenced:
+        telemetry.count("fences.leaked_fenced", stats.leaked_fenced)
     return stats
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..x86.isa import Imm, Instr, is_branch, is_terminator
+from ..x86.isa import Imm, Instr, is_branch
 
 
 class CFGError(Exception):

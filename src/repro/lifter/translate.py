@@ -37,7 +37,6 @@ from ..lir import (
     I64,
     ArrayType,
     BasicBlock,
-    Cast,
     ConstantFloat,
     ConstantInt,
     ConstantVector,
@@ -47,7 +46,6 @@ from ..lir import (
     IRBuilder,
     IntType,
     Module,
-    PointerType,
     Value,
     VectorType,
     VOID,

@@ -20,7 +20,7 @@ come before all SSE parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..x86.isa import CC_NUM, Imm, Instr, Mem, Reg
 from ..x86.objfile import X86Object

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .function import BasicBlock, Function
+from .function import BasicBlock
 from .instructions import (
     GEP,
     Alloca,

@@ -29,7 +29,6 @@ from .instructions import (
     Instruction,
     Load,
     Phi,
-    Ret,
     Select,
     Store,
     Unreachable,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional
 
 from .instructions import Br, Instruction, Phi
-from .types import FunctionType, PointerType, Type
+from .types import FunctionType, PointerType
 from .values import Argument, ExternalFunction, GlobalValue, GlobalVariable, Value
 
 

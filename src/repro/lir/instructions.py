@@ -21,18 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional, Sequence
 
-from .types import (
-    I1,
-    I64,
-    ArrayType,
-    FunctionType,
-    IntType,
-    PointerType,
-    Type,
-    VectorType,
-    VoidType,
-    VOID,
-)
+from .types import I1, ArrayType, FunctionType, PointerType, Type, VectorType, VOID
 from .values import ExternalFunction, Value
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -14,13 +14,18 @@ from __future__ import annotations
 from .dominators import DominatorTree
 from .function import BasicBlock, Function, Module
 from .instructions import (
+    FENCE_KINDS,
+    AtomicRMW,
     Br,
     Call,
     Cast,
+    CmpXchg,
+    Fence,
     Instruction,
     Load,
     Phi,
     Ret,
+    Select,
     Store,
 )
 from .types import IntType, PointerType
@@ -103,17 +108,54 @@ def _check_types(func: Function) -> None:
         for inst in bb.instructions:
             if isinstance(inst, Load):
                 pt = inst.pointer.type
-                if not isinstance(pt, PointerType) or pt.pointee != inst.type:
+                if not isinstance(pt, PointerType):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: load address must be a "
+                        f"pointer, got {pt}"
+                    )
+                if pt.pointee != inst.type:
                     raise VerificationError(
                         f"{func.name}/{bb.name}: load type mismatch "
                         f"({inst.type} from {pt})"
                     )
             elif isinstance(inst, Store):
                 pt = inst.pointer.type
-                if not isinstance(pt, PointerType) or pt.pointee != inst.value.type:
+                if not isinstance(pt, PointerType):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: store address must be a "
+                        f"pointer, got {pt}"
+                    )
+                if pt.pointee != inst.value.type:
                     raise VerificationError(
                         f"{func.name}/{bb.name}: store type mismatch "
                         f"({inst.value.type} into {pt})"
+                    )
+            elif isinstance(inst, (AtomicRMW, CmpXchg)):
+                pt = inst.pointer.type
+                if not isinstance(pt, PointerType):
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: {inst.opcode} address must "
+                        f"be a pointer, got {pt}"
+                    )
+                stored = (inst.value.type if isinstance(inst, AtomicRMW)
+                          else inst.new.type)
+                if pt.pointee != stored:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: {inst.opcode} operand type "
+                        f"{stored} does not match pointee of {pt}"
+                    )
+            elif isinstance(inst, Fence):
+                if inst.kind not in FENCE_KINDS:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: unknown fence kind "
+                        f"{inst.kind!r} (want one of {sorted(FENCE_KINDS)})"
+                    )
+            elif isinstance(inst, Select):
+                if inst.true_value.type != inst.false_value.type:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: select arms have mismatched "
+                        f"types ({inst.true_value.type} vs "
+                        f"{inst.false_value.type})"
                     )
             elif isinstance(inst, Cast):
                 _check_cast(func, bb, inst)

@@ -27,7 +27,7 @@ checker API evaluates it under a model.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from .axioms import outcomes

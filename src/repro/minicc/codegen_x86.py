@@ -28,7 +28,6 @@ from .astnodes import (
     Continue,
     CType,
     Decl,
-    DOUBLE,
     Expr,
     ExprStmt,
     FloatLit,
@@ -38,7 +37,6 @@ from .astnodes import (
     Index,
     INT,
     IntLit,
-    Program,
     Return,
     Stmt,
     StringLit,
@@ -46,7 +44,7 @@ from .astnodes import (
     VarRef,
     While,
 )
-from .sema import BUILTINS, SemaError, SemaResult, analyze
+from .sema import SemaResult, analyze
 from .parser import parse
 
 # mini-C builtin -> runtime external symbol

@@ -31,7 +31,6 @@ from ..lir import (
     IRBuilder,
     ArrayType,
     Module,
-    PointerType,
     Type,
     Value,
     VOID,

@@ -93,8 +93,8 @@ class Parser:
         program = Program()
         while not self.check("eof"):
             start = self.pos
-            ctype = self.parse_type()
-            name = self.expect("ident").text
+            self.parse_type()           # lookahead only: advance past type
+            self.expect("ident")        # ... and name, to see what follows
             if self.check("op", "("):
                 self.pos = start
                 program.functions.append(self.parse_function())

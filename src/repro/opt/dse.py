@@ -2,20 +2,26 @@
 
 A non-atomic store is dead when a later store in the same block overwrites
 the same pointer SSA value before any possible read.  Per Figure 11b's
-F-WAW rule, the kill may cross ``Frm``/``Fww`` fences but not ``Fsc``;
-loads, calls and atomics in between block the elimination (no alias
-analysis beyond pointer identity, so any read might alias).
+F-WAW rule, the kill may cross ``Frm``/``Fww`` fences but not ``Fsc``.
+
+Whether an intervening instruction is a "possible read" is decided by the
+points-to analysis (:mod:`repro.analysis.pointsto`): loads of provably
+non-aliasing pointers and calls that cannot reach the stored object keep
+the pending store dead.  Atomics act as ``Fsc``-strength ordering for any
+shared pending store, on top of their read/write effects.
 """
 
 from __future__ import annotations
 
-from ..lir import Fence, Function, Load, Store
+from ..analysis import analyze_function
+from ..lir import AtomicRMW, Call, CmpXchg, Fence, Function, Load, Store
 
 _WAW_FENCES = {"rm", "ww"}
 
 
 def run_dse(func: Function) -> bool:
     changed = False
+    alias = analyze_function(func)
     for bb in func.blocks:
         # pending[ptr id] = (store inst, fence kinds crossed since)
         pending: dict[int, tuple[Store, set[str]]] = {}
@@ -34,8 +40,39 @@ def run_dse(func: Function) -> bool:
                         changed = True
                 pending[key] = (inst, set())
                 continue
-            if isinstance(inst, Load) or inst.may_read_memory() or (
-                inst.may_write_memory()
-            ):
+            if isinstance(inst, Load):
+                doomed = [
+                    key for key, (st, _) in pending.items()
+                    if alias.may_alias(inst.pointer, st.pointer)
+                ]
+                for key in doomed:
+                    del pending[key]
+                continue
+            if isinstance(inst, (Store, AtomicRMW, CmpXchg)):
+                # sc store / atomic: reads and/or writes its own location,
+                # orders like Fsc for every shared pending store.
+                doomed = [
+                    key for key, (st, _) in pending.items()
+                    if alias.may_alias(inst.pointer, st.pointer)
+                ]
+                for key in doomed:
+                    del pending[key]
+                for key, (st, crossed) in pending.items():
+                    if not alias.is_thread_local(st.pointer):
+                        crossed.add("sc")
+                continue
+            if isinstance(inst, Call):
+                if inst.is_readnone_callee():
+                    continue
+                # Pending stores the callee cannot reach stay dead; its
+                # internal fences cannot observe thread-local memory.
+                doomed = [
+                    key for key, (st, _) in pending.items()
+                    if alias.call_may_access(inst, st.pointer)
+                ]
+                for key in doomed:
+                    del pending[key]
+                continue
+            if inst.may_read_memory() or inst.may_write_memory():
                 pending.clear()
     return changed

@@ -6,20 +6,27 @@ replaced by the earlier value.
 
 Load elimination implements the RAR/RAW rules of Figure 11b: a non-atomic
 load can reuse the value of an earlier load of / store to the *same pointer
-SSA value* in the same block, provided nothing in between may write memory,
-and any fences in between are of the kinds the LIMM elimination table
-permits (``Frm``/``Fww`` for read-after-read, ``Fsc``/``Fww`` for
-read-after-write).  Atomic accesses are never touched.
+SSA value* in the same block, provided nothing in between may write the
+loaded memory, and any fences in between are of the kinds the LIMM
+elimination table permits (``Frm``/``Fww`` for read-after-read,
+``Fsc``/``Fww`` for read-after-write).  Atomic accesses are never touched.
+
+Whether an intervening store or call "may write the loaded memory" is
+answered by the points-to analysis (:mod:`repro.analysis.pointsto`):
+stores to provably non-aliasing pointers and calls that cannot reach the
+loaded object keep the forwarding candidate alive.
 """
 
 from __future__ import annotations
 
-from typing import Optional
 
+from ..analysis import analyze_function
 from ..lir import (
+    AtomicRMW,
     BinOp,
     Call,
     Cast,
+    CmpXchg,
     FCmp,
     Fence,
     Function,
@@ -77,12 +84,29 @@ def _expr_key(inst: Instruction):
     return None
 
 
-def _forward_loads_in_block(bb) -> bool:
+def _forward_loads_in_block(bb, alias=None) -> bool:
     """Block-local RAR/RAW forwarding honouring the LIMM fence table."""
     changed = False
-    # available: pointer id -> (kind, value) where kind is 'load'/'store'
-    available: dict[int, tuple[str, Value]] = {}
+    # available: pointer id -> (kind, value, pointer), kind 'load'/'store'
+    available: dict[int, tuple[str, Value, Value]] = {}
     fences_since: dict[int, set[str]] = {}
+
+    def invalidate(writer) -> None:
+        """Drop entries the instruction may overwrite."""
+        if alias is None:
+            available.clear()
+            fences_since.clear()
+            return
+        if isinstance(writer, Call):
+            doomed = [k for k, (_, _, ptr) in available.items()
+                      if alias.call_may_access(writer, ptr)]
+        else:
+            doomed = [k for k, (_, _, ptr) in available.items()
+                      if alias.may_alias(writer.pointer, ptr)]
+        for k in doomed:
+            del available[k]
+            fences_since.pop(k, None)
+
     for inst in list(bb.instructions):
         if isinstance(inst, Fence):
             for fs in fences_since.values():
@@ -92,7 +116,7 @@ def _forward_loads_in_block(bb) -> bool:
             key = id(inst.pointer)
             entry = available.get(key)
             if entry is not None:
-                kind, value = entry
+                kind, value, _ptr = entry
                 crossed = fences_since.get(key, set())
                 allowed = _RAR_FENCES if kind == "load" else _RAW_FENCES
                 if crossed <= allowed and value.type == inst.type:
@@ -100,16 +124,33 @@ def _forward_loads_in_block(bb) -> bool:
                     inst.erase_from_parent()
                     changed = True
                     continue
-            available[key] = ("load", inst)
+            available[key] = ("load", inst, inst.pointer)
             fences_since[key] = set()
             continue
         if isinstance(inst, Store) and inst.ordering == "na":
-            # A store invalidates everything (no alias analysis beyond
-            # pointer identity), then makes its own value available.
-            available = {id(inst.pointer): ("store", inst.value)}
-            fences_since = {id(inst.pointer): set()}
+            # Kill only what the store may overwrite, then make its own
+            # value available.
+            invalidate(inst)
+            available[id(inst.pointer)] = ("store", inst.value, inst.pointer)
+            fences_since[id(inst.pointer)] = set()
             continue
-        if inst.may_write_memory() or isinstance(inst, Call):
+        if isinstance(inst, (Store, AtomicRMW, CmpXchg)):
+            invalidate(inst)
+            # The access itself orders like an sc fence for every shared
+            # entry that survives (sc stores / atomics); record that so
+            # the Fig. 11b tables veto forwarding shared values across
+            # it.  Thread-local entries cannot be observed, so they pass.
+            for key, (_, _, ptr) in available.items():
+                if alias is None or not alias.is_thread_local(ptr):
+                    fences_since.setdefault(key, set()).add("sc")
+            continue
+        if isinstance(inst, Call):
+            # Entries that survive a call are thread-local (the callee
+            # cannot reach them), so its internal fences are unobservable.
+            if not inst.is_readnone_callee():
+                invalidate(inst)
+            continue
+        if inst.may_write_memory():
             available.clear()
             fences_since.clear()
     return changed
@@ -151,8 +192,9 @@ def run_gvn(func: Function) -> bool:
             if not replaced:
                 candidates.append((inst, None))
 
+    alias = analyze_function(func)
     for bb in func.blocks:
-        changed |= _forward_loads_in_block(bb)
+        changed |= _forward_loads_in_block(bb, alias)
     for bb in func.blocks:
         for inst in reversed(list(bb.instructions)):
             changed |= erase_if_trivially_dead(inst)

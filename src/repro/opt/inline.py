@@ -16,7 +16,6 @@ from ..lir import (
     Br,
     Call,
     Function,
-    Instruction,
     Module,
     Phi,
     Ret,

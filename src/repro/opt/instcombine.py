@@ -24,7 +24,7 @@ from ..lir import (
     Value,
 )
 from ..lir.interp import _binop_apply, _fcmp_apply, _icmp_apply, _signed
-from ..lir.types import FloatType, I1, PointerType
+from ..lir.types import FloatType, I1
 from .utils import erase_if_trivially_dead, simplify_trivial_phis
 
 _ASSOCIATIVE = {"add", "mul", "and", "or", "xor"}

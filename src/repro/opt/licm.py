@@ -3,14 +3,32 @@
 Natural loops are found from dominator-tree back edges.  Pure instructions
 whose operands are defined outside the loop hoist to a preheader.  A
 non-atomic load additionally hoists when its pointer is loop-invariant and
-the loop body contains no store, call, fence or atomic (the conservative
-end of what LIMM permits — reordering a load past arbitrary code is only
-safe when nothing in between may order or alias it).
+either (a) the loop body contains no store, call, fence or atomic — the
+conservative seed rule — or (b) the load is provably *thread-local* (per
+:mod:`repro.analysis.pointsto`) and nothing in the loop may write the
+loaded memory: no other thread can observe a thread-local access, so the
+loop's fences and atomics are transparent to it, and the may-write check
+covers the rest.  Case (b) additionally requires the load's block to
+dominate the back edge so the hoisted load is executed on a path the
+original was.
 """
 
 from __future__ import annotations
 
-from ..lir import BasicBlock, Br, Fence, Function, Instruction, Load, Phi
+from ..analysis import analyze_function
+from ..lir import (
+    AtomicRMW,
+    BasicBlock,
+    Br,
+    Call,
+    CmpXchg,
+    Fence,
+    Function,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+)
 from ..lir.dominators import DominatorTree
 from .utils import is_pure
 
@@ -59,6 +77,7 @@ def _ensure_preheader(func: Function, head: BasicBlock, loop: set[int]) -> Basic
 def run_licm(func: Function) -> bool:
     changed = False
     dt = DominatorTree(func)
+    alias = analyze_function(func)
     for tail, head in dt.back_edges():
         loop = dt.natural_loop(tail, head)
         loop_blocks = [bb for bb in func.blocks if id(bb) in loop]
@@ -70,6 +89,19 @@ def run_licm(func: Function) -> bool:
             for bb in loop_blocks
             for i in bb.instructions
         )
+        loop_writers = [
+            i for bb in loop_blocks for i in bb.instructions
+            if isinstance(i, (Store, AtomicRMW, CmpXchg, Call))
+        ]
+
+        def may_clobber(load: Load) -> bool:
+            for writer in loop_writers:
+                if isinstance(writer, Call):
+                    if alias.call_may_access(writer, load.pointer):
+                        return True
+                elif alias.may_alias(writer.pointer, load.pointer):
+                    return True
+            return False
 
         def invariant(inst: Instruction) -> bool:
             return all(
@@ -89,10 +121,16 @@ def run_licm(func: Function) -> bool:
                         not hoistable
                         and isinstance(inst, Load)
                         and inst.ordering == "na"
-                        and not has_memory_effects
                         and invariant(inst)
                     ):
-                        hoistable = True
+                        if not has_memory_effects:
+                            hoistable = True
+                        elif (
+                            alias.is_thread_local(inst.pointer)
+                            and not may_clobber(inst)
+                            and dt.dominates(bb, tail)
+                        ):
+                            hoistable = True
                     if not hoistable:
                         continue
                     if preheader is None:

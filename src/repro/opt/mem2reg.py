@@ -18,7 +18,6 @@ from ..lir import (
     ConstantInt,
     ConstantPointerNull,
     Function,
-    Instruction,
     Load,
     Phi,
     Store,

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from ..lir import Br, ConstantInt, Function, Phi
+from ..lir import Br, ConstantInt, Function
 from .utils import remove_unreachable_blocks, simplify_trivial_phis
 
 

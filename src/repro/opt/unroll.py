@@ -21,17 +21,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..lir import (
-    BasicBlock,
-    BinOp,
-    Br,
-    ConstantInt,
-    Function,
-    ICmp,
-    Instruction,
-    Phi,
-    Value,
-)
+from ..lir import BasicBlock, BinOp, Br, ConstantInt, Function, ICmp, Phi, Value
 from ..lir.clone import clone_instruction
 from ..lir.dominators import DominatorTree
 from .utils import remove_unreachable_blocks, simplify_trivial_phis

@@ -2,22 +2,7 @@
 
 from __future__ import annotations
 
-from ..lir import (
-    BasicBlock,
-    Br,
-    Call,
-    Cast,
-    ConstantInt,
-    Fence,
-    Function,
-    Instruction,
-    Load,
-    Phi,
-    Store,
-    UndefValue,
-    Value,
-)
-from ..lir.dominators import DominatorTree
+from ..lir import Function, Instruction, Load, Phi, UndefValue
 
 
 def reachable_blocks(func: Function) -> set[int]:

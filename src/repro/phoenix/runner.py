@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from .. import telemetry
-from ..core.pipeline import CONFIGS, Lasagne, RunResult, TranslationResult
+from ..core.pipeline import CONFIGS, Lasagne
 from ..minicc.codegen_x86 import compile_to_x86
 from ..x86.emulator import X86Emulator
 from .programs import PhoenixProgram, all_programs

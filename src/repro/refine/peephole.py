@@ -36,7 +36,6 @@ from ..lir import (
     GEP,
     I8,
     IntType,
-    PointerType,
     Value,
     ptr,
 )

@@ -17,7 +17,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -41,12 +41,20 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 built = lasagne.build(program.source, config)
                 times.append(perf_counter() - start)
             times.sort()
+            fencecheck_violations = 0
+            if config != "native":
+                from ..analysis import check_module
+
+                fencecheck_violations = len(check_module(built.module))
             per_config[config] = {
                 "translate_seconds": round(times[len(times) // 2], 6),
                 "arm_instructions": built.arm_instructions,
                 "lir_instructions": built.lir_instructions,
                 "fences": built.fences,
                 "fences_naive": built.fences_naive,
+                "fences_elided": built.fences_elided,
+                "fences_elided_beyond_walk": built.fences_elided_beyond_walk,
+                "fencecheck_violations": fencecheck_violations,
             }
         programs[program.name] = per_config
 
@@ -58,6 +66,11 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 sum(r["translate_seconds"] for r in rows), 6),
             "arm_instructions_total": sum(r["arm_instructions"] for r in rows),
             "fences_total": sum(r["fences"] for r in rows),
+            "fences_elided_total": sum(r["fences_elided"] for r in rows),
+            "fences_elided_beyond_walk_total": sum(
+                r["fences_elided_beyond_walk"] for r in rows),
+            "fencecheck_violations_total": sum(
+                r["fencecheck_violations"] for r in rows),
         }
     return {
         "version": BENCH_VERSION,

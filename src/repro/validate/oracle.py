@@ -22,6 +22,12 @@ retired memory side effects).  The first rung that disagrees with the
 reference classifies the divergence by pipeline stage — e.g. if
 ``interp:lift`` agrees but ``interp:opt`` does not, the bug was introduced
 by the optimizer, not the lifter or the backend.
+
+On top of the execution rungs, a *static* rung runs the fencecheck linter
+(:mod:`repro.analysis.fencecheck`) over the fence-placed, optimized and
+merged modules: any stage whose output no longer discharges the Fig. 8a
+LIMM obligations is reported as a ``fencecheck``-kind divergence, even if
+no execution happened to observe the weakened ordering.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..analysis import check_module
 from ..arm.emulator import ArmEmulator
 from ..core import Lasagne
 from ..lir import Interpreter, Module
@@ -47,6 +54,7 @@ class OracleOptions:
     arm_configs: tuple[str, ...] = ARM_CONFIGS
     max_steps: int = 5_000_000   # per-rung retirement budget
     compare_globals: bool = True
+    fencecheck: bool = True      # static LIMM-obligation rung
 
 
 @dataclass
@@ -197,7 +205,8 @@ def options_for_signature(signature: str,
         return base
     return OracleOptions(
         verify=base.verify, include_native=False, arm_configs=(),
-        max_steps=base.max_steps, compare_globals=base.compare_globals)
+        max_steps=base.max_steps, compare_globals=base.compare_globals,
+        fencecheck=base.fencecheck)
 
 
 def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
@@ -289,4 +298,30 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
         divergence = _compare(reference, rung)
         if divergence is not None:
             return Verdict(False, divergence, rungs)
+
+    # Static rung: the LIMM obligations must survive opt and merging.
+    if opts.fencecheck:
+        for stage in ("place", "opt", "merge"):
+            module = staged.get(stage)
+            if module is None:
+                continue
+            name = f"fencecheck:{stage}"
+            rung = RungResult(name, stage)
+            try:
+                diags = check_module(module)
+            except Exception as exc:  # noqa: BLE001
+                rung.error = f"{type(exc).__name__}: {exc}"
+                rungs.append(rung)
+                return Verdict(False, Divergence(
+                    stage, name, "crash", rung.error), rungs)
+            rung.retired = len(diags)
+            rungs.append(rung)
+            if diags:
+                detail = "; ".join(str(d) for d in diags[:3])
+                if len(diags) > 3:
+                    detail += f" (+{len(diags) - 3} more)"
+                return Verdict(False, Divergence(
+                    stage, name, "fencecheck",
+                    f"{len(diags)} undischarged LIMM obligation(s): {detail}",
+                ), rungs)
     return Verdict(True, None, rungs)

@@ -18,7 +18,7 @@ is never larger than the input.
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from ..minicc.astnodes import (
@@ -31,7 +31,6 @@ from ..minicc.astnodes import (
     Expr,
     ExprStmt,
     For,
-    FuncDef,
     If,
     Index,
     IntLit,

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Union
 
 from .encoder import encode
-from .isa import Imm, Instr, Label, Mem, Reg
+from .isa import Imm, Instr, Label
 from .objfile import (
     DATA_BASE,
     STUB_BASE,

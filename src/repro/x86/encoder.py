@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import struct
 
-from .isa import CC_NUM, Imm, Instr, Label, Mem, Operand, Reg
+from .isa import CC_NUM, Imm, Instr, Mem, Operand, Reg
 from .registers import reg_info
 
 

@@ -1,0 +1,145 @@
+"""Tests for the generic worklist dataflow engine (repro.analysis.dataflow)."""
+
+from repro.analysis import BACKWARD, FORWARD, DataflowProblem, run_dataflow
+from repro.lir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+)
+
+
+def diamond():
+    """entry -> (then | else) -> join, with a ret in join."""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)), ["x"])
+    m.add_function(f)
+    entry = f.new_block("entry")
+    then = f.new_block("then")
+    els = f.new_block("else")
+    join = f.new_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+    b.cond_br(cond, then, els)
+    IRBuilder(then).br(join)
+    IRBuilder(els).br(join)
+    IRBuilder(join).ret(ConstantInt(I64, 0))
+    return f, entry, then, els, join
+
+
+def loop():
+    """entry -> head -> body -> head (back edge), head -> exit."""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)), ["x"])
+    m.add_function(f)
+    entry = f.new_block("entry")
+    head = f.new_block("head")
+    body = f.new_block("body")
+    exit_ = f.new_block("exit")
+    IRBuilder(entry).br(head)
+    bh = IRBuilder(head)
+    cond = bh.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+    bh.cond_br(cond, body, exit_)
+    IRBuilder(body).br(head)
+    IRBuilder(exit_).ret(ConstantInt(I64, 0))
+    return f, entry, head, body, exit_
+
+
+class _ReachingBlocks(DataflowProblem):
+    """Forward may-analysis: the set of block names on some path to here."""
+
+    direction = FORWARD
+
+    def top(self, func):
+        return frozenset()
+
+    def boundary(self, func):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, block, state):
+        return state | {block.name}
+
+
+class _ReachableExits(DataflowProblem):
+    """Backward must-analysis over names of blocks on every path onward."""
+
+    direction = BACKWARD
+
+    def top(self, func):
+        return None  # None = "not yet computed" top element
+
+    def boundary(self, func):
+        return frozenset()
+
+    def join(self, a, b):
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a & b
+
+    def transfer(self, block, state):
+        base = state if state is not None else frozenset()
+        return base | {block.name}
+
+
+class TestForward:
+    def test_diamond_joins_both_arms(self):
+        f, entry, then, els, join = diamond()
+        res = run_dataflow(f, _ReachingBlocks())
+        assert res.block_in(entry) == frozenset()
+        assert res.block_out(entry) == {"entry"}
+        assert res.block_in(then) == {"entry"}
+        assert res.block_in(join) == {"entry", "then", "else"}
+        assert "join" in res.block_out(join)
+
+    def test_loop_reaches_fixpoint(self):
+        f, entry, head, body, exit_ = loop()
+        res = run_dataflow(f, _ReachingBlocks())
+        # The back edge feeds body's facts around to head.
+        assert res.block_in(head) == {"entry", "head", "body"}
+        assert res.block_in(exit_) == {"entry", "head", "body"}
+
+
+class TestBackward:
+    def test_diamond_intersects_arms(self):
+        f, entry, then, els, join = diamond()
+        res = run_dataflow(f, _ReachableExits())
+        # From entry's exit, both arms are possible: only what is on
+        # EVERY path onward survives the intersection join.
+        assert res.block_out(entry) == {"join"}
+        assert res.block_in(entry) == {"entry", "join"}
+        assert res.block_out(join) == frozenset()
+
+    def test_loop_backward(self):
+        f, entry, head, body, exit_ = loop()
+        res = run_dataflow(f, _ReachableExits())
+        assert "exit" not in res.block_out(exit_)
+        assert "head" in res.block_in(body)       # body always re-enters head
+        assert res.block_out(head) <= {"head", "body", "exit"}
+
+
+class TestEngineBehaviour:
+    def test_single_block(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, ()), [])
+        m.add_function(f)
+        IRBuilder(f.new_block("entry")).ret(ConstantInt(I64, 0))
+        res = run_dataflow(f, _ReachingBlocks())
+        assert res.block_out(f.entry) == {"entry"}
+
+    def test_unreachable_block_stays_top(self):
+        f, entry, head, body, exit_ = loop()
+        dead = f.new_block("dead")
+        IRBuilder(dead).ret(ConstantInt(I64, 1))
+        res = run_dataflow(f, _ReachingBlocks())
+        # Never scheduled: keeps the optimistic initial state.
+        assert res.block_in(dead) == frozenset()
+        assert res.block_out(dead) == frozenset()
+        # Reachable blocks are unaffected by the dead one.
+        assert res.block_in(exit_) == {"entry", "head", "body"}

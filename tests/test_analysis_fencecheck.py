@@ -1,0 +1,184 @@
+"""Tests for the LIMM-mapping linter (repro.analysis.fencecheck)."""
+
+from repro.analysis import check_function, check_module
+from repro.lir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I64,
+    IRBuilder,
+    Module,
+)
+
+
+def new_func(name="f"):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, ()), [])
+    m.add_function(f)
+    g = GlobalVariable("g", I64)
+    m.globals["g"] = g
+    return m, f, g, IRBuilder(f.new_block("entry"))
+
+
+class TestLoadObligation:
+    def test_load_followed_by_frm_is_clean(self):
+        m, f, g, b = new_func()
+        v = b.load(g, name="v")
+        b.fence("rm")
+        b.ret(v)
+        assert check_module(m) == []
+
+    def test_load_followed_by_fsc_is_clean(self):
+        m, f, g, b = new_func()
+        v = b.load(g, name="v")
+        b.fence("sc")
+        b.ret(v)
+        assert check_module(m) == []
+
+    def test_unfenced_load_is_flagged(self):
+        m, f, g, b = new_func()
+        v = b.load(g, name="v")
+        b.ret(v)
+        diags = check_module(m)
+        assert len(diags) == 1
+        assert diags[0].kind == "missing-frm"
+        assert diags[0].function == "f"
+        assert diags[0].block == "entry"
+        assert "load" in diags[0].instruction
+
+    def test_fww_does_not_discharge_load(self):
+        m, f, g, b = new_func()
+        v = b.load(g, name="v")
+        b.fence("ww")
+        b.ret(v)
+        assert [d.kind for d in check_module(m)] == ["missing-frm"]
+
+    def test_memory_access_before_fence_is_flagged(self):
+        """The fence must come before the NEXT access, not just anywhere."""
+        m, f, g, b = new_func()
+        v = b.load(g, name="v")
+        b.store(ConstantInt(I64, 1), g)   # intervening access
+        b.fence("sc")
+        b.ret(v)
+        kinds = [d.kind for d in check_module(m)]
+        assert "missing-frm" in kinds
+
+    def test_sc_load_needs_no_fence(self):
+        m, f, g, b = new_func()
+        v = b.load(g, ordering="sc", name="v")
+        b.ret(v)
+        assert check_module(m) == []
+
+    def test_thread_local_load_exempt(self):
+        m, f, g, b = new_func()
+        a = b.alloca(I64, "a")
+        v = b.load(a, name="v")
+        b.ret(v)
+        assert check_module(m) == []
+
+
+class TestStoreObligation:
+    def test_store_preceded_by_fww_is_clean(self):
+        m, f, g, b = new_func()
+        b.fence("ww")
+        b.store(ConstantInt(I64, 1), g)
+        b.ret(ConstantInt(I64, 0))
+        assert check_module(m) == []
+
+    def test_unfenced_store_is_flagged(self):
+        m, f, g, b = new_func()
+        b.store(ConstantInt(I64, 1), g)
+        b.ret(ConstantInt(I64, 0))
+        assert [d.kind for d in check_module(m)] == ["missing-fww"]
+
+    def test_fence_on_wrong_side_is_flagged(self):
+        m, f, g, b = new_func()
+        b.store(ConstantInt(I64, 1), g)
+        b.fence("ww")
+        b.ret(ConstantInt(I64, 0))
+        assert [d.kind for d in check_module(m)] == ["missing-fww"]
+
+    def test_frm_does_not_discharge_store(self):
+        m, f, g, b = new_func()
+        b.fence("rm")
+        b.store(ConstantInt(I64, 1), g)
+        b.ret(ConstantInt(I64, 0))
+        assert [d.kind for d in check_module(m)] == ["missing-fww"]
+
+
+class TestCrossBlock:
+    def test_fence_available_across_block_edge(self):
+        """ld at the end of one block, Frm at the start of the next."""
+        m, f, g, b = new_func()
+        nxt = f.new_block("next")
+        v = b.load(g, name="v")
+        b.br(nxt)
+        bn = IRBuilder(nxt)
+        bn.fence("rm")
+        bn.ret(v)
+        assert check_module(m) == []
+
+    def test_fence_on_only_one_successor_is_flagged(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        g = GlobalVariable("g", I64)
+        m.globals["g"] = g
+        entry = f.new_block("entry")
+        yes = f.new_block("yes")
+        no = f.new_block("no")
+        b = IRBuilder(entry)
+        v = b.load(g, name="v")
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        b.cond_br(cond, yes, no)
+        by = IRBuilder(yes)
+        by.fence("rm")
+        by.ret(v)
+        IRBuilder(no).ret(v)              # no fence on this path
+        assert [d.kind for d in check_module(m)] == ["missing-frm"]
+
+    def test_store_fence_from_predecessor(self):
+        m, f, g, b = new_func()
+        nxt = f.new_block("next")
+        b.fence("ww")
+        b.br(nxt)
+        bn = IRBuilder(nxt)
+        bn.store(ConstantInt(I64, 1), g)
+        bn.fence("rm")  # irrelevant kind, exercises the accumulate path
+        bn.ret(ConstantInt(I64, 0))
+        assert check_module(m) == []
+
+
+class TestAtomics:
+    def test_sc_rmw_is_clean(self):
+        m, f, g, b = new_func()
+        old = b.atomicrmw("add", g, ConstantInt(I64, 1), ordering="sc")
+        b.ret(old)
+        assert check_module(m) == []
+
+    def test_non_sc_rmw_is_flagged(self):
+        m, f, g, b = new_func()
+        old = b.atomicrmw("add", g, ConstantInt(I64, 1), ordering="na")
+        b.ret(old)
+        diags = check_module(m)
+        assert [d.kind for d in diags] == ["rmw-not-sc"]
+        assert "atomicrmw" in diags[0].message
+
+
+class TestMergingInteraction:
+    def test_merged_sc_discharges_both_obligations(self):
+        """After merging, one Fsc between a load and a store serves as the
+        load's trailing and the store's leading fence."""
+        m, f, g, b = new_func()
+        v = b.load(g, name="v")
+        b.fence("sc")
+        b.store(v, g)
+        b.ret(v)
+        assert check_module(m) == []
+
+    def test_declaration_is_skipped(self):
+        m = Module("t")
+        f = Function("d", FunctionType(I64, ()), [])
+        m.add_function(f)
+        assert check_function(f) == []

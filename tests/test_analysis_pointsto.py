@@ -1,0 +1,251 @@
+"""Tests for the points-to/escape analysis (repro.analysis.pointsto)."""
+
+from repro.analysis import MOD, MOD_REF, NO_MODREF, REF, analyze_function
+from repro.lir import (
+    ArrayType,
+    ConstantInt,
+    ExternalFunction,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I8,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    ptr,
+)
+
+
+def new_func(params=(), name="f"):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, tuple(params)),
+                 [f"a{i}" for i in range(len(params))])
+    m.add_function(f)
+    return m, f, IRBuilder(f.new_block("entry"))
+
+
+def add_sink(m, param_type=ptr(I64)):
+    sink = ExternalFunction("sink", FunctionType(VOID, [param_type]))
+    m.externals["sink"] = sink
+    return sink
+
+
+class TestProvenance:
+    def test_direct_alloca_is_thread_local(self):
+        m, f, b = new_func()
+        a = b.alloca(I64, "a")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(a)
+        assert len(ai.points_to(a)) == 1
+
+    def test_gep_bitcast_chain(self):
+        m, f, b = new_func()
+        arr = b.alloca(ArrayType(I8, 64), "arr")
+        a8 = b.bitcast(arr, ptr(I8))
+        g = b.gep(I8, a8, [ConstantInt(I64, 8)], "p")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(g)
+        assert ai.points_to(g) == ai.points_to(arr)
+
+    def test_phi_merges_provenance(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        then = f.new_block("then")
+        els = f.new_block("else")
+        join = f.new_block("join")
+        b = IRBuilder(entry)
+        a1 = b.alloca(I64, "a1")
+        a2 = b.alloca(I64, "a2")
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        b.cond_br(cond, then, els)
+        IRBuilder(then).br(join)
+        IRBuilder(els).br(join)
+        bj = IRBuilder(join)
+        p = bj.phi(ptr(I64), "p")
+        p.add_incoming(a1, then)
+        p.add_incoming(a2, els)
+        bj.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(p)
+        assert ai.points_to(p) == ai.points_to(a1) | ai.points_to(a2)
+
+    def test_select_merges_provenance(self):
+        m, f, b = new_func(params=(I64,))
+        a1 = b.alloca(I64, "a1")
+        a2 = b.alloca(I64, "a2")
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        sel = b.select(cond, a1, a2, "sel")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(sel)
+
+    def test_integer_round_trip_keeps_provenance(self):
+        """ptrtoint → add → inttoptr is how lifted code addresses the
+        stack; the object must survive the trip through integers."""
+        m, f, b = new_func()
+        st = b.alloca(ArrayType(I8, 64), "stacktop")
+        s8 = b.bitcast(st, ptr(I8))
+        tos = b.ptrtoint(s8, I64, "tos")
+        sp = b.add(tos, ConstantInt(I64, 32), "sp")
+        addr = b.inttoptr(sp, ptr(I64), "addr")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(addr)
+        assert ai.points_to(addr) == ai.points_to(st)
+
+    def test_load_propagates_contents(self):
+        """A pointer stored to a slot and loaded back keeps its object."""
+        m, f, b = new_func()
+        a = b.alloca(I64, "a")
+        slot = b.alloca(ptr(I64), "slot")
+        b.store(a, slot)
+        back = b.load(slot, name="back")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(back)
+        assert ai.points_to(back) == ai.points_to(a)
+
+
+class TestEscape:
+    def test_call_escapes_argument(self):
+        m, f, b = new_func()
+        sink = add_sink(m)
+        a = b.alloca(I64, "a")
+        b.call(sink, [a])
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.is_thread_local(a)
+        assert any(o.escaped for o in ai.points_to(a))
+
+    def test_return_escapes(self):
+        m = Module("t")
+        f = Function("f", FunctionType(ptr(I64), ()), [])
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        a = b.alloca(I64, "a")
+        b.ret(a)
+        ai = analyze_function(f, m)
+        assert not ai.is_thread_local(a)
+
+    def test_store_into_escaped_object_escapes(self):
+        """Storing a pointer into a global leaks the pointee."""
+        m, f, b = new_func()
+        g = GlobalVariable("g", ptr(I64))
+        m.globals["g"] = g
+        a = b.alloca(I64, "a")
+        b.store(a, g)
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.is_thread_local(a)
+
+    def test_transitive_escape_through_contents(self):
+        """Escaping a holder escapes everything stored inside it."""
+        m, f, b = new_func()
+        sink = add_sink(m, ptr(ptr(I64)))
+        inner = b.alloca(I64, "inner")
+        holder = b.alloca(ptr(I64), "holder")
+        b.store(inner, holder)
+        b.call(sink, [holder])
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.is_thread_local(holder)
+        assert not ai.is_thread_local(inner)
+
+    def test_readnone_call_does_not_escape(self):
+        m, f, b = new_func()
+        clock = ExternalFunction("clock", FunctionType(I64, []))
+        m.externals["clock"] = clock
+        a = b.alloca(I64, "a")
+        b.call(clock, [])
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.is_thread_local(a)
+
+    def test_globals_are_born_escaped(self):
+        m, f, b = new_func()
+        g = GlobalVariable("g", I64)
+        m.globals["g"] = g
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.is_thread_local(g)
+
+    def test_arguments_are_unknown(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.is_thread_local(f.arguments[0])
+
+
+class TestAliasQueries:
+    def test_distinct_allocas_do_not_alias(self):
+        m, f, b = new_func()
+        a1 = b.alloca(I64, "a1")
+        a2 = b.alloca(I64, "a2")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.may_alias(a1, a2)
+        assert ai.alias(a1, a2) == "no"
+        assert ai.alias(a1, a1) == "must"
+
+    def test_unknown_does_not_alias_private_alloca(self):
+        """The provenance assumption: lost-provenance pointers still can't
+        point at an alloca that never escaped."""
+        m, f, b = new_func(params=(ptr(I64),))
+        a = b.alloca(I64, "a")
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert not ai.may_alias(f.arguments[0], a)
+
+    def test_unknown_aliases_escaped_alloca(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        sink = add_sink(m)
+        a = b.alloca(I64, "a")
+        b.call(sink, [a])
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.may_alias(f.arguments[0], a)
+
+    def test_unknown_aliases_global(self):
+        m, f, b = new_func(params=(ptr(I64),))
+        g = GlobalVariable("g", I64)
+        m.globals["g"] = g
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        assert ai.may_alias(f.arguments[0], g)
+
+    def test_mod_ref(self):
+        m, f, b = new_func()
+        sink = add_sink(m)
+        g = GlobalVariable("g", I64)
+        m.globals["g"] = g
+        a = b.alloca(I64, "a")
+        ld = b.load(a, name="v")
+        st = b.store(ConstantInt(I64, 1), g)
+        call = b.call(sink, [])
+        b.ret(ld)
+        ai = analyze_function(f, m)
+        assert ai.mod_ref(ld, a) == REF
+        assert ai.mod_ref(ld, g) == NO_MODREF
+        assert ai.mod_ref(st, g) == MOD
+        assert ai.mod_ref(st, a) == NO_MODREF
+        # The call reaches escaped memory (the global), not the alloca.
+        assert ai.mod_ref(call, g) == MOD_REF
+        assert ai.mod_ref(call, a) == NO_MODREF
+
+    def test_post_solve_instruction_defaults_to_unknown(self):
+        """Values created after the analysis ran must be treated as
+        worst-case, not as no-provenance."""
+        m, f, b = new_func()
+        a = b.alloca(I64, "a")
+        sink = add_sink(m)
+        b.call(sink, [a])
+        b.ret(ConstantInt(I64, 0))
+        ai = analyze_function(f, m)
+        late = b.alloca(I64, "late")   # inserted after solve
+        assert not ai.is_thread_local(late)
+        assert ai.may_alias(late, a)   # a escaped; unknown may reach it

@@ -229,6 +229,60 @@ class TestStatsCommand:
         assert "place-fences:fence-inserted" in out
 
 
+class TestAnalyzeCommand:
+    def test_analyze_clean_ppopt(self, demo_file, capsys):
+        rc = main(["analyze", demo_file])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # With no mode flag, all three reports print.
+        assert "== escape analysis (ppopt) ==" in out
+        assert "== access classification (ppopt) ==" in out
+        assert "== fencecheck (ppopt) ==" in out
+        assert "fencecheck: 0 violation(s)" in out
+
+    def test_analyze_escape_only(self, demo_file, capsys):
+        rc = main(["analyze", demo_file, "--escape"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "stack object(s)" in out
+        assert "fencecheck" not in out
+
+    def test_analyze_aliases(self, demo_file, capsys):
+        rc = main(["analyze", demo_file, "--aliases", "--config", "lifted"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== access classification (lifted) ==" in out
+        # Lifted code addresses its emulated stack; some accesses must
+        # classify as thread-local stack traffic.
+        assert "thread-local" in out
+
+    def test_analyze_fencecheck_all_configs(self, demo_file, capsys):
+        for config in ("lifted", "opt", "popt", "ppopt"):
+            rc = main(["analyze", demo_file, "--fencecheck",
+                       "--config", config])
+            assert rc == 0, config
+            assert "fencecheck: 0 violation(s)" in capsys.readouterr().out
+
+    def test_analyze_missing_file(self, capsys):
+        rc = main(["analyze", "/nonexistent/nope.c"])
+        assert rc == 2
+
+    def test_analyze_flags_violations(self, demo_file, capsys):
+        """A stripped module (fences removed post-placement) must fail."""
+        from repro.analysis import check_module
+        from repro.core import Lasagne
+        from repro.lir import Fence
+        from repro.minicc.codegen_x86 import compile_to_x86
+
+        built = Lasagne().translate(compile_to_x86(DEMO), "ppopt")
+        for func in built.module.functions.values():
+            for bb in func.blocks:
+                for inst in list(bb.instructions):
+                    if isinstance(inst, Fence):
+                        inst.erase_from_parent()
+        assert len(check_module(built.module)) > 0
+
+
 class TestBenchCommand:
     def test_bench_writes_baseline(self, tmp_path, capsys):
         import json
@@ -240,9 +294,13 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt"}
+        lifted = report["summary"]["lifted"]
+        assert lifted["fences_elided_total"] > 0
+        assert "fences_elided_beyond_walk_total" in lifted
+        assert lifted["fencecheck_violations_total"] == 0
 
 
 def test_evaluate_command_smoke(capsys):

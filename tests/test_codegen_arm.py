@@ -1,12 +1,10 @@
 """Tests for the LIR→Arm backend (Fig. 8b mapping + linear scan)."""
 
-import pytest
 
 from repro.arm import ArmEmulator, is_fence
 from repro.codegen import compile_lir_to_arm
 from repro.lir import (
     F64,
-    I1,
     I8,
     I64,
     ArrayType,

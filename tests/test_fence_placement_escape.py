@@ -1,0 +1,183 @@
+"""Fence placement over phi/select pointer chains: cases the syntactic
+walk fenced (the seed behaviour) that the escape analysis now elides, and
+the converse — a leaked alloca the walk calls "stack" that must stay
+fenced."""
+
+from repro.fences import count_fences, is_stack_address, place_fences
+from repro.lir import (
+    ArrayType,
+    ConstantInt,
+    ExternalFunction,
+    Fence,
+    Function,
+    FunctionType,
+    I8,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    ptr,
+)
+
+
+def new_func(params=(), name="f"):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, tuple(params)),
+                 [f"a{i}" for i in range(len(params))])
+    m.add_function(f)
+    return m, f, IRBuilder(f.new_block("entry"))
+
+
+def fences_in(module):
+    return count_fences(module)
+
+
+class TestBeyondTheWalk:
+    def test_select_of_allocas_elided(self):
+        """select(a1, a2) defeats the bitcast/gep walk but both arms are
+        private allocas — the analysis elides what the walk fenced."""
+        def build():
+            m, f, b = new_func(params=(I64,))
+            a1 = b.alloca(I64, "a1")
+            a2 = b.alloca(I64, "a2")
+            cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+            sel = b.select(cond, a1, a2, "sel")
+            b.store(ConstantInt(I64, 7), sel)
+            v = b.load(sel, name="v")
+            b.ret(v)
+            return m, sel
+
+        m_old, sel = build()
+        assert not is_stack_address(sel)          # walk gives up at select
+        old = place_fences(m_old, use_analysis=False)
+        assert old.total_inserted == 2            # seed behaviour: fenced
+
+        m_new, _ = build()
+        new = place_fences(m_new)
+        assert new.total_inserted == 0
+        assert new.skipped_escape == 2            # strictly more elisions
+        assert fences_in(m_new) < fences_in(m_old)
+
+    def test_phi_of_allocas_elided(self):
+        def build():
+            m = Module("t")
+            f = Function("f", FunctionType(I64, (I64,)), ["x"])
+            m.add_function(f)
+            entry = f.new_block("entry")
+            then = f.new_block("then")
+            els = f.new_block("else")
+            join = f.new_block("join")
+            b = IRBuilder(entry)
+            a1 = b.alloca(I64, "a1")
+            a2 = b.alloca(I64, "a2")
+            cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+            b.cond_br(cond, then, els)
+            IRBuilder(then).br(join)
+            IRBuilder(els).br(join)
+            bj = IRBuilder(join)
+            p = bj.phi(ptr(I64), "p")
+            p.add_incoming(a1, then)
+            p.add_incoming(a2, els)
+            v = bj.load(p, name="v")
+            bj.ret(v)
+            return m, p
+
+        m_old, p = build()
+        assert not is_stack_address(p)
+        old = place_fences(m_old, use_analysis=False)
+        assert old.loads_fenced == 1
+
+        m_new, _ = build()
+        new = place_fences(m_new)
+        assert new.loads_fenced == 0
+        assert new.skipped_escape == 1
+
+    def test_integer_stack_arithmetic_elided(self):
+        """The lifted-code idiom: alloca → ptrtoint → add → inttoptr.
+        This is exactly the pre-refinement shape Figure 14's popt config
+        measures; the walk cannot see through the integers."""
+        def build():
+            m, f, b = new_func()
+            st = b.alloca(ArrayType(I8, 64), "stacktop")
+            s8 = b.bitcast(st, ptr(I8))
+            tos = b.ptrtoint(s8, I64, "tos")
+            sp = b.add(tos, ConstantInt(I64, 32), "sp")
+            addr = b.inttoptr(sp, ptr(I64), "addr")
+            b.store(ConstantInt(I64, 1), addr)
+            v = b.load(addr, name="v")
+            b.ret(v)
+            return m, addr
+
+        m_old, addr = build()
+        assert not is_stack_address(addr)
+        old = place_fences(m_old, use_analysis=False)
+        assert old.total_inserted == 2
+
+        m_new, _ = build()
+        new = place_fences(m_new)
+        assert new.total_inserted == 0
+        assert new.skipped_escape == 2
+
+
+class TestLeakedAlloca:
+    def test_leaked_alloca_stays_fenced(self):
+        """The walk reaches the alloca, but it was passed to a callee —
+        another thread may now hold the address, so the access is fenced."""
+        m, f, b = new_func()
+        sink = ExternalFunction("sink", FunctionType(VOID, [ptr(I64)]))
+        m.externals["sink"] = sink
+        a = b.alloca(I64, "a")
+        b.call(sink, [a])
+        b.store(ConstantInt(I64, 1), a)
+        v = b.load(a, name="v")
+        b.ret(v)
+
+        assert is_stack_address(a)                # the walk is fooled
+        stats = place_fences(m)
+        assert stats.total_inserted == 2
+        assert stats.leaked_fenced == 2
+        assert stats.total_elided == 0
+
+    def test_walk_only_mode_misses_the_leak(self):
+        """Documents why use_analysis=False is only the seed baseline: the
+        pure walk would (unsoundly, for racy code) elide the leaked access."""
+        m, f, b = new_func()
+        sink = ExternalFunction("sink", FunctionType(VOID, [ptr(I64)]))
+        m.externals["sink"] = sink
+        a = b.alloca(I64, "a")
+        b.call(sink, [a])
+        v = b.load(a, name="v")
+        b.ret(v)
+        stats = place_fences(m, use_analysis=False)
+        assert stats.skipped_stack == 1 and stats.total_inserted == 0
+
+
+class TestDeepChains:
+    def test_deep_gep_bitcast_chain_resolves(self):
+        """Past-depth-64 chains made the old recursive walk give up; the
+        iterative walk (and the fence placer) must still see the alloca."""
+        m, f, b = new_func()
+        arr = b.alloca(ArrayType(I8, 256), "arr")
+        p = b.bitcast(arr, ptr(I8))
+        for i in range(100):                      # > the old depth cap
+            p = b.gep(I8, p, [ConstantInt(I64, 1)], f"p{i}")
+            p = b.bitcast(p, ptr(I8))
+        v = b.load(p, name="v")
+        b.ret(ConstantInt(I64, 0))
+
+        assert is_stack_address(p)
+        stats = place_fences(m, use_analysis=False)
+        assert stats.skipped_stack == 1
+        assert stats.total_inserted == 0
+        assert fences_in(m) == 0
+
+    def test_fence_objects_untouched_elsewhere(self):
+        """Placement over an escaping access still emits plain Fence nodes
+        (merge relies on this)."""
+        m, f, b = new_func(params=(ptr(I64),))
+        v = b.load(f.arguments[0], name="v")
+        b.ret(v)
+        place_fences(m)
+        kinds = [inst.kind for bb in f.blocks for inst in bb.instructions
+                 if isinstance(inst, Fence)]
+        assert kinds == ["rm"]

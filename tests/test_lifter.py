@@ -4,7 +4,6 @@ type discovery and instruction translation (paper §4)."""
 import pytest
 
 from repro.lifter import (
-    EXTERNAL_SIGS,
     LiftError,
     TypeDiscovery,
     build_cfg,
@@ -19,8 +18,6 @@ from repro.lir import (
     CmpXchg,
     Fence,
     Interpreter,
-    Load,
-    Store,
     verify_module,
 )
 from repro.minicc import compile_to_x86

@@ -8,16 +8,7 @@ import pytest
 
 from repro.lifter import LiftError, lift_program
 from repro.lir import Interpreter, VectorType, F64, verify_module
-from repro.x86 import (
-    Assembler,
-    AsmFunction,
-    Imm,
-    Instr,
-    Label,
-    Mem,
-    Reg,
-    X86Emulator,
-)
+from repro.x86 import Assembler, AsmFunction, Instr, Label, Mem, Reg, X86Emulator
 
 
 def _packed_image(arith="addpd"):

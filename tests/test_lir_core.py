@@ -7,9 +7,7 @@ from repro.lir import (
     I1,
     I8,
     I64,
-    Alloca,
     ArrayType,
-    BasicBlock,
     BinOp,
     ConstantFloat,
     ConstantInt,
@@ -21,9 +19,6 @@ from repro.lir import (
     Load,
     Module,
     Phi,
-    Store,
-    UndefValue,
-    format_function,
     format_instruction,
     format_module,
     ptr,

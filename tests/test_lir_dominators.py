@@ -5,7 +5,6 @@ from repro.lir import (
     DominatorTree,
     Function,
     FunctionType,
-    I1,
     I64,
     IRBuilder,
     Module,

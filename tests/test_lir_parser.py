@@ -2,13 +2,7 @@
 
 import pytest
 
-from repro.lir import (
-    ConstantInt,
-    I64,
-    Interpreter,
-    format_module,
-    verify_module,
-)
+from repro.lir import Interpreter, format_module, verify_module
 from repro.lir.parser import IRParseError, parse_module, parse_type
 from repro.lir.types import ArrayType, F64, IntType, PointerType, VectorType
 

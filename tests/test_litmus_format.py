@@ -3,11 +3,7 @@
 import pytest
 
 from repro.memmodel import Fence, Ld, Rmw, St, outcomes, has_outcome
-from repro.memmodel.litmus_format import (
-    LitmusParseError,
-    LitmusTest,
-    parse_litmus,
-)
+from repro.memmodel.litmus_format import LitmusParseError, parse_litmus
 
 MP_TEXT = r"""
 MP

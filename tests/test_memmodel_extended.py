@@ -26,7 +26,6 @@ from repro.memmodel import (
     check_ir_to_x86,
     has_outcome,
     map_arm_to_ir,
-    map_arm_to_x86,
     outcomes,
 )
 

@@ -4,7 +4,6 @@ precise on the litmus battery (the executable stand-in for the Agda proofs)."""
 import pytest
 
 from repro.memmodel import (
-    ALL_LITMUS,
     CoRR,
     CoWW,
     FIG10_LEFT_IR,

@@ -1,6 +1,5 @@
 """Tests of the axiomatic models: the paper's Figures 1, 2, 9 and 10."""
 
-import pytest
 
 from repro.memmodel import (
     CoRR,
@@ -22,8 +21,6 @@ from repro.memmodel import (
     SB_FENCED_X86,
     St,
     behaviours,
-    consistent_executions,
-    enumerate_executions,
     has_outcome,
     outcomes,
 )

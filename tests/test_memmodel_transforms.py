@@ -6,7 +6,6 @@ witness context where the reordering *does* add an outcome.  Figure 11b's
 eliminations are checked the same way.
 """
 
-import itertools
 
 import pytest
 
@@ -26,7 +25,6 @@ from repro.memmodel import (
     eliminate_waw,
     merge_adjacent_fences,
     outcomes,
-    reorder_ops,
 )
 
 # Concrete op templates for each Fig. 11a kind (locations X and Y; the

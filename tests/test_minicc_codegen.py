@@ -6,7 +6,6 @@ LIR interpreter via ``compile_to_lir`` — all three must agree on the result
 and printed output.
 """
 
-import pytest
 
 from repro.arm import ArmEmulator
 from repro.lir import Interpreter, verify_module

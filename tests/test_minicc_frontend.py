@@ -3,17 +3,7 @@
 import pytest
 
 from repro.minicc import LexError, ParseError, SemaError, analyze, parse, tokenize
-from repro.minicc.astnodes import (
-    Assign,
-    Binary,
-    CastExpr,
-    CHAR,
-    CType,
-    DOUBLE,
-    INT,
-    IntLit,
-    Unary,
-)
+from repro.minicc.astnodes import Binary, CastExpr, CType, DOUBLE, INT, Unary
 
 
 class TestLexer:

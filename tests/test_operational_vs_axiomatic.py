@@ -9,7 +9,6 @@ must be axiomatically consistent — and the store buffers must actually
 produce the SB weak outcome for some schedule.
 """
 
-import itertools
 
 import pytest
 

@@ -1,18 +1,7 @@
 """Tests for the function-inlining pass."""
 
-import pytest
 
-from repro.lir import (
-    Call,
-    ConstantInt,
-    Function,
-    FunctionType,
-    I64,
-    Interpreter,
-    IRBuilder,
-    Module,
-    verify_module,
-)
+from repro.lir import Call, Function, Interpreter, verify_module
 from repro.minicc.frontend_lir import compile_to_lir
 from repro.opt import optimize_module, run_inline
 

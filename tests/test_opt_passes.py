@@ -1,21 +1,15 @@
 """Unit tests for individual optimizer passes."""
 
-import pytest
 
 from repro.lir import (
-    F64,
     I1,
     I64,
     Alloca,
     ArrayType,
     BinOp,
-    Cast,
-    ConstantFloat,
     ConstantInt,
-    Fence,
     Function,
     FunctionType,
-    GEP,
     ICmp,
     Interpreter,
     IRBuilder,
@@ -24,10 +18,8 @@ from repro.lir import (
     Phi,
     Select,
     Store,
-    format_function,
     ptr,
     verify_function,
-    verify_module,
 )
 from repro.opt import (
     run_adce,

@@ -1,6 +1,5 @@
 """Tests for the full loop-unrolling pass (extension)."""
 
-import pytest
 
 from repro.lir import DominatorTree, Interpreter, verify_module
 from repro.minicc.frontend_lir import compile_to_lir

@@ -5,7 +5,6 @@ import pytest
 from repro.phoenix import (
     PROGRAM_NAMES,
     SIZE_TINY,
-    PhoenixProgram,
     all_programs,
     evaluate_program,
     geomean,

@@ -1,6 +1,5 @@
 """Tests for IR refinement (§5) and fence placement/merging (§8)."""
 
-import pytest
 
 from repro.fences import (
     count_fences,
@@ -10,7 +9,6 @@ from repro.fences import (
 )
 from repro.lir import (
     GEP,
-    Alloca,
     ArrayType,
     Cast,
     ConstantInt,
@@ -22,9 +20,7 @@ from repro.lir import (
     I64,
     Interpreter,
     IRBuilder,
-    Load,
     Module,
-    Store,
     ptr,
     verify_function,
     verify_module,

@@ -11,7 +11,6 @@ from repro.telemetry import (
     MetricsRegistry,
     Remark,
     RemarkSink,
-    Span,
     Tracer,
     format_tree,
     to_chrome_trace,

@@ -243,7 +243,7 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 1
+        assert report["version"] == 2
         assert report["configs"] == ["ppopt"]
         for name, per_config in report["programs"].items():
             row = per_config["ppopt"]
@@ -251,6 +251,8 @@ class TestBenchEmitter:
             assert row["arm_instructions"] > 0
             assert row["lir_instructions"] > 0
             assert row["fences"] <= row["fences_naive"]
+            assert row["fences_elided"] >= 0
+            assert row["fencecheck_violations"] == 0
         summary = report["summary"]["ppopt"]
         assert summary["translate_seconds_total"] > 0
         out = write_bench(report, str(tmp_path / "BENCH_translate.json"))

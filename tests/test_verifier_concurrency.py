@@ -1,0 +1,132 @@
+"""Verifier checks for the concurrency slice of LIR: fence kinds, memory
+operation address/operand types, atomics, select arm agreement.
+
+Constructors already validate most of these shapes, so the tests mutate
+operands after construction — exactly what a buggy pass would do."""
+
+import pytest
+
+from repro.lir import (
+    ConstantInt,
+    Fence,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I64,
+    IRBuilder,
+    Module,
+    ptr,
+)
+from repro.lir.verifier import VerificationError, verify_function, verify_module
+
+
+def new_func(params=(), name="f"):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, tuple(params)),
+                 [f"a{i}" for i in range(len(params))])
+    m.add_function(f)
+    g = GlobalVariable("g", I64)
+    m.globals["g"] = g
+    return m, f, g, IRBuilder(f.new_block("entry"))
+
+
+class TestFenceKinds:
+    def test_known_kinds_accepted(self):
+        m, f, g, b = new_func()
+        b.fence("rm")
+        b.fence("ww")
+        b.fence("sc")
+        b.ret(ConstantInt(I64, 0))
+        verify_module(m)
+
+    def test_constructor_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Fence("acquire")
+
+    def test_verifier_rejects_mutated_kind(self):
+        m, f, g, b = new_func()
+        fence = b.fence("sc")
+        b.ret(ConstantInt(I64, 0))
+        fence.kind = "release"   # a pass corrupting the kind in place
+        with pytest.raises(VerificationError, match="unknown fence kind"):
+            verify_function(f)
+
+
+class TestMemoryAddressTypes:
+    def test_load_address_must_be_pointer(self):
+        m, f, g, b = new_func(params=(I64,))
+        v = b.load(g, name="v")
+        b.ret(v)
+        v.operands[0] = f.arguments[0]   # i64 is not an address
+        with pytest.raises(VerificationError, match="load address"):
+            verify_function(f)
+
+    def test_store_address_must_be_pointer(self):
+        m, f, g, b = new_func(params=(I64,))
+        st = b.store(ConstantInt(I64, 1), g)
+        b.ret(ConstantInt(I64, 0))
+        st.operands[1] = f.arguments[0]
+        with pytest.raises(VerificationError, match="store address"):
+            verify_function(f)
+
+    def test_store_value_must_match_pointee(self):
+        m, f, g, b = new_func()
+        p32 = GlobalVariable("h", ptr(I64))
+        m.globals["h"] = p32
+        st = b.store(ConstantInt(I64, 1), g)
+        b.ret(ConstantInt(I64, 0))
+        st.operands[1] = p32             # now storing i64 into i64** slot
+        with pytest.raises(VerificationError, match="store type mismatch"):
+            verify_function(f)
+
+
+class TestAtomics:
+    def test_wellformed_rmw_accepted(self):
+        m, f, g, b = new_func()
+        old = b.atomicrmw("add", g, ConstantInt(I64, 1))
+        b.ret(old)
+        verify_module(m)
+
+    def test_rmw_address_must_be_pointer(self):
+        m, f, g, b = new_func(params=(I64,))
+        old = b.atomicrmw("add", g, ConstantInt(I64, 1))
+        b.ret(old)
+        old.operands[0] = f.arguments[0]
+        with pytest.raises(VerificationError, match="atomicrmw address"):
+            verify_function(f)
+
+    def test_rmw_value_must_match_pointee(self):
+        m, f, g, b = new_func()
+        holder = GlobalVariable("h", ptr(I64))
+        m.globals["h"] = holder
+        old = b.atomicrmw("add", g, ConstantInt(I64, 1))
+        b.ret(old)
+        old.operands[0] = holder         # i64 value vs i64* pointee
+        with pytest.raises(VerificationError, match="atomicrmw operand type"):
+            verify_function(f)
+
+    def test_cmpxchg_address_must_be_pointer(self):
+        m, f, g, b = new_func(params=(I64,))
+        old = b.cmpxchg(g, ConstantInt(I64, 0), ConstantInt(I64, 1))
+        b.ret(old)
+        old.operands[0] = f.arguments[0]
+        with pytest.raises(VerificationError, match="cmpxchg address"):
+            verify_function(f)
+
+
+class TestSelect:
+    def test_matching_arms_accepted(self):
+        m, f, g, b = new_func(params=(I64,))
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        sel = b.select(cond, ConstantInt(I64, 1), ConstantInt(I64, 2), "s")
+        b.ret(sel)
+        verify_module(m)
+
+    def test_mismatched_arms_rejected(self):
+        m, f, g, b = new_func(params=(I64,))
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        sel = b.select(cond, ConstantInt(I64, 1), ConstantInt(I64, 2), "s")
+        b.ret(sel)
+        sel.operands[2] = g              # i64 arm vs i64* arm
+        with pytest.raises(VerificationError, match="select arms"):
+            verify_function(f)
