@@ -42,6 +42,7 @@ from ..lir import (
     Store,
     format_instruction,
 )
+from ..provenance.origin import format_origins
 from .dataflow import BACKWARD, FORWARD, DataflowProblem, run_dataflow
 from .pointsto import AliasInfo, analyze_function
 
@@ -61,13 +62,33 @@ class FenceDiag:
     kind: str            # "missing-frm" | "missing-fww" | "rmw-not-sc"
     message: str
     instruction: str     # formatted instruction text
+    x86: str = ""        # originating x86 instruction(s), when provenance
+                         # survived to the checked module
 
     @property
     def location(self) -> str:
+        """The x86 source location when known, else the LIR position."""
+        if self.x86:
+            return f"{self.function} @ {self.x86}"
+        return f"{self.function}:{self.block}:{self.index}"
+
+    @property
+    def lir_location(self) -> str:
         return f"{self.function}:{self.block}:{self.index}"
 
     def __str__(self) -> str:
         return f"{self.location}: {self.kind}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "function": self.function,
+            "block": self.block,
+            "index": self.index,
+            "kind": self.kind,
+            "message": self.message,
+            "instruction": self.instruction,
+            "x86": self.x86,
+        }
 
 
 class _FencesSinceAccess(DataflowProblem):
@@ -171,7 +192,8 @@ def check_function(func: Function,
         diags.append(FenceDiag(
             function=func.name, block=block.name, index=index,
             kind=kind, message=message,
-            instruction=format_instruction(inst).strip()))
+            instruction=format_instruction(inst).strip(),
+            x86=format_origins(inst.origins) if inst.origins else ""))
 
     for block in func.blocks:
         for index, inst in enumerate(block.instructions):
@@ -201,7 +223,8 @@ def check_function(func: Function,
         for d in diags:
             telemetry.remark(
                 "fencecheck", d.kind, d.message,
-                function=d.function, block=d.block, instruction=d.index)
+                function=d.function, block=d.block, instruction=d.index,
+                x86=d.x86)
     telemetry.count("fencecheck.functions")
     if diags:
         telemetry.count("fencecheck.violations", len(diags))

@@ -8,6 +8,7 @@ evaluate    run the Phoenix evaluation and print the §9 tables
 litmus      enumerate outcomes of a named litmus test under a model
 validate    fuzz-driven differential validation of the whole pipeline
 analyze     static analysis: escape/alias report, LIMM fencecheck linter
+explain     instruction provenance: fence blame, x86/LIR/Arm map, coverage
 stats       per-stage / per-pass telemetry breakdown for one program
 bench       write the BENCH_translate.json perf baseline
 
@@ -305,6 +306,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     # With no mode flag, print every report.
     all_modes = not (args.fencecheck or args.escape or args.aliases)
 
+    if args.json:
+        return _analyze_json(args, module, all_modes)
+
     if args.escape or all_modes:
         print(f"== escape analysis ({args.config}) ==")
         for func in module.functions.values():
@@ -345,6 +349,107 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"fencecheck: {len(diags)} violation(s)")
         if diags:
             rc = 1
+    return rc
+
+
+def _analyze_json(args: argparse.Namespace, module, all_modes: bool) -> int:
+    """Machine-readable ``repro analyze --json`` output."""
+    import json
+
+    from .analysis import analyze_function, check_module
+    from .lir import Load, Store
+
+    report: dict = {"config": args.config}
+
+    if args.escape or all_modes:
+        escape: dict[str, list[dict]] = {}
+        for func in module.functions.values():
+            if func.is_declaration:
+                continue
+            alias = analyze_function(func, module)
+            escape[func.name] = [
+                {"alloca": obj.name, "escaped": obj.escaped}
+                for obj in alias.stack_objects()
+            ]
+        report["escape"] = escape
+
+    if args.aliases or all_modes:
+        accesses: list[dict] = []
+        for func in module.functions.values():
+            if func.is_declaration:
+                continue
+            alias = analyze_function(func, module)
+            for bb in func.blocks:
+                for inst in bb.instructions:
+                    if isinstance(inst, (Load, Store)):
+                        accesses.append({
+                            "function": func.name,
+                            "block": bb.name,
+                            "access": inst.opcode,
+                            "pointer": inst.pointer.short_name(),
+                            "class": alias.describe(inst.pointer),
+                        })
+        report["accesses"] = accesses
+
+    rc = 0
+    if args.fencecheck or all_modes:
+        diags = check_module(module)
+        report["fencecheck"] = {
+            "violations": len(diags),
+            "diagnostics": [d.to_dict() for d in diags],
+        }
+        if diags:
+            rc = 1
+
+    print(json.dumps(report, indent=2))
+    return rc
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .provenance.explain import (
+        build_explanation,
+        explanation_to_dict,
+        render_coverage,
+        render_fences,
+        render_map,
+    )
+
+    source = _read_source(args.source)
+    if source is None:
+        return 2
+    expl = build_explanation(source, args.config,
+                             verify=not args.no_verify)
+
+    if args.json:
+        import json
+
+        print(json.dumps(explanation_to_dict(expl), indent=2))
+    else:
+        # With no view flag, print every view.
+        all_views = not (args.fences or args.map or args.coverage)
+        sections = []
+        if args.fences or all_views:
+            sections.append(render_fences(expl))
+        if args.map or all_views:
+            sections.append(render_map(expl))
+        if args.coverage or all_views:
+            sections.append(render_coverage(expl))
+        print("\n\n".join(sections))
+
+    rc = 0
+    cov = expl.coverage
+    if args.min_fence_coverage is not None \
+            and cov.fence_pct < args.min_fence_coverage:
+        print(f"explain: fence provenance coverage {cov.fence_pct:.1f}% "
+              f"is below the required {args.min_fence_coverage:.1f}%",
+              file=sys.stderr)
+        rc = 1
+    if args.min_mem_coverage is not None \
+            and cov.memory_pct < args.min_mem_coverage:
+        print(f"explain: memory-access provenance coverage "
+              f"{cov.memory_pct:.1f}% is below the required "
+              f"{args.min_mem_coverage:.1f}%", file=sys.stderr)
+        rc = 1
     return rc
 
 
@@ -486,8 +591,36 @@ def main(argv: list[str] | None = None) -> int:
                    help="only print the per-function escape report")
     p.add_argument("--aliases", action="store_true",
                    help="only print the per-access points-to classification")
+    p.add_argument("--json", action="store_true",
+                   help="emit the selected reports as JSON on stdout")
     p.add_argument("--no-verify", action="store_true")
     p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser(
+        "explain",
+        help="instruction provenance: per-fence x86 blame, side-by-side "
+             "x86/LIR/Arm map, and provenance coverage")
+    p.add_argument("source")
+    p.add_argument("--config", default="ppopt",
+                   choices=["native", "lifted", "opt", "popt", "ppopt"])
+    p.add_argument("--fences", action="store_true",
+                   help="per-fence blame: protected access, placing rule, "
+                        "and every merge/elide decision")
+    p.add_argument("--map", action="store_true",
+                   help="annotated x86/LIR/Arm disassembly keyed by address")
+    p.add_argument("--coverage", action="store_true",
+                   help="fraction of Arm instructions/accesses/fences with "
+                        "resolvable provenance")
+    p.add_argument("--json", action="store_true",
+                   help="emit blame + coverage as JSON on stdout")
+    p.add_argument("--min-fence-coverage", type=float, default=None,
+                   metavar="PCT",
+                   help="exit 1 if fence provenance coverage is below PCT")
+    p.add_argument("--min-mem-coverage", type=float, default=None,
+                   metavar="PCT",
+                   help="exit 1 if memory-access coverage is below PCT")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser(
         "stats",

@@ -58,7 +58,9 @@ from ..lir import (
     UndefValue,
     Unreachable,
     Value,
+    format_instruction,
 )
+from ..provenance.origin import synthetic_origin
 
 INT_POOL = [f"x{i}" for i in range(19, 29)]
 FP_POOL = [f"d{i}" for i in range(8, 16)]
@@ -123,6 +125,11 @@ class _FuncCodegen:
         self.used_callee_saved: list[str] = []
         self.label_counter = 0
         self.epilogue = f".Lret_{func.name}"
+        # Provenance state: every emitted AInstr is tagged with the current
+        # LIR instruction's x86 origins (the LIR→Arm source map).
+        self._origins: tuple = ()
+        self._lir: str = ""
+        self._placement: tuple = ()
 
     # ------------------------------------------------------------------
     def run(self) -> ArmFunction:
@@ -130,15 +137,19 @@ class _FuncCodegen:
         intervals = self._intervals()
         self._allocate(intervals)
         self._layout_frame()
+        self._set_synthetic("prologue")
         self._emit_prologue()
         for bb in self.blocks:
             self.out.label(f".L{bb.name}")
             for phi in bb.phis():
+                self._set_current(phi)
                 self._load_phi(phi)
             for inst in bb.instructions:
                 if not isinstance(inst, Phi):
+                    self._set_current(inst)
                     self._emit(inst)
         self.out.label(self.epilogue)
+        self._set_synthetic("epilogue")
         self._emit_epilogue()
         emitted = len(self.out.instructions())
         telemetry.count("codegen.instructions", emitted,
@@ -341,9 +352,34 @@ class _FuncCodegen:
     def _slot_offset(self, slot_index: int) -> int:
         return self._spill_base + slot_index * 8
 
+    # ---- provenance -----------------------------------------------------------
+    def _set_current(self, inst: Instruction) -> None:
+        """Tag subsequently emitted Arm instructions with ``inst``'s lineage."""
+        self._origins = inst.origins
+        try:
+            self._lir = format_instruction(inst)
+        except Exception:  # pragma: no cover - printing is best-effort
+            self._lir = inst.opcode
+        self._placement = tuple(getattr(inst, "placement", ()))
+
+    def _set_synthetic(self, kind: str) -> None:
+        """Anchor prologue/epilogue code at the function's x86 entry."""
+        addr = getattr(self.func, "x86_addr", None)
+        if addr is None:
+            self._origins = ()
+        else:
+            self._origins = (synthetic_origin(kind, addr, self.func.name),)
+        self._lir = f"<{kind}>"
+        self._placement = ()
+
     # ---- emission helpers -----------------------------------------------------
     def emit(self, mnemonic: str, *operands) -> None:
-        self.out.emit(AInstr(mnemonic, list(operands)))
+        instr = AInstr(mnemonic, list(operands))
+        instr.origins = self._origins
+        instr.lir = self._lir
+        if self._placement:
+            instr.placement = self._placement
+        self.out.emit(instr)
 
     def _new_label(self, hint: str) -> str:
         self.label_counter += 1

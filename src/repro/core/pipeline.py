@@ -26,7 +26,7 @@ from ..arm.emulator import ArmEmulator
 from ..arm.program import ArmProgram
 from ..codegen import compile_lir_to_arm
 from ..fences import count_fences, merge_fences, place_fences
-from ..lir import Module, format_module, parse_module, verify_module
+from ..lir import Module, clone_module, verify_module
 from ..lifter import lift_program
 from ..minicc.codegen_x86 import compile_to_x86
 from ..minicc.frontend_lir import compile_to_lir
@@ -42,12 +42,15 @@ NATIVE_STAGES = ["frontend", "opt"]
 
 
 def snapshot_module(module: Module) -> Module:
-    """An independent deep copy of ``module`` (printer/parser round-trip).
+    """An independent deep copy of ``module``.
 
     Later pipeline stages mutate the module in place; a snapshot taken here
-    is immune to that, which is what differential validation needs.
+    is immune to that, which is what differential validation needs.  The
+    copy is structural (not a printer/parser round-trip) so instruction
+    provenance — the x86 ``origins`` carried by every lifted instruction —
+    survives into the captured stage modules.
     """
-    return parse_module(format_module(module))
+    return clone_module(module)
 
 
 @dataclass

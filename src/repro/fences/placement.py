@@ -30,6 +30,12 @@ from dataclasses import dataclass
 
 from .. import telemetry
 from ..lir import Alloca, Cast, Fence, GEP, Load, Module, Store, Value
+from ..provenance.origin import merge_origins, origins_of, x86_location
+
+
+def _origin_addrs(inst) -> list[str]:
+    """Hex x86 addresses for remark args (what explain correlates on)."""
+    return [f"0x{o.addr:x}" for o in origins_of(inst)]
 
 
 def is_stack_address(pointer: Value) -> bool:
@@ -107,7 +113,7 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
             "no fence needed",
             function=func.name, block=bb.name,
             instruction=f"{what} {inst.pointer.short_name()}",
-            via=how)
+            via=how, x86=x86_location(inst), origins=_origin_addrs(inst))
 
     for func in module.functions.values():
         if func.is_declaration:
@@ -127,6 +133,13 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
                     if local == "leaked":
                         stats.leaked_fenced += 1
                     fence = Fence("rm")
+                    # Blame the fence on the access it protects.
+                    fence.origins = origins_of(inst)
+                    fence.placement = (
+                        f"placed: Frm after load {inst.pointer.short_name()} "
+                        f"[{x86_location(inst) or 'no x86 origin'}] "
+                        "(Fig. 8a ld -> ldna;Frm)",
+                    )
                     bb.insert_after(inst, fence)
                     stats.loads_fenced += 1
                     if emit:
@@ -136,7 +149,8 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
                             "ld -> ldna;Frm mapping)",
                             function=func.name, block=bb.name,
                             instruction=f"load {inst.pointer.short_name()}",
-                            fence="rm")
+                            fence="rm", x86=x86_location(inst),
+                            origins=_origin_addrs(inst))
                 elif isinstance(inst, Store) and inst.ordering == "na":
                     local = _thread_locality(inst.pointer, alias)
                     if local in ("stack", "escape"):
@@ -149,6 +163,12 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
                     if local == "leaked":
                         stats.leaked_fenced += 1
                     fence = Fence("ww")
+                    fence.origins = origins_of(inst)
+                    fence.placement = (
+                        f"placed: Fww before store {inst.pointer.short_name()} "
+                        f"[{x86_location(inst) or 'no x86 origin'}] "
+                        "(Fig. 8a st -> Fww;stna)",
+                    )
                     bb.insert_before(inst, fence)
                     stats.stores_fenced += 1
                     if emit:
@@ -158,7 +178,8 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
                             "st -> Fww;stna mapping)",
                             function=func.name, block=bb.name,
                             instruction=f"store {inst.pointer.short_name()}",
-                            fence="ww")
+                            fence="ww", x86=x86_location(inst),
+                            origins=_origin_addrs(inst))
     telemetry.count("fences.inserted", stats.loads_fenced, kind="rm")
     telemetry.count("fences.inserted", stats.stores_fenced, kind="ww")
     telemetry.count("fences.skipped_stack", stats.skipped_stack)
@@ -198,6 +219,17 @@ def _merge_block(bb, func_name: str = "") -> int:
             merged_kind = "rm"
         else:
             merged_kind = "ww"
+        # The survivor blames every access the run's fences protected; the
+        # per-fence decision logs are concatenated plus a merge event.
+        merged_origins: tuple = ()
+        merged_log: tuple = ()
+        for f in run:
+            merged_origins = merge_origins(merged_origins, origins_of(f))
+            merged_log = merged_log + tuple(getattr(f, "placement", ()))
+        merged_log = merged_log + (
+            f"merged: run of {len(run)} fences "
+            f"({'+'.join(f.kind for f in run)}) -> F{merged_kind} (section 7)",
+        )
         if emit:
             telemetry.remark(
                 "merge-fences", "fence-merged",
@@ -206,7 +238,8 @@ def _merge_block(bb, func_name: str = "") -> int:
                 f"(section 7 merging rules)",
                 function=func_name, block=bb.name,
                 instruction=f"fence.{merged_kind}",
-                run_length=len(run), merged_kind=merged_kind)
+                run_length=len(run), merged_kind=merged_kind,
+                origins=[f"0x{o.addr:x}" for o in merged_origins])
         keeper = run[0]
         count = 0
         for extra in run[1:]:
@@ -216,6 +249,9 @@ def _merge_block(bb, func_name: str = "") -> int:
             new = Fence(merged_kind)
             keeper.parent.insert_before(keeper, new)
             keeper.erase_from_parent()
+            keeper = new
+        keeper.origins = merged_origins
+        keeper.placement = merged_log
         run = []
         return count
 

@@ -51,6 +51,7 @@ from ..lir import (
     VOID,
     ptr,
 )
+from ..provenance.origin import Origin, synthetic_origin
 from ..x86.isa import CC_NUM, Imm, Instr, Mem, Reg
 from ..x86.objfile import X86Object
 from ..x86.registers import INT_PARAM_REGS, SSE_PARAM_REGS, reg_info
@@ -259,6 +260,12 @@ class FunctionLifter:
         entry = self.func.new_block("setup")
         self.entry_block = entry
         b.position_at_end(entry)
+        # Provenance: the function knows its x86 entry point, and the
+        # synthetic setup code (register slots, stack reconstruction,
+        # parameter spills) is anchored there so it still resolves to a
+        # real address in the input binary.
+        self.func.x86_addr = self.cfg.entry
+        b.set_origin(synthetic_origin("entry", self.cfg.entry, self.name))
 
         # Register / flag slots.  XMM registers used by packed instructions
         # hold <2 x double>; scalar-FP registers hold double (§4.2.2).
@@ -298,6 +305,11 @@ class FunctionLifter:
         for i, mb in enumerate(ordered):
             b.position_at_end(self.block_map[mb.start])
             for instr in mb.instructions:
+                # Stamp everything this machine instruction expands to.
+                b.set_origin(Origin(
+                    addr=instr.address, mnemonic=instr.mnemonic,
+                    size=instr.size, function=self.name,
+                ))
                 self._lift_instr(instr)
             lir_bb = self.block_map[mb.start]
             if lir_bb.terminator is None:

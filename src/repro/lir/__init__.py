@@ -5,6 +5,7 @@ Public API re-exports the commonly used pieces so downstream code can write
 """
 
 from .builder import IRBuilder
+from .clone import CloneError, clone_instruction, clone_module
 from .dominators import DominatorTree
 from .function import BasicBlock, Function, Module
 from .instructions import (
@@ -76,6 +77,7 @@ from .verifier import VerificationError, verify_function, verify_module
 
 __all__ = [
     "IRBuilder", "DominatorTree", "BasicBlock", "Function", "Module",
+    "CloneError", "clone_instruction", "clone_module",
     "GEP", "Alloca", "AtomicRMW", "BinOp", "Br", "Call", "Cast", "CmpXchg",
     "ExtractElement", "FCmp", "Fence", "ICmp", "InsertElement", "Instruction",
     "Load", "Phi", "Ret", "Select", "Store", "Unreachable",

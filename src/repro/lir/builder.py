@@ -38,6 +38,9 @@ class IRBuilder:
         self.block = block
         # None means "append at end"; otherwise insert before this one.
         self._before: Optional[Instruction] = None
+        # Provenance stamp applied to every inserted instruction that does
+        # not already carry origins (see repro.provenance.origin).
+        self.origins: tuple = ()
 
     # ---- positioning --------------------------------------------------
     def position_at_end(self, block: BasicBlock) -> None:
@@ -48,9 +51,16 @@ class IRBuilder:
         self.block = inst.parent
         self._before = inst
 
+    # ---- provenance ----------------------------------------------------
+    def set_origin(self, *origins) -> None:
+        """Stamp subsequently inserted instructions with these origins."""
+        self.origins = tuple(o for o in origins if o is not None)
+
     def insert(self, inst: Instruction) -> Instruction:
         if self.block is None:
             raise RuntimeError("IRBuilder has no insertion block")
+        if self.origins and not inst.origins:
+            inst.origins = self.origins
         if self._before is None:
             self.block.append(inst)
         else:

@@ -5,13 +5,18 @@ specialization): ``clone_instruction`` copies one instruction with operands
 substituted through a value map; phi incoming blocks go through a block map
 and their operands are expected to be patched by the caller once all cloned
 values exist (two-pass cloning).
+
+``clone_module`` copies a whole module structurally.  It exists for
+provenance: the pipeline's stage snapshots used to round-trip through the
+printer/parser, which discards the x86 ``origins`` stamped on every
+instruction; a structural clone keeps them (and is cheaper).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from .function import BasicBlock
+from .function import BasicBlock, Function, Module
 from .instructions import (
     GEP,
     Alloca,
@@ -29,11 +34,12 @@ from .instructions import (
     Instruction,
     Load,
     Phi,
+    Ret,
     Select,
     Store,
     Unreachable,
 )
-from .values import Value
+from .values import GlobalVariable, Value
 
 
 class CloneError(Exception):
@@ -51,7 +57,23 @@ def clone_instruction(
     after all values exist).  ``Br`` targets and ``Ret`` are remapped through
     ``block_map`` — ``Ret`` is not handled here because its replacement is
     context-dependent (the inliner rewrites returns into branches).
+
+    The clone carries the original's provenance: ``origins`` always, and a
+    fence's ``placement`` decision log when present.
     """
+    new = _clone_body(inst, lookup, block_map)
+    new.origins = inst.origins
+    placement = getattr(inst, "placement", None)
+    if placement is not None:
+        new.placement = placement
+    return new
+
+
+def _clone_body(
+    inst: Instruction,
+    lookup: Callable[[Value], Value],
+    block_map: Optional[dict[int, BasicBlock]] = None,
+) -> Instruction:
     if isinstance(inst, Alloca):
         return Alloca(inst.allocated_type, inst.name)
     if isinstance(inst, Load):
@@ -109,3 +131,71 @@ def clone_instruction(
     if isinstance(inst, Unreachable):
         return Unreachable()
     raise CloneError(f"cannot clone {inst.opcode} (Ret is context-dependent)")
+
+
+def clone_module(module: Module) -> Module:
+    """Structural deep copy of a module, preserving instruction provenance.
+
+    Cloning is three-pass per function: (1) clone every instruction with
+    operands left pointing at the *old* values where the definition has not
+    been seen yet, (2) patch every operand slot through the value map —
+    blocks need not be laid out in dominance order, so forward references
+    are expected — and (3) wire phi incomings.  Constants are shared (they
+    are immutable); globals, functions, externals, and arguments are
+    remapped to the new module's copies.
+    """
+    out = Module(module.name)
+    vmap: dict[int, Value] = {}
+    for g in module.globals.values():
+        ng = GlobalVariable(g.name, g.value_type, g.initializer)
+        out.add_global(ng)
+        vmap[id(g)] = ng
+    for name, ext in module.externals.items():
+        vmap[id(ext)] = out.declare_external(name, ext.ftype)
+    for f in module.functions.values():
+        nf = Function(f.name, f.ftype, [a.name for a in f.arguments])
+        if hasattr(f, "x86_addr"):
+            nf.x86_addr = f.x86_addr
+        out.add_function(nf)
+        vmap[id(f)] = nf
+
+    def lookup(v: Value) -> Value:
+        return vmap.get(id(v), v)
+
+    for f in module.functions.values():
+        if f.is_declaration:
+            continue
+        nf = out.get_function(f.name)
+        for a, na in zip(f.arguments, nf.arguments):
+            vmap[id(a)] = na
+        block_map: dict[int, BasicBlock] = {}
+        for bb in f.blocks:
+            block_map[id(bb)] = nf.new_block(bb.name)
+        phis: list[tuple[Phi, Phi]] = []
+        for bb in f.blocks:
+            nb = block_map[id(bb)]
+            for inst in bb.instructions:
+                if isinstance(inst, Ret):
+                    ni: Instruction = Ret(
+                        None if inst.value is None else lookup(inst.value)
+                    )
+                    ni.origins = inst.origins
+                else:
+                    ni = clone_instruction(inst, lookup, block_map)
+                vmap[id(inst)] = ni
+                nb.append(ni)
+                if isinstance(inst, Phi):
+                    phis.append((inst, ni))  # type: ignore[arg-type]
+        # Patch forward references: any operand slot still holding an old
+        # value with a mapping is rewritten (set_operand fixes use lists).
+        for bb in f.blocks:
+            for inst in bb.instructions:
+                ni = vmap[id(inst)]
+                for i, op in enumerate(ni.operands):  # type: ignore[union-attr]
+                    mapped = vmap.get(id(op))
+                    if mapped is not None and mapped is not op:
+                        ni.set_operand(i, mapped)  # type: ignore[union-attr]
+        for old_phi, new_phi in phis:
+            for v, blk in old_phi.incoming():
+                new_phi.add_incoming(lookup(v), block_map[id(blk)])
+    return out

@@ -58,6 +58,9 @@ class Instruction(Value):
         super().__init__(type_, name)
         self.operands: list[Value] = []
         self.parent: Optional["BasicBlock"] = None
+        # Provenance: x86 Origins this instruction descends from (see
+        # repro.provenance).  Stamped by the lifter, unioned by rewrites.
+        self.origins: tuple = ()
         for op in operands:
             self._append_operand(op)
 

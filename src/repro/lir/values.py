@@ -30,9 +30,24 @@ class Value:
         self.users: set["Instruction"] = set()
 
     def replace_all_uses_with(self, new: "Value") -> None:
-        """Rewrite every operand slot holding ``self`` to hold ``new``."""
+        """Rewrite every operand slot holding ``self`` to hold ``new``.
+
+        Provenance: when an *instruction* replaces an instruction, the
+        replaced value's origins are merged into the replacement, so folds
+        (GVN, instcombine, mem2reg...) accumulate x86 blame instead of
+        dropping it.  Constants and other origin-free values are left
+        untouched — they are shared and must stay immutable.
+        """
         if new is self:
             return
+        mine = getattr(self, "origins", ())
+        if mine:
+            theirs = getattr(new, "origins", None)
+            if theirs is not None:
+                seen = set(theirs)
+                extra = tuple(o for o in mine if o not in seen)
+                if extra:
+                    new.origins = tuple(theirs) + extra
         for user in list(self.users):
             for i, op in enumerate(user.operands):
                 if op is self:

@@ -110,14 +110,20 @@ def _inline_call(caller: Function, call: Call) -> None:
         alloca.parent = entry
 
     # 4. Wire control flow: call site → cloned entry; returns → continuation.
-    block.append(Br(None, block_map[id(callee.entry)]))
+    # The wiring branches (and the result phi) blame the call site.
+    entry_br = Br(None, block_map[id(callee.entry)])
+    entry_br.origins = call.origins
+    block.append(entry_br)
     result_phi: Optional[Phi] = None
     if not call.type.is_void:
         result_phi = Phi(call.type, caller.next_name("inlret"))
+        result_phi.origins = call.origins
         continuation.instructions.insert(0, result_phi)
         result_phi.parent = continuation
     for nb, original_value in returns:
-        nb.append(Br(None, continuation))
+        ret_br = Br(None, continuation)
+        ret_br.origins = call.origins
+        nb.append(ret_br)
         if result_phi is not None:
             value = (
                 lookup(original_value)

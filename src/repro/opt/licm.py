@@ -43,11 +43,15 @@ def _ensure_preheader(func: Function, head: BasicBlock, loop: set[int]) -> Basic
         term = pred.terminator
         if isinstance(term, Br) and not term.is_conditional:
             return pred
-    # Create a dedicated preheader block.
+    # Create a dedicated preheader block.  Its branch blames the loop
+    # header's terminator — the closest real x86 anchor for glue code.
     pre = BasicBlock(func.next_name("preheader"))
     func.blocks.insert(func.blocks.index(head), pre)
     pre.parent = func
-    pre.append(Br(None, head))
+    pre_br = Br(None, head)
+    if head.terminator is not None:
+        pre_br.origins = head.terminator.origins
+    pre.append(pre_br)
     for pred in outside_preds:
         term = pred.terminator
         if isinstance(term, Br):
@@ -65,6 +69,7 @@ def _ensure_preheader(func: Function, head: BasicBlock, loop: set[int]) -> Basic
             phi.add_incoming(value, pre)
         else:
             merge = Phi(phi.type, func.next_name("pre_phi"))
+            merge.origins = phi.origins
             pre.instructions.insert(0, merge)
             merge.parent = pre
             for value, block in outside_values:

@@ -82,10 +82,12 @@ def run_reassociate(func: Function) -> bool:
                 new_value = leaves[0]
                 for leaf in leaves[1:]:
                     nb = BinOp(work_op, new_value, leaf)
+                    nb.origins = inst.origins
                     bb.insert_before(inst, nb)
                     new_value = nb
                 if const != identity:
                     nb = BinOp(work_op, new_value, ConstantInt(ty, const))
+                    nb.origins = inst.origins
                     bb.insert_before(inst, nb)
                     new_value = nb
             inst.replace_all_uses_with(new_value)

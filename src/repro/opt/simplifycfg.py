@@ -24,8 +24,11 @@ def _fold_constant_branches(func: Function) -> bool:
         ):
             taken = term.targets[0] if term.cond.value & 1 else term.targets[1]
             dropped = term.targets[1] if term.cond.value & 1 else term.targets[0]
+            origins = term.origins
             term.erase_from_parent()
-            bb.append(Br(None, taken))
+            nb = Br(None, taken)
+            nb.origins = origins
+            bb.append(nb)
             if dropped is not taken:
                 for phi in dropped.phis():
                     phi.remove_incoming(bb)
@@ -48,8 +51,11 @@ def _fold_same_target_branches(func: Function) -> bool:
         if term.targets[0] is not term.targets[1]:
             continue
         target = term.targets[0]
+        origins = term.origins
         term.erase_from_parent()
-        bb.append(Br(None, target))
+        nb = Br(None, target)
+        nb.origins = origins
+        bb.append(nb)
         # A phi in the target may carry the duplicated edge twice.
         for phi in target.phis():
             seen = False

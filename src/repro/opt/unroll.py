@@ -185,7 +185,9 @@ def _unroll(func: Function, info: _LoopInfo) -> None:
                 if inst is bb.terminator and bb is info.header:
                     # The exit test is statically false inside the unroll:
                     # always continue into the body clone.
-                    nb.append(Br(None, block_map[id(info.body_target)]))
+                    body_br = Br(None, block_map[id(info.body_target)])
+                    body_br.origins = inst.origins
+                    nb.append(body_br)
                     continue
                 if inst is bb.terminator and bb is info.latch:
                     continue  # wired to the next iteration below
@@ -201,7 +203,10 @@ def _unroll(func: Function, info: _LoopInfo) -> None:
             for v, pb in original.incoming():
                 cloned.add_incoming(lookup(v), block_map[id(pb)])
         # Chain: previous tail → this iteration's header clone.
-        prev_tail.append(Br(None, block_map[id(info.header)]))
+        chain_br = Br(None, block_map[id(info.header)])
+        if info.latch.terminator is not None:
+            chain_br.origins = info.latch.terminator.origins
+        prev_tail.append(chain_br)
         prev_tail = block_map[id(info.latch)]
         # Next-iteration state: the latch incomings of the header phis.
         state = {
@@ -213,7 +218,10 @@ def _unroll(func: Function, info: _LoopInfo) -> None:
         }
 
     # After the last iteration, fall through to the exit block.
-    prev_tail.append(Br(None, info.exit))
+    exit_br = Br(None, info.exit)
+    if info.latch.terminator is not None:
+        exit_br.origins = info.latch.terminator.origins
+    prev_tail.append(exit_br)
 
     # Any use of a header phi *outside* the loop sees the final state.
     for phi in header_phis:

@@ -1,0 +1,26 @@
+"""Instruction provenance: x86 → LIR → Arm lineage tracking.
+
+* :mod:`repro.provenance.origin` — the ``Origin`` atom and merge helpers;
+* :mod:`repro.provenance.sourcemap` — the Arm-level source map + coverage;
+* :mod:`repro.provenance.explain` — the ``repro explain`` views.
+"""
+
+from .origin import (
+    Origin,
+    add_origins,
+    format_origins,
+    merge_origins,
+    origins_of,
+    primary_origin,
+    resolvable,
+    synthetic_origin,
+    x86_location,
+)
+from .sourcemap import CoverageReport, SourceMap, SourceMapEntry
+
+__all__ = [
+    "Origin", "add_origins", "format_origins", "merge_origins",
+    "origins_of", "primary_origin", "resolvable", "synthetic_origin",
+    "x86_location",
+    "CoverageReport", "SourceMap", "SourceMapEntry",
+]

@@ -1,0 +1,107 @@
+"""Origin: the provenance atom threaded through the whole pipeline.
+
+Every LIR instruction the lifter produces is stamped with one ``Origin``
+naming the x86 instruction (address, mnemonic, byte range) it came from.
+Rewrites accumulate rather than replace: when a pass folds two
+instructions into one, the survivor keeps the union of both origin sets,
+so a GVN'd load still blames both of the loads it replaced.  Arm codegen
+copies the current LIR instruction's origins onto every machine
+instruction it emits, which is what lets ``repro explain`` resolve an
+Arm ``dmb`` all the way back to the x86 access it protects.
+
+Code the pipeline invents out of thin air (the lifter's register-slot
+setup, codegen prologue/epilogue) is stamped with a *synthetic* origin
+anchored at the function's x86 entry address so it still resolves to a
+real location in the input binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+#: Origin kinds.  ``instr`` is a real lifted machine instruction; the rest
+#: are synthetic anchors for code with no 1:1 x86 counterpart.
+ORIGIN_KINDS = ("instr", "entry", "prologue", "epilogue")
+
+
+@dataclass(frozen=True)
+class Origin:
+    """One x86 source location: ``addr`` .. ``addr + size`` in ``function``."""
+
+    addr: int
+    mnemonic: str
+    size: int = 0
+    function: str = ""
+    kind: str = "instr"
+
+    @property
+    def is_synthetic(self) -> bool:
+        return self.kind != "instr"
+
+    def format(self) -> str:
+        tag = "" if self.kind == "instr" else f" <{self.kind}>"
+        return f"0x{self.addr:x}({self.mnemonic}){tag}"
+
+    def to_dict(self) -> dict:
+        return {
+            "addr": self.addr,
+            "mnemonic": self.mnemonic,
+            "size": self.size,
+            "function": self.function,
+            "kind": self.kind,
+        }
+
+
+def synthetic_origin(kind: str, addr: int, function: str) -> Origin:
+    """An anchor origin for pipeline-invented code (setup, prologue...)."""
+    return Origin(addr=addr, mnemonic=f"<{kind}>", size=0,
+                  function=function, kind=kind)
+
+
+def merge_origins(
+    base: Sequence[Origin], extra: Iterable[Origin]
+) -> tuple[Origin, ...]:
+    """Union preserving first-seen order (base first)."""
+    seen = set(base)
+    merged = tuple(base)
+    for o in extra:
+        if o not in seen:
+            seen.add(o)
+            merged = merged + (o,)
+    return merged
+
+
+def origins_of(obj) -> tuple[Origin, ...]:
+    """The origin tuple of any object (instructions, AInstrs), or ()."""
+    return tuple(getattr(obj, "origins", ()) or ())
+
+
+def add_origins(obj, extra: Iterable[Origin]) -> None:
+    """Merge ``extra`` into ``obj.origins`` (attribute-carrying objects)."""
+    obj.origins = merge_origins(origins_of(obj), extra)
+
+
+def resolvable(obj) -> bool:
+    """True when ``obj`` carries at least one x86-addressed origin."""
+    return any(o.addr >= 0 for o in origins_of(obj))
+
+
+def format_origins(origins: Iterable[Origin]) -> str:
+    parts = [o.format() for o in origins]
+    return ", ".join(parts) if parts else "<no provenance>"
+
+
+def primary_origin(obj) -> Optional[Origin]:
+    """The best single origin to show: first real one, else first synthetic."""
+    origins = origins_of(obj)
+    for o in origins:
+        if not o.is_synthetic:
+            return o
+    return origins[0] if origins else None
+
+
+def x86_location(obj) -> str:
+    """A short printable x86 location for diagnostics, or '' if unknown."""
+    o = primary_origin(obj)
+    return o.format() if o is not None else ""

@@ -123,7 +123,9 @@ def run_peephole(func: Function) -> bool:
             insert_before = inst
             new_insts: list = []
 
-            def emit(new_inst):
+            def place(new_inst):
+                # Replacement pointer ops inherit the inttoptr's provenance.
+                new_inst.origins = inst.origins
                 bb.insert_before(insert_before, new_inst)
                 new_insts.append(new_inst)
                 return new_inst
@@ -131,21 +133,21 @@ def run_peephole(func: Function) -> bool:
             if chain.root_ptr is not None:
                 base = chain.root_ptr
                 if base.type != ptr(I8):
-                    base = emit(Cast("bitcast", base, ptr(I8)))
+                    base = place(Cast("bitcast", base, ptr(I8)))
             else:
                 # Rule 3: expose the argument as a raw i8 pointer; pointer
                 # parameter promotion will retype it.
-                base = emit(Cast("inttoptr", chain.arg_root, ptr(I8)))
+                base = place(Cast("inttoptr", chain.arg_root, ptr(I8)))
             for term in chain.dynamic:
-                base = emit(GEP(I8, base, [term]))
+                base = place(GEP(I8, base, [term]))
             if chain.offset != 0:
-                base = emit(
+                base = place(
                     GEP(I8, base, [ConstantInt(IntType(64), chain.offset)])
                 )
             if base.type == inst.type:
                 final = base
             else:
-                final = emit(Cast("bitcast", base, inst.type))
+                final = place(Cast("bitcast", base, inst.type))
             inst.replace_all_uses_with(final)
             inst.erase_from_parent()
             changed = True

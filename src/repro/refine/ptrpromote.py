@@ -123,8 +123,10 @@ def _as_pointer(bb, call: Call, value: Value, want: PointerType) -> Value:
         if src.type == want:
             return src
         cast = Cast("bitcast", src, want)
+        cast.origins = call.origins
         bb.insert_before(call, cast)
         return cast
     cast = Cast("inttoptr", value, want)
+    cast.origins = call.origins
     bb.insert_before(call, cast)
     return cast

@@ -3,9 +3,13 @@
 Reuses the Phoenix suite (the §9 harness) to time *translation itself* —
 not the translated program — for every pipeline configuration, and
 records the static outputs that matter for a perf regression: Arm
-instruction counts, fence counts, LIR size.  The result is written as
-``BENCH_translate.json``; re-run the harness after a perf change and
-diff the two files.
+instruction counts, fence counts, LIR size, and (since v3) provenance
+coverage from the LIR→Arm source map.
+
+Schema v3 also keeps a *trajectory*: ``write_bench`` appends one entry
+per run — keyed by git SHA and UTC timestamp — to the ``trajectory``
+list of the existing report file instead of overwriting history, so
+``BENCH_translate.json`` records how the numbers moved across commits.
 
 CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]``.
 """
@@ -13,12 +17,27 @@ CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]``.
 from __future__ import annotations
 
 import json
+import subprocess
+from datetime import datetime, timezone
 from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 DEFAULT_OUT = "BENCH_translate.json"
+
+
+def git_sha() -> str:
+    """Short git SHA of the working tree, or 'unknown' outside a repo."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
 
 
 def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
@@ -26,6 +45,7 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
     """Time every (program, config) translation; median of ``repeats``."""
     from ..core.pipeline import CONFIGS, Lasagne
     from ..phoenix import SIZE_SMALL, SIZE_TINY, all_programs
+    from ..provenance import SourceMap
 
     sizes = SIZE_TINY if size == "tiny" else SIZE_SMALL
     configs = list(configs or CONFIGS)
@@ -46,7 +66,7 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 from ..analysis import check_module
 
                 fencecheck_violations = len(check_module(built.module))
-            per_config[config] = {
+            row = {
                 "translate_seconds": round(times[len(times) // 2], 6),
                 "arm_instructions": built.arm_instructions,
                 "lir_instructions": built.lir_instructions,
@@ -56,6 +76,16 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 "fences_elided_beyond_walk": built.fences_elided_beyond_walk,
                 "fencecheck_violations": fencecheck_violations,
             }
+            if config != "native":
+                # Native code has no x86 lineage; coverage is meaningful
+                # only for translated configurations.
+                cov = SourceMap.from_program(built.program).coverage()
+                row["provenance"] = {
+                    "instruction_pct": round(cov.instruction_pct, 2),
+                    "memory_pct": round(cov.memory_pct, 2),
+                    "fence_pct": round(cov.fence_pct, 2),
+                }
+            per_config[config] = row
         programs[program.name] = per_config
 
     summary: dict[str, dict] = {}
@@ -72,6 +102,11 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
             "fencecheck_violations_total": sum(
                 r["fencecheck_violations"] for r in rows),
         }
+        if config != "native":
+            summary[config]["provenance_memory_pct_min"] = min(
+                r["provenance"]["memory_pct"] for r in rows)
+            summary[config]["provenance_fence_pct_min"] = min(
+                r["provenance"]["fence_pct"] for r in rows)
     return {
         "version": BENCH_VERSION,
         "size": size,
@@ -82,7 +117,37 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
     }
 
 
+def _load_trajectory(path: Path) -> list[dict]:
+    """Prior trajectory entries from an existing report (any version)."""
+    if not path.exists():
+        return []
+    try:
+        old = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return []
+    if not isinstance(old, dict):
+        return []
+    trajectory = old.get("trajectory", [])
+    return trajectory if isinstance(trajectory, list) else []
+
+
 def write_bench(report: dict, path: str = DEFAULT_OUT) -> Path:
+    """Write the report, *appending* a trajectory entry for this run.
+
+    The snapshot fields (``programs``/``summary``) always reflect the
+    latest run; ``trajectory`` accumulates one ``{sha, timestamp, size,
+    summary}`` entry per invocation so history survives rewrites.
+    """
     out = Path(path)
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    trajectory = _load_trajectory(out)
+    trajectory.append({
+        "sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "size": report.get("size"),
+        "summary": report.get("summary", {}),
+    })
+    full = dict(report)
+    full["trajectory"] = trajectory
+    out.write_text(json.dumps(full, indent=2) + "\n")
     return out

@@ -294,13 +294,15 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt"}
         lifted = report["summary"]["lifted"]
         assert lifted["fences_elided_total"] > 0
         assert "fences_elided_beyond_walk_total" in lifted
         assert lifted["fencecheck_violations_total"] == 0
+        assert lifted["provenance_fence_pct_min"] == 100.0
+        assert len(report["trajectory"]) == 1
 
 
 def test_evaluate_command_smoke(capsys):

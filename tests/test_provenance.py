@@ -1,0 +1,339 @@
+"""Tests for instruction provenance: Origin model, propagation through
+the pipeline, the LIR→Arm source map, and the ``repro explain`` CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core import Lasagne
+from repro.lir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+    clone_module,
+    ptr,
+)
+from repro.lir.clone import clone_instruction
+from repro.minicc import compile_to_x86
+from repro.provenance import (
+    Origin,
+    SourceMap,
+    format_origins,
+    merge_origins,
+    synthetic_origin,
+)
+from repro.provenance.explain import build_explanation
+
+DEMO = """
+int g = 0;
+int worker(int t) { atomic_add(&g, t + 1); return 0; }
+int main() {
+  int a = spawn(worker, 1);
+  int b = spawn(worker, 2);
+  join(a); join(b);
+  g = g + 1;
+  return g;
+}
+"""
+
+TRANSLATED_CONFIGS = ("lifted", "opt", "popt", "ppopt")
+
+
+@pytest.fixture()
+def demo_file(tmp_path):
+    path = tmp_path / "demo.c"
+    path.write_text(DEMO)
+    return str(path)
+
+
+def _ppopt(source=DEMO):
+    return Lasagne().build(source, "ppopt")
+
+
+# ---- Origin model -----------------------------------------------------------
+
+
+class TestOriginModel:
+    def test_format_and_synthetic(self):
+        o = Origin(addr=0x400010, mnemonic="mov", size=3, function="f")
+        assert o.format() == "0x400010(mov)"
+        assert not o.is_synthetic
+        s = synthetic_origin("entry", 0x400000, "f")
+        assert s.is_synthetic
+        assert "entry" in s.format()
+
+    def test_merge_origins_is_order_preserving_union(self):
+        a = Origin(addr=1, mnemonic="mov", size=1, function="f")
+        b = Origin(addr=2, mnemonic="add", size=1, function="f")
+        assert merge_origins((a,), (b, a)) == (a, b)
+        assert merge_origins((), (a,)) == (a,)
+
+    def test_format_origins_empty(self):
+        assert format_origins(()) == "<no provenance>"
+
+
+class TestRauwMergesOrigins:
+    def test_replacement_inherits_replaced_origins(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        o1 = Origin(addr=0x10, mnemonic="mov", size=2, function="f")
+        o2 = Origin(addr=0x20, mnemonic="add", size=2, function="f")
+        b.set_origin(o1)
+        first = b.add(f.arguments[0], ConstantInt(I64, 1))
+        b.set_origin(o2)
+        second = b.add(f.arguments[0], ConstantInt(I64, 1))
+        b.ret(second)
+        # GVN-style fold: second is replaced by first; first must now
+        # blame both x86 sources.
+        second.replace_all_uses_with(first)
+        assert set(first.origins) == {o1, o2}
+
+
+# ---- clone / snapshot preservation -----------------------------------------
+
+
+class TestClonePreservesOrigins:
+    def _one_inst_func(self):
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (ptr(I64),)), ["p"])
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        b.set_origin(Origin(addr=0x30, mnemonic="mov", size=2, function="f"))
+        ld = b.load(f.arguments[0])
+        b.ret(ld)
+        return m, f, ld
+
+    def test_clone_instruction_copies_origins_and_placement(self):
+        _, _, ld = self._one_inst_func()
+        ld.placement = ("placed: test",)
+        cloned = clone_instruction(ld, lambda v: v)
+        assert cloned.origins == ld.origins
+        assert cloned.placement == ("placed: test",)
+
+    def test_clone_module_preserves_origins(self):
+        m, f, ld = self._one_inst_func()
+        f.x86_addr = 0x400000
+        copy = clone_module(m)
+        cf = copy.functions["f"]
+        assert cf.x86_addr == 0x400000
+        copied = [i for bb in cf.blocks for i in bb.instructions]
+        originals = [i for bb in f.blocks for i in bb.instructions]
+        assert len(copied) == len(originals)
+        for orig, new in zip(originals, copied):
+            assert new is not orig
+            assert new.origins == orig.origins
+
+    def test_snapshot_module_retains_lifted_origins(self):
+        obj = compile_to_x86(DEMO)
+        built = Lasagne(capture_stages=True).translate(obj, "ppopt")
+        lift_stage = built.stages["lift"]
+        stamped = sum(
+            1
+            for func in lift_stage.functions.values()
+            for bb in func.blocks
+            for inst in bb.instructions
+            if inst.origins
+        )
+        assert stamped > 0
+        total = lift_stage.instruction_count()
+        assert stamped == total  # every lifted instruction has provenance
+
+
+# ---- pipeline-wide properties ----------------------------------------------
+
+
+class TestPipelineCoverage:
+    def test_every_ppopt_memory_access_resolves(self):
+        built = _ppopt()
+        sm = SourceMap.from_program(built.program)
+        unresolved = [e for e in sm.memory_accesses() if not e.resolved]
+        assert unresolved == []
+
+    def test_fence_provenance_complete_all_translated_configs(self):
+        for config in TRANSLATED_CONFIGS:
+            built = Lasagne().build(DEMO, config)
+            sm = SourceMap.from_program(built.program)
+            cov = sm.coverage()
+            assert cov.fence_pct == 100.0, config
+            assert cov.memory_pct >= 95.0, config
+
+    def test_phoenix_suite_meets_acceptance_bar(self):
+        from repro.phoenix import SIZE_TINY, all_programs
+
+        for program in all_programs(SIZE_TINY):
+            built = Lasagne(verify=False).build(program.source, "ppopt")
+            cov = SourceMap.from_program(built.program).coverage()
+            assert cov.fence_pct == 100.0, program.name
+            assert cov.memory_pct >= 95.0, program.name
+
+    def test_fences_blame_real_x86_instructions(self):
+        built = _ppopt()
+        sm = SourceMap.from_program(built.program)
+        fences = sm.fences()
+        assert fences
+        for entry in fences:
+            assert entry.origins, str(entry.instr)
+            assert any(not o.is_synthetic for o in entry.origins)
+
+
+# ---- explain ----------------------------------------------------------------
+
+
+class TestExplain:
+    def test_fence_blame_names_address_mnemonic_and_rule(self):
+        expl = build_explanation(DEMO, "ppopt")
+        assert expl.fences
+        for blame in expl.fences:
+            assert blame.resolved
+            text = format_origins(blame.origins)
+            assert "0x" in text and "(" in text  # addr(mnemonic)
+            assert "Fig. 8a" in blame.rule() or "section 7" in blame.rule()
+
+    def test_merge_decisions_recorded(self):
+        expl = build_explanation(DEMO, "ppopt")
+        events = [e for b in expl.fences for e in b.events]
+        assert any(e.startswith("placed:") for e in events)
+        assert any(e.startswith("merged:") for e in events)
+
+    def test_elisions_reported_with_x86_location(self):
+        expl = build_explanation(DEMO, "ppopt")
+        assert expl.elisions  # stack traffic is proven thread-local
+        assert any(r.args.get("x86") for r in expl.elisions)
+
+    def test_coverage_matches_source_map(self):
+        expl = build_explanation(DEMO, "ppopt")
+        assert expl.coverage.fence_pct == 100.0
+        assert expl.coverage.memory_pct >= 95.0
+
+
+class TestExplainCli:
+    def test_fences_view(self, demo_file, capsys):
+        rc = main(["explain", demo_file, "--fences"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fence blame" in out
+        assert "protects: 0x" in out
+        assert "Fig. 8a" in out
+
+    def test_map_view(self, demo_file, capsys):
+        rc = main(["explain", demo_file, "--map"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "provenance map" in out
+        assert "lir |" in out and "arm |" in out
+
+    def test_coverage_thresholds_pass_and_fail(self, demo_file, capsys):
+        rc = main(["explain", demo_file, "--coverage",
+                   "--min-fence-coverage", "100",
+                   "--min-mem-coverage", "95"])
+        assert rc == 0
+        capsys.readouterr()
+        # An impossible bar must flip the exit code.
+        rc = main(["explain", demo_file, "--coverage",
+                   "--min-mem-coverage", "100.1"])
+        assert rc == 1
+        assert "below the required" in capsys.readouterr().err
+
+    def test_json_output(self, demo_file, capsys):
+        rc = main(["explain", demo_file, "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["config"] == "ppopt"
+        assert data["coverage"]["fences"]["pct"] == 100.0
+        assert all(f["origins"] for f in data["fences"])
+
+    def test_native_config_has_no_lineage(self, demo_file, capsys):
+        rc = main(["explain", demo_file, "--config", "native", "--map"])
+        assert rc == 0
+        assert "no x86 input" in capsys.readouterr().out
+
+
+class TestAnalyzeJson:
+    def test_analyze_json_reports(self, demo_file, capsys):
+        rc = main(["analyze", demo_file, "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["config"] == "ppopt"
+        assert "escape" in data and "accesses" in data
+        assert data["fencecheck"]["violations"] == 0
+
+    def test_analyze_json_single_mode(self, demo_file, capsys):
+        rc = main(["analyze", demo_file, "--json", "--fencecheck"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "fencecheck" in data and "escape" not in data
+
+
+# ---- consumers --------------------------------------------------------------
+
+
+class TestFencecheckLocations:
+    def test_diags_prefer_x86_locations(self):
+        from repro.analysis import check_function
+
+        built = Lasagne().build(DEMO, "ppopt")
+        func = built.module.functions["main"]
+        # Delete every fence so the checker has something to report.
+        for bb in func.blocks:
+            for inst in list(bb.instructions):
+                if inst.opcode == "fence":
+                    inst.erase_from_parent()
+        diags = check_function(func, module=built.module)
+        assert diags
+        assert any("0x" in d.location for d in diags)
+        for d in diags:
+            if d.x86:
+                assert d.location == f"{d.function} @ {d.x86}"
+
+
+class TestShrinkerPreservesProvenance:
+    def test_shrunk_program_keeps_full_fence_provenance(self):
+        from repro.validate import shrink
+
+        def still_has_global_store(source: str) -> bool:
+            try:
+                built = Lasagne(verify=False).build(source, "ppopt")
+            except Exception:  # noqa: BLE001
+                return False
+            return built.fences > 0
+
+        reduced = shrink(DEMO, still_has_global_store)
+        assert still_has_global_store(reduced)
+        cov = SourceMap.from_program(
+            Lasagne().build(reduced, "ppopt").program).coverage()
+        assert cov.fence_pct == 100.0
+
+
+class TestBenchTrajectory:
+    def test_write_bench_appends_trajectory(self, tmp_path):
+        from repro.telemetry.bench import BENCH_VERSION, write_bench
+
+        report = {"version": BENCH_VERSION, "size": "tiny",
+                  "summary": {"ppopt": {"fences_total": 5}}}
+        out = tmp_path / "bench.json"
+        write_bench(report, str(out))
+        write_bench(report, str(out))
+        data = json.loads(out.read_text())
+        assert data["version"] == BENCH_VERSION
+        assert len(data["trajectory"]) == 2
+        for entry in data["trajectory"]:
+            assert entry["sha"]
+            assert entry["timestamp"]
+            assert entry["summary"] == report["summary"]
+
+    def test_run_bench_records_provenance(self):
+        from repro.telemetry.bench import run_bench
+
+        report = run_bench(size="tiny", configs=["native", "ppopt"],
+                           repeats=1)
+        ppopt = report["summary"]["ppopt"]
+        assert ppopt["provenance_fence_pct_min"] == 100.0
+        assert ppopt["provenance_memory_pct_min"] >= 95.0
+        assert "provenance" not in next(
+            iter(report["programs"].values()))["native"]

@@ -243,7 +243,7 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 2
+        assert report["version"] == 3
         assert report["configs"] == ["ppopt"]
         for name, per_config in report["programs"].items():
             row = per_config["ppopt"]
@@ -253,7 +253,9 @@ class TestBenchEmitter:
             assert row["fences"] <= row["fences_naive"]
             assert row["fences_elided"] >= 0
             assert row["fencecheck_violations"] == 0
+            assert row["provenance"]["fence_pct"] == 100.0
         summary = report["summary"]["ppopt"]
         assert summary["translate_seconds_total"] > 0
         out = write_bench(report, str(tmp_path / "BENCH_translate.json"))
-        json.loads(out.read_text())
+        data = json.loads(out.read_text())
+        assert len(data["trajectory"]) == 1
