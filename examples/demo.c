@@ -1,7 +1,11 @@
 // Two threads bump a shared atomic counter; main then chains two
 // non-atomic global accesses (h = g; g = h + 1) so fence placement and
-// §7 fence merging both have work to do.  Used by the CI telemetry smoke
-// step: `repro translate examples/demo.c --trace` / `repro stats`.
+// §7 fence merging both have work to do, and tallies a local through a
+// pointer-taking helper so the interprocedural escape summaries have an
+// elision to prove (bump's argument never escapes).  Used by the CI
+// telemetry/fencecheck/delay-set smoke steps:
+// `repro translate examples/demo.c --trace` / `repro stats` /
+// `repro analyze examples/demo.c --delay-sets`.
 int g = 0;
 int h = 0;
 
@@ -10,12 +14,20 @@ int worker(int t) {
   return 0;
 }
 
+int bump(int *p, int v) {
+  *p = *p + v;
+  return 0;
+}
+
 int main() {
   int a = spawn(worker, 1);
   int b = spawn(worker, 2);
   join(a);
   join(b);
+  int local = 0;
+  bump(&local, 3);
+  bump(&local, 4);
   h = g;
   g = h + 1;
-  return g;
+  return g + local - 7;
 }

@@ -1,24 +1,41 @@
 """repro.analysis — static analyses over LIR.
 
-Three layers:
+Six layers:
 
 * :mod:`repro.analysis.dataflow` — a generic worklist dataflow engine
   (forward/backward, lattice join, per-block in/out fixpoint states);
-* :mod:`repro.analysis.pointsto` — intraprocedural Andersen-style
-  points-to/escape analysis with integer provenance, exposed through the
+* :mod:`repro.analysis.pointsto` — Andersen-style points-to/escape
+  analysis with integer provenance, exposed through the
   :class:`AliasInfo` / ModRef query interface;
+* :mod:`repro.analysis.callgraph` — the module call graph with Tarjan
+  SCCs, thread-root discovery and address-taken tracking;
+* :mod:`repro.analysis.summaries` — bottom-up interprocedural function
+  summaries (escape / mod-ref / returns / stores-into) feeding a
+  whole-module :class:`ModuleAnalysis`;
+* :mod:`repro.analysis.delayset` — Shasha–Snir delay-set analysis:
+  critical cycles over the static conflict graph classify each placed
+  fence as required or redundant, with enumeration-validated elision;
 * :mod:`repro.analysis.fencecheck` — a static linter for the LIMM fence
   mapping obligations (ldna;Frm / Fww;stna / RMWsc).
 
 See docs/analysis.md for the design discussion.
 """
 
+from .callgraph import CallGraph, build_callgraph, tarjan_sccs
 from .dataflow import (
     BACKWARD,
     FORWARD,
     DataflowProblem,
     DataflowResult,
     run_dataflow,
+)
+from .delayset import (
+    DelaySetStats,
+    analyze_module_fences,
+    audit_module,
+    check_litmus_elision,
+    elide_litmus_fences,
+    elide_redundant_fences,
 )
 from .fencecheck import (
     READ_FENCES,
@@ -36,6 +53,12 @@ from .pointsto import (
     MemObject,
     analyze_function,
 )
+from .summaries import (
+    FunctionSummary,
+    ModuleAnalysis,
+    analyze_module,
+    compute_summaries,
+)
 
 __all__ = [
     "BACKWARD", "FORWARD", "DataflowProblem", "DataflowResult",
@@ -44,4 +67,10 @@ __all__ = [
     "check_function", "check_module",
     "MOD", "MOD_REF", "NO_MODREF", "REF",
     "AliasInfo", "MemObject", "analyze_function",
+    "CallGraph", "build_callgraph", "tarjan_sccs",
+    "FunctionSummary", "ModuleAnalysis", "analyze_module",
+    "compute_summaries",
+    "DelaySetStats", "analyze_module_fences", "audit_module",
+    "check_litmus_elision", "elide_litmus_fences",
+    "elide_redundant_fences",
 ]

@@ -23,6 +23,16 @@ re-derives them from scratch with two dataflow problems on the generic
 engine (fences *since* the last access, forward; fences *before* the next
 access, backward), so any weakening along any path surfaces as a
 diagnostic with a ``function:block:instruction`` location.
+
+Two relaxations, both proof-carrying:
+
+* thread-locality comes from the *interprocedural* analysis
+  (:func:`repro.analysis.summaries.analyze_module`) so the exemption
+  matches what placement elides — pass ``module_analysis`` to share it;
+* an access stamped with a ``delayset_cert`` (a cycle-freeness
+  certificate from :mod:`repro.analysis.delayset`, audited separately by
+  the oracle's delay-set rung) is exempt from the fence obligation the
+  certificate names — its missing fence covered no critical-cycle edge.
 """
 
 from __future__ import annotations
@@ -169,6 +179,12 @@ def _fences_before(block: BasicBlock, index: int,
     return frozenset(kinds) | block_entry
 
 
+def _certified(inst, obligation: str) -> bool:
+    """Does ``inst`` carry a delay-set cycle-freeness certificate for the
+    named fence obligation (``"rm"``/``"ww"``)?"""
+    return obligation in getattr(inst, "delayset_cert", ())
+
+
 def check_function(func: Function,
                    alias: Optional[AliasInfo] = None,
                    module: Optional[Module] = None) -> list[FenceDiag]:
@@ -202,6 +218,9 @@ def check_function(func: Function,
                     continue
                 have = _fences_after(block, index, backward.block_out(block))
                 if not (have & READ_FENCES):
+                    if _certified(inst, "rm"):
+                        telemetry.count("fencecheck.certified")
+                        continue
                     diag(block, index, "missing-frm",
                          "non-thread-local ldna is not followed by Frm/Fsc "
                          "before the next memory access")
@@ -210,6 +229,9 @@ def check_function(func: Function,
                     continue
                 have = _fences_before(block, index, forward.block_in(block))
                 if not (have & WRITE_FENCES):
+                    if _certified(inst, "ww"):
+                        telemetry.count("fencecheck.certified")
+                        continue
                     diag(block, index, "missing-fww",
                          "non-thread-local stna is not preceded by Fww/Fsc "
                          "after the previous memory access")
@@ -231,9 +253,20 @@ def check_function(func: Function,
     return diags
 
 
-def check_module(module: Module) -> list[FenceDiag]:
-    """Run :func:`check_function` over every defined function."""
+def check_module(module: Module,
+                 module_analysis: Optional[object] = None) -> list[FenceDiag]:
+    """Run :func:`check_function` over every defined function.
+
+    Thread-locality comes from the shared interprocedural analysis so the
+    checker's exemption matches what fence placement elides; pass a
+    pre-built :class:`~repro.analysis.summaries.ModuleAnalysis` to reuse
+    one, or let it be computed here.
+    """
+    from .summaries import analyze_module
+    ma = module_analysis or analyze_module(module)
     diags: list[FenceDiag] = []
     for func in module.functions.values():
-        diags.extend(check_function(func, module=module))
+        if func.is_declaration:
+            continue
+        diags.extend(check_function(func, alias=ma.alias(func), module=module))
     return diags

@@ -28,6 +28,19 @@ only non-escaped stack objects — the Lasagne §8 condition for eliding the
 LIMM fences around it.
 
 Entry point: :func:`analyze_function` → :class:`AliasInfo`.
+
+**Interprocedural mode.**  When given a summary table (``summaries=``,
+from :mod:`repro.analysis.summaries`), call sites whose callee has a
+summary are applied precisely instead of escaping every argument: the
+callee's parameter behaviour (escapes / stores / returns) is replayed
+against the actual arguments' points-to sets, so an alloca handed to a
+well-behaved callee stays thread-local.  With ``summary_mode=True`` the
+solver additionally models the *formal parameters* of ``func`` itself as
+first-class ``"param"`` objects (with a one-level ``param.*`` contents
+placeholder) and records return-value provenance as tokens instead of
+escaping it — a returned stack address only becomes visible to the
+caller *after* every access in this function already executed, so it
+cannot introduce a cross-thread race on those accesses.
 """
 
 from __future__ import annotations
@@ -76,7 +89,7 @@ MOD_REF = 3
 class MemObject:
     """One abstract memory object: a stack slot, a global, or UNKNOWN."""
 
-    kind: str                      # "stack" | "global" | "unknown"
+    kind: str                      # "stack" | "global" | "param" | "unknown"
     name: str
     origin: Optional[Value] = None  # the Alloca / GlobalVariable, if any
     escaped: bool = False
@@ -95,9 +108,13 @@ _DATA_CONSTANTS = (ConstantInt, ConstantFloat, ConstantPointerNull, UndefValue)
 class _Solver:
     """Chaotic-iteration constraint solver for one function."""
 
-    def __init__(self, func: Function, module: Optional[Module]) -> None:
+    def __init__(self, func: Function, module: Optional[Module],
+                 summaries: Optional[dict] = None,
+                 summary_mode: bool = False) -> None:
         self.func = func
         self.module = module
+        self.summaries = summaries or {}
+        self.summary_mode = summary_mode
         self.unknown = MemObject("unknown", "unknown", escaped=True)
         self.unknown.contents.add(self.unknown)
         self.objects: dict[int, MemObject] = {}   # id(origin value) -> object
@@ -106,6 +123,21 @@ class _Solver:
         self.known: set[int] = set()              # instructions seen by solve()
         self.solved = False
         self.changed = False
+        # Summary mode: one "param" object per formal, plus a one-level
+        # contents placeholder standing for whatever the caller's object
+        # already holds (self-looped: deeper indirection folds into it).
+        self.param_objects: dict[int, MemObject] = {}
+        self.param_contents: dict[int, MemObject] = {}
+        self.return_objs: set[MemObject] = set()
+        if summary_mode:
+            for i, arg in enumerate(func.arguments):
+                label = arg.name or f"arg{i}"
+                cont = MemObject("param", f"{label}.*")
+                cont.contents.add(cont)
+                param = MemObject("param", label, origin=arg)
+                param.contents.add(cont)
+                self.param_objects[i] = param
+                self.param_contents[i] = cont
 
     # -- roots ---------------------------------------------------------
 
@@ -143,7 +175,10 @@ class _Solver:
             # Address-like constant expression we do not model.
             seeded = {self.unknown}
         elif isinstance(value, Argument):
-            seeded = {self.unknown}
+            if self.summary_mode and value.index in self.param_objects:
+                seeded = {self.param_objects[value.index]}
+            else:
+                seeded = {self.unknown}
         elif isinstance(value, Instruction):
             # Results start empty and grow as transfer functions run.
             seeded = set()
@@ -179,6 +214,11 @@ class _Solver:
             self._include(obj.contents, stored)
             if obj.escaped:
                 self._escape(stored)
+            elif obj.kind == "param":
+                # Stored into caller-visible memory: the caller (and via
+                # it, other threads) can reach anything non-param we put
+                # there while this function is still running.
+                self._escape([o for o in stored if o.kind != "param"])
 
     def _load_from(self, sources: set[MemObject]) -> set[MemObject]:
         out: set[MemObject] = set()
@@ -223,14 +263,70 @@ class _Solver:
             self._include(result, self._load_from(targets))
             self._store_into(targets, self.lookup(inst.new))
         elif isinstance(inst, Call):
-            if not inst.is_readnone_callee():
-                for arg in inst.args:
-                    self._escape(self.lookup(arg))
-            self._include(result, {self.unknown})
+            summary = self._call_summary(inst)
+            if summary is not None:
+                self._apply_summary(inst, summary, result)
+            else:
+                if not inst.is_readnone_callee():
+                    for arg in inst.args:
+                        self._escape(self.lookup(arg))
+                self._include(result, {self.unknown})
         elif isinstance(inst, Ret):
             if inst.value is not None:
-                self._escape(self.lookup(inst.value))
+                if self.summary_mode:
+                    # Recorded as a returns-token; a returned address only
+                    # reaches the caller after every access here retired,
+                    # so it does not escape for thread-locality purposes.
+                    self._include(self.return_objs, self.lookup(inst.value))
+                else:
+                    self._escape(self.lookup(inst.value))
         # Fence / Br / ICmp / FCmp / Unreachable: no provenance, no escape.
+
+    # -- interprocedural call handling --------------------------------
+
+    def _call_summary(self, inst: Call):
+        """The :class:`~repro.analysis.summaries.FunctionSummary` for a
+        direct call to a defined, already-summarised callee, else None."""
+        if not self.summaries:
+            return None
+        callee = inst.callee
+        if isinstance(callee, Function) and not callee.is_declaration:
+            return self.summaries.get(callee.name)
+        return None
+
+    def _resolve_tokens(self, tokens,
+                        argpts: list[set[MemObject]]) -> set[MemObject]:
+        """Map a callee summary's provenance tokens onto this call site's
+        actual argument points-to sets."""
+        out: set[MemObject] = set()
+        for tok in tokens:
+            kind = tok[0]
+            if kind == "param" and tok[1] < len(argpts):
+                out |= argpts[tok[1]]
+            elif kind == "contents" and tok[1] < len(argpts):
+                for obj in argpts[tok[1]]:
+                    out |= obj.contents
+            else:
+                out.add(self.unknown)
+        return out
+
+    def _apply_summary(self, inst: Call, summary,
+                       result: set[MemObject]) -> None:
+        argpts = [self.lookup(arg) for arg in inst.args]
+        for i, pts in enumerate(argpts):
+            if i >= summary.nparams:
+                self._escape(pts)  # arity mismatch: stay conservative
+                continue
+            if summary.param_escapes[i]:
+                self._escape(pts)
+            elif summary.contents_escape[i]:
+                for obj in pts:
+                    self._escape(obj.contents)
+            stored = summary.stores_into[i]
+            if stored:
+                self._store_into(set(pts),
+                                 self._resolve_tokens(stored, argpts))
+        self._include(result, self._resolve_tokens(summary.returns, argpts))
 
     def solve(self) -> None:
         insts = list(self.func.instructions())
@@ -292,12 +388,23 @@ class AliasInfo:
         sb = self._solver.lookup(b)
         if not sa or not sb:
             return False  # null/undef: no storage to overlap
+        return self._sets_may_overlap(sa, sb)
+
+    def _opaque(self, obj: MemObject) -> bool:
+        # Memory of unbounded provenance: UNKNOWN, or a caller-owned
+        # parameter object (two params may name the same storage).
+        return obj is self.unknown or obj.kind == "param"
+
+    def _sets_may_overlap(self, sa: set[MemObject],
+                          sb: set[MemObject]) -> bool:
         if sa & sb:
             return True
-        if self.unknown in sa:
-            return any(o.escaped for o in sb)
-        if self.unknown in sb:
-            return any(o.escaped for o in sa)
+        if any(self._opaque(o) for o in sa):
+            if any(o.escaped or self._opaque(o) for o in sb):
+                return True
+        if any(self._opaque(o) for o in sb):
+            if any(o.escaped for o in sa):
+                return True
         return False
 
     def alias(self, a: Value, b: Value) -> str:
@@ -309,11 +416,35 @@ class AliasInfo:
 
     def call_may_access(self, call: Call, pointer: Value) -> bool:
         """May executing ``call`` read or write the memory ``pointer``
-        addresses?  Callees only reach escaped objects and UNKNOWN."""
+        addresses?  Without a callee summary, callees reach escaped
+        objects and UNKNOWN; with one, only the memory the summary says
+        the callee touches (mod/ref'd parameters, escaped/global state)."""
         if call.is_readnone_callee():
             return False
         pts = self._solver.lookup(pointer)
-        return any(o.escaped for o in pts) or self.unknown in pts
+        summary = self._solver._call_summary(call)
+        if summary is None:
+            return (any(o.escaped for o in pts)
+                    or any(self._opaque(o) for o in pts))
+        if summary.touches and (any(o.escaped for o in pts)
+                                or any(self._opaque(o) for o in pts)):
+            return True
+        touched: set[MemObject] = set()
+        for i, arg in enumerate(call.args):
+            if i < summary.nparams and not summary.param_modref[i]:
+                continue  # callee provably never dereferences this param
+            touched |= self._contents_closure(self._solver.lookup(arg))
+        return bool(touched) and self._sets_may_overlap(pts, touched)
+
+    def _contents_closure(self, objs: set[MemObject]) -> set[MemObject]:
+        out = set(objs)
+        work = list(objs)
+        while work:
+            for inner in work.pop().contents:
+                if inner not in out:
+                    out.add(inner)
+                    work.append(inner)
+        return out
 
     def mod_ref(self, inst: Instruction, pointer: Value) -> int:
         """How ``inst`` may interact with the memory at ``pointer``:
@@ -346,10 +477,20 @@ class AliasInfo:
 
 
 def analyze_function(func: Function,
-                     module: Optional[Module] = None) -> AliasInfo:
+                     module: Optional[Module] = None,
+                     summaries: Optional[dict] = None,
+                     summary_mode: bool = False) -> AliasInfo:
     """Run the points-to/escape analysis on ``func`` and return the
-    :class:`AliasInfo` query interface (empty for declarations)."""
-    solver = _Solver(func, module)
+    :class:`AliasInfo` query interface (empty for declarations).
+
+    ``summaries`` (name → ``FunctionSummary``) enables precise handling
+    of direct calls to summarised callees; ``summary_mode`` additionally
+    models formal parameters as ``param`` objects and records return
+    tokens — the configuration :func:`repro.analysis.summaries.analyze_module`
+    uses.  The default keeps the PR-3 intraprocedural semantics.
+    """
+    solver = _Solver(func, module, summaries=summaries,
+                     summary_mode=summary_mode)
     if not func.is_declaration:
         solver.solve()
     return AliasInfo(solver)

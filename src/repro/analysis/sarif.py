@@ -1,0 +1,138 @@
+"""Minimal SARIF 2.1.0 emission for the static-analysis commands.
+
+``repro analyze --fencecheck --sarif out.sarif`` and
+``repro analyze --delay-sets --sarif out.sarif`` serialise their findings
+in the Static Analysis Results Interchange Format so CI systems (GitHub
+code scanning among them) can ingest them as first-class annotations.
+
+The subset emitted (documented in docs/analysis.md):
+
+* one ``run`` with ``tool.driver.name = "repro"`` and one rule per
+  distinct finding kind (``fencecheck/missing-frm``,
+  ``delayset/redundant``, ...);
+* one ``result`` per finding: ``ruleId``, ``level`` (``error`` for
+  fencecheck violations, ``note`` for delay-set verdicts), a
+  ``message.text`` carrying the human explanation (including the
+  critical-cycle witness for required fences), a ``physicalLocation``
+  pointing at the analyzed source artifact, and a ``logicalLocation``
+  whose ``fullyQualifiedName`` is the LIR position
+  ``function:block:index`` (``decoratedName`` holds the originating x86
+  address when provenance survived).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+# One-line help texts for every rule id we may emit.
+_RULE_HELP = {
+    "fencecheck/missing-frm": (
+        "A non-thread-local ldna is not followed by Frm/Fsc before the "
+        "next memory access on every path (Fig. 8a ld -> ldna;Frm)."),
+    "fencecheck/missing-fww": (
+        "A non-thread-local stna is not preceded by Fww/Fsc after the "
+        "previous memory access on every path (Fig. 8a st -> Fww;stna)."),
+    "fencecheck/rmw-not-sc": (
+        "An atomic read-modify-write does not carry sc ordering "
+        "(Fig. 8a rmw -> RMWsc)."),
+    "delayset/required": (
+        "The fence covers a delay edge on a critical cycle (Shasha-Snir); "
+        "eliding it could admit a non-TSO outcome."),
+    "delayset/redundant": (
+        "The fence covers no critical-cycle delay edge; delay-set "
+        "analysis elides it, stamping the protected access with a "
+        "cycle-freeness certificate."),
+    "delayset/kept": (
+        "The fence is kept without classification: an sc fence (source "
+        "MFENCE), a capped analysis, or a shape the elider does not "
+        "rewrite."),
+}
+
+
+def _location(artifact: str, function: str, block: str, index: int,
+              x86: str = "") -> dict:
+    logical = {
+        "fullyQualifiedName": f"{function}:{block}:{index}",
+        "kind": "function",
+    }
+    if x86:
+        logical["decoratedName"] = x86
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": artifact},
+        },
+        "logicalLocations": [logical],
+    }
+
+
+def _result(rule_id: str, level: str, message: str, location: dict) -> dict:
+    return {
+        "ruleId": rule_id,
+        "level": level,
+        "message": {"text": message},
+        "locations": [location],
+    }
+
+
+def fencecheck_results(diags, artifact: str) -> list[dict]:
+    """SARIF results for :class:`repro.analysis.fencecheck.FenceDiag`."""
+    results = []
+    for d in diags:
+        results.append(_result(
+            f"fencecheck/{d.kind}", "error",
+            f"{d.message} [{d.instruction}]",
+            _location(artifact, d.function, d.block, d.index, d.x86)))
+    return results
+
+
+def delayset_results(decisions, artifact: str) -> list[dict]:
+    """SARIF results for :class:`repro.analysis.delayset.FenceDecision`."""
+    results = []
+    for d in decisions:
+        results.append(_result(
+            f"delayset/{d.verdict}", "note",
+            f"F{d.kind} {d.verdict}: {d.reason}",
+            _location(artifact, d.func, d.block, d.index, d.x86)))
+    return results
+
+
+def sarif_report(results: list[dict]) -> dict:
+    """Wrap results in a complete single-run SARIF 2.1.0 document."""
+    rule_ids = sorted({r["ruleId"] for r in results})
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {
+                "text": _RULE_HELP.get(rule_id, rule_id)},
+        }
+        for rule_id in rule_ids
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro",
+                        "informationUri":
+                            "https://github.com/repro/lasagne-repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(path: str, results: list[dict]) -> Path:
+    """Serialise ``results`` as a SARIF file at ``path``."""
+    out = Path(path)
+    out.write_text(json.dumps(sarif_report(results), indent=2))
+    return out

@@ -109,11 +109,19 @@ def _translate_and_check(args: argparse.Namespace, source: str, obj) -> int:
     from .core import Lasagne
     from .x86 import X86Emulator
 
-    lasagne = Lasagne(verify=not args.no_verify)
+    lasagne = Lasagne(verify=not args.no_verify,
+                      fence_analysis=args.fence_analysis)
     built = lasagne.build(source, args.config)
     print(f"config={args.config}: {built.arm_instructions} Arm instructions, "
           f"{built.fences} fences, {built.lir_instructions} IR instructions",
           file=sys.stderr)
+    if built.delayset is not None:
+        ds = built.delayset
+        print(f"delay-sets: {ds.fences_before} fences after placement, "
+              f"{ds.required} required, {ds.elided} elided, "
+              f"{ds.kept_sc} sc kept"
+              + (" (capped: kept all)" if ds.kept_all else ""),
+              file=sys.stderr)
     if args.dump_arm:
         print(built.program.dump())
     if args.dump_ir:
@@ -198,6 +206,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_litmus(args: argparse.Namespace) -> int:
     from . import memmodel as mm
 
+    if args.delay_sets:
+        return _litmus_delay_gate(args)
     if args.file:
         text = _read_source(args.file)
         if text is None:
@@ -237,6 +247,57 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _litmus_delay_gate(args: argparse.Namespace) -> int:
+    """``repro litmus --delay-sets``: the enumeration soundness gate.
+
+    Each pure-x86 litmus program is mapped through Fig. 8a, its redundant
+    fences elided by delay-set analysis, and the elided program's LIMM
+    outcome set compared against the TSO source by exhaustive
+    enumeration.  Any new weak behaviour is an unsound elision → exit 1.
+    """
+    from . import memmodel as mm
+    from .analysis.delayset import check_litmus_elision
+
+    programs: list
+    if args.file:
+        text = _read_source(args.file)
+        if text is None:
+            return 2
+        programs = [mm.parse_litmus(text).program]
+    elif args.test:
+        program = getattr(mm, args.test, None)
+        if program is None or not isinstance(program, mm.Program):
+            print(f"unknown litmus test {args.test!r}", file=sys.stderr)
+            return 1
+        programs = [program]
+    else:
+        programs = list(mm.X86_SOURCE_CORPUS)
+
+    rc = 0
+    total_elided = total_required = 0
+    for program in programs:
+        if not mm.is_x86_source(program):
+            print(f"{program.name}: skipped (not pure x86 source: has "
+                  "non-plain orderings or non-MFENCE fences)")
+            continue
+        sound, result = check_litmus_elision(program)
+        total_elided += result.elided_count
+        total_required += result.required_count
+        marker = "ok" if sound else "UNSOUND"
+        print(f"{result.elided.name}: {result.required_count} required, "
+              f"{result.elided_count} elided -> {marker}")
+        if args.verbose:
+            for d in result.decisions:
+                print(f"  T{d.thread}[{d.index}] F{d.kind}: "
+                      f"{d.verdict} ({d.reason})")
+        if not sound:
+            rc = 1
+    print(f"delay-set gate: {total_required} fences required, "
+          f"{total_elided} elided across {len(programs)} program(s); "
+          + ("all elisions sound" if rc == 0 else "UNSOUND ELISION FOUND"))
+    return rc
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     import json
 
@@ -256,7 +317,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         remark_filter=args.remarks or None,
         gen=GenConfig(threads=args.threads),
         oracle=OracleOptions(verify=not args.no_verify,
-                             include_native=not args.no_native),
+                             include_native=not args.no_native,
+                             fence_analysis=args.fence_analysis),
     )
 
     def progress(row: dict) -> None:
@@ -299,15 +361,24 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     source = _read_source(args.source)
     if source is None:
         return 2
-    lasagne = Lasagne(verify=not args.no_verify)
+    if args.delay_sets and args.config == "native":
+        print("repro analyze: --delay-sets needs a translated config "
+              "(the native pipeline places no fences)", file=sys.stderr)
+        return 2
+    fence_analysis = "delay-sets" if args.delay_sets else "escape"
+    lasagne = Lasagne(verify=not args.no_verify,
+                      fence_analysis=fence_analysis
+                      if args.config != "native" else "escape")
     built = lasagne.build(source, args.config)
     module = built.module
 
-    # With no mode flag, print every report.
-    all_modes = not (args.fencecheck or args.escape or args.aliases)
+    # With no mode flag, print every report (--delay-sets is opt-in: it
+    # changes which pipeline ran, not just what is printed).
+    all_modes = not (args.fencecheck or args.escape or args.aliases
+                     or args.delay_sets)
 
     if args.json:
-        return _analyze_json(args, module, all_modes)
+        return _analyze_json(args, built, module, all_modes)
 
     if args.escape or all_modes:
         print(f"== escape analysis ({args.config}) ==")
@@ -338,6 +409,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                               f"{alias.describe(inst.pointer)}")
 
     rc = 0
+    diags = None
     if args.fencecheck or all_modes:
         print(f"== fencecheck ({args.config}) ==")
         if args.config == "native":
@@ -349,10 +421,47 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"fencecheck: {len(diags)} violation(s)")
         if diags:
             rc = 1
+
+    if args.delay_sets:
+        ds = built.delayset
+        print(f"== delay-set analysis ({args.config}) ==")
+        if ds is None:
+            print("  (no delay-set pass ran)")
+        else:
+            for d in ds.decisions:
+                print(f"  {d.func}:{d.block}:{d.index}: F{d.kind} "
+                      f"{d.verdict}: {d.reason}")
+            print(f"delay-sets: {ds.fences_before} fences after placement, "
+                  f"{ds.required} required, {ds.elided} elided, "
+                  f"{ds.kept_sc} sc kept, "
+                  f"{ds.delay_edges} delay edge(s)"
+                  + (" (capped: kept all)" if ds.kept_all else ""))
+
+    if args.sarif:
+        _write_analysis_sarif(args, diags, built.delayset)
     return rc
 
 
-def _analyze_json(args: argparse.Namespace, module, all_modes: bool) -> int:
+def _write_analysis_sarif(args: argparse.Namespace, diags,
+                          delayset) -> None:
+    from .analysis.sarif import (
+        delayset_results,
+        fencecheck_results,
+        write_sarif,
+    )
+
+    results: list[dict] = []
+    if diags is not None:
+        results += fencecheck_results(diags, args.source)
+    if delayset is not None:
+        results += delayset_results(delayset.decisions, args.source)
+    path = write_sarif(args.sarif, results)
+    print(f"SARIF report ({len(results)} result(s)) written to {path}",
+          file=sys.stderr)
+
+
+def _analyze_json(args: argparse.Namespace, built, module,
+                  all_modes: bool) -> int:
     """Machine-readable ``repro analyze --json`` output."""
     import json
 
@@ -392,6 +501,7 @@ def _analyze_json(args: argparse.Namespace, module, all_modes: bool) -> int:
         report["accesses"] = accesses
 
     rc = 0
+    diags = None
     if args.fencecheck or all_modes:
         diags = check_module(module)
         report["fencecheck"] = {
@@ -400,6 +510,28 @@ def _analyze_json(args: argparse.Namespace, module, all_modes: bool) -> int:
         }
         if diags:
             rc = 1
+
+    if args.delay_sets and built.delayset is not None:
+        ds = built.delayset
+        report["delayset"] = {
+            "fences_before": ds.fences_before,
+            "required": ds.required,
+            "elided": ds.elided,
+            "kept_sc": ds.kept_sc,
+            "kept_conservative": ds.kept_conservative,
+            "delay_edges": ds.delay_edges,
+            "capped": ds.capped,
+            "kept_all": ds.kept_all,
+            "decisions": [
+                {"function": d.func, "block": d.block, "index": d.index,
+                 "kind": d.kind, "verdict": d.verdict, "reason": d.reason,
+                 "x86": d.x86}
+                for d in ds.decisions
+            ],
+        }
+
+    if args.sarif:
+        _write_analysis_sarif(args, diags, built.delayset)
 
     print(json.dumps(report, indent=2))
     return rc
@@ -524,6 +656,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("source")
     p.add_argument("--config", default="ppopt",
                    choices=["native", "lifted", "opt", "popt", "ppopt"])
+    p.add_argument("--fence-analysis", default="escape",
+                   choices=["walk", "escape", "delay-sets"],
+                   help="fence-elision tier: syntactic walk, "
+                        "interprocedural escape analysis (default), or "
+                        "escape + Shasha-Snir delay-set elision")
     p.add_argument("--run", action="store_true")
     p.add_argument("--dump-arm", action="store_true")
     p.add_argument("--dump-ir", action="store_true")
@@ -552,6 +689,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--map", default=None,
                    choices=["x86-to-ir", "ir-to-arm", "x86-to-arm",
                             "arm-to-ir", "ir-to-x86", "arm-to-x86"])
+    p.add_argument("--delay-sets", action="store_true",
+                   help="enumeration gate: map through Fig. 8a, elide "
+                        "redundant fences via delay-set analysis, and "
+                        "prove by exhaustive enumeration that no new "
+                        "weak behaviour appears (exit 1 if one does); "
+                        "runs the whole pure-x86 corpus when no test is "
+                        "named")
+    p.add_argument("--verbose", action="store_true",
+                   help="with --delay-sets, print per-fence verdicts")
     p.set_defaults(func=_cmd_litmus)
 
     p = sub.add_parser(
@@ -571,6 +717,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="also write the JSON report to this path")
     p.add_argument("--threads", action="store_true",
                    help="include commutative atomic-counter thread programs")
+    p.add_argument("--fence-analysis", default="escape",
+                   choices=["walk", "escape", "delay-sets"],
+                   help="fence-elision tier for the translated rungs; "
+                        "delay-sets adds the certificate-audit static rung")
     p.add_argument("--no-native", action="store_true",
                    help="skip the native-config Arm rung")
     p.add_argument("--no-verify", action="store_true")
@@ -591,6 +741,13 @@ def main(argv: list[str] | None = None) -> int:
                    help="only print the per-function escape report")
     p.add_argument("--aliases", action="store_true",
                    help="only print the per-access points-to classification")
+    p.add_argument("--delay-sets", action="store_true",
+                   help="run the pipeline with the delay-set elision tier "
+                        "and print every per-fence required/redundant "
+                        "verdict with its critical-cycle witness")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write the fencecheck/delay-set findings as "
+                        "a SARIF 2.1.0 report")
     p.add_argument("--json", action="store_true",
                    help="emit the selected reports as JSON on stdout")
     p.add_argument("--no-verify", action="store_true")

@@ -36,6 +36,13 @@ from ..x86.objfile import X86Object
 
 CONFIGS = ["native", "lifted", "opt", "popt", "ppopt"]
 
+# Fence-elision tiers for the translated configurations (§8 + delay sets):
+# * "walk"       — seed behaviour: syntactic bitcast/gep walk only
+# * "escape"     — interprocedural points-to/escape analysis (default)
+# * "delay-sets" — escape analysis + Shasha–Snir delay-set elision of
+#                  fences covering no critical-cycle edge
+FENCE_ANALYSES = ["walk", "escape", "delay-sets"]
+
 # Stage names recorded by ``Lasagne(capture_stages=True)``, in pipeline order.
 TRANSLATE_STAGES = ["lift", "refine", "place", "opt", "merge"]
 NATIVE_STAGES = ["frontend", "opt"]
@@ -62,6 +69,9 @@ class TranslationResult:
     fences_naive: int = 0          # fences right after naive placement
     fences_elided: int = 0         # accesses proven thread-local at placement
     fences_elided_beyond_walk: int = 0  # of those, only via escape analysis
+    fences_elided_interproc: int = 0    # of those, only via callee summaries
+    fences_elided_delayset: int = 0     # fences removed by delay-set tier
+    delayset: Optional[object] = None   # DelaySetStats when the tier ran
     pointer_casts_before: int = 0
     pointer_casts_after: int = 0
     pass_stats: Optional[PassStats] = None
@@ -104,9 +114,14 @@ class RunResult:
 class Lasagne:
     """End-to-end static binary translator for weak memory architectures."""
 
-    def __init__(self, verify: bool = True, capture_stages: bool = False) -> None:
+    def __init__(self, verify: bool = True, capture_stages: bool = False,
+                 fence_analysis: str = "escape") -> None:
+        if fence_analysis not in FENCE_ANALYSES:
+            raise ValueError(f"unknown fence analysis {fence_analysis!r} "
+                             f"(choose from {', '.join(FENCE_ANALYSES)})")
         self.verify = verify
         self.capture_stages = capture_stages
+        self.fence_analysis = fence_analysis
 
     def _capture(self, stages: dict[str, Module], name: str, module: Module) -> None:
         if self.capture_stages:
@@ -156,8 +171,15 @@ class Lasagne:
                 self._capture(stages, "refine", module)
             casts_after = module_pointer_casts(module)
             with telemetry.span("place", category="stage"):
-                placement = place_fences(module)
-            fences_naive = count_fences(module)
+                placement = place_fences(
+                    module, use_analysis=self.fence_analysis != "walk")
+                fences_naive = count_fences(module)
+                delay_stats = None
+                if self.fence_analysis == "delay-sets":
+                    # Runs while every fence is still adjacent to the
+                    # access it protects (before O2 / merging).
+                    from ..analysis.delayset import elide_redundant_fences
+                    delay_stats = elide_redundant_fences(module)
             self._capture(stages, "place", module)
             stats = None
             if config != "lifted":
@@ -178,7 +200,12 @@ class Lasagne:
             fences=count_fences(module),
             fences_naive=fences_naive,
             fences_elided=placement.total_elided,
-            fences_elided_beyond_walk=placement.skipped_escape,
+            fences_elided_beyond_walk=(placement.skipped_escape
+                                       + placement.skipped_interproc),
+            fences_elided_interproc=placement.skipped_interproc,
+            fences_elided_delayset=(delay_stats.elided
+                                    if delay_stats is not None else 0),
+            delayset=delay_stats,
             pointer_casts_before=casts_before,
             pointer_casts_after=casts_after,
             pass_stats=stats,

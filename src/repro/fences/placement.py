@@ -29,7 +29,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import telemetry
-from ..lir import Alloca, Cast, Fence, GEP, Load, Module, Store, Value
+from ..lir import (
+    Alloca,
+    Cast,
+    Fence,
+    GEP,
+    Load,
+    Module,
+    Phi,
+    Select,
+    Store,
+    Value,
+)
 from ..provenance.origin import merge_origins, origins_of, x86_location
 
 
@@ -39,24 +50,42 @@ def _origin_addrs(inst) -> list[str]:
 
 
 def is_stack_address(pointer: Value) -> bool:
-    """Use-def walk through bitcast/gep looking for an alloca (§8 step 1).
+    """Use-def walk through bitcast/gep looking for an alloca (§8 step 1),
+    extended through ``select`` and single-incoming ``phi`` whose operands
+    *all* reach allocas.
 
-    This is the syntactic fast path: no escape reasoning, no phi/select.
-    Iterative, so arbitrarily deep gep/bitcast chains resolve (the old
-    recursive form silently gave up past depth 64)."""
+    This is the syntactic fast path: no escape reasoning.  Every branch of
+    the walk must bottom out at an alloca for the answer to be True (AND
+    semantics), so a ``select`` between two allocas is stack but a
+    ``select`` of an alloca and an argument is not.  Iterative, so
+    arbitrarily deep chains resolve; revisiting a ``phi`` (a use-def
+    cycle with no alloca root) answers False."""
     seen: set[int] = set()
-    value = pointer
-    while id(value) not in seen:
-        seen.add(id(value))
+    work: list[Value] = [pointer]
+    while work:
+        value = work.pop()
         if isinstance(value, Alloca):
-            return True
+            continue
+        if id(value) in seen:
+            if isinstance(value, Phi):
+                return False  # degenerate phi cycle: no alloca root
+            continue  # DAG sharing: this branch was already proven
+        seen.add(id(value))
         if isinstance(value, Cast) and value.op == "bitcast":
-            value = value.value
+            work.append(value.value)
         elif isinstance(value, GEP):
-            value = value.pointer
+            work.append(value.pointer)
+        elif isinstance(value, Select):
+            work.append(value.true_value)
+            work.append(value.false_value)
+        elif isinstance(value, Phi):
+            incoming = value.incoming()
+            if len(incoming) != 1:
+                return False
+            work.append(incoming[0][0])
         else:
             return False
-    return False
+    return True
 
 
 @dataclass
@@ -64,8 +93,10 @@ class PlacementStats:
     loads_fenced: int = 0
     stores_fenced: int = 0
     skipped_stack: int = 0
-    skipped_escape: int = 0   # elided by escape analysis, beyond the walk
+    skipped_escape: int = 0   # elided by intraprocedural escape analysis
+    skipped_interproc: int = 0  # elided only via interprocedural summaries
     leaked_fenced: int = 0    # walk said stack, analysis says escaped
+    already_fenced: int = 0   # adjacent fence already present (idempotence)
 
     @property
     def total_inserted(self) -> int:
@@ -73,40 +104,64 @@ class PlacementStats:
 
     @property
     def total_elided(self) -> int:
-        return self.skipped_stack + self.skipped_escape
+        return self.skipped_stack + self.skipped_escape \
+            + self.skipped_interproc
 
 
-def _thread_locality(pointer: Value, alias) -> str:
+def _thread_locality(pointer: Value, alias, intra_alias=None) -> str:
     """Classify an access address: ``"stack"`` (syntactic walk suffices),
-    ``"escape"`` (only the points-to analysis proves it local),
-    ``"leaked"`` (the walk reaches an alloca but it escaped — must fence)
-    or ``"shared"``."""
+    ``"escape"`` (the intraprocedural points-to analysis proves it local),
+    ``"interproc"`` (only the interprocedural summaries prove it — the
+    alloca is handed to a well-behaved callee), ``"leaked"`` (the walk
+    reaches an alloca but it escaped — must fence) or ``"shared"``.
+
+    ``intra_alias`` is a zero-argument callable returning the function's
+    *intraprocedural* AliasInfo, used only to split ``escape`` from
+    ``interproc`` when ``alias`` is summary-based."""
     walk_hit = is_stack_address(pointer)
     if alias is None:
         return "stack" if walk_hit else "shared"
     if alias.is_thread_local(pointer):
+        # The interprocedural tier is what proved it when the function's
+        # own analysis (calls escape everything) could not — even if the
+        # syntactic walk reaches the alloca, the *proof* is the summary.
+        if intra_alias is not None and \
+                not intra_alias().is_thread_local(pointer):
+            return "interproc"
         return "stack" if walk_hit else "escape"
     return "leaked" if walk_hit else "shared"
 
 
-def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
-    """Insert Frm/Fww fences per the Fig. 8a mapping.  Idempotent per call
-    (expects a module that has not been fence-placed yet).
+def place_fences(module: Module, use_analysis: bool = True,
+                 module_analysis=None) -> PlacementStats:
+    """Insert Frm/Fww fences per the Fig. 8a mapping.  Idempotent per
+    call: an access already protected by an adjacent fence of the right
+    kind is skipped, so re-running on a placed module changes nothing.
 
     With ``use_analysis`` (the default) thread-locality is decided by the
-    escape analysis, with :func:`is_stack_address` kept as the fast-path
-    label; pass ``False`` for the seed behaviour (syntactic walk only)."""
+    *interprocedural* escape analysis (bottom-up callee summaries, see
+    ``repro.analysis.summaries``), with :func:`is_stack_address` kept as
+    the fast-path label; pass ``False`` for the seed behaviour (syntactic
+    walk only).  ``module_analysis`` lets callers share an already-built
+    :class:`~repro.analysis.summaries.ModuleAnalysis`."""
     from ..analysis import analyze_function
+    from ..analysis.summaries import analyze_module
 
     stats = PlacementStats()
     emit = telemetry.remarks_enabled()
+    ma = None
+    if use_analysis:
+        ma = module_analysis or analyze_module(module)
 
     def skip_remark(func, bb, inst, what: str, how: str) -> None:
         if not emit:
             return
-        reason = (
-            "use-def chain reaches an alloca" if how == "stack"
-            else "escape analysis proves the address thread-local")
+        reason = {
+            "stack": "use-def chain reaches an alloca",
+            "escape": "escape analysis proves the address thread-local",
+            "interproc": "interprocedural summaries prove the address "
+                         "thread-local (callee does not publish it)",
+        }[how]
         telemetry.remark(
             "place-fences", "fence-skipped",
             f"non-atomic {what} is thread-local ({reason}); "
@@ -118,16 +173,32 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
     for func in module.functions.values():
         if func.is_declaration:
             continue
-        alias = analyze_function(func, module) if use_analysis else None
+        alias = ma.alias(func) if use_analysis else None
+        intra_cache: list = []
+
+        def intra_alias(func=func):
+            if not intra_cache:
+                intra_cache.append(analyze_function(func, module))
+            return intra_cache[0]
+
         for bb in func.blocks:
-            for inst in list(bb.instructions):
+            insts = list(bb.instructions)
+            for pos, inst in enumerate(insts):
                 if isinstance(inst, Load) and inst.ordering == "na":
-                    local = _thread_locality(inst.pointer, alias)
-                    if local in ("stack", "escape"):
+                    if pos + 1 < len(insts) and \
+                            isinstance(insts[pos + 1], Fence) and \
+                            insts[pos + 1].kind in ("rm", "sc"):
+                        stats.already_fenced += 1
+                        continue
+                    local = _thread_locality(inst.pointer, alias,
+                                             intra_alias)
+                    if local in ("stack", "escape", "interproc"):
                         if local == "stack":
                             stats.skipped_stack += 1
-                        else:
+                        elif local == "escape":
                             stats.skipped_escape += 1
+                        else:
+                            stats.skipped_interproc += 1
                         skip_remark(func, bb, inst, "load", local)
                         continue
                     if local == "leaked":
@@ -152,12 +223,19 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
                             fence="rm", x86=x86_location(inst),
                             origins=_origin_addrs(inst))
                 elif isinstance(inst, Store) and inst.ordering == "na":
-                    local = _thread_locality(inst.pointer, alias)
-                    if local in ("stack", "escape"):
+                    if pos > 0 and isinstance(insts[pos - 1], Fence) and \
+                            insts[pos - 1].kind in ("ww", "sc"):
+                        stats.already_fenced += 1
+                        continue
+                    local = _thread_locality(inst.pointer, alias,
+                                             intra_alias)
+                    if local in ("stack", "escape", "interproc"):
                         if local == "stack":
                             stats.skipped_stack += 1
-                        else:
+                        elif local == "escape":
                             stats.skipped_escape += 1
+                        else:
+                            stats.skipped_interproc += 1
                         skip_remark(func, bb, inst, "store", local)
                         continue
                     if local == "leaked":
@@ -184,21 +262,108 @@ def place_fences(module: Module, use_analysis: bool = True) -> PlacementStats:
     telemetry.count("fences.inserted", stats.stores_fenced, kind="ww")
     telemetry.count("fences.skipped_stack", stats.skipped_stack)
     telemetry.count("fences.skipped_escape", stats.skipped_escape)
+    telemetry.count("fences.skipped_interproc", stats.skipped_interproc)
     if stats.leaked_fenced:
         telemetry.count("fences.leaked_fenced", stats.leaked_fenced)
     return stats
 
 
 def merge_fences(module: Module) -> int:
-    """Merge runs of fences with no intervening memory access.  Returns the
-    number of fences removed."""
+    """Merge runs of fences with no intervening memory access.  Within a
+    block, runs collapse to one fence of the required strength (§7); then
+    a trailing fence merges with a leading fence across single-successor /
+    single-predecessor edges (the pair is adjacent on every execution, so
+    one fence of the combined strength at the head of the successor
+    covers both).  Returns the number of fences removed."""
     removed = 0
     for func in module.functions.values():
         if func.is_declaration:
             continue
         for bb in func.blocks:
             removed += _merge_block(bb, func.name)
+        removed += _merge_cross_block(func)
     telemetry.count("fences.merged_away", removed)
+    return removed
+
+
+def _combine_kinds(a: str, b: str) -> str:
+    kinds = {a, b}
+    if "sc" in kinds or kinds == {"rm", "ww"}:
+        return "sc"
+    return a
+
+
+def _trailing_fence(bb):
+    """The last fence of ``bb`` with no memory access after it."""
+    for inst in reversed(list(bb.instructions)):
+        if isinstance(inst, Fence):
+            return inst
+        if inst.accesses_memory():
+            return None
+    return None
+
+
+def _leading_fence(bb):
+    """The first fence of ``bb`` with no memory access before it."""
+    for inst in bb.instructions:
+        if isinstance(inst, Fence):
+            return inst
+        if inst.accesses_memory():
+            return None
+    return None
+
+
+def _merge_cross_block(func) -> int:
+    """§7 merging across CFG edges: when block A's only successor is B and
+    B's only predecessor is A, a fence trailing A (no access after it) and
+    a fence leading B (no access before it) order exactly the same access
+    pairs, so they merge into one fence of the combined strength at B."""
+    removed = 0
+    emit = telemetry.remarks_enabled()
+    changed = True
+    while changed:
+        changed = False
+        for bb in list(func.blocks):
+            succs = bb.successors()
+            if len(succs) != 1 or succs[0] is bb:
+                continue
+            nxt = succs[0]
+            if len(nxt.predecessors()) != 1:
+                continue
+            first = _trailing_fence(bb)
+            second = _leading_fence(nxt)
+            if first is None or second is None or first is second:
+                continue
+            merged_kind = _combine_kinds(first.kind, second.kind)
+            merged_origins = merge_origins(origins_of(first),
+                                           origins_of(second))
+            merged_log = (tuple(getattr(first, "placement", ()))
+                          + tuple(getattr(second, "placement", ()))
+                          + (f"merged: cross-block {first.kind}+"
+                             f"{second.kind} -> F{merged_kind} over edge "
+                             f"{bb.name} -> {nxt.name} (section 7)",))
+            if emit:
+                telemetry.remark(
+                    "merge-fences", "fence-merged-cross-block",
+                    f"merged F{first.kind} (end of {bb.name}) with "
+                    f"F{second.kind} (head of {nxt.name}) into one "
+                    f"F{merged_kind} across the single-pred/single-succ "
+                    "edge (section 7 merging rules)",
+                    function=func.name, block=nxt.name,
+                    instruction=f"fence.{merged_kind}",
+                    merged_kind=merged_kind,
+                    origins=[f"0x{o.addr:x}" for o in merged_origins])
+            keeper = second
+            if keeper.kind != merged_kind:
+                new = Fence(merged_kind)
+                nxt.insert_before(keeper, new)
+                keeper.erase_from_parent()
+                keeper = new
+            keeper.origins = merged_origins
+            keeper.placement = merged_log
+            first.erase_from_parent()
+            removed += 1
+            changed = True
     return removed
 
 

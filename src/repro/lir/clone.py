@@ -58,14 +58,19 @@ def clone_instruction(
     ``block_map`` — ``Ret`` is not handled here because its replacement is
     context-dependent (the inliner rewrites returns into branches).
 
-    The clone carries the original's provenance: ``origins`` always, and a
-    fence's ``placement`` decision log when present.
+    The clone carries the original's provenance: ``origins`` always, a
+    fence's ``placement`` decision log when present, and an access's
+    ``delayset_cert`` (the delay-set cycle-freeness certificate audited by
+    the validation oracle) when present.
     """
     new = _clone_body(inst, lookup, block_map)
     new.origins = inst.origins
     placement = getattr(inst, "placement", None)
     if placement is not None:
         new.placement = placement
+    cert = getattr(inst, "delayset_cert", None)
+    if cert is not None:
+        new.delayset_cert = cert
     return new
 
 

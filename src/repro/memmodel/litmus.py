@@ -226,3 +226,30 @@ EXTENDED_LITMUS = [
     TWO_PLUS_TWO_W,
 ]
 ALL_LITMUS = ALL_LITMUS + EXTENDED_LITMUS
+
+
+def is_x86_source(program: Program) -> bool:
+    """Is ``program`` expressible as x86/TSO source code?  True when every
+    operation is a plain load/store, an RMW, or an MFENCE — exactly the
+    shapes :func:`repro.memmodel.mappings.map_x86_to_ir` translates
+    faithfully (acquire/release orderings and Arm fences are not x86)."""
+    for thread in program.threads:
+        for op in thread:
+            if isinstance(op, (Ld, St)):
+                if op.ordering != "plain":
+                    return False
+            elif isinstance(op, Rmw):
+                continue
+            elif isinstance(op, Fence):
+                if op.kind != "mfence":
+                    return False
+            else:
+                return False
+    return True
+
+
+# The pure-x86 subset of the battery: the input corpus for the delay-set
+# enumeration gate (`repro litmus --delay-sets`), which maps each program
+# through Fig. 8a, elides redundant fences, and proves by exhaustive
+# enumeration that no new weak behaviour appears vs the TSO source.
+X86_SOURCE_CORPUS = [p for p in ALL_LITMUS if is_x86_source(p)]

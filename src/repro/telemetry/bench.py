@@ -11,6 +11,15 @@ per run — keyed by git SHA and UTC timestamp — to the ``trajectory``
 list of the existing report file instead of overwriting history, so
 ``BENCH_translate.json`` records how the numbers moved across commits.
 
+Schema v4 adds the elision-tier split: every translated row records
+``fences_elided_interproc`` (accesses only the bottom-up callee
+summaries prove thread-local) and ``fences_elided_delayset`` (fences a
+companion ``--fence-analysis=delay-sets`` build classifies as covering
+no critical cycle), and the benched program set gains ``demo``
+(examples/demo.c) alongside the Phoenix kernels.  The fully-fenced
+escape-analysis build remains the timed baseline; the delay-set build
+contributes only its elision counter.
+
 CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]``.
 """
 
@@ -23,7 +32,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -40,18 +49,33 @@ def git_sha() -> str:
         return "unknown"
 
 
+def _demo_source() -> Optional[str]:
+    """examples/demo.c relative to the repo checkout, if present."""
+    demo = Path(__file__).resolve().parents[3] / "examples" / "demo.c"
+    try:
+        return demo.read_text()
+    except OSError:
+        return None
+
+
 def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
               repeats: int = 3, verify: bool = False) -> dict:
     """Time every (program, config) translation; median of ``repeats``."""
     from ..core.pipeline import CONFIGS, Lasagne
     from ..phoenix import SIZE_SMALL, SIZE_TINY, all_programs
+    from ..phoenix.programs import PhoenixProgram
     from ..provenance import SourceMap
 
     sizes = SIZE_TINY if size == "tiny" else SIZE_SMALL
     configs = list(configs or CONFIGS)
     lasagne = Lasagne(verify=verify)
+    delayset_lasagne = Lasagne(verify=False, fence_analysis="delay-sets")
+    bench_programs = all_programs(sizes)
+    demo_src = _demo_source()
+    if demo_src is not None:
+        bench_programs.append(PhoenixProgram("demo", "DM", demo_src))
     programs: dict[str, dict[str, dict]] = {}
-    for program in all_programs(sizes):
+    for program in bench_programs:
         per_config: dict[str, dict] = {}
         for config in configs:
             times = []
@@ -74,9 +98,15 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 "fences_naive": built.fences_naive,
                 "fences_elided": built.fences_elided,
                 "fences_elided_beyond_walk": built.fences_elided_beyond_walk,
+                "fences_elided_interproc": built.fences_elided_interproc,
                 "fencecheck_violations": fencecheck_violations,
             }
             if config != "native":
+                # Companion delay-set build: same program/config with the
+                # critical-cycle tier on, recorded for its elisions only
+                # (the timed escape-analysis build stays the baseline).
+                ds = delayset_lasagne.build(program.source, config)
+                row["fences_elided_delayset"] = ds.fences_elided_delayset
                 # Native code has no x86 lineage; coverage is meaningful
                 # only for translated configurations.
                 cov = SourceMap.from_program(built.program).coverage()
@@ -99,10 +129,14 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
             "fences_elided_total": sum(r["fences_elided"] for r in rows),
             "fences_elided_beyond_walk_total": sum(
                 r["fences_elided_beyond_walk"] for r in rows),
+            "fences_elided_interproc_total": sum(
+                r["fences_elided_interproc"] for r in rows),
             "fencecheck_violations_total": sum(
                 r["fencecheck_violations"] for r in rows),
         }
         if config != "native":
+            summary[config]["fences_elided_delayset_total"] = sum(
+                r["fences_elided_delayset"] for r in rows)
             summary[config]["provenance_memory_pct_min"] = min(
                 r["provenance"]["memory_pct"] for r in rows)
             summary[config]["provenance_fence_pct_min"] = min(

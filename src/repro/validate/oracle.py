@@ -28,6 +28,13 @@ On top of the execution rungs, a *static* rung runs the fencecheck linter
 merged modules: any stage whose output no longer discharges the Fig. 8a
 LIMM obligations is reported as a ``fencecheck``-kind divergence, even if
 no execution happened to observe the weakened ordering.
+
+With ``fence_analysis="delay-sets"`` a second static rung
+(``delayset:place``) re-derives the whole-module conflict graph on the
+place-stage snapshot and audits every cycle-freeness certificate the
+elision tier stamped (:func:`repro.analysis.delayset.audit_module`): a
+certificate whose fence covered a critical-cycle delay edge — or one
+issued under a capped analysis — is a ``delayset``-kind divergence.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ class OracleOptions:
     max_steps: int = 5_000_000   # per-rung retirement budget
     compare_globals: bool = True
     fencecheck: bool = True      # static LIMM-obligation rung
+    fence_analysis: str = "escape"  # pipeline fence-elision tier
 
 
 @dataclass
@@ -206,7 +214,7 @@ def options_for_signature(signature: str,
     return OracleOptions(
         verify=base.verify, include_native=False, arm_configs=(),
         max_steps=base.max_steps, compare_globals=base.compare_globals,
-        fencecheck=base.fencecheck)
+        fencecheck=base.fencecheck, fence_analysis=base.fence_analysis)
 
 
 def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
@@ -253,14 +261,15 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
     staged: dict[str, Module] = {}
     arm_programs: dict[str, object] = {}
     build_errors: dict[str, str] = {}
-    lasagne = Lasagne(verify=opts.verify, capture_stages=True)
+    lasagne = Lasagne(verify=opts.verify, capture_stages=True,
+                      fence_analysis=opts.fence_analysis)
     try:
         built = lasagne.translate(obj, "ppopt")
         staged = built.stages
         arm_programs["ppopt"] = built.program
     except Exception as exc:  # noqa: BLE001
         build_errors["ppopt"] = f"{type(exc).__name__}: {exc}"
-    plain = Lasagne(verify=opts.verify)
+    plain = Lasagne(verify=opts.verify, fence_analysis=opts.fence_analysis)
     if opts.include_native:
         try:
             arm_programs["native"] = plain.native(source).program
@@ -323,5 +332,32 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
                 return Verdict(False, Divergence(
                     stage, name, "fencecheck",
                     f"{len(diags)} undischarged LIMM obligation(s): {detail}",
+                ), rungs)
+
+    # Static rung: every delay-set cycle-freeness certificate must be
+    # re-derivable from the place-stage module (the stage that issued it).
+    if opts.fence_analysis == "delay-sets":
+        module = staged.get("place")
+        if module is not None:
+            from ..analysis.delayset import audit_module
+
+            name = "delayset:place"
+            rung = RungResult(name, "place")
+            try:
+                violations = audit_module(module)
+            except Exception as exc:  # noqa: BLE001
+                rung.error = f"{type(exc).__name__}: {exc}"
+                rungs.append(rung)
+                return Verdict(False, Divergence(
+                    "place", name, "crash", rung.error), rungs)
+            rung.retired = len(violations)
+            rungs.append(rung)
+            if violations:
+                detail = "; ".join(violations[:3])
+                if len(violations) > 3:
+                    detail += f" (+{len(violations) - 3} more)"
+                return Verdict(False, Divergence(
+                    "place", name, "delayset",
+                    f"{len(violations)} uncertified elision(s): {detail}",
                 ), rungs)
     return Verdict(True, None, rungs)

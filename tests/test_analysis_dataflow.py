@@ -143,3 +143,76 @@ class TestEngineBehaviour:
         assert res.block_out(dead) == frozenset()
         # Reachable blocks are unaffected by the dead one.
         assert res.block_in(exit_) == {"entry", "head", "body"}
+
+
+def irreducible():
+    """entry -> (b1 | b2), b1 <-> b2 (a two-entry loop: irreducible),
+    each loop block can also leave to exit."""
+    m = Module("t")
+    f = Function("f", FunctionType(I64, (I64,)), ["x"])
+    m.add_function(f)
+    entry = f.new_block("entry")
+    b1 = f.new_block("b1")
+    b2 = f.new_block("b2")
+    exit_ = f.new_block("exit")
+    be = IRBuilder(entry)
+    c0 = be.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c0")
+    be.cond_br(c0, b1, b2)
+    i1 = IRBuilder(b1)
+    c1 = i1.icmp("eq", f.arguments[0], ConstantInt(I64, 1), "c1")
+    i1.cond_br(c1, b2, exit_)
+    i2 = IRBuilder(b2)
+    c2 = i2.icmp("eq", f.arguments[0], ConstantInt(I64, 2), "c2")
+    i2.cond_br(c2, b1, exit_)
+    IRBuilder(exit_).ret(ConstantInt(I64, 0))
+    return f, entry, b1, b2, exit_
+
+
+class TestIrreducibleCFG:
+    def test_forward_reaches_fixpoint(self):
+        f, entry, b1, b2, exit_ = irreducible()
+        res = run_dataflow(f, _ReachingBlocks())
+        # Both loop entries see paths through either loop block.
+        assert res.block_in(b1) == {"entry", "b1", "b2"}
+        assert res.block_in(b2) == {"entry", "b1", "b2"}
+        assert res.block_in(exit_) == {"entry", "b1", "b2"}
+
+    def test_backward_reaches_fixpoint(self):
+        f, entry, b1, b2, exit_ = irreducible()
+        res = run_dataflow(f, _ReachableExits())
+        # exit is the only block on EVERY path onward from the loop: the
+        # must-intersection over the cross edges strips b1/b2 facts.
+        assert res.block_out(b1) == {"exit"}
+        assert res.block_out(b2) == {"exit"}
+        assert res.block_in(b1) == {"b1", "exit"}
+        assert res.block_in(b2) == {"b2", "exit"}
+        assert res.block_out(entry) == {"exit"}
+
+    def test_backward_unreachable_block_stays_top(self):
+        f, entry, b1, b2, exit_ = irreducible()
+        dead = f.new_block("dead")
+        IRBuilder(dead).ret(ConstantInt(I64, 1))
+        res = run_dataflow(f, _ReachableExits())
+        # A block no exit path is seeded from and nothing reaches: the
+        # backward engine must leave it at top, and the reachable facts
+        # must be unaffected.
+        assert res.block_out(dead) in (None, frozenset())
+        assert res.block_out(b1) == {"exit"}
+        assert res.block_out(entry) == {"exit"}
+
+    def test_backward_loop_without_exit_terminates(self):
+        # b1 <-> b2 with no path to a ret: the engine must still
+        # terminate and converge (all-cycle functions happen in lifted
+        # code for spin loops).
+        m = Module("t")
+        f = Function("f", FunctionType(I64, (I64,)), ["x"])
+        m.add_function(f)
+        entry = f.new_block("entry")
+        b1 = f.new_block("b1")
+        b2 = f.new_block("b2")
+        IRBuilder(entry).br(b1)
+        IRBuilder(b1).br(b2)
+        IRBuilder(b2).br(b1)
+        res = run_dataflow(f, _ReachableExits())
+        out = res.block_out(b1)
+        assert out is None or isinstance(out, frozenset)

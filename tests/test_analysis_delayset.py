@@ -1,0 +1,211 @@
+"""Tests for the Shasha–Snir delay-set tier (repro.analysis.delayset):
+litmus classification, the exhaustive-enumeration soundness gate, module
+elision with cycle-freeness certificates, and the audit path."""
+
+from repro.analysis import check_module
+from repro.analysis.delayset import (
+    analyze_module_fences,
+    audit_module,
+    check_litmus_elision,
+    elide_litmus_fences,
+    elide_redundant_fences,
+    graph_from_litmus,
+)
+from repro.lir import (
+    ConstantInt,
+    Fence,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I64,
+    IRBuilder,
+    Module,
+)
+from repro.lir.clone import clone_module
+from repro.memmodel.axioms import outcomes
+from repro.memmodel.litmus import MP, SB, X86_SOURCE_CORPUS
+from repro.memmodel.mappings import map_x86_to_ir
+
+
+class TestLitmusClassification:
+    def test_sb_fences_are_redundant(self):
+        # SB's po edges are W -> R, which x86-TSO itself leaves unordered:
+        # no Frm/Fww covers a delay edge, so Fig. 8a's fences all go.
+        result = elide_litmus_fences(map_x86_to_ir(SB))
+        assert result.required_count == 0
+        assert result.elided_count > 0
+        assert all(d.verdict in ("redundant", "kept")
+                   for d in result.decisions)
+
+    def test_mp_fences_are_required(self):
+        # MP's W->W (data, flag) and R->R (flag, data) edges lie on the
+        # classic critical cycle: the covering Fww and Frm must stay.
+        result = elide_litmus_fences(map_x86_to_ir(MP))
+        assert result.required_count >= 2
+        kinds = {d.kind for d in result.decisions if d.verdict == "required"}
+        assert kinds == {"ww", "rm"}
+        # The elided program still forbids the MP weak outcome.
+        allowed = outcomes(MP, "x86")
+        assert outcomes(result.elided, "limm") <= allowed
+
+    def test_mfence_image_never_elided(self):
+        from repro.memmodel.litmus import ALL_LITMUS
+
+        fenced = next(p for p in ALL_LITMUS if p.name == "SB+mfences")
+        result = elide_litmus_fences(map_x86_to_ir(fenced))
+        sc_decisions = [d for d in result.decisions if d.kind == "sc"]
+        assert sc_decisions
+        assert all(d.verdict == "kept" for d in sc_decisions)
+
+    def test_graph_shape(self):
+        graph = graph_from_litmus(map_x86_to_ir(SB))
+        assert graph.nthreads == 2
+        # Every access conflicts with the other thread's same-location pair.
+        assert all(graph.conflicts[a.uid] for a in graph.accesses.values())
+
+
+class TestEnumerationGate:
+    def test_every_elision_is_sound(self):
+        """The acceptance gate: exhaustive LIMM enumeration proves every
+        delay-set elision on the x86-source corpus admits no execution
+        the TSO source forbids."""
+        total_elided = 0
+        total_required = 0
+        for program in X86_SOURCE_CORPUS:
+            sound, result = check_litmus_elision(program)
+            assert sound, f"{program.name}: delay-set elision is UNSOUND"
+            total_elided += result.elided_count
+            total_required += result.required_count
+        assert total_elided > 0
+        assert total_required > 0
+
+
+def _two_thread_module(mp_shape: bool):
+    """Two thread roots over globals: MP (requires fences) or SB (all
+    fences redundant), pre-fenced in the Fig. 8a placement shape."""
+    m = Module("t")
+    gx = GlobalVariable("x", I64)
+    gy = GlobalVariable("y", I64)
+    m.add_global(gx)
+    m.add_global(gy)
+    t0 = Function("t0", FunctionType(I64, ()), [])
+    t1 = Function("t1", FunctionType(I64, ()), [])
+    m.add_function(t0)
+    m.add_function(t1)
+    b0 = IRBuilder(t0.new_block("entry"))
+    b1 = IRBuilder(t1.new_block("entry"))
+    if mp_shape:
+        b0.store(ConstantInt(I64, 1), gx)   # data
+        b0.store(ConstantInt(I64, 1), gy)   # flag
+        r0 = b1.load(gy, name="flag")
+        r1 = b1.load(gx, name="data")
+        b1.ret(b1.add(r0, r1, "s"))
+        b0.ret(ConstantInt(I64, 0))
+    else:
+        b0.store(ConstantInt(I64, 1), gx)
+        r0 = b0.load(gy, name="r0")
+        b0.ret(r0)
+        b1.store(ConstantInt(I64, 1), gy)
+        r1 = b1.load(gx, name="r1")
+        b1.ret(r1)
+    from repro.fences import place_fences
+
+    place_fences(m)
+    return m
+
+
+def _fences(m):
+    return [i for f in m.functions.values() if not f.is_declaration
+            for i in f.instructions() if isinstance(i, Fence)]
+
+
+class TestModuleElision:
+    def test_sb_module_elides_everything(self):
+        m = _two_thread_module(mp_shape=False)
+        before = len(_fences(m))
+        assert before == 4
+        stats = elide_redundant_fences(m)
+        assert stats.elided == 4
+        assert stats.required == 0
+        assert not _fences(m)
+        # Decision log covers every fence with a reason.
+        assert len(stats.decisions) == 4
+        assert all(d.reason for d in stats.decisions)
+
+    def test_mp_module_keeps_critical_fences(self):
+        m = _two_thread_module(mp_shape=True)
+        stats = elide_redundant_fences(m)
+        assert stats.required == 2
+        assert stats.elided == 2
+        kinds = sorted(f.kind for f in _fences(m))
+        assert kinds == ["rm", "ww"]
+        witnesses = [d for d in stats.decisions if d.verdict == "required"]
+        assert all("delay edge" in d.reason for d in witnesses)
+
+    def test_elision_stamps_certificates(self):
+        m = _two_thread_module(mp_shape=False)
+        elide_redundant_fences(m)
+        certs = {}
+        for func in m.functions.values():
+            for inst in func.instructions():
+                cert = getattr(inst, "delayset_cert", None)
+                if cert:
+                    certs[type(inst).__name__] = cert
+        assert certs.get("Load") == frozenset({"rm"})
+        assert certs.get("Store") == frozenset({"ww"})
+
+    def test_certificates_survive_cloning(self):
+        m = _two_thread_module(mp_shape=False)
+        elide_redundant_fences(m)
+        snap = clone_module(m)
+        stamped = [inst for func in snap.functions.values()
+                   for inst in func.instructions()
+                   if getattr(inst, "delayset_cert", None)]
+        assert len(stamped) == 4
+
+    def test_fencecheck_honours_certificates(self):
+        m = _two_thread_module(mp_shape=False)
+        assert check_module(m) == []          # fully fenced: clean
+        elide_redundant_fences(m)
+        # Without the certificates these would all be missing-fence
+        # violations; the delayset_cert stamps discharge them.
+        assert check_module(m) == []
+
+    def test_uncertified_removal_still_caught(self):
+        m = _two_thread_module(mp_shape=False)
+        for fence in _fences(m):
+            fence.erase_from_parent()          # no certificates stamped
+        assert len(check_module(m)) == 4
+
+    def test_audit_accepts_certified_module(self):
+        m = _two_thread_module(mp_shape=False)
+        elide_redundant_fences(m)
+        assert audit_module(m) == []
+
+    def test_audit_flags_missing_required_fence(self):
+        m = _two_thread_module(mp_shape=True)
+        elide_redundant_fences(m)
+        for fence in _fences(m):               # strip the REQUIRED fences
+            fence.erase_from_parent()
+        violations = audit_module(m)
+        assert violations
+        assert any("uncovered delay edge" in v for v in violations)
+
+    def test_analyze_module_fences_witnesses(self):
+        m = _two_thread_module(mp_shape=True)
+        result = analyze_module_fences(m)
+        assert result.required_insts
+        assert result.witnesses
+        assert len(result.threads) == 2
+
+    def test_thread_local_accesses_not_in_graph(self):
+        m = Module("t")
+        f = Function("main", FunctionType(I64, ()), [])
+        m.add_function(f)
+        b = IRBuilder(f.new_block("entry"))
+        a = b.alloca(I64, "a")
+        b.store(ConstantInt(I64, 1), a)
+        v = b.load(a, name="v")
+        b.ret(v)
+        result = analyze_module_fences(m)
+        assert not result.graph.accesses

@@ -1,0 +1,142 @@
+"""Tests for SARIF 2.1.0 emission (repro.analysis.sarif) and the
+``repro analyze ... --sarif`` CLI path."""
+
+import json
+
+from repro.analysis.delayset import FenceDecision
+from repro.analysis.fencecheck import FenceDiag
+from repro.analysis.sarif import (
+    SARIF_VERSION,
+    delayset_results,
+    fencecheck_results,
+    sarif_report,
+    write_sarif,
+)
+
+
+def _diag():
+    return FenceDiag(function="main", block="entry", index=3,
+                     kind="missing-frm",
+                     message="ldna of shared location not followed by Frm",
+                     instruction="%v = load i64, ptr @g",
+                     x86="0x401000: mov rax, [g]")
+
+
+def _decision(verdict="redundant", kind="rm"):
+    return FenceDecision(func="worker", block="loop", index=7, kind=kind,
+                         verdict=verdict,
+                         reason="covers no critical-cycle delay edge",
+                         x86="0x401010: mov rbx, [h]")
+
+
+class TestResultConversion:
+    def test_fencecheck_result_shape(self):
+        (res,) = fencecheck_results([_diag()], "demo.c")
+        assert res["ruleId"] == "fencecheck/missing-frm"
+        assert res["level"] == "error"
+        assert "Frm" in res["message"]["text"]
+        (loc,) = res["locations"]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] == "demo.c"
+        (logical,) = loc["logicalLocations"]
+        assert logical["fullyQualifiedName"] == "main:entry:3"
+        assert logical["decoratedName"].startswith("0x401000")
+
+    def test_delayset_result_shape(self):
+        (res,) = delayset_results([_decision()], "demo.c")
+        assert res["ruleId"] == "delayset/redundant"
+        assert res["level"] == "note"
+        assert res["message"]["text"].startswith("Frm redundant")
+        (loc,) = res["locations"]
+        (logical,) = loc["logicalLocations"]
+        assert logical["fullyQualifiedName"] == "worker:loop:7"
+
+    def test_missing_provenance_omits_decorated_name(self):
+        d = FenceDecision(func="f", block="b", index=0, kind="ww",
+                          verdict="required", reason="delay edge")
+        (res,) = delayset_results([d], "p.c")
+        (logical,) = res["locations"][0]["logicalLocations"]
+        assert "decoratedName" not in logical
+
+
+class TestReportEnvelope:
+    def test_report_is_valid_single_run_sarif(self):
+        results = fencecheck_results([_diag()], "demo.c") + \
+            delayset_results([_decision(), _decision("required", "ww")],
+                             "demo.c")
+        doc = sarif_report(results)
+        assert doc["version"] == SARIF_VERSION
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro"
+        assert run["results"] == results
+        # One rule per distinct ruleId, each with a short description.
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted({r["ruleId"] for r in results})
+        assert all(r["shortDescription"]["text"]
+                   for r in run["tool"]["driver"]["rules"])
+
+    def test_empty_results_still_valid(self):
+        doc = sarif_report([])
+        assert doc["runs"][0]["results"] == []
+        assert doc["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_write_sarif_round_trips(self, tmp_path):
+        out = write_sarif(str(tmp_path / "out.sarif"),
+                          delayset_results([_decision()], "p.c"))
+        doc = json.loads(out.read_text())
+        assert doc["version"] == SARIF_VERSION
+        assert doc["runs"][0]["results"][0]["ruleId"] == "delayset/redundant"
+
+
+DEMO = """
+int g = 0;
+int worker(int t) { atomic_add(&g, t + 1); return 0; }
+int main() {
+  int a = spawn(worker, 1);
+  int b = spawn(worker, 2);
+  join(a); join(b);
+  return g;
+}
+"""
+
+
+class TestCliSarif:
+    def test_analyze_delayset_sarif_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "demo.c"
+        src.write_text(DEMO)
+        sarif = tmp_path / "out.sarif"
+        rc = main(["analyze", str(src), "--delay-sets", "--fencecheck",
+                   "--sarif", str(sarif)])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "SARIF report" in err and str(sarif) in err
+        doc = json.loads(sarif.read_text())
+        results = doc["runs"][0]["results"]
+        # Clean program: no fencecheck errors, only delay-set notes.
+        assert results
+        assert all(r["ruleId"].startswith("delayset/") for r in results)
+        assert all(r["level"] == "note" for r in results)
+        # Every result locates a real LIR position in the artifact.
+        for r in results:
+            (loc,) = r["locations"]
+            assert loc["physicalLocation"]["artifactLocation"]["uri"] == \
+                str(src)
+            name = loc["logicalLocations"][0]["fullyQualifiedName"]
+            func, block, index = name.rsplit(":", 2)
+            assert func and block and int(index) >= 0
+
+    def test_analyze_json_and_sarif_together(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = tmp_path / "demo.c"
+        src.write_text(DEMO)
+        sarif = tmp_path / "out.sarif"
+        rc = main(["analyze", str(src), "--delay-sets", "--json",
+                   "--sarif", str(sarif)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        doc = json.loads(sarif.read_text())
+        assert len(doc["runs"][0]["results"]) == \
+            len(report["delayset"]["decisions"])

@@ -1,0 +1,213 @@
+"""Tests for the call graph and bottom-up interprocedural summaries
+(repro.analysis.callgraph / repro.analysis.summaries)."""
+
+from repro.analysis import (
+    MOD,
+    REF,
+    analyze_function,
+    analyze_module,
+    build_callgraph,
+    compute_summaries,
+    tarjan_sccs,
+)
+from repro.analysis.summaries import UNKNOWN_TOKEN
+from repro.fences import place_fences
+from repro.lir import (
+    ConstantInt,
+    ExternalFunction,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I64,
+    IRBuilder,
+    Module,
+    VOID,
+    ptr,
+)
+
+
+def _module_with(*names):
+    m = Module("t")
+    funcs = {}
+    for name, params in names:
+        f = Function(name, FunctionType(I64, tuple(params)),
+                     [f"a{i}" for i in range(len(params))])
+        m.add_function(f)
+        funcs[name] = f
+    return m, funcs
+
+
+def _ret0(builder):
+    builder.ret(ConstantInt(I64, 0))
+
+
+class TestCallGraph:
+    def test_direct_edges_and_roots(self):
+        m, fs = _module_with(("main", ()), ("helper", (I64,)))
+        b = IRBuilder(fs["main"].new_block("entry"))
+        b.call(fs["helper"], [ConstantInt(I64, 1)])
+        _ret0(b)
+        bh = IRBuilder(fs["helper"].new_block("entry"))
+        _ret0(bh)
+        cg = build_callgraph(m)
+        assert cg.callees["main"] == {"helper"}
+        assert cg.callers["helper"] == {"main"}
+        # helper has an intra-module caller and its address is never
+        # taken, so only main can start a thread.
+        assert [f.name for f in cg.thread_roots()] == ["main"]
+
+    def test_address_taken_function_is_root(self):
+        m, fs = _module_with(("main", ()), ("worker", (I64,)))
+        spawn = ExternalFunction("spawn", FunctionType(I64, (I64, I64)))
+        m.externals["spawn"] = spawn
+        b = IRBuilder(fs["main"].new_block("entry"))
+        addr = b.ptrtoint(fs["worker"], I64, "waddr")
+        b.call(spawn, [addr, ConstantInt(I64, 0)])
+        _ret0(b)
+        bw = IRBuilder(fs["worker"].new_block("entry"))
+        _ret0(bw)
+        cg = build_callgraph(m)
+        assert "worker" in cg.address_taken
+        assert {f.name for f in cg.thread_roots()} == {"main", "worker"}
+
+    def test_opaque_call_flagged(self):
+        m, fs = _module_with(("main", ()),)
+        ext = ExternalFunction("ext", FunctionType(VOID, ()))
+        m.externals["ext"] = ext
+        b = IRBuilder(fs["main"].new_block("entry"))
+        b.call(ext, [])
+        _ret0(b)
+        cg = build_callgraph(m)
+        assert "main" in cg.has_opaque_call
+        assert cg.callees["main"] == set()
+
+    def test_tarjan_bottom_up_order(self):
+        # main -> a -> b, and c <-> d (a 2-cycle): SCCs come callees-first.
+        m, fs = _module_with(("main", ()), ("a", ()), ("b", ()),
+                             ("c", ()), ("d", ()))
+        bm = IRBuilder(fs["main"].new_block("entry"))
+        bm.call(fs["a"], [])
+        _ret0(bm)
+        ba = IRBuilder(fs["a"].new_block("entry"))
+        ba.call(fs["b"], [])
+        _ret0(ba)
+        bb_ = IRBuilder(fs["b"].new_block("entry"))
+        _ret0(bb_)
+        bc = IRBuilder(fs["c"].new_block("entry"))
+        bc.call(fs["d"], [])
+        _ret0(bc)
+        bd = IRBuilder(fs["d"].new_block("entry"))
+        bd.call(fs["c"], [])
+        _ret0(bd)
+        cg = build_callgraph(m)
+        sccs = tarjan_sccs(cg)
+        order = {name: i for i, scc in enumerate(sccs) for name in scc}
+        assert order["b"] < order["a"] < order["main"]
+        assert {len(s) for s in sccs} == {1, 2}
+        cycle = next(s for s in sccs if len(s) == 2)
+        assert set(cycle) == {"c", "d"}
+
+
+class TestFunctionSummaries:
+    def test_pure_reader_summary_is_clean(self):
+        # int get(int *p) { return *p; }
+        m, fs = _module_with(("get", (ptr(I64),)),)
+        b = IRBuilder(fs["get"].new_block("entry"))
+        v = b.load(fs["get"].arguments[0], name="v")
+        b.ret(v)
+        summ = compute_summaries(m)["get"]
+        assert summ.param_escapes == (False,)
+        assert summ.contents_escape == (False,)
+        assert summ.param_modref == (REF,)
+        assert summ.stores_into == (frozenset(),)
+        assert ("contents", 0) in summ.returns
+
+    def test_store_through_param_recorded(self):
+        # void set(int *p, int v) { *p = v; }
+        m, fs = _module_with(("set", (ptr(I64), I64)),)
+        b = IRBuilder(fs["set"].new_block("entry"))
+        b.store(fs["set"].arguments[1], fs["set"].arguments[0])
+        _ret0(b)
+        summ = compute_summaries(m)["set"]
+        assert summ.param_escapes == (False, False)
+        assert summ.param_modref[0] & MOD
+        assert ("param", 1) in summ.stores_into[0]
+
+    def test_publishing_param_escapes(self):
+        # void pub(int *p) { g = p; }  -- stores the arg into a global.
+        m, fs = _module_with(("pub", (ptr(I64),)),)
+        g = GlobalVariable("g", ptr(I64))
+        m.add_global(g)
+        b = IRBuilder(fs["pub"].new_block("entry"))
+        b.store(fs["pub"].arguments[0], g)
+        _ret0(b)
+        summ = compute_summaries(m)["pub"]
+        assert summ.param_escapes == (True,)
+
+    def test_recursive_scc_conservative(self):
+        m, fs = _module_with(("even", (I64,)), ("odd", (I64,)))
+        be = IRBuilder(fs["even"].new_block("entry"))
+        be.call(fs["odd"], [fs["even"].arguments[0]])
+        _ret0(be)
+        bo = IRBuilder(fs["odd"].new_block("entry"))
+        bo.call(fs["even"], [fs["odd"].arguments[0]])
+        _ret0(bo)
+        summs = compute_summaries(m)
+        assert summs["even"].recursive and summs["odd"].recursive
+        assert summs["even"].param_escapes == (True,)
+        assert UNKNOWN_TOKEN in summs["even"].returns
+
+
+class TestInterproceduralElision:
+    def _caller_callee(self):
+        """main hands &local to a well-behaved callee; only the summary
+        proves the alloca stays thread-local."""
+        m, fs = _module_with(("main", ()), ("bump", (ptr(I64), I64)))
+        bb_ = IRBuilder(fs["bump"].new_block("entry"))
+        p = fs["bump"].arguments[0]
+        old = bb_.load(p, name="old")
+        new = bb_.add(old, fs["bump"].arguments[1], "new")
+        bb_.store(new, p)
+        _ret0(bb_)
+        b = IRBuilder(fs["main"].new_block("entry"))
+        local = b.alloca(I64, "local")
+        b.store(ConstantInt(I64, 0), local)
+        b.call(fs["bump"], [local, ConstantInt(I64, 3)])
+        out = b.load(local, name="out")
+        b.ret(out)
+        return m, fs, local
+
+    def test_summary_mode_keeps_alloca_local(self):
+        m, fs, local = self._caller_callee()
+        ma = analyze_module(m)
+        assert ma.alias(fs["main"]).is_thread_local(local)
+        # The intraprocedural analysis must give it up (call = escape).
+        assert not analyze_function(fs["main"], m).is_thread_local(local)
+
+    def test_placement_counts_interproc_tier(self):
+        m, _fs, _local = self._caller_callee()
+        stats = place_fences(m)
+        # main's store+load of the local are elided by the summary tier;
+        # bump's own *p accesses touch caller memory and stay fenced.
+        assert stats.skipped_interproc == 2
+        assert stats.total_inserted == 2
+
+    def test_escaping_callee_still_fences(self):
+        # Same shape but the callee publishes its argument: no elision.
+        m, fs = _module_with(("main", ()), ("leak", (ptr(I64),)))
+        g = GlobalVariable("g", ptr(I64))
+        m.add_global(g)
+        bl = IRBuilder(fs["leak"].new_block("entry"))
+        bl.store(fs["leak"].arguments[0], g)
+        _ret0(bl)
+        b = IRBuilder(fs["main"].new_block("entry"))
+        local = b.alloca(I64, "local")
+        b.store(ConstantInt(I64, 0), local)
+        b.call(fs["leak"], [local])
+        out = b.load(local, name="out")
+        b.ret(out)
+        ma = analyze_module(m)
+        assert not ma.alias(fs["main"]).is_thread_local(local)
+        stats = place_fences(m)
+        assert stats.skipped_interproc == 0
+        assert stats.total_inserted > 0

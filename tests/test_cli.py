@@ -283,6 +283,48 @@ class TestAnalyzeCommand:
         assert len(check_module(built.module)) > 0
 
 
+class TestDelaySetCli:
+    def test_litmus_delay_gate_whole_corpus(self, capsys):
+        rc = main(["litmus", "--delay-sets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "delay-set gate:" in out
+        assert "all elisions sound" in out
+        assert "UNSOUND" not in out
+
+    def test_litmus_delay_gate_single_test_verbose(self, capsys):
+        rc = main(["litmus", "MP", "--delay-sets", "--verbose"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "required" in out and "elided" in out
+        # Verbose mode prints one verdict per Fig. 8a fence.
+        assert "Fww" in out and "Frm" in out
+
+    def test_analyze_delay_sets_report(self, demo_file, capsys):
+        rc = main(["analyze", demo_file, "--delay-sets"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "== delay-set analysis (ppopt) ==" in out
+        assert "delay-sets:" in out
+
+    def test_analyze_delay_sets_rejects_native(self, demo_file, capsys):
+        rc = main(["analyze", demo_file, "--delay-sets", "--config",
+                   "native"])
+        assert rc == 2
+        assert "translated config" in capsys.readouterr().err
+
+    def test_translate_delay_sets_verified(self, demo_file, capsys):
+        """--fence-analysis=delay-sets still passes end-to-end verification
+        and reports its elision tally."""
+        rc = main(["translate", demo_file, "--run",
+                   "--fence-analysis", "delay-sets"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "x86 result: 5" in captured.out
+        assert "arm result: 5" in captured.out
+        assert "delay-sets:" in captured.err
+
+
 class TestBenchCommand:
     def test_bench_writes_baseline(self, tmp_path, capsys):
         import json
@@ -294,12 +336,14 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 3
+        assert report["version"] == 4
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt"}
         lifted = report["summary"]["lifted"]
         assert lifted["fences_elided_total"] > 0
         assert "fences_elided_beyond_walk_total" in lifted
+        assert lifted["fences_elided_interproc_total"] >= 0
+        assert lifted["fences_elided_delayset_total"] >= 0
         assert lifted["fencecheck_violations_total"] == 0
         assert lifted["provenance_fence_pct_min"] == 100.0
         assert len(report["trajectory"]) == 1

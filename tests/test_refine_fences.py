@@ -349,3 +349,84 @@ class TestRefinementEndToEnd:
         place_fences(refined)
         refined_count = count_fences(refined)
         assert refined_count < naive_count
+
+
+class TestCrossBlockMerging:
+    def _two_blocks(self):
+        m, f, b = new_func(params=(ptr(I64), ptr(I64)))
+        nxt = f.new_block("next")
+        return m, f, b, nxt
+
+    def test_unlike_kinds_merge_to_fsc_across_edge(self):
+        m, f, b, nxt = self._two_blocks()
+        p, q = f.arguments
+        b.load(p)
+        b.fence("rm")          # trails the entry block
+        b.br(nxt)
+        b2 = IRBuilder(nxt)
+        b2.fence("ww")         # leads the successor
+        b2.store(ConstantInt(I64, 1), q)
+        b2.ret(ConstantInt(I64, 0))
+        removed = merge_fences(m)
+        assert removed == 1
+        fences = [i for i in f.instructions() if isinstance(i, Fence)]
+        assert [i.kind for i in fences] == ["sc"]
+        assert fences[0].parent is nxt
+        # Decision log records the cross-block merge for provenance.
+        assert any("cross-block" in line for line in fences[0].placement)
+
+    def test_like_kinds_keep_kind(self):
+        m, f, b, nxt = self._two_blocks()
+        b.fence("rm")
+        b.br(nxt)
+        b2 = IRBuilder(nxt)
+        b2.fence("rm")
+        b2.ret(ConstantInt(I64, 0))
+        assert merge_fences(m) == 1
+        kinds = [i.kind for i in f.instructions() if isinstance(i, Fence)]
+        assert kinds == ["rm"]
+
+    def test_branchy_edge_does_not_merge(self):
+        # Entry has two successors: the trailing fence orders paths the
+        # leading fence of only one arm would not cover.
+        m, f, b = new_func(params=(I64,))
+        then = f.new_block("then")
+        els = f.new_block("else")
+        b.fence("rm")
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        b.cond_br(cond, then, els)
+        bt = IRBuilder(then)
+        bt.fence("ww")
+        bt.ret(ConstantInt(I64, 0))
+        be = IRBuilder(els)
+        be.ret(ConstantInt(I64, 1))
+        assert merge_fences(m) == 0
+
+    def test_intervening_access_blocks_cross_merge(self):
+        m, f, b, nxt = self._two_blocks()
+        p, q = f.arguments
+        b.fence("rm")
+        b.load(p)              # access after the fence: not trailing
+        b.br(nxt)
+        b2 = IRBuilder(nxt)
+        b2.fence("ww")
+        b2.store(ConstantInt(I64, 1), q)
+        b2.ret(ConstantInt(I64, 0))
+        assert merge_fences(m) == 0
+
+    def test_chain_of_edges_converges(self):
+        # a -> b -> c, one fence trailing each: all collapse onto c's head.
+        m, f, b = new_func(params=())
+        bb2 = f.new_block("b2")
+        bb3 = f.new_block("b3")
+        b.fence("rm")
+        b.br(bb2)
+        i2 = IRBuilder(bb2)
+        i2.fence("rm")
+        i2.br(bb3)
+        i3 = IRBuilder(bb3)
+        i3.fence("rm")
+        i3.ret(ConstantInt(I64, 0))
+        assert merge_fences(m) == 2
+        kinds = [i.kind for i in f.instructions() if isinstance(i, Fence)]
+        assert kinds == ["rm"]

@@ -243,8 +243,9 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 3
+        assert report["version"] == 4
         assert report["configs"] == ["ppopt"]
+        assert "demo" in report["programs"]
         for name, per_config in report["programs"].items():
             row = per_config["ppopt"]
             assert row["translate_seconds"] > 0
@@ -252,10 +253,24 @@ class TestBenchEmitter:
             assert row["lir_instructions"] > 0
             assert row["fences"] <= row["fences_naive"]
             assert row["fences_elided"] >= 0
+            assert row["fences_elided_interproc"] >= 0
+            assert row["fences_elided_delayset"] >= 0
             assert row["fencecheck_violations"] == 0
             assert row["provenance"]["fence_pct"] == 100.0
+        # The interprocedural and delay-set tiers must each prove real
+        # elisions on at least one Phoenix kernel and on examples/demo.c.
+        phoenix = [per_config["ppopt"]
+                   for name, per_config in report["programs"].items()
+                   if name != "demo"]
+        assert any(r["fences_elided_interproc"] > 0 for r in phoenix)
+        assert any(r["fences_elided_delayset"] > 0 for r in phoenix)
+        demo = report["programs"]["demo"]["ppopt"]
+        assert demo["fences_elided_interproc"] > 0
+        assert demo["fences_elided_delayset"] > 0
         summary = report["summary"]["ppopt"]
         assert summary["translate_seconds_total"] > 0
+        assert summary["fences_elided_interproc_total"] > 0
+        assert summary["fences_elided_delayset_total"] > 0
         out = write_bench(report, str(tmp_path / "BENCH_translate.json"))
         data = json.loads(out.read_text())
         assert len(data["trajectory"]) == 1
