@@ -1,0 +1,24 @@
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+long cells[32];
+
+long rowsum(long *row, long n) {
+    long s = 0;
+    for (long i = 0; i < n; i++)
+        s += row[i];
+    return s;
+}
+
+int main(void) {
+    long *grid = calloc(32, sizeof(long));
+    for (long i = 0; i < 32; i++)
+        grid[i] = i * 3 + 1;
+    memcpy(cells, grid, 32 * sizeof(long));
+    memset(grid, 0, 16 * sizeof(long));
+    long total = rowsum(cells, 32) + rowsum(grid, 32);
+    printf("%ld\n", total);
+    free(grid);
+    return (int)(total & 127);
+}

@@ -1,0 +1,17 @@
+#include <stdio.h>
+#include <string.h>
+
+char buf[64];
+
+int main(void) {
+    const char *a = "hello world";
+    strcpy(buf, a);
+    long n = strlen(buf);
+    if (strcmp(buf, "hello world") == 0)
+        puts("match");
+    for (long i = 0; i < n; i++)
+        putchar(buf[i]);
+    putchar(10);
+    printf("%ld\n", n);
+    return (int)n;
+}

@@ -1,0 +1,20 @@
+#include <stdio.h>
+#include <stdlib.h>
+
+long acc = 7;
+
+long addmul(long a, long b) {
+    return a * b + acc;
+}
+
+int main(void) {
+    long total = 0;
+    for (long i = 1; i <= 10; i++) {
+        total = addmul(total, i) - acc + i;
+    }
+    char *buf = malloc(32);
+    buf[0] = (char)(total & 0x7f);
+    printf("%ld\n", total + buf[0]);
+    free(buf);
+    return (int)(total & 63);
+}

@@ -286,13 +286,19 @@ class _Solver:
 
     def _call_summary(self, inst: Call):
         """The :class:`~repro.analysis.summaries.FunctionSummary` for a
-        direct call to a defined, already-summarised callee, else None."""
+        direct call to a defined, already-summarised callee — or, for a
+        declared external, the loader catalog's mod-ref/escape summary
+        (libc calls stay precise instead of escaping every argument) —
+        else None."""
+        callee = inst.callee
+        if not isinstance(callee, Function):
+            return None
+        if callee.is_declaration:
+            from ..loader.externs import catalog_summary
+            return catalog_summary(callee.name.split("@", 1)[0])
         if not self.summaries:
             return None
-        callee = inst.callee
-        if isinstance(callee, Function) and not callee.is_declaration:
-            return self.summaries.get(callee.name)
-        return None
+        return self.summaries.get(callee.name)
 
     def _resolve_tokens(self, tokens,
                         argpts: list[set[MemObject]]) -> set[MemObject]:

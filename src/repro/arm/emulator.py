@@ -83,6 +83,11 @@ class ArmEmulator:
             "thread_id": self._ext_thread_id,
             "sqrt": self._ext_sqrt,
         }
+        # Loader-catalog externals (libc names from real ELF binaries)
+        # run through the shared execution kernel, so both emulators
+        # produce identical output streams for the oracle.
+        from ..loader.externs import install_arm_catalog
+        install_arm_catalog(self)
 
     # ---- program loading -------------------------------------------------
     def _resolve(self) -> None:
@@ -324,7 +329,12 @@ class ArmEmulator:
                 target = self._rx(thread, ops[0].name)
             if target >= EXTERNAL_BASE:
                 name = self.program.externals[target - EXTERNAL_BASE]
-                self.externals[name](thread)
+                handler = self.externals.get(name)
+                if handler is None:
+                    raise ArmEmuError(
+                        f"call to external {name!r} has no runtime handler "
+                        f"(opaque/uncatalogued function)")
+                handler(thread)
             else:
                 thread.x["x30"] = next_pc
                 next_pc = target

@@ -36,6 +36,44 @@ def _read_source(path: str) -> str | None:
         return None
 
 
+def _read_bytes(path: str) -> bytes | None:
+    try:
+        return Path(path).read_bytes()
+    except OSError as exc:
+        print(f"repro: cannot read {path!r}: {exc.strerror or exc}",
+              file=sys.stderr)
+        return None
+
+
+def _load_input(path: str, entry: str = "main"):
+    """Sniff and load a translation input.
+
+    Returns ``(source, obj)``: for mini-C text, the source string and its
+    minicc-compiled image; for a real ELF64 binary, ``source is None``
+    and the object comes from ``repro.loader``.  ``(None, None)`` means
+    the input could not be loaded (a clean error was printed).
+    """
+    raw = _read_bytes(path)
+    if raw is None:
+        return None, None
+    from .loader import sniff_format
+
+    if sniff_format(raw) == "elf64":
+        from .core import ingest_binary
+        from .loader import ElfError, TriageError
+
+        try:
+            obj, _report = ingest_binary(raw, entry)
+        except (ElfError, TriageError) as exc:
+            print(f"repro: cannot load {path!r}: {exc}", file=sys.stderr)
+            return None, None
+        return None, obj
+    from .minicc import compile_to_x86
+
+    source = raw.decode("utf-8", errors="replace")
+    return source, compile_to_x86(source, entry)
+
+
 def _telemetry_session(args: argparse.Namespace):
     """A telemetry session sized to the --trace/--remarks flags.
 
@@ -93,25 +131,29 @@ def _first_output_mismatch(expected: list[str], got: list[str]) -> int | None:
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
-    from .minicc import compile_to_x86
-
-    source = _read_source(args.source)
-    if source is None:
+    source, obj = _load_input(args.source)
+    if obj is None:
         return 2
-    obj = compile_to_x86(source)
+    if source is None and args.config == "native":
+        print("repro translate: the native configuration recompiles "
+              "source and cannot take an ELF binary", file=sys.stderr)
+        return 2
     with _telemetry_session(args) as tel:
         rc = _translate_and_check(args, source, obj)
     _flush_telemetry(tel, args)
     return rc
 
 
-def _translate_and_check(args: argparse.Namespace, source: str, obj) -> int:
+def _translate_and_check(args: argparse.Namespace, source, obj) -> int:
     from .core import Lasagne
     from .x86 import X86Emulator
 
     lasagne = Lasagne(verify=not args.no_verify,
                       fence_analysis=args.fence_analysis)
-    built = lasagne.build(source, args.config)
+    if source is None:
+        built = lasagne.translate(obj, args.config)
+    else:
+        built = lasagne.build(source, args.config)
     print(f"config={args.config}: {built.arm_instructions} Arm instructions, "
           f"{built.fences} fences, {built.lir_instructions} IR instructions",
           file=sys.stderr)
@@ -161,13 +203,11 @@ def _cmd_lift(args: argparse.Namespace) -> int:
     from .fences import place_fences
     from .lifter import lift_program
     from .lir import format_module
-    from .minicc import compile_to_x86
     from .refine import run_refinement
 
-    source = _read_source(args.source)
-    if source is None:
+    _source, obj = _load_input(args.source)
+    if obj is None:
         return 2
-    obj = compile_to_x86(source)
     module = lift_program(obj)
     if args.refine:
         run_refinement(module)
@@ -179,6 +219,39 @@ def _cmd_lift(args: argparse.Namespace) -> int:
         optimize_module(module)
     print(format_module(module))
     return 0
+
+
+def _cmd_triage(args: argparse.Namespace) -> int:
+    """``repro triage <input>``: machine-readable loader confidence.
+
+    Works on both input formats: real ELF64 binaries go through the
+    loader (non-strict, so undecodable functions become report entries,
+    not errors); mini-C text is compiled by minicc and its ELF-lite
+    image swept with the same per-function decoder."""
+    from .loader import ElfError, ingest_elf, sniff_format, triage_object
+
+    raw = _read_bytes(args.source)
+    if raw is None:
+        return 2
+    if sniff_format(raw) == "elf64":
+        try:
+            _obj, report = ingest_elf(raw, entry=args.entry, strict=False)
+        except ElfError as exc:
+            print(f"repro triage: {args.source!r}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from .minicc import compile_to_x86
+
+        obj = compile_to_x86(raw.decode("utf-8", errors="replace"),
+                             args.entry)
+        report = triage_object(obj)
+    print(report.to_json())
+    if args.strict and report.externals_opaque:
+        print(f"repro triage: {len(report.externals_opaque)} opaque "
+              f"external(s): {sorted(report.externals_opaque)}",
+              file=sys.stderr)
+        return 1
+    return 0 if report.ok else 1
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
@@ -546,11 +619,16 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         render_map,
     )
 
-    source = _read_source(args.source)
-    if source is None:
+    source, obj = _load_input(args.source)
+    if source is None and obj is None:
+        return 2
+    if source is None and args.config == "native":
+        print("repro explain: the native configuration recompiles source "
+              "and cannot explain an ELF binary", file=sys.stderr)
         return 2
     expl = build_explanation(source, args.config,
-                             verify=not args.no_verify)
+                             verify=not args.no_verify,
+                             obj=obj if source is None else None)
 
     if args.json:
         import json
@@ -637,6 +715,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     report = run_bench(size=args.size, repeats=args.repeats)
     path = write_bench(report, args.out)
     for config, summary in report["summary"].items():
+        if config == "loader":
+            continue  # the ELF-ingestion row prints separately below
         print(f"{config:>8}: {summary['translate_seconds_total'] * 1e3:8.1f} ms "
               f"translate, {summary['arm_instructions_total']:6d} Arm "
               f"instructions, {summary['fences_total']:4d} fences, "
@@ -644,6 +724,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"({summary['fences_elided_beyond_walk_total']} beyond walk), "
               f"{summary['fencecheck_violations_total']} fencecheck "
               f"violation(s)")
+    loader = report["summary"].get("loader")
+    if loader:
+        print(f"{'loader':>8}: {loader['ingest_seconds_total'] * 1e3:8.1f} ms "
+              f"ingest over {len(report['loader'])} ELF fixture(s), "
+              f"{loader['functions_discovered']} functions, "
+              f"{loader['externals_resolved']} externals resolved, "
+              f"{loader['externals_opaque']} opaque")
     print(f"baseline written to {path}")
     return 0
 
@@ -674,6 +761,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--fences", action="store_true")
     p.add_argument("--optimize", action="store_true")
     p.set_defaults(func=_cmd_lift)
+
+    p = sub.add_parser(
+        "triage",
+        help="inspect a binary: function discovery confidence, external "
+             "resolution, and decode coverage, as JSON")
+    p.add_argument("source", help="ELF64 executable or mini-C source")
+    p.add_argument("--entry", default="main")
+    p.add_argument("--strict", action="store_true",
+                   help="also fail (rc 1) when any external is opaque, "
+                        "i.e. not resolved against the catalog")
+    p.set_defaults(func=_cmd_triage)
 
     p = sub.add_parser("evaluate", help="run the Phoenix evaluation")
     p.add_argument("--size", default="tiny", choices=["tiny", "small"])

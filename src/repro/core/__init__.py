@@ -7,10 +7,12 @@ from .pipeline import (
     Lasagne,
     RunResult,
     TranslationResult,
+    ingest_binary,
     snapshot_module,
 )
 
 __all__ = [
     "CONFIGS", "NATIVE_STAGES", "TRANSLATE_STAGES",
-    "Lasagne", "RunResult", "TranslationResult", "snapshot_module",
+    "Lasagne", "RunResult", "TranslationResult", "ingest_binary",
+    "snapshot_module",
 ]

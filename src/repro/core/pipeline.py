@@ -111,6 +111,32 @@ class RunResult:
     instructions_retired: int
 
 
+def ingest_binary(data: bytes, entry: str = "main", strict: bool = True):
+    """Front-end for real ELF64 executables: run ``repro.loader`` under a
+    telemetry span, record the ``loader.*`` coverage metrics the bench
+    trajectory tracks, and surface opaque externals as remarks.
+
+    Returns ``(X86Object, TriageReport)``; the object feeds
+    :meth:`Lasagne.translate` exactly like a minicc-produced image.
+    """
+    from ..loader import ingest_elf
+
+    with telemetry.span("loader", category="stage", entry=entry):
+        obj, report = ingest_elf(data, entry, strict=strict)
+    telemetry.count("loader.functions_discovered", len(report.functions))
+    telemetry.count("loader.externals_resolved",
+                    len(report.externals_resolved))
+    telemetry.count("loader.externals_opaque",
+                    len(report.externals_opaque))
+    telemetry.count("loader.data_symbols", report.data_symbols)
+    for name, addr in sorted(report.externals_opaque.items()):
+        telemetry.remark(
+            "loader", "opaque-external",
+            f"external at {addr:#x} is not in the catalog; calls become "
+            f"conservative opaque calls named {name!r}")
+    return obj, report
+
+
 class Lasagne:
     """End-to-end static binary translator for weak memory architectures."""
 
@@ -154,6 +180,11 @@ class Lasagne:
     ) -> TranslationResult:
         if config not in ("lifted", "opt", "popt", "ppopt"):
             raise ValueError(f"unknown configuration {config!r}")
+        if entry not in obj.functions:
+            # A clear triage diagnostic (what was asked for, what the
+            # image defines) instead of a KeyError deep in the lifter.
+            from ..x86.objfile import EntryError
+            raise EntryError(entry, sorted(obj.functions))
         stages: dict[str, Module] = {}
         with telemetry.span("pipeline", category="pipeline",
                             config=config, entry=entry) as root:

@@ -54,7 +54,19 @@ def _branch_target(instr: Instr) -> int:
     return op.value
 
 
-def build_cfg(name: str, instrs: list[Instr]) -> MachineCFG:
+def _is_noreturn_call(instr: Instr, targets) -> bool:
+    return (instr.mnemonic == "call" and bool(targets)
+            and bool(instr.operands)
+            and isinstance(instr.operands[0], Imm)
+            and instr.operands[0].value in targets)
+
+
+def build_cfg(name: str, instrs: list[Instr],
+              noreturn_targets=None) -> MachineCFG:
+    """``noreturn_targets`` is an optional set of call-target addresses
+    (``exit``, ``abort`` externals) whose calls terminate their block
+    with no successors — without it, code ending in ``call exit`` looks
+    like it falls off the end of the function."""
     if not instrs:
         raise CFGError(f"{name}: empty function")
     entry = instrs[0].address
@@ -75,7 +87,8 @@ def build_cfg(name: str, instrs: list[Instr]) -> MachineCFG:
             fall = instr.address + instr.size
             if fall < end_addr:
                 leaders.add(fall)
-        elif instr.mnemonic == "ret":
+        elif instr.mnemonic == "ret" or _is_noreturn_call(
+                instr, noreturn_targets):
             fall = instr.address + instr.size
             if fall < end_addr:
                 leaders.add(fall)
@@ -100,6 +113,8 @@ def build_cfg(name: str, instrs: list[Instr]) -> MachineCFG:
             fall = term.address + term.size
             block.successors = [_branch_target(term), fall]
         elif mn == "ret":
+            block.successors = []
+        elif _is_noreturn_call(term, noreturn_targets):
             block.successors = []
         else:
             # Fall-through into the next block.

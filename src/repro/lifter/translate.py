@@ -133,11 +133,24 @@ class ProgramLifter:
         self.module = Module(f"lifted_{obj.entry}")
         self.cfgs: dict[str, MachineCFG] = {}
         self.signatures: dict[str, Signature] = {}
+        # Loader-discovered external signatures extend the built-ins.
+        self.extern_sigs: dict[str, tuple[int, int, str]] = dict(EXTERNAL_SIGS)
+        self.extern_sigs.update(obj.extern_sigs)
+        self.noreturn_externals: set[str] = set()
+        if obj.source_format == "elf64":
+            from ..loader.externs import CATALOG
+            for name in obj.externals:
+                entry = CATALOG.get(name.split("@", 1)[0])
+                if entry is not None and entry.noreturn:
+                    self.noreturn_externals.add(name)
 
     def lift(self) -> Module:
         instrs = disassemble_all(self.obj)
+        noreturn_addrs = {self.obj.externals[n]
+                          for n in self.noreturn_externals}
         self.cfgs = {
-            name: build_cfg(name, body) for name, body in instrs.items()
+            name: build_cfg(name, body, noreturn_targets=noreturn_addrs)
+            for name, body in instrs.items()
         }
         self.signatures = TypeDiscovery(self.obj, self.cfgs).discover()
 
@@ -152,13 +165,21 @@ class ProgramLifter:
             params = tuple([I64] * sig.int_params + [F64] * sig.sse_params)
             ftype = FunctionType(_ret_type(sig.ret), params)
             self.module.add_function(Function(name, ftype))
-        # Externals used anywhere.
-        for name, (ints, sses, ret) in EXTERNAL_SIGS.items():
-            if name in self.obj.externals:
-                params = tuple([I64] * ints + [F64] * sses)
-                self.module.declare_external(
-                    name, FunctionType(_ret_type(ret), params)
-                )
+        # Externals used anywhere: built-in runtime names first (stable
+        # declaration order for ELF-lite images), then loader-discovered
+        # catalog/opaque externals.
+        ext_names = [n for n in EXTERNAL_SIGS if n in self.obj.externals]
+        ext_names += [n for n in self.obj.externals
+                      if n not in EXTERNAL_SIGS]
+        for name in ext_names:
+            sig = self.extern_sigs.get(name)
+            if sig is None:
+                continue
+            ints, sses, ret = sig
+            params = tuple([I64] * ints + [F64] * sses)
+            self.module.declare_external(
+                name, FunctionType(_ret_type(ret), params)
+            )
         for name in self.cfgs:
             FunctionLifter(self, name).lift()
         return self.module
@@ -366,17 +387,28 @@ class FunctionLifter:
             return self.load_mem(op)
         raise LiftError(f"{self.name}: bad integer operand {op!r}")
 
+    def _global_addr(self, sym, address: int) -> Value:
+        g = self.module.globals[sym.name]
+        gi8 = self.builder.bitcast(g, ptr(I8))
+        base = self.builder.ptrtoint(gi8, I64, f"{sym.name}_addr")
+        if address != sym.address:
+            base = self.builder.add(base, _c64(address - sym.address))
+        return base
+
     def _imm_value(self, imm: Imm) -> Value:
-        """Immediate, rebound to a global/function if it names one."""
-        sym = self.obj.symbol_for_data_address(imm.value)
-        if sym is not None and imm.width == 64:
-            g = self.module.globals[sym.name]
-            gi8 = self.builder.bitcast(g, ptr(I8))
-            base = self.builder.ptrtoint(gi8, I64, f"{sym.name}_addr")
-            if imm.value != sym.address:
-                base = self.builder.add(base, _c64(imm.value - sym.address))
-            return base
-        fsym = self.obj.function_at(imm.value) if imm.width == 64 else None
+        """Immediate, rebound to a global/function if it names one.
+
+        ELF-lite images only materialize symbol addresses via movabs
+        (64-bit immediates); gcc output for the non-PIE memory model
+        also uses plain 32-bit immediates, so real ELF inputs widen the
+        rebinding to those.
+        """
+        wide = imm.width == 64 or (
+            imm.width >= 32 and self.obj.source_format == "elf64")
+        sym = self.obj.symbol_for_data_address(imm.value) if wide else None
+        if sym is not None:
+            return self._global_addr(sym, imm.value)
+        fsym = self.obj.function_at(imm.value) if wide else None
         if fsym is not None and fsym.address == imm.value:
             f = self.module.get_function(fsym.name)
             return self.builder.ptrtoint(f, I64, f"{fsym.name}_addr")
@@ -393,6 +425,14 @@ class FunctionLifter:
                 shift = {2: 1, 4: 2, 8: 3}[mem.scale]
                 idx = b.binop("shl", idx, _c64(shift))
             addr = idx if addr is None else b.add(addr, idx)
+        if mem.base is None and self.obj.source_format == "elf64":
+            # Absolute / RIP-rebased displacement naming a data symbol:
+            # the Arm image places globals at its own addresses, so the
+            # reference must go through the global, not the raw number.
+            sym = self.obj.symbol_for_data_address(mem.disp)
+            if sym is not None:
+                gaddr = self._global_addr(sym, mem.disp)
+                return gaddr if addr is None else b.add(addr, gaddr)
         if mem.disp or addr is None:
             disp = _c64(mem.disp & (2**64 - 1))
             addr = disp if addr is None else b.add(addr, disp)
@@ -560,8 +600,8 @@ class FunctionLifter:
         return None
 
     def _callee_params(self, callee: Optional[str]) -> tuple[int, int]:
-        if callee in EXTERNAL_SIGS:
-            ints, sses, _ = EXTERNAL_SIGS[callee]
+        if callee in self.p.extern_sigs and callee not in self.p.signatures:
+            ints, sses, _ = self.p.extern_sigs[callee]
             return ints, sses
         if callee in self.p.signatures:
             sig = self.p.signatures[callee]
@@ -579,8 +619,8 @@ class FunctionLifter:
             args.append(b.load(self.slot(INT_PARAM_REGS[i])))
         for j in range(sses):
             args.append(b.load(self.slot(SSE_PARAM_REGS[j])))
-        if callee in EXTERNAL_SIGS:
-            _, _, ret = EXTERNAL_SIGS[callee]
+        if callee in self.module.externals:
+            _, _, ret = self.p.extern_sigs[callee]
             target: Value = self.module.externals[callee]
         else:
             ret = self.p.signatures[callee].ret
@@ -590,6 +630,9 @@ class FunctionLifter:
             b.store(result, self.slot("rax"))
         elif ret == "f64":
             b.store(result, self.slot("xmm0"))
+        if callee in self.p.noreturn_externals:
+            # The CFG gave this block no successors; seal it.
+            b.unreachable()
 
     # ---- per-instruction translation -----------------------------------------------
     def _lift_instr(self, instr: Instr) -> None:

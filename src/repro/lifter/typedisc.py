@@ -84,6 +84,16 @@ def instr_reg_uses(instr: Instr) -> tuple[set[str], set[str]]:
               "movsd", "movss", "movq", "movaps", "cvtsi2sd", "cvttsd2si"):
         write_op(ops[0])
         read_op(ops[1])
+    elif mn == "imul" and len(ops) == 3:
+        # Three-operand form: dst = src * imm; dst is write-only.
+        write_op(ops[0])
+        read_op(ops[1])
+        read_op(ops[2])
+    elif mn.startswith("cmov") and mn[4:] in CC_NUM:
+        # Conditionally overwrites dst, so the old value stays live.
+        read_op(ops[0])
+        write_op(ops[0])
+        read_op(ops[1])
     elif mn in ("add", "sub", "and", "or", "xor", "imul", "shl", "shr",
                 "sar", "addsd", "subsd", "mulsd", "divsd", "addss", "subss",
                 "mulss", "divss", "addpd", "subpd", "mulpd", "paddq",
@@ -108,6 +118,12 @@ def instr_reg_uses(instr: Instr) -> tuple[set[str], set[str]]:
     elif mn == "cqo":
         reads.add("rax")
         writes.add("rdx")
+    elif mn == "cdqe":
+        reads.add("rax")
+        writes.add("rax")
+    elif mn == "leave":
+        reads.add("rbp")
+        writes.update({"rsp", "rbp"})
     elif mn == "idiv":
         read_op(ops[0])
         reads.update({"rax", "rdx"})
@@ -128,9 +144,8 @@ def instr_reg_uses(instr: Instr) -> tuple[set[str], set[str]]:
     elif mn in ("ret",):
         reads.add("rsp")
         writes.add("rsp")
-    elif mn in ("jmp", "nop", "mfence", "ud2", "cdq") or (
-        mn.startswith("j") and mn[1:] in CC_NUM
-    ):
+    elif mn in ("jmp", "nop", "mfence", "ud2", "cdq", "endbr64", "hlt",
+                "syscall") or (mn.startswith("j") and mn[1:] in CC_NUM):
         pass
     elif mn == "call":
         # handled specially by the liveness analysis
@@ -202,8 +217,14 @@ class TypeDiscovery:
         """(reads, writes) of a call instruction, given known signatures."""
         callee = self._callee_of(instr)
         reads: set[str] = set()
-        if callee in EXTERNAL_SIGS:
-            ints, sses, _ = EXTERNAL_SIGS[callee]
+        ext_sig = None
+        if callee is not None:
+            # Loader-discovered signatures (the ELF external catalog)
+            # take precedence over the built-in runtime table.
+            ext_sig = self.obj.extern_sigs.get(callee) or \
+                EXTERNAL_SIGS.get(callee)
+        if ext_sig is not None:
+            ints, sses, _ = ext_sig
         elif callee in self.signatures:
             sig = self.signatures[callee]
             ints, sses = sig.int_params, sig.sse_params

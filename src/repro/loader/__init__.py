@@ -1,0 +1,31 @@
+"""repro.loader: real-binary front end (ELF64 -> X86Object).
+
+Three layers, mirroring the issue that introduced them:
+
+* :mod:`repro.loader.elf` — from-scratch ELF64 reader (headers, symbol
+  tables, relocations, PLT/IPLT decoding);
+* :mod:`repro.loader.triage` — format sniffing, call-graph function
+  discovery, per-function decode-confidence reports, and
+  :func:`ingest_elf`, which packages a real binary as the
+  :class:`~repro.x86.objfile.X86Object` the pipeline consumes;
+* :mod:`repro.loader.externs` — the EFACT-style external-function
+  catalog: typed signatures, mod-ref/escape summaries for the analysis
+  layer, and one shared execution kernel both emulators install so the
+  co-simulation oracle stays exact across libc calls.
+"""
+
+from .elf import ElfError, ElfFile, decode_plt, is_elf, parse_elf
+from .externs import (CATALOG, CatalogEntry, catalog_summary, format_printf,
+                      install_arm_catalog, install_x86_catalog,
+                      normalize_name, resolve_names)
+from .triage import (FunctionReport, TriageError, TriageReport, ingest_elf,
+                     sniff_format, triage_object)
+
+__all__ = [
+    "ElfError", "ElfFile", "decode_plt", "is_elf", "parse_elf",
+    "CATALOG", "CatalogEntry", "catalog_summary", "format_printf",
+    "install_arm_catalog", "install_x86_catalog", "normalize_name",
+    "resolve_names",
+    "FunctionReport", "TriageError", "TriageReport", "ingest_elf",
+    "sniff_format", "triage_object",
+]

@@ -103,8 +103,12 @@ def _correlate(blame: FenceBlame, remarks) -> list:
 
 def build_explanation(source: str, config: str = "ppopt",
                       entry: str = "main",
-                      verify: bool = True) -> Explanation:
-    """Translate ``source`` and assemble the full provenance explanation."""
+                      verify: bool = True, obj=None) -> Explanation:
+    """Translate ``source`` and assemble the full provenance explanation.
+
+    Pass ``obj`` (an already-ingested :class:`X86Object`, e.g. from the
+    ELF loader) to skip the mini-C front end; ``source`` is ignored then.
+    """
     from ..core import Lasagne
     from ..lifter.disassembler import disassemble_all
     from ..minicc import compile_to_x86
@@ -113,9 +117,13 @@ def build_explanation(source: str, config: str = "ppopt",
         lasagne = Lasagne(verify=verify)
         x86_listing: dict[str, list] = {}
         if config == "native":
+            if obj is not None:
+                raise ValueError("the native configuration recompiles "
+                                 "source and cannot explain a binary")
             built = lasagne.native(source, entry)
         else:
-            obj = compile_to_x86(source, entry)
+            if obj is None:
+                obj = compile_to_x86(source, entry)
             x86_listing = disassemble_all(obj)
             built = lasagne.translate(obj, config, entry)
         source_map = SourceMap.from_program(built.program)

@@ -20,6 +20,15 @@ no critical cycle), and the benched program set gains ``demo``
 escape-analysis build remains the timed baseline; the delay-set build
 contributes only its elision counter.
 
+Schema v5 adds the binary-loader trajectory: a top-level ``loader``
+section times :func:`repro.core.ingest_binary` over every checked-in
+ELF64 fixture (``examples/elf/``) and records its coverage counters —
+``functions_discovered``, ``externals_resolved``, ``externals_opaque``,
+``data_symbols`` — with totals under ``summary["loader"]``, so a
+catalog or triage regression (an external going opaque, a function no
+longer discovered) shows up in ``BENCH_translate.json`` like a fence
+regression would.
+
 CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]``.
 """
 
@@ -32,7 +41,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 4
+BENCH_VERSION = 5
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -56,6 +65,40 @@ def _demo_source() -> Optional[str]:
         return demo.read_text()
     except OSError:
         return None
+
+
+def _elf_fixtures() -> list[Path]:
+    """Checked-in ELF64 binaries (not their .c sources) under examples/elf."""
+    root = Path(__file__).resolve().parents[3] / "examples" / "elf"
+    if not root.is_dir():
+        return []
+    return sorted(p for p in root.iterdir()
+                  if p.is_file() and not p.suffix)
+
+
+def bench_loader(repeats: int = 3) -> dict[str, dict]:
+    """Time ELF ingestion per fixture and snapshot its coverage counters."""
+    from ..core.pipeline import ingest_binary
+
+    rows: dict[str, dict] = {}
+    for path in _elf_fixtures():
+        data = path.read_bytes()
+        times = []
+        report = None
+        for _ in range(max(1, repeats)):
+            start = perf_counter()
+            _obj, report = ingest_binary(data)
+            times.append(perf_counter() - start)
+        times.sort()
+        rows[path.name] = {
+            "ingest_seconds": round(times[len(times) // 2], 6),
+            "functions_discovered": len(report.functions),
+            "externals_resolved": len(report.externals_resolved),
+            "externals_opaque": len(report.externals_opaque),
+            "data_symbols": report.data_symbols,
+            "ok": report.ok,
+        }
+    return rows
 
 
 def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
@@ -141,12 +184,25 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 r["provenance"]["memory_pct"] for r in rows)
             summary[config]["provenance_fence_pct_min"] = min(
                 r["provenance"]["fence_pct"] for r in rows)
+    loader_rows = bench_loader(repeats)
+    if loader_rows:
+        summary["loader"] = {
+            "ingest_seconds_total": round(
+                sum(r["ingest_seconds"] for r in loader_rows.values()), 6),
+            "functions_discovered": sum(
+                r["functions_discovered"] for r in loader_rows.values()),
+            "externals_resolved": sum(
+                r["externals_resolved"] for r in loader_rows.values()),
+            "externals_opaque": sum(
+                r["externals_opaque"] for r in loader_rows.values()),
+        }
     return {
         "version": BENCH_VERSION,
         "size": size,
         "repeats": repeats,
         "configs": configs,
         "programs": programs,
+        "loader": loader_rows,
         "summary": summary,
     }
 

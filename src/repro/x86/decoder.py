@@ -55,6 +55,13 @@ class _Cursor:
         self.pos += 4
         return v
 
+    def u32(self) -> int:
+        if self.pos + 4 > len(self.data):
+            raise DecodeError("truncated imm32")
+        v = struct.unpack("<I", self.data[self.pos : self.pos + 4])[0]
+        self.pos += 4
+        return v
+
     def u64(self) -> int:
         if self.pos + 8 > len(self.data):
             raise DecodeError("truncated imm64")
@@ -70,6 +77,10 @@ class _Prefixes:
     f2: bool = False
     f3: bool = False
     rex: int = 0
+    # Set by _read_modrm when it sees a RIP-relative operand; decode_one
+    # patches the displacement to an absolute address once the final
+    # instruction size is known.
+    rip: bool = False
 
     @property
     def rex_w(self) -> int:
@@ -141,8 +152,13 @@ def _read_modrm(
             return reg_field, Mem(base, index, scale, disp, rm_width)
         base = gpr_name(base3 | (p.rex_b << 3), 64)
     elif mod == 0 and rm3 == 5:
-        # RIP-relative in 64-bit mode; our encoder never emits it.
-        raise DecodeError("RIP-relative addressing not supported")
+        # RIP-relative in 64-bit mode.  The absolute target is
+        # end-of-instruction + disp32, but the instruction size is not
+        # known yet — store the raw displacement and flag the prefix
+        # record so decode_one can patch it to an absolute address.
+        p.rip = True
+        disp = cur.i32()
+        return reg_field, Mem(None, None, 1, disp, rm_width)
     else:
         base = gpr_name(rm3 | (p.rex_b << 3), 64)
     if mod == 0:
@@ -175,6 +191,13 @@ def decode_one(data: bytes, offset: int, address: int = 0) -> Instr:
     instr.address = address
     instr.size = cur.pos - offset
     instr.lock = p.lock
+    if p.rip:
+        instr.operands = [
+            Mem(None, None, 1, o.disp + address + instr.size, o.width)
+            if isinstance(o, Mem) and o.base is None and o.index is None
+            else o
+            for o in instr.operands
+        ]
     return instr
 
 
@@ -191,6 +214,25 @@ def _decode_opcode(
     if op in _ALU_BY_OPCODE:
         reg_field, rm = _read_modrm(cur, p, w)
         return Instr(_ALU_BY_OPCODE[op], [rm, _reg(reg_field, w)])
+    if (op - 2) in _ALU_BY_OPCODE:  # ALU reg <- r/m (RM direction)
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr(_ALU_BY_OPCODE[op - 2], [_reg(reg_field, w), rm])
+    if (op - 4) in _ALU_BY_OPCODE:  # ALU rAX, imm32
+        return Instr(_ALU_BY_OPCODE[op - 4], [_reg(0, w), _imm(cur.i32())])
+    if (op - 3) in _ALU_BY_OPCODE:  # ALU al, imm8
+        return Instr(_ALU_BY_OPCODE[op - 3], [_reg(0, 8), Imm(cur.i8(), 8)])
+    if (op + 1) in _ALU_BY_OPCODE:  # ALU r/m8 <- r8 (MR direction)
+        reg_field, rm = _read_modrm(cur, p, 8)
+        return Instr(_ALU_BY_OPCODE[op + 1], [rm, _reg(reg_field, 8)])
+    if (op - 1) in _ALU_BY_OPCODE:  # ALU r8 <- r/m8 (RM direction)
+        reg_field, rm = _read_modrm(cur, p, 8)
+        return Instr(_ALU_BY_OPCODE[op - 1], [_reg(reg_field, 8), rm])
+    if op == 0x80:  # ALU r/m8, imm8
+        reg_field, rm = _read_modrm(cur, p, 8)
+        ext = reg_field & 7
+        if ext not in _ALU_BY_EXT:
+            raise DecodeError(f"bad ALU8 /ext {ext}")
+        return Instr(_ALU_BY_EXT[ext], [rm, Imm(cur.i8(), 8)])
     if op in (0x81, 0x83):
         reg_field, rm = _read_modrm(cur, p, w)
         ext = reg_field & 7
@@ -198,9 +240,24 @@ def _decode_opcode(
             raise DecodeError(f"bad ALU /ext {ext}")
         v = cur.i8() if op == 0x83 else cur.i32()
         return Instr(_ALU_BY_EXT[ext], [rm, _imm(v)])
+    if op == 0x84:
+        reg_field, rm = _read_modrm(cur, p, 8)
+        return Instr("test", [rm, _reg(reg_field, 8)])
     if op == 0x85:
         reg_field, rm = _read_modrm(cur, p, w)
         return Instr("test", [rm, _reg(reg_field, w)])
+    if 0x70 <= op <= 0x7F:  # Jcc rel8
+        rel = cur.i8()
+        end = address + (cur.pos - start)
+        return Instr(f"j{CONDITION_CODES[op - 0x70]}", [Imm(end + rel, 64)])
+    if op == 0xEB:  # jmp rel8
+        rel = cur.i8()
+        end = address + (cur.pos - start)
+        return Instr("jmp", [Imm(end + rel, 64)])
+    if op in (0x69, 0x6B):  # imul reg, r/m, imm
+        reg_field, rm = _read_modrm(cur, p, w)
+        v = cur.i8() if op == 0x6B else cur.i32()
+        return Instr("imul", [_reg(reg_field, w), rm, _imm(v)])
     if op == 0x87:
         reg_field, rm = _read_modrm(cur, p, w)
         return Instr("xchg", [rm, _reg(reg_field, w)])
@@ -225,6 +282,12 @@ def _decode_opcode(
     if 0xB8 <= op <= 0xBF and p.rex_w:
         num = (op - 0xB8) | (p.rex_b << 3)
         return Instr("movabs", [_reg(num, 64), Imm(cur.u64(), 64)])
+    if 0xB8 <= op <= 0xBF:  # mov r32, imm32 (zero-extends)
+        num = (op - 0xB8) | (p.rex_b << 3)
+        return Instr("mov", [_reg(num, 32), Imm(cur.u32(), 32)])
+    if 0xB0 <= op <= 0xB7:  # mov r8, imm8
+        num = (op - 0xB0) | (p.rex_b << 3)
+        return Instr("mov", [_reg(num, 8), Imm(cur.u8(), 8)])
     if op == 0xC1:
         reg_field, rm = _read_modrm(cur, p, w)
         ext = reg_field & 7
@@ -239,15 +302,34 @@ def _decode_opcode(
         return Instr(_SHIFT_BY_EXT[ext], [rm, Reg("cl")])
     if op == 0xC3:
         return Instr("ret")
+    if op == 0xC6:
+        reg_field, rm = _read_modrm(cur, p, 8)
+        if reg_field & 7:
+            raise DecodeError("bad mov8 imm /ext")
+        return Instr("mov", [rm, Imm(cur.u8(), 8)])
     if op == 0xC7:
         reg_field, rm = _read_modrm(cur, p, w)
         if reg_field & 7:
             raise DecodeError("bad mov imm /ext")
         return Instr("mov", [rm, _imm(cur.i32())])
+    if op == 0xC9:
+        return Instr("leave")
     if op == 0x90:
         return Instr("nop")
+    if op == 0x98:
+        if not p.rex_w:
+            raise DecodeError("cwde not supported")
+        return Instr("cdqe")
     if op == 0x99:
         return Instr("cqo" if p.rex_w else "cdq")
+    if op == 0xD1:  # shift r/m by 1
+        reg_field, rm = _read_modrm(cur, p, w)
+        ext = reg_field & 7
+        if ext not in _SHIFT_BY_EXT:
+            raise DecodeError(f"bad shift /ext {ext}")
+        return Instr(_SHIFT_BY_EXT[ext], [rm, Imm(1, 8)])
+    if op == 0xF4:
+        return Instr("hlt")
     if op == 0xE8:
         rel = cur.i32()
         end = address + (cur.pos - start)
@@ -256,18 +338,30 @@ def _decode_opcode(
         rel = cur.i32()
         end = address + (cur.pos - start)
         return Instr("jmp", [Imm(end + rel, 64)])
+    if op == 0xF6:
+        reg_field, rm = _read_modrm(cur, p, 8)
+        if (reg_field & 7) == 0:
+            return Instr("test", [rm, Imm(cur.u8(), 8)])
+        raise DecodeError(f"bad F6 /ext {reg_field & 7}")
     if op == 0xF7:
         reg_field, rm = _read_modrm(cur, p, w)
         ext = reg_field & 7
+        if ext == 0:
+            return Instr("test", [rm, _imm(cur.i32())])
         table = {7: "idiv", 3: "neg", 2: "not"}
         if ext not in table:
             raise DecodeError(f"bad F7 /ext {ext}")
         return Instr(table[ext], [rm])
     if op == 0xFF:
         reg_field, rm = _read_modrm(cur, p, 64)
-        if (reg_field & 7) == 2:
+        ext = reg_field & 7
+        if ext == 2:
             return Instr("call", [rm])
-        raise DecodeError(f"bad FF /ext {reg_field & 7}")
+        if ext == 4:
+            return Instr("jmp", [rm])
+        if ext == 6:
+            return Instr("push", [rm])
+        raise DecodeError(f"bad FF /ext {ext}")
     raise DecodeError(f"unknown opcode {op:#x}")
 
 
@@ -280,6 +374,21 @@ def _decode_0f(cur: _Cursor, p: _Prefixes, address: int, start: int) -> Instr:
         raise DecodeError(f"bad 0F AE modrm {modrm:#x}")
     if op == 0x0B:
         return Instr("ud2")
+    if op == 0x05:
+        return Instr("syscall")
+    if op == 0x1E and p.f3:
+        b = cur.u8()
+        if b == 0xFA:
+            return Instr("endbr64")
+        raise DecodeError(f"bad F3 0F 1E {b:#x}")
+    if op == 0x1F:  # multi-byte nop; operand is a hint, discard it
+        _read_modrm(cur, p, _gpr_width(p))
+        return Instr("nop")
+    if 0x40 <= op <= 0x4F:  # cmovcc
+        w = _gpr_width(p)
+        reg_field, rm = _read_modrm(cur, p, w)
+        return Instr(f"cmov{CONDITION_CODES[op - 0x40]}",
+                     [_reg(reg_field, w), rm])
     if op == 0xAF:
         w = _gpr_width(p)
         reg_field, rm = _read_modrm(cur, p, w)

@@ -88,6 +88,11 @@ class X86Emulator:
             "abort": self._ext_abort,
             "thread_id": self._ext_thread_id,
         }
+        if obj.source_format == "elf64":
+            # Real-binary images: libc externals run through the loader
+            # catalog's shared execution kernel.
+            from ..loader.externs import install_x86_catalog
+            install_x86_catalog(self)
 
     # ---- image loading ---------------------------------------------------
     def _load_image(self) -> None:
@@ -252,7 +257,10 @@ class X86Emulator:
     # ---- run loop -----------------------------------------------------------
     def run(self, entry: Optional[str] = None, args: Optional[list[int]] = None) -> int:
         name = entry or self.obj.entry
-        sym = self.obj.functions[name]
+        sym = self.obj.functions.get(name)
+        if sym is None:
+            from .objfile import EntryError
+            raise EntryError(name, sorted(self.obj.functions))
         main = self._make_thread(sym.address)
         from .registers import INT_PARAM_REGS
 
@@ -433,8 +441,13 @@ class X86Emulator:
                 target = ops[0].value
             ext = self.obj.external_at(target)
             if ext is not None:
+                handler = self.externals.get(ext)
+                if handler is None:
+                    raise EmuError(
+                        f"call to external {ext!r} at {target:#x} has no "
+                        f"runtime handler (opaque/uncatalogued function)")
                 self._flush(thread)  # runtime entry is a full barrier
-                if self.externals[ext](thread) == "retry":
+                if handler(thread) == "retry":
                     return  # rip unchanged: re-execute the call later
             else:
                 rsp = (thread.regs["rsp"] - 8) & (2**64 - 1)

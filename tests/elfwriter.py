@@ -1,0 +1,194 @@
+"""A minimal pure-python ELF64 writer for loader tests.
+
+Builds just enough of a linked x86-64 executable — header, PT_LOAD
+program headers, sections, ``.symtab``/``.dynsym`` + string tables,
+``.rela.*`` relocations — for ``repro.loader`` to ingest, so round-trip
+tests need no compiler toolchain at runtime.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+SHT_PROGBITS, SHT_SYMTAB, SHT_STRTAB, SHT_RELA, SHT_NOBITS = 1, 2, 3, 4, 8
+SHT_DYNSYM = 11
+SHF_WRITE, SHF_ALLOC, SHF_EXECINSTR = 0x1, 0x2, 0x4
+PT_LOAD = 1
+STT_NOTYPE, STT_OBJECT, STT_FUNC, STT_GNU_IFUNC = 0, 1, 2, 10
+STB_LOCAL, STB_GLOBAL = 0, 1
+R_JUMP_SLOT, R_IRELATIVE = 7, 37
+
+EHDR_SIZE, PHDR_SIZE, SHDR_SIZE, SYM_SIZE, RELA_SIZE = 64, 56, 64, 24, 24
+
+
+@dataclass
+class _Sec:
+    name: str
+    sh_type: int
+    flags: int
+    addr: int
+    data: bytes
+    size: int            # == len(data) except for SHT_NOBITS
+    link: int = 0
+    info: int = 0
+    entsize: int = 0
+    offset: int = 0      # assigned at build time
+
+
+@dataclass
+class _Sym:
+    name: str
+    value: int
+    size: int
+    stype: int
+    bind: int
+    table: str           # "symtab" | "dynsym"
+    shndx: int | None    # None: resolve to the section containing value
+
+
+@dataclass
+class _Rela:
+    offset: int
+    rtype: int
+    sym: int
+    addend: int
+    section: str         # emitted .rela section name
+
+
+def call_rel32(src: int, dst: int) -> bytes:
+    """``call rel32`` encoding for a call at address ``src``."""
+    return b"\xe8" + struct.pack("<i", dst - (src + 5))
+
+
+def plt_entry(entry_addr: int, got_addr: int) -> bytes:
+    """``jmp *disp32(%rip)`` — one 6-byte PLT entry."""
+    return b"\xff\x25" + struct.pack("<i", got_addr - (entry_addr + 6))
+
+
+class ElfWriter:
+    """Accumulates sections/symbols/relocations; ``build()`` emits bytes."""
+
+    def __init__(self, entry: int = 0x401000, e_type: int = 2,
+                 machine: int = 62, ei_class: int = 2, ei_data: int = 1,
+                 strip_sections: bool = False, load_pad: int = 0) -> None:
+        self.entry = entry
+        self.e_type = e_type
+        self.machine = machine
+        self.ei_class = ei_class
+        self.ei_data = ei_data
+        self.strip_sections = strip_sections
+        self.load_pad = load_pad   # extra p_memsz beyond file bytes
+        self._secs: list[_Sec] = []
+        self._syms: list[_Sym] = []
+        self._relas: list[_Rela] = []
+
+    # ---- content -------------------------------------------------------
+    def add_progbits(self, name: str, addr: int, data: bytes,
+                     flags: int = SHF_ALLOC) -> None:
+        self._secs.append(_Sec(name, SHT_PROGBITS, flags, addr,
+                               data, len(data)))
+
+    def add_nobits(self, name: str, addr: int, size: int,
+                   flags: int = SHF_ALLOC | SHF_WRITE) -> None:
+        self._secs.append(_Sec(name, SHT_NOBITS, flags, addr, b"", size))
+
+    def add_symbol(self, name: str, value: int, size: int = 0,
+                   stype: int = STT_FUNC, bind: int = STB_GLOBAL,
+                   table: str = "symtab", shndx: int | None = None) -> int:
+        """Returns the symbol's index within its table (null entry is 0)."""
+        self._syms.append(_Sym(name, value, size, stype, bind, table, shndx))
+        return sum(1 for s in self._syms if s.table == table)
+
+    def add_rela(self, offset: int, rtype: int, sym: int = 0,
+                 addend: int = 0, section: str = ".rela.plt") -> None:
+        self._relas.append(_Rela(offset, rtype, sym, addend, section))
+
+    # ---- emission ------------------------------------------------------
+    def _strtab(self, names: list[str]) -> tuple[bytes, dict[str, int]]:
+        blob, offs = bytearray(b"\x00"), {}
+        for n in names:
+            if n and n not in offs:
+                offs[n] = len(blob)
+                blob += n.encode() + b"\x00"
+        return bytes(blob), offs
+
+    def _symtab_bytes(self, syms: list[_Sym], offs: dict[str, int],
+                      shndx_of) -> bytes:
+        blob = bytearray(b"\x00" * SYM_SIZE)  # null symbol, index 0
+        for s in syms:
+            shndx = s.shndx if s.shndx is not None else shndx_of(s.value)
+            blob += struct.pack("<IBBHQQ", offs.get(s.name, 0),
+                                (s.bind << 4) | s.stype, 0, shndx,
+                                s.value, s.size)
+        return bytes(blob)
+
+    def build(self) -> bytes:
+        secs = list(self._secs)
+        user_end = len(secs)
+
+        def shndx_of(value: int) -> int:
+            for i, s in enumerate(secs[:user_end]):
+                if s.flags & SHF_ALLOC and s.addr <= value < s.addr + s.size:
+                    return i + 1  # +1 for the null section
+            return 1
+
+        dynsyms = [s for s in self._syms if s.table == "dynsym"]
+        symtabs = [s for s in self._syms if s.table == "symtab"]
+        dynsym_idx = 0
+        if dynsyms:
+            blob, offs = self._strtab([s.name for s in dynsyms])
+            secs.append(_Sec(".dynstr", SHT_STRTAB, 0, 0, blob, len(blob)))
+            table = self._symtab_bytes(dynsyms, offs, shndx_of)
+            secs.append(_Sec(".dynsym", SHT_DYNSYM, 0, 0, table, len(table),
+                             link=len(secs), entsize=SYM_SIZE))
+            dynsym_idx = len(secs)
+        for rname in sorted({r.section for r in self._relas}):
+            blob = b"".join(
+                struct.pack("<QQq", r.offset, (r.sym << 32) | r.rtype,
+                            r.addend)
+                for r in self._relas if r.section == rname)
+            secs.append(_Sec(rname, SHT_RELA, 0, 0, blob, len(blob),
+                             link=dynsym_idx, entsize=RELA_SIZE))
+        if symtabs:
+            blob, offs = self._strtab([s.name for s in symtabs])
+            secs.append(_Sec(".strtab", SHT_STRTAB, 0, 0, blob, len(blob)))
+            table = self._symtab_bytes(symtabs, offs, shndx_of)
+            secs.append(_Sec(".symtab", SHT_SYMTAB, 0, 0, table, len(table),
+                             link=len(secs), entsize=SYM_SIZE))
+        shblob, shoffs = self._strtab([s.name for s in secs] + [".shstrtab"])
+        secs.append(_Sec(".shstrtab", SHT_STRTAB, 0, 0, shblob, len(shblob)))
+
+        loads = [s for s in self._secs if s.flags & SHF_ALLOC]
+        phoff = EHDR_SIZE
+        off = phoff + len(loads) * PHDR_SIZE
+        for s in secs:
+            s.offset = off
+            off += len(s.data)
+        shnum = 0 if self.strip_sections else len(secs) + 1
+        shoff = 0 if self.strip_sections else off
+        shstrndx = 0 if self.strip_sections else len(secs)
+
+        out = bytearray()
+        ident = b"\x7fELF" + bytes([self.ei_class, self.ei_data, 1]) \
+            + b"\x00" * 9
+        out += ident
+        out += struct.pack("<HHIQQQIHHHHHH", self.e_type, self.machine, 1,
+                           self.entry, phoff, shoff, 0, EHDR_SIZE,
+                           PHDR_SIZE, len(loads), SHDR_SIZE, shnum, shstrndx)
+        for i, s in enumerate(loads):
+            filesz = len(s.data)
+            memsz = s.size + (self.load_pad if i == len(loads) - 1 else 0)
+            flags = 0x5 if s.flags & SHF_EXECINSTR else 0x6
+            out += struct.pack("<IIQQQQQQ", PT_LOAD, flags, s.offset,
+                               s.addr, s.addr, filesz, memsz, 0x1000)
+        for s in secs:
+            assert len(out) == s.offset or not s.data, s.name
+            out += s.data
+        if not self.strip_sections:
+            out += b"\x00" * SHDR_SIZE  # null section header
+            for s in secs:
+                out += struct.pack("<IIQQQQIIQQ", shoffs.get(s.name, 0),
+                                   s.sh_type, s.flags, s.addr, s.offset,
+                                   s.size, s.link, s.info, 0, s.entsize)
+        return bytes(out)

@@ -336,9 +336,9 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 4
+        assert report["version"] == 5
         assert set(report["summary"]) == \
-            {"native", "lifted", "opt", "popt", "ppopt"}
+            {"native", "lifted", "opt", "popt", "ppopt", "loader"}
         lifted = report["summary"]["lifted"]
         assert lifted["fences_elided_total"] > 0
         assert "fences_elided_beyond_walk_total" in lifted

@@ -1,0 +1,296 @@
+"""Round-trip tests for ``repro.loader`` over synthetic ELF64 images.
+
+Every binary here is produced by the pure-python writer in
+``tests/elfwriter.py`` — no compiler toolchain involved — and then
+ingested by the real loader: ELF parsing, PLT decoding, call-graph
+discovery, external-catalog resolution, confidence reporting.
+"""
+
+import struct
+
+import pytest
+
+from tests.elfwriter import (
+    R_IRELATIVE,
+    R_JUMP_SLOT,
+    SHF_ALLOC,
+    SHF_EXECINSTR,
+    SHF_WRITE,
+    STT_GNU_IFUNC,
+    STT_OBJECT,
+    ElfWriter,
+    call_rel32,
+    plt_entry,
+)
+from repro.loader import (
+    ElfError,
+    TriageError,
+    decode_plt,
+    ingest_elf,
+    is_elf,
+    parse_elf,
+    sniff_format,
+)
+
+TEXT = 0x401000
+RESOLVER = TEXT + 0x40      # ifunc resolver, inside .text
+PLT = 0x401100              # own section, disjoint from .text
+RODATA = 0x402000
+GOT = 0x403FF0
+DATA = 0x404000
+
+RET = b"\xc3"
+MOV_RAX_7 = b"\x48\xc7\xc0\x07\x00\x00\x00"
+
+
+def _main_code(base: int, call_to: int | None = None,
+               extra: bytes = b"") -> bytes:
+    """mov edi, 0x20; [call X]; [extra]; mov rax, 7; ret"""
+    code = b"\xbf\x20\x00\x00\x00"
+    if call_to is not None:
+        code += call_rel32(base + len(code), call_to)
+    code += extra + MOV_RAX_7 + RET
+    return code
+
+
+def _writer_with_malloc_plt() -> tuple[ElfWriter, bytes]:
+    """An image whose ``main`` calls malloc through a static-binary PLT:
+    the IRELATIVE relocation's addend points at the glibc-style ifunc
+    resolver symbol, which carries the (decorated) function name."""
+    w = ElfWriter(entry=TEXT)
+    main = _main_code(TEXT, call_to=PLT)
+    text = bytearray(main)
+    text += b"\x00" * (RESOLVER - TEXT - len(text))
+    text += MOV_RAX_7 + RET
+    w.add_progbits(".text", TEXT, bytes(text),
+                   flags=SHF_ALLOC | SHF_EXECINSTR)
+    w.add_progbits(".plt", PLT, plt_entry(PLT, GOT),
+                   flags=SHF_ALLOC | SHF_EXECINSTR)
+    w.add_rela(GOT, R_IRELATIVE, addend=RESOLVER)
+    w.add_symbol("main", TEXT, size=len(main))
+    w.add_symbol("__libc_malloc", RESOLVER, size=8, stype=STT_GNU_IFUNC)
+    return w, main
+
+
+class TestParseRoundTrip:
+    def test_header_sections_symbols(self):
+        w = ElfWriter(entry=TEXT)
+        code = _main_code(TEXT)
+        w.add_progbits(".text", TEXT, code, flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_progbits(".rodata", RODATA, b"hey\x00")
+        w.add_nobits(".bss", DATA, 16)
+        w.add_symbol("main", TEXT, size=len(code))
+        w.add_symbol("acc", DATA, size=8, stype=STT_OBJECT)
+        raw = w.build()
+
+        assert is_elf(raw) and sniff_format(raw) == "elf64"
+        elf = parse_elf(raw)
+        assert elf.header.e_entry == TEXT
+        assert elf.section(".text").is_exec
+        assert not elf.section(".rodata").is_exec
+        assert elf.section(".bss").is_nobits
+        assert elf.section_at(TEXT).name == ".text"
+        assert elf.names_at(TEXT) == ["main"]
+        funcs = elf.function_symbols()
+        assert [s.name for s in funcs] == ["main"]
+        assert funcs[0].size == len(code)
+
+    def test_read_and_cstr(self):
+        w = ElfWriter(entry=TEXT)
+        w.add_progbits(".text", TEXT, b"\xc3" * 8,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_progbits(".rodata", RODATA, b"hi\x00there")
+        w.add_nobits(".bss", DATA, 32)
+        elf = parse_elf(w.build())
+        assert elf.read(TEXT, 8) == b"\xc3" * 8
+        assert elf.read_cstr(RODATA) == b"hi"
+        assert elf.read(DATA, 4) == b"\x00" * 4  # .bss reads as zeros
+        with pytest.raises(ElfError):
+            elf.read(0x900000, 1)
+
+    def test_object_symbol_covering_prefers_tightest(self):
+        w = ElfWriter(entry=TEXT)
+        w.add_progbits(".data", DATA, b"\x00" * 64, flags=SHF_ALLOC)
+        w.add_symbol("big", DATA, size=64, stype=STT_OBJECT)
+        w.add_symbol("small", DATA + 8, size=8, stype=STT_OBJECT)
+        elf = parse_elf(w.build())
+        assert elf.object_symbol_covering(DATA + 9).name == "small"
+        assert elf.object_symbol_covering(DATA + 40).name == "big"
+
+    def test_phdr_fallback_read_without_sections(self):
+        w = ElfWriter(entry=TEXT, strip_sections=True, load_pad=64)
+        w.add_progbits(".text", TEXT, b"\x90" * 16,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        elf = parse_elf(w.build())
+        assert elf.sections == [] and elf.symbols == []
+        assert elf.read(TEXT, 4) == b"\x90" * 4
+        # p_memsz > p_filesz: the tail reads as zeros, like .bss.
+        assert elf.read(TEXT + 16, 8) == b"\x00" * 8
+
+    def test_reject_bad_inputs(self):
+        with pytest.raises(ElfError):
+            parse_elf(b"\x00not elf at all")
+        with pytest.raises(ElfError):  # 32-bit class
+            parse_elf(ElfWriter(ei_class=1).build())
+        with pytest.raises(ElfError):  # wrong machine (AArch64)
+            parse_elf(ElfWriter(machine=183).build())
+        assert sniff_format(b"int main() { return 0; }") == "source"
+
+
+class TestPltDecoding:
+    def test_irelative_static_path(self):
+        w, _ = _writer_with_malloc_plt()
+        elf = parse_elf(w.build())
+        assert decode_plt(elf) == {PLT: "__libc_malloc"}
+
+    def test_jump_slot_dynamic_path(self):
+        w = ElfWriter(entry=TEXT)
+        w.add_progbits(".text", TEXT, _main_code(TEXT),
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        # endbr64-prefixed entry, like -fcf-protection output.
+        entry = b"\xf3\x0f\x1e\xfa" + plt_entry(PLT + 4, GOT)
+        w.add_progbits(".plt.sec", PLT, entry,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        idx = w.add_symbol("printf", 0, table="dynsym", shndx=0)
+        w.add_rela(GOT, R_JUMP_SLOT, sym=idx)
+        elf = parse_elf(w.build())
+        assert decode_plt(elf) == {PLT: "printf"}
+
+
+class TestIngestSynthetic:
+    def test_catalogued_external_via_plt(self):
+        w, main = _writer_with_malloc_plt()
+        obj, report = ingest_elf(w.build())
+        assert obj.source_format == "elf64"
+        assert list(obj.functions) == ["main"]
+        assert obj.functions["main"].size == len(main)
+        # Decorated resolver name normalized to the catalog entry.
+        assert obj.externals == {"malloc": PLT}
+        assert obj.extern_sigs["malloc"] == (1, 0, "i64")
+        assert report.ok
+        assert report.externals_resolved == {"malloc": PLT}
+        assert report.externals_opaque == {}
+        [frep] = report.functions
+        assert frep.decodable_pct == 100.0 and frep.size_agreement
+        assert frep.calls_external == ["malloc"]
+
+    def test_uncatalogued_plt_becomes_opaque(self):
+        w = ElfWriter(entry=TEXT)
+        main = _main_code(TEXT, call_to=PLT)
+        w.add_progbits(".text", TEXT, main,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_progbits(".plt", PLT, plt_entry(PLT, GOT),
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        idx = w.add_symbol("qsort", 0, table="dynsym", shndx=0)
+        w.add_rela(GOT, R_JUMP_SLOT, sym=idx)
+        w.add_symbol("main", TEXT, size=len(main))
+        obj, report = ingest_elf(w.build())
+        name = f"ext_{PLT:x}"
+        assert obj.externals == {name: PLT}
+        assert obj.extern_sigs[name] == (0, 0, "i64")
+        assert report.externals_opaque == {name: PLT}
+        assert any("qsort" in r and "opaque" in r for r in report.remarks)
+        assert report.functions[0].calls_opaque == [name]
+
+    def test_unnamed_local_callee_is_scanned(self):
+        w = ElfWriter(entry=TEXT)
+        helper_addr = TEXT + 0x40
+        main = _main_code(TEXT, call_to=helper_addr)
+        text = bytearray(main)
+        text += b"\x00" * (helper_addr - TEXT - len(text))
+        text[helper_addr - TEXT:] = MOV_RAX_7 + RET
+        w.add_progbits(".text", TEXT, bytes(text),
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_symbol("main", TEXT, size=len(main))
+        obj, report = ingest_elf(w.build())
+        sub = f"sub_{helper_addr:x}"
+        assert sub in obj.functions
+        # The heuristic scan stopped exactly at the ret.
+        assert obj.functions[sub].size == len(MOV_RAX_7 + RET)
+        assert report.functions[0].calls_internal == [sub]
+        assert any(sub in r for r in report.remarks)
+
+    def test_missing_entry_reports_and_raises(self):
+        w = ElfWriter(entry=TEXT)
+        code = MOV_RAX_7 + RET
+        w.add_progbits(".text", TEXT, code,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_symbol("helper", TEXT, size=len(code))
+        obj, report = ingest_elf(w.build())
+        assert obj.functions == {}
+        assert any("'main' not found" in r for r in report.remarks)
+        from repro.core import Lasagne
+        from repro.x86.objfile import EntryError
+        with pytest.raises(EntryError, match="no functions at all"):
+            Lasagne().translate(obj, "ppopt")
+
+    def test_undecodable_function_strict_and_lax(self):
+        w = ElfWriter(entry=TEXT)
+        # 0x06 is invalid in 64-bit mode; a 4-byte garbage island.
+        code = b"\xbf\x20\x00\x00\x00" + b"\x06\x06\x06\x06" \
+            + MOV_RAX_7 + RET
+        w.add_progbits(".text", TEXT, code,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_symbol("main", TEXT, size=len(code))
+        raw = w.build()
+        with pytest.raises(TriageError, match="undecodable"):
+            ingest_elf(raw)
+        _obj, report = ingest_elf(raw, strict=False)
+        assert not report.ok
+        [frep] = report.functions
+        assert frep.unknown_spans and frep.unknown_spans[0].size == 4
+        assert frep.decodable_pct < 100.0
+
+    def test_stripped_image_degrades_to_entry_scan(self):
+        w = ElfWriter(entry=TEXT, load_pad=0x11000)
+        code = _main_code(TEXT)
+        w.add_progbits(".text", TEXT, code,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        # Sections present but no .symtab at all.
+        obj, report = ingest_elf(w.build())
+        assert any("stripped" in r for r in report.remarks)
+        assert [f.name for f in report.functions] == ["_start"]
+        assert report.functions[0].size == len(code)
+        # Report-only: positional names, so translation of 'main' still
+        # stops with the canonical EntryError.
+        assert "_start" in obj.functions and "main" not in obj.functions
+
+    def test_data_symbol_synthesis(self):
+        w = ElfWriter(entry=TEXT)
+        # mov esi, RODATA ; mov edx, DATA+4 ; mov rax, 7 ; ret
+        refs = b"\xbe" + struct.pack("<I", RODATA) \
+            + b"\xba" + struct.pack("<I", DATA + 4)
+        main = refs + MOV_RAX_7 + RET
+        w.add_progbits(".text", TEXT, main,
+                       flags=SHF_ALLOC | SHF_EXECINSTR)
+        w.add_progbits(".rodata", RODATA, b"hey\x00")
+        w.add_progbits(".data", DATA, b"\x2a" + b"\x00" * 7,
+                       flags=SHF_ALLOC | SHF_WRITE)
+        w.add_symbol("main", TEXT, size=len(main))
+        w.add_symbol("acc", DATA, size=8, stype=STT_OBJECT)
+        obj, report = ingest_elf(w.build())
+        # A named OBJECT symbol covers DATA+4; RODATA gets an anonymous
+        # NUL-scanned literal capped at the section end.
+        assert set(obj.data_symbols) == {"acc", f"data_{RODATA:x}"}
+        assert obj.data_symbols["acc"].address == DATA
+        assert obj.data_symbols["acc"].init[0] == 0x2A
+        assert obj.data_symbols[f"data_{RODATA:x}"].size == 4
+        assert report.data_symbols == 2
+
+
+class TestSyntheticEndToEnd:
+    def test_translate_and_cosimulate(self):
+        """The synthetic malloc image survives the whole pipeline: lift,
+        fence placement, O2, Arm codegen, and both emulators agree."""
+        from repro.core import Lasagne
+        from repro.x86.emulator import X86Emulator
+
+        w, _ = _writer_with_malloc_plt()
+        obj, report = ingest_elf(w.build())
+        assert report.ok
+        lasagne = Lasagne(verify=True)
+        built = lasagne.translate(obj, "ppopt")
+        assert "malloc" in built.module.externals
+        x86 = X86Emulator(obj)
+        assert x86.run("main") == 7
+        assert Lasagne.run(built).result == 7

@@ -1,0 +1,141 @@
+"""Tests for the EFACT-style external-function catalog."""
+
+import pytest
+
+from repro.loader import (
+    CATALOG,
+    catalog_summary,
+    format_printf,
+    normalize_name,
+    resolve_names,
+)
+from repro.loader.externs import ExternEnv, _cstr_cmp
+
+
+class TestNameNormalization:
+    @pytest.mark.parametrize("raw,want", [
+        ("malloc", "malloc"),
+        ("__libc_malloc", "malloc"),
+        ("__GI_memcpy", "memcpy"),
+        ("__new_memcpy_ifunc", "memcpy"),
+        ("__memcpy_avx2_unaligned", "memcpy"),
+        ("_IO_puts", "puts"),
+        ("_IO_printf", "printf"),
+        ("__printf", "printf"),
+        ("strlen_ifunc", "strlen"),
+        ("__strlen_sse2", "strlen"),
+        ("__pthread_create_2_1", "pthread_create"),
+        ("_exit", "exit"),
+        ("cfree", "free"),
+    ])
+    def test_glibc_decoration_stripped(self, raw, want):
+        assert normalize_name(raw) == want
+
+    def test_unknown_names_pass_through(self):
+        # qsort is not catalogued; decoration comes off, name survives.
+        assert normalize_name("qsort") == "qsort"
+        assert resolve_names(["qsort", "nonsense"]) is None
+
+    def test_resolve_first_hit_wins(self):
+        entry = resolve_names(["not_a_thing", "__libc_calloc"])
+        assert entry is not None and entry.name == "calloc"
+
+
+class TestCatalogEntries:
+    def test_sigs_in_external_sigs_shape(self):
+        assert CATALOG["malloc"].sig == (1, 0, "i64")
+        assert CATALOG["memcpy"].sig == (3, 0, "i64")
+        assert CATALOG["free"].sig == (1, 0, "void")
+        assert CATALOG["pthread_create"].sig == (4, 0, "i64")
+
+    def test_noreturn_flags(self):
+        assert CATALOG["exit"].noreturn and CATALOG["abort"].noreturn
+        assert not CATALOG["printf"].noreturn
+
+
+class TestCatalogSummaries:
+    def test_minicc_owned_names_are_excluded(self):
+        # malloc/abort belong to minicc's EXTERNAL_SIGS; the catalog must
+        # not change their (conservative) analysis treatment.
+        assert catalog_summary("malloc") is None
+        assert catalog_summary("abort") is None
+
+    def test_memcpy_modref_and_provenance_flow(self):
+        from repro.analysis.pointsto import MOD, REF
+
+        s = catalog_summary("memcpy")
+        assert s is not None and s.nparams == 3
+        assert s.param_modref == (MOD, REF, 0)
+        # *dst receives *src's contents: pointer provenance must flow.
+        assert ("contents", 1) in s.stores_into[0]
+        assert s.returns == frozenset({("param", 0)})
+        assert s.param_escapes == (False, False, False)
+
+    def test_pthread_create_escapes_its_argument(self):
+        s = catalog_summary("pthread_create")
+        assert s.param_escapes == (False, False, False, True)
+
+    def test_pure_reader_and_void_writer(self):
+        from repro.analysis.pointsto import MOD, REF
+
+        strlen = catalog_summary("strlen")
+        assert strlen.param_modref == (REF,)
+        assert strlen.returns == frozenset({("unknown",)})
+        memset = catalog_summary("memset")
+        assert memset.param_modref == (MOD, 0, 0)
+
+    def test_unknown_name_has_no_summary(self):
+        assert catalog_summary("qsort") is None
+
+
+class _MemEnv(ExternEnv):
+    """Just enough environment for format_printf's %s: a flat byte map
+    read one byte at a time by ``read_cstr``."""
+
+    def __init__(self, strings: dict[int, bytes]):
+        self.mem: dict[int, int] = {}
+        for base, blob in strings.items():
+            for i, byte in enumerate(blob + b"\x00"):
+                self.mem[base + i] = byte
+
+    def read(self, addr: int, size: int) -> bytes:
+        return bytes(self.mem.get(addr + i, 0) for i in range(size))
+
+
+class TestPrintfSubset:
+    def setup_method(self):
+        self.env = _MemEnv({0x100: b"world"})
+
+    def fmt(self, fmt: str, *args) -> str:
+        return format_printf(fmt.encode(), list(args), self.env)
+
+    def test_integers_signed_and_unsigned(self):
+        assert self.fmt("%d", 2**64 - 1) == "-1"       # 32-bit signed
+        assert self.fmt("%ld", 2**64 - 1) == "-1"      # 64-bit signed
+        assert self.fmt("%d", 2**32 - 5) == "-5"
+        assert self.fmt("%u", 2**32 - 5) == str(2**32 - 5)
+        assert self.fmt("%lu", 2**64 - 5) == str(2**64 - 5)
+        assert self.fmt("%zu", 7) == "7"
+
+    def test_hex_char_str_pointer_percent(self):
+        assert self.fmt("%x", 0xDEAD) == "dead"
+        assert self.fmt("%lx", 1 << 40) == format(1 << 40, "x")
+        assert self.fmt("%c", ord("A")) == "A"
+        assert self.fmt("hello %s", 0x100) == "hello world"
+        assert self.fmt("%p", 0x401000) == "0x401000"
+        assert self.fmt("100%%") == "100%"
+
+    def test_unknown_directive_passes_through(self):
+        assert self.fmt("%q!", 3) == "%q!"
+
+    def test_missing_arguments_read_as_zero(self):
+        assert self.fmt("%d %d %d", 1) == "1 0 0"
+
+
+class TestCstrCmp:
+    def test_ordering_matches_strcmp(self):
+        assert _cstr_cmp(b"abc", b"abc") == 0
+        assert _cstr_cmp(b"abc", b"abd") == -1
+        assert _cstr_cmp(b"abd", b"abc") == 1
+        assert _cstr_cmp(b"ab", b"abc") == -1   # prefix sorts first
+        assert _cstr_cmp(b"abc", b"ab") == 1

@@ -243,7 +243,7 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 4
+        assert report["version"] == 5
         assert report["configs"] == ["ppopt"]
         assert "demo" in report["programs"]
         for name, per_config in report["programs"].items():
@@ -271,6 +271,16 @@ class TestBenchEmitter:
         assert summary["translate_seconds_total"] > 0
         assert summary["fences_elided_interproc_total"] > 0
         assert summary["fences_elided_delayset_total"] > 0
+        # v5: the ELF-loader trajectory over examples/elf fixtures.
+        for name, row in report["loader"].items():
+            assert row["ok"], name
+            assert row["ingest_seconds"] > 0
+            assert row["functions_discovered"] >= 1
+            assert row["externals_resolved"] >= 1
+        if report["loader"]:
+            loader = report["summary"]["loader"]
+            assert loader["externals_opaque"] == 0
+            assert loader["functions_discovered"] >= len(report["loader"])
         out = write_bench(report, str(tmp_path / "BENCH_translate.json"))
         data = json.loads(out.read_text())
         assert len(data["trajectory"]) == 1
