@@ -21,6 +21,7 @@ import heapq
 from typing import Any, Generic, TypeVar
 
 from ..lir import BasicBlock, Function
+from ..profiler.workcounters import work
 
 State = TypeVar("State")
 
@@ -176,4 +177,9 @@ def run_dataflow(func: Function,
                     for pred in preds_of(bb):
                         push(pred)
 
+    # Deterministic fixpoint cost: worklist pops and CFG size.  The pop
+    # order is fully determined by the RPO priorities, so these tallies
+    # are identical across runs and machines (repro.profiler).
+    work("dataflow.steps", iterations, function=func.name)
+    work("dataflow.blocks", len(order), function=func.name)
     return DataflowResult(func, problem.direction, entry_states, exit_states)

@@ -66,6 +66,7 @@ from ..lir import (
     Store,
 )
 from ..memmodel import events as ev
+from ..profiler.workcounters import work
 from ..provenance.origin import x86_location
 from .summaries import ModuleAnalysis, analyze_module
 
@@ -324,6 +325,18 @@ def analyze_graph(graph: ConflictGraph) -> DelayAnalysis:
         result.capped = True
         return result
     search = _CycleSearch(graph)
+    try:
+        return _analyze_graph(graph, result, search)
+    finally:
+        # Deterministic cost attribution (repro.profiler): candidate po
+        # edges examined and cycle-search expansions spent.  The DFS
+        # iterates sets of int uids, whose order is stable across runs.
+        work("delayset.candidates", result.candidates)
+        work("delayset.cycle_steps", CYCLE_BUDGET - search.budget)
+
+
+def _analyze_graph(graph: ConflictGraph, result: DelayAnalysis,
+                   search: _CycleSearch) -> DelayAnalysis:
     accesses = graph.accesses
     # Candidate po pairs: enforceable na->na edges between shared accesses
     # where both endpoints can touch a conflict (else no cycle through them).

@@ -76,6 +76,7 @@ from ..lir import (
     UndefValue,
     Value,
 )
+from ..profiler.workcounters import work
 
 # ModRef summaries -----------------------------------------------------------
 
@@ -338,13 +339,21 @@ class _Solver:
         insts = list(self.func.instructions())
         # Sets grow monotonically into a finite universe; a handful of
         # passes reaches the fixpoint even with loops in the use graph.
+        rounds = 0
         while True:
+            rounds += 1
             self.changed = False
             for inst in insts:
                 self.transfer(inst)
             if not self.changed:
                 break
         self.solved = True
+        # Round count is order-independent (each round applies every
+        # constraint in instruction order; unions commute), so these are
+        # deterministic work tallies (repro.profiler).
+        work("pointsto.rounds", rounds, function=self.func.name)
+        work("pointsto.transfers", rounds * len(insts),
+             function=self.func.name)
 
 
 class AliasInfo:

@@ -10,7 +10,9 @@ validate    fuzz-driven differential validation of the whole pipeline
 analyze     static analysis: escape/alias report, LIMM fencecheck linter
 explain     instruction provenance: fence blame, x86/LIR/Arm map, coverage
 stats       per-stage / per-pass telemetry breakdown for one program
-bench       write the BENCH_translate.json perf baseline
+profile     sampling profiler + deterministic work counters + memory
+bench       write the BENCH_translate.json perf baseline; ``--compare``
+            gates against the trajectory (exit 3 on regression)
 
 ``translate``, ``evaluate`` and ``validate`` accept ``--trace FILE``
 (Chrome trace-event JSON, loadable in https://ui.perfetto.dev) and
@@ -101,7 +103,8 @@ def _flush_telemetry(tel, args: argparse.Namespace) -> None:
 
     if getattr(args, "trace", None) and tel.tracer is not None:
         Path(args.trace).write_text(
-            json.dumps(telemetry.to_chrome_trace(tel.tracer)))
+            json.dumps(telemetry.to_chrome_trace(tel.tracer,
+                                                 metrics=tel.metrics)))
         print(f"trace written to {args.trace} "
               f"(open in https://ui.perfetto.dev)", file=sys.stderr)
     if getattr(args, "remarks", None) is not None and tel.remarks is not None:
@@ -131,6 +134,11 @@ def _first_output_mismatch(expected: list[str], got: list[str]) -> int | None:
 
 
 def _cmd_translate(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from .profiler import workcounters
+    from .profiler.ledger import append_entry
+
     source, obj = _load_input(args.source)
     if obj is None:
         return 2
@@ -138,9 +146,20 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         print("repro translate: the native configuration recompiles "
               "source and cannot take an ELF binary", file=sys.stderr)
         return 2
+    start = perf_counter()
     with _telemetry_session(args) as tel:
-        rc = _translate_and_check(args, source, obj)
+        with workcounters.collect() as wc:
+            rc = _translate_and_check(args, source, obj)
     _flush_telemetry(tel, args)
+    append_entry("translate", {
+        "source": args.source,
+        "config": args.config,
+        "fence_analysis": args.fence_analysis,
+        "seconds": round(perf_counter() - start, 6),
+        "work_total": wc.total(),
+        "work_digest": wc.digest(),
+        "rc": rc,
+    })
     return rc
 
 
@@ -399,7 +418,16 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             print(f"divergence [{row['signature']}] seed={row['seed']}: "
                   f"{row['detail']}", file=sys.stderr)
 
+    from .profiler.ledger import append_entry
+
     report = run_corpus(opts, progress=None if args.quiet else progress)
+    append_entry("validate", {
+        "seed": args.seed,
+        "programs_run": report["programs_run"],
+        "divergences": report["divergences"],
+        "clean": report["clean"],
+        "fence_analysis": args.fence_analysis,
+    })
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2))
     print(f"validate: {report['programs_run']} programs "
@@ -709,10 +737,91 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from .telemetry.bench import run_bench, write_bench
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile <input>``: drive one translation repeatedly under
+    the sampling profiler, the deterministic work-counter collector and
+    the memory accountant, then render the attribution report."""
+    from time import perf_counter
 
-    report = run_bench(size=args.size, repeats=args.repeats)
+    from .core import Lasagne
+    from .profiler import (
+        AttributionReport,
+        SamplingProfiler,
+        accounting,
+        render_report,
+        report_to_dict,
+        workcounters,
+        write_flamegraph,
+    )
+    from .profiler.ledger import append_entry
+
+    source, obj = _load_input(args.source)
+    if obj is None:
+        return 2
+    if source is None and args.config == "native":
+        print("repro profile: the native configuration recompiles "
+              "source and cannot take an ELF binary", file=sys.stderr)
+        return 2
+    lasagne = Lasagne(verify=not args.no_verify)
+    builds = 0
+    prof = SamplingProfiler(hz=args.sample_hz)
+    with workcounters.collect() as wc, accounting() as acct, prof:
+        start = perf_counter()
+        # Keep translating until the sampler has had --min-seconds of
+        # signal (at least one build regardless).
+        while True:
+            if source is None:
+                lasagne.translate(obj, args.config)
+            else:
+                lasagne.build(source, args.config)
+            builds += 1
+            if perf_counter() - start >= args.min_seconds:
+                break
+    profile = prof.profile
+    report = AttributionReport(source=args.source, config=args.config,
+                               builds=builds, profile=profile,
+                               counters=wc, memory=acct)
+    print(render_report(report, top=args.top))
+    if args.flamegraph:
+        write_flamegraph(profile, args.flamegraph)
+        print(f"flamegraph (collapsed stacks) written to {args.flamegraph} "
+              "(feed to flamegraph.pl or https://www.speedscope.app)",
+              file=sys.stderr)
+    if args.json:
+        import json
+
+        Path(args.json).write_text(
+            json.dumps(report_to_dict(report, top=args.top), indent=2))
+        print(f"profile JSON written to {args.json}", file=sys.stderr)
+    append_entry("profile", {
+        "source": args.source,
+        "config": args.config,
+        "builds": builds,
+        "samples": profile.total,
+        "known_stage_pct": round(profile.known_stage_pct(), 2),
+        "work_total": wc.total(),
+        "work_digest": wc.digest(),
+    })
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .profiler.ledger import append_entry
+    from .telemetry.bench import read_trajectory, run_bench, write_bench
+
+    report = run_bench(size=args.size, repeats=args.repeats,
+                       configs=args.configs)
+    rc = 0
+    if args.compare is not None:
+        from .profiler.regression import EXIT_REGRESSION, check_regression
+
+        reg = check_regression(
+            report["summary"], read_trajectory(args.out),
+            size=args.size, ref=args.compare or None,
+            window=args.window, time_threshold=args.time_threshold)
+        print(reg.format())
+        if not reg.ok:
+            rc = EXIT_REGRESSION
     path = write_bench(report, args.out)
     for config, summary in report["summary"].items():
         if config == "loader":
@@ -732,7 +841,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"{loader['externals_resolved']} externals resolved, "
               f"{loader['externals_opaque']} opaque")
     print(f"baseline written to {path}")
-    return 0
+    append_entry("bench", {
+        "size": args.size,
+        "repeats": args.repeats,
+        "compare": args.compare,
+        "rc": rc,
+        "work_digests": {
+            config: summary.get("work_digest")
+            for config, summary in report["summary"].items()
+            if isinstance(summary, dict) and "work_digest" in summary},
+        "translate_seconds": {
+            config: summary.get("translate_seconds_total")
+            for config, summary in report["summary"].items()
+            if isinstance(summary, dict)
+            and "translate_seconds_total" in summary},
+    })
+    return rc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -891,11 +1015,50 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser(
+        "profile",
+        help="hot-path attribution: sampling profiler + deterministic "
+             "work counters + per-stage memory for one translation")
+    p.add_argument("source", help="mini-C source or ELF64 binary")
+    p.add_argument("--config", default="ppopt",
+                   choices=["native", "lifted", "opt", "popt", "ppopt"])
+    p.add_argument("--sample-hz", type=float, default=211.0,
+                   help="sampling rate of the profiler thread "
+                        "(default 211 Hz; off-round to dodge lockstep "
+                        "with periodic work)")
+    p.add_argument("--min-seconds", type=float, default=1.0,
+                   help="repeat the translation until this much "
+                        "wall-clock has been sampled (default 1.0)")
+    p.add_argument("--flamegraph", nargs="?", const="flamegraph.txt",
+                   default=None, metavar="FILE",
+                   help="write collapsed-stack output "
+                        "(default FILE: flamegraph.txt)")
+    p.add_argument("--json", default=None, metavar="FILE",
+                   help="also write the full attribution report as JSON")
+    p.add_argument("--top", type=int, default=10,
+                   help="frames shown in the self-sample leaderboard")
+    p.add_argument("--no-verify", action="store_true")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
         "bench", help="write the translate-time perf baseline "
                       "(BENCH_translate.json)")
     p.add_argument("--size", default="tiny", choices=["tiny", "small"])
     p.add_argument("--repeats", type=int, default=3)
     p.add_argument("--out", default="BENCH_translate.json")
+    p.add_argument("--configs", nargs="+", default=None,
+                   metavar="CONFIG",
+                   help="bench only these pipeline configs")
+    p.add_argument("--compare", nargs="?", const="", default=None,
+                   metavar="REF",
+                   help="perf-regression gate: compare this run against "
+                        "the median of the last --window clean trajectory "
+                        "entries (or the entries matching git ref REF) "
+                        "BEFORE appending it; exit 3 on regression")
+    p.add_argument("--window", type=int, default=5,
+                   help="trajectory entries in the baseline median")
+    p.add_argument("--time-threshold", type=float, default=0.15,
+                   help="wall-time regression floor as a fraction "
+                        "(default 0.15 = 15%%; MAD noise can widen it)")
     p.set_defaults(func=_cmd_bench)
 
     args = parser.parse_args(argv)

@@ -21,6 +21,7 @@ import struct
 from typing import Optional, Union
 
 from .. import telemetry
+from ..profiler.workcounters import work
 from ..arm.isa import AImm, AInstr, ALabel, AMem, DReg, XReg
 from ..arm.program import ArmFunction, ArmProgram
 from ..lir import (
@@ -152,6 +153,8 @@ class _FuncCodegen:
         self._set_synthetic("epilogue")
         self._emit_epilogue()
         emitted = len(self.out.instructions())
+        work("codegen.instructions", emitted, function=self.func.name)
+        work("codegen.intervals", len(intervals), function=self.func.name)
         telemetry.count("codegen.instructions", emitted,
                         function=self.func.name)
         telemetry.count("codegen.intervals", len(intervals),
@@ -270,13 +273,18 @@ class _FuncCodegen:
     # ---- linear scan allocation ---------------------------------------------
     def _allocate(self, intervals: list[tuple[Value, int, int]]) -> None:
         free = {"int": list(INT_POOL), "fp": list(FP_POOL)}
-        active: list[tuple[int, int, str, Value]] = []  # (end, id, pool, v)
+        # (end, seq, pool, v): seq is the interval's position in the
+        # (deterministically ordered) interval list, so every sort and
+        # victim choice below is reproducible.  Tiebreaking on id(value)
+        # would let memory addresses pick the spill victim — the same IR
+        # could allocate differently across runs.
+        active: list[tuple[int, int, str, Value]] = []
         self._spill_count = 0
 
         def pool_of(v: Value) -> str:
             return "fp" if _is_fp(v.type) else "int"
 
-        for value, s, e in intervals:
+        for seq, (value, s, e) in enumerate(intervals):
             active.sort(key=lambda t: (t[0], t[1]))
             while active and active[0][0] < s:
                 _, _, pool, old = active.pop(0)
@@ -287,7 +295,7 @@ class _FuncCodegen:
             if free[pool]:
                 reg = free[pool].pop(0)
                 self.loc[id(value)] = ("reg", reg)
-                active.append((e, id(value), pool, value))
+                active.append((e, seq, pool, value))
             else:
                 # Spill the active interval with the furthest end if it
                 # outlives the current one.
@@ -300,7 +308,7 @@ class _FuncCodegen:
                     kind, reg = self.loc[id(old)]
                     self.loc[id(old)] = ("slot", self._new_spill())
                     self.loc[id(value)] = ("reg", reg)
-                    active.append((e, id(value), pool, value))
+                    active.append((e, seq, pool, value))
                 else:
                     self.loc[id(value)] = ("slot", self._new_spill())
 

@@ -18,10 +18,13 @@ post-O2 (it is an IR→IR LIMM transformation, valid anywhere).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Optional
 
 from .. import telemetry
+from ..profiler import memory as profmem
+from ..profiler import workcounters
 from ..arm.emulator import ArmEmulator
 from ..arm.program import ArmProgram
 from ..codegen import compile_lir_to_arm
@@ -46,6 +49,25 @@ FENCE_ANALYSES = ["walk", "escape", "delay-sets"]
 # Stage names recorded by ``Lasagne(capture_stages=True)``, in pipeline order.
 TRANSLATE_STAGES = ["lift", "refine", "place", "opt", "merge"]
 NATIVE_STAGES = ["frontend", "opt"]
+
+
+@contextmanager
+def pipeline_stage(name: str, **attrs):
+    """One pipeline stage under full observability.
+
+    Opens the telemetry span (as before), brackets the profiler
+    work-counter scope so every deterministic tally inside attributes to
+    this stage, and — when a :mod:`repro.profiler.memory` accountant is
+    installed — records the stage's tracemalloc peak/delta and annotates
+    the span with ``mem_peak_bytes`` / ``mem_delta_bytes``.
+    """
+    with telemetry.span(name, category="stage", **attrs) as sp:
+        with workcounters.scope(stage=name):
+            with profmem.account(name) as mem:
+                yield sp
+        if mem is not None:
+            sp.annotate(mem_peak_bytes=mem.peak_bytes,
+                        mem_delta_bytes=mem.delta_bytes)
 
 
 def snapshot_module(module: Module) -> Module:
@@ -121,7 +143,7 @@ def ingest_binary(data: bytes, entry: str = "main", strict: bool = True):
     """
     from ..loader import ingest_elf
 
-    with telemetry.span("loader", category="stage", entry=entry):
+    with pipeline_stage("loader", entry=entry):
         obj, report = ingest_elf(data, entry, strict=strict)
     telemetry.count("loader.functions_discovered", len(report.functions))
     telemetry.count("loader.externals_resolved",
@@ -158,15 +180,15 @@ class Lasagne:
         stages: dict[str, Module] = {}
         with telemetry.span("pipeline", category="pipeline",
                             config="native", entry=entry) as root:
-            with telemetry.span("frontend", category="stage"):
+            with pipeline_stage("frontend"):
                 module = compile_to_lir(source)
                 if self.verify:
                     verify_module(module)
             self._capture(stages, "frontend", module)
-            with telemetry.span("opt", category="stage"):
+            with pipeline_stage("opt"):
                 stats = optimize_module(module, verify=self.verify)
             self._capture(stages, "opt", module)
-            with telemetry.span("codegen", category="stage"):
+            with pipeline_stage("codegen"):
                 program = compile_lir_to_arm(module, entry)
         return TranslationResult(
             "native", module, program,
@@ -188,20 +210,20 @@ class Lasagne:
         stages: dict[str, Module] = {}
         with telemetry.span("pipeline", category="pipeline",
                             config=config, entry=entry) as root:
-            with telemetry.span("lift", category="stage"):
+            with pipeline_stage("lift"):
                 module = lift_program(obj)
                 if self.verify:
                     verify_module(module)
             self._capture(stages, "lift", module)
             casts_before = module_pointer_casts(module)
             if config == "ppopt":
-                with telemetry.span("refine", category="stage"):
+                with pipeline_stage("refine"):
                     run_refinement(module)
                     if self.verify:
                         verify_module(module)
                 self._capture(stages, "refine", module)
             casts_after = module_pointer_casts(module)
-            with telemetry.span("place", category="stage"):
+            with pipeline_stage("place"):
                 placement = place_fences(
                     module, use_analysis=self.fence_analysis != "walk")
                 fences_naive = count_fences(module)
@@ -214,17 +236,17 @@ class Lasagne:
             self._capture(stages, "place", module)
             stats = None
             if config != "lifted":
-                with telemetry.span("opt", category="stage"):
+                with pipeline_stage("opt"):
                     stats = optimize_module(module, verify=self.verify)
                 self._capture(stages, "opt", module)
                 if config in ("popt", "ppopt"):
-                    with telemetry.span("merge", category="stage"):
+                    with pipeline_stage("merge"):
                         merge_fences(module)
                         optimize_module(module, ["dce"], verify=self.verify)
                     self._capture(stages, "merge", module)
             if self.verify:
                 verify_module(module)
-            with telemetry.span("codegen", category="stage"):
+            with pipeline_stage("codegen"):
                 program = compile_lir_to_arm(module, entry)
         return TranslationResult(
             config, module, program,

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .. import telemetry
+from ..profiler.workcounters import work
 from ..lir import (
     Alloca,
     Cast,
@@ -170,6 +171,7 @@ def place_fences(module: Module, use_analysis: bool = True,
             instruction=f"{what} {inst.pointer.short_name()}",
             via=how, x86=x86_location(inst), origins=_origin_addrs(inst))
 
+    accesses_examined = 0
     for func in module.functions.values():
         if func.is_declaration:
             continue
@@ -185,6 +187,7 @@ def place_fences(module: Module, use_analysis: bool = True,
             insts = list(bb.instructions)
             for pos, inst in enumerate(insts):
                 if isinstance(inst, Load) and inst.ordering == "na":
+                    accesses_examined += 1
                     if pos + 1 < len(insts) and \
                             isinstance(insts[pos + 1], Fence) and \
                             insts[pos + 1].kind in ("rm", "sc"):
@@ -223,6 +226,7 @@ def place_fences(module: Module, use_analysis: bool = True,
                             fence="rm", x86=x86_location(inst),
                             origins=_origin_addrs(inst))
                 elif isinstance(inst, Store) and inst.ordering == "na":
+                    accesses_examined += 1
                     if pos > 0 and isinstance(insts[pos - 1], Fence) and \
                             insts[pos - 1].kind in ("ww", "sc"):
                         stats.already_fenced += 1
@@ -258,6 +262,8 @@ def place_fences(module: Module, use_analysis: bool = True,
                             instruction=f"store {inst.pointer.short_name()}",
                             fence="ww", x86=x86_location(inst),
                             origins=_origin_addrs(inst))
+    work("place.accesses", accesses_examined)
+    work("place.fences", stats.loads_fenced + stats.stores_fenced)
     telemetry.count("fences.inserted", stats.loads_fenced, kind="rm")
     telemetry.count("fences.inserted", stats.stores_fenced, kind="ww")
     telemetry.count("fences.skipped_stack", stats.skipped_stack)

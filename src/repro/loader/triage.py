@@ -20,6 +20,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
+from ..profiler.workcounters import work
 from ..x86.decoder import DecodeError, decode_one
 from ..x86.isa import Imm, Instr, Mem
 from ..x86.objfile import DataSymbol, FuncSymbol, X86Object
@@ -168,6 +169,8 @@ def _scan_stream(body: bytes, address: int,
         report.unknown_spans.append(
             UnknownSpan(address + span_start, len(body) - span_start,
                         span_reason))
+    work("triage.instructions", len(instrs), function=report.name)
+    work("triage.bytes", len(body), function=report.name)
     return instrs
 
 

@@ -7,6 +7,7 @@ from typing import Callable, NamedTuple
 
 from .. import telemetry
 from ..lir import Function, Module, verify_module
+from ..profiler.workcounters import scope as work_scope, work
 from .dce import run_adce, run_dce
 from .dse import run_dse
 from .gvn import run_gvn
@@ -120,14 +121,19 @@ class PassManager:
 
     def run_pass(self, module: Module, name: str, iteration: int = 0) -> bool:
         before = module.instruction_count()
-        with telemetry.span(name, category="pass", iteration=iteration):
+        with telemetry.span(name, category="pass", iteration=iteration), \
+                work_scope(stage=name):
             if name in MODULE_PASSES:
+                # A module pass visits (at least) every instruction once.
+                work("opt.visits", before)
                 changed = MODULE_PASSES[name](module)
             elif name in FUNCTION_PASSES:
                 changed = False
                 for func in module.functions.values():
                     if not func.is_declaration:
-                        changed |= FUNCTION_PASSES[name](func)
+                        with work_scope(function=func.name):
+                            work("opt.visits", func.instruction_count())
+                            changed |= FUNCTION_PASSES[name](func)
             else:
                 raise KeyError(f"unknown pass {name!r}")
         after = module.instruction_count()
@@ -158,6 +164,7 @@ class PassManager:
             changed = False
             with telemetry.span(f"opt-iteration-{iteration}",
                                 category="opt-iteration"):
+                work("opt.iterations")
                 for name in names:
                     changed |= self.run_pass(module, name, iteration)
             if not changed:

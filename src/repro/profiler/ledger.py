@@ -1,0 +1,85 @@
+"""Run ledger: one JSONL line per translator invocation.
+
+Every ``repro translate`` / ``validate`` / ``bench`` / ``profile`` run
+appends a single-line JSON record — UTC timestamp, git SHA + dirty
+flag, the command, its configuration, the deterministic work-counter
+digest and headline timings — to ``.repro/ledger.jsonl`` under the
+current directory.
+
+This is the observability substrate the translation-service work
+(ROADMAP item 2) will account cache hits against: a content-addressed
+cache needs to know exactly which (input, config, code-version) tuples
+were translated when, and at what cost.  Until then it is simply an
+append-only lab notebook of every run.
+
+Ledger writes are best-effort: a read-only checkout or full disk must
+never break a translation, so all OSErrors are swallowed and
+:func:`append_entry` returns ``None`` instead of a path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+LEDGER_DIR = ".repro"
+LEDGER_NAME = "ledger.jsonl"
+
+#: Set ``REPRO_LEDGER=0`` to disable ledger writes (e.g. in tests that
+#: must not touch the working tree).
+_DISABLE_ENV = "REPRO_LEDGER"
+
+
+def ledger_path(root: Optional[os.PathLike] = None) -> Path:
+    return Path(root or ".") / LEDGER_DIR / LEDGER_NAME
+
+
+def append_entry(command: str, record: dict,
+                 root: Optional[os.PathLike] = None) -> Optional[Path]:
+    """Append one run record; returns the path, or None if disabled or
+    the write failed."""
+    if os.environ.get(_DISABLE_ENV, "") == "0":
+        return None
+    from ..telemetry.bench import git_dirty, git_sha
+
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"),
+        "sha": git_sha(),
+        "dirty": git_dirty(),
+        "command": command,
+    }
+    entry.update(record)
+    path = ledger_path(root)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True,
+                                separators=(",", ":")) + "\n")
+    except OSError:
+        return None
+    return path
+
+
+def read_ledger(root: Optional[os.PathLike] = None) -> list[dict]:
+    """Parse every well-formed line of the ledger (bad lines skipped)."""
+    path = ledger_path(root)
+    try:
+        text = path.read_text()
+    except OSError:
+        return []
+    out = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict):
+            out.append(entry)
+    return out

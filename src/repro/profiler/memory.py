@@ -1,0 +1,149 @@
+"""Per-stage memory accounting on top of :mod:`tracemalloc`.
+
+When an accountant is installed (:func:`accounting`), every pipeline
+stage bracketed by :func:`account` records the tracemalloc *peak* during
+the stage and the net allocation *delta* across it.  The pipeline
+annotates its stage spans with the numbers (``mem_peak_bytes`` /
+``mem_delta_bytes``), so a Chrome trace or ``repro stats`` tree shows
+memory next to time, and ``repro bench`` records the whole-translation
+peak as ``peak_rss_bytes`` in every schema-v6 row.
+
+Off by default: without an installed accountant (or with tracemalloc
+not tracing) :func:`account` is a no-op context manager, so the normal
+translation path never pays the ~2x tracemalloc tax.
+
+Nesting caveat (documented, deliberate): :func:`account` resets the
+tracemalloc peak on entry, so a *nested* accounted region truncates its
+parent's peak window.  The pipeline only accounts non-overlapping
+stage-level regions, where this cannot happen.
+"""
+
+from __future__ import annotations
+
+import threading
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass
+class StageMemory:
+    """Accounting record for one named region (accumulated over calls)."""
+
+    name: str
+    peak_bytes: int = 0       # max tracemalloc peak seen in any call
+    delta_bytes: int = 0      # summed net allocation across calls
+    calls: int = 0
+
+
+@dataclass
+class MemoryAccountant:
+    """Collects :class:`StageMemory` rows for the extent of a session."""
+
+    stages: dict[str, StageMemory] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record(self, name: str, peak: int, delta: int) -> StageMemory:
+        with self._lock:
+            row = self.stages.get(name)
+            if row is None:
+                row = self.stages[name] = StageMemory(name)
+            row.peak_bytes = max(row.peak_bytes, peak)
+            row.delta_bytes += delta
+            row.calls += 1
+            return row
+
+    def peak_bytes(self) -> int:
+        """Largest stage peak seen (a lower bound on process peak)."""
+        with self._lock:
+            return max((r.peak_bytes for r in self.stages.values()),
+                       default=0)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                name: {"peak_bytes": row.peak_bytes,
+                       "delta_bytes": row.delta_bytes,
+                       "calls": row.calls}
+                for name, row in sorted(self.stages.items())
+            }
+
+
+_current: Optional[MemoryAccountant] = None
+_install_lock = threading.Lock()
+
+
+def current() -> Optional[MemoryAccountant]:
+    return _current
+
+
+@contextmanager
+def accounting() -> Iterator[MemoryAccountant]:
+    """Install an accountant and make sure tracemalloc is tracing.
+
+    If this call started tracemalloc, it also stops it on exit; an
+    already-tracing process (e.g. under ``python -X tracemalloc``) is
+    left tracing.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    acct = MemoryAccountant()
+    global _current
+    with _install_lock:
+        previous, _current = _current, acct
+    try:
+        yield acct
+    finally:
+        with _install_lock:
+            _current = previous
+        if started_here:
+            tracemalloc.stop()
+
+
+@contextmanager
+def account(name: str) -> Iterator[Optional[StageMemory]]:
+    """Record peak/delta for the block under ``name``.
+
+    Yields the (live) :class:`StageMemory` row so callers can annotate
+    spans, or ``None`` when accounting is off.
+    """
+    acct = _current
+    if acct is None or not tracemalloc.is_tracing():
+        yield None
+        return
+    before, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    row: Optional[StageMemory] = None
+    try:
+        # The row is recorded in ``finally`` (after the block ran), but a
+        # mutable placeholder is yielded first so callers can hold it.
+        placeholder = StageMemory(name)
+        yield placeholder
+    finally:
+        after, peak = tracemalloc.get_traced_memory()
+        row = acct.record(name, peak, after - before)
+        placeholder.peak_bytes = row.peak_bytes
+        placeholder.delta_bytes = after - before
+        placeholder.calls = row.calls
+
+
+def measure_peak(fn, *args, **kwargs) -> tuple[object, int]:
+    """Run ``fn`` under tracemalloc and return ``(result, peak_bytes)``.
+
+    Used by the bench's instrumented extra run; starts/stops tracemalloc
+    only if it was not already tracing.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        result = fn(*args, **kwargs)
+        _, peak = tracemalloc.get_traced_memory()
+        return result, peak
+    finally:
+        if started_here:
+            tracemalloc.stop()

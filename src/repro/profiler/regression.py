@@ -1,0 +1,248 @@
+"""Noise-aware perf-regression gate over the bench trajectory.
+
+``BENCH_translate.json`` accumulates one trajectory entry per run (git
+SHA, timestamp, per-config summary).  :func:`check_regression` compares
+a freshly-run summary against the *median of the last N clean entries*
+(dirty working trees are excluded — their numbers describe code that is
+not any commit) and flags:
+
+* **wall-time regressions** — ``translate_seconds_total`` above the
+  baseline median by more than ``max(threshold, 3·MAD/median)``.  The
+  MAD term widens the gate on configs whose history is noisy, so a
+  jittery runner cannot fail the build; the threshold is the floor.
+* **work-counter blowups** — any deterministic counter more than
+  ``work_threshold``× its baseline median *while input sizes are
+  stable* (Arm/LIR instruction totals within ``size_tolerance``).
+  Work counters are exactly reproducible, so this gate has no noise
+  term: a blowup is an algorithmic change, full stop.  If the input
+  sizes moved, the counters legitimately moved with them, and the gate
+  records a note instead of a finding.
+
+``repro bench --compare`` exits with code 3 (:data:`EXIT_REGRESSION`)
+when any finding survives; CI turns that into a failed perf-gate job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Exit code of ``repro bench --compare`` on a confirmed regression.
+EXIT_REGRESSION = 3
+
+DEFAULT_WINDOW = 5
+DEFAULT_TIME_THRESHOLD = 0.15   # 15% over baseline median
+DEFAULT_WORK_THRESHOLD = 2.0    # 2x blowup of any deterministic counter
+DEFAULT_SIZE_TOLERANCE = 0.05   # inputs "stable" within 5%
+
+#: Summary fields that gauge input size for the work gate.
+_SIZE_FIELDS = ("arm_instructions_total", "fences_total")
+
+
+def _median(xs: list[float]) -> float:
+    ys = sorted(xs)
+    n = len(ys)
+    mid = n // 2
+    return ys[mid] if n % 2 else (ys[mid - 1] + ys[mid]) / 2.0
+
+
+def _mad(xs: list[float], med: Optional[float] = None) -> float:
+    """Median absolute deviation — the robust noise estimate."""
+    if not xs:
+        return 0.0
+    med = _median(xs) if med is None else med
+    return _median([abs(x - med) for x in xs])
+
+
+@dataclass
+class Finding:
+    """One confirmed regression."""
+
+    config: str
+    metric: str
+    kind: str                 # "time" | "work"
+    baseline: float
+    current: float
+    threshold: float          # the effective gate that was exceeded
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def format(self) -> str:
+        return (f"{self.config}/{self.metric}: {self.current:g} vs "
+                f"baseline median {self.baseline:g} "
+                f"({self.ratio:.2f}x, gate {self.threshold:.2f}x) [{self.kind}]")
+
+
+@dataclass
+class RegressionReport:
+    ok: bool = True
+    findings: list[Finding] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    baseline_shas: list[str] = field(default_factory=list)
+    #: config -> {counter: (baseline_median, current)} for counters that
+    #: differ; empty everywhere means deterministic attribution held.
+    work_deltas: dict[str, dict[str, tuple[float, float]]] = \
+        field(default_factory=dict)
+
+    @property
+    def work_identical(self) -> bool:
+        return not any(self.work_deltas.values())
+
+    def format(self) -> str:
+        lines = []
+        base = ", ".join(self.baseline_shas) or "(none)"
+        lines.append(f"perf gate: baseline = median of [{base}]")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        if self.work_identical and self.baseline_shas:
+            lines.append("  work counters: identical to baseline "
+                         "(zero deltas — deterministic attribution)")
+        else:
+            for config, deltas in sorted(self.work_deltas.items()):
+                for counter, (b, c) in sorted(deltas.items()):
+                    lines.append(f"  work delta {config}/{counter}: "
+                                 f"{b:g} -> {c:g}")
+        if self.findings:
+            lines.append(f"  {len(self.findings)} regression(s):")
+            for f in self.findings:
+                lines.append(f"    REGRESSION {f.format()}")
+        else:
+            lines.append("  no regressions")
+        return "\n".join(lines)
+
+
+def eligible_entries(trajectory: list[dict], size: str,
+                     ref: Optional[str] = None,
+                     window: int = DEFAULT_WINDOW,
+                     notes: Optional[list[str]] = None) -> list[dict]:
+    """The baseline entries: same bench size, clean working tree, newest
+    ``window`` of them — or, with ``ref``, the entries whose SHA starts
+    with it (compare against one specific commit)."""
+    clean = [e for e in trajectory
+             if isinstance(e, dict) and e.get("size") == size
+             and not e.get("dirty")]
+    skipped_dirty = sum(1 for e in trajectory
+                        if isinstance(e, dict) and e.get("size") == size
+                        and e.get("dirty"))
+    if notes is not None and skipped_dirty:
+        notes.append(f"{skipped_dirty} dirty-tree entr"
+                     f"{'y' if skipped_dirty == 1 else 'ies'} ignored")
+    if ref:
+        matched = [e for e in clean
+                   if str(e.get("sha", "")).startswith(ref)]
+        if notes is not None and not matched:
+            notes.append(f"no clean trajectory entry matches ref {ref!r}")
+        return matched[-window:]
+    return clean[-window:]
+
+
+def _config_rows(entries: list[dict], config: str) -> list[dict]:
+    rows = []
+    for e in entries:
+        row = e.get("summary", {}).get(config)
+        if isinstance(row, dict):
+            rows.append(row)
+    return rows
+
+
+def _sizes_stable(rows: list[dict], current: dict,
+                  tolerance: float) -> bool:
+    for field_name in _SIZE_FIELDS:
+        baseline = [r[field_name] for r in rows if field_name in r]
+        if not baseline or field_name not in current:
+            continue
+        med = _median([float(b) for b in baseline])
+        cur = float(current[field_name])
+        if med == 0:
+            if cur != 0:
+                return False
+            continue
+        if abs(cur - med) / med > tolerance:
+            return False
+    return True
+
+
+def check_regression(summary: dict, trajectory: list[dict], *,
+                     size: str = "tiny",
+                     ref: Optional[str] = None,
+                     window: int = DEFAULT_WINDOW,
+                     time_threshold: float = DEFAULT_TIME_THRESHOLD,
+                     work_threshold: float = DEFAULT_WORK_THRESHOLD,
+                     size_tolerance: float = DEFAULT_SIZE_TOLERANCE
+                     ) -> RegressionReport:
+    """Compare ``summary`` (the current run) against the trajectory.
+
+    Returns a report whose ``ok`` is False exactly when the caller
+    should exit with :data:`EXIT_REGRESSION`.
+    """
+    report = RegressionReport()
+    entries = eligible_entries(trajectory, size, ref, window, report.notes)
+    if not entries:
+        report.notes.append(
+            "no eligible baseline entries in the trajectory; "
+            "nothing to gate against")
+        return report
+    report.baseline_shas = [str(e.get("sha", "?")) for e in entries]
+
+    for config, current in sorted(summary.items()):
+        if not isinstance(current, dict):
+            continue
+        rows = _config_rows(entries, config)
+        if not rows:
+            report.notes.append(f"{config}: absent from baseline; skipped")
+            continue
+
+        # ---- wall-time gate (noise-aware) --------------------------------
+        time_field = ("translate_seconds_total"
+                      if "translate_seconds_total" in current
+                      else "ingest_seconds_total"
+                      if "ingest_seconds_total" in current else None)
+        if time_field is not None:
+            baseline = [float(r[time_field]) for r in rows
+                        if time_field in r]
+            if baseline:
+                med = _median(baseline)
+                mad = _mad(baseline, med)
+                rel_noise = (3.0 * mad / med) if med > 0 else 0.0
+                gate = 1.0 + max(time_threshold, rel_noise)
+                cur = float(current[time_field])
+                if med > 0 and cur > med * gate:
+                    report.findings.append(Finding(
+                        config, time_field, "time", med, cur, gate))
+
+        # ---- deterministic work gate -------------------------------------
+        cur_work = current.get("work")
+        base_work_rows = [r["work"] for r in rows
+                          if isinstance(r.get("work"), dict)]
+        if not isinstance(cur_work, dict) or not base_work_rows:
+            if isinstance(cur_work, dict) and not base_work_rows:
+                report.notes.append(
+                    f"{config}: baseline entries predate work counters "
+                    "(schema < 6); work gate skipped")
+            continue
+        stable = _sizes_stable(rows, current, size_tolerance)
+        if not stable:
+            report.notes.append(
+                f"{config}: input sizes moved beyond "
+                f"{size_tolerance:.0%}; work gate skipped "
+                "(counters scale with input)")
+        deltas: dict[str, tuple[float, float]] = {}
+        for counter, cur_n in sorted(cur_work.items()):
+            baseline = [float(w[counter]) for w in base_work_rows
+                        if counter in w]
+            if not baseline:
+                continue
+            med = _median(baseline)
+            if float(cur_n) != med:
+                deltas[counter] = (med, float(cur_n))
+            if stable and med > 0 and float(cur_n) > med * work_threshold:
+                report.findings.append(Finding(
+                    config, counter, "work", med, float(cur_n),
+                    work_threshold))
+        if deltas:
+            report.work_deltas[config] = deltas
+
+    report.ok = not report.findings
+    return report

@@ -1,0 +1,255 @@
+"""Stdlib-only sampling profiler: where did the wall time actually go.
+
+A background daemon thread wakes every ``1/hz`` seconds, grabs the
+target thread's frame via :func:`sys._current_frames`, and folds the
+stack into a counter of ``(module:function, ...)`` tuples.  No signals
+(so it works on every platform and inside worker threads), no C
+extension, no third-party deps.
+
+Frames inside the ``repro`` package render as dotted module paths
+(``opt.gvn:run_gvn``); foreign frames keep their file stem.  The
+aggregate :class:`Profile` exports:
+
+* ``collapsed()`` — Brendan-Gregg collapsed-stack lines
+  (``a;b;c 42``), directly consumable by ``flamegraph.pl`` or
+  https://www.speedscope.app,
+* ``stage_shares()`` — fraction of samples attributed to each known
+  pipeline stage (the acceptance bar: >= 95% of samples land in one),
+* ``top_frames(k)`` — self-time leaders, the "top-10 frames" summarized
+  into bench rows,
+* ``to_dict()`` — JSON for ``repro profile --json``.
+
+Sampling is the *noisy* leg of the profiler; the deterministic leg is
+:mod:`repro.profiler.workcounters`.  Use samples to find hot code, use
+work counters to gate regressions.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import Counter
+from time import perf_counter
+from typing import Optional
+
+#: Maximum stack depth folded per sample (deeper frames are dropped
+#: outermost-first; the hot leaves are what matter).
+MAX_DEPTH = 64
+
+#: repro subpackage -> pipeline-stage label, the sample-side twin of the
+#: span categories in docs/observability.md.
+PACKAGE_STAGES = {
+    "lifter": "lift",
+    "refine": "refine",
+    "fences": "place",
+    "analysis": "analysis",
+    "opt": "opt",
+    "codegen": "codegen",
+    "loader": "loader",
+    "minicc": "frontend",
+    "lir": "ir",
+    "x86": "x86",
+    "arm": "arm",
+    "provenance": "provenance",
+    "memmodel": "memmodel",
+    "core": "pipeline",
+    "validate": "validate",
+    "phoenix": "evaluate",
+    "telemetry": "telemetry",
+    "profiler": "profiler",
+}
+
+#: Stage labels the acceptance gate counts as "known".
+KNOWN_STAGES = frozenset(PACKAGE_STAGES.values())
+
+
+def _module_label(filename: str) -> str:
+    """``.../src/repro/opt/gvn.py`` -> ``repro.opt.gvn``; foreign files
+    keep their stem (``json`` for ``.../json/__init__.py``)."""
+    norm = filename.replace("\\", "/")
+    marker = "/repro/"
+    idx = norm.rfind(marker)
+    if idx >= 0:
+        rel = norm[idx + len(marker):]
+        if rel.endswith(".py"):
+            rel = rel[:-3]
+        if rel.endswith("/__init__"):
+            rel = rel[: -len("/__init__")]
+        return "repro." + rel.replace("/", ".") if rel else "repro"
+    stem = norm.rsplit("/", 1)[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    if stem == "__init__":
+        parts = norm.rsplit("/", 3)
+        stem = parts[-2] if len(parts) >= 2 else stem
+    return stem
+
+
+def extract_stack(frame) -> tuple[str, ...]:
+    """Fold a live frame into ``module:function`` labels, outermost
+    first (the collapsed-stack orientation)."""
+    labels: list[str] = []
+    while frame is not None and len(labels) < MAX_DEPTH:
+        code = frame.f_code
+        labels.append(f"{_module_label(code.co_filename)}:{code.co_name}")
+        frame = frame.f_back
+    return tuple(reversed(labels))
+
+
+def stage_of(stack: tuple[str, ...]) -> str:
+    """Pipeline stage of one sample: the innermost ``repro.*`` frame's
+    subpackage, mapped through :data:`PACKAGE_STAGES`; ``other`` when no
+    repro frame is on the stack."""
+    for label in reversed(stack):
+        module = label.split(":", 1)[0]
+        if module == "repro":
+            return "pipeline"
+        if module.startswith("repro."):
+            sub = module.split(".")[1]
+            return PACKAGE_STAGES.get(sub, sub)
+    return "other"
+
+
+class Profile:
+    """Aggregated samples from one profiling run."""
+
+    def __init__(self, hz: float) -> None:
+        self.hz = hz
+        self.samples: Counter[tuple[str, ...]] = Counter()
+        self.total = 0
+        self.missed = 0          # wakeups where the target had no frame
+        self.duration = 0.0
+
+    # ---- exporters -------------------------------------------------------
+    def collapsed(self) -> str:
+        """Collapsed-stack lines, one per distinct stack, sorted for
+        reproducible diffs."""
+        lines = [f"{';'.join(stack)} {n}"
+                 for stack, n in sorted(self.samples.items())]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def stage_shares(self) -> dict[str, float]:
+        """Stage -> fraction of samples (sums to 1.0 when total > 0)."""
+        if not self.total:
+            return {}
+        counts: dict[str, int] = {}
+        for stack, n in self.samples.items():
+            stage = stage_of(stack)
+            counts[stage] = counts.get(stage, 0) + n
+        return {s: counts[s] / self.total for s in sorted(counts)}
+
+    def known_stage_pct(self) -> float:
+        """Percent of samples attributed to a known pipeline stage."""
+        shares = self.stage_shares()
+        return 100.0 * sum(v for s, v in shares.items()
+                           if s in KNOWN_STAGES)
+
+    def top_frames(self, k: int = 10) -> list[tuple[str, int, float]]:
+        """Self-sample leaders: (innermost frame, samples, pct)."""
+        self_counts: Counter[str] = Counter()
+        for stack, n in self.samples.items():
+            if stack:
+                self_counts[stack[-1]] += n
+        out = []
+        for frame, n in self_counts.most_common(k):
+            out.append((frame, n, 100.0 * n / self.total if self.total else 0.0))
+        return out
+
+    def to_dict(self, top: int = 10) -> dict:
+        return {
+            "hz": self.hz,
+            "samples": self.total,
+            "missed": self.missed,
+            "duration_seconds": round(self.duration, 6),
+            "stage_shares": {s: round(v, 4)
+                             for s, v in self.stage_shares().items()},
+            "known_stage_pct": round(self.known_stage_pct(), 2),
+            "top_frames": [
+                {"frame": f, "samples": n, "pct": round(pct, 2)}
+                for f, n, pct in self.top_frames(top)
+            ],
+        }
+
+
+class SamplingProfiler:
+    """Samples one target thread from a background daemon thread.
+
+    Usage::
+
+        prof = SamplingProfiler(hz=211)
+        with prof:                       # samples the *calling* thread
+            expensive_translation()
+        prof.profile.collapsed()
+    """
+
+    def __init__(self, hz: float = 211.0,
+                 target_ident: Optional[int] = None) -> None:
+        if hz <= 0:
+            raise ValueError("sample rate must be positive")
+        self.interval = 1.0 / hz
+        self.profile = Profile(hz)
+        self.target_ident = target_ident
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._start_time = 0.0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        if self.target_ident is None:
+            self.target_ident = threading.get_ident()
+        self._stop.clear()
+        self._start_time = perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-sampler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> Profile:
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+            self.profile.duration = perf_counter() - self._start_time
+        return self.profile
+
+    def _run(self) -> None:
+        samples = self.profile.samples
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self.target_ident)
+            if frame is None:
+                self.profile.missed += 1
+                continue
+            stack = extract_stack(frame)
+            del frame
+            if not stack:
+                self.profile.missed += 1
+                continue
+            samples[stack] += 1
+            self.profile.total += 1
+
+    def __enter__(self) -> "SamplingProfiler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+
+def sample_block(hz: float = 211.0) -> SamplingProfiler:
+    """Convenience: ``with sample_block(499) as prof: ...``."""
+    return SamplingProfiler(hz=hz)
+
+
+def write_flamegraph(profile: Profile, path) -> None:
+    """Write collapsed stacks to ``path`` (feed to flamegraph.pl or
+    paste into speedscope)."""
+    from pathlib import Path
+
+    Path(path).write_text(profile.collapsed())
+
+
+__all__ = [
+    "KNOWN_STAGES", "MAX_DEPTH", "PACKAGE_STAGES", "Profile",
+    "SamplingProfiler", "extract_stack", "sample_block", "stage_of",
+    "write_flamegraph",
+]

@@ -29,7 +29,23 @@ catalog or triage regression (an external going opaque, a function no
 longer discovered) shows up in ``BENCH_translate.json`` like a fence
 regression would.
 
-CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]``.
+Schema v6 adds the deterministic cost dimension (``repro.profiler``):
+every translated row carries ``work`` (deterministic work counters from
+one instrumented extra build: instructions visited per pass, dataflow
+fixpoint steps, points-to rounds, cycle-search expansions, fences
+placed, Arm instructions emitted), ``work_digest`` (a sha256 over the
+full stage x counter x function matrix — bit-identical across machines
+for identical code and input) and ``peak_rss_bytes`` (tracemalloc peak
+of the instrumented build).  The per-config ``summary`` rows carry the
+merged counters, and the report gains a top-level ``profile_top``
+section (top-10 self-sample frames plus per-stage shares from the
+sampling profiler).  Trajectory entries now record ``dirty`` (was the
+working tree uncommitted?) and are deduplicated by ``(sha, size)``
+keeping the newest; the regression gate of
+:mod:`repro.profiler.regression` ignores dirty entries.
+
+CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]
+[--compare [REF]]``.
 """
 
 from __future__ import annotations
@@ -41,7 +57,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 5
+BENCH_VERSION = 6
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -56,6 +72,21 @@ def git_sha() -> str:
         return sha if out.returncode == 0 and sha else "unknown"
     except OSError:
         return "unknown"
+
+
+def git_dirty() -> bool:
+    """True when the working tree has uncommitted changes (or git is
+    unavailable — an unknown tree is not a clean baseline)."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            capture_output=True, text=True, timeout=10, check=False,
+        )
+        if out.returncode != 0:
+            return True
+        return bool(out.stdout.strip())
+    except OSError:
+        return True
 
 
 def _demo_source() -> Optional[str]:
@@ -80,6 +111,9 @@ def bench_loader(repeats: int = 3) -> dict[str, dict]:
     """Time ELF ingestion per fixture and snapshot its coverage counters."""
     from ..core.pipeline import ingest_binary
 
+    from ..profiler import workcounters
+    from ..profiler.memory import measure_peak
+
     rows: dict[str, dict] = {}
     for path in _elf_fixtures():
         data = path.read_bytes()
@@ -90,6 +124,10 @@ def bench_loader(repeats: int = 3) -> dict[str, dict]:
             _obj, report = ingest_binary(data)
             times.append(perf_counter() - start)
         times.sort()
+        # One extra instrumented ingest: deterministic triage counters
+        # plus the tracemalloc peak (the v6 cost dimension).
+        with workcounters.collect() as wc:
+            _, peak = measure_peak(ingest_binary, data)
         rows[path.name] = {
             "ingest_seconds": round(times[len(times) // 2], 6),
             "functions_discovered": len(report.functions),
@@ -97,6 +135,9 @@ def bench_loader(repeats: int = 3) -> dict[str, dict]:
             "externals_opaque": len(report.externals_opaque),
             "data_symbols": report.data_symbols,
             "ok": report.ok,
+            "work": wc.by_counter(),
+            "work_digest": wc.digest(),
+            "peak_rss_bytes": peak,
         }
     return rows
 
@@ -107,6 +148,9 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
     from ..core.pipeline import CONFIGS, Lasagne
     from ..phoenix import SIZE_SMALL, SIZE_TINY, all_programs
     from ..phoenix.programs import PhoenixProgram
+    from ..profiler import workcounters
+    from ..profiler.memory import measure_peak
+    from ..profiler.sampler import SamplingProfiler
     from ..provenance import SourceMap
 
     sizes = SIZE_TINY if size == "tiny" else SIZE_SMALL
@@ -118,6 +162,11 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
     if demo_src is not None:
         bench_programs.append(PhoenixProgram("demo", "DM", demo_src))
     programs: dict[str, dict[str, dict]] = {}
+    config_work: dict[str, "workcounters.WorkCounters"] = {
+        c: workcounters.WorkCounters() for c in configs}
+    config_peak: dict[str, int] = {c: 0 for c in configs}
+    sampler = SamplingProfiler(hz=97.0)
+    sampler.start()
     for program in bench_programs:
         per_config: dict[str, dict] = {}
         for config in configs:
@@ -128,6 +177,12 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 built = lasagne.build(program.source, config)
                 times.append(perf_counter() - start)
             times.sort()
+            # One instrumented extra build per (program, config): the
+            # deterministic work counters and tracemalloc peak (v6).
+            with workcounters.collect() as wc:
+                _, peak = measure_peak(lasagne.build, program.source, config)
+            config_work[config].merge(wc)
+            config_peak[config] = max(config_peak[config], peak)
             fencecheck_violations = 0
             if config != "native":
                 from ..analysis import check_module
@@ -143,6 +198,8 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 "fences_elided_beyond_walk": built.fences_elided_beyond_walk,
                 "fences_elided_interproc": built.fences_elided_interproc,
                 "fencecheck_violations": fencecheck_violations,
+                "work": wc.by_counter(),
+                "peak_rss_bytes": peak,
             }
             if config != "native":
                 # Companion delay-set build: same program/config with the
@@ -177,6 +234,9 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
             "fencecheck_violations_total": sum(
                 r["fencecheck_violations"] for r in rows),
         }
+        summary[config]["work"] = config_work[config].by_counter()
+        summary[config]["work_digest"] = config_work[config].digest()
+        summary[config]["peak_rss_bytes"] = config_peak[config]
         if config != "native":
             summary[config]["fences_elided_delayset_total"] = sum(
                 r["fences_elided_delayset"] for r in rows)
@@ -186,6 +246,10 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 r["provenance"]["fence_pct"] for r in rows)
     loader_rows = bench_loader(repeats)
     if loader_rows:
+        loader_work: dict[str, int] = {}
+        for r in loader_rows.values():
+            for counter, n in r.get("work", {}).items():
+                loader_work[counter] = loader_work.get(counter, 0) + n
         summary["loader"] = {
             "ingest_seconds_total": round(
                 sum(r["ingest_seconds"] for r in loader_rows.values()), 6),
@@ -195,7 +259,12 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 r["externals_resolved"] for r in loader_rows.values()),
             "externals_opaque": sum(
                 r["externals_opaque"] for r in loader_rows.values()),
+            "work": loader_work,
+            "peak_rss_bytes": max(
+                (r.get("peak_rss_bytes", 0) for r in loader_rows.values()),
+                default=0),
         }
+    profile = sampler.stop()
     return {
         "version": BENCH_VERSION,
         "size": size,
@@ -204,6 +273,7 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
         "programs": programs,
         "loader": loader_rows,
         "summary": summary,
+        "profile_top": profile.to_dict(top=10),
     }
 
 
@@ -221,12 +291,39 @@ def _load_trajectory(path: Path) -> list[dict]:
     return trajectory if isinstance(trajectory, list) else []
 
 
+def read_trajectory(path: str = DEFAULT_OUT) -> list[dict]:
+    """Public trajectory reader (``repro bench --compare`` gates on it
+    *before* the new entry is appended)."""
+    return _load_trajectory(Path(path))
+
+
+def _dedupe_trajectory(trajectory: list[dict]) -> list[dict]:
+    """Keep the *newest* entry per ``(sha, size)``: re-running the bench
+    on the same commit replaces its data point instead of stacking
+    duplicates that would skew the baseline median.  Entries from dirty
+    working trees never collapse a clean one (and vice versa) — a dirty
+    tree's numbers describe different code than the commit's."""
+    keep: list[dict] = []
+    seen: set[tuple] = set()
+    for entry in reversed(trajectory):
+        if not isinstance(entry, dict):
+            continue
+        key = (entry.get("sha"), entry.get("size"),
+               bool(entry.get("dirty")))
+        if key in seen:
+            continue
+        seen.add(key)
+        keep.append(entry)
+    return list(reversed(keep))
+
+
 def write_bench(report: dict, path: str = DEFAULT_OUT) -> Path:
     """Write the report, *appending* a trajectory entry for this run.
 
     The snapshot fields (``programs``/``summary``) always reflect the
     latest run; ``trajectory`` accumulates one ``{sha, timestamp, size,
-    summary}`` entry per invocation so history survives rewrites.
+    dirty, summary}`` entry per invocation so history survives rewrites,
+    deduplicated by ``(sha, size)`` keeping the newest.
     """
     out = Path(path)
     trajectory = _load_trajectory(out)
@@ -235,9 +332,11 @@ def write_bench(report: dict, path: str = DEFAULT_OUT) -> Path:
         "timestamp": datetime.now(timezone.utc).isoformat(
             timespec="seconds"),
         "size": report.get("size"),
+        "dirty": git_dirty(),
+        "version": report.get("version"),
         "summary": report.get("summary", {}),
     })
     full = dict(report)
-    full["trajectory"] = trajectory
+    full["trajectory"] = _dedupe_trajectory(trajectory)
     out.write_text(json.dumps(full, indent=2) + "\n")
     return out

@@ -17,9 +17,19 @@ Three exporters ship with the tracer:
 
 * :func:`format_tree` — a human-readable indented tree with durations,
 * :func:`to_json` — a nested JSON-serializable dict,
-* :func:`to_chrome_trace` — Chrome trace-event format (``traceEvents`` of
-  ``ph: "X"`` complete events), loadable in ``chrome://tracing`` and
+* :func:`to_chrome_trace` — Chrome trace-event format: ``ph: "X"``
+  complete events plus ``ph: "M"`` process/thread-name metadata (the
+  trace is self-describing in Perfetto — threads render as ``main`` /
+  ``worker-N`` instead of raw idents) and, when a metrics registry is
+  passed, ``ph: "C"`` counter events so the counters chart alongside
+  the spans.  Loadable in ``chrome://tracing`` and
   https://ui.perfetto.dev.
+
+Exception safety: a span exited by an unwinding exception still closes
+(``with`` guarantees ``__exit__``), is annotated with
+``error=<exception type>``, and never corrupts the tree or leaks into
+:meth:`Tracer.open_spans` — the tests in ``tests/test_telemetry.py``
+pin this down.
 """
 
 from __future__ import annotations
@@ -89,6 +99,9 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            # Mark the span as unwound-through; the exception propagates.
+            self.attrs.setdefault("error", exc_type.__name__)
         self._tracer._finish(self)
         return False
 
@@ -102,6 +115,7 @@ class Tracer:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._stacks = threading.local()
+        self._live: dict[int, Span] = {}
         self.roots: list[Span] = []
         self.epoch = perf_counter()
 
@@ -118,6 +132,8 @@ class Tracer:
         """Open a span nested under the current thread's innermost span."""
         span = Span(self, name, category, attrs)
         self._stack().append(span)
+        with self._lock:
+            self._live[id(span)] = span
         return span
 
     def _finish(self, span: Span) -> None:
@@ -128,6 +144,8 @@ class Tracer:
             while stack:
                 if stack.pop() is span:
                     break
+        with self._lock:
+            self._live.pop(id(span), None)
         parent = stack[-1] if stack else None
         if parent is not None:
             parent.children.append(span)
@@ -136,6 +154,12 @@ class Tracer:
                 self.roots.append(span)
 
     # ---- queries ---------------------------------------------------------
+    def open_spans(self) -> list[Span]:
+        """Spans entered but not yet exited, across all threads.  Empty
+        after every ``with`` block unwound — even via an exception."""
+        with self._lock:
+            return list(self._live.values())
+
     def walk(self) -> Iterator[Span]:
         with self._lock:
             roots = list(self.roots)
@@ -208,21 +232,71 @@ def to_json(tracer: Tracer) -> list[dict[str, Any]]:
     return [convert(root) for root in tracer.roots]
 
 
-def to_chrome_trace(tracer: Tracer) -> dict[str, Any]:
-    """Chrome trace-event JSON (load in chrome://tracing or Perfetto)."""
+def to_chrome_trace(tracer: Tracer, metrics: Any = None) -> dict[str, Any]:
+    """Chrome trace-event JSON (load in chrome://tracing or Perfetto).
+
+    Besides the ``ph:"X"`` complete events, the trace carries ``ph:"M"``
+    metadata naming the process (``repro``) and each thread (``main`` or
+    ``worker-N`` in order of first appearance), and — when ``metrics``
+    (a :class:`~repro.telemetry.metrics.MetricsRegistry`) is given —
+    one ``ph:"C"`` counter event per series, so the registry's final
+    totals chart in Perfetto next to the spans they describe.
+    """
     pid = os.getpid()
     events: list[dict[str, Any]] = []
+    last_ts = 0.0
+    tids: list[int] = []
     for span in tracer.walk():
         if span.end is None:
             continue  # still open; cannot emit a complete event
+        ts = (span.start - tracer.epoch) * 1e6
+        dur = span.duration * 1e6
+        last_ts = max(last_ts, ts + dur)
+        if span.tid not in tids:
+            tids.append(span.tid)
         events.append({
             "name": span.name,
             "cat": span.category,
             "ph": "X",
-            "ts": (span.start - tracer.epoch) * 1e6,
-            "dur": span.duration * 1e6,
+            "ts": ts,
+            "dur": dur,
             "pid": pid,
             "tid": span.tid,
             "args": {k: _jsonable(v) for k, v in span.attrs.items()},
         })
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    meta: list[dict[str, Any]] = [{
+        "name": "process_name", "cat": "__metadata", "ph": "M",
+        "pid": pid, "tid": 0, "args": {"name": "repro"},
+    }]
+    main_ident = threading.main_thread().ident
+    worker = 0
+    for tid in tids:
+        if tid == main_ident:
+            label = "main"
+        else:
+            worker += 1
+            label = f"worker-{worker}"
+        meta.append({
+            "name": "thread_name", "cat": "__metadata", "ph": "M",
+            "pid": pid, "tid": tid, "args": {"name": label},
+        })
+
+    counters: list[dict[str, Any]] = []
+    if metrics is not None:
+        snapshot = metrics.snapshot()
+        for series, value in snapshot.get("counters", {}).items():
+            counters.append({
+                "name": series, "cat": "metrics", "ph": "C",
+                "ts": last_ts, "pid": pid, "tid": 0,
+                "args": {"value": value},
+            })
+        for series, value in snapshot.get("gauges", {}).items():
+            counters.append({
+                "name": series, "cat": "metrics", "ph": "C",
+                "ts": last_ts, "pid": pid, "tid": 0,
+                "args": {"value": value},
+            })
+
+    return {"traceEvents": meta + events + counters,
+            "displayTimeUnit": "ms"}

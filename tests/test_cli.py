@@ -178,8 +178,10 @@ class TestTelemetryFlags:
         assert f"trace written to {trace}" in capsys.readouterr().err
         doc = json.loads(trace.read_text())
         assert set(doc) >= {"traceEvents", "displayTimeUnit"}
-        events = doc["traceEvents"]
-        assert all(e["ph"] == "X" for e in events)
+        # v6 traces are self-describing: spans plus ph:"M" process/
+        # thread names and ph:"C" metric counters.
+        assert {e["ph"] for e in doc["traceEvents"]} >= {"X", "M", "C"}
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
         names = {e["name"] for e in events}
         # One span per pipeline stage and one per executed opt pass.
         assert {"pipeline", "lift", "refine", "place",
@@ -336,7 +338,7 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 5
+        assert report["version"] == 6
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt", "loader"}
         lifted = report["summary"]["lifted"]
@@ -346,7 +348,15 @@ class TestBenchCommand:
         assert lifted["fences_elided_delayset_total"] >= 0
         assert lifted["fencecheck_violations_total"] == 0
         assert lifted["provenance_fence_pct_min"] == 100.0
+        # v6: deterministic work counters + memory per config and loader.
+        assert lifted["work"]["place.accesses"] > 0
+        assert lifted["work_digest"]
+        assert lifted["peak_rss_bytes"] > 0
+        assert report["summary"]["loader"]["work"]["triage.instructions"] > 0
+        assert report["profile_top"]["samples"] >= 0
         assert len(report["trajectory"]) == 1
+        entry = report["trajectory"][0]
+        assert "dirty" in entry
 
 
 def test_evaluate_command_smoke(capsys):

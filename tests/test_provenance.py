@@ -318,10 +318,17 @@ class TestBenchTrajectory:
                   "summary": {"ppopt": {"fences_total": 5}}}
         out = tmp_path / "bench.json"
         write_bench(report, str(out))
+        # v6: re-running at the same (sha, size, dirty) replaces the
+        # previous entry rather than growing the trajectory...
         write_bench(report, str(out))
         data = json.loads(out.read_text())
         assert data["version"] == BENCH_VERSION
+        assert len(data["trajectory"]) == 1
+        # ...while a different size appends alongside it.
+        write_bench(dict(report, size="small"), str(out))
+        data = json.loads(out.read_text())
         assert len(data["trajectory"]) == 2
+        assert {e["size"] for e in data["trajectory"]} == {"tiny", "small"}
         for entry in data["trajectory"]:
             assert entry["sha"]
             assert entry["timestamp"]

@@ -107,15 +107,48 @@ class TestChromeTraceExport:
         tracer = self._traced()
         doc = to_chrome_trace(tracer)
         assert set(doc) == {"traceEvents", "displayTimeUnit"}
-        assert len(doc["traceEvents"]) == 2
-        for event in doc["traceEvents"]:
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 2
+        for event in spans:
             assert set(event) == {"name", "cat", "ph", "ts", "dur",
                                   "pid", "tid", "args"}
-            assert event["ph"] == "X"
             assert isinstance(event["ts"], float)
             assert isinstance(event["dur"], float)
             assert event["dur"] >= 0.0
         # The whole document must be valid JSON.
+        json.loads(json.dumps(doc))
+
+    def test_metadata_events_name_process_and_threads(self):
+        doc = to_chrome_trace(self._traced())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        by_name = {e["name"]: e for e in meta}
+        assert by_name["process_name"]["args"] == {"name": "repro"}
+        # The test ran on the main thread, so its span tid is named.
+        assert by_name["thread_name"]["args"]["name"] == "main"
+
+    def test_worker_threads_get_stable_labels(self):
+        tracer = Tracer()
+        def worker():
+            with tracer.span("w", category="stage"):
+                pass
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        doc = to_chrome_trace(tracer)
+        labels = [e["args"]["name"] for e in doc["traceEvents"]
+                  if e["ph"] == "M" and e["name"] == "thread_name"]
+        assert labels == ["worker-1"]
+
+    def test_counter_events_from_metrics(self):
+        tracer = self._traced()
+        metrics = MetricsRegistry()
+        metrics.count("fences.inserted", 7, kind="rm")
+        metrics.gauge("depth", 3)
+        doc = to_chrome_trace(tracer, metrics=metrics)
+        counters = {e["name"]: e for e in doc["traceEvents"]
+                    if e["ph"] == "C"}
+        assert counters["fences.inserted{kind=rm}"]["args"] == {"value": 7}
+        assert counters["depth"]["args"] == {"value": 3}
         json.loads(json.dumps(doc))
 
     def test_child_nested_within_parent(self):
@@ -146,6 +179,89 @@ class TestChromeTraceExport:
         assert doc[0]["children"][0]["name"] == "lift"
         json.loads(json.dumps(doc))
 
+
+class TestTracerExceptionSafety:
+    def test_raise_mid_span_closes_and_annotates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("outer", category="pipeline"):
+                with tracer.span("inner", category="stage"):
+                    raise ValueError("boom")
+        assert tracer.open_spans() == []
+        outer, = tracer.roots
+        assert outer.end is not None
+        inner, = outer.children
+        assert inner.end is not None
+        # Both unwound spans carry the exception type.
+        assert inner.attrs["error"] == "ValueError"
+        assert outer.attrs["error"] == "ValueError"
+
+    def test_tree_survives_mid_span_raise(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            try:
+                with tracer.span("bad"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+            with tracer.span("good"):
+                pass
+        root, = tracer.roots
+        assert [c.name for c in root.children] == ["bad", "good"]
+        assert root.attrs.get("error") is None
+        assert tracer.open_spans() == []
+
+    def test_open_spans_reports_live_spans(self):
+        tracer = Tracer()
+        span = tracer.span("live")
+        assert [s.name for s in tracer.open_spans()] == ["live"]
+        with span:
+            pass
+        assert tracer.open_spans() == []
+
+    def test_spans_across_threads_do_not_interleave(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def worker(name):
+            try:
+                with tracer.span(name, category="stage"):
+                    barrier.wait(timeout=5)
+                    with tracer.span(name + "-child"):
+                        pass
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert tracer.open_spans() == []
+        roots = sorted(r.name for r in tracer.roots)
+        assert roots == ["t0", "t1"]
+        for root in tracer.roots:
+            assert [c.name for c in root.children] == [root.name + "-child"]
+
+    def test_exception_in_threaded_span_does_not_leak(self):
+        tracer = Tracer()
+
+        def worker():
+            try:
+                with tracer.span("doomed"):
+                    raise KeyError("k")
+            except KeyError:
+                pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert tracer.open_spans() == []
+        doomed, = tracer.find("doomed")
+        assert doomed.attrs["error"] == "KeyError"
 
 class TestMetricsRegistry:
     def test_counters_accumulate(self):
