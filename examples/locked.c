@@ -1,0 +1,39 @@
+// Lock-protected message passing: a writer publishes two globals under
+// a pthread mutex and a reader consumes them under the same mutex.  The
+// must-lockset analysis proves every conflicting access shares lock m,
+// so the sync-refined delay sets drop the lock-ordered conflict edges
+// and elide the Fig. 8a fences the base delay-set analysis must keep
+// (fences_elided_sync > 0).  `repro analyze --racecheck` classifies the
+// reader's x/y loads as lock-protected(m) and flags the writer's stores
+// racy against main's deliberately unlocked post-join reads (the static
+// classifier does not model join ordering), so one program exercises
+// both racecheck/* SARIF rules.  Used by the CI racecheck smoke step:
+// `repro translate examples/locked.c --fence-analysis sync --run` /
+// `repro analyze examples/locked.c --sync --racecheck`.
+int m = 0;  // lock word (0 = unlocked, 1 = held)
+int x = 0;
+int y = 0;
+
+int writer(int t) {
+  mutex_lock(&m);
+  x = t;
+  y = t + 1;
+  mutex_unlock(&m);
+  return 0;
+}
+
+int reader(int t) {
+  mutex_lock(&m);
+  int b = y;
+  int a = x;
+  mutex_unlock(&m);
+  return b - a;
+}
+
+int main() {
+  int w = spawn(writer, 1);
+  int r = spawn(reader, 0);
+  join(w);
+  join(r);
+  return x + y - 3;
+}

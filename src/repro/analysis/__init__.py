@@ -16,7 +16,12 @@ Six layers:
   critical cycles over the static conflict graph classify each placed
   fence as required or redundant, with enumeration-validated elision;
 * :mod:`repro.analysis.fencecheck` — a static linter for the LIMM fence
-  mapping obligations (ldna;Frm / Fww;stna / RMWsc).
+  mapping obligations (ldna;Frm / Fww;stna / RMWsc);
+* :mod:`repro.analysis.sync` — must-lockset dataflow over pthread mutex
+  acquire/release events, interprocedural via bottom-up lock summaries;
+* :mod:`repro.analysis.racecheck` — the static happens-before
+  classifier: every shared access labelled racy / lock-protected /
+  atomic / thread-local.
 
 See docs/analysis.md for the design discussion.
 """
@@ -53,12 +58,14 @@ from .pointsto import (
     MemObject,
     analyze_function,
 )
+from .racecheck import RaceDiag, RaceReport, classify_module
 from .summaries import (
     FunctionSummary,
     ModuleAnalysis,
     analyze_module,
     compute_summaries,
 )
+from .sync import LockSummary, ModuleLocksets, compute_locksets, lock_key
 
 __all__ = [
     "BACKWARD", "FORWARD", "DataflowProblem", "DataflowResult",
@@ -73,4 +80,6 @@ __all__ = [
     "DelaySetStats", "analyze_module_fences", "audit_module",
     "check_litmus_elision", "elide_litmus_fences",
     "elide_redundant_fences",
+    "LockSummary", "ModuleLocksets", "compute_locksets", "lock_key",
+    "RaceDiag", "RaceReport", "classify_module",
 ]

@@ -23,7 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..lir import Call, Function, Module
+from ..lir import Call, Cast, Function, Module
+
+#: externals whose function-pointer argument starts a new thread; the
+#: start routine is address-taken and escaping even if the use-list walk
+#: cannot attribute the pointer back to the function
+THREAD_SPAWNERS = frozenset({"pthread_create", "spawn"})
 
 
 @dataclass
@@ -113,7 +118,43 @@ def build_callgraph(module: Module) -> CallGraph:
                 continue
             graph.address_taken.add(name)
             break
+    # Thread spawn sites: the start-routine argument of pthread_create /
+    # spawn is a thread entry point even when the use-list walk above
+    # cannot attribute the pointer value back to the function (the
+    # argument is peeled through ptrtoint/inttoptr/bitcast chains here,
+    # matching how both the lifter and the minicc frontend pass workers).
+    for sites in graph.sites.values():
+        for site in sites:
+            callee = site.call.callee
+            if site.callee is not None or not hasattr(callee, "name"):
+                continue
+            base = callee.name.split("@", 1)[0]
+            if _spawner_name(base) not in THREAD_SPAWNERS:
+                continue
+            for arg in site.call.args:
+                target = _peel_function(arg)
+                if target is not None and target.name in defined:
+                    graph.address_taken.add(target.name)
     return graph
+
+
+def _spawner_name(name: str) -> str:
+    """Canonical external name (strips glibc decoration so e.g.
+    ``__pthread_create_2_1`` matches ``pthread_create``)."""
+    from ..loader.externs import normalize_name
+    return normalize_name(name)
+
+
+def _peel_function(value) -> Function | None:
+    """The defined Function behind a (possibly cast-wrapped) value."""
+    for _ in range(8):
+        if isinstance(value, Function):
+            return value
+        if isinstance(value, Cast):
+            value = value.value
+        else:
+            return None
+    return None
 
 
 def tarjan_sccs(graph: CallGraph) -> list[list[str]]:

@@ -29,6 +29,15 @@ Three TSO/LIMM-specific refinements:
   both sides resolve to the same (global, offset, size) key, never for
   merely may-aliasing abstract objects.
 
+An opt-in fourth refinement (``sync=True``) consumes the must-lockset
+analysis of :mod:`repro.analysis.sync`: a conflict edge between two
+accesses that both hold a common lock is ordered by the lock's own sc
+RMW chain (mutual exclusion + ord3/ord4 across the critical-section
+boundary) and therefore cannot lie on a critical cycle.  Fences that
+become redundant only under this refinement form the ``sync`` elision
+tier (``fences.skipped_sync``); the refinement runs *on top of* the base
+analysis and contributes nothing when it is capped.
+
 Two frontends build the conflict graph: :func:`graph_from_litmus` (each
 litmus thread is a thread; locations are exact) and
 :func:`graph_from_module` (thread roots are ``main``-like entries plus
@@ -91,6 +100,9 @@ class Access:
     func: str = ""
     block: str = ""
     index: int = -1
+    #: must-held lock keys at this access (repro.analysis.sync); empty when
+    #: unknown, which is the sound direction for the sync refinement
+    locks: frozenset = frozenset()
 
 
 @dataclass(eq=False)
@@ -115,6 +127,10 @@ class ConflictGraph:
     #: access uid -> conflicting access uids (symmetric, cross-thread)
     conflicts: dict[int, set[int]] = field(default_factory=dict)
     capped: bool = False
+    #: sync refinement: drop conflict edges between accesses whose
+    #: must-locksets intersect (they are ordered by the lock's RMW chain)
+    sync: bool = False
+    sync_dropped: int = 0
 
     def add_access(self, node: Access) -> None:
         self.accesses[node.uid] = node
@@ -133,9 +149,17 @@ class ConflictGraph:
                     continue
                 if a.kind == "R" and b.kind == "R":
                     continue
-                if _locs_overlap(a.locs, b.locs):
-                    self.conflicts[a.uid].add(b.uid)
-                    self.conflicts[b.uid].add(a.uid)
+                if not _locs_overlap(a.locs, b.locs):
+                    continue
+                if self.sync and (a.locks & b.locks):
+                    # Both sides hold a common lock at the access: mutual
+                    # exclusion plus the lock's sc RMW chain (ord3/ord4)
+                    # orders the pair, so it cannot lie on a critical
+                    # cycle (Chakraborty's sync-ordered conflict rule).
+                    self.sync_dropped += 1
+                    continue
+                self.conflicts[a.uid].add(b.uid)
+                self.conflicts[b.uid].add(a.uid)
 
 
 # -- location keys ----------------------------------------------------------
@@ -383,10 +407,39 @@ def _analyze_graph(graph: ConflictGraph, result: DelayAnalysis,
 # -- litmus frontend --------------------------------------------------------
 
 
-def graph_from_litmus(program: ev.Program) -> ConflictGraph:
+def litmus_locksets(program: ev.Program) -> list[list[frozenset]]:
+    """Per-thread, per-op must-held lock keys of a litmus program.
+
+    Threads are straight-line, so the lockset is a simple scan: a blocking
+    acquire RMW (``events.Lock``) adds its location, a blocking release
+    (``events.Unlock``) removes it.  The lock operations themselves carry
+    an empty lockset — their conflicts on the lock word *are* the
+    synchronization and must stay in the graph."""
+    out: list[list[frozenset]] = []
+    for ops in program.threads:
+        held: set[str] = set()
+        thread_sets: list[frozenset] = []
+        for op in ops:
+            if isinstance(op, ev.Rmw) and op.blocking:
+                thread_sets.append(frozenset())
+                if op.sync == "acquire":
+                    held.add(op.loc)
+                elif op.sync == "release":
+                    held.discard(op.loc)
+            else:
+                thread_sets.append(frozenset(("lit", loc) for loc in held))
+        out.append(thread_sets)
+    return out
+
+
+def graph_from_litmus(program: ev.Program,
+                      sync: bool = False) -> ConflictGraph:
     """Conflict graph of a LIMM-level litmus program (e.g. the image of
-    ``map_x86_to_ir``).  x86 ``mfence`` is treated as ``sc``."""
-    graph = ConflictGraph(nthreads=len(program.threads))
+    ``map_x86_to_ir``).  x86 ``mfence`` is treated as ``sc``.  With
+    ``sync=True``, conflict edges between accesses holding a common lock
+    (see :func:`litmus_locksets`) are dropped."""
+    graph = ConflictGraph(nthreads=len(program.threads), sync=sync)
+    locksets = litmus_locksets(program)
     uid = 0
     for t, ops in enumerate(program.threads):
         thread_nodes: list[int] = []
@@ -395,16 +448,19 @@ def graph_from_litmus(program: ev.Program) -> ConflictGraph:
                 ordering = "sc" if op.ordering == "sc" else "na"
                 graph.add_access(Access(
                     uid, t, "R", ordering, frozenset({("lit", op.loc)}),
-                    f"T{t}: Ld {op.loc}", inst=(t, idx), index=idx))
+                    f"T{t}: Ld {op.loc}", inst=(t, idx), index=idx,
+                    locks=locksets[t][idx]))
             elif isinstance(op, ev.St):
                 ordering = "sc" if op.ordering == "sc" else "na"
                 graph.add_access(Access(
                     uid, t, "W", ordering, frozenset({("lit", op.loc)}),
-                    f"T{t}: St {op.loc}", inst=(t, idx), index=idx))
+                    f"T{t}: St {op.loc}", inst=(t, idx), index=idx,
+                    locks=locksets[t][idx]))
             elif isinstance(op, ev.Rmw):
                 graph.add_access(Access(
                     uid, t, "RW", "sc", frozenset({("lit", op.loc)}),
-                    f"T{t}: RMW {op.loc}", inst=(t, idx), index=idx))
+                    f"T{t}: RMW {op.loc}", inst=(t, idx), index=idx,
+                    locks=locksets[t][idx]))
             elif isinstance(op, ev.Fence):
                 kind = "sc" if op.kind == "mfence" else op.kind
                 if kind not in ("rm", "ww", "sc"):
@@ -429,6 +485,7 @@ class LitmusDecision:
     kind: str
     verdict: str  # "required" | "redundant" | "kept"
     reason: str
+    tier: str = ""  # "delayset" | "sync" for redundant verdicts
 
 
 @dataclass
@@ -437,59 +494,93 @@ class LitmusDelayResult:
     elided: ev.Program
     analysis: DelayAnalysis
     decisions: list[LitmusDecision]
+    sync_analysis: Optional[DelayAnalysis] = None
 
     @property
     def elided_count(self) -> int:
         return sum(1 for d in self.decisions if d.verdict == "redundant")
 
     @property
+    def elided_sync_count(self) -> int:
+        return sum(1 for d in self.decisions
+                   if d.verdict == "redundant" and d.tier == "sync")
+
+    @property
     def required_count(self) -> int:
         return sum(1 for d in self.decisions if d.verdict == "required")
 
 
-def elide_litmus_fences(program: ev.Program) -> LitmusDelayResult:
+def elide_litmus_fences(program: ev.Program,
+                        sync: bool = False) -> LitmusDelayResult:
     """Classify and drop redundant Frm/Fww fences of a LIMM litmus
-    program.  ``sc`` fences are always kept (they encode source MFENCEs)."""
+    program.  ``sc`` fences are always kept (they encode source MFENCEs).
+
+    With ``sync=True`` a second, sync-refined analysis runs on top of the
+    base one: fences required by the base delay sets but redundant once
+    lock-ordered conflict edges are dropped are elided under the ``sync``
+    tier.  A capped/uncovered sync analysis contributes nothing (fences
+    fall back to the base verdict)."""
     graph = graph_from_litmus(program)
     analysis = analyze_graph(graph)
-    verdicts: dict[tuple[int, int], tuple[str, str]] = {}
+    sync_analysis: Optional[DelayAnalysis] = None
+    sync_redundant: set = set()  # (t, idx) inst keys
+    if sync:
+        sync_graph = graph_from_litmus(program, sync=True)
+        sync_analysis = analyze_graph(sync_graph)
+        if not sync_analysis.keep_all:
+            sync_redundant = {
+                f.inst for f_uid, f in sync_graph.fences.items()
+                if f.kind != "sc" and f_uid in sync_analysis.redundant
+            }
+    verdicts: dict[tuple[int, int], tuple[str, str, str]] = {}
     for f_uid, f in graph.fences.items():
         if f.kind == "sc":
-            verdicts[f.inst] = ("kept", "Fsc (source MFENCE) is never elided")
+            verdicts[f.inst] = (
+                "kept", "Fsc (source MFENCE) is never elided", "")
         elif analysis.keep_all:
             reason = ("analysis budget exhausted"
                       if analysis.capped else "uncovered delay edge")
-            verdicts[f.inst] = ("kept", f"kept conservatively: {reason}")
+            verdicts[f.inst] = ("kept", f"kept conservatively: {reason}", "")
         elif f_uid in analysis.required:
+            if f.inst in sync_redundant:
+                verdicts[f.inst] = (
+                    "redundant",
+                    "every conflict it orders is lock-protected "
+                    "(sync-refined delay sets)", "sync")
+                continue
             u_uid, v_uid = analysis.witness[f_uid]
             u, v = graph.accesses[u_uid], graph.accesses[v_uid]
             verdicts[f.inst] = (
                 "required",
                 f"covers delay edge {u.label} -> {v.label} "
-                "(on a critical cycle)")
+                "(on a critical cycle)", "")
         else:
             verdicts[f.inst] = (
-                "redundant", "covers no critical-cycle delay edge")
+                "redundant", "covers no critical-cycle delay edge",
+                "delayset")
     threads = []
     decisions = []
     for t, ops in enumerate(program.threads):
         kept_ops = []
         for idx, op in enumerate(ops):
             if isinstance(op, ev.Fence):
-                verdict, reason = verdicts.get(
-                    (t, idx), ("kept", "unclassified fence kept"))
+                verdict, reason, tier = verdicts.get(
+                    (t, idx), ("kept", "unclassified fence kept", ""))
                 decisions.append(LitmusDecision(
-                    t, idx, op.kind, verdict, reason))
+                    t, idx, op.kind, verdict, reason, tier=tier))
                 if verdict == "redundant":
                     continue
             kept_ops.append(op)
         threads.append(kept_ops)
     elided = ev.Program(threads, dict(program.init),
                         f"{program.name}-delayset")
-    return LitmusDelayResult(program, elided, analysis, decisions)
+    return LitmusDelayResult(program, elided, analysis, decisions,
+                             sync_analysis=sync_analysis)
 
 
-def check_litmus_elision(source: ev.Program) -> tuple[bool, "LitmusDelayResult"]:
+def check_litmus_elision(
+    source: ev.Program, sync: bool = False
+) -> tuple[bool, "LitmusDelayResult"]:
     """The enumeration gate: map an x86 litmus program through Fig. 8a,
     elide redundant fences, and prove by exhaustive LIMM enumeration that
     the elided program admits no outcome the x86 source forbids."""
@@ -497,7 +588,7 @@ def check_litmus_elision(source: ev.Program) -> tuple[bool, "LitmusDelayResult"]
     from ..memmodel.mappings import map_x86_to_ir
 
     mapped = map_x86_to_ir(source)
-    result = elide_litmus_fences(mapped)
+    result = elide_litmus_fences(mapped, sync=sync)
     allowed = outcomes(source, "x86")
     observed = outcomes(result.elided, "limm")
     return observed <= allowed, result
@@ -533,6 +624,7 @@ class FenceDecision:
     verdict: str  # "required" | "redundant" | "kept"
     reason: str
     x86: str = ""
+    tier: str = ""  # "delayset" | "sync" for redundant verdicts
 
 
 @dataclass
@@ -552,7 +644,8 @@ class ModuleDelayResult:
 
 
 def graph_from_module(module: Module,
-                      ma: Optional[ModuleAnalysis] = None) -> tuple[
+                      ma: Optional[ModuleAnalysis] = None,
+                      sync: bool = False) -> tuple[
                           ConflictGraph, list[str]]:
     """Build the whole-module conflict graph.
 
@@ -564,10 +657,18 @@ def graph_from_module(module: Module,
     a function composed with call structure (enter/exit virtual nodes).
     External calls are assumed memory-model-neutral (see module docstring
     Limitations) and contribute no access node.
+
+    With ``sync=True`` every access node carries the must-lockset the
+    :mod:`repro.analysis.sync` dataflow computed for its instruction, and
+    conflict edges between accesses holding a common lock are dropped.
     """
     ma = ma or analyze_module(module)
     cg = ma.callgraph
-    graph = ConflictGraph()
+    locks_at: dict[int, frozenset] = {}
+    if sync:
+        from .sync import compute_locksets
+        locks_at = compute_locksets(module, ma).at_instruction
+    graph = ConflictGraph(sync=sync)
     thread_names: list[str] = []
     roots: list[tuple[Function, int]] = []
     for root in cg.thread_roots():
@@ -617,7 +718,8 @@ def graph_from_module(module: Module,
                             _location_keys(inst, inst.pointer, func, alias),
                             f"{func.name}:{bb.name}:{idx} load",
                             inst=inst, func=func.name, block=bb.name,
-                            index=idx)
+                            index=idx, locks=locks_at.get(id(inst),
+                                                          frozenset()))
                         graph.add_access(node)
                     elif isinstance(inst, Store) and \
                             not alias.is_thread_local(inst.pointer):
@@ -627,7 +729,8 @@ def graph_from_module(module: Module,
                             _location_keys(inst, inst.pointer, func, alias),
                             f"{func.name}:{bb.name}:{idx} store",
                             inst=inst, func=func.name, block=bb.name,
-                            index=idx)
+                            index=idx, locks=locks_at.get(id(inst),
+                                                          frozenset()))
                         graph.add_access(node)
                     elif isinstance(inst, (AtomicRMW, CmpXchg)):
                         if not alias.is_thread_local(inst.pointer):
@@ -637,7 +740,8 @@ def graph_from_module(module: Module,
                                                alias),
                                 f"{func.name}:{bb.name}:{idx} rmw",
                                 inst=inst, func=func.name, block=bb.name,
-                                index=idx)
+                                index=idx, locks=locks_at.get(id(inst),
+                                                              frozenset()))
                             graph.add_access(node)
                     elif isinstance(inst, Fence):
                         node = FenceNode(
@@ -697,9 +801,9 @@ def graph_from_module(module: Module,
 
 
 def analyze_module_fences(module: Module,
-                          ma: Optional[ModuleAnalysis] = None
-                          ) -> ModuleDelayResult:
-    graph, thread_names = graph_from_module(module, ma)
+                          ma: Optional[ModuleAnalysis] = None,
+                          sync: bool = False) -> ModuleDelayResult:
+    graph, thread_names = graph_from_module(module, ma, sync=sync)
     analysis = analyze_graph(graph)
     result = ModuleDelayResult(graph, analysis, threads=thread_names)
     for f_uid, f in graph.fences.items():
@@ -721,11 +825,14 @@ class DelaySetStats:
     fences_before: int = 0
     required: int = 0
     elided: int = 0
+    elided_sync: int = 0       # of ``elided``: only via the sync refinement
     kept_sc: int = 0
     kept_conservative: int = 0
     delay_edges: int = 0
+    sync_dropped_conflicts: int = 0
     capped: bool = False
     kept_all: bool = False
+    sync: bool = False         # the sync refinement ran and was usable
     decisions: list[FenceDecision] = field(default_factory=list)
 
 
@@ -747,8 +854,8 @@ def _protected_access(fence_inst: Fence):
 
 def elide_redundant_fences(module: Module,
                            ma: Optional[ModuleAnalysis] = None,
-                           result: Optional[ModuleDelayResult] = None
-                           ) -> DelaySetStats:
+                           result: Optional[ModuleDelayResult] = None,
+                           sync: bool = False) -> DelaySetStats:
     """Remove every Frm/Fww the delay-set analysis proves redundant.
 
     Must run right after :func:`repro.fences.place_fences` (before the O2
@@ -756,12 +863,26 @@ def elide_redundant_fences(module: Module,
     the access it protects.  Each elided fence stamps its access with a
     ``delayset_cert`` so ``fencecheck`` (and the oracle's audit rung) can
     distinguish a certified elision from a lost fence.
+
+    With ``sync=True`` a second, lockset-refined analysis runs on top:
+    fences the base delay sets require but whose every ordered conflict is
+    lock-protected are elided under the ``sync`` tier
+    (``fences.skipped_sync``).  A capped or uncovered sync analysis
+    contributes nothing — fences keep their base verdict.
     """
     if result is None:
         result = analyze_module_fences(module, ma)
+    result_sync: Optional[ModuleDelayResult] = None
+    if sync and not result.keep_all:
+        candidate = analyze_module_fences(module, ma, sync=True)
+        if not candidate.keep_all:
+            result_sync = candidate
     stats = DelaySetStats(capped=result.analysis.capped,
                           kept_all=result.keep_all,
-                          delay_edges=len(result.analysis.delay_edges))
+                          delay_edges=len(result.analysis.delay_edges),
+                          sync=result_sync is not None)
+    if result_sync is not None:
+        stats.sync_dropped_conflicts = result_sync.graph.sync_dropped
     emit = telemetry.remarks_enabled()
     for func in module.functions.values():
         if func.is_declaration:
@@ -788,7 +909,18 @@ def elide_redundant_fences(module: Module,
                     where.reason = "unreachable from any thread root"
                     stats.decisions.append(where)
                     continue
-                if id(inst) in result.required_insts:
+                tier = ""
+                if id(inst) not in result.required_insts:
+                    tier = "delayset"
+                    reason = ("covers no critical-cycle delay edge "
+                              "(Shasha-Snir delay-set analysis)")
+                elif (result_sync is not None
+                        and id(inst) in result_sync.seen_insts
+                        and id(inst) not in result_sync.required_insts):
+                    tier = "sync"
+                    reason = ("every conflict it orders is lock-protected "
+                              "(sync-refined delay sets)")
+                if not tier:
                     stats.required += 1
                     u_label, v_label = result.witnesses[id(inst)]
                     where.verdict = "required"
@@ -806,13 +938,12 @@ def elide_redundant_fences(module: Module,
                 certs = set(getattr(access, "delayset_cert", ()))
                 certs.add(inst.kind)
                 access.delayset_cert = frozenset(certs)
-                reason = ("covers no critical-cycle delay edge "
-                          "(Shasha-Snir delay-set analysis)")
                 access.placement = tuple(getattr(access, "placement", ())) + (
                     f"elided: F{inst.kind} for this access is redundant — "
                     + reason,)
                 where.verdict = "redundant"
                 where.reason = reason
+                where.tier = tier
                 stats.decisions.append(where)
                 if emit:
                     telemetry.remark(
@@ -823,7 +954,11 @@ def elide_redundant_fences(module: Module,
                         x86=x86_location(inst) or "")
                 inst.erase_from_parent()
                 stats.elided += 1
-    telemetry.count("fences.skipped_delayset", stats.elided)
+                if tier == "sync":
+                    stats.elided_sync += 1
+    telemetry.count("fences.skipped_delayset",
+                    stats.elided - stats.elided_sync)
+    telemetry.count("fences.skipped_sync", stats.elided_sync)
     if stats.kept_all and emit:
         telemetry.remark(
             "delay-set", "analysis-capped",
@@ -834,13 +969,18 @@ def elide_redundant_fences(module: Module,
 
 
 def audit_module(module: Module,
-                 ma: Optional[ModuleAnalysis] = None) -> list[str]:
+                 ma: Optional[ModuleAnalysis] = None,
+                 sync: bool = False) -> list[str]:
     """Re-derive the delay-set facts from scratch and check every
     cycle-freeness certificate: a certified access must not start an
     uncovered enforceable delay edge.  Returns violation strings (empty =
     every certificate is justified).  Intended for the placement-stage
-    snapshot, where fences are still adjacent to their accesses."""
-    result = analyze_module_fences(module, ma)
+    snapshot, where fences are still adjacent to their accesses.
+
+    Pass ``sync=True`` when the module was elided under the sync tier —
+    the audit then re-derives the lockset-refined graph, whose delay
+    edges are a subset of the base analysis's."""
+    result = analyze_module_fences(module, ma, sync=sync)
     violations: list[str] = []
     if result.analysis.capped:
         certified = any(

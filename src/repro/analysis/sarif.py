@@ -51,6 +51,14 @@ _RULE_HELP = {
         "The fence is kept without classification: an sc fence (source "
         "MFENCE), a capped analysis, or a shape the elider does not "
         "rewrite."),
+    "racecheck/racy": (
+        "A non-atomic access conflicts with another thread's access and "
+        "no common must-held lock or sc ordering serialises the pair; "
+        "the Fig. 8a fences around it are load-bearing."),
+    "racecheck/lock-protected": (
+        "Every conflicting access shares a must-held pthread mutex with "
+        "this one, so the lock's sc RMW chain serialises every "
+        "observation (the fact the sync fence refinement exploits)."),
 }
 
 
@@ -70,13 +78,28 @@ def _location(artifact: str, function: str, block: str, index: int,
     }
 
 
-def _result(rule_id: str, level: str, message: str, location: dict) -> dict:
-    return {
+def _result(rule_id: str, level: str, message: str, location: dict,
+            related: list[dict] | None = None) -> dict:
+    result = {
         "ruleId": rule_id,
         "level": level,
         "message": {"text": message},
         "locations": [location],
     }
+    if related:
+        result["relatedLocations"] = related
+    return result
+
+
+def _x86_related(artifact: str, function: str, block: str, index: int,
+                 x86: str) -> list[dict]:
+    """``relatedLocations`` carrying the x86 provenance of the protected
+    access, so code-scanning UIs can point back at the source binary."""
+    if not x86:
+        return []
+    loc = _location(artifact, function, block, index, x86)
+    loc["message"] = {"text": f"protected access lifted from x86: {x86}"}
+    return [loc]
 
 
 def fencecheck_results(diags, artifact: str) -> list[dict]:
@@ -86,7 +109,9 @@ def fencecheck_results(diags, artifact: str) -> list[dict]:
         results.append(_result(
             f"fencecheck/{d.kind}", "error",
             f"{d.message} [{d.instruction}]",
-            _location(artifact, d.function, d.block, d.index, d.x86)))
+            _location(artifact, d.function, d.block, d.index, d.x86),
+            related=_x86_related(artifact, d.function, d.block, d.index,
+                                 d.x86)))
     return results
 
 
@@ -97,7 +122,28 @@ def delayset_results(decisions, artifact: str) -> list[dict]:
         results.append(_result(
             f"delayset/{d.verdict}", "note",
             f"F{d.kind} {d.verdict}: {d.reason}",
-            _location(artifact, d.func, d.block, d.index, d.x86)))
+            _location(artifact, d.func, d.block, d.index, d.x86),
+            related=_x86_related(artifact, d.func, d.block, d.index,
+                                 d.x86)))
+    return results
+
+
+def racecheck_results(diags, artifact: str) -> list[dict]:
+    """SARIF results for :class:`repro.analysis.racecheck.RaceDiag`.
+
+    Only ``racy`` (warning) and ``lock-protected`` (note) classifications
+    produce results; thread-local and atomic accesses are clean."""
+    results = []
+    for d in diags:
+        if d.classification not in ("racy", "lock-protected"):
+            continue
+        level = "warning" if d.classification == "racy" else "note"
+        results.append(_result(
+            f"racecheck/{d.classification}", level,
+            f"{d.message} [{d.instruction}]",
+            _location(artifact, d.function, d.block, d.index, d.x86),
+            related=_x86_related(artifact, d.function, d.block, d.index,
+                                 d.x86)))
     return results
 
 

@@ -1,0 +1,282 @@
+"""Must-lockset dataflow over pthread mutex synchronization.
+
+The delay-set tier (:mod:`repro.analysis.delayset`) and the race linter
+(:mod:`repro.analysis.racecheck`) both need the same fact: *which locks
+does this thread provably hold when it performs this memory access?*
+This module computes it as a classic forward must-dataflow on the
+generic RPO-worklist engine (:mod:`repro.analysis.dataflow`):
+
+* the state is the set of **must-held lock keys** (join = intersection,
+  with an unreachable ``TOP`` identity) paired with the **may-released**
+  set accumulated so far (join = union);
+* ``pthread_mutex_lock(&m)`` with a resolvable key adds it;
+  ``pthread_mutex_unlock(&m)`` removes it; ``pthread_mutex_trylock``
+  never adds (it may fail); an unlock of an *unresolvable* mutex clears
+  the whole state (it could release any held lock);
+* calls to defined functions apply a bottom-up **lock summary** —
+  the per-function (must-acquire, may-release) delta, computed over the
+  Tarjan SCC condensation exactly like the PR 5 escape summaries, with
+  recursive SCCs conservative (acquire nothing, may release anything);
+* calls we know nothing about (indirect calls, externals outside the
+  loader catalog) also clear the state — a callee could unlock any
+  mutex it can reach.
+
+Every approximation errs toward *smaller* locksets, which is the sound
+direction for both consumers: fewer sync-elided fences, more reported
+races.
+
+Lock identity is a syntactic must-key: the mutex operand peeled through
+``ptrtoint``/``inttoptr``/``bitcast`` casts and constant GEPs down to a
+global plus byte offset.  Anything else (a mutex behind a phi, in
+malloc'd memory, or computed in lifted register slots) yields no key and
+therefore never enlarges a lockset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lir import (
+    GEP,
+    AtomicRMW,
+    Call,
+    Cast,
+    CmpXchg,
+    ConstantInt,
+    ExternalFunction,
+    Function,
+    GlobalVariable,
+    Load,
+    Module,
+    Store,
+)
+from ..loader.externs import CATALOG, normalize_name
+from .callgraph import CallGraph, build_callgraph, tarjan_sccs
+from .dataflow import DataflowProblem, run_dataflow
+
+#: "may release any lock" — the conservative release set.
+ALL_LOCKS = ("<all-locks>",)
+
+MUTEX_ACQUIRE = frozenset({"pthread_mutex_lock"})
+MUTEX_RELEASE = frozenset({"pthread_mutex_unlock"})
+#: mutex calls with no effect on the must-lockset (trylock may fail;
+#: init/destroy must not be called on a held mutex anyway)
+MUTEX_NEUTRAL = frozenset({
+    "pthread_mutex_init", "pthread_mutex_destroy", "pthread_mutex_trylock",
+})
+MUTEX_FUNCTIONS = MUTEX_ACQUIRE | MUTEX_RELEASE | MUTEX_NEUTRAL
+
+
+def lock_key(value) -> Optional[tuple]:
+    """Must-identity of a mutex operand: ``("lock", global, offset)``, or
+    None when the operand does not syntactically resolve to a global.
+
+    Walks through pointer/integer casts (the minicc frontend passes
+    mutexes as ``ptrtoint``ed i64s) and constant GEPs.  A ``None`` key
+    acquires nothing and releases everything — the sound degradation.
+    """
+    offset = 0
+    for _ in range(64):
+        if isinstance(value, GlobalVariable):
+            return ("lock", value.name, offset)
+        if isinstance(value, Cast) and value.op in (
+                "bitcast", "ptrtoint", "inttoptr"):
+            value = value.value
+        elif isinstance(value, GEP):
+            element = (value.source_type.element
+                       if len(value.indices) == 2 else value.source_type)
+            scales = ([value.source_type.size_bytes(), element.size_bytes()]
+                      if len(value.indices) == 2
+                      else [value.source_type.size_bytes()])
+            for idx, scale in zip(value.indices, scales):
+                if not isinstance(idx, ConstantInt):
+                    return None
+                offset += idx.value * scale
+            value = value.pointer
+        else:
+            return None
+    return None
+
+
+def _extern_name(callee) -> str:
+    """Canonical catalog name of an external callee (strips the loader's
+    ``@addr`` disambiguation and glibc decoration)."""
+    return normalize_name(callee.name.split("@", 1)[0])
+
+
+@dataclass(frozen=True)
+class LockSummary:
+    """Net effect of calling a function on the caller's must-lockset:
+    ``held' = (held - releases) | acquires``."""
+
+    acquires: frozenset = frozenset()
+    #: may-release set, or ALL_LOCKS when any lock may be released
+    releases: object = frozenset()
+    conservative: bool = False
+
+    def apply(self, held: frozenset) -> frozenset:
+        if self.releases is ALL_LOCKS:
+            return frozenset(self.acquires)
+        return (held - self.releases) | self.acquires
+
+
+#: recursive SCCs, opaque calls: acquire nothing, may release anything
+CONSERVATIVE_LOCK_SUMMARY = LockSummary(
+    frozenset(), ALL_LOCKS, conservative=True)
+
+
+# State: (must_held, may_released) — None encodes the unreachable TOP.
+_State = Optional[tuple[frozenset, object]]
+
+
+def _join_released(a: object, b: object) -> object:
+    if a is ALL_LOCKS or b is ALL_LOCKS:
+        return ALL_LOCKS
+    return a | b
+
+
+class _LocksetProblem(DataflowProblem):
+    """Forward must-held / may-released lockset problem for one function."""
+
+    direction = "forward"
+
+    def __init__(self, summaries: dict[str, LockSummary]) -> None:
+        self.summaries = summaries
+
+    def top(self, func: Function) -> _State:
+        return None  # unreachable: identity of join
+
+    def boundary(self, func: Function) -> _State:
+        return (frozenset(), frozenset())
+
+    def join(self, a: _State, b: _State) -> _State:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return (a[0] & b[0], _join_released(a[1], b[1]))
+
+    def transfer(self, block, state: _State) -> _State:
+        if state is None:
+            return None
+        held, released = state
+        for inst in block.instructions:
+            held, released = transfer_instruction(
+                inst, held, released, self.summaries)
+        return (held, released)
+
+
+def transfer_instruction(inst, held: frozenset, released: object,
+                         summaries: dict[str, LockSummary]
+                         ) -> tuple[frozenset, object]:
+    """The per-instruction lockset transfer (shared with the per-access
+    walk so both always agree)."""
+    if not isinstance(inst, Call):
+        return held, released
+    callee = inst.callee
+    if isinstance(callee, Function) and not callee.is_declaration:
+        summary = summaries.get(callee.name, CONSERVATIVE_LOCK_SUMMARY)
+        return summary.apply(held), _join_released(released,
+                                                   summary.releases)
+    if isinstance(callee, (ExternalFunction, Function)):
+        name = _extern_name(callee)
+        if name in MUTEX_ACQUIRE:
+            key = lock_key(inst.args[0]) if inst.args else None
+            if key is not None:
+                return held | {key}, released
+            return held, released  # unknown lock: holds *something* unnamed
+        if name in MUTEX_RELEASE:
+            key = lock_key(inst.args[0]) if inst.args else None
+            if key is not None:
+                return held - {key}, _join_released(released,
+                                                    frozenset({key}))
+            return frozenset(), ALL_LOCKS  # could release any held lock
+        if name in MUTEX_NEUTRAL:
+            return held, released
+        if name in CATALOG:
+            return held, released  # catalogued externals touch no mutex
+    # Indirect call or unknown external: it may unlock anything.
+    return frozenset(), ALL_LOCKS
+
+
+def _function_summary(func: Function, result) -> LockSummary:
+    """Collapse a solved lockset fixpoint into the callable delta."""
+    exit_states = [
+        result.block_out(bb) for bb in func.blocks if not bb.successors()
+    ]
+    exit_states = [s for s in exit_states if s is not None]
+    if not exit_states:
+        # Never returns (or no reachable exit): callers resume nowhere.
+        return LockSummary(frozenset(), frozenset())
+    acquires = frozenset.intersection(*[s[0] for s in exit_states])
+    releases: object = frozenset()
+    for s in exit_states:
+        releases = _join_released(releases, s[1])
+    return LockSummary(acquires, releases)
+
+
+@dataclass
+class ModuleLocksets:
+    """Module-wide lockset facts: per-function summaries plus the
+    must-lockset in force at every memory access instruction."""
+
+    summaries: dict[str, LockSummary] = field(default_factory=dict)
+    #: id(instruction) -> must-held lock keys right before the access
+    at_instruction: dict[int, frozenset] = field(default_factory=dict)
+    #: lock keys seen anywhere in the module (diagnostic)
+    locks_seen: set = field(default_factory=set)
+
+    def locks_for(self, inst) -> frozenset:
+        return self.at_instruction.get(id(inst), frozenset())
+
+
+def compute_locksets(module: Module,
+                     ma: Optional[object] = None,
+                     callgraph: Optional[CallGraph] = None) -> ModuleLocksets:
+    """Solve the lockset problem for every defined function, bottom-up
+    over the SCC condensation, and record the must-lockset at each memory
+    access (Load/Store/AtomicRMW/CmpXchg).
+
+    ``ma`` may be a :class:`repro.analysis.summaries.ModuleAnalysis`
+    (its call graph is reused); otherwise one is built here.
+    """
+    if callgraph is None:
+        callgraph = getattr(ma, "callgraph", None) or build_callgraph(module)
+    out = ModuleLocksets()
+    solved: dict[str, object] = {}
+    for scc in tarjan_sccs(callgraph):
+        recursive = (len(scc) > 1
+                     or scc[0] in callgraph.callees.get(scc[0], ()))
+        if recursive:
+            # Conservative: members acquire nothing, may release anything.
+            for name in scc:
+                out.summaries[name] = CONSERVATIVE_LOCK_SUMMARY
+            for name in scc:
+                func = module.functions[name]
+                solved[name] = run_dataflow(
+                    func, _LocksetProblem(out.summaries))
+            continue
+        name = scc[0]
+        func = module.functions[name]
+        result = run_dataflow(func, _LocksetProblem(out.summaries))
+        solved[name] = result
+        out.summaries[name] = _function_summary(func, result)
+    # Per-access locksets: replay each block from its fixpoint in-state.
+    for func in module.functions.values():
+        if func.is_declaration or func.name not in solved:
+            continue
+        result = solved[func.name]
+        for bb in func.blocks:
+            state = result.block_in(bb)
+            if state is None:
+                continue  # unreachable block
+            held, released = state
+            for inst in bb.instructions:
+                if isinstance(inst, (Load, Store, AtomicRMW, CmpXchg)):
+                    if held:
+                        out.at_instruction[id(inst)] = frozenset(held)
+                        out.locks_seen |= held
+                held, released = transfer_instruction(
+                    inst, held, released, out.summaries)
+    return out

@@ -16,6 +16,7 @@ import struct
 from typing import Callable, Optional
 
 from .. import telemetry
+from ..loader.externs import RETRY
 from .costs import cost_of
 from .isa import AImm, AInstr, AMem, DReg, XReg
 from .program import DATA_BASE, ArmProgram
@@ -334,7 +335,11 @@ class ArmEmulator:
                     raise ArmEmuError(
                         f"call to external {name!r} has no runtime handler "
                         f"(opaque/uncatalogued function)")
-                handler(thread)
+                if handler(thread) == RETRY:
+                    # Blocking call (mutex lock, join): leave pc on the bl
+                    # so the scheduler re-executes it after other threads
+                    # get to run.
+                    return
             else:
                 thread.x["x30"] = next_pc
                 next_pc = target

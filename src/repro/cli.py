@@ -181,6 +181,9 @@ def _translate_and_check(args: argparse.Namespace, source, obj) -> int:
         print(f"delay-sets: {ds.fences_before} fences after placement, "
               f"{ds.required} required, {ds.elided} elided, "
               f"{ds.kept_sc} sc kept"
+              + (f", {ds.elided_sync} via sync refinement "
+                 f"({ds.sync_dropped_conflicts} lock-ordered conflict "
+                 "edge(s) dropped)" if ds.sync else "")
               + (" (capped: kept all)" if ds.kept_all else ""),
               file=sys.stderr)
     if args.dump_arm:
@@ -366,18 +369,22 @@ def _litmus_delay_gate(args: argparse.Namespace) -> int:
         programs = list(mm.X86_SOURCE_CORPUS)
 
     rc = 0
-    total_elided = total_required = 0
+    total_elided = total_required = total_sync = 0
     for program in programs:
         if not mm.is_x86_source(program):
             print(f"{program.name}: skipped (not pure x86 source: has "
                   "non-plain orderings or non-MFENCE fences)")
             continue
-        sound, result = check_litmus_elision(program)
+        sound, result = check_litmus_elision(program, sync=args.sync)
         total_elided += result.elided_count
         total_required += result.required_count
+        sync_count = result.elided_sync_count if args.sync else 0
+        total_sync += sync_count
         marker = "ok" if sound else "UNSOUND"
         print(f"{result.elided.name}: {result.required_count} required, "
-              f"{result.elided_count} elided -> {marker}")
+              f"{result.elided_count} elided"
+              + (f" ({sync_count} via sync)" if args.sync else "")
+              + f" -> {marker}")
         if args.verbose:
             for d in result.decisions:
                 print(f"  T{d.thread}[{d.index}] F{d.kind}: "
@@ -385,7 +392,9 @@ def _litmus_delay_gate(args: argparse.Namespace) -> int:
         if not sound:
             rc = 1
     print(f"delay-set gate: {total_required} fences required, "
-          f"{total_elided} elided across {len(programs)} program(s); "
+          f"{total_elided} elided"
+          + (f" ({total_sync} via sync refinement)" if args.sync else "")
+          + f" across {len(programs)} program(s); "
           + ("all elisions sound" if rc == 0 else "UNSOUND ELISION FOUND"))
     return rc
 
@@ -462,21 +471,27 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     source = _read_source(args.source)
     if source is None:
         return 2
-    if args.delay_sets and args.config == "native":
-        print("repro analyze: --delay-sets needs a translated config "
+    if (args.delay_sets or args.sync) and args.config == "native":
+        print("repro analyze: --delay-sets/--sync need a translated config "
               "(the native pipeline places no fences)", file=sys.stderr)
         return 2
-    fence_analysis = "delay-sets" if args.delay_sets else "escape"
+    if args.sync:
+        fence_analysis = "sync"
+    elif args.delay_sets:
+        fence_analysis = "delay-sets"
+    else:
+        fence_analysis = "escape"
     lasagne = Lasagne(verify=not args.no_verify,
                       fence_analysis=fence_analysis
                       if args.config != "native" else "escape")
     built = lasagne.build(source, args.config)
     module = built.module
 
-    # With no mode flag, print every report (--delay-sets is opt-in: it
-    # changes which pipeline ran, not just what is printed).
+    # With no mode flag, print every report (--delay-sets/--sync and
+    # --racecheck are opt-in: the former change which pipeline ran, the
+    # latter runs an extra whole-module classification).
     all_modes = not (args.fencecheck or args.escape or args.aliases
-                     or args.delay_sets)
+                     or args.delay_sets or args.sync or args.racecheck)
 
     if args.json:
         return _analyze_json(args, built, module, all_modes)
@@ -523,7 +538,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if diags:
             rc = 1
 
-    if args.delay_sets:
+    if args.delay_sets or args.sync:
         ds = built.delayset
         print(f"== delay-set analysis ({args.config}) ==")
         if ds is None:
@@ -536,18 +551,42 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                   f"{ds.required} required, {ds.elided} elided, "
                   f"{ds.kept_sc} sc kept, "
                   f"{ds.delay_edges} delay edge(s)"
+                  + (f", {ds.elided_sync} via sync refinement "
+                     f"({ds.sync_dropped_conflicts} lock-ordered conflict "
+                     "edge(s) dropped)" if ds.sync else "")
                   + (" (capped: kept all)" if ds.kept_all else ""))
 
+    race = None
+    if args.racecheck:
+        from .analysis.racecheck import classify_module
+
+        # Classify the *refined* module: lock addresses only resolve
+        # syntactically after pointer refinement, so earlier configs
+        # under-report protection (never races — the sound direction).
+        race = classify_module(module)
+        print(f"== racecheck ({args.config}) ==")
+        for d in race.diags:
+            print(f"  {d}")
+        print("racecheck: "
+              + ", ".join(f"{race.count(c)} {c}"
+                          for c in ("racy", "lock-protected", "atomic",
+                                    "thread-local"))
+              + (f"; locks seen: {', '.join(race.locks_seen)}"
+                 if race.locks_seen else "")
+              + (" (capped: conflict graph incomplete)"
+                 if race.capped else ""))
+
     if args.sarif:
-        _write_analysis_sarif(args, diags, built.delayset)
+        _write_analysis_sarif(args, diags, built.delayset, race)
     return rc
 
 
 def _write_analysis_sarif(args: argparse.Namespace, diags,
-                          delayset) -> None:
+                          delayset, race=None) -> None:
     from .analysis.sarif import (
         delayset_results,
         fencecheck_results,
+        racecheck_results,
         write_sarif,
     )
 
@@ -556,6 +595,8 @@ def _write_analysis_sarif(args: argparse.Namespace, diags,
         results += fencecheck_results(diags, args.source)
     if delayset is not None:
         results += delayset_results(delayset.decisions, args.source)
+    if race is not None:
+        results += racecheck_results(race.diags, args.source)
     path = write_sarif(args.sarif, results)
     print(f"SARIF report ({len(results)} result(s)) written to {path}",
           file=sys.stderr)
@@ -612,12 +653,15 @@ def _analyze_json(args: argparse.Namespace, built, module,
         if diags:
             rc = 1
 
-    if args.delay_sets and built.delayset is not None:
+    if (args.delay_sets or args.sync) and built.delayset is not None:
         ds = built.delayset
         report["delayset"] = {
             "fences_before": ds.fences_before,
             "required": ds.required,
             "elided": ds.elided,
+            "elided_sync": ds.elided_sync,
+            "sync": ds.sync,
+            "sync_dropped_conflicts": ds.sync_dropped_conflicts,
             "kept_sc": ds.kept_sc,
             "kept_conservative": ds.kept_conservative,
             "delay_edges": ds.delay_edges,
@@ -626,13 +670,25 @@ def _analyze_json(args: argparse.Namespace, built, module,
             "decisions": [
                 {"function": d.func, "block": d.block, "index": d.index,
                  "kind": d.kind, "verdict": d.verdict, "reason": d.reason,
-                 "x86": d.x86}
+                 "tier": d.tier, "x86": d.x86}
                 for d in ds.decisions
             ],
         }
 
+    race = None
+    if args.racecheck:
+        from .analysis.racecheck import classify_module
+
+        race = classify_module(module)
+        report["racecheck"] = {
+            "counts": race.counts,
+            "capped": race.capped,
+            "locks_seen": list(race.locks_seen),
+            "diagnostics": [d.to_dict() for d in race.diags],
+        }
+
     if args.sarif:
-        _write_analysis_sarif(args, diags, built.delayset)
+        _write_analysis_sarif(args, diags, built.delayset, race)
 
     print(json.dumps(report, indent=2))
     return rc
@@ -868,10 +924,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--config", default="ppopt",
                    choices=["native", "lifted", "opt", "popt", "ppopt"])
     p.add_argument("--fence-analysis", default="escape",
-                   choices=["walk", "escape", "delay-sets"],
+                   choices=["walk", "escape", "delay-sets", "sync"],
                    help="fence-elision tier: syntactic walk, "
-                        "interprocedural escape analysis (default), or "
-                        "escape + Shasha-Snir delay-set elision")
+                        "interprocedural escape analysis (default), "
+                        "escape + Shasha-Snir delay-set elision, or "
+                        "delay sets refined by pthread must-locksets")
     p.add_argument("--run", action="store_true")
     p.add_argument("--dump-arm", action="store_true")
     p.add_argument("--dump-ir", action="store_true")
@@ -918,6 +975,12 @@ def main(argv: list[str] | None = None) -> int:
                         "weak behaviour appears (exit 1 if one does); "
                         "runs the whole pure-x86 corpus when no test is "
                         "named")
+    p.add_argument("--sync", action="store_true",
+                   help="with --delay-sets, also run the lockset (sync) "
+                        "refinement: conflict edges between accesses "
+                        "holding a common lock are dropped before the "
+                        "cycle search, and the extra elisions face the "
+                        "same enumeration soundness check")
     p.add_argument("--verbose", action="store_true",
                    help="with --delay-sets, print per-fence verdicts")
     p.set_defaults(func=_cmd_litmus)
@@ -940,9 +1003,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--threads", action="store_true",
                    help="include commutative atomic-counter thread programs")
     p.add_argument("--fence-analysis", default="escape",
-                   choices=["walk", "escape", "delay-sets"],
+                   choices=["walk", "escape", "delay-sets", "sync"],
                    help="fence-elision tier for the translated rungs; "
-                        "delay-sets adds the certificate-audit static rung")
+                        "delay-sets (or sync) adds the certificate-audit "
+                        "static rung")
     p.add_argument("--no-native", action="store_true",
                    help="skip the native-config Arm rung")
     p.add_argument("--no-verify", action="store_true")
@@ -967,9 +1031,18 @@ def main(argv: list[str] | None = None) -> int:
                    help="run the pipeline with the delay-set elision tier "
                         "and print every per-fence required/redundant "
                         "verdict with its critical-cycle witness")
+    p.add_argument("--sync", action="store_true",
+                   help="like --delay-sets but with the lockset (sync) "
+                        "refinement on top: conflict edges between "
+                        "accesses holding a common pthread mutex are "
+                        "dropped before the cycle search")
+    p.add_argument("--racecheck", action="store_true",
+                   help="classify every shared access as racy / "
+                        "lock-protected / atomic / thread-local via the "
+                        "static happens-before analysis")
     p.add_argument("--sarif", default=None, metavar="FILE",
-                   help="also write the fencecheck/delay-set findings as "
-                        "a SARIF 2.1.0 report")
+                   help="also write the fencecheck/delay-set/racecheck "
+                        "findings as a SARIF 2.1.0 report")
     p.add_argument("--json", action="store_true",
                    help="emit the selected reports as JSON on stdout")
     p.add_argument("--no-verify", action="store_true")

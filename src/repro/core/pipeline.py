@@ -44,7 +44,10 @@ CONFIGS = ["native", "lifted", "opt", "popt", "ppopt"]
 # * "escape"     — interprocedural points-to/escape analysis (default)
 # * "delay-sets" — escape analysis + Shasha–Snir delay-set elision of
 #                  fences covering no critical-cycle edge
-FENCE_ANALYSES = ["walk", "escape", "delay-sets"]
+# * "sync"       — delay sets refined by must-locksets: conflict edges
+#                  between accesses protected by a common pthread mutex
+#                  cannot lie on critical cycles
+FENCE_ANALYSES = ["walk", "escape", "delay-sets", "sync"]
 
 # Stage names recorded by ``Lasagne(capture_stages=True)``, in pipeline order.
 TRANSLATE_STAGES = ["lift", "refine", "place", "opt", "merge"]
@@ -93,6 +96,7 @@ class TranslationResult:
     fences_elided_beyond_walk: int = 0  # of those, only via escape analysis
     fences_elided_interproc: int = 0    # of those, only via callee summaries
     fences_elided_delayset: int = 0     # fences removed by delay-set tier
+    fences_elided_sync: int = 0         # of the elided, via lockset refinement
     delayset: Optional[object] = None   # DelaySetStats when the tier ran
     pointer_casts_before: int = 0
     pointer_casts_after: int = 0
@@ -228,11 +232,12 @@ class Lasagne:
                     module, use_analysis=self.fence_analysis != "walk")
                 fences_naive = count_fences(module)
                 delay_stats = None
-                if self.fence_analysis == "delay-sets":
+                if self.fence_analysis in ("delay-sets", "sync"):
                     # Runs while every fence is still adjacent to the
                     # access it protects (before O2 / merging).
                     from ..analysis.delayset import elide_redundant_fences
-                    delay_stats = elide_redundant_fences(module)
+                    delay_stats = elide_redundant_fences(
+                        module, sync=self.fence_analysis == "sync")
             self._capture(stages, "place", module)
             stats = None
             if config != "lifted":
@@ -258,6 +263,8 @@ class Lasagne:
             fences_elided_interproc=placement.skipped_interproc,
             fences_elided_delayset=(delay_stats.elided
                                     if delay_stats is not None else 0),
+            fences_elided_sync=(delay_stats.elided_sync
+                                if delay_stats is not None else 0),
             delayset=delay_stats,
             pointer_casts_before=casts_before,
             pointer_casts_after=casts_after,

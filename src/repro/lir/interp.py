@@ -87,6 +87,7 @@ class Thread:
         self.stack_ptr = stack_top
         self.done = False
         self.result: object = None
+        self.blocked = False  # waiting on a mutex (not runnable)
 
     @property
     def frame(self) -> Frame:
@@ -118,6 +119,8 @@ class Interpreter:
             "abort": self._ext_abort,
             "thread_id": self._ext_thread_id,
             "sqrt": self._ext_sqrt,
+            "pthread_mutex_lock": self._ext_mutex_lock,
+            "pthread_mutex_unlock": self._ext_mutex_unlock,
         }
         self._layout_globals()
         self._layout_functions()
@@ -517,6 +520,39 @@ class Interpreter:
 
     def _ext_sqrt(self, thread: Thread, args: list[object]) -> float:
         return float(args[0]) ** 0.5
+
+    # Mutexes use the pthread lock-word convention shared with the machine
+    # emulators: first 8 bytes of the mutex, 0 = unlocked, 1 = held.
+    def _ext_mutex_lock(self, thread: Thread, args: list[object]) -> int:
+        addr = int(args[0])
+        self._check_range(addr, 8)
+        thread.blocked = True
+        try:
+            while int.from_bytes(self.memory[addr:addr + 8], "little") != 0:
+                # Cooperative block (mirrors _ext_join): run the other
+                # runnable threads until the holder releases the lock.
+                progressed = False
+                for t in list(self.threads):
+                    if t is thread or t.done or t.blocked:
+                        continue
+                    progressed = True
+                    for _ in range(self.quantum):
+                        if t.done:
+                            break
+                        self._step(t)
+                if not progressed:
+                    raise InterpError(
+                        "deadlock: mutex held and no runnable thread")
+        finally:
+            thread.blocked = False
+        self.memory[addr:addr + 8] = (1).to_bytes(8, "little")
+        return 0
+
+    def _ext_mutex_unlock(self, thread: Thread, args: list[object]) -> int:
+        addr = int(args[0])
+        self._check_range(addr, 8)
+        self.memory[addr:addr + 8] = (0).to_bytes(8, "little")
+        return 0
 
 
 # ---- pure helpers ------------------------------------------------------

@@ -84,8 +84,19 @@ CATALOG: dict[str, CatalogEntry] = dict([
     _e("printf", 3, kind="io", reads=(0, 1, 2)),
     _e("exit", 1, ret="void", kind="control", noreturn=True),
     _e("abort", 0, ret="void", kind="control", noreturn=True),
-    _e("pthread_create", 4, kind="thread", writes=(0,), escapes=(3,)),
+    # Both the start routine (arg 2) and its argument (arg 3) escape: the
+    # spawned thread calls one with the other, so anything reachable from
+    # either outlives the call and is shared across threads.
+    _e("pthread_create", 4, kind="thread", writes=(0,), escapes=(2, 3)),
     _e("pthread_join", 2, kind="thread", writes=(1,)),
+    # Mutexes: the lock word is the first 8 bytes of the pthread_mutex_t
+    # (0 = unlocked, 1 = held).  pthread_mutex_trylock is deliberately
+    # *not* catalogued: it stays an opaque external, so neither the
+    # lockset analysis (it may fail) nor the emulators assume anything.
+    _e("pthread_mutex_init", 2, kind="thread", writes=(0,)),
+    _e("pthread_mutex_lock", 1, kind="thread", reads=(0,), writes=(0,)),
+    _e("pthread_mutex_unlock", 1, kind="thread", reads=(0,), writes=(0,)),
+    _e("pthread_mutex_destroy", 1, kind="thread", writes=(0,)),
 ])
 
 #: Decorated names that prefix-stripping alone cannot recover.
@@ -406,6 +417,28 @@ def _h_pthread_create(env: ExternEnv):
     env.set_ret(0)
 
 
+def _h_pthread_mutex_init(env: ExternEnv):
+    env.write(env.arg(0), (0).to_bytes(8, "little"))
+    env.set_ret(0)
+
+
+def _h_pthread_mutex_lock(env: ExternEnv):
+    addr = env.arg(0)
+    if int.from_bytes(env.read(addr, 8), "little") != 0:
+        return RETRY  # held: re-execute the call after a scheduling step
+    env.write(addr, (1).to_bytes(8, "little"))
+    env.set_ret(0)
+
+
+def _h_pthread_mutex_unlock(env: ExternEnv):
+    env.write(env.arg(0), (0).to_bytes(8, "little"))
+    env.set_ret(0)
+
+
+def _h_pthread_mutex_destroy(env: ExternEnv):
+    env.set_ret(0)
+
+
 def _h_pthread_join(env: ExternEnv):
     result = env.join(env.arg(0))
     if result == RETRY:
@@ -436,6 +469,10 @@ HANDLERS = {
     "abort": _h_abort,
     "pthread_create": _h_pthread_create,
     "pthread_join": _h_pthread_join,
+    "pthread_mutex_init": _h_pthread_mutex_init,
+    "pthread_mutex_lock": _h_pthread_mutex_lock,
+    "pthread_mutex_unlock": _h_pthread_mutex_unlock,
+    "pthread_mutex_destroy": _h_pthread_mutex_destroy,
 }
 
 

@@ -65,7 +65,9 @@ def _build_events(
                 )
                 thread_eids.append(eid)
             elif isinstance(op, Rmw):
-                success = next(rmw_iter)
+                # Blocking RMWs (Lock/Unlock) always succeed: the failing
+                # reads are spin iterations of the same op, not behaviours.
+                success = True if op.blocking else next(rmw_iter)
                 r_eid = add(
                     Event(
                         eid=len(events), tid=tid, kind="R", loc=op.loc,
@@ -103,8 +105,13 @@ def _build_events(
 
 
 def _count_rmws(program: Program) -> int:
+    """Number of RMWs with a free success/fail choice (blocking ones are
+    forced to succeed and consume no enumeration bit)."""
     return sum(
-        1 for thread in program.threads for op in thread if isinstance(op, Rmw)
+        1
+        for thread in program.threads
+        for op in thread
+        if isinstance(op, Rmw) and not op.blocking
     )
 
 
@@ -131,7 +138,7 @@ def _enumerate_rf_co(program, events, po, rmw_success):
     for tid, thread in enumerate(program.threads, start=1):
         for op_index, op in enumerate(thread):
             if isinstance(op, Rmw):
-                success = next(rmw_iter)
+                success = True if op.blocking else next(rmw_iter)
                 r = next(
                     e for e in events
                     if e.tid == tid and e.op_index == op_index and e.is_read

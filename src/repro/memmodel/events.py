@@ -50,6 +50,32 @@ class Rmw:
     expect: int
     new: int
     reg: str = ""  # optional register receiving the read value
+    # A *blocking* RMW models a synchronization primitive that retries until
+    # it succeeds (a spinlock acquire/release): enumeration only considers
+    # executions where it succeeds — the failed attempts are spin iterations
+    # of the same operation, not distinct behaviours.
+    blocking: bool = False
+    sync: str = ""  # "acquire" / "release" for lock operations, else ""
+
+
+def Lock(loc: str) -> Rmw:
+    """A spinlock acquire: a blocking CAS(0 -> 1) on ``loc``.
+
+    Both halves are sc events, so LIMM's ord3/ord4 order every po-earlier
+    and po-later access across the lock — which is what makes sync-based
+    fence elision between Lock/Unlock sound (see docs/analysis.md §6).
+    """
+    return Rmw(loc, 0, 1, blocking=True, sync="acquire")
+
+
+def Unlock(loc: str) -> Rmw:
+    """A spinlock release: a blocking RMW(1 -> 0) on ``loc``.
+
+    Modeled as an RMW rather than a plain store: a plain-store unlock would
+    let LIMM delay a protected plain read past the releasing store, which is
+    observable (and unsound) once another thread acquires the lock.
+    """
+    return Rmw(loc, 1, 0, blocking=True, sync="release")
 
 
 @dataclass(frozen=True)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from .events import Fence, Ld, Program, Reg, Rmw, St
+from .events import Fence, Ld, Lock, Program, Reg, Rmw, St, Unlock
 
 # Figure 1 (SB): non-SC outcome a=b=0 allowed in both x86 and Arm.
 SB = Program(
@@ -226,6 +226,72 @@ EXTENDED_LITMUS = [
     TWO_PLUS_TWO_W,
 ]
 ALL_LITMUS = ALL_LITMUS + EXTENDED_LITMUS
+
+
+# ---- lock-based battery ----------------------------------------------------
+#
+# Lock/Unlock are blocking sc RMWs (see events.Lock): mutual exclusion plus
+# full LIMM ordering across the critical-section boundary.  These programs
+# exercise the sync refinement of the delay-set analysis: conflict edges
+# between accesses whose must-locksets intersect cannot be part of a
+# critical cycle, so the interior Frm/Fww fences of a protected section are
+# provably redundant — which the enumeration gate then re-verifies.
+
+# MP with both threads inside the same critical section: every interior
+# fence is redundant once sync is taken into account.
+MP_LOCKED = Program(
+    name="MP+locks",
+    threads=[
+        [Lock("L"), St("X", 1), St("Y", 1), Unlock("L")],
+        [Lock("L"), Ld("Y", "a"), Ld("X", "b"), Unlock("L")],
+    ],
+)
+
+# SB under a common lock: the a=b=0 weak outcome is already excluded by
+# mutual exclusion, and the interior fences are sync-redundant.
+SB_LOCKED = Program(
+    name="SB+locks",
+    threads=[
+        [Lock("L"), St("X", 1), Ld("Y", "a"), Unlock("L")],
+        [Lock("L"), St("Y", 1), Ld("X", "b"), Unlock("L")],
+    ],
+)
+
+# MP where only the writer locks: the reader races, the locksets do not
+# intersect on the conflicting pairs, and no sync elision may fire.
+MP_LOCKED_HALF = Program(
+    name="MP+lock+race",
+    threads=[
+        [Lock("L"), St("X", 1), St("Y", 1), Unlock("L")],
+        [Ld("Y", "a"), Ld("X", "b")],
+    ],
+)
+
+# MP under *different* locks: both threads synchronize, but never with each
+# other — must-locksets are disjoint, so the refinement must keep every
+# conflict edge (and the analysis must not elide the interior fences).
+MP_TWO_LOCKS = Program(
+    name="MP+2locks",
+    threads=[
+        [Lock("L1"), St("X", 1), St("Y", 1), Unlock("L1")],
+        [Lock("L2"), Ld("Y", "a"), Ld("X", "b"), Unlock("L2")],
+    ],
+)
+
+# Early unlock: X is protected, Y is accessed outside the critical section.
+# Only the X-side fences are sync-redundant.
+MP_EARLY_UNLOCK = Program(
+    name="MP+early-unlock",
+    threads=[
+        [Lock("L"), St("X", 1), Unlock("L"), St("Y", 1)],
+        [Ld("Y", "a"), Lock("L"), Ld("X", "b"), Unlock("L")],
+    ],
+)
+
+LOCK_LITMUS = [
+    MP_LOCKED, SB_LOCKED, MP_LOCKED_HALF, MP_TWO_LOCKS, MP_EARLY_UNLOCK,
+]
+ALL_LITMUS = ALL_LITMUS + LOCK_LITMUS
 
 
 def is_x86_source(program: Program) -> bool:

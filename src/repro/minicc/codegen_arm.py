@@ -42,7 +42,13 @@ from .astnodes import (
     VarRef,
     While,
 )
-from .codegen_x86 import EXTERNAL_NAMES, _count_decls
+from .codegen_x86 import (
+    EXTERNAL_NAMES,
+    MUTEX_EXTERNAL_NAMES,
+    _count_decls,
+    _stmt_exprs,
+    _walk_stmts,
+)
 from .parser import parse
 from .sema import SemaResult, analyze
 
@@ -95,6 +101,16 @@ class ArmCodeGen:
     def generate(self, entry: str = "main") -> ArmProgram:
         src = self.sema.program
         for name in sorted(EXTERNAL_NAMES.values()):
+            self.program.declare_external(name)
+        used_mutex = sorted({
+            MUTEX_EXTERNAL_NAMES[e.name]
+            for f in src.functions
+            for stmt in _walk_stmts(f.body)
+            for e in _stmt_exprs(stmt)
+            if isinstance(e, Call) and e.is_builtin
+            and e.name in MUTEX_EXTERNAL_NAMES
+        })
+        for name in used_mutex:
             self.program.declare_external(name)
         for g in src.globals:
             init = b""
@@ -588,7 +604,7 @@ class ArmCodeGen:
             self.emit("adr", XReg("x0"), ALabel(fn.name))
             self.emit("bl", ALabel(EXTERNAL_NAMES["spawn"]))
             return
-        external = EXTERNAL_NAMES[name]
+        external = MUTEX_EXTERNAL_NAMES.get(name) or EXTERNAL_NAMES[name]
         if expr.args:
             self._gen_expr(expr.args[0])
             # integer arg is already in x0, double in d0

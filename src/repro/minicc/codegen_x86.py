@@ -57,6 +57,14 @@ EXTERNAL_NAMES = {
     "thread_id": "thread_id",
 }
 
+# Mutex builtins lower to pthread calls.  Declared only when actually used
+# so the stub layout of lock-free programs is unchanged; the emulators
+# execute them through the loader's extern catalog.
+MUTEX_EXTERNAL_NAMES = {
+    "mutex_lock": "pthread_mutex_lock",
+    "mutex_unlock": "pthread_mutex_unlock",
+}
+
 
 class CodegenError(Exception):
     pass
@@ -236,6 +244,16 @@ class X86CodeGen:
         program = self.sema.program
         for name in sorted(EXTERNAL_NAMES.values()):
             self.asm.declare_external(name)
+        used_mutex = sorted({
+            MUTEX_EXTERNAL_NAMES[e.name]
+            for f in program.functions
+            for stmt in _walk_stmts(f.body)
+            for e in _stmt_exprs(stmt)
+            if isinstance(e, Call) and e.is_builtin
+            and e.name in MUTEX_EXTERNAL_NAMES
+        })
+        for name in used_mutex:
+            self.asm.declare_external(name)
         for g in program.globals:
             init = b""
             if g.init is not None:
@@ -251,7 +269,12 @@ class X86CodeGen:
             self.asm.add_global(sym, len(data), data)
         for func in program.functions:
             self._gen_function(func)
-        return self.asm.link(entry)
+        obj = self.asm.link(entry)
+        for name in used_mutex:
+            # Type the pthread calls for the lifter (one pointer arg,
+            # integer status return), matching the loader catalog.
+            obj.extern_sigs[name] = (1, 0, "i64")
+        return obj
 
     # ---- emission helpers ----------------------------------------------------
     def emit(self, mnemonic: str, *operands, lock: bool = False) -> None:
@@ -900,8 +923,9 @@ class X86CodeGen:
             self.emit("movabs", Reg("rdi"), Label(fn.name))
             self.emit("call", Label(EXTERNAL_NAMES["spawn"]))
             return
-        # Plain externals: join / malloc / print_i / print_f / thread_id.
-        external = EXTERNAL_NAMES[name]
+        # Plain externals: join / malloc / print_i / print_f / thread_id
+        # and the pthread mutex builtins.
+        external = MUTEX_EXTERNAL_NAMES.get(name) or EXTERNAL_NAMES[name]
         if expr.args:
             self._gen_expr(expr.args[0])
             if expr.args[0].ctype.is_double:

@@ -77,6 +77,8 @@ _EXTERNALS = {
     "print_f64": FunctionType(VOID, (F64,)),
     "thread_id": FunctionType(I64, ()),
     "sqrt": FunctionType(F64, (F64,)),
+    "pthread_mutex_lock": FunctionType(I64, (I64,)),
+    "pthread_mutex_unlock": FunctionType(I64, (I64,)),
 }
 
 
@@ -502,6 +504,10 @@ class LIRFrontend:
             p = self._gen_expr(expr.args[0])
             v = self._gen_expr(expr.args[1])
             return b.atomicrmw("xchg", p, v, "sc")
+        if name in ("mutex_lock", "mutex_unlock"):
+            p = self._gen_expr(expr.args[0])
+            extern = self._external(f"pthread_{name}")
+            return b.call(extern, [b.ptrtoint(p, I64)])
         if name == "atomic_cas":
             p = self._gen_expr(expr.args[0])
             old = self._gen_expr(expr.args[1])

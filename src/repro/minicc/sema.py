@@ -71,6 +71,10 @@ BUILTINS: dict[str, BuiltinSig] = {
     "atomic_cas": BuiltinSig("atomic_cas", INT, [CType("int", 1), INT, INT]),
     "atomic_xchg": BuiltinSig("atomic_xchg", INT, [CType("int", 1), INT]),
     "sqrt": BuiltinSig("sqrt", DOUBLE, [DOUBLE]),
+    # pthread mutexes: the argument is the lock word (int*, first 8 bytes
+    # of the mutex; 0 = unlocked, 1 = held).
+    "mutex_lock": BuiltinSig("mutex_lock", INT, [CType("int", 1)]),
+    "mutex_unlock": BuiltinSig("mutex_unlock", INT, [CType("int", 1)]),
 }
 
 

@@ -44,6 +44,19 @@ working tree uncommitted?) and are deduplicated by ``(sha, size)``
 keeping the newest; the regression gate of
 :mod:`repro.profiler.regression` ignores dirty entries.
 
+Schema v7 adds the synchronization dimension: the companion elision
+build now runs with ``--fence-analysis=sync`` (delay sets refined by the
+pthread must-lockset analysis), so every translated row records
+``fences_elided_delayset`` (total fences the delay-set machinery
+removed), ``fences_elided_sync`` (the subset only the lockset refinement
+could remove) and a ``racecheck`` pair (``racy`` /``lock_protected``
+access counts from the static happens-before classifier over the
+companion build's module).  Per-config summaries gain the matching
+``fences_elided_sync_total`` / ``racecheck_racy_total`` /
+``racecheck_lock_protected_total``, and the benched program set gains
+``locked`` (examples/locked.c) so the sync tier always has a non-zero
+data point.
+
 CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]
 [--compare [REF]]``.
 """
@@ -57,7 +70,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 6
+BENCH_VERSION = 7
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -89,11 +102,11 @@ def git_dirty() -> bool:
         return True
 
 
-def _demo_source() -> Optional[str]:
-    """examples/demo.c relative to the repo checkout, if present."""
-    demo = Path(__file__).resolve().parents[3] / "examples" / "demo.c"
+def _example_source(name: str) -> Optional[str]:
+    """An examples/ source relative to the repo checkout, if present."""
+    path = Path(__file__).resolve().parents[3] / "examples" / name
     try:
-        return demo.read_text()
+        return path.read_text()
     except OSError:
         return None
 
@@ -156,11 +169,16 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
     sizes = SIZE_TINY if size == "tiny" else SIZE_SMALL
     configs = list(configs or CONFIGS)
     lasagne = Lasagne(verify=verify)
-    delayset_lasagne = Lasagne(verify=False, fence_analysis="delay-sets")
+    # The companion elision build runs the full tier stack (delay sets +
+    # lockset/sync refinement) so one extra build yields both counters.
+    delayset_lasagne = Lasagne(verify=False, fence_analysis="sync")
     bench_programs = all_programs(sizes)
-    demo_src = _demo_source()
+    demo_src = _example_source("demo.c")
     if demo_src is not None:
         bench_programs.append(PhoenixProgram("demo", "DM", demo_src))
+    locked_src = _example_source("locked.c")
+    if locked_src is not None:
+        bench_programs.append(PhoenixProgram("locked", "LK", locked_src))
     programs: dict[str, dict[str, dict]] = {}
     config_work: dict[str, "workcounters.WorkCounters"] = {
         c: workcounters.WorkCounters() for c in configs}
@@ -202,11 +220,20 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 "peak_rss_bytes": peak,
             }
             if config != "native":
-                # Companion delay-set build: same program/config with the
-                # critical-cycle tier on, recorded for its elisions only
-                # (the timed escape-analysis build stays the baseline).
+                # Companion sync-refined build: same program/config with
+                # the critical-cycle + lockset tiers on, recorded for its
+                # elisions and race classification only (the timed
+                # escape-analysis build stays the baseline).
+                from ..analysis.racecheck import classify_module
+
                 ds = delayset_lasagne.build(program.source, config)
                 row["fences_elided_delayset"] = ds.fences_elided_delayset
+                row["fences_elided_sync"] = ds.fences_elided_sync
+                race = classify_module(ds.module)
+                row["racecheck"] = {
+                    "racy": race.count("racy"),
+                    "lock_protected": race.count("lock-protected"),
+                }
                 # Native code has no x86 lineage; coverage is meaningful
                 # only for translated configurations.
                 cov = SourceMap.from_program(built.program).coverage()
@@ -240,6 +267,12 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
         if config != "native":
             summary[config]["fences_elided_delayset_total"] = sum(
                 r["fences_elided_delayset"] for r in rows)
+            summary[config]["fences_elided_sync_total"] = sum(
+                r["fences_elided_sync"] for r in rows)
+            summary[config]["racecheck_racy_total"] = sum(
+                r["racecheck"]["racy"] for r in rows)
+            summary[config]["racecheck_lock_protected_total"] = sum(
+                r["racecheck"]["lock_protected"] for r in rows)
             summary[config]["provenance_memory_pct_min"] = min(
                 r["provenance"]["memory_pct"] for r in rows)
             summary[config]["provenance_fence_pct_min"] = min(

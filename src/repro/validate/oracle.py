@@ -29,12 +29,14 @@ merged modules: any stage whose output no longer discharges the Fig. 8a
 LIMM obligations is reported as a ``fencecheck``-kind divergence, even if
 no execution happened to observe the weakened ordering.
 
-With ``fence_analysis="delay-sets"`` a second static rung
+With ``fence_analysis="delay-sets"`` (or ``"sync"``) a second static rung
 (``delayset:place``) re-derives the whole-module conflict graph on the
 place-stage snapshot and audits every cycle-freeness certificate the
 elision tier stamped (:func:`repro.analysis.delayset.audit_module`): a
 certificate whose fence covered a critical-cycle delay edge — or one
 issued under a capped analysis — is a ``delayset``-kind divergence.
+Under ``"sync"`` the audit also re-runs the lockset-refined analysis, so
+sync-tier certificates are re-derived against fresh must-locksets.
 """
 
 from __future__ import annotations
@@ -336,7 +338,7 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
 
     # Static rung: every delay-set cycle-freeness certificate must be
     # re-derivable from the place-stage module (the stage that issued it).
-    if opts.fence_analysis == "delay-sets":
+    if opts.fence_analysis in ("delay-sets", "sync"):
         module = staged.get("place")
         if module is not None:
             from ..analysis.delayset import audit_module
@@ -344,7 +346,8 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
             name = "delayset:place"
             rung = RungResult(name, "place")
             try:
-                violations = audit_module(module)
+                violations = audit_module(
+                    module, sync=opts.fence_analysis == "sync")
             except Exception as exc:  # noqa: BLE001
                 rung.error = f"{type(exc).__name__}: {exc}"
                 rungs.append(rung)

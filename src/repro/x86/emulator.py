@@ -88,11 +88,13 @@ class X86Emulator:
             "abort": self._ext_abort,
             "thread_id": self._ext_thread_id,
         }
-        if obj.source_format == "elf64":
-            # Real-binary images: libc externals run through the loader
-            # catalog's shared execution kernel.
-            from ..loader.externs import install_x86_catalog
-            install_x86_catalog(self)
+        # Catalogued externals (libc string/memory helpers, pthread
+        # mutexes) run through the loader catalog's shared execution
+        # kernel; it only fills names the built-in runtime above does not
+        # already provide, so minicc-built objects get mutex support
+        # without perturbing the core runtime.
+        from ..loader.externs import install_x86_catalog
+        install_x86_catalog(self)
 
     # ---- image loading ---------------------------------------------------
     def _load_image(self) -> None:

@@ -1,0 +1,178 @@
+"""Tests for the static happens-before classifier
+(repro.analysis.racecheck) and its SARIF emission."""
+
+from repro.analysis.racecheck import classify_module
+from repro.analysis.sarif import racecheck_results, sarif_report
+from repro.lir import (
+    ConstantInt,
+    ExternalFunction,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    I64,
+    IRBuilder,
+    Module,
+)
+
+MUTEX_SIG = FunctionType(I64, (I64,))
+
+
+def _mutex_module():
+    m = Module("t")
+    for name in ("m", "x", "y"):
+        m.add_global(GlobalVariable(name, I64))
+    for ext in ("pthread_mutex_lock", "pthread_mutex_unlock"):
+        m.externals[ext] = ExternalFunction(ext, MUTEX_SIG)
+    return m
+
+
+def _func(m, name):
+    f = Function(name, FunctionType(I64, ()), [])
+    m.add_function(f)
+    return f
+
+
+def _locked_pair(m, name, locked: bool, write: bool):
+    """One thread root touching global x, optionally under lock m."""
+    f = _func(m, name)
+    b = IRBuilder(f.new_block("entry"))
+    gm, gx = m.globals["m"], m.globals["x"]
+    if locked:
+        b.call(m.externals["pthread_mutex_lock"], [b.ptrtoint(gm, I64)])
+    if write:
+        b.store(ConstantInt(I64, 1), gx)
+        out = ConstantInt(I64, 0)
+    else:
+        out = b.load(gx, name="r")
+    if locked:
+        b.call(m.externals["pthread_mutex_unlock"], [b.ptrtoint(gm, I64)])
+    b.ret(out)
+    return f
+
+
+class TestClassification:
+    def test_lock_protected_pair(self):
+        m = _mutex_module()
+        _locked_pair(m, "writer", locked=True, write=True)
+        _locked_pair(m, "reader", locked=True, write=False)
+        report = classify_module(m)
+        assert report.count("racy") == 0
+        assert report.count("lock-protected") == 2
+        assert not report.racy
+        assert {d.classification for d in report.diags} == {"lock-protected"}
+        assert all(d.locks == ("m",) for d in report.protected)
+        assert report.locks_seen == ("m",)
+
+    def test_unlocked_conflict_is_racy(self):
+        m = _mutex_module()
+        _locked_pair(m, "writer", locked=True, write=True)
+        _locked_pair(m, "reader", locked=False, write=False)
+        report = classify_module(m)
+        # Both sides of the unprotected pair are racy: the writer's lock
+        # alone orders nothing for an observer that takes no lock.
+        assert report.count("racy") == 2
+        assert report.count("lock-protected") == 0
+        assert len(report.racy) == 2
+        d = report.racy[0]
+        assert "no common lock" in d.message
+        # No provenance on hand-built IR: location falls back to LIR.
+        assert d.x86 == ""
+        assert d.location == d.lir_location
+
+    def test_sc_accesses_are_atomic(self):
+        m = _mutex_module()
+        gx = m.globals["x"]
+        for name in ("t0", "t1"):
+            f = _func(m, name)
+            b = IRBuilder(f.new_block("entry"))
+            b.store(ConstantInt(I64, 1), gx, ordering="sc")
+            b.ret(ConstantInt(I64, 0))
+        report = classify_module(m)
+        assert report.count("atomic") == 2
+        assert report.count("racy") == 0
+
+    def test_read_read_is_thread_local(self):
+        # Two readers never conflict: loads of the same location are not
+        # a race.
+        m = _mutex_module()
+        _locked_pair(m, "r0", locked=False, write=False)
+        _locked_pair(m, "r1", locked=False, write=False)
+        report = classify_module(m)
+        assert report.count("racy") == 0
+        assert report.count("thread-local") == 2
+
+    def test_capped_graph_reports_nothing_racy(self):
+        # More thread roots than MAX_THREADS: the conflict graph is
+        # incomplete in both directions, so racecheck refuses to call
+        # anything racy and says so.
+        m = _mutex_module()
+        for i in range(10):
+            _locked_pair(m, f"t{i}", locked=False, write=True)
+        report = classify_module(m)
+        assert report.capped
+        assert report.count("racy") == 0
+        assert not report.diags
+
+
+class TestSarif:
+    def test_racecheck_rules_levels_and_locations(self):
+        m = _mutex_module()
+        _locked_pair(m, "writer", locked=True, write=True)
+        _locked_pair(m, "reader", locked=False, write=False)
+        _locked_pair(m, "peer", locked=True, write=False)
+        report = classify_module(m)
+        results = racecheck_results(report.diags, "prog.c")
+        assert results
+        by_rule = {}
+        for r in results:
+            by_rule.setdefault(r["ruleId"], []).append(r)
+        assert set(by_rule) <= {"racecheck/racy", "racecheck/lock-protected"}
+        assert all(r["level"] == "warning"
+                   for r in by_rule.get("racecheck/racy", []))
+        assert all(r["level"] == "note"
+                   for r in by_rule.get("racecheck/lock-protected", []))
+        loc = results[0]["locations"][0]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] == "prog.c"
+        assert loc["logicalLocations"][0]["fullyQualifiedName"]
+        # Hand-built IR has no x86 provenance: no relatedLocations.
+        assert all("relatedLocations" not in r for r in results)
+        # The wrapped report declares every emitted rule.
+        doc = sarif_report(results)
+        rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert rules == set(by_rule)
+
+    def test_provenance_reaches_relatedlocations(self):
+        # Through the real pipeline the diags carry x86 provenance, and
+        # the SARIF results link it as relatedLocations.
+        from repro.core import Lasagne
+
+        source = """
+        int m = 0;
+        int x = 0;
+        int writer(int t) {
+          mutex_lock(&m);
+          x = t;
+          mutex_unlock(&m);
+          return 0;
+        }
+        int reader(int t) {
+          int r = x;
+          return r;
+        }
+        int main() {
+          int a = spawn(writer, 1);
+          int b = spawn(reader, 0);
+          join(a);
+          join(b);
+          return 0;
+        }
+        """
+        built = Lasagne(fence_analysis="sync").build(source, "ppopt")
+        report = classify_module(built.module)
+        assert report.count("racy") > 0
+        results = racecheck_results(report.diags, "prog.c")
+        with_prov = [r for r in results if r.get("relatedLocations")]
+        assert with_prov
+        related = with_prov[0]["relatedLocations"][0]
+        assert "x86" in related["message"]["text"]
+        assert related["logicalLocations"][0]["decoratedName"]

@@ -70,6 +70,39 @@ class TestCallGraph:
         assert "worker" in cg.address_taken
         assert {f.name for f in cg.thread_roots()} == {"main", "worker"}
 
+    def test_pthread_start_routine_is_thread_root(self):
+        # The start-routine argument of pthread_create marks a thread
+        # entry point even under glibc symbol decoration and even when
+        # use-list bookkeeping misses the reference — the spawn-site
+        # scan peels the cast chain to the function itself.
+        m, fs = _module_with(("main", ()), ("worker", (I64,)))
+        create = ExternalFunction(
+            "__pthread_create_2_1@0x401000",
+            FunctionType(I64, (I64, I64, I64, I64)))
+        m.externals[create.name] = create
+        b = IRBuilder(fs["main"].new_block("entry"))
+        addr = b.ptrtoint(fs["worker"], I64, "waddr")
+        b.call(create, [ConstantInt(I64, 0), ConstantInt(I64, 0),
+                        addr, ConstantInt(I64, 0)])
+        _ret0(b)
+        bw = IRBuilder(fs["worker"].new_block("entry"))
+        _ret0(bw)
+        # Simulate a producer that skipped use-list bookkeeping: the
+        # generic address-taken rule cannot see the reference, so only
+        # the pthread_create-aware scan can find the worker.
+        fs["worker"].users.clear()
+        cg = build_callgraph(m)
+        assert "worker" in cg.address_taken
+        assert "worker" in {f.name for f in cg.thread_roots()}
+
+    def test_pthread_create_start_routine_escapes(self):
+        # Arg 2 (start routine) and arg 3 (its argument) both outlive
+        # the call: the spawned thread runs one with the other.
+        from repro.loader.externs import catalog_summary
+        summary = catalog_summary("pthread_create")
+        assert summary.param_escapes[2]
+        assert summary.param_escapes[3]
+
     def test_opaque_call_flagged(self):
         m, fs = _module_with(("main", ()),)
         ext = ExternalFunction("ext", FunctionType(VOID, ()))

@@ -338,7 +338,7 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 6
+        assert report["version"] == 7
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt", "loader"}
         lifted = report["summary"]["lifted"]
@@ -346,6 +346,10 @@ class TestBenchCommand:
         assert "fences_elided_beyond_walk_total" in lifted
         assert lifted["fences_elided_interproc_total"] >= 0
         assert lifted["fences_elided_delayset_total"] >= 0
+        # v7: lockset (sync) elision tier + racecheck counts.
+        assert lifted["fences_elided_sync_total"] >= 0
+        assert lifted["racecheck_racy_total"] >= 0
+        assert lifted["racecheck_lock_protected_total"] >= 0
         assert lifted["fencecheck_violations_total"] == 0
         assert lifted["provenance_fence_pct_min"] == 100.0
         # v6: deterministic work counters + memory per config and loader.

@@ -243,7 +243,7 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 6
+        assert report["version"] == 7
         assert report["configs"] == ["ppopt"]
         assert "demo" in report["programs"]
         for name, per_config in report["programs"].items():
@@ -255,6 +255,9 @@ class TestBenchEmitter:
             assert row["fences_elided"] >= 0
             assert row["fences_elided_interproc"] >= 0
             assert row["fences_elided_delayset"] >= 0
+            assert row["fences_elided_sync"] >= 0
+            assert row["racecheck"]["racy"] >= 0
+            assert row["racecheck"]["lock_protected"] >= 0
             assert row["fencecheck_violations"] == 0
             assert row["provenance"]["fence_pct"] == 100.0
         # The interprocedural and delay-set tiers must each prove real
@@ -271,6 +274,13 @@ class TestBenchEmitter:
         assert summary["translate_seconds_total"] > 0
         assert summary["fences_elided_interproc_total"] > 0
         assert summary["fences_elided_delayset_total"] > 0
+        # v7: the sync tier proves real elisions on the locked example,
+        # and racecheck sees its lock-protected accesses.
+        locked = report["programs"]["locked"]["ppopt"]
+        assert locked["fences_elided_sync"] > 0
+        assert locked["racecheck"]["lock_protected"] > 0
+        assert summary["fences_elided_sync_total"] > 0
+        assert summary["racecheck_lock_protected_total"] > 0
         # v5: the ELF-loader trajectory over examples/elf fixtures.
         for name, row in report["loader"].items():
             assert row["ok"], name
