@@ -13,6 +13,13 @@ stats       per-stage / per-pass telemetry breakdown for one program
 profile     sampling profiler + deterministic work counters + memory
 bench       write the BENCH_translate.json perf baseline; ``--compare``
             gates against the trajectory (exit 3 on regression)
+warehouse   ingest bench/profile/ledger artifacts into the sqlite
+            warehouse (``.repro/warehouse.sqlite``); ``runs`` lists them
+diff        ranked deltas between two warehouse runs (time with a
+            noise/work-change verdict, work cells, fence tiers, passes,
+            flamegraph frames); exit 2 on unresolvable runs
+dash        render the warehouse to one self-contained HTML dashboard
+ledger      show run-ledger activity; ``--gc`` compacts the file
 
 ``translate``, ``evaluate`` and ``validate`` accept ``--trace FILE``
 (Chrome trace-event JSON, loadable in https://ui.perfetto.dev) and
@@ -159,7 +166,8 @@ def _cmd_translate(args: argparse.Namespace) -> int:
         "work_total": wc.total(),
         "work_digest": wc.digest(),
         "rc": rc,
-    })
+    }, config={"source": args.source, "config": args.config,
+               "fence_analysis": args.fence_analysis})
     return rc
 
 
@@ -436,7 +444,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         "divergences": report["divergences"],
         "clean": report["clean"],
         "fence_analysis": args.fence_analysis,
-    })
+    }, config={"seed": args.seed, "threads": args.threads,
+               "fence_analysis": args.fence_analysis})
     if args.report:
         Path(args.report).write_text(json.dumps(report, indent=2))
     print(f"validate: {report['programs_run']} programs "
@@ -857,7 +866,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         "known_stage_pct": round(profile.known_stage_pct(), 2),
         "work_total": wc.total(),
         "work_digest": wc.digest(),
-    })
+    }, config={"source": args.source, "config": args.config})
     return 0
 
 
@@ -911,8 +920,145 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for config, summary in report["summary"].items()
             if isinstance(summary, dict)
             and "translate_seconds_total" in summary},
-    })
+    }, config={"size": args.size, "repeats": args.repeats,
+               "configs": args.configs})
     return rc
+
+
+def _open_ingested_warehouse(args: argparse.Namespace):
+    """Open the warehouse named by ``--db`` and (unless ``--no-ingest``)
+    refresh it from the artifacts under ``--root`` first."""
+    from .warehouse import Warehouse, ingest_all
+
+    db = args.db
+    store = Warehouse(None if db == ":memory:" else db)
+    if not getattr(args, "no_ingest", False):
+        ingest_all(store, args.root, bench=args.bench_file)
+    return store
+
+
+def _add_warehouse_flags(parser: argparse.ArgumentParser) -> None:
+    from .warehouse import DEFAULT_DB
+
+    parser.add_argument("--db", default=DEFAULT_DB,
+                        help="warehouse sqlite file "
+                             f"(default {DEFAULT_DB}; ':memory:' works)")
+    parser.add_argument("--root", default=".",
+                        help="directory holding the bench file, ledger "
+                             "and *.profile.json artifacts")
+    parser.add_argument("--bench-file", default="BENCH_translate.json",
+                        help="bench trajectory file name under --root")
+    parser.add_argument("--no-ingest", action="store_true",
+                        help="query the existing warehouse without "
+                             "re-ingesting artifacts first")
+
+
+def _cmd_warehouse(args: argparse.Namespace) -> int:
+    """``repro warehouse ingest|runs``."""
+    with _open_ingested_warehouse(args) as store:
+        if args.action == "ingest":
+            counts = store.counts()
+            print("warehouse: " + ", ".join(
+                f"{counts[t]} {t}" for t in sorted(counts))
+                + f" (schema v{store.schema_version}, {store.path})")
+            return 0
+        runs = store.runs()
+        if not runs:
+            print("warehouse: no runs ingested yet (run `repro bench` "
+                  "first)")
+            return 0
+        print(f"{'#':>3}  {'sha':<10} {'kind':<8} {'timestamp':<26} "
+              f"{'size':<6} dirty")
+        for index, run in enumerate(reversed(runs)):
+            print(f"@{index:<2}  {run.sha:<10} {run.kind:<8} "
+                  f"{run.timestamp:<26} {run.size:<6} "
+                  f"{'yes' if run.dirty else 'no'}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """``repro diff A B``: ranked deltas between two warehouse runs.
+
+    Exit codes: 0 on success, 2 when a selector does not resolve or the
+    warehouse holds nothing to compare (the CI contract).
+    """
+    from .warehouse import diff_runs, render_markdown, render_text, to_json
+
+    with _open_ingested_warehouse(args) as store:
+        kind = None if args.any_kind else "bench"
+        run_a = store.resolve(args.run_a, kind)
+        run_b = store.resolve(args.run_b, kind)
+        missing = [sel for sel, run in
+                   ((args.run_a, run_a), (args.run_b, run_b))
+                   if run is None]
+        if missing:
+            for sel in missing:
+                print(f"repro diff: cannot resolve run {sel!r} "
+                      f"(try `repro warehouse runs`)", file=sys.stderr)
+            return 2
+        report = diff_runs(store, run_a, run_b, top=args.top)
+    if args.json:
+        print(to_json(report), end="")
+    elif args.markdown:
+        print(render_markdown(report), end="")
+    else:
+        print(render_text(report))
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    """``repro dash --html FILE``: the self-contained HTML dashboard."""
+    from .warehouse import build_dashboard
+
+    with _open_ingested_warehouse(args) as store:
+        html = build_dashboard(store, title=args.title)
+    if args.html is None:
+        print(html, end="")
+    else:
+        try:
+            Path(args.html).write_text(html)
+        except OSError as exc:
+            print(f"repro dash: cannot write {args.html!r}: "
+                  f"{exc.strerror or exc}", file=sys.stderr)
+            return 2
+        print(f"dashboard written to {args.html} "
+              f"({len(html)} bytes, self-contained)", file=sys.stderr)
+    return 0
+
+
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """``repro ledger [--gc]``: run-ledger activity and compaction."""
+    from .profiler.ledger import gc_ledger, ledger_path, read_ledger
+
+    if args.gc:
+        summary = gc_ledger(args.root, keep=args.keep)
+        print(f"ledger gc: {summary['entries_before']} -> "
+              f"{summary['entries_after']} entries, "
+              f"{summary['bytes_reclaimed']} bytes reclaimed "
+              f"({ledger_path(args.root)})")
+        return 0
+    entries = read_ledger(args.root)
+    if not entries:
+        print(f"ledger: no entries at {ledger_path(args.root)}")
+        return 0
+    by_command: dict[str, int] = {}
+    failures = 0
+    for entry in entries:
+        command = str(entry.get("command", ""))
+        by_command[command] = by_command.get(command, 0) + 1
+        rc = entry.get("rc")
+        if isinstance(rc, int) and rc != 0:
+            failures += 1
+    print(f"ledger: {len(entries)} entries at {ledger_path(args.root)} "
+          f"({failures} non-zero exit(s))")
+    for command in sorted(by_command):
+        print(f"  {command:<12} {by_command[command]:>6}")
+    if args.tail:
+        import json
+
+        for entry in entries[-args.tail:]:
+            print(json.dumps(entry, sort_keys=True))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -1133,6 +1279,65 @@ def main(argv: list[str] | None = None) -> int:
                    help="wall-time regression floor as a fraction "
                         "(default 0.15 = 15%%; MAD noise can widen it)")
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser(
+        "warehouse",
+        help="sqlite warehouse over bench/profile/ledger artifacts: "
+             "`ingest` refreshes it, `runs` lists comparable runs")
+    p.add_argument("action", choices=["ingest", "runs"])
+    _add_warehouse_flags(p)
+    p.set_defaults(func=_cmd_warehouse)
+
+    p = sub.add_parser(
+        "diff",
+        help="ranked deltas between two warehouse runs: wall time with "
+             "a noise/work-change digest verdict, work counters, "
+             "stage×function cells, fence-elision tiers, pass "
+             "effectiveness, flamegraph frames (exit 2 if a run "
+             "selector does not resolve)")
+    p.add_argument("run_a", help="baseline run: a sha prefix, 'latest', "
+                                 "'prev', 'latest-clean', 'prev-clean' "
+                                 "or '@N' (N-th newest)")
+    p.add_argument("run_b", nargs="?", default="latest",
+                   help="candidate run (default 'latest')")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as deterministic JSON")
+    p.add_argument("--markdown", action="store_true",
+                   help="emit the report as markdown tables")
+    p.add_argument("--top", type=int, default=15,
+                   help="rows kept per ranked section (default 15)")
+    p.add_argument("--any-kind", action="store_true",
+                   help="resolve selectors over profile/trace runs too, "
+                        "not just bench trajectory entries")
+    _add_warehouse_flags(p)
+    p.set_defaults(func=_cmd_diff)
+
+    p = sub.add_parser(
+        "dash",
+        help="render the warehouse to one self-contained HTML page "
+             "(inline SVG sparklines, MAD anomaly flags, per-program "
+             "drill-down)")
+    p.add_argument("--html", nargs="?", const="dash.html", default=None,
+                   metavar="FILE",
+                   help="write to FILE (default dash.html); omit the "
+                        "flag to print the HTML on stdout")
+    p.add_argument("--title", default="repro dashboard")
+    _add_warehouse_flags(p)
+    p.set_defaults(func=_cmd_dash)
+
+    p = sub.add_parser(
+        "ledger",
+        help="run-ledger activity summary; --gc drops the rotated "
+             "generation and truncates the live file")
+    p.add_argument("--root", default=".",
+                   help="directory holding .repro/ledger.jsonl")
+    p.add_argument("--gc", action="store_true",
+                   help="compact the ledger in place")
+    p.add_argument("--keep", type=int, default=500,
+                   help="entries kept by --gc (default 500)")
+    p.add_argument("--tail", type=int, default=0, metavar="N",
+                   help="also print the newest N entries as JSON lines")
+    p.set_defaults(func=_cmd_ledger)
 
     args = parser.parse_args(argv)
     return args.func(args)

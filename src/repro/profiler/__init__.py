@@ -34,7 +34,15 @@ from .attribution import (
     render_report,
     report_to_dict,
 )
-from .ledger import append_entry, ledger_path, read_ledger
+from .ledger import (
+    LEDGER_SCHEMA,
+    append_entry,
+    config_digest,
+    gc_ledger,
+    ledger_path,
+    read_ledger,
+    rotated_path,
+)
 from .memory import MemoryAccountant, StageMemory, account, accounting
 from .regression import (
     EXIT_REGRESSION,
@@ -54,9 +62,11 @@ from .workcounters import WorkCounters, collect, counting, scope, work
 
 __all__ = [
     "AttributionReport", "EXIT_REGRESSION", "Finding", "KNOWN_STAGES",
-    "MemoryAccountant", "Profile", "RegressionReport", "SamplingProfiler",
-    "StageMemory", "WorkCounters", "account", "accounting", "append_entry",
-    "check_regression", "collect", "counting", "eligible_entries",
+    "LEDGER_SCHEMA", "MemoryAccountant", "Profile", "RegressionReport",
+    "SamplingProfiler", "StageMemory", "WorkCounters", "account",
+    "accounting", "append_entry", "check_regression", "collect",
+    "config_digest", "counting", "eligible_entries", "gc_ledger",
     "hot_cells", "ledger_path", "read_ledger", "render_report",
-    "report_to_dict", "scope", "stage_of", "work", "write_flamegraph",
+    "report_to_dict", "rotated_path", "scope", "stage_of", "work",
+    "write_flamegraph",
 ]

@@ -108,11 +108,23 @@ def render_report(report: AttributionReport, top: int = 10) -> str:
 
 
 def report_to_dict(report: AttributionReport, top: int = 10) -> dict:
+    """JSON artifact of one profile run.
+
+    Since the warehouse ingests these, each artifact is self-describing:
+    it carries the git SHA + dirty flag of the code that produced it and
+    the full collapsed-stack profile (for flamegraph diffs), not just
+    the top-frame summary.
+    """
+    from ..telemetry.bench import git_dirty, git_sha
+
     out = {
         "source": report.source,
         "config": report.config,
         "builds": report.builds,
+        "sha": git_sha(),
+        "dirty": git_dirty(),
         "profile": report.profile.to_dict(top),
+        "collapsed": report.profile.collapsed(),
         "work": report.counters.to_dict(),
     }
     if report.memory is not None:

@@ -97,6 +97,13 @@ class WorkCounters:
             row[fn] = row.get(fn, 0) + v
         return {s: dict(sorted(row.items())) for s, row in sorted(out.items())}
 
+    def cells(self) -> list[tuple[str, str, str, int]]:
+        """Sorted (stage, counter, function, count) cells — the full
+        attribution matrix, the unit the warehouse stores and diffs."""
+        with self._lock:
+            return sorted((s, c, f, v)
+                          for (s, c, f), v in self.counts.items())
+
     def digest(self) -> str:
         """sha256 over the sorted (stage, counter, function, count) items.
 
@@ -111,10 +118,12 @@ class WorkCounters:
         return h.hexdigest()
 
     def to_dict(self) -> dict:
-        """JSON-serializable snapshot: totals, per-stage split, digest."""
+        """JSON-serializable snapshot: totals, per-stage split, the full
+        cell matrix, digest."""
         return {
             "counters": self.by_counter(),
             "by_stage": self.by_stage(),
+            "cells": [list(cell) for cell in self.cells()],
             "digest": self.digest(),
         }
 

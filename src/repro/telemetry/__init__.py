@@ -37,7 +37,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional, Union
 
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 from .remarks import Remark, RemarkSink
 from .tracer import (
     NOOP_SPAN,
@@ -117,6 +117,14 @@ def gauge(name: str, value: Union[int, float], **labels: Any) -> None:
         tel.metrics.gauge(name, value, **labels)
 
 
+def histogram(name: str, value: Union[int, float], **labels: Any) -> None:
+    """Observe one value of a labelled distribution (p50/p95/p99 in the
+    snapshot, fixed-bucket counts for dashboards)."""
+    tel = _current
+    if tel is not None and tel.metrics is not None:
+        tel.metrics.histogram(name, value, **labels)
+
+
 def remarks_enabled() -> bool:
     """Hoist this check before building per-instruction remark messages."""
     tel = _current
@@ -142,8 +150,8 @@ def metrics_snapshot() -> Optional[dict[str, dict[str, Union[int, float]]]]:
 
 __all__ = [
     "NOOP_SPAN", "NoopSpan", "Span", "Tracer",
-    "MetricsRegistry", "Remark", "RemarkSink", "Telemetry",
-    "count", "current", "enabled", "format_tree", "gauge",
+    "Histogram", "MetricsRegistry", "Remark", "RemarkSink", "Telemetry",
+    "count", "current", "enabled", "format_tree", "gauge", "histogram",
     "metrics_snapshot", "remark", "remarks_enabled", "session", "span",
     "to_chrome_trace", "to_json",
 ]

@@ -57,6 +57,13 @@ companion build's module).  Per-config summaries gain the matching
 ``locked`` (examples/locked.c) so the sync tier always has a non-zero
 data point.
 
+Schema v8 adds the attribution matrix: every translated row (and every
+loader row) carries ``work_cells`` — the sorted ``[stage, counter,
+function, count]`` cells behind the ``work`` totals — so the warehouse
+(:mod:`repro.warehouse`) can ingest per-pass × per-function cost and
+``repro diff`` can rank stage×function deltas between two recorded
+runs instead of only per-config counter totals.
+
 CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]
 [--compare [REF]]``.
 """
@@ -70,7 +77,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 7
+BENCH_VERSION = 8
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -149,6 +156,7 @@ def bench_loader(repeats: int = 3) -> dict[str, dict]:
             "data_symbols": report.data_symbols,
             "ok": report.ok,
             "work": wc.by_counter(),
+            "work_cells": [list(cell) for cell in wc.cells()],
             "work_digest": wc.digest(),
             "peak_rss_bytes": peak,
         }
@@ -217,6 +225,7 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 "fences_elided_interproc": built.fences_elided_interproc,
                 "fencecheck_violations": fencecheck_violations,
                 "work": wc.by_counter(),
+                "work_cells": [list(cell) for cell in wc.cells()],
                 "peak_rss_bytes": peak,
             }
             if config != "native":

@@ -1,23 +1,65 @@
-"""Metrics registry: named counters and gauges with label support.
+"""Metrics registry: named counters, gauges and histograms with labels.
 
 Counters accumulate (``count("fences.inserted", 3, kind="rm")``), gauges
-record the last value.  A (name, labels) pair identifies one time series;
-labels are sorted so keyword order does not matter.  All operations are
-thread-safe.  ``snapshot()`` renders a JSON-serializable dict with
-Prometheus-style flattened names (``fences.inserted{kind=rm}``).
+record the last value, histograms record a distribution
+(``histogram("validate.elapsed", 0.12, stage="lift")``).  A (name,
+labels) pair identifies one time series; labels are sorted so keyword
+order does not matter.  All operations are thread-safe.  ``snapshot()``
+renders a JSON-serializable dict with Prometheus-style flattened names
+(``fences.inserted{kind=rm}``).
+
+Label values are rendered through :func:`_label_value`, which
+canonicalizes unordered containers (sets, frozensets, dicts) by sorting
+their elements.  ``str(a_set)`` follows hash iteration order, which
+varies with ``PYTHONHASHSEED`` — rendered series keys must instead be
+byte-identical across interpreter launches, because the warehouse
+(:mod:`repro.warehouse`) uses them as ingest keys.
+
+Histograms keep two views of the same stream: fixed log-spaced buckets
+(cheap to merge, Prometheus-style cumulative ``le`` counts) and the
+exact observations, from which ``percentile`` answers p50/p95/p99 by
+linear interpolation — the bench/validate reports quote the exact
+quantiles, the buckets feed coarse dashboards.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Union
+from bisect import bisect_left
+from typing import Any, Optional, Union
 
 Number = Union[int, float]
 _Key = tuple[str, tuple[tuple[str, str], ...]]
 
+#: Default histogram buckets: log-spaced upper bounds that cover
+#: microseconds-to-minutes wall times and small integer counts alike.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 60.0,
+)
+
+
+def _label_value(value: Any) -> str:
+    """Deterministic string form of one label value.
+
+    Unordered containers are sorted element-wise; everything else uses
+    ``str``.  This is what keeps rendered series keys stable across
+    ``PYTHONHASHSEED`` values.
+    """
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_label_value(v) for v in value)) + "}"
+    if isinstance(value, dict):
+        items = sorted((_label_value(k), _label_value(v))
+                       for k, v in value.items())
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_label_value(v) for v in value) + "]"
+    return str(value)
+
 
 def _key(name: str, labels: dict[str, Any]) -> _Key:
-    return (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    return (name,
+            tuple(sorted((k, _label_value(v)) for k, v in labels.items())))
 
 
 def render_key(key: _Key) -> str:
@@ -28,13 +70,89 @@ def render_key(key: _Key) -> str:
     return f"{name}{{{inner}}}"
 
 
+class Histogram:
+    """One distribution: fixed buckets + exact-quantile observations.
+
+    Not thread-safe on its own — :class:`MetricsRegistry` serializes
+    access under its lock; a standalone user (e.g. the validate report
+    builder) is single-threaded at aggregation time.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "values", "total", "count",
+                 "min", "max", "_sorted")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +inf overflow
+        self.values: list[float] = []
+        self.total = 0.0
+        self.count = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._sorted = True
+
+    def observe(self, value: Number) -> None:
+        v = float(value)
+        self.bucket_counts[bisect_left(self.buckets, v)] += 1
+        if self.values and v < self.values[-1]:
+            self._sorted = False
+        self.values.append(v)
+        self.total += v
+        self.count += 1
+        self.min = v if self.min is None else min(self.min, v)
+        self.max = v if self.max is None else max(self.max, v)
+
+    def _ensure_sorted(self) -> list[float]:
+        if not self._sorted:
+            self.values.sort()
+            self._sorted = True
+        return self.values
+
+    def percentile(self, q: float) -> float:
+        """Exact linear-interpolated quantile of everything observed."""
+        values = self._ensure_sorted()
+        if not values:
+            return 0.0
+        pos = q * (len(values) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(values) - 1)
+        frac = pos - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable snapshot: exact quantiles + bucket counts."""
+        out: dict[str, Any] = {
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": round(self.mean, 9),
+            "p50": round(self.percentile(0.50), 9),
+            "p95": round(self.percentile(0.95), 9),
+            "p99": round(self.percentile(0.99), 9),
+        }
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for bound, n in zip(self.buckets, self.bucket_counts):
+            cumulative += n
+            buckets[f"le={bound:g}"] = cumulative
+        buckets["le=+inf"] = cumulative + self.bucket_counts[-1]
+        out["buckets"] = buckets
+        return out
+
+
 class MetricsRegistry:
-    """Thread-safe registry of labelled counters and gauges."""
+    """Thread-safe registry of labelled counters, gauges and histograms."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[_Key, Number] = {}
         self._gauges: dict[_Key, Number] = {}
+        self._histograms: dict[_Key, Histogram] = {}
 
     # ---- recording -------------------------------------------------------
     def count(self, name: str, n: Number = 1, **labels: Any) -> None:
@@ -46,6 +164,14 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[_key(name, labels)] = value
 
+    def histogram(self, name: str, value: Number, **labels: Any) -> None:
+        key = _key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram()
+            hist.observe(value)
+
     # ---- queries ---------------------------------------------------------
     def counter(self, name: str, **labels: Any) -> Number:
         """The value of one counter series (0 if never incremented)."""
@@ -54,17 +180,28 @@ class MetricsRegistry:
     def gauge_value(self, name: str, **labels: Any) -> Number:
         return self._gauges.get(_key(name, labels), 0)
 
+    def histogram_value(self, name: str, **labels: Any) -> Optional[Histogram]:
+        """The live histogram of one series, or None if never observed."""
+        return self._histograms.get(_key(name, labels))
+
     def total(self, name: str) -> Number:
         """Sum of a counter across all label sets."""
         with self._lock:
             return sum(v for (n, _), v in self._counters.items() if n == name)
 
-    def snapshot(self) -> dict[str, dict[str, Number]]:
-        """JSON-serializable flattened view of every series."""
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-serializable flattened view of every series.
+
+        Keys are rendered deterministically (labels sorted, container
+        values canonicalized), so two runs recording the same series
+        produce byte-identical JSON regardless of ``PYTHONHASHSEED``.
+        """
         with self._lock:
             return {
                 "counters": {render_key(k): v
                              for k, v in sorted(self._counters.items())},
                 "gauges": {render_key(k): v
                            for k, v in sorted(self._gauges.items())},
+                "histograms": {render_key(k): h.summary()
+                               for k, h in sorted(self._histograms.items())},
             }

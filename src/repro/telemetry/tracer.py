@@ -297,6 +297,15 @@ def to_chrome_trace(tracer: Tracer, metrics: Any = None) -> dict[str, Any]:
                 "ts": last_ts, "pid": pid, "tid": 0,
                 "args": {"value": value},
             })
+        # Histogram series chart their exact quantiles side by side (one
+        # counter event, three stacked args) next to the spans they time.
+        for series, summary in snapshot.get("histograms", {}).items():
+            counters.append({
+                "name": series, "cat": "metrics", "ph": "C",
+                "ts": last_ts, "pid": pid, "tid": 0,
+                "args": {"p50": summary["p50"], "p95": summary["p95"],
+                         "p99": summary["p99"]},
+            })
 
     return {"traceEvents": meta + events + counters,
             "displayTimeUnit": "ms"}

@@ -131,39 +131,35 @@ def _take(iterator: Iterator[tuple], n: int) -> list[tuple]:
     return batch
 
 
-def _percentile(sorted_values: list[float], q: float) -> float:
-    """Linear-interpolated percentile of an already-sorted list."""
-    if not sorted_values:
-        return 0.0
-    pos = q * (len(sorted_values) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(sorted_values) - 1)
-    frac = pos - lo
-    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
-
-
 def _timing_summary(rows: list[dict], slowest: int = 5) -> dict:
-    """Wall-time distribution across programs + per-stage percentiles."""
-    elapsed = sorted(r["elapsed"] for r in rows)
-    per_stage: dict[str, list[float]] = {}
+    """Wall-time distribution across programs + per-stage percentiles.
+
+    Quantiles come from :class:`repro.telemetry.Histogram` — the exact
+    (linear-interpolated) leg of the histogram metric type, the same
+    math every other report in the codebase quotes.
+    """
+    from ..telemetry import Histogram
+
+    overall = Histogram()
+    per_stage: dict[str, Histogram] = {}
     for row in rows:
+        overall.observe(row["elapsed"])
         for stage, seconds in row.get("stage_seconds", {}).items():
-            per_stage.setdefault(stage, []).append(seconds)
+            per_stage.setdefault(stage, Histogram()).observe(seconds)
     stages = {}
-    for stage, values in sorted(per_stage.items()):
-        values.sort()
+    for stage, hist in sorted(per_stage.items()):
         stages[stage] = {
-            "total_seconds": round(sum(values), 6),
-            "p50_seconds": round(_percentile(values, 0.50), 6),
-            "p95_seconds": round(_percentile(values, 0.95), 6),
+            "total_seconds": round(hist.total, 6),
+            "p50_seconds": round(hist.percentile(0.50), 6),
+            "p95_seconds": round(hist.percentile(0.95), 6),
         }
     ranked = sorted(rows, key=lambda r: r["elapsed"], reverse=True)
     return {
-        "min_seconds": round(elapsed[0], 6) if elapsed else 0.0,
-        "median_seconds": round(_percentile(elapsed, 0.50), 6),
-        "p95_seconds": round(_percentile(elapsed, 0.95), 6),
-        "max_seconds": round(elapsed[-1], 6) if elapsed else 0.0,
-        "mean_seconds": round(sum(elapsed) / len(elapsed), 6) if elapsed else 0.0,
+        "min_seconds": round(overall.min or 0.0, 6),
+        "median_seconds": round(overall.percentile(0.50), 6),
+        "p95_seconds": round(overall.percentile(0.95), 6),
+        "max_seconds": round(overall.max or 0.0, 6),
+        "mean_seconds": round(overall.mean, 6),
         "slowest": [
             {"seed": r.get("seed"), "origin": r["origin"],
              "elapsed_seconds": round(r["elapsed"], 6)}

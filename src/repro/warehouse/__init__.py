@@ -1,0 +1,48 @@
+"""repro.warehouse — the cross-run observability store.
+
+Three layers over one stdlib-``sqlite3`` database:
+
+* :mod:`~repro.warehouse.ingest` loads bench trajectories
+  (``BENCH_translate.json``), ``repro profile --json`` artifacts and
+  the run ledger into natural-key fact tables, idempotently;
+* :mod:`~repro.warehouse.diff` joins two runs and ranks the deltas —
+  wall time with a noise/work-change verdict from the deterministic
+  work digests, stage×function work cells, fence elisions per tier,
+  pass effectiveness, flamegraph frame shares;
+* :mod:`~repro.warehouse.dashboard` renders the whole trajectory to a
+  single self-contained HTML page with inline-SVG sparklines and
+  MAD-based anomaly flags.
+
+CLI: ``repro warehouse ingest|runs``, ``repro diff A B``,
+``repro dash --html``.
+"""
+
+from .dashboard import ANOMALY_MADS, anomalies, build_dashboard
+from .diff import (DiffReport, diff_runs, render_markdown, render_text,
+                   to_dict, to_json)
+from .ingest import ingest_all, ingest_bench, ingest_ledger, ingest_profile
+from .schema import SCHEMA_VERSION, migrate, schema_version
+from .store import DEFAULT_DB, RunInfo, Warehouse, open_warehouse
+
+__all__ = [
+    "ANOMALY_MADS",
+    "DEFAULT_DB",
+    "DiffReport",
+    "RunInfo",
+    "SCHEMA_VERSION",
+    "Warehouse",
+    "anomalies",
+    "build_dashboard",
+    "diff_runs",
+    "ingest_all",
+    "ingest_bench",
+    "ingest_ledger",
+    "ingest_profile",
+    "migrate",
+    "open_warehouse",
+    "render_markdown",
+    "render_text",
+    "schema_version",
+    "to_dict",
+    "to_json",
+]

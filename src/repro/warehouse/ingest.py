@@ -1,0 +1,285 @@
+"""Ingest: load bench trajectories, profile artifacts and the run
+ledger into the warehouse.
+
+Every ingestor is **idempotent**: facts are keyed by their natural key
+(run identity + metric name, or a content hash for ledger lines) and
+written with ``INSERT OR REPLACE``, so ingesting the same file twice
+leaves the store byte-for-byte identical.  That property is what lets
+CI re-ingest on every push without bookkeeping.
+
+What maps to what:
+
+* each ``trajectory`` entry of ``BENCH_translate.json`` becomes one
+  ``bench`` run with per-config summary metrics (scalars plus flattened
+  ``work.<counter>`` totals) and the deterministic ``work_digest``;
+* the file's current snapshot (``programs`` / ``loader`` sections)
+  attaches to the *newest* trajectory entry — per-program metrics,
+  nested ``racecheck.*`` / ``provenance.*`` scalars, and the full
+  stage×counter×function ``work_cells`` matrix (bench schema v8; older
+  snapshots fall back to per-counter totals with an empty stage);
+* a ``repro profile --json`` artifact becomes one ``profile`` run with
+  its work cells and collapsed-stack samples (flamegraph diffs);
+* each ledger line is stored under the sha256 of its canonical JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .store import Warehouse
+
+_PathLike = Union[str, os.PathLike]
+
+#: Nested program-row dicts flattened to dotted scalar metrics.
+_NESTED_PROGRAM_KEYS = ("racecheck", "provenance")
+
+
+def _num(value: object) -> Optional[float]:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def _put_scalar_metrics(store: Warehouse, run_id: int, config: str,
+                        row: dict) -> int:
+    """Store every numeric scalar of ``row`` (flattening ``work`` totals
+    to ``work.<counter>``); returns the number of metrics written."""
+    written = 0
+    for key in sorted(row):
+        value = row[key]
+        if key == "work" and isinstance(value, dict):
+            for counter in sorted(value):
+                n = _num(value[counter])
+                if n is not None:
+                    store.put_summary_metric(
+                        run_id, config, f"work.{counter}", n)
+                    written += 1
+            continue
+        n = _num(value)
+        if n is not None:
+            store.put_summary_metric(run_id, config, key, n)
+            written += 1
+    return written
+
+
+def _put_program_row(store: Warehouse, run_id: int, config: str,
+                     program: str, row: dict) -> int:
+    """One bench ``programs[program][config]`` (or loader) row."""
+    written = 0
+    for key in sorted(row):
+        value = row[key]
+        if key in _NESTED_PROGRAM_KEYS and isinstance(value, dict):
+            for sub in sorted(value):
+                n = _num(value[sub])
+                if n is not None:
+                    store.put_program_metric(
+                        run_id, config, program, f"{key}.{sub}", n)
+                    written += 1
+            continue
+        if key == "work" and isinstance(value, dict):
+            for counter in sorted(value):
+                n = _num(value[counter])
+                if n is not None:
+                    store.put_program_metric(
+                        run_id, config, program, f"work.{counter}", n)
+                    written += 1
+            continue
+        if key == "work_digest" and isinstance(value, str):
+            continue  # digests live in summary_digests, per config
+        if key == "work_cells" and isinstance(value, list):
+            for cell in value:
+                if isinstance(cell, (list, tuple)) and len(cell) == 4:
+                    stage, counter, function, count = cell
+                    store.put_work_cell(run_id, config, program,
+                                        str(stage), str(counter),
+                                        str(function), int(count))
+            continue
+        n = _num(value)
+        if n is not None:
+            store.put_program_metric(run_id, config, program, key, n)
+            written += 1
+    # Pre-v8 rows carry only per-counter totals: keep them comparable by
+    # storing stage=''/function='' cells so cell diffs degrade gracefully.
+    if "work_cells" not in row and isinstance(row.get("work"), dict):
+        for counter in sorted(row["work"]):
+            n = _num(row["work"][counter])
+            if n is not None:
+                store.put_work_cell(run_id, config, program, "", counter,
+                                    "", int(n))
+    return written
+
+
+def ingest_bench(store: Warehouse, path: _PathLike) -> dict:
+    """Ingest ``BENCH_translate.json``; returns a count summary."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    source = path.name
+    trajectory = data.get("trajectory") or []
+    counts = {"runs": 0, "summary_metrics": 0, "program_metrics": 0,
+              "work_cells": 0}
+
+    newest_run_id: Optional[int] = None
+    newest_key: tuple = ()
+    for entry in trajectory:
+        sha = str(entry.get("sha", "unknown"))
+        dirty = bool(entry.get("dirty", False))
+        timestamp = str(entry.get("timestamp", ""))
+        size = str(entry.get("size", ""))
+        version = entry.get("version")
+        run_id = store.upsert_run(
+            "bench", sha, dirty, timestamp, size,
+            int(version) if version is not None else None, source)
+        counts["runs"] += 1
+        for config in sorted(entry.get("summary") or {}):
+            row = entry["summary"][config]
+            if not isinstance(row, dict):
+                continue
+            counts["summary_metrics"] += _put_scalar_metrics(
+                store, run_id, config, row)
+            digest = row.get("work_digest")
+            if isinstance(digest, str) and digest:
+                store.put_digest(run_id, config, digest)
+        key = (timestamp, sha)
+        if key >= newest_key:
+            newest_key, newest_run_id = key, run_id
+
+    # The file's snapshot sections describe the run that last wrote the
+    # file, i.e. the newest trajectory entry.
+    if newest_run_id is not None:
+        for program in sorted(data.get("programs") or {}):
+            configs = data["programs"][program]
+            if not isinstance(configs, dict):
+                continue
+            for config in sorted(configs):
+                row = configs[config]
+                if isinstance(row, dict):
+                    counts["program_metrics"] += _put_program_row(
+                        store, newest_run_id, config, program, row)
+        for program in sorted(data.get("loader") or {}):
+            row = data["loader"][program]
+            if isinstance(row, dict):
+                counts["program_metrics"] += _put_program_row(
+                    store, newest_run_id, "loader", program, row)
+        counts["work_cells"] = len(store.work_cells(newest_run_id))
+    store.commit()
+    return counts
+
+
+def _parse_collapsed(collapsed: object) -> dict[str, int]:
+    """Collapsed stacks from either form the profiler emits: the
+    flamegraph.pl text (``"a;b 42"`` lines, :meth:`Profile.collapsed`)
+    or an already-aggregated ``{stack: samples}`` mapping."""
+    out: dict[str, int] = {}
+    if isinstance(collapsed, dict):
+        for stack, n in collapsed.items():
+            value = _num(n)
+            if value is not None:
+                out[str(stack)] = int(value)
+        return out
+    if isinstance(collapsed, str):
+        for line in collapsed.splitlines():
+            stack, _, count = line.rpartition(" ")
+            if stack and count.isdigit():
+                out[stack] = out.get(stack, 0) + int(count)
+    return out
+
+
+def ingest_profile(store: Warehouse, path: _PathLike) -> dict:
+    """Ingest one ``repro profile --json`` artifact."""
+    path = Path(path)
+    data = json.loads(path.read_text())
+    sha = str(data.get("sha", "unknown"))
+    dirty = bool(data.get("dirty", False))
+    program = str(data.get("source", path.stem))
+    config = str(data.get("config", ""))
+    run_id = store.upsert_run("profile", sha, dirty, "",
+                              "", None, path.name)
+    work = data.get("work") or {}
+    for cell in work.get("cells") or []:
+        if isinstance(cell, (list, tuple)) and len(cell) == 4:
+            stage, counter, function, count = cell
+            store.put_work_cell(run_id, config, program, str(stage),
+                                str(counter), str(function), int(count))
+    for counter, total in sorted((work.get("counters") or {}).items()):
+        n = _num(total)
+        if n is not None:
+            store.put_summary_metric(run_id, config, f"work.{counter}", n)
+    digest = work.get("digest")
+    if isinstance(digest, str) and digest:
+        store.put_digest(run_id, config, digest)
+    for stack, samples in sorted(_parse_collapsed(
+            data.get("collapsed")).items()):
+        store.put_stack(run_id, stack, samples)
+    for key in ("builds",):
+        n = _num(data.get(key))
+        if n is not None:
+            store.put_summary_metric(run_id, config, key, n)
+    profile = data.get("profile")
+    if isinstance(profile, dict):
+        for key in ("total", "duration", "hz"):
+            n = _num(profile.get(key))
+            if n is not None:
+                store.put_summary_metric(run_id, config,
+                                         f"profile.{key}", n)
+    store.commit()
+    return {"runs": 1, "work_cells": len(store.work_cells(run_id)),
+            "stacks": len(store.stacks(run_id))}
+
+
+def ingest_ledger(store: Warehouse, root: _PathLike = ".") -> dict:
+    """Ingest every well-formed line of ``.repro/ledger.jsonl`` (and its
+    rotated generation), keyed by content hash."""
+    from ..profiler.ledger import read_ledger
+
+    entries = read_ledger(root)
+    for entry in entries:
+        canonical = json.dumps(entry, sort_keys=True,
+                               separators=(",", ":"))
+        entry_hash = hashlib.sha256(canonical.encode()).hexdigest()
+        rc = entry.get("rc")
+        store.put_ledger_entry(
+            entry_hash,
+            str(entry.get("sha", "unknown")),
+            bool(entry.get("dirty", False)),
+            str(entry.get("timestamp", "")),
+            str(entry.get("command", "")),
+            entry.get("schema"),
+            entry.get("config_digest"),
+            int(rc) if isinstance(rc, (int, bool)) else None,
+            canonical)
+    store.commit()
+    return {"ledger_entries": len(entries)}
+
+
+def ingest_all(store: Warehouse, root: _PathLike = ".",
+               bench: str = "BENCH_translate.json") -> dict:
+    """Ingest everything discoverable under ``root``: the bench
+    trajectory file (when present), the run ledger, and any
+    ``*.profile.json`` artifacts in ``root``."""
+    root = Path(root)
+    counts: dict[str, int] = {}
+
+    def _merge(sub: dict) -> None:
+        for key, value in sub.items():
+            counts[key] = counts.get(key, 0) + value
+
+    bench_path = root / bench
+    if bench_path.exists():
+        _merge(ingest_bench(store, bench_path))
+    _merge(ingest_ledger(store, root))
+    for artifact in sorted(root.glob("*.profile.json")):
+        try:
+            _merge(ingest_profile(store, artifact))
+        except (json.JSONDecodeError, OSError, ValueError):
+            continue
+    return counts
+
+
+__all__ = ["ingest_all", "ingest_bench", "ingest_ledger",
+           "ingest_profile"]

@@ -338,7 +338,7 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 7
+        assert report["version"] == 8
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt", "loader"}
         lifted = report["summary"]["lifted"]
@@ -358,9 +358,14 @@ class TestBenchCommand:
         assert lifted["peak_rss_bytes"] > 0
         assert report["summary"]["loader"]["work"]["triage.instructions"] > 0
         assert report["profile_top"]["samples"] >= 0
+        # v8: every row carries the stage x counter x function matrix.
+        prog_row = next(iter(report["programs"].values()))["lifted"]
+        assert prog_row["work_cells"]
+        assert all(len(cell) == 4 for cell in prog_row["work_cells"])
         assert len(report["trajectory"]) == 1
         entry = report["trajectory"][0]
         assert "dirty" in entry
+        assert entry["version"] == 8
 
 
 def test_evaluate_command_smoke(capsys):

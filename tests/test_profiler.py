@@ -555,3 +555,89 @@ class TestBenchCompareCli:
         # The run was still appended to the trajectory.
         doc = json.loads(out.read_text())
         assert len(doc["trajectory"]) == 1
+
+
+class TestLedgerHardening:
+    """Schema v2 hardening: version/digest stamps, rotation, gc."""
+
+    @pytest.fixture(autouse=True)
+    def _ledger_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+
+    def test_entries_carry_schema_and_config_digest(self, tmp_path):
+        from repro.profiler.ledger import LEDGER_SCHEMA, config_digest
+
+        append_entry("translate", {"rc": 0}, root=tmp_path,
+                     config={"source": "a.c", "config": "ppopt"})
+        entry, = read_ledger(tmp_path)
+        assert entry["schema"] == LEDGER_SCHEMA
+        assert entry["config_digest"] == config_digest(
+            {"source": "a.c", "config": "ppopt"})
+
+    def test_config_digest_is_canonical(self):
+        from repro.profiler.ledger import config_digest
+
+        assert config_digest({"a": 1, "b": 2}) == \
+            config_digest({"b": 2, "a": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+        assert len(config_digest(None)) == 16
+
+    def test_rotation_keeps_one_generation(self, tmp_path, monkeypatch):
+        from repro.profiler.ledger import rotated_path
+
+        monkeypatch.setenv("REPRO_LEDGER_MAX_BYTES", "300")
+        for i in range(8):
+            append_entry("translate", {"i": i}, root=tmp_path)
+        assert rotated_path(tmp_path).exists()
+        # both generations read back, oldest first, nothing duplicated
+        entries = read_ledger(tmp_path)
+        indices = [e["i"] for e in entries]
+        assert indices == sorted(indices)
+        assert len(indices) == len(set(indices))
+        # live file stays under the cap (plus at most one entry)
+        assert ledger_path(tmp_path).stat().st_size <= 600
+
+    def test_gc_drops_rotation_and_truncates(self, tmp_path, monkeypatch):
+        from repro.profiler.ledger import gc_ledger, rotated_path
+
+        monkeypatch.setenv("REPRO_LEDGER_MAX_BYTES", "300")
+        for i in range(8):
+            append_entry("translate", {"i": i}, root=tmp_path)
+        assert rotated_path(tmp_path).exists()
+        summary = gc_ledger(tmp_path, keep=2)
+        assert not rotated_path(tmp_path).exists()
+        assert summary["entries_after"] == 2
+        assert summary["bytes_reclaimed"] > 0
+        entries = read_ledger(tmp_path)
+        assert [e["command"] for e in entries] == ["translate"] * 2
+
+
+class TestWorkCounterCells:
+    def test_cells_expose_the_full_matrix_sorted(self):
+        with workcounters.collect() as wc:
+            with workcounters.scope(stage="gvn", function="@main"):
+                workcounters.work("opt.visits", 3)
+            with workcounters.scope(stage="dce"):
+                workcounters.work("opt.visits", 2)
+        assert wc.cells() == [("dce", "opt.visits", "", 2),
+                              ("gvn", "opt.visits", "@main", 3)]
+        assert wc.to_dict()["cells"] == [["dce", "opt.visits", "", 2],
+                                         ["gvn", "opt.visits", "@main", 3]]
+
+    def test_profile_artifact_is_self_describing(self):
+        from repro.profiler.attribution import (AttributionReport,
+                                                report_to_dict)
+
+        profile = Profile(hz=97.0)
+        profile.samples[("f", "g")] += 1
+        profile.total += 1
+        with workcounters.collect() as wc:
+            workcounters.work("opt.visits", 1)
+        report = AttributionReport(source="a.c", config="ppopt",
+                                   builds=1, profile=profile, counters=wc)
+        artifact = report_to_dict(report)
+        # the warehouse needs these to key and join the run
+        assert isinstance(artifact["sha"], str) and artifact["sha"]
+        assert isinstance(artifact["dirty"], bool)
+        assert artifact["collapsed"] == profile.collapsed()
+        assert artifact["work"]["cells"] == [["", "opt.visits", "", 1]]

@@ -2,6 +2,7 @@
 
 import json
 import threading
+from pathlib import Path
 
 import pytest
 
@@ -393,3 +394,125 @@ class TestSessionFacade:
             telemetry.remark("place-fences", "k", "kept")
             telemetry.remark("merge-fences", "k", "dropped")
         assert [r.message for r in tel.remarks.remarks] == ["kept"]
+
+
+class TestHistogram:
+    def test_observe_and_exact_percentiles(self):
+        from repro.telemetry import Histogram
+
+        hist = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            hist.observe(v)
+        assert hist.count == 5
+        assert hist.min == 1.0 and hist.max == 5.0
+        assert hist.mean == pytest.approx(3.0)
+        assert hist.percentile(0.50) == pytest.approx(3.0)
+        assert hist.percentile(0.0) == pytest.approx(1.0)
+        assert hist.percentile(1.0) == pytest.approx(5.0)
+        # linear interpolation between order statistics
+        assert hist.percentile(0.95) == pytest.approx(4.8)
+
+    def test_empty_histogram_is_safe(self):
+        from repro.telemetry import Histogram
+
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.percentile(0.95) == 0.0
+        assert hist.min is None and hist.max is None
+        summary = hist.summary()
+        assert summary["count"] == 0
+
+    def test_summary_has_cumulative_buckets(self):
+        from repro.telemetry import Histogram
+
+        hist = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            hist.observe(v)
+        summary = hist.summary()
+        assert summary["buckets"]["le=1"] == 1
+        assert summary["buckets"]["le=10"] == 2
+        assert summary["buckets"]["le=+inf"] == 3
+        assert summary["p50"] == pytest.approx(5.0)
+
+    def test_registry_histogram_with_labels(self):
+        reg = MetricsRegistry()
+        for v in (0.1, 0.2, 0.3):
+            reg.histogram("latency", v, stage="lift")
+        reg.histogram("latency", 9.0, stage="opt")
+        lift = reg.histogram_value("latency", stage="lift")
+        assert lift.count == 3
+        assert reg.histogram_value("latency", stage="opt").count == 1
+        assert reg.histogram_value("latency", stage="nope") is None
+
+    def test_snapshot_includes_histogram_summaries(self):
+        reg = MetricsRegistry()
+        reg.histogram("latency", 0.5, stage="lift")
+        snap = reg.snapshot()
+        assert "histograms" in snap
+        row = snap["histograms"]["latency{stage=lift}"]
+        assert row["count"] == 1 and row["p95"] == pytest.approx(0.5)
+        json.loads(json.dumps(snap))
+
+    def test_module_hook_records_into_session(self):
+        with telemetry.session() as tel:
+            telemetry.histogram("h", 1.0, kind="a")
+            telemetry.histogram("h", 3.0, kind="a")
+        hist = tel.metrics.histogram_value("h", kind="a")
+        assert hist.count == 2
+        telemetry.histogram("h", 9.0)  # no session: silently dropped
+
+    def test_chrome_trace_exports_histogram_counters(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        reg = MetricsRegistry()
+        reg.histogram("stage_seconds", 0.25, stage="lift")
+        events = to_chrome_trace(tracer, metrics=reg)
+        counters = [e for e in events["traceEvents"]
+                    if e.get("ph") == "C"
+                    and e["name"].startswith("stage_seconds")]
+        assert counters, "histogram series missing from the trace"
+        args = counters[0]["args"]
+        assert set(args) == {"p50", "p95", "p99"}
+        assert args["p50"] == pytest.approx(0.25)
+
+
+class TestSnapshotDeterminism:
+    """Rendered metric keys must not depend on PYTHONHASHSEED."""
+
+    SCRIPT = (
+        "from repro.telemetry import MetricsRegistry\n"
+        "reg = MetricsRegistry()\n"
+        "reg.count('m', 1, tags={'b', 'a', 'c'}, cfg={'y': 2, 'x': 1})\n"
+        "reg.histogram('h', 0.5, names=frozenset(['q', 'p']))\n"
+        "snap = reg.snapshot()\n"
+        "print(sorted(snap['counters']) + sorted(snap['histograms']))\n"
+    )
+
+    def test_set_valued_labels_render_canonically(self):
+        reg = MetricsRegistry()
+        reg.count("m", 1, tags={"b", "a"})
+        snap = reg.snapshot()
+        assert snap["counters"] == {"m{tags={a,b}}": 1}
+
+    def test_dict_valued_labels_render_canonically(self):
+        reg = MetricsRegistry()
+        reg.count("m", 1, cfg={"y": 2, "x": 1})
+        assert list(reg.snapshot()["counters"]) == ["m{cfg={x:1,y:2}}"]
+
+    def test_keys_identical_across_hash_seeds(self):
+        import os
+        import subprocess
+        import sys
+
+        outputs = set()
+        for seed in ("0", "1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(Path(__file__).resolve().parent.parent / "src")]
+                + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+            proc = subprocess.run(
+                [sys.executable, "-c", self.SCRIPT],
+                capture_output=True, text=True, env=env, check=True)
+            outputs.add(proc.stdout)
+        assert len(outputs) == 1, outputs

@@ -243,7 +243,7 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 7
+        assert report["version"] == 8
         assert report["configs"] == ["ppopt"]
         assert "demo" in report["programs"]
         for name, per_config in report["programs"].items():
@@ -280,6 +280,9 @@ class TestBenchEmitter:
         assert locked["fences_elided_sync"] > 0
         assert locked["racecheck"]["lock_protected"] > 0
         assert summary["fences_elided_sync_total"] > 0
+        # v8: every row carries the attribution matrix behind its totals.
+        assert demo["work_cells"]
+        assert all(len(cell) == 4 for cell in demo["work_cells"])
         assert summary["racecheck_lock_protected_total"] > 0
         # v5: the ELF-loader trajectory over examples/elf fixtures.
         for name, row in report["loader"].items():
