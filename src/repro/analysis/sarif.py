@@ -59,6 +59,18 @@ _RULE_HELP = {
         "Every conflicting access shares a must-held pthread mutex with "
         "this one, so the lock's sc RMW chain serialises every "
         "observation (the fact the sync fence refinement exploits)."),
+    "tv/refuted": (
+        "Translation validation refuted this pass invocation: the "
+        "function's observable behavior (return value, observable "
+        "memory, or fence/atomic/call effect chain) diverges between "
+        "the pass's input and output on a concrete counterexample — a "
+        "miscompile, blamed back to x86 provenance."),
+    "tv/unknown": (
+        "Translation validation could not decide this pass invocation: "
+        "the function is outside the provable fragment (loops, "
+        "interprocedural pass, term budget, undef) or the symbolic "
+        "mismatch was not confirmed by any concrete sample. "
+        "Incompleteness, not evidence of a bug."),
 }
 
 
@@ -144,6 +156,31 @@ def racecheck_results(diags, artifact: str) -> list[dict]:
             _location(artifact, d.function, d.block, d.index, d.x86),
             related=_x86_related(artifact, d.function, d.block, d.index,
                                  d.x86)))
+    return results
+
+
+def tv_results(report, artifact: str) -> list[dict]:
+    """SARIF results for a :class:`repro.analysis.tv.TVReport`.
+
+    Only ``refuted`` (error) and ``unknown`` (note) verdicts produce
+    results — ``proved`` is clean.  The logical location reuses the
+    ``function:block:index`` shape with the offending pass in the block
+    slot and the fixpoint iteration as the index; ``decoratedName``
+    carries the x86 provenance blame when one was recovered."""
+    results = []
+    for v in report.verdicts:
+        if v.verdict == "proved":
+            continue
+        level = "error" if v.verdict == "refuted" else "note"
+        message = f"{v.pass_name}: {v.verdict} ({v.reason})"
+        if v.detail:
+            message += f" — {v.detail}"
+        results.append(_result(
+            f"tv/{v.verdict}", level, message,
+            _location(artifact, v.function, v.pass_name, v.iteration,
+                      v.blame),
+            related=_x86_related(artifact, v.function, v.pass_name,
+                                 v.iteration, v.blame)))
     return results
 
 

@@ -1,0 +1,46 @@
+"""Per-pass translation validation (Alive-style refinement checking).
+
+The dynamic co-simulation oracle samples inputs; this package gives the
+optimizer a *static* correctness gate instead: after every pass
+invocation, each function's observable behavior — return value,
+observable memory, and the ordered chain of fences/atomics/calls — is
+evaluated symbolically on both sides and compared.  Verdicts are
+``proved``, ``unknown`` (incompleteness, counted but never failed) or
+``refuted`` (confirmed by a concrete counterexample and blamed back to
+x86 provenance).
+
+Entry points:
+
+* :class:`TVChecker` — the pass-manager hook; accumulates a
+  :class:`TVReport`.
+* ``repro tv`` / ``repro translate --tv`` — CLI surfaces.
+* :mod:`.mutations` — deliberate-miscompile injection for smoke tests.
+"""
+
+from .checker import (
+    DEFAULT_SAMPLES,
+    DEFAULT_TERM_CAP,
+    MODULE_PASSES,
+    TVChecker,
+    TVReport,
+    TVVerdict,
+)
+from .symexec import FunctionEvaluator, SymSummary, SymUnknown
+from .terms import ALGEBRAIC_RULES, Rule, Term, TermBuilder, TermCapExceeded
+
+__all__ = [
+    "ALGEBRAIC_RULES",
+    "DEFAULT_SAMPLES",
+    "DEFAULT_TERM_CAP",
+    "MODULE_PASSES",
+    "FunctionEvaluator",
+    "Rule",
+    "SymSummary",
+    "SymUnknown",
+    "Term",
+    "TermBuilder",
+    "TermCapExceeded",
+    "TVChecker",
+    "TVReport",
+    "TVVerdict",
+]

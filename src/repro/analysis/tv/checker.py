@@ -1,0 +1,391 @@
+"""Per-pass refinement verdicts: proved / unknown / refuted.
+
+:class:`TVChecker` is the policy layer of the translation validator.
+The pass manager hands it a snapshot of the module from before each
+pass invocation plus the (mutated) module from after; for every defined
+function it renders one of three verdicts:
+
+``proved``
+    The printed IR is unchanged, or both sides symbolically evaluate
+    (:mod:`.symexec`) to identical observable terms — return value,
+    observable memory, and the ordered effect chain all intern to the
+    same nodes of a shared :class:`~.terms.TermBuilder`.
+
+``unknown``
+    The function is outside the provable fragment (loops, vector ops,
+    term budget), the pass is interprocedural (inlining makes the
+    effect chains incomparable), an ``undef`` reached an observable, or
+    the terms mismatch but no concrete sample confirms a divergence.
+    Unknown is *counted, never failed* — incompleteness is not
+    evidence of a bug.
+
+``refuted``
+    The terms mismatch AND a concrete random assignment
+    (:mod:`.concrete`) makes the two sides observably disagree.  The
+    verdict carries the divergent observable, the sample, both term
+    renderings, and x86 provenance blame recovered from the before-
+    function's ``origins``.
+
+Verdicts are recorded in a :class:`TVReport`, mirrored to telemetry
+remarks (origin ``tv``) and counted under ``tv.*`` work counters.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ... import telemetry
+from ...lir.function import Function, Module
+from ...lir.printer import format_function
+from ...profiler import workcounters
+from ...provenance.origin import origins_of
+from .concrete import (
+    Oracle,
+    SampleInvalid,
+    evaluate,
+    memories_equal,
+    values_equal,
+)
+from .symexec import (
+    FunctionEvaluator,
+    SymSummary,
+    SymUnknown,
+    observable_memory,
+)
+from .terms import Term, TermBuilder, TermCapExceeded, contains_op, render
+
+#: Passes that rewrite across function boundaries; a per-function
+#: symbolic comparison cannot relate their before/after effect chains
+#: (an inlined callee's effects replace a single ``call:`` effect), so
+#: changed functions become ``unknown`` rather than false alarms.
+MODULE_PASSES = frozenset({"ipsccp", "inline"})
+
+#: Per-check budget on freshly created term nodes.
+DEFAULT_TERM_CAP = 60_000
+
+#: Concrete assignments tried before a mismatch may become ``refuted``.
+DEFAULT_SAMPLES = 8
+
+_ADDR_BASE = 0x0010_0000
+_ADDR_STRIDE = 0x0001_0000
+
+
+@dataclass
+class TVVerdict:
+    """One (pass invocation, function) refinement verdict."""
+
+    pass_name: str
+    iteration: int
+    function: str
+    verdict: str           # "proved" | "unknown" | "refuted"
+    reason: str            # e.g. "unchanged", "checked", "loops", ...
+    detail: str = ""       # human-readable divergence description
+    blame: str = ""        # x86 provenance, e.g. "0x401020(mov)"
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "iteration": self.iteration,
+            "function": self.function,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "detail": self.detail,
+            "blame": self.blame,
+        }
+
+
+@dataclass
+class TVReport:
+    """Accumulated verdicts for one translation."""
+
+    verdicts: list[TVVerdict] = field(default_factory=list)
+
+    @property
+    def proved(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == "proved")
+
+    @property
+    def unknown(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == "unknown")
+
+    @property
+    def refuted(self) -> int:
+        return sum(1 for v in self.verdicts if v.verdict == "refuted")
+
+    def refutations(self) -> list[TVVerdict]:
+        return [v for v in self.verdicts if v.verdict == "refuted"]
+
+    def counts(self) -> dict[str, int]:
+        return {"proved": self.proved, "unknown": self.unknown,
+                "refuted": self.refuted}
+
+    def to_dict(self) -> dict:
+        return {
+            "summary": self.counts(),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+        }
+
+
+class TVChecker:
+    """Checks that each pass invocation's output refines its input."""
+
+    def __init__(self, cap: int = DEFAULT_TERM_CAP,
+                 samples: int = DEFAULT_SAMPLES, seed: int = 0,
+                 module_passes: frozenset = MODULE_PASSES) -> None:
+        self.cap = cap
+        self.samples = samples
+        self.seed = seed
+        self.module_passes = module_passes
+        self.report = TVReport()
+
+    # ---- pass-manager hook --------------------------------------------
+    def check_pass(self, before: Module, after: Module, pass_name: str,
+                   iteration: int = 0) -> list[TVVerdict]:
+        """Compare every defined function across one pass invocation."""
+        out: list[TVVerdict] = []
+        after_funcs = {name: f for name, f in after.functions.items()
+                       if not f.is_declaration}
+        for name, bfunc in before.functions.items():
+            if bfunc.is_declaration:
+                continue
+            workcounters.work("tv.checks", function=name)
+            afunc = after_funcs.get(name)
+            if afunc is None:
+                out.append(self._verdict(pass_name, iteration, name,
+                                         "unknown", "function-removed"))
+                continue
+            out.append(self._check_function(before, after, bfunc, afunc,
+                                            pass_name, iteration))
+        self.report.verdicts.extend(out)
+        return out
+
+    # ---- one function --------------------------------------------------
+    def _check_function(self, bmod: Module, amod: Module,
+                        bfunc: Function, afunc: Function,
+                        pass_name: str, iteration: int) -> TVVerdict:
+        name = bfunc.name
+        if format_function(bfunc) == format_function(afunc):
+            return self._verdict(pass_name, iteration, name,
+                                 "proved", "unchanged")
+        if pass_name in self.module_passes:
+            return self._verdict(pass_name, iteration, name,
+                                 "unknown", "module-pass")
+
+        builder = TermBuilder(cap=self.cap)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(limit, 20_000))
+        try:
+            bev = FunctionEvaluator(bfunc, builder, bmod)
+            bsum = bev.run()
+            aev = FunctionEvaluator(afunc, builder, amod)
+            asum = aev.run()
+            # Thread-locality is a semantic property of the (shared)
+            # address terms, so a sound proof found on either side
+            # licenses load forwarding and store dropping on both — the
+            # pass under test often *improves* what pointsto can prove
+            # (mem2reg deletes the store that made a slot look escaped),
+            # and evaluating each side with only its own facts would
+            # misreport that asymmetry as a divergence.  Re-evaluate any
+            # side the union taught something new.
+            blocal = bev.proved_local_tids()
+            alocal = aev.proved_local_tids()
+            union = blocal | alocal
+            if union - blocal:
+                bev = FunctionEvaluator(bfunc, builder, bmod,
+                                        extra_local=union)
+                bsum = bev.run()
+            if union - alocal:
+                aev = FunctionEvaluator(afunc, builder, amod,
+                                        extra_local=union)
+                asum = aev.run()
+            is_local = lambda t: bev._is_local(t) or aev._is_local(t)
+            bobs = observable_memory(bsum.mem, builder, is_local)
+            aobs = observable_memory(asum.mem, builder, is_local)
+        except SymUnknown as exc:
+            return self._verdict(pass_name, iteration, name,
+                                 "unknown", exc.reason)
+        except (TermCapExceeded, RecursionError):
+            return self._verdict(pass_name, iteration, name,
+                                 "unknown", "term-cap")
+        finally:
+            sys.setrecursionlimit(limit)
+            workcounters.work("tv.terms", builder.created, function=name)
+
+        mismatches = self._mismatches(bsum, bobs, asum, aobs)
+        if not mismatches:
+            return self._verdict(pass_name, iteration, name,
+                                 "proved", "checked")
+        for _, bterm, aterm in mismatches:
+            if (bterm is not None and contains_op(bterm, "undef")) or \
+                    (aterm is not None and contains_op(aterm, "undef")):
+                return self._verdict(pass_name, iteration, name,
+                                     "unknown", "undef")
+        return self._confirm(bfunc, mismatches, bsum, bobs, asum, aobs,
+                             pass_name, iteration)
+
+    @classmethod
+    def _mismatches(cls, bsum: SymSummary, bobs: Term,
+                    asum: SymSummary, aobs: Term) -> list[tuple]:
+        out = []
+        memo: dict[tuple[int, int], bool] = {}
+        if not cls._refines(bsum.ret, asum.ret, memo):
+            out.append(("return value", bsum.ret, asum.ret))
+        if not cls._refines(bobs, aobs, memo):
+            out.append(("observable memory", bobs, aobs))
+        if not cls._refines(bsum.eff, asum.eff, memo):
+            out.append(("effect chain", bsum.eff, asum.eff))
+        return out
+
+    @classmethod
+    def _refines(cls, bterm: Optional[Term], aterm: Optional[Term],
+                 memo: dict) -> bool:
+        """Does ``aterm`` refine ``bterm``?  Identical interned nodes
+        trivially refine; an ``undef`` on the *before* side is a
+        wildcard the pass may replace with any same-sorted value (this
+        is LLVM's refinement order, and it is deliberately asymmetric —
+        introducing fresh undef on the after side does not verify)."""
+        if bterm is aterm:
+            return True
+        if bterm is None or aterm is None:
+            return False
+        if bterm.op == "undef":
+            return bterm.sort == aterm.sort
+        key = (bterm.tid, aterm.tid)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        memo[key] = True  # optimistic for sharing; cycles impossible (DAG)
+        ok = (bterm.op == aterm.op and bterm.attr == aterm.attr
+              and len(bterm.args) == len(aterm.args)
+              and all(cls._refines(x, y, memo)
+                      for x, y in zip(bterm.args, aterm.args)))
+        memo[key] = ok
+        return ok
+
+    # ---- concrete confirmation ----------------------------------------
+    def _confirm(self, bfunc: Function, mismatches: list[tuple],
+                 bsum: SymSummary, bobs: Term, asum: SymSummary,
+                 aobs: Term, pass_name: str, iteration: int) -> TVVerdict:
+        name = bfunc.name
+        roots = [t for pair in mismatches for t in pair[1:]
+                 if t is not None]
+        var_terms = _free_vars(roots)
+        oracle = Oracle(self.seed)
+        for sample in range(self.samples):
+            env = self._sample_env(var_terms, sample)
+            workcounters.work("tv.confirms", function=name)
+            try:
+                divergence = self._diverges(env, oracle, mismatches)
+            except (SampleInvalid, RecursionError):
+                continue
+            if divergence is not None:
+                what, bterm, aterm = divergence
+                detail = (
+                    f"{what} diverges on {_format_env(env)}: "
+                    f"before={render(bterm) if bterm is not None else 'void'}"
+                    f" vs after="
+                    f"{render(aterm) if aterm is not None else 'void'}"
+                )
+                return self._verdict(pass_name, iteration, name,
+                                     "refuted", what, detail,
+                                     _blame(bfunc))
+        return self._verdict(pass_name, iteration, name,
+                             "unknown", "unconfirmed-mismatch")
+
+    def _diverges(self, env: dict, oracle: Oracle,
+                  mismatches: list[tuple]) -> Optional[tuple]:
+        bmemo: dict[int, object] = {}
+        amemo: dict[int, object] = {}
+        for what, bterm, aterm in mismatches:
+            if bterm is None or aterm is None:
+                continue
+            bval = evaluate(bterm, env, oracle, bmemo)
+            aval = evaluate(aterm, env, oracle, amemo)
+            if what == "observable memory":
+                if not memories_equal(bval, aval, oracle):
+                    return (what, bterm, aterm)
+            elif not values_equal(bval, aval):
+                return (what, bterm, aterm)
+        return None
+
+    def _sample_env(self, var_terms: list[Term], sample: int) -> dict:
+        rng = random.Random((self.seed << 20) ^ (sample * 0x9E3779B9))
+        env: dict[str, object] = {}
+        addr_slot = 0
+        for term in sorted(var_terms, key=lambda t: t.attr[0]):
+            vname = term.attr[0]
+            prefix = vname.split(":", 1)[0]
+            if prefix in ("stack", "global", "func"):
+                env[vname] = _ADDR_BASE + addr_slot * _ADDR_STRIDE
+                addr_slot += 1
+                continue
+            bits = term.bits or 64
+            if term.sort[0] == "f":
+                env[vname] = float(rng.choice(
+                    [0.0, 1.0, -1.0, 0.5, float(rng.randrange(1 << 10))]))
+                continue
+            mask = (1 << bits) - 1
+            style = sample % 4
+            if style == 0:
+                env[vname] = rng.randrange(0, min(16, mask + 1))
+            elif style == 1:
+                env[vname] = rng.choice([0, 1, mask, mask >> 1])
+            else:
+                env[vname] = rng.randrange(0, mask + 1)
+        return env
+
+    # ---- bookkeeping ---------------------------------------------------
+    def _verdict(self, pass_name: str, iteration: int, function: str,
+                 verdict: str, reason: str, detail: str = "",
+                 blame: str = "") -> TVVerdict:
+        workcounters.work(f"tv.{verdict}", function=function)
+        if telemetry.remarks_enabled():
+            telemetry.remark(
+                "tv", verdict,
+                f"{pass_name}: {verdict} ({reason})" +
+                (f" — {detail}" if detail else ""),
+                function=function, pass_name=pass_name,
+                iteration=iteration, blame=blame)
+        return TVVerdict(pass_name, iteration, function, verdict,
+                         reason, detail, blame)
+
+
+def _free_vars(roots: list[Term]) -> list[Term]:
+    seen: set[int] = set()
+    out: dict[str, Term] = {}
+    stack = list(roots)
+    while stack:
+        t = stack.pop()
+        if t.tid in seen:
+            continue
+        seen.add(t.tid)
+        if t.op == "var":
+            out.setdefault(t.attr[0], t)
+        stack.extend(t.args)
+    return list(out.values())
+
+
+def _blame(func: Function) -> str:
+    """x86 provenance blame: the lowest real origin address in the
+    function the pass miscompiled."""
+    best = None
+    for inst in func.instructions():
+        for origin in origins_of(inst):
+            if origin.is_synthetic:
+                continue
+            if best is None or origin.addr < best.addr:
+                best = origin
+    if best is None:
+        return ""
+    return best.format()
+
+
+def _format_env(env: dict) -> str:
+    items = sorted(env.items())
+    shown = ", ".join(f"{k}={v}" for k, v in items[:6])
+    if len(items) > 6:
+        shown += f", ... ({len(items) - 6} more)"
+    return "{" + shown + "}"

@@ -1,0 +1,286 @@
+"""Concrete evaluation of TV terms — the counterexample confirmer.
+
+A structural mismatch between two normalized term graphs is *evidence*
+of a miscompile, not proof: the rewriter is deliberately incomplete, so
+semantically equal programs can normalize to different terms.  Before
+the checker reports ``refuted`` it evaluates both graphs on concrete
+random assignments; only a sample on which the observables genuinely
+differ upgrades the mismatch to a counterexample (otherwise the verdict
+degrades to ``unknown``).
+
+Semantics here are single-threaded and deterministic:
+
+* uninterpreted results (``effres``, ``opaque``, ``undef``, initial
+  memory bytes) come from a seeded :class:`Oracle` — a pure function of
+  the *concrete* inputs, so structurally different but concretely equal
+  effect chains yield identical results and can never fabricate a
+  divergence;
+* memory is a layered byte store; ``barrier``/``clobber`` layers are
+  transparent to reads (single-threaded view) — cross-thread
+  orderings are compared through the effect chain instead;
+* a trapping sample (division by zero, float-to-int overflow) is
+  *invalid* and skipped — traps are outside the refinement relation
+  this validator checks.
+
+The arithmetic reuses :mod:`repro.lir.interp`'s apply functions so the
+confirmer can never disagree with the reference interpreter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Optional
+
+from ...lir.interp import (
+    InterpError,
+    _binop_apply,
+    _fcmp_apply,
+    _icmp_apply,
+    _sext,
+    _signed,
+)
+from ...lir.types import FloatType, IntType
+from .terms import Term
+
+
+class SampleInvalid(Exception):
+    """This concrete assignment triggers a trap; try another one."""
+
+
+class Oracle:
+    """Deterministic source of values for uninterpreted terms.
+
+    Keys must be built from *concrete* values only (never term ids), so
+    two structurally different terms that denote the same computation
+    always receive the same oracle value.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._cache: dict[tuple, int] = {}
+
+    def value(self, key: tuple, bits: int) -> int:
+        full = (bits,) + key
+        cached = self._cache.get(full)
+        if cached is None:
+            h = hashlib.sha256(f"{self.seed}|{full!r}".encode()).digest()
+            cached = int.from_bytes(h[:8], "little") & ((1 << bits) - 1)
+            self._cache[full] = cached
+        return cached
+
+    def fvalue(self, key: tuple, bits: int) -> float:
+        raw = self.value(("float",) + key, 64)
+        val = struct.unpack("<d", raw.to_bytes(8, "little"))[0]
+        if val != val or val in (float("inf"), float("-inf")):
+            val = float(raw % 4096) / 16.0  # keep oracle floats tame
+        if bits == 32:
+            val = struct.unpack("<f", struct.pack("<f", val))[0]
+        return val
+
+    def initial_byte(self, addr: int) -> int:
+        return self.value(("initmem", addr), 8)
+
+
+def canon(v: object) -> object:
+    """Hashable, equality-safe canonical form of a concrete value
+    (floats by bit pattern so NaN == NaN and -0.0 != 0.0)."""
+    if isinstance(v, float):
+        return ("f", struct.pack("<d", v))
+    return v
+
+
+def evaluate(term: Term, env: dict[str, object], oracle: Oracle,
+             memo: Optional[dict[int, object]] = None) -> object:
+    """Evaluate ``term`` under ``env`` (var name → value).
+
+    Integers evaluate to masked ints, floats to Python floats, memory
+    and effect chains to nested tuples.  Raises :class:`SampleInvalid`
+    on traps.  ``ite`` evaluates lazily, so a trap on an untaken branch
+    does not invalidate the sample.
+    """
+    if memo is None:
+        memo = {}
+
+    def ev(t: Term) -> object:
+        hit = memo.get(t.tid)
+        if hit is None and t.tid not in memo:
+            hit = _ev(t)
+            memo[t.tid] = hit
+        return hit
+
+    def _ev(t: Term) -> object:
+        op = t.op
+        if op == "const":
+            return t.attr[1]
+        if op == "fconst":
+            return t.attr[0]
+        if op == "var":
+            name = t.attr[0]
+            if name in env:
+                return env[name]
+            if t.sort[0] == "f":
+                return oracle.fvalue(("var", name), t.bits)
+            return oracle.value(("var", name), t.bits)
+        if op == "undef":
+            return oracle.value(("undef", t.attr[0]), t.bits)
+        if op == "binop":
+            bop, bits = t.attr
+            lhs, rhs = ev(t.args[0]), ev(t.args[1])
+            type_ = FloatType(bits) if t.sort[0] == "f" else IntType(bits)
+            try:
+                result = _binop_apply(bop, lhs, rhs, type_)
+            except (InterpError, ZeroDivisionError, OverflowError) as exc:
+                raise SampleInvalid(str(exc)) from exc
+            return float(result) if t.sort[0] == "f" else int(result)
+        if op == "icmp":
+            pred, bits = t.attr
+            return _icmp_apply(pred, int(ev(t.args[0])),
+                               int(ev(t.args[1])), IntType(bits))
+        if op == "fcmp":
+            return _fcmp_apply(t.attr[0], float(ev(t.args[0])),
+                               float(ev(t.args[1])))
+        if op == "cast":
+            return _cast(t, ev(t.args[0]))
+        if op == "ite":
+            cond = int(ev(t.args[0]))
+            return ev(t.args[1] if cond & 1 else t.args[2])
+        if op == "load":
+            mem = ev(t.args[0])
+            addr = int(ev(t.args[1]))
+            return _read(mem, addr, t.attr[0], oracle)
+        if op == "store":
+            inner = ev(t.args[0])
+            addr = int(ev(t.args[1]))
+            data = _value_bytes(ev(t.args[2]), t.attr[0])
+            return ("store", inner, addr, len(data), data)
+        if op == "barrier":
+            return ("barrier", ev(t.args[0]), t.attr[0])
+        if op == "clobber":
+            return ("clobber", ev(t.args[0]), ev(t.args[1]))
+        if op == "effect":
+            inner = ev(t.args[0])
+            argvals = tuple(canon(ev(a)) for a in t.args[1:])
+            return ("effect", inner, t.attr[0], argvals)
+        if op == "effres":
+            key = ("effres", t.attr[0], ev(t.args[0]))
+            if t.sort[0] == "f":
+                return oracle.fvalue(key, t.bits)
+            return oracle.value(key, t.bits)
+        if op == "opaque":
+            argvals = tuple(canon(ev(a)) for a in t.args)
+            key = ("opaque", t.attr[0], argvals)
+            if t.sort[0] == "f":
+                return oracle.fvalue(key, t.bits)
+            return oracle.value(key, t.bits)
+        if op == "mem0":
+            return ("mem0",)
+        if op == "eff0":
+            return ("eff0",)
+        raise SampleInvalid(f"unevaluable op {op}")
+
+    return ev(term)
+
+
+def _cast(t: Term, v: object) -> object:
+    op, from_bits, to_bits = t.attr
+    if op in ("ptrtoint", "inttoptr"):
+        return int(v) & ((1 << 64) - 1)
+    if op == "trunc":
+        return int(v) & ((1 << to_bits) - 1)
+    if op == "zext":
+        return int(v)
+    if op == "sext":
+        return _sext(int(v), from_bits, to_bits)
+    if op == "bitcast":
+        if t.sort[0] == "f":
+            if isinstance(v, float):
+                return v
+            fmt = "<f" if to_bits == 32 else "<d"
+            return struct.unpack(fmt, int(v).to_bytes(to_bits // 8,
+                                                      "little"))[0]
+        if isinstance(v, float):
+            fmt = "<f" if from_bits == 32 else "<d"
+            return int.from_bytes(struct.pack(fmt, v), "little")
+        return int(v) & ((1 << to_bits) - 1)
+    if op == "sitofp":
+        return float(_signed(int(v), from_bits))
+    if op == "uitofp":
+        return float(int(v))
+    if op in ("fptosi", "fptoui"):
+        f = float(v)
+        if f != f or f in (float("inf"), float("-inf")):
+            raise SampleInvalid("float-to-int of nan/inf")
+        try:
+            return int(f) & ((1 << to_bits) - 1)
+        except (OverflowError, ValueError) as exc:
+            raise SampleInvalid(str(exc)) from exc
+    if op == "fpext":
+        return float(v)
+    if op == "fptrunc":
+        return struct.unpack("<f", struct.pack("<f", float(v)))[0]
+    raise SampleInvalid(f"unevaluable cast {op}")
+
+
+def _value_bytes(v: object, tk: str) -> bytes:
+    size = max(1, int(tk[1:]) // 8)
+    if tk.startswith("f"):
+        fmt = "<f" if tk == "f32" else "<d"
+        return struct.pack(fmt, float(v))
+    return (int(v) & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+
+
+def _read(mem: object, addr: int, tk: str, oracle: Oracle) -> object:
+    size = max(1, int(tk[1:]) // 8)
+    out = bytearray(size)
+    missing = set(range(size))
+    layer = mem
+    while missing and isinstance(layer, tuple) and layer[0] != "mem0":
+        kind = layer[0]
+        if kind == "store":
+            _, inner, saddr, ssize, data = layer
+            for i in list(missing):
+                off = addr + i - saddr
+                if 0 <= off < ssize:
+                    out[i] = data[off]
+                    missing.discard(i)
+            layer = inner
+        else:  # barrier / clobber: transparent to single-threaded reads
+            layer = layer[1]
+    for i in missing:
+        out[i] = oracle.initial_byte(addr + i)
+    raw = bytes(out)
+    if tk.startswith("f"):
+        fmt = "<f" if tk == "f32" else "<d"
+        return struct.unpack(fmt, raw)[0]
+    return int.from_bytes(raw, "little")
+
+
+def _touched(mem: object) -> set[tuple[int, int]]:
+    """All (addr, size) store ranges in a concrete memory value."""
+    ranges: set[tuple[int, int]] = set()
+    layer = mem
+    while isinstance(layer, tuple) and layer[0] != "mem0":
+        if layer[0] == "store":
+            _, inner, addr, size, _data = layer
+            ranges.add((addr, size))
+            layer = inner
+        else:
+            layer = layer[1]
+    return ranges
+
+
+def memories_equal(m1: object, m2: object, oracle: Oracle) -> bool:
+    """Final-state comparison: every byte either memory wrote reads the
+    same from both (barriers transparent)."""
+    addrs: set[int] = set()
+    for addr, size in _touched(m1) | _touched(m2):
+        addrs.update(range(addr, addr + size))
+    return all(
+        _read(m1, a, "i8", oracle) == _read(m2, a, "i8", oracle)
+        for a in addrs
+    )
+
+
+def values_equal(v1: object, v2: object) -> bool:
+    return canon(v1) == canon(v2)

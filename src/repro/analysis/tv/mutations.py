@@ -1,0 +1,135 @@
+"""Deliberate miscompile injection — the validator's own smoke test.
+
+A translation validator that never fires is indistinguishable from one
+that cannot fire.  This module wraps a named optimization pass so that,
+after the real pass runs, one deliberate miscompile is planted in its
+output.  The mutation smoke tests (and the CI ``tv-smoke`` job) then
+assert that :class:`~.checker.TVChecker` reports ``refuted`` with the
+right pass and function blame for each of the three seeded bugs:
+
+* ``swap-branch-arms`` — a conditional branch's targets are exchanged
+  (the classic simplifycfg polarity bug);
+* ``drop-store``       — a live store to shared memory is deleted (an
+  over-eager DSE);
+* ``swap-phi-operands``— two phi incoming values are exchanged without
+  exchanging their blocks (a mem2reg wiring bug).
+
+Every mutation keeps the IR verifier-clean (SSA, dominance, types), so
+the *only* thing that can catch it is the refinement check.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Optional
+
+from ...lir.dominators import DominatorTree
+from ...lir.function import BasicBlock, Function
+from ...lir.instructions import Br, Cast, Instruction, Phi, Store
+from ...lir.values import GlobalVariable, Value
+from ...opt import pass_manager
+
+
+def _defining_block(v: Value) -> Optional[BasicBlock]:
+    if isinstance(v, Instruction):
+        return v.parent
+    return None
+
+
+def _peel_casts(v: Value) -> Value:
+    while isinstance(v, Cast):
+        v = v.operands[0]
+    return v
+
+
+def swap_branch_arms(func: Function) -> bool:
+    """Exchange the two targets of the first conditional branch."""
+    for bb in func.blocks:
+        term = bb.terminator
+        if (isinstance(term, Br) and term.is_conditional
+                and term.targets[0] is not term.targets[1]):
+            term.targets[0], term.targets[1] = (
+                term.targets[1], term.targets[0])
+            return True
+    return False
+
+
+def drop_store(func: Function) -> bool:
+    """Delete the first plain store whose address is a global (possibly
+    behind bitcasts, as the lifter emits them) — shared memory, so the
+    store is observable and its loss is a real bug."""
+    for bb in func.blocks:
+        for inst in bb.instructions:
+            if (isinstance(inst, Store) and inst.ordering == "na"
+                    and isinstance(_peel_casts(inst.pointer),
+                                   GlobalVariable)):
+                inst.erase_from_parent()
+                return True
+    return False
+
+
+def swap_phi_operands(func: Function) -> bool:
+    """Exchange two incoming *values* of a phi, keeping the incoming
+    blocks — the merged value now flows from the wrong predecessor.
+
+    Only phis whose first two incoming values each dominate *both*
+    predecessor edges are eligible, so the mutation stays SSA-clean and
+    survives the (strengthened) verifier.
+    """
+    dt: Optional[DominatorTree] = None
+    for bb in func.blocks:
+        for phi in bb.phis():
+            if len(phi.operands) < 2:
+                continue
+            v0, v1 = phi.operands[0], phi.operands[1]
+            if v0 is v1:
+                continue
+            b0, b1 = phi.incoming_blocks[0], phi.incoming_blocks[1]
+            ok = True
+            for v in (v0, v1):
+                dbb = _defining_block(v)
+                if dbb is None:
+                    continue  # constants/arguments dominate everything
+                if dt is None:
+                    dt = DominatorTree(func)
+                if not (dt.dominates(dbb, b0) and dt.dominates(dbb, b1)):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            phi.set_operand(0, v1)
+            phi.set_operand(1, v0)
+            return True
+    return False
+
+
+#: mutation name -> (function-level mutator, the pass it impersonates)
+MUTATIONS: dict[str, tuple[Callable[[Function], bool], str]] = {
+    "swap-branch-arms": (swap_branch_arms, "simplifycfg"),
+    "drop-store": (drop_store, "dse"),
+    "swap-phi-operands": (swap_phi_operands, "mem2reg"),
+}
+
+
+@contextmanager
+def inject(pass_name: str, mutation: str):
+    """Temporarily replace ``pass_name`` with a version that runs the
+    real pass and then plants ``mutation`` in the first function where
+    it applies (once per ``inject``).  Yields a state dict whose
+    ``"function"`` entry records where the bug landed."""
+    mutator, _ = MUTATIONS[mutation]
+    original = pass_manager.FUNCTION_PASSES[pass_name]
+    state: dict[str, Optional[str]] = {"function": None}
+
+    def sabotaged(func: Function) -> bool:
+        changed = original(func)
+        if state["function"] is None and mutator(func):
+            state["function"] = func.name
+            return True
+        return changed
+
+    pass_manager.FUNCTION_PASSES[pass_name] = sabotaged
+    try:
+        yield state
+    finally:
+        pass_manager.FUNCTION_PASSES[pass_name] = original

@@ -1,0 +1,529 @@
+"""Per-function symbolic evaluation of LIR into TV terms.
+
+:class:`FunctionEvaluator` executes one (acyclic) function symbolically
+and produces a :class:`SymSummary` — the function's observable behavior
+as three terms:
+
+* ``ret``  — the returned value, merged over all ``ret`` paths;
+* ``mem``  — the final memory, an SSA chain of ``store``/``barrier``/
+  ``clobber`` nodes threaded through the CFG (conditional paths merge
+  with ``ite`` nodes over *arrival conditions*);
+* ``eff``  — the ordered chain of uninterpreted effects: fences,
+  ``sc`` accesses, atomics and calls.  Reordering, duplicating or
+  deleting any of these changes the chain, so LIMM-relevant
+  transformations are never accidentally provable.
+
+Non-atomic loads are resolved against the memory chain by a forwarding
+walk that skips provably disjoint stores (structural base+offset
+reasoning plus :mod:`repro.analysis.pointsto` alias queries) and skips
+barriers only for provably thread-local locations — deliberately the
+same discipline :mod:`repro.opt.gvn` applies, so everything GVN does is
+provable and nothing it refuses to do is.
+
+Anything outside the supported fragment (loops, vector ops, aggregate
+loads) raises :class:`SymUnknown`; the checker reports those as
+``unknown``, never as failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...lir.dominators import DominatorTree
+from ...lir.function import BasicBlock, Function, Module
+from ...lir.instructions import (
+    GEP,
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Br,
+    Call,
+    Cast,
+    CmpXchg,
+    FCmp,
+    Fence,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Unreachable,
+)
+from ...lir.types import FloatType, IntType, PointerType, Type
+from ...lir.values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalValue,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+from ..pointsto import analyze_function
+from .terms import Term, TermBuilder, _typekey_sort
+
+#: Bound on the CFG size the evaluator will unroll; beyond this the
+#: nested arrival conditions stop paying for themselves.
+MAX_BLOCKS = 400
+
+#: Recursion bound for the load-forwarding walk through ``ite`` memory.
+_FORWARD_DEPTH = 8
+
+
+class SymUnknown(Exception):
+    """The function (or one instruction) is outside the provable
+    fragment.  ``reason`` is a stable category string for counters."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class SymSummary:
+    """Observable behavior of one function, as terms."""
+
+    ret: Optional[Term]
+    mem: Term
+    eff: Term
+
+
+def typekey(t: Type) -> str:
+    """The access-type tag used on load/store nodes (must agree between
+    a store and the loads it may forward to)."""
+    if isinstance(t, IntType):
+        return f"i{t.bits}"
+    if isinstance(t, FloatType):
+        return f"f{t.bits}"
+    if isinstance(t, PointerType):
+        return "p64"
+    raise SymUnknown("aggregate-access")
+
+
+def value_sort(t: Type) -> tuple[str, int]:
+    if isinstance(t, FloatType):
+        return "f", t.bits
+    if isinstance(t, IntType):
+        return "i", t.bits
+    if isinstance(t, PointerType):
+        return "i", 64
+    raise SymUnknown("aggregate-value")
+
+
+class FunctionEvaluator:
+    """Symbolically evaluate ``func`` with terms from ``builder``.
+
+    The builder is shared between the two functions of a refinement
+    check so identical subcomputations intern to identical nodes.
+    """
+
+    def __init__(self, func: Function, builder: TermBuilder,
+                 module: Optional[Module] = None,
+                 extra_local: Optional[set[int]] = None) -> None:
+        self.func = func
+        self.b = builder
+        self.module = module
+        self.vmap: dict[int, Term] = {}
+        # tid -> LIR pointer Value, for alias/thread-locality queries.
+        # Two values mapping to the same term are equal pointers, so any
+        # representative is as good as another.
+        self.ptr_values: dict[int, Value] = {}
+        # Address-term tids externally proven thread-local.  The checker
+        # seeds this with the *other* side's proofs: locality is a
+        # semantic property of the shared address terms, and the pass
+        # under test routinely improves what pointsto can see (mem2reg
+        # deletes the store that made a slot look escaped), so each side
+        # may borrow the other's sound facts.
+        self.extra_local: set[int] = extra_local or set()
+        self._alloca_serial = 0
+        try:
+            self.alias = analyze_function(func, module)
+        except Exception:  # pragma: no cover - analysis must never abort TV
+            self.alias = None
+
+    # ---- entry point ---------------------------------------------------
+    def run(self) -> SymSummary:
+        func = self.func
+        if func.is_declaration:
+            raise SymUnknown("declaration")
+        dt = DominatorTree(func)
+        if dt.back_edges():
+            raise SymUnknown("loops")
+        if len(dt.rpo) > MAX_BLOCKS:
+            raise SymUnknown("cfg-size")
+
+        order = {id(bb): i for i, bb in enumerate(dt.rpo)}
+        states: dict[int, tuple[Term, Term, Term]] = {}
+        exits: list[tuple[Term, Optional[Term], Term, Term]] = []
+
+        for bb in dt.rpo:
+            if bb is func.entry:
+                reach, mem, eff = self.b.true, self.b.mem0, self.b.eff0
+            else:
+                preds = [p for p in bb.predecessors() if id(p) in states]
+                if not preds:
+                    raise SymUnknown("cfg-order")
+                preds.sort(key=lambda p: order[id(p)])
+                arrives = [
+                    self.b.and_(states[id(p)][0], self._edge_cond(p, bb))
+                    for p in preds
+                ]
+                reach = arrives[0]
+                for a in arrives[1:]:
+                    reach = self.b.or_(reach, a)
+                mem = self._merge(arrives,
+                                  [states[id(p)][1] for p in preds])
+                eff = self._merge(arrives,
+                                  [states[id(p)][2] for p in preds])
+                for phi in bb.phis():
+                    vals = []
+                    for p in preds:
+                        v = phi.incoming_for(p)
+                        if v is None:
+                            raise SymUnknown("phi-incoming")
+                        vals.append(self._value(v))
+                    self.vmap[id(phi)] = self._merge(arrives, vals)
+
+            for inst in bb.instructions:
+                if isinstance(inst, Phi):
+                    continue
+                if isinstance(inst, Ret):
+                    rv = None if inst.value is None \
+                        else self._value(inst.value)
+                    exits.append((reach, rv, mem, eff))
+                    break
+                if isinstance(inst, (Br, Unreachable)):
+                    break
+                mem, eff = self._step(inst, mem, eff)
+            states[id(bb)] = (reach, mem, eff)
+
+        if not exits:
+            return SymSummary(None, self.b.mem0, self.b.eff0)
+        reach_n, ret, mem, eff = exits[-1]
+        for reach_i, ret_i, mem_i, eff_i in reversed(exits[:-1]):
+            if ret is not None and ret_i is not None:
+                ret = self.b.ite(reach_i, ret_i, ret)
+            mem = self.b.ite(reach_i, mem_i, mem)
+            eff = self.b.ite(reach_i, eff_i, eff)
+        return SymSummary(ret, mem, eff)
+
+    # ---- CFG helpers ---------------------------------------------------
+    def _merge(self, arrives: list[Term], vals: list[Term]) -> Term:
+        result = vals[-1]
+        for arrive, val in zip(reversed(arrives[:-1]), reversed(vals[:-1])):
+            result = self.b.ite(arrive, val, result)
+        return result
+
+    def _edge_cond(self, pred: BasicBlock, bb: BasicBlock) -> Term:
+        term = pred.terminator
+        if not isinstance(term, Br) or not term.is_conditional:
+            return self.b.true
+        if term.targets[0] is term.targets[1]:
+            return self.b.true
+        cond = self._value(term.cond)
+        if bb is term.targets[0]:
+            return cond
+        return self.b.not_(cond)
+
+    # ---- value mapping -------------------------------------------------
+    def _value(self, v: Value) -> Term:
+        t = self.vmap.get(id(v))
+        if t is not None:
+            return t
+        t = self._leaf(v)
+        self.vmap[id(v)] = t
+        return t
+
+    def _leaf(self, v: Value) -> Term:
+        if isinstance(v, ConstantInt):
+            return self.b.const(v.type.bits, v.value)
+        if isinstance(v, ConstantFloat):
+            return self.b.fconst(v.type.bits, v.value)
+        if isinstance(v, ConstantPointerNull):
+            return self.b.const(64, 0)
+        if isinstance(v, UndefValue):
+            kind, bits = value_sort(v.type)
+            return self.b.undef(bits, kind)
+        if isinstance(v, Argument):
+            kind, bits = value_sort(v.type)
+            term = self.b.var(f"arg{v.index}", bits, kind)
+            if isinstance(v.type, PointerType):
+                self.ptr_values[term.tid] = v
+            return term
+        if isinstance(v, GlobalVariable):
+            term = self.b.var(f"global:{v.name}", 64)
+            self.ptr_values[term.tid] = v
+            return term
+        if isinstance(v, GlobalValue):  # functions / externals as values
+            return self.b.var(f"func:{v.name}", 64)
+        # An instruction result that was never defined on a path reaching
+        # its use would be an SSA violation; the verifier owns that.
+        raise SymUnknown("unmodeled-value")
+
+    # ---- instruction semantics ----------------------------------------
+    def _step(self, inst, mem: Term, eff: Term) -> tuple[Term, Term]:
+        b = self.b
+        if isinstance(inst, Alloca):
+            self._alloca_serial += 1
+            label = inst.name or f"#{self._alloca_serial}"
+            term = b.var(f"stack:{label}", 64)
+            self.ptr_values[term.tid] = inst
+            self.vmap[id(inst)] = term
+            return mem, eff
+        if isinstance(inst, GEP):
+            self.vmap[id(inst)] = self._gep(inst)
+            return mem, eff
+        if isinstance(inst, BinOp):
+            self.vmap[id(inst)] = b.binop(
+                inst.op, self._value(inst.lhs), self._value(inst.rhs))
+            return mem, eff
+        if isinstance(inst, ICmp):
+            self.vmap[id(inst)] = b.icmp(
+                inst.pred, self._value(inst.lhs), self._value(inst.rhs))
+            return mem, eff
+        if isinstance(inst, FCmp):
+            self.vmap[id(inst)] = b.fcmp(
+                inst.pred, self._value(inst.lhs), self._value(inst.rhs))
+            return mem, eff
+        if isinstance(inst, Cast):
+            kind, bits = value_sort(inst.type)
+            self.vmap[id(inst)] = b.cast(
+                inst.op, self._value(inst.value), bits, kind)
+            return mem, eff
+        if isinstance(inst, Select):
+            self.vmap[id(inst)] = b.ite(
+                self._value(inst.cond),
+                self._value(inst.true_value),
+                self._value(inst.false_value))
+            return mem, eff
+        if isinstance(inst, Load):
+            return self._load(inst, mem, eff)
+        if isinstance(inst, Store):
+            return self._store(inst, mem, eff)
+        if isinstance(inst, Fence):
+            eff = b.effect(eff, f"fence:{inst.kind}")
+            return b.barrier(mem, inst.kind), eff
+        if isinstance(inst, AtomicRMW):
+            tk = typekey(inst.type)
+            eff = b.effect(eff, f"rmw:{inst.op}:{tk}",
+                           self._value(inst.pointer),
+                           self._value(inst.value))
+            self.vmap[id(inst)] = b.effres(eff, tk)
+            return b.clobber(mem, eff), eff
+        if isinstance(inst, CmpXchg):
+            tk = typekey(inst.type)
+            eff = b.effect(eff, f"cmpxchg:{tk}",
+                           self._value(inst.pointer),
+                           self._value(inst.expected),
+                           self._value(inst.new))
+            self.vmap[id(inst)] = b.effres(eff, tk)
+            return b.clobber(mem, eff), eff
+        if isinstance(inst, Call):
+            return self._call(inst, mem, eff)
+        raise SymUnknown(f"unsupported:{inst.opcode}")
+
+    def _gep(self, inst: GEP) -> Term:
+        b = self.b
+        addr = self._value(inst.pointer)
+        sizes = [inst.source_type.size_bytes()]
+        if len(inst.indices) == 2:
+            sizes.append(inst.source_type.element.size_bytes())
+        for idx, size in zip(inst.indices, sizes):
+            it = self._value(idx)
+            if it.bits < 64:
+                # interp treats sub-64-bit indices as unsigned 64-bit
+                it = b.cast("zext", it, 64)
+            addr = b.binop("add", addr, b.binop("mul", it, b.const(64, size)))
+        self.ptr_values[addr.tid] = inst
+        return addr
+
+    def _load(self, inst: Load, mem: Term, eff: Term) -> tuple[Term, Term]:
+        b = self.b
+        tk = typekey(inst.type)
+        addr = self._value(inst.pointer)
+        self.ptr_values.setdefault(addr.tid, inst.pointer)
+        if inst.ordering == "sc":
+            eff = b.effect(eff, f"load-sc:{tk}", addr)
+            self.vmap[id(inst)] = b.effres(eff, tk)
+            return b.barrier(mem, "sc"), eff
+        self.vmap[id(inst)] = self._forward(mem, addr, tk, _FORWARD_DEPTH)
+        return mem, eff
+
+    def _store(self, inst: Store, mem: Term, eff: Term) -> tuple[Term, Term]:
+        b = self.b
+        tk = typekey(inst.value.type)
+        addr = self._value(inst.pointer)
+        val = self._value(inst.value)
+        self.ptr_values.setdefault(addr.tid, inst.pointer)
+        if inst.ordering == "sc":
+            eff = b.effect(eff, f"store-sc:{tk}", addr, val)
+            return b.barrier(b.store(mem, addr, val, tk), "sc"), eff
+        return b.store(mem, addr, val, tk), eff
+
+    def _call(self, inst: Call, mem: Term, eff: Term) -> tuple[Term, Term]:
+        b = self.b
+        callee = inst.callee
+        name = getattr(callee, "name", "") or "?indirect"
+        argterms = [self._value(a) for a in inst.args]
+        if not isinstance(callee, GlobalValue):
+            argterms.insert(0, self._value(callee))
+        eff = b.effect(eff, f"call:{name}", *argterms)
+        if not inst.type.is_void:
+            self.vmap[id(inst)] = b.effres(eff, typekey(inst.type))
+        if not inst.is_readnone_callee():
+            mem = b.clobber(mem, eff)
+        return mem, eff
+
+    # ---- load forwarding ----------------------------------------------
+    def _forward(self, mem: Term, addr: Term, tk: str, depth: int) -> Term:
+        """Resolve a non-atomic load against the store chain.  Returns
+        the forwarded value, or a symbolic ``load`` over the residual
+        chain when the walk gets stuck."""
+        b = self.b
+        cursor = mem
+        while True:
+            if cursor.op == "store":
+                inner, saddr, sval = cursor.args
+                stk = cursor.attr[0]
+                if saddr is addr:
+                    if stk == tk:
+                        return sval
+                    return b.load(cursor, addr, tk)  # type-punned reload
+                if self._disjoint(saddr, stk, addr, tk):
+                    cursor = inner
+                    continue
+                return b.load(cursor, addr, tk)
+            if cursor.op in ("barrier", "clobber"):
+                if self._is_local(addr):
+                    cursor = cursor.args[0]
+                    continue
+                return b.load(cursor, addr, tk)
+            if cursor.op == "ite" and depth > 0:
+                cond, mt, mf = cursor.args
+                return b.ite(cond,
+                             self._forward(mt, addr, tk, depth - 1),
+                             self._forward(mf, addr, tk, depth - 1))
+            if cursor.op == "mem0" and self._is_local(addr):
+                # Reading a fresh stack slot before any store: the value
+                # is undef, and a pass may refine it to anything (mem2reg
+                # materializes 0 for uninitialized promoted slots).
+                kind, bits = _typekey_sort(tk)
+                return b.undef(bits, kind)
+            return b.load(cursor, addr, tk)
+
+    def _is_local(self, addr: Term) -> bool:
+        if addr.tid in self.extra_local:
+            return True
+        base, _ = _split_addr(addr)
+        if base is not addr and base.tid in self.extra_local:
+            return True
+        if self.alias is None:
+            return False
+        v = self.ptr_values.get(addr.tid)
+        if v is not None and self.alias.is_thread_local(v):
+            return True
+        if base is not addr:
+            v = self.ptr_values.get(base.tid)
+            return v is not None and self.alias.is_thread_local(v)
+        return False
+
+    def proved_local_tids(self) -> set[int]:
+        """Tids of every address term this side can prove thread-local."""
+        out = set(self.extra_local)
+        if self.alias is not None:
+            for tid, v in self.ptr_values.items():
+                if self.alias.is_thread_local(v):
+                    out.add(tid)
+        return out
+
+    def _disjoint(self, a: Term, atk: str, b: Term, btk: str) -> bool:
+        abase, aoff = _split_addr(a)
+        bbase, boff = _split_addr(b)
+        if abase is bbase:
+            asize = _access_bytes(atk)
+            bsize = _access_bytes(btk)
+            return aoff + asize <= boff or boff + bsize <= aoff
+        if (abase.op == "var" and bbase.op == "var"
+                and abase.attr[0].split(":", 1)[0] in ("stack", "global")
+                and bbase.attr[0].split(":", 1)[0] in ("stack", "global")):
+            # Distinct allocation bases occupy disjoint address ranges
+            # (same object-separation assumption the interpreter and
+            # pointsto make); offsets stay in range on the acyclic
+            # fragment we evaluate.
+            return True
+        if self.alias is not None:
+            va = self.ptr_values.get(a.tid)
+            vb = self.ptr_values.get(b.tid)
+            if va is not None and vb is not None:
+                return self.alias.alias(va, vb) == "no"
+        return False
+
+
+def _split_addr(term: Term) -> tuple[Term, int]:
+    """Decompose an address term into (base, constant byte offset)."""
+    offset = 0
+    while (term.op == "binop" and term.attr[0] == "add"
+           and term.args[1].is_const):
+        off = term.args[1].value
+        if off >= 1 << 63:
+            off -= 1 << 64
+        offset += off
+        term = term.args[0]
+    return term, offset
+
+
+def _access_bytes(tk: str) -> int:
+    return max(1, int(tk[1:]) // 8)
+
+
+def observable_memory(mem: Term, builder: TermBuilder,
+                      is_local) -> Term:
+    """Project a memory chain down to what other threads (and the
+    caller) can observe:
+
+    * stores to provably thread-local locations are dropped — the
+      storage dies when the function returns (this is what licenses
+      ``mem2reg``/``sroa``/DSE on locals);
+    * a store fully shadowed by a later store to the same address and
+      access type is dropped, but only when no ``barrier``/``clobber``
+      intervenes — under LIMM another thread may legitimately observe
+      the intermediate value across a fence, so DSE across a fence
+      would (correctly) fail to verify;
+    * barriers, clobbers and everything else are kept in order.
+    """
+
+    memo: dict[tuple[int, frozenset], Term] = {}
+
+    def project(node: Term, killed: frozenset) -> Term:
+        cached = memo.get((node.tid, killed))
+        if cached is not None:
+            return cached
+        result = _project(node, killed)
+        memo[(node.tid, killed)] = result
+        return result
+
+    def _project(node: Term, killed: frozenset) -> Term:
+        if node.op == "store":
+            inner, addr, val = node.args
+            tk = node.attr[0]
+            if is_local(addr):
+                return project(inner, killed)
+            if (addr.tid, tk) in killed:
+                return project(inner, killed)
+            new_inner = project(inner, killed | {(addr.tid, tk)})
+            return builder.store(new_inner, addr, val, tk)
+        if node.op == "barrier":
+            return builder.barrier(project(node.args[0], frozenset()),
+                                   node.attr[0])
+        if node.op == "clobber":
+            return builder.clobber(project(node.args[0], frozenset()),
+                                   node.args[1])
+        if node.op == "ite":
+            cond, t, f = node.args
+            return builder.ite(cond, project(t, killed), project(f, killed))
+        return node
+
+    return project(mem, frozenset())

@@ -7,6 +7,8 @@ lift        show the lifted (optionally refined) LIR of a mini-C program
 evaluate    run the Phoenix evaluation and print the §9 tables
 litmus      enumerate outcomes of a named litmus test under a model
 validate    fuzz-driven differential validation of the whole pipeline
+tv          per-pass translation validation: prove each optimization
+            pass invocation refines its input (exit 1 on refuted)
 analyze     static analysis: escape/alias report, LIMM fencecheck linter
 explain     instruction provenance: fence blame, x86/LIR/Arm map, coverage
 stats       per-stage / per-pass telemetry breakdown for one program
@@ -176,7 +178,8 @@ def _translate_and_check(args: argparse.Namespace, source, obj) -> int:
     from .x86 import X86Emulator
 
     lasagne = Lasagne(verify=not args.no_verify,
-                      fence_analysis=args.fence_analysis)
+                      fence_analysis=args.fence_analysis,
+                      tv=args.tv)
     if source is None:
         built = lasagne.translate(obj, args.config)
     else:
@@ -184,6 +187,21 @@ def _translate_and_check(args: argparse.Namespace, source, obj) -> int:
     print(f"config={args.config}: {built.arm_instructions} Arm instructions, "
           f"{built.fences} fences, {built.lir_instructions} IR instructions",
           file=sys.stderr)
+    if args.tv and built.tv_report is not None:
+        report = built.tv_report
+        print(f"tv: {report.proved} proved, {report.unknown} unknown, "
+              f"{report.refuted} refuted "
+              f"over {len(report.verdicts)} pass/function pair(s)",
+              file=sys.stderr)
+        for v in report.refutations():
+            print(f"tv REFUTED {v.pass_name} (iteration {v.iteration}) "
+                  f"on {v.function}: {v.detail}"
+                  + (f" [x86 blame: {v.blame}]" if v.blame else ""),
+                  file=sys.stderr)
+        if report.refuted:
+            return 1
+    elif args.tv:
+        print("tv: no passes ran for this configuration", file=sys.stderr)
     if built.delayset is not None:
         ds = built.delayset
         print(f"delay-sets: {ds.fences_before} fences after placement, "
@@ -227,6 +245,65 @@ def _translate_and_check(args: argparse.Namespace, source, obj) -> int:
             if mismatched:
                 return 1
     return 0
+
+
+def _cmd_tv(args: argparse.Namespace) -> int:
+    """``repro tv <input>``: validate every optimization pass invocation.
+
+    Translates the input with the per-pass translation validator
+    attached and reports one refinement verdict per (pass invocation,
+    function).  Exit 1 when any verdict is ``refuted`` — a concrete
+    counterexample shows the pass miscompiled the function; ``unknown``
+    verdicts (incompleteness) never fail the run.
+    """
+    from .core import Lasagne
+
+    source, obj = _load_input(args.source)
+    if obj is None:
+        return 2
+    if source is None and args.config == "native":
+        print("repro tv: the native configuration recompiles source and "
+              "cannot take an ELF binary", file=sys.stderr)
+        return 2
+    with _telemetry_session(args) as tel:
+        lasagne = Lasagne(fence_analysis=args.fence_analysis, tv=True)
+        if source is None:
+            built = lasagne.translate(obj, args.config)
+        else:
+            built = lasagne.build(source, args.config)
+    _flush_telemetry(tel, args)
+    report = built.tv_report
+
+    if args.sarif:
+        from .analysis.sarif import tv_results, write_sarif
+
+        results = tv_results(report, args.source)
+        path = write_sarif(args.sarif, results)
+        print(f"SARIF report ({len(results)} result(s)) written to {path}",
+              file=sys.stderr)
+    if args.json:
+        import json
+
+        doc = report.to_dict()
+        doc["config"] = args.config
+        doc["source"] = args.source
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"== translation validation ({args.config}) ==")
+        shown = report.verdicts if args.verbose else [
+            v for v in report.verdicts if v.verdict != "proved"]
+        for v in shown:
+            line = (f"  {v.pass_name:<12} iter{v.iteration} "
+                    f"{v.function:<16} {v.verdict:<8} {v.reason}")
+            if v.verdict == "refuted":
+                line += f"\n    {v.detail}"
+                if v.blame:
+                    line += f"\n    x86 blame: {v.blame}"
+            print(line)
+        print(f"tv: {report.proved} proved, {report.unknown} unknown, "
+              f"{report.refuted} refuted over {len(report.verdicts)} "
+              f"pass/function pair(s)")
+    return 1 if report.refuted else 0
 
 
 def _cmd_lift(args: argparse.Namespace) -> int:
@@ -427,7 +504,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         gen=GenConfig(threads=args.threads),
         oracle=OracleOptions(verify=not args.no_verify,
                              include_native=not args.no_native,
-                             fence_analysis=args.fence_analysis),
+                             fence_analysis=args.fence_analysis,
+                             tv=args.tv),
     )
 
     def progress(row: dict) -> None:
@@ -1078,9 +1156,34 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--run", action="store_true")
     p.add_argument("--dump-arm", action="store_true")
     p.add_argument("--dump-ir", action="store_true")
+    p.add_argument("--tv", action="store_true",
+                   help="per-pass translation validation: check every "
+                        "optimization pass invocation for refinement and "
+                        "exit 1 on a refuted (miscompiling) pass")
     p.add_argument("--no-verify", action="store_true")
     _add_telemetry_flags(p)
     p.set_defaults(func=_cmd_translate)
+
+    p = sub.add_parser(
+        "tv",
+        help="per-pass translation validation: symbolically check that "
+             "each optimization pass invocation's output refines its "
+             "input (exit 1 on a refuted pass)")
+    p.add_argument("source", help="mini-C source or ELF64 binary")
+    p.add_argument("--config", default="ppopt",
+                   choices=["native", "opt", "popt", "ppopt"])
+    p.add_argument("--fence-analysis", default="escape",
+                   choices=["walk", "escape", "delay-sets", "sync"])
+    p.add_argument("--json", action="store_true",
+                   help="emit the full verdict list as JSON on stdout")
+    p.add_argument("--sarif", default=None, metavar="FILE",
+                   help="also write tv/refuted and tv/unknown findings "
+                        "as a SARIF 2.1.0 report")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list proved verdicts, not just "
+                        "unknown/refuted ones")
+    _add_telemetry_flags(p)
+    p.set_defaults(func=_cmd_tv)
 
     p = sub.add_parser("lift", help="show lifted LIR")
     p.add_argument("source")
@@ -1155,6 +1258,10 @@ def main(argv: list[str] | None = None) -> int:
                         "static rung")
     p.add_argument("--no-native", action="store_true",
                    help="skip the native-config Arm rung")
+    p.add_argument("--tv", action="store_true",
+                   help="add the static per-pass translation-validation "
+                        "rung: a refuted pass invocation is a divergence "
+                        "even when no execution observes it")
     p.add_argument("--no-verify", action="store_true")
     p.add_argument("--quiet", action="store_true")
     _add_telemetry_flags(p)

@@ -101,6 +101,9 @@ class TranslationResult:
     pointer_casts_before: int = 0
     pointer_casts_after: int = 0
     pass_stats: Optional[PassStats] = None
+    # Per-pass translation-validation report (a repro.analysis.tv.TVReport);
+    # populated only under ``Lasagne(tv=True)`` for configs that optimize.
+    tv_report: Optional[object] = None
     # Intermediate modules, keyed by stage name (see TRANSLATE_STAGES /
     # NATIVE_STAGES); populated only under ``Lasagne(capture_stages=True)``.
     stages: dict[str, Module] = field(default_factory=dict)
@@ -167,13 +170,22 @@ class Lasagne:
     """End-to-end static binary translator for weak memory architectures."""
 
     def __init__(self, verify: bool = True, capture_stages: bool = False,
-                 fence_analysis: str = "escape") -> None:
+                 fence_analysis: str = "escape", tv: bool = False) -> None:
         if fence_analysis not in FENCE_ANALYSES:
             raise ValueError(f"unknown fence analysis {fence_analysis!r} "
                              f"(choose from {', '.join(FENCE_ANALYSES)})")
-        self.verify = verify
+        # Translation validation snapshots the module around every pass
+        # invocation and checks refinement; it implies IR verification.
+        self.verify = verify or tv
         self.capture_stages = capture_stages
         self.fence_analysis = fence_analysis
+        self.tv = tv
+
+    def _tv_checker(self):
+        if not self.tv:
+            return None
+        from ..analysis.tv import TVChecker
+        return TVChecker()
 
     def _capture(self, stages: dict[str, Module], name: str, module: Module) -> None:
         if self.capture_stages:
@@ -182,6 +194,7 @@ class Lasagne:
     # ---- the five configurations -------------------------------------------
     def native(self, source: str, entry: str = "main") -> TranslationResult:
         stages: dict[str, Module] = {}
+        checker = self._tv_checker()
         with telemetry.span("pipeline", category="pipeline",
                             config="native", entry=entry) as root:
             with pipeline_stage("frontend"):
@@ -190,13 +203,15 @@ class Lasagne:
                     verify_module(module)
             self._capture(stages, "frontend", module)
             with pipeline_stage("opt"):
-                stats = optimize_module(module, verify=self.verify)
+                stats = optimize_module(module, verify=self.verify, tv=checker)
             self._capture(stages, "opt", module)
             with pipeline_stage("codegen"):
                 program = compile_lir_to_arm(module, entry)
         return TranslationResult(
             "native", module, program,
-            fences=count_fences(module), pass_stats=stats, stages=stages,
+            fences=count_fences(module), pass_stats=stats,
+            tv_report=checker.report if checker is not None else None,
+            stages=stages,
             trace=root if isinstance(root, telemetry.Span) else None,
             metrics=telemetry.metrics_snapshot(),
         )
@@ -212,6 +227,7 @@ class Lasagne:
             from ..x86.objfile import EntryError
             raise EntryError(entry, sorted(obj.functions))
         stages: dict[str, Module] = {}
+        checker = self._tv_checker() if config != "lifted" else None
         with telemetry.span("pipeline", category="pipeline",
                             config=config, entry=entry) as root:
             with pipeline_stage("lift"):
@@ -242,12 +258,14 @@ class Lasagne:
             stats = None
             if config != "lifted":
                 with pipeline_stage("opt"):
-                    stats = optimize_module(module, verify=self.verify)
+                    stats = optimize_module(module, verify=self.verify,
+                                            tv=checker)
                 self._capture(stages, "opt", module)
                 if config in ("popt", "ppopt"):
                     with pipeline_stage("merge"):
                         merge_fences(module)
-                        optimize_module(module, ["dce"], verify=self.verify)
+                        optimize_module(module, ["dce"], verify=self.verify,
+                                        tv=checker)
                     self._capture(stages, "merge", module)
             if self.verify:
                 verify_module(module)
@@ -269,6 +287,7 @@ class Lasagne:
             pointer_casts_before=casts_before,
             pointer_casts_after=casts_after,
             pass_stats=stats,
+            tv_report=checker.report if checker is not None else None,
             stages=stages,
             trace=root if isinstance(root, telemetry.Span) else None,
             metrics=telemetry.metrics_snapshot(),

@@ -3,10 +3,23 @@
 Mirrors the checks LLVM's verifier performs for the IR slice we use:
 
 * every block ends with exactly one terminator, terminators only at the end;
+* every instruction appears in exactly one block (no shared nodes);
 * instruction operands are defined before use (dominance for non-phi uses,
   edge-dominance for phi incoming values);
-* phi nodes have exactly one incoming value per predecessor;
+* phi nodes have exactly one incoming value per predecessor, and every
+  incoming value agrees with the phi's own type;
+* the def–use acceleration structure is consistent in both directions:
+  every operand's use list contains the user, and every use-list entry
+  really holds the value as an operand (a pass that edits ``operands``
+  directly instead of going through ``set_operand`` corrupts this);
+* binop/icmp/fcmp operands agree in type (and a binop produces its
+  operand type);
 * simple type checks on memory operations, branches, calls and returns.
+
+The translation validator (``repro tv``) runs this verifier after every
+optimization pass invocation — a structurally broken module would make
+refinement verdicts meaningless — so the checks double as the
+"is the pass manager's output even IR" gate.
 """
 
 from __future__ import annotations
@@ -16,11 +29,14 @@ from .function import BasicBlock, Function, Module
 from .instructions import (
     FENCE_KINDS,
     AtomicRMW,
+    BinOp,
     Br,
     Call,
     Cast,
     CmpXchg,
+    FCmp,
     Fence,
+    ICmp,
     Instruction,
     Load,
     Phi,
@@ -48,10 +64,20 @@ def verify_function(func: Function) -> None:
     _check_block_structure(func)
     _check_phis(func)
     _check_types(func)
+    _check_uses(func)
     _check_ssa_dominance(func)
 
 
 def _check_block_structure(func: Function) -> None:
+    seen: set[int] = set()
+    for bb in func.blocks:
+        for inst in bb.instructions:
+            if id(inst) in seen:
+                raise VerificationError(
+                    f"{func.name}/{bb.name}: instruction %{inst.name} "
+                    f"appears in more than one place"
+                )
+            seen.add(id(inst))
     for bb in func.blocks:
         if not bb.instructions:
             raise VerificationError(f"{func.name}/{bb.name}: empty block")
@@ -103,6 +129,36 @@ def _check_phis(func: Function) -> None:
                 saw_non_phi = True
 
 
+def _check_uses(func: Function) -> None:
+    """Def–use consistency, both directions.
+
+    ``Value.users`` is an acceleration structure over the operand slots;
+    passes that edit ``operands`` in place without ``set_operand`` (or
+    forget ``drop_all_references`` on deletion) leave it stale, and the
+    staleness surfaces later as a wrong ``replace_all_uses_with`` — far
+    from the pass that caused it.  Catch it at the source."""
+    in_func: set[int] = set()
+    for bb in func.blocks:
+        for inst in bb.instructions:
+            in_func.add(id(inst))
+    for bb in func.blocks:
+        for inst in bb.instructions:
+            for op in inst.operands:
+                if inst not in op.users:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: {inst.opcode} %{inst.name} "
+                        f"missing from the use list of operand "
+                        f"%{op.short_name() if hasattr(op, 'short_name') else op.name}"
+                    )
+            for user in inst.users:
+                if id(user) in in_func and inst not in user.operands:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: stale use-list entry: "
+                        f"%{user.name} ({user.opcode}) no longer uses "
+                        f"%{inst.name}"
+                    )
+
+
 def _check_types(func: Function) -> None:
     for bb in func.blocks:
         for inst in bb.instructions:
@@ -144,6 +200,33 @@ def _check_types(func: Function) -> None:
                         f"{func.name}/{bb.name}: {inst.opcode} operand type "
                         f"{stored} does not match pointee of {pt}"
                     )
+            elif isinstance(inst, BinOp):
+                if inst.lhs.type != inst.rhs.type:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: binop {inst.op} operand "
+                        f"types disagree ({inst.lhs.type} vs {inst.rhs.type})"
+                    )
+                if inst.type != inst.lhs.type:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: binop {inst.op} result type "
+                        f"{inst.type} does not match operand type "
+                        f"{inst.lhs.type}"
+                    )
+            elif isinstance(inst, (ICmp, FCmp)):
+                if inst.lhs.type != inst.rhs.type:
+                    raise VerificationError(
+                        f"{func.name}/{bb.name}: {inst.opcode} {inst.pred} "
+                        f"operand types disagree "
+                        f"({inst.lhs.type} vs {inst.rhs.type})"
+                    )
+            elif isinstance(inst, Phi):
+                for value, pred in inst.incoming():
+                    if value.type != inst.type:
+                        raise VerificationError(
+                            f"{func.name}/{bb.name}: phi of type {inst.type} "
+                            f"has incoming value of type {value.type} "
+                            f"from {pred.name}"
+                        )
             elif isinstance(inst, Fence):
                 if inst.kind not in FENCE_KINDS:
                     raise VerificationError(

@@ -7,6 +7,7 @@ from typing import Callable, NamedTuple
 
 from .. import telemetry
 from ..lir import Function, Module, verify_module
+from ..lir.clone import clone_module
 from ..profiler.workcounters import scope as work_scope, work
 from .dce import run_adce, run_dce
 from .dse import run_dse
@@ -115,12 +116,20 @@ class PassStats:
 
 
 class PassManager:
-    def __init__(self, verify: bool = False) -> None:
-        self.verify = verify
+    def __init__(self, verify: bool = False, tv=None) -> None:
+        """``tv`` is an optional translation validator (an object with
+        ``check_pass(before, after, name, iteration)``, i.e. a
+        :class:`repro.analysis.tv.TVChecker`).  When set, every pass
+        invocation is snapshotted and checked for refinement; TV also
+        implies post-pass IR verification, since a structurally broken
+        module would produce meaningless verdicts."""
+        self.verify = verify or tv is not None
+        self.tv = tv
         self.stats = PassStats()
 
     def run_pass(self, module: Module, name: str, iteration: int = 0) -> bool:
         before = module.instruction_count()
+        snapshot = clone_module(module) if self.tv is not None else None
         with telemetry.span(name, category="pass", iteration=iteration), \
                 work_scope(stage=name):
             if name in MODULE_PASSES:
@@ -151,6 +160,10 @@ class PassManager:
                     iteration=iteration, before=before, after=after)
         if self.verify:
             verify_module(module)
+        if self.tv is not None:
+            with telemetry.span("tv", category="tv", pass_name=name), \
+                    work_scope(stage="tv"):
+                self.tv.check_pass(snapshot, module, name, iteration)
         return changed
 
     def run_pipeline(
@@ -178,6 +191,7 @@ def optimize_module(
     pipeline: list[str] | None = None,
     verify: bool = False,
     max_iterations: int = 3,
+    tv=None,
 ) -> PassStats:
-    pm = PassManager(verify=verify)
+    pm = PassManager(verify=verify, tv=tv)
     return pm.run_pipeline(module, pipeline, max_iterations)

@@ -64,6 +64,17 @@ function, count]`` cells behind the ``work`` totals — so the warehouse
 ``repro diff`` can rank stage×function deltas between two recorded
 runs instead of only per-config counter totals.
 
+Schema v9 adds the translation-validation dimension
+(:mod:`repro.analysis.tv`): a companion tv-enabled build per
+(program, config) — every config but ``lifted``, which runs no passes —
+records per-row ``tv_proved`` / ``tv_unknown`` / ``tv_refuted`` verdict
+counts plus the checker's own deterministic cost (``tv.checks``,
+``tv.terms``, ``tv.confirms``, ``tv.proved``/``tv.unknown``/
+``tv.refuted``) folded into ``work`` / ``work_cells``, with per-config
+``tv_proved_total`` / ``tv_unknown_total`` / ``tv_refuted_total`` in the
+summary.  A refutation appearing in the trajectory is a miscompile
+regression, visible the same way a fencecheck violation would be.
+
 CLI: ``python -m repro bench [--size tiny|small] [--repeats N] [--out FILE]
 [--compare [REF]]``.
 """
@@ -77,7 +88,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import Optional
 
-BENCH_VERSION = 8
+BENCH_VERSION = 9
 DEFAULT_OUT = "BENCH_translate.json"
 
 
@@ -180,6 +191,9 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
     # The companion elision build runs the full tier stack (delay sets +
     # lockset/sync refinement) so one extra build yields both counters.
     delayset_lasagne = Lasagne(verify=False, fence_analysis="sync")
+    # Companion translation-validation build (v9): per-pass refinement
+    # verdicts plus the checker's own tv.* work counters.
+    tv_lasagne = Lasagne(tv=True)
     bench_programs = all_programs(sizes)
     demo_src = _example_source("demo.c")
     if demo_src is not None:
@@ -207,6 +221,18 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
             # deterministic work counters and tracemalloc peak (v6).
             with workcounters.collect() as wc:
                 _, peak = measure_peak(lasagne.build, program.source, config)
+            # Companion tv-enabled build (v9): per-pass refinement
+            # verdicts for this row; only the checker's own tv.* cells
+            # fold into the work matrix (the rest of that build would
+            # double-count the baseline's pipeline work).
+            tv_counts = {"proved": 0, "unknown": 0, "refuted": 0}
+            if config != "lifted":
+                with workcounters.collect() as tv_wc:
+                    tv_built = tv_lasagne.build(program.source, config)
+                tv_counts = tv_built.tv_report.counts()
+                for stage, counter, function, n in tv_wc.cells():
+                    if counter.startswith("tv."):
+                        wc.add(stage, counter, function, n)
             config_work[config].merge(wc)
             config_peak[config] = max(config_peak[config], peak)
             fencecheck_violations = 0
@@ -224,6 +250,9 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 "fences_elided_beyond_walk": built.fences_elided_beyond_walk,
                 "fences_elided_interproc": built.fences_elided_interproc,
                 "fencecheck_violations": fencecheck_violations,
+                "tv_proved": tv_counts["proved"],
+                "tv_unknown": tv_counts["unknown"],
+                "tv_refuted": tv_counts["refuted"],
                 "work": wc.by_counter(),
                 "work_cells": [list(cell) for cell in wc.cells()],
                 "peak_rss_bytes": peak,
@@ -269,6 +298,9 @@ def run_bench(size: str = "tiny", configs: Optional[list[str]] = None,
                 r["fences_elided_interproc"] for r in rows),
             "fencecheck_violations_total": sum(
                 r["fencecheck_violations"] for r in rows),
+            "tv_proved_total": sum(r["tv_proved"] for r in rows),
+            "tv_unknown_total": sum(r["tv_unknown"] for r in rows),
+            "tv_refuted_total": sum(r["tv_refuted"] for r in rows),
         }
         summary[config]["work"] = config_work[config].by_counter()
         summary[config]["work_digest"] = config_work[config].digest()

@@ -37,6 +37,13 @@ certificate whose fence covered a critical-cycle delay edge — or one
 issued under a capped analysis — is a ``delayset``-kind divergence.
 Under ``"sync"`` the audit also re-runs the lockset-refined analysis, so
 sync-tier certificates are re-derived against fresh must-locksets.
+
+With ``tv=True`` a third static rung (``tv:opt``) runs the per-pass
+translation validator (:mod:`repro.analysis.tv`) inside the capturing
+ppopt build: every optimization pass invocation is symbolically checked
+for refinement, and any ``refuted`` verdict — a concrete-counterexample
+miscompile — is reported as a ``tv``-kind divergence at the opt stage,
+even when no execution rung happened to hit the broken path.
 """
 
 from __future__ import annotations
@@ -65,6 +72,7 @@ class OracleOptions:
     compare_globals: bool = True
     fencecheck: bool = True      # static LIMM-obligation rung
     fence_analysis: str = "escape"  # pipeline fence-elision tier
+    tv: bool = False             # per-pass translation-validation rung
 
 
 @dataclass
@@ -216,7 +224,8 @@ def options_for_signature(signature: str,
     return OracleOptions(
         verify=base.verify, include_native=False, arm_configs=(),
         max_steps=base.max_steps, compare_globals=base.compare_globals,
-        fencecheck=base.fencecheck, fence_analysis=base.fence_analysis)
+        fencecheck=base.fencecheck, fence_analysis=base.fence_analysis,
+        tv=base.tv)
 
 
 def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
@@ -263,12 +272,14 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
     staged: dict[str, Module] = {}
     arm_programs: dict[str, object] = {}
     build_errors: dict[str, str] = {}
+    tv_report = None
     lasagne = Lasagne(verify=opts.verify, capture_stages=True,
-                      fence_analysis=opts.fence_analysis)
+                      fence_analysis=opts.fence_analysis, tv=opts.tv)
     try:
         built = lasagne.translate(obj, "ppopt")
         staged = built.stages
         arm_programs["ppopt"] = built.program
+        tv_report = built.tv_report
     except Exception as exc:  # noqa: BLE001
         build_errors["ppopt"] = f"{type(exc).__name__}: {exc}"
     plain = Lasagne(verify=opts.verify, fence_analysis=opts.fence_analysis)
@@ -309,6 +320,27 @@ def run_oracle(source: str, opts: OracleOptions | None = None) -> Verdict:
         divergence = _compare(reference, rung)
         if divergence is not None:
             return Verdict(False, divergence, rungs)
+
+    # Static rung: every pass invocation of the capturing ppopt build
+    # must have produced a refinement of its input (proved/unknown are
+    # both clean — only a concrete-counterexample refutation diverges).
+    if opts.tv and tv_report is not None:
+        name = "tv:opt"
+        rung = RungResult(name, "opt")
+        rung.retired = len(tv_report.verdicts)
+        rungs.append(rung)
+        refuted = tv_report.refutations()
+        if refuted:
+            detail = "; ".join(
+                f"{v.pass_name}/{v.function}: {v.reason}"
+                + (f" [{v.blame}]" if v.blame else "")
+                for v in refuted[:3])
+            if len(refuted) > 3:
+                detail += f" (+{len(refuted) - 3} more)"
+            return Verdict(False, Divergence(
+                "opt", name, "tv",
+                f"{len(refuted)} refuted pass invocation(s): {detail}",
+            ), rungs)
 
     # Static rung: the LIMM obligations must survive opt and merging.
     if opts.fencecheck:

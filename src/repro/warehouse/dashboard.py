@@ -51,6 +51,9 @@ _TRAJECTORY_METRICS = (
     ("fences_elided_sync_total", "fences elided: sync"),
     ("fencecheck_violations_total", "fencecheck violations"),
     ("racecheck_racy_total", "racecheck: racy accesses"),
+    ("tv_proved_total", "tv: proved pass invocations"),
+    ("tv_unknown_total", "tv: unknown pass invocations"),
+    ("tv_refuted_total", "tv: refuted (miscompiles)"),
     ("peak_rss_bytes", "peak RSS (bytes)"),
 )
 

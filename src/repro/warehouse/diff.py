@@ -22,6 +22,11 @@ delay-set tier used to) is visible even when the total is unchanged:
 * ``interproc`` — interprocedural summaries,
 * ``delayset`` — delay-set cycle pruning,
 * ``sync`` — synchronization-refined (lock-protected) elision.
+
+Translation-validation verdict totals (``tv_proved_total`` /
+``tv_unknown_total`` / ``tv_refuted_total``, bench schema v9) get their
+own section: a nonzero ``refuted`` on the candidate side is a
+miscompile regression and is flagged loudly.
 """
 
 from __future__ import annotations
@@ -38,6 +43,13 @@ FENCE_TIERS = (
     ("interproc", "fences_elided_interproc_total"),
     ("delayset", "fences_elided_delayset_total"),
     ("sync", "fences_elided_sync_total"),
+)
+
+#: Translation-validation verdict totals (summary metric per verdict).
+TV_METRICS = (
+    ("proved", "tv_proved_total"),
+    ("unknown", "tv_unknown_total"),
+    ("refuted", "tv_refuted_total"),
 )
 
 #: How many rows each ranked section keeps by default.
@@ -60,6 +72,8 @@ class DiffReport:
         field(default_factory=list)
     #: config -> tier -> {a, b, delta}
     fences: dict[str, dict[str, dict]] = field(default_factory=dict)
+    #: config -> verdict ('proved'|'unknown'|'refuted') -> {a, b, delta}
+    tv: dict[str, dict[str, dict]] = field(default_factory=dict)
     #: ranked [(stage/pass, a, b, delta)] for opt.* work (pass effect)
     passes: list[tuple[str, int, int, int]] = field(default_factory=list)
     #: ranked [(frame, a_samples, b_samples, delta_share)]
@@ -126,6 +140,16 @@ def diff_runs(store: Warehouse, run_a: RunInfo, run_b: RunInfo,
             if any(row["delta"] for row in shifted.values()) or \
                     tiers_a["total"] or tiers_b["total"]:
                 report.fences[config] = shifted
+        if any(m.startswith("tv_") for m in set(row_a) | set(row_b)):
+            verdicts = {
+                name: {"a": row_a.get(metric, 0.0),
+                       "b": row_b.get(metric, 0.0),
+                       "delta": (row_b.get(metric, 0.0)
+                                 - row_a.get(metric, 0.0))}
+                for name, metric in TV_METRICS
+            }
+            if any(v["a"] or v["b"] for v in verdicts.values()):
+                report.tv[config] = verdicts
     counter_rows.sort(key=lambda r: (-abs(r[4]), r[0], r[1]))
     report.counters = counter_rows[:top]
 
@@ -192,6 +216,7 @@ def to_dict(report: DiffReport) -> dict:
         "counters": [list(r) for r in report.counters],
         "cells": [list(r) for r in report.cells],
         "fences": report.fences,
+        "tv": report.tv,
         "passes": [list(r) for r in report.passes],
         "frames": [list(r) for r in report.frames],
     }
@@ -245,6 +270,20 @@ def render_text(report: DiffReport) -> str:
                              + (f" ({_sign(row['delta'])})"
                                 if row["delta"] else ""))
             lines.append(f"  {config:<8} " + "  ".join(parts))
+    if report.tv:
+        lines.append("")
+        lines.append("-- translation-validation verdicts "
+                     "(refuted != 0 is a miscompile) --")
+        for config in sorted(report.tv):
+            verdicts = report.tv[config]
+            parts = []
+            for name, _metric in TV_METRICS:
+                row = verdicts[name]
+                parts.append(f"{name} {row['a']:g}->{row['b']:g}"
+                             + (f" ({_sign(row['delta'])})"
+                                if row["delta"] else ""))
+            flag = "  !! REFUTED" if verdicts["refuted"]["b"] else ""
+            lines.append(f"  {config:<8} " + "  ".join(parts) + flag)
     if report.passes:
         lines.append("")
         lines.append("-- pass effectiveness (opt.* work per pass) --")
@@ -309,6 +348,18 @@ def render_markdown(report: DiffReport) -> str:
                 cells.append(f"{row['a']:g}→{row['b']:g}")
             lines.append(f"| {config} | " + " | ".join(cells) + " |")
         lines.append("")
+    if report.tv:
+        lines += ["### Translation-validation verdicts", "",
+                  "| config | proved | unknown | refuted |",
+                  "|---|---:|---:|---:|"]
+        for config in sorted(report.tv):
+            verdicts = report.tv[config]
+            cells = []
+            for name, _metric in TV_METRICS:
+                row = verdicts[name]
+                cells.append(f"{row['a']:g}→{row['b']:g}")
+            lines.append(f"| {config} | " + " | ".join(cells) + " |")
+        lines.append("")
     if report.passes:
         lines += ["### Pass effectiveness (opt.* work)", "",
                   "| pass | A | B | delta |", "|---|---:|---:|---:|"]
@@ -326,5 +377,6 @@ def render_markdown(report: DiffReport) -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
-__all__ = ["DEFAULT_TOP", "DiffReport", "FENCE_TIERS", "diff_runs",
-           "render_markdown", "render_text", "to_dict", "to_json"]
+__all__ = ["DEFAULT_TOP", "DiffReport", "FENCE_TIERS", "TV_METRICS",
+           "diff_runs", "render_markdown", "render_text", "to_dict",
+           "to_json"]

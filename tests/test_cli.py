@@ -338,7 +338,7 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert f"baseline written to {out_path}" in out
         report = json.loads(out_path.read_text())
-        assert report["version"] == 8
+        assert report["version"] == 9
         assert set(report["summary"]) == \
             {"native", "lifted", "opt", "popt", "ppopt", "loader"}
         lifted = report["summary"]["lifted"]
@@ -362,10 +362,17 @@ class TestBenchCommand:
         prog_row = next(iter(report["programs"].values()))["lifted"]
         assert prog_row["work_cells"]
         assert all(len(cell) == 4 for cell in prog_row["work_cells"])
+        # v9: tv verdict counts per row — vacuous for lifted (no passes
+        # run), live for every optimizing config.
+        assert prog_row["tv_proved"] == prog_row["tv_refuted"] == 0
+        ppopt_row = next(iter(report["programs"].values()))["ppopt"]
+        assert ppopt_row["tv_proved"] > 0
+        assert ppopt_row["tv_refuted"] == 0
+        assert report["summary"]["ppopt"]["tv_refuted_total"] == 0
         assert len(report["trajectory"]) == 1
         entry = report["trajectory"][0]
         assert "dirty" in entry
-        assert entry["version"] == 8
+        assert entry["version"] == 9
 
 
 def test_evaluate_command_smoke(capsys):

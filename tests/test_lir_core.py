@@ -6,6 +6,7 @@ from repro.lir import (
     F64,
     I1,
     I8,
+    I32,
     I64,
     ArrayType,
     BinOp,
@@ -272,6 +273,70 @@ class TestVerifier:
         phi.add_incoming(ConstantInt(I64, 1), entry)  # missing 'other'
         IRBuilder(join).ret(phi)
         with pytest.raises(VerificationError):
+            verify_function(f)
+
+
+class TestVerifierStrengthened:
+    """The def–use / uniqueness / operand-type checks added for the
+    translation validator (which re-verifies after every pass)."""
+
+    def test_rejects_duplicated_instruction(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        v = b.add(f.arguments[0], ConstantInt(I64, 1))
+        b.ret(v)
+        bb.instructions.insert(0, v)  # now appears twice
+        with pytest.raises(VerificationError, match="more than one place"):
+            verify_function(f)
+
+    def test_rejects_missing_use_list_entry(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        v = b.add(f.arguments[0], ConstantInt(I64, 1))
+        b.ret(v)
+        v.users.discard(bb.instructions[-1])  # corrupt the use list
+        with pytest.raises(VerificationError, match="missing from the use"):
+            verify_function(f)
+
+    def test_rejects_stale_use_list_entry(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        v = b.add(f.arguments[0], ConstantInt(I64, 1))
+        w = b.add(v, ConstantInt(I64, 2))
+        b.ret(w)
+        w.operands[0] = ConstantInt(I64, 3)  # bypasses set_operand
+        with pytest.raises(VerificationError, match="stale use-list"):
+            verify_function(f)
+
+    def test_rejects_binop_operand_type_mismatch(self):
+        m, f = _make_function()
+        bb = f.new_block("entry")
+        b = IRBuilder(bb)
+        v = b.add(f.arguments[0], ConstantInt(I64, 1))
+        b.ret(v)
+        v.operands[1] = ConstantInt(I32, 1)
+        v.operands[1].users.add(v)  # keep use lists consistent
+        with pytest.raises(VerificationError, match="types disagree"):
+            verify_function(f)
+
+    def test_rejects_phi_incoming_type_mismatch(self):
+        m, f = _make_function()
+        entry = f.new_block("entry")
+        other = f.new_block("other")
+        join = f.new_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0))
+        b.cond_br(cond, other, join)
+        IRBuilder(other).br(join)
+        phi = Phi(I64)
+        join.append(phi)
+        phi.add_incoming(ConstantInt(I64, 1), entry)
+        phi.add_incoming(ConstantInt(I32, 2), other)
+        IRBuilder(join).ret(phi)
+        with pytest.raises(VerificationError, match="incoming value"):
             verify_function(f)
 
 

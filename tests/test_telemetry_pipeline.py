@@ -243,7 +243,7 @@ class TestBenchEmitter:
         from repro.telemetry.bench import run_bench, write_bench
 
         report = run_bench(size="tiny", configs=["ppopt"], repeats=1)
-        assert report["version"] == 8
+        assert report["version"] == 9
         assert report["configs"] == ["ppopt"]
         assert "demo" in report["programs"]
         for name, per_config in report["programs"].items():
@@ -284,6 +284,15 @@ class TestBenchEmitter:
         assert demo["work_cells"]
         assert all(len(cell) == 4 for cell in demo["work_cells"])
         assert summary["racecheck_lock_protected_total"] > 0
+        # v9: the companion tv build proves every pass invocation (or
+        # leaves it unknown) — a refutation anywhere is a miscompile.
+        for name, per_config in report["programs"].items():
+            row = per_config["ppopt"]
+            assert row["tv_refuted"] == 0, name
+            assert row["tv_proved"] + row["tv_unknown"] > 0, name
+        assert any(c.startswith("tv.") for c in demo["work"])
+        assert summary["tv_refuted_total"] == 0
+        assert summary["tv_proved_total"] > summary["tv_unknown_total"]
         # v5: the ELF-loader trajectory over examples/elf fixtures.
         for name, row in report["loader"].items():
             assert row["ok"], name

@@ -1,0 +1,106 @@
+"""Tests for the translation-validation CLI surfaces.
+
+``repro tv`` (standalone report, JSON, SARIF, exit codes) and
+``repro translate --tv`` (inline verdict gate).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+int g = 0;
+
+int sel(int c) {
+  int x = c + 7;
+  int y = c - 3;
+  int r;
+  if (c > 0) { r = x; } else { r = y; }
+  return r;
+}
+
+int main() {
+  g = 1;
+  g = g + sel(g) + sel(0 - 2);
+  return g;
+}
+"""
+
+
+@pytest.fixture()
+def src_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SRC)
+    return str(path)
+
+
+class TestTvCommand:
+    def test_clean_program_exits_zero(self, src_file, capsys):
+        rc = main(["tv", src_file, "--config", "opt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "0 refuted" in out
+
+    def test_json_report(self, src_file, capsys):
+        rc = main(["tv", src_file, "--config", "opt", "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["config"] == "opt"
+        assert doc["summary"]["refuted"] == 0
+        assert doc["summary"]["proved"] > 0
+        assert all(v["verdict"] in ("proved", "unknown", "refuted")
+                   for v in doc["verdicts"])
+
+    def test_sarif_report(self, src_file, tmp_path, capsys):
+        sarif_path = tmp_path / "tv.sarif"
+        rc = main(["tv", src_file, "--config", "opt",
+                   "--sarif", str(sarif_path)])
+        assert rc == 0
+        doc = json.loads(sarif_path.read_text())
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rules = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rules <= {"tv/refuted", "tv/unknown"}
+        assert all(r["ruleId"].startswith("tv/") for r in run["results"])
+
+    def test_lifted_config_is_rejected(self, src_file, capsys):
+        # lifted runs no passes, so the parser does not offer it at all.
+        with pytest.raises(SystemExit):
+            main(["tv", src_file, "--config", "lifted"])
+        assert "invalid choice: 'lifted'" in capsys.readouterr().err
+
+    def test_refuted_mutation_exits_one(self, src_file, capsys):
+        from repro.analysis.tv.mutations import inject
+
+        with inject("dse", "drop-store"):
+            rc = main(["tv", src_file, "--config", "opt"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "refuted" in out
+
+    def test_missing_file(self, capsys):
+        rc = main(["tv", "/nonexistent/prog.c"])
+        assert rc == 2
+
+
+class TestTranslateTvFlag:
+    def test_translate_tv_prints_counts(self, src_file, capsys):
+        rc = main(["translate", src_file, "--config", "opt", "--tv"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "tv:" in err and "0 refuted" in err
+
+    def test_translate_tv_gates_on_refutation(self, src_file, capsys):
+        from repro.analysis.tv.mutations import inject
+
+        with inject("dse", "drop-store"):
+            rc = main(["translate", src_file, "--config", "opt", "--tv"])
+        assert rc == 1
+        assert "tv REFUTED" in capsys.readouterr().err
+
+    def test_translate_tv_lifted_reports_no_passes(self, src_file, capsys):
+        rc = main(["translate", src_file, "--config", "lifted", "--tv"])
+        assert rc == 0
+        assert "no passes ran" in capsys.readouterr().err

@@ -1,0 +1,210 @@
+"""Tests for the TV symbolic evaluator (repro.analysis.tv.symexec)."""
+
+import pytest
+
+from repro.analysis.tv.symexec import (
+    FunctionEvaluator,
+    SymUnknown,
+    observable_memory,
+)
+from repro.analysis.tv.terms import TermBuilder
+from repro.lir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    I64,
+    IRBuilder,
+    Module,
+)
+
+
+def _func(name="f", nargs=1):
+    m = Module("t")
+    f = Function(name, FunctionType(I64, (I64,) * nargs),
+                 [f"a{i}" for i in range(nargs)])
+    m.add_function(f)
+    return m, f
+
+
+def _run(f, builder=None, module=None):
+    builder = builder or TermBuilder()
+    return FunctionEvaluator(f, builder, module).run(), builder
+
+
+class TestStraightLine:
+    def test_add_constant(self):
+        m, f = _func()
+        b = IRBuilder(f.new_block("entry"))
+        v = b.add(f.arguments[0], ConstantInt(I64, 5), "v")
+        b.ret(v)
+        summary, tb = _run(f, module=m)
+        assert summary.ret is tb.binop("add", tb.var("arg0", 64),
+                                       tb.const(64, 5))
+        assert summary.eff is tb.eff0
+
+    def test_equivalent_functions_intern_identically(self):
+        """x+1+1 and x+2 produce the SAME ret node in a shared builder —
+        the core mechanism the refinement check relies on."""
+        m1, f1 = _func("f1")
+        b1 = IRBuilder(f1.new_block("entry"))
+        t = b1.add(f1.arguments[0], ConstantInt(I64, 1), "t")
+        b1.ret(b1.add(t, ConstantInt(I64, 1), "u"))
+
+        m2, f2 = _func("f2")
+        b2 = IRBuilder(f2.new_block("entry"))
+        b2.ret(b2.add(f2.arguments[0], ConstantInt(I64, 2), "u"))
+
+        tb = TermBuilder()
+        s1, _ = _run(f1, tb, m1)
+        s2, _ = _run(f2, tb, m2)
+        assert s1.ret is s2.ret
+
+    def test_store_load_forwarding(self):
+        m, f = _func()
+        b = IRBuilder(f.new_block("entry"))
+        p = b.alloca(I64, "p")
+        b.store(f.arguments[0], p)
+        v = b.load(p, name="v")
+        b.ret(v)
+        summary, tb = _run(f, module=m)
+        assert summary.ret is tb.var("arg0", 64)
+
+    def test_uninitialized_local_load_is_undef(self):
+        """A load from a never-stored thread-local slot is undef — the
+        wildcard that lets mem2reg materialize any value for it."""
+        m, f = _func()
+        b = IRBuilder(f.new_block("entry"))
+        p = b.alloca(I64, "p")
+        v = b.load(p, name="v")
+        b.ret(v)
+        summary, _ = _run(f, module=m)
+        assert summary.ret.op == "undef"
+
+
+class TestControlFlow:
+    def _diamond(self):
+        m, f = _func()
+        entry = f.new_block("entry")
+        then = f.new_block("then")
+        els = f.new_block("else")
+        join = f.new_block("join")
+        b = IRBuilder(entry)
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        b.cond_br(cond, then, els)
+        bt = IRBuilder(then)
+        tv = bt.add(f.arguments[0], ConstantInt(I64, 1), "tv")
+        bt.br(join)
+        be = IRBuilder(els)
+        ev = be.add(f.arguments[0], ConstantInt(I64, 2), "ev")
+        be.br(join)
+        bj = IRBuilder(join)
+        phi = bj.phi(I64, "r")
+        phi.add_incoming(tv, then)
+        phi.add_incoming(ev, els)
+        bj.ret(phi)
+        return m, f
+
+    def test_diamond_becomes_ite(self):
+        m, f = self._diamond()
+        summary, tb = _run(f, module=m)
+        arg = tb.var("arg0", 64)
+        cond = tb.icmp("eq", arg, tb.const(64, 0))
+        expected = tb.ite(cond, tb.binop("add", arg, tb.const(64, 1)),
+                          tb.binop("add", arg, tb.const(64, 2)))
+        assert summary.ret is expected
+
+    def test_loops_are_unknown(self):
+        m, f = _func()
+        entry = f.new_block("entry")
+        loop = f.new_block("loop")
+        out = f.new_block("out")
+        IRBuilder(entry).br(loop)
+        b = IRBuilder(loop)
+        cond = b.icmp("eq", f.arguments[0], ConstantInt(I64, 0), "c")
+        b.cond_br(cond, out, loop)
+        IRBuilder(out).ret(ConstantInt(I64, 0))
+        with pytest.raises(SymUnknown) as exc:
+            _run(f, module=m)
+        assert exc.value.reason == "loops"
+
+
+class TestEffects:
+    def test_fences_are_ordered_effects(self):
+        m, f = _func()
+        b = IRBuilder(f.new_block("entry"))
+        b.fence("rm")
+        b.fence("ww")
+        b.ret(ConstantInt(I64, 0))
+        summary, tb = _run(f, module=m)
+        expected = tb.effect(tb.effect(tb.eff0, "fence:rm"), "fence:ww")
+        assert summary.eff is expected
+
+    def test_fence_reorder_is_visible(self):
+        """Swapping two fences changes the effect chain — a LIMM
+        reordering is NOT provable away."""
+        def build(first, second):
+            m, f = _func()
+            b = IRBuilder(f.new_block("entry"))
+            b.fence(first)
+            b.fence(second)
+            b.ret(ConstantInt(I64, 0))
+            return m, f
+
+        tb = TermBuilder()
+        m1, f1 = build("rm", "ww")
+        m2, f2 = build("ww", "rm")
+        s1, _ = _run(f1, tb, m1)
+        s2, _ = _run(f2, tb, m2)
+        assert s1.eff is not s2.eff
+
+
+class TestObservableMemory:
+    def test_local_stores_projected_away(self):
+        m, f = _func()
+        b = IRBuilder(f.new_block("entry"))
+        p = b.alloca(I64, "p")
+        b.store(f.arguments[0], p)
+        b.ret(f.arguments[0])
+        summary, tb = _run(f, module=m)
+        obs = observable_memory(summary.mem, tb, lambda a: True)
+        assert obs is tb.mem0
+
+    def test_shared_stores_survive(self):
+        m, f = _func()
+        b = IRBuilder(f.new_block("entry"))
+        p = b.alloca(I64, "p")
+        b.store(f.arguments[0], p)
+        b.ret(f.arguments[0])
+        summary, tb = _run(f, module=m)
+        obs = observable_memory(summary.mem, tb, lambda a: False)
+        assert obs.op == "store"
+
+    def test_shadowed_store_dropped_within_segment(self):
+        """Two same-slot stores with no barrier between: only the
+        younger one is observable."""
+        m, f = _func(nargs=2)
+        b = IRBuilder(f.new_block("entry"))
+        p = b.alloca(I64, "p")
+        b.store(f.arguments[0], p)
+        b.store(f.arguments[1], p)
+        b.ret(f.arguments[0])
+        summary, tb = _run(f, module=m)
+        obs = observable_memory(summary.mem, tb, lambda a: False)
+        assert obs.op == "store"
+        assert obs.args[0] is tb.mem0  # the older store is shadowed
+
+    def test_barrier_resets_shadowing(self):
+        """A fence between two same-slot stores keeps both — another
+        thread may observe the first value at the fence."""
+        m, f = _func(nargs=2)
+        b = IRBuilder(f.new_block("entry"))
+        p = b.alloca(I64, "p")
+        b.store(f.arguments[0], p)
+        b.fence("ww")
+        b.store(f.arguments[1], p)
+        b.ret(f.arguments[0])
+        summary, tb = _run(f, module=m)
+        obs = observable_memory(summary.mem, tb, lambda a: False)
+        assert obs.op == "store"
+        assert obs.args[0].op == "barrier"
+        assert obs.args[0].args[0].op == "store"

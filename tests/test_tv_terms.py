@@ -1,0 +1,126 @@
+"""Property tests for the TV term language (repro.analysis.tv.terms).
+
+The central obligation: every algebraic rewrite the normalizing
+TermBuilder performs must be *sound* — both sides agree on every
+concrete input — and *convergent* — the normalizing builder interns
+both sides to the same hash-consed node.  Soundness is checked by
+exhaustive 4-bit concrete evaluation (no sampling gaps at this width),
+convergence by pointer identity.
+"""
+
+import itertools
+
+import pytest
+
+from repro.analysis.tv.concrete import Oracle, evaluate
+from repro.analysis.tv.terms import (
+    ALGEBRAIC_RULES,
+    TermBuilder,
+    TermCapExceeded,
+    contains_op,
+    render,
+)
+
+BITS = 4
+RULE_IDS = [r.name for r in ALGEBRAIC_RULES]
+
+
+def _assignments(nvars):
+    return itertools.product(range(1 << BITS), repeat=nvars)
+
+
+@pytest.mark.parametrize("rule", ALGEBRAIC_RULES, ids=RULE_IDS)
+class TestRuleProperties:
+    def test_sound_on_all_4bit_inputs(self, rule):
+        """lhs == rhs under *raw* construction, for every assignment."""
+        raw = TermBuilder(simplify=False)
+        xs = [raw.var(f"x{i}", BITS) for i in range(rule.nvars)]
+        lhs = rule.lhs(raw, BITS, *xs)
+        rhs = rule.rhs(raw, BITS, *xs)
+        oracle = Oracle(0)
+        for values in _assignments(rule.nvars):
+            env = {f"x{i}": v for i, v in enumerate(values)}
+            lval = evaluate(lhs, env, oracle)
+            rval = evaluate(rhs, env, oracle)
+            assert lval == rval, (
+                f"{rule.name} diverges on {env}: "
+                f"{render(lhs)}={lval} vs {render(rhs)}={rval}")
+
+    def test_normalizing_builder_converges(self, rule):
+        """Both sides intern to the same node under normalization."""
+        b = TermBuilder()
+        xs = [b.var(f"x{i}", BITS) for i in range(rule.nvars)]
+        lhs = rule.lhs(b, BITS, *xs)
+        rhs = rule.rhs(b, BITS, *xs)
+        assert lhs is rhs, (
+            f"{rule.name}: {render(lhs)} and {render(rhs)} "
+            f"did not converge")
+
+
+class TestHashConsing:
+    def test_identical_constructions_share_nodes(self):
+        b = TermBuilder()
+        x = b.var("x", 64)
+        t1 = b.binop("add", x, b.const(64, 7))
+        t2 = b.binop("add", x, b.const(64, 7))
+        assert t1 is t2
+
+    def test_commutative_canonicalization(self):
+        b = TermBuilder()
+        x, y = b.var("x", 64), b.var("y", 64)
+        assert b.binop("add", x, y) is b.binop("add", y, x)
+        assert b.binop("mul", x, y) is b.binop("mul", y, x)
+        # Non-commutative ops must NOT be reordered.
+        assert b.binop("sub", x, y) is not b.binop("sub", y, x)
+
+    def test_constant_folding(self):
+        b = TermBuilder()
+        t = b.binop("add", b.const(64, 40), b.const(64, 2))
+        assert t.is_const and t.value == 42
+
+    def test_memory_ops_never_simplified(self):
+        """store/barrier nodes must survive even under normalization —
+        memory ordering is what the validator exists to check."""
+        b = TermBuilder()
+        addr = b.var("stack:p", 64)
+        m = b.store(b.mem0, addr, b.const(64, 0), "i64")
+        m2 = b.store(m, addr, b.const(64, 0), "i64")
+        assert m2.op == "store" and m2.args[0] is m
+        bar = b.barrier(m2, "sc")
+        assert bar.op == "barrier" and bar.attr == ("sc",)
+
+    def test_term_cap(self):
+        b = TermBuilder(cap=8)
+        x = b.var("x", 64)
+        with pytest.raises(TermCapExceeded):
+            for i in range(64):
+                x = b.binop("add", x, b.const(64, i + 1))
+
+    def test_contains_op(self):
+        b = TermBuilder()
+        t = b.binop("add", b.var("x", 64), b.undef(64))
+        assert contains_op(t, "undef")
+        assert not contains_op(b.var("x", 64), "undef")
+
+    def test_undef_interned_per_sort(self):
+        """Undef is one interned wildcard per sort — sound here because
+        a mismatch containing undef is downgraded to ``unknown`` before
+        any concrete confirmation could treat it as a single value."""
+        b = TermBuilder()
+        assert b.undef(64) is b.undef(64)
+        assert b.undef(64) is not b.undef(32)
+
+
+class TestRefinementCriticalIdentities:
+    def test_div_by_zero_stays_symbolic(self):
+        """udiv by const 0 must not fold (it would hide a trap)."""
+        b = TermBuilder()
+        t = b.binop("udiv", b.const(64, 1), b.const(64, 0))
+        assert not t.is_const
+
+    def test_fence_chains_ordered(self):
+        """effect chains encode order: rm;ww differs from ww;rm."""
+        b = TermBuilder()
+        a = b.effect(b.effect(b.eff0, "fence:rm"), "fence:ww")
+        c = b.effect(b.effect(b.eff0, "fence:ww"), "fence:rm")
+        assert a is not c

@@ -39,6 +39,9 @@ def _summary(scale=1.0, digest="d0"):
             "fences_elided_delayset_total": 4,
             "fences_elided_sync_total": 2,
             "fencecheck_violations_total": 0,
+            "tv_proved_total": int(80 * scale),
+            "tv_unknown_total": 5,
+            "tv_refuted_total": 0,
             "work": {"opt.visits": int(1000 * scale),
                      "pointsto.transfers": int(500 * scale)},
             "work_digest": digest,
@@ -348,12 +351,35 @@ class TestDiff:
             report = diff_runs(store, run_a, run_b)
             text = render_text(report)
             assert "wall time" in text and "fence elisions" in text
+            assert "translation-validation" in text
             markdown = render_markdown(report)
             assert "### Wall time" in markdown
+            assert "### Translation-validation verdicts" in markdown
             assert "| ppopt |" in markdown
             data = to_dict(report)
             assert set(data) == {"run_a", "run_b", "times", "counters",
-                                 "cells", "fences", "passes", "frames"}
+                                 "cells", "fences", "tv", "passes",
+                                 "frames"}
+
+    def test_tv_verdict_section(self):
+        with Warehouse() as store:
+            run_a, run_b = self._two_runs(store)
+            report = diff_runs(store, run_a, run_b)
+            verdicts = report.tv["ppopt"]
+            assert verdicts["proved"] == {"a": 80.0, "b": 160.0,
+                                          "delta": 80.0}
+            assert verdicts["refuted"]["delta"] == 0.0
+            assert "REFUTED" not in render_text(report)
+
+    def test_tv_refutation_is_flagged_loudly(self):
+        with Warehouse() as store:
+            a = store.upsert_run("bench", "aaa", False, "t1")
+            b = store.upsert_run("bench", "bbb", False, "t2")
+            store.put_summary_metric(a, "ppopt", "tv_refuted_total", 0)
+            store.put_summary_metric(b, "ppopt", "tv_refuted_total", 2)
+            report = diff_runs(store, store.run(a), store.run(b))
+            assert report.tv["ppopt"]["refuted"]["b"] == 2.0
+            assert "!! REFUTED" in render_text(report)
 
     def test_diff_json_is_deterministic(self, tmp_path):
         path = _bench_file(tmp_path)
